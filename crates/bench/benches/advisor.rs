@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the advisor: indicator computation, candidate
+//! selection, a single iteration, and a full run on a small cube.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdc_core::{indicator, Advisor, AdvisorOptions};
+use fdc_cube::CubeSplit;
+use fdc_datagen::{generate_cube, tourism_proxy, GenSpec};
+use std::hint::black_box;
+
+fn bench_indicator(c: &mut Criterion) {
+    let ds = tourism_proxy(1);
+    let split = CubeSplit::new(&ds, 0.8);
+    let opts = indicator::IndicatorOptions::new(ds.node_count(), split.train_len());
+    let top = ds.graph().top_node();
+    c.bench_function("scheme_indicator", |b| {
+        b.iter(|| {
+            black_box(indicator::scheme_indicator(
+                &ds,
+                top,
+                ds.graph().base_nodes()[0],
+                &opts,
+            ))
+        })
+    });
+    c.bench_function("local_indicator_45_nodes", |b| {
+        b.iter(|| black_box(indicator::LocalIndicator::compute(&ds, top, &opts)))
+    });
+}
+
+fn bench_advisor_step(c: &mut Criterion) {
+    let ds = tourism_proxy(1);
+    c.bench_function("advisor_step", |b| {
+        b.iter_batched(
+            || {
+                Advisor::new(
+                    &ds,
+                    AdvisorOptions {
+                        parallelism: Some(2),
+                        ..AdvisorOptions::default()
+                    },
+                )
+                .unwrap()
+            },
+            |mut advisor| black_box(advisor.step()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_advisor_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor_run");
+    group.sample_size(10);
+    for size in [50usize, 100] {
+        let cube = generate_cube(&GenSpec::new(size, 36, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
+                    .unwrap()
+                    .run();
+                black_box(outcome.error)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    use fdc_hierarchical::{bottom_up, direct, greedy, top_down, BaselineOptions};
+    let ds = fdc_datagen::tourism_proxy(1);
+    let split = CubeSplit::new(&ds, 0.8);
+    let opts = BaselineOptions::default();
+    let mut group = c.benchmark_group("baselines_tourism");
+    group.sample_size(10);
+    group.bench_function("direct", |b| b.iter(|| black_box(direct(&ds, &split, &opts))));
+    group.bench_function("bottom_up", |b| {
+        b.iter(|| black_box(bottom_up(&ds, &split, &opts)))
+    });
+    group.bench_function("top_down", |b| {
+        b.iter(|| black_box(top_down(&ds, &split, &opts)))
+    });
+    group.bench_function("greedy", |b| b.iter(|| black_box(greedy(&ds, &split, &opts))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_indicator,
+    bench_advisor_step,
+    bench_advisor_run,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the forecast model substrate: fitting, forecasting
+//! and incremental updates for every model family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdc_forecast::{
+    Arima, ArimaOrder, FitOptions, ForecastModel, ModelSpec, Sarima, SeasonalKind, SeasonalOrder,
+    TimeSeries,
+};
+use std::hint::black_box;
+
+fn seasonal_series(n: usize, period: usize) -> TimeSeries {
+    let values = (0..n)
+        .map(|t| {
+            100.0
+                + 0.4 * t as f64
+                + 15.0 * (2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64).sin()
+                + ((t as f64 * 1.7).sin() * 2.0)
+        })
+        .collect();
+    TimeSeries::new(values, fdc_forecast::Granularity::Monthly)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let series = seasonal_series(96, 12);
+    let opts = FitOptions::default();
+    let mut group = c.benchmark_group("model_fit");
+    for (name, spec) in [
+        ("ses", ModelSpec::Ses),
+        ("holt", ModelSpec::Holt),
+        (
+            "holt_winters",
+            ModelSpec::HoltWinters {
+                period: 12,
+                seasonal: SeasonalKind::Additive,
+            },
+        ),
+        ("arima_111", ModelSpec::Arima { p: 1, d: 1, q: 1 }),
+        (
+            "sarima",
+            ModelSpec::Sarima {
+                order: (1, 0, 0),
+                seasonal: (0, 1, 0),
+                period: 12,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| spec.fit(black_box(&series), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forecast_and_update(c: &mut Criterion) {
+    let series = seasonal_series(96, 12);
+    let opts = FitOptions::default();
+    let hw = ModelSpec::HoltWinters {
+        period: 12,
+        seasonal: SeasonalKind::Additive,
+    }
+    .fit(&series, &opts)
+    .unwrap();
+    let arima = Arima::fit(&series, ArimaOrder::new(2, 1, 1), &opts).unwrap();
+    let sarima = Sarima::fit(
+        &series,
+        ArimaOrder::new(1, 0, 1),
+        SeasonalOrder::new(0, 1, 0, 12),
+        &opts,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("model_forecast");
+    for h in [1usize, 12, 48] {
+        group.bench_with_input(BenchmarkId::new("holt_winters", h), &h, |b, &h| {
+            b.iter(|| black_box(hw.forecast(h)))
+        });
+        group.bench_with_input(BenchmarkId::new("arima", h), &h, |b, &h| {
+            b.iter(|| black_box(arima.forecast(h)))
+        });
+        group.bench_with_input(BenchmarkId::new("sarima", h), &h, |b, &h| {
+            b.iter(|| black_box(sarima.forecast(h)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("model_update");
+    group.bench_function("holt_winters", |b| {
+        b.iter_batched(
+            || hw.clone(),
+            |mut m| m.update(black_box(123.0)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sarima", |b| {
+        b.iter_batched(
+            || sarima.clone(),
+            |mut m| m.update(black_box(123.0)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let actual: Vec<f64> = (0..256).map(|t| 50.0 + (t as f64).sin()).collect();
+    let forecast: Vec<f64> = actual.iter().map(|v| v * 1.01).collect();
+    c.bench_function("smape_256", |b| {
+        b.iter(|| fdc_forecast::smape(black_box(&actual), black_box(&forecast)))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_forecast_and_update, bench_accuracy);
+criterion_main!(benches);

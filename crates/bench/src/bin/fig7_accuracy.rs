@@ -1,0 +1,58 @@
+//! Regenerates **Fig. 7 (a–d): Accuracy Analysis** (§VI-B).
+//!
+//! For each data set — Tourism, Sales, Energy (synthetic proxies, see
+//! DESIGN.md) and a GenX cube — every approach is run and its overall
+//! forecast error (dark bars in the paper) and model count (light bars)
+//! are reported.
+//!
+//! Usage: `cargo run -p fdc-bench --release --bin fig7_accuracy
+//! [--scale n] [--full]`
+//!
+//! The GenX size defaults to 200 base series (`--scale` multiplies it);
+//! `--full` uses the paper's 10,000 — expect a long run dominated by the
+//! Greedy baseline, exactly as in the paper. Combine is skipped on GenX
+//! cubes above 1,000 series, as the paper skipped it for Gen10k.
+
+use fdc_bench::{parse_scale_args, print_table, run_all, ApproachSelection};
+use fdc_datagen::{energy_proxy, generate_cube, sales_proxy, tourism_proxy, GenSpec};
+use fdc_forecast::FitOptions;
+
+fn main() {
+    let (scale, full, _) = parse_scale_args();
+    let fit = FitOptions::default();
+    let everything = ApproachSelection {
+        combine: true,
+        greedy: true,
+    };
+
+    let tourism = tourism_proxy(1);
+    print_table(
+        "Fig. 7(a) Tourism (32 quarterly base series)",
+        &run_all(&tourism, everything, fit.clone(), 1.0),
+    );
+
+    let sales = sales_proxy(1);
+    print_table(
+        "Fig. 7(b) Sales (27 monthly base series)",
+        &run_all(&sales, everything, fit.clone(), 1.0),
+    );
+
+    let energy = energy_proxy(1, 240);
+    print_table(
+        "Fig. 7(c) Energy (86 hourly base series)",
+        &run_all(&energy, everything, fit.clone(), 1.0),
+    );
+
+    let gen_size = if full { 10_000 } else { 200 * scale };
+    let cube = generate_cube(&GenSpec::new(gen_size, 48, 1));
+    let selection = ApproachSelection {
+        // The paper: "We did not execute the Combine approach for the
+        // Syn10k data set due to the long execution time (> one day)."
+        combine: gen_size <= 1_000,
+        greedy: gen_size <= 2_000,
+    };
+    print_table(
+        &format!("Fig. 7(d) Gen{gen_size} (synthetic SARIMA cube)"),
+        &run_all(&cube.dataset, selection, fit, 1.0),
+    );
+}

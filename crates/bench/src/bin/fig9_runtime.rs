@@ -1,0 +1,112 @@
+//! Regenerates **Fig. 9 (a,b): Runtime Analysis** (§VI-D).
+//!
+//! * `scalability` — Fig. 9(a): configuration-creation wall time of every
+//!   approach over GenX cubes of growing size (advisor at α = 0.5, as in
+//!   the paper). Combine and Greedy are dropped beyond their feasibility
+//!   limits — the paper observed the same explosion.
+//! * `queries` — Fig. 9(b): a GenX configuration (α ∈ {0.5, 1.0}) is
+//!   loaded into F²DB and random forecast queries are mixed with inserts
+//!   at query/insert ratios 1…10 over 10 time points; the average query
+//!   latency is reported.
+//!
+//! Usage: `cargo run -p fdc-bench --release --bin fig9_runtime
+//! [--scale n] [--full] [scalability|queries]`
+
+use fdc_bench::{parse_scale_args, ApproachSelection, QueryWorkload, run_all};
+use fdc_core::{Advisor, AdvisorOptions, StopCriteria};
+use fdc_datagen::{generate_cube, GenSpec};
+use fdc_f2db::F2db;
+use fdc_forecast::FitOptions;
+
+/// Fig. 9(a): scalability sweep.
+fn scalability(scale: usize, full: bool) {
+    println!("\n== Fig. 9(a) Scalability ==");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "approach", "base", "runtime", "error", "#models"
+    );
+    let sizes: Vec<usize> = if full {
+        vec![1_000, 10_000, 20_000, 30_000, 40_000, 100_000]
+    } else {
+        [50, 100, 200, 400, 800].iter().map(|s| s * scale).collect()
+    };
+    for &size in &sizes {
+        let cube = generate_cube(&GenSpec::new(size, 48, 1));
+        let selection = ApproachSelection {
+            combine: size <= 200 * scale.max(1),
+            greedy: size <= 400 * scale.max(1),
+        };
+        // Advisor at α = 0.5: "we set α to 0.5, since the previous
+        // experiments have shown an already good forecast accuracy with
+        // such choice".
+        let rows = run_all(&cube.dataset, selection, FitOptions::default(), 0.5);
+        for r in rows {
+            println!(
+                "{:<12} {:>10} {:>12.3?} {:>10.4} {:>10}",
+                r.name, size, r.wall_time, r.error, r.models
+            );
+        }
+    }
+}
+
+/// Fig. 9(b): forecast query runtime under mixed query/insert load.
+fn queries(scale: usize) {
+    println!("\n== Fig. 9(b) Forecast query runtime ==");
+    println!(
+        "{:<7} {:>7} {:>10} {:>12} {:>14} {:>8}",
+        "alpha", "q/i", "queries", "inserts", "avg query", "reest"
+    );
+    let size = 100 * scale;
+    let cube = generate_cube(&GenSpec::new(size, 48, 2));
+    for alpha in [0.5f64, 1.0] {
+        let outcome = Advisor::new(
+            &cube.dataset,
+            AdvisorOptions {
+                alpha_limit: alpha,
+                stop: StopCriteria::default(),
+                ..AdvisorOptions::default()
+            },
+        )
+        .expect("advisor construction")
+        .run();
+
+        for ratio in 1..=10usize {
+            let mut db = F2db::load(cube.dataset.clone(), &outcome.configuration)
+                .expect("configuration loads")
+                .with_policy(fdc_f2db::MaintenancePolicy::TimeBased { every: 3 });
+            let mut workload = QueryWorkload::new(42);
+            let base: Vec<usize> = db.dataset().graph().base_nodes().to_vec();
+            // 10 points in time; per point: all base inserts + ratio×|base|
+            // random queries against base and aggregated nodes.
+            for _ in 0..10 {
+                for &b in &base {
+                    let v = workload.next_insert_value(50.0, 150.0);
+                    db.insert_value(b, v).expect("insert");
+                }
+                for _ in 0..(ratio * base.len()) {
+                    let sql = workload.next_query(db.dataset().graph());
+                    db.query(&sql).expect("benchmark query succeeds");
+                }
+            }
+            let stats = db.stats().clone();
+            println!(
+                "{alpha:<7.1} {ratio:>7} {:>10} {:>12} {:>14.2?} {:>8}",
+                stats.queries,
+                stats.inserts,
+                stats.avg_query_time(),
+                stats.reestimations
+            );
+        }
+    }
+}
+
+fn main() {
+    let (scale, full, extra) = parse_scale_args();
+    let which = extra.first().map(|s| s.as_str()).unwrap_or("all");
+    if matches!(which, "scalability" | "all") {
+        scalability(scale, full);
+    }
+    if matches!(which, "queries" | "all") {
+        queries(scale);
+    }
+}

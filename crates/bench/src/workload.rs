@@ -1,0 +1,116 @@
+//! Random forecast-query workload generation for the runtime experiments
+//! (Fig. 9b) and for users who want to stress their own deployments.
+//!
+//! Queries go through the SQL surface so parsing and rewriting are part
+//! of the measured latency, exactly as they would be inside the DBMS.
+
+use fdc_cube::{NodeId, TimeSeriesGraph, STAR};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random query workload over a time series graph.
+#[derive(Debug)]
+pub struct QueryWorkload {
+    rng: StdRng,
+    /// Maximum forecast horizon (steps) of generated queries.
+    pub max_horizon: usize,
+}
+
+impl QueryWorkload {
+    /// Creates a workload generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        QueryWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            max_horizon: 4,
+        }
+    }
+
+    /// Picks a uniformly random node (base or aggregated).
+    pub fn random_node(&mut self, graph: &TimeSeriesGraph) -> NodeId {
+        self.rng.gen_range(0..graph.node_count())
+    }
+
+    /// Renders the forecast query addressing `node` in the SQL dialect:
+    /// one equality predicate per concrete dimension, `GROUP BY time`
+    /// and a random horizon.
+    pub fn sql_for_node(&mut self, graph: &TimeSeriesGraph, node: NodeId) -> String {
+        let schema = graph.schema();
+        let coord = graph.coord(node);
+        let mut predicates = Vec::new();
+        for (d, &v) in coord.values().iter().enumerate() {
+            if v != STAR {
+                predicates.push(format!(
+                    "{} = '{}'",
+                    schema.dimensions()[d].name(),
+                    schema.dimensions()[d].values()[v as usize]
+                ));
+            }
+        }
+        let where_clause = if predicates.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", predicates.join(" AND "))
+        };
+        let horizon = 1 + self.rng.gen_range(0..self.max_horizon.max(1));
+        format!(
+            "SELECT time, SUM(value) FROM facts{where_clause} GROUP BY time AS OF now() + '{horizon} steps'"
+        )
+    }
+
+    /// Generates one random query string.
+    pub fn next_query(&mut self, graph: &TimeSeriesGraph) -> String {
+        let node = self.random_node(graph);
+        self.sql_for_node(graph, node)
+    }
+
+    /// Generates one random base-series insert value in `[lo, hi)`.
+    pub fn next_insert_value(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::tourism_proxy;
+    use fdc_f2db::parse_query;
+
+    #[test]
+    fn generated_queries_parse_and_resolve() {
+        let ds = tourism_proxy(1);
+        let mut wl = QueryWorkload::new(7);
+        for _ in 0..100 {
+            let sql = wl.next_query(ds.graph());
+            let stmt = parse_query(&sql).expect("generated SQL parses");
+            match stmt {
+                fdc_f2db::Statement::Forecast(q) => {
+                    let horizon = q
+                        .horizon
+                        .steps(ds.series(0).granularity())
+                        .expect("steps horizon");
+                    assert!((1..=4).contains(&horizon));
+                }
+                other => panic!("unexpected statement {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_in_seed() {
+        let ds = tourism_proxy(1);
+        let mut a = QueryWorkload::new(3);
+        let mut b = QueryWorkload::new(3);
+        for _ in 0..20 {
+            assert_eq!(a.next_query(ds.graph()), b.next_query(ds.graph()));
+        }
+    }
+
+    #[test]
+    fn top_node_query_has_no_predicates() {
+        let ds = tourism_proxy(1);
+        let mut wl = QueryWorkload::new(1);
+        let sql = wl.sql_for_node(ds.graph(), ds.graph().top_node());
+        assert!(!sql.contains("WHERE"));
+        assert!(sql.contains("GROUP BY time"));
+    }
+}

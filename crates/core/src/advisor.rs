@@ -1,0 +1,936 @@
+//! The model configuration advisor driver (§III–IV).
+//!
+//! [`Advisor`] wires the four phases into the iterative process of
+//! Fig. 5: candidate selection → evaluation → control → output. Each
+//! iteration adds (and possibly removes) models; the advisor can be
+//! stopped at any time and always holds a valid configuration, its error
+//! and its costs — "allowing the user to retrieve a valid configuration
+//! at any time, trading forecast accuracy and model costs".
+
+use crate::candidate::select_candidates;
+use crate::control::{indicator_size_for_budget, ControlState};
+use crate::evaluation::{
+    build_models_parallel, commit_model, measure_model_effect, AcceptanceCriterion,
+};
+use crate::indicator::{IndicatorOptions, IndicatorStore, LocalIndicator};
+use crate::multisource::MultiSourceSearch;
+use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset, NodeId};
+use fdc_forecast::{FitOptions, ModelSpec};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// User-settable stop criteria (§IV-D): error-based (absolute or relative
+/// to the initial configuration) or cost-based (absolute or relative), in
+/// addition to the always-active α schedule.
+#[derive(Debug, Clone, Default)]
+pub struct StopCriteria {
+    /// Stop once the overall error falls to or below this value.
+    pub absolute_error: Option<f64>,
+    /// Stop once the error falls to or below `fraction × initial error`.
+    pub relative_error: Option<f64>,
+    /// Stop once the total model cost reaches this duration.
+    pub absolute_cost: Option<Duration>,
+    /// Stop once this many models are stored.
+    pub max_models: Option<usize>,
+    /// Stop once `fraction × node count` models are stored.
+    pub relative_models: Option<f64>,
+    /// Hard iteration cap.
+    pub max_iterations: Option<usize>,
+    /// Hard wall-clock cap.
+    pub max_wall_time: Option<Duration>,
+}
+
+/// Why the advisor terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The α schedule passed its limit (default termination).
+    ScheduleExhausted,
+    /// An error-based stop criterion fired.
+    ErrorReached,
+    /// A cost-based stop criterion fired.
+    CostReached,
+    /// The iteration cap fired.
+    IterationLimit,
+    /// The wall-clock cap fired.
+    TimeLimit,
+}
+
+/// Options of the advisor. "Ideally no further parameterization input
+/// should be needed when running the advisor" (§III-A) — every field has
+/// a sensible default.
+#[derive(Debug, Clone)]
+pub struct AdvisorOptions {
+    /// Training fraction of each series (paper: ≈ 0.8).
+    pub train_frac: f64,
+    /// Model specification; `None` = default for the data's seasonality.
+    pub spec: Option<ModelSpec>,
+    /// Fitting options.
+    pub fit: FitOptions,
+    /// Models built per iteration; `None` = available parallelism.
+    pub parallelism: Option<usize>,
+    /// Fixed indicator size `|I|`; `None` = memory-budget rule.
+    pub indicator_size: Option<usize>,
+    /// Memory budget for indicator arrays (default 256 MB).
+    pub memory_budget_bytes: usize,
+    /// Weight λ of the similarity ingredient in the combined indicator.
+    pub lambda: f64,
+    /// Initial α of the acceptance schedule (paper: 0.1).
+    pub initial_alpha: f64,
+    /// α value past which the schedule terminates (1.0 reproduces the
+    /// paper's default; 0.5 reproduces the Fig. 9 configuration).
+    pub alpha_limit: f64,
+    /// Whether γ adapts to phase timings.
+    pub adaptive_gamma: bool,
+    /// Multi-source search rounds per iteration (0 disables §IV-C.2).
+    pub multisource_steps: usize,
+    /// Seed a model at the top node so every node is immediately
+    /// derivable (the initialization of the running example, Fig. 4).
+    pub seed_top_model: bool,
+    /// RNG seed (multi-source sampling, stochastic optimizers).
+    pub seed: u64,
+    /// Stop criteria.
+    pub stop: StopCriteria,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> Self {
+        AdvisorOptions {
+            train_frac: 0.8,
+            spec: None,
+            fit: FitOptions::default(),
+            parallelism: None,
+            indicator_size: None,
+            memory_budget_bytes: 256 << 20,
+            lambda: 1.0,
+            initial_alpha: 0.1,
+            alpha_limit: 1.0,
+            adaptive_gamma: true,
+            multisource_steps: 8,
+            seed_top_model: true,
+            seed: 0xadff,
+            stop: StopCriteria::default(),
+        }
+    }
+}
+
+/// Per-iteration statistics, streamed out for the output phase and kept
+/// as the advisor's history.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// α in effect during the iteration.
+    pub alpha: f64,
+    /// γ in effect during the iteration.
+    pub gamma: f64,
+    /// Overall configuration error after the iteration.
+    pub error: f64,
+    /// Models stored after the iteration.
+    pub model_count: usize,
+    /// Total model cost after the iteration.
+    pub cost: Duration,
+    /// Positive candidates selected.
+    pub candidates: usize,
+    /// Models actually built.
+    pub models_built: usize,
+    /// Models accepted.
+    pub accepted: usize,
+    /// Models rejected.
+    pub rejected: usize,
+    /// Models deleted.
+    pub deleted: usize,
+    /// Wall time of the candidate selection phase.
+    pub selection_time: Duration,
+    /// Wall time of the evaluation phase.
+    pub evaluation_time: Duration,
+}
+
+/// Final outcome of an advisor run.
+#[derive(Debug)]
+pub struct AdvisorOutcome {
+    /// The final configuration.
+    pub configuration: Configuration,
+    /// Per-iteration history.
+    pub history: Vec<IterationStats>,
+    /// Final overall error.
+    pub error: f64,
+    /// Final model count.
+    pub model_count: usize,
+    /// Final total model cost.
+    pub total_cost: Duration,
+    /// Total wall time of the run.
+    pub wall_time: Duration,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+/// The model configuration advisor.
+pub struct Advisor<'a> {
+    dataset: &'a Dataset,
+    split: CubeSplit,
+    configuration: Configuration,
+    store: IndicatorStore,
+    control: ControlState,
+    criterion: AcceptanceCriterion,
+    rejected: HashSet<NodeId>,
+    local_cache: HashMap<NodeId, LocalIndicator>,
+    /// Models already built this run. Fitting is deterministic for a
+    /// fixed split, so a candidate that is re-examined at a later α level
+    /// reuses its earlier fit instead of paying the creation cost again —
+    /// this keeps the advisor's total model-creation work bounded by the
+    /// number of *distinct* candidates, the behaviour behind the paper's
+    /// Fig. 8(c) ("the model configuration advisor only shows a slight
+    /// increase in runtime").
+    built_cache: HashMap<NodeId, ConfiguredModel>,
+    multisource: MultiSourceSearch,
+    history: Vec<IterationStats>,
+    iteration: usize,
+    started: Instant,
+    initial_error: f64,
+    indicator_options: IndicatorOptions,
+    spec: ModelSpec,
+    parallelism: usize,
+    multisource_steps: usize,
+    fit: FitOptions,
+    stop: StopCriteria,
+}
+
+impl<'a> Advisor<'a> {
+    /// Creates an advisor over `dataset`.
+    pub fn new(dataset: &'a Dataset, options: AdvisorOptions) -> fdc_cube::Result<Self> {
+        if dataset.node_count() == 0 {
+            return Err(fdc_cube::CubeError::InvalidData("empty data set".into()));
+        }
+        let split = CubeSplit::new(dataset, options.train_frac);
+        let spec = options.spec.clone().unwrap_or_else(|| {
+            ModelSpec::default_for_history(
+                dataset.series(0).granularity().seasonal_period(),
+                split.train_len(),
+            )
+        });
+        let parallelism = options.parallelism.unwrap_or_else(|| {
+            // Tie the evaluation batch to the processor count (§IV-B.1) but
+            // keep a floor of 4 so small machines still explore enough
+            // candidates per iteration.
+            std::thread::available_parallelism()
+                .map(|p| p.get().max(4))
+                .unwrap_or(4)
+        });
+        let indicator_size = options.indicator_size.unwrap_or_else(|| {
+            indicator_size_for_budget(dataset.node_count(), options.memory_budget_bytes, 16)
+        });
+        let mut indicator_options = IndicatorOptions::new(indicator_size, split.train_len());
+        indicator_options.lambda = options.lambda;
+
+        let mut control =
+            ControlState::new(options.initial_alpha, options.alpha_limit, options.adaptive_gamma);
+        control.init_gamma(parallelism, dataset.node_count());
+        let criterion =
+            AcceptanceCriterion::new(options.initial_alpha.min(1.0), dataset.node_count());
+
+        let mut advisor = Advisor {
+            dataset,
+            split,
+            configuration: Configuration::new(dataset.node_count()),
+            store: IndicatorStore::new(dataset.node_count()),
+            control,
+            criterion,
+            rejected: HashSet::new(),
+            local_cache: HashMap::new(),
+            built_cache: HashMap::new(),
+            multisource: MultiSourceSearch::new(options.seed),
+            history: Vec::new(),
+            iteration: 0,
+            started: Instant::now(),
+            initial_error: 1.0,
+            indicator_options,
+            spec,
+            parallelism: parallelism.max(1),
+            multisource_steps: options.multisource_steps,
+            fit: options.fit.clone(),
+            stop: options.stop.clone(),
+        };
+
+        if options.seed_top_model {
+            advisor.seed_top();
+        }
+        advisor.initial_error = advisor.configuration.overall_error();
+        advisor.criterion.set_error_scale(advisor.initial_error);
+        Ok(advisor)
+    }
+
+    /// Creates an advisor that resumes from an existing configuration —
+    /// e.g. one produced by an earlier run before new data arrived, or by
+    /// a baseline whose configuration should be refined. Local indicators
+    /// are rebuilt for every model node, node estimates are recomputed on
+    /// the (new) split, and the iterative process continues from there.
+    pub fn with_configuration(
+        dataset: &'a Dataset,
+        options: AdvisorOptions,
+        configuration: &Configuration,
+    ) -> fdc_cube::Result<Self> {
+        if configuration.node_count() != dataset.node_count() {
+            return Err(fdc_cube::CubeError::InvalidData(format!(
+                "configuration covers {} nodes, data set has {}",
+                configuration.node_count(),
+                dataset.node_count()
+            )));
+        }
+        let mut advisor = Advisor::new(
+            dataset,
+            AdvisorOptions {
+                seed_top_model: false,
+                ..options
+            },
+        )?;
+        // Re-fit each configured model spec on the new training split so
+        // the resumed search evaluates against current data.
+        for (node, cm) in configuration.models() {
+            let Ok(model) =
+                ConfiguredModel::fit(&advisor.split, node, &cm.spec, &advisor.fit)
+            else {
+                continue; // series now too short for this spec — drop it
+            };
+            advisor.criterion.observe_creation(model.creation_time);
+            advisor.built_cache.insert(node, model.clone());
+            advisor.configuration.insert_model(node, model);
+            let local = LocalIndicator::compute(dataset, node, &advisor.indicator_options);
+            advisor.local_cache.insert(node, local.clone());
+            advisor.store.insert(local);
+        }
+        let all: Vec<NodeId> = (0..dataset.node_count()).collect();
+        advisor
+            .configuration
+            .recompute_nodes(dataset, &advisor.split, &all);
+        advisor.initial_error = advisor.configuration.overall_error();
+        advisor.criterion.set_error_scale(advisor.initial_error);
+        Ok(advisor)
+    }
+
+    /// Installs the initial model at the top node (Fig. 4a) so every node
+    /// is derivable by disaggregation from the start.
+    fn seed_top(&mut self) {
+        let top = self.dataset.graph().top_node();
+        let Ok(model) = ConfiguredModel::fit(&self.split, top, &self.spec, &self.fit) else {
+            return; // series too short for the spec — start empty
+        };
+        self.criterion.observe_creation(model.creation_time);
+        self.configuration.insert_model(top, model);
+        for t in 0..self.dataset.node_count() {
+            self.configuration
+                .adopt_if_better(self.dataset, &self.split, &[top], t);
+        }
+        let local = LocalIndicator::compute(self.dataset, top, &self.indicator_options);
+        self.local_cache.insert(top, local.clone());
+        self.store.insert(local);
+    }
+
+    /// The data split used for evaluation.
+    pub fn split(&self) -> &CubeSplit {
+        &self.split
+    }
+
+    /// The current configuration (valid at any time).
+    pub fn configuration(&self) -> &Configuration {
+        &self.configuration
+    }
+
+    /// The current global indicator store.
+    pub fn indicator_store(&self) -> &IndicatorStore {
+        &self.store
+    }
+
+    /// The iteration history so far.
+    pub fn history(&self) -> &[IterationStats] {
+        &self.history
+    }
+
+    /// Runs one full iteration (all four phases) and returns its
+    /// statistics.
+    pub fn step(&mut self) -> IterationStats {
+        self.iteration += 1;
+        let err_before = self.configuration.overall_error();
+        self.criterion.alpha = self.control.effective_alpha();
+
+        // ---- Candidate selection phase -----------------------------------
+        let selection_start = Instant::now();
+        let candidates = select_candidates(
+            self.dataset,
+            &self.configuration,
+            &self.store,
+            &self.indicator_options,
+            self.control.gamma,
+            self.parallelism,
+            &self.rejected,
+            &mut self.local_cache,
+        );
+        let selection_time = selection_start.elapsed();
+
+        // ---- Evaluation phase --------------------------------------------
+        let evaluation_start = Instant::now();
+        // Indicator-based pre-filter: skip building candidates whose
+        // acceptance is hopeless even under an optimistic (2×) reading of
+        // their indicator-predicted benefit. At low α this avoids paying
+        // creation cost for marginal models; as α grows the bar drops and
+        // the candidates return (they are not marked rejected).
+        let err_now = self.configuration.overall_error();
+        let cost_now = self.configuration.total_cost();
+        let global_mean_now = self.store.global_mean();
+        let picked: Vec<NodeId> = candidates
+            .positive
+            .iter()
+            .enumerate()
+            .filter(|(rank, c)| {
+                // The best-ranked candidate is always examined so the
+                // search cannot starve itself; cached builds are free.
+                if *rank == 0 || self.built_cache.contains_key(&c.node) {
+                    return true;
+                }
+                let predicted_gain = (global_mean_now - c.score).max(0.0);
+                let optimistic_err = (err_now - 2.0 * predicted_gain).max(0.0);
+                self.criterion.accepts(
+                    err_now,
+                    cost_now,
+                    optimistic_err,
+                    cost_now + self.criterion.avg_creation_time,
+                )
+            })
+            .map(|(_, c)| c.node)
+            .collect();
+        let misses: Vec<NodeId> = picked
+            .iter()
+            .copied()
+            .filter(|v| !self.built_cache.contains_key(v))
+            .collect();
+        let models_built = misses.len();
+        for (node, model) in build_models_parallel(&self.split, &misses, &self.spec, &self.fit) {
+            match model {
+                Some(m) => {
+                    self.criterion.observe_creation(m.creation_time);
+                    self.built_cache.insert(node, m);
+                }
+                None => {
+                    // Unfittable (series too short): never try again.
+                    self.rejected.insert(node);
+                }
+            }
+        }
+        let built: Vec<(NodeId, Option<ConfiguredModel>)> = picked
+            .iter()
+            .map(|&v| (v, self.built_cache.get(&v).cloned()))
+            .collect();
+
+        let mut accepted = 0usize;
+        let mut rejected_now = 0usize;
+        for (node, model) in built {
+            let Some(model) = model else {
+                continue; // marked rejected above
+            };
+            let neighborhood: Vec<NodeId> = self
+                .local_cache
+                .get(&node)
+                .map(|l| l.targets.clone())
+                .unwrap_or_default();
+            let effect = measure_model_effect(
+                self.dataset,
+                &self.split,
+                &self.configuration,
+                &model,
+                node,
+                &neighborhood,
+            );
+            let err_old = self.configuration.overall_error();
+            let cost_old = self.configuration.total_cost();
+            let cost_new = cost_old + model.creation_time;
+            if self
+                .criterion
+                .accepts(err_old, cost_old, effect.err_new, cost_new)
+            {
+                commit_model(
+                    self.dataset,
+                    &self.split,
+                    &mut self.configuration,
+                    model,
+                    &effect,
+                );
+                let local = self
+                    .local_cache
+                    .get(&node)
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        LocalIndicator::compute(self.dataset, node, &self.indicator_options)
+                    });
+                self.store.insert(local);
+                accepted += 1;
+            } else {
+                rejected_now += 1;
+                if effect.err_new >= err_old {
+                    // No error improvement either: never reconsider
+                    // (§IV-B.2).
+                    self.rejected.insert(node);
+                }
+            }
+        }
+
+        // Deletion: examine the top negative candidate (§IV-B.2).
+        let mut deleted = 0usize;
+        if let Some(victim) = candidates.negative.first() {
+            if self.configuration.model_count() > 1 {
+                deleted += self.try_delete(victim.node) as usize;
+            }
+        }
+        let evaluation_time = evaluation_start.elapsed();
+
+        // ---- Asynchronous multi-source optimization ------------------------
+        for _ in 0..self.multisource_steps {
+            self.multisource
+                .step(self.dataset, &self.split, &mut self.configuration);
+        }
+
+        // ---- Control phase --------------------------------------------------
+        if models_built == 0 && !candidates.positive.is_empty() {
+            // The evaluation phase did no real work (all candidates were
+            // filtered or cached): widen the candidate pool instead of
+            // letting the timing rule squeeze it further.
+            self.control.adapt_gamma(Duration::ZERO, Duration::from_secs(1));
+        } else {
+            self.control.adapt_gamma(selection_time, evaluation_time);
+        }
+        let err_after = self.configuration.overall_error();
+        self.control
+            .record_iteration(rejected_now, (err_before - err_after).max(0.0));
+
+        let stats = IterationStats {
+            iteration: self.iteration,
+            alpha: self.criterion.alpha,
+            gamma: self.control.gamma,
+            error: err_after,
+            model_count: self.configuration.model_count(),
+            cost: self.configuration.total_cost(),
+            candidates: candidates.positive.len(),
+            models_built,
+            accepted,
+            rejected: rejected_now,
+            deleted,
+            selection_time,
+            evaluation_time,
+        };
+        self.history.push(stats.clone());
+        stats
+    }
+
+    /// Evaluates deleting the model at `victim` under Eq. (8); commits the
+    /// deletion when it improves the weighted objective. Returns whether
+    /// the model was removed.
+    fn try_delete(&mut self, victim: NodeId) -> bool {
+        let err_old = self.configuration.overall_error();
+        let cost_old = self.configuration.total_cost();
+        let Some(model) = self.configuration.model(victim) else {
+            return false;
+        };
+        let model_cost = model.creation_time;
+
+        let mut trial = self.configuration.clone();
+        let removed = trial.remove_model(victim);
+        debug_assert!(removed.is_some());
+        let deps = self.configuration.dependents_of(victim);
+        trial.recompute_nodes(self.dataset, &self.split, &deps);
+        let err_new = trial.overall_error();
+        let cost_new = cost_old.saturating_sub(model_cost);
+
+        if self.criterion.accepts(err_old, cost_old, err_new, cost_new) {
+            self.configuration = trial;
+            self.store.remove(victim);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evaluates the stop criteria; `None` means keep going.
+    fn stop_reason(&self) -> Option<StopReason> {
+        let err = self.configuration.overall_error();
+        if let Some(limit) = self.stop.absolute_error {
+            if err <= limit {
+                return Some(StopReason::ErrorReached);
+            }
+        }
+        if let Some(frac) = self.stop.relative_error {
+            if err <= frac * self.initial_error {
+                return Some(StopReason::ErrorReached);
+            }
+        }
+        if let Some(limit) = self.stop.absolute_cost {
+            if self.configuration.total_cost() >= limit {
+                return Some(StopReason::CostReached);
+            }
+        }
+        if let Some(limit) = self.stop.max_models {
+            if self.configuration.model_count() >= limit {
+                return Some(StopReason::CostReached);
+            }
+        }
+        if let Some(frac) = self.stop.relative_models {
+            if self.configuration.model_count() as f64
+                >= frac * self.dataset.node_count() as f64
+            {
+                return Some(StopReason::CostReached);
+            }
+        }
+        if let Some(limit) = self.stop.max_iterations {
+            if self.iteration >= limit {
+                return Some(StopReason::IterationLimit);
+            }
+        }
+        if let Some(limit) = self.stop.max_wall_time {
+            if self.started.elapsed() >= limit {
+                return Some(StopReason::TimeLimit);
+            }
+        }
+        if self.control.schedule_exhausted() {
+            return Some(StopReason::ScheduleExhausted);
+        }
+        None
+    }
+
+    /// Runs iterations until a stop criterion fires and returns the final
+    /// outcome.
+    pub fn run(&mut self) -> AdvisorOutcome {
+        self.started = Instant::now();
+        let stop_reason = loop {
+            if let Some(reason) = self.stop_reason() {
+                break reason;
+            }
+            self.step();
+        };
+        AdvisorOutcome {
+            configuration: self.configuration.clone(),
+            history: self.history.clone(),
+            error: self.configuration.overall_error(),
+            model_count: self.configuration.model_count(),
+            total_cost: self.configuration.total_cost(),
+            wall_time: self.started.elapsed(),
+            stop_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::{generate_cube, tourism_proxy, GenSpec};
+
+    fn quick_options() -> AdvisorOptions {
+        AdvisorOptions {
+            parallelism: Some(2),
+            multisource_steps: 4,
+            ..AdvisorOptions::default()
+        }
+    }
+
+    #[test]
+    fn advisor_improves_over_seed_configuration() {
+        let ds = tourism_proxy(1);
+        let mut advisor = Advisor::new(&ds, quick_options()).unwrap();
+        let initial = advisor.configuration().overall_error();
+        let outcome = advisor.run();
+        assert!(outcome.error <= initial, "{} vs {initial}", outcome.error);
+        assert!(outcome.model_count >= 1);
+        assert_eq!(outcome.stop_reason, StopReason::ScheduleExhausted);
+        assert!(!outcome.history.is_empty());
+    }
+
+    #[test]
+    fn advisor_keeps_fewer_models_than_direct() {
+        let ds = tourism_proxy(1);
+        let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
+        assert!(
+            outcome.model_count < ds.node_count(),
+            "advisor kept {} of {} possible models",
+            outcome.model_count,
+            ds.node_count()
+        );
+    }
+
+    #[test]
+    fn every_node_is_served_after_run() {
+        let ds = tourism_proxy(2);
+        let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
+        for v in 0..ds.node_count() {
+            let est = outcome.configuration.estimate(v);
+            assert!(
+                est.scheme.is_some(),
+                "node {v} has no derivation scheme"
+            );
+            assert!(est.error < 1.0);
+        }
+    }
+
+    #[test]
+    fn schemes_only_reference_model_nodes() {
+        let ds = tourism_proxy(3);
+        let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
+        for v in 0..ds.node_count() {
+            if let Some(s) = &outcome.configuration.estimate(v).scheme {
+                for src in &s.sources {
+                    assert!(outcome.configuration.has_model(*src));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stop_on_max_models() {
+        let ds = tourism_proxy(1);
+        let options = AdvisorOptions {
+            stop: StopCriteria {
+                max_models: Some(2),
+                ..StopCriteria::default()
+            },
+            ..quick_options()
+        };
+        let outcome = Advisor::new(&ds, options).unwrap().run();
+        // The seed model plus at most one accepted batch beyond the limit.
+        assert!(outcome.stop_reason == StopReason::CostReached);
+        assert!(outcome.model_count >= 2);
+    }
+
+    #[test]
+    fn stop_on_iteration_limit() {
+        let ds = tourism_proxy(1);
+        let options = AdvisorOptions {
+            stop: StopCriteria {
+                max_iterations: Some(1),
+                ..StopCriteria::default()
+            },
+            ..quick_options()
+        };
+        let outcome = Advisor::new(&ds, options).unwrap().run();
+        assert_eq!(outcome.stop_reason, StopReason::IterationLimit);
+        assert_eq!(outcome.history.len(), 1);
+    }
+
+    #[test]
+    fn stop_on_error_threshold() {
+        let ds = tourism_proxy(1);
+        let options = AdvisorOptions {
+            stop: StopCriteria {
+                absolute_error: Some(1.0), // trivially satisfied at start
+                ..StopCriteria::default()
+            },
+            ..quick_options()
+        };
+        let outcome = Advisor::new(&ds, options).unwrap().run();
+        assert_eq!(outcome.stop_reason, StopReason::ErrorReached);
+        assert!(outcome.history.is_empty(), "stopped before iterating");
+    }
+
+    #[test]
+    fn alpha_limit_produces_cheaper_configuration() {
+        let ds = tourism_proxy(4);
+        let full = Advisor::new(&ds, quick_options()).unwrap().run();
+        let half = Advisor::new(
+            &ds,
+            AdvisorOptions {
+                alpha_limit: 0.4,
+                ..quick_options()
+            },
+        )
+        .unwrap()
+        .run();
+        assert!(
+            half.model_count <= full.model_count,
+            "α≤0.4 kept {} models, α≤1.0 kept {}",
+            half.model_count,
+            full.model_count
+        );
+    }
+
+    #[test]
+    fn history_alpha_is_nondecreasing() {
+        let ds = tourism_proxy(1);
+        let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
+        for w in outcome.history.windows(2) {
+            assert!(w[0].alpha <= w[1].alpha + 1e-12);
+        }
+    }
+
+    #[test]
+    fn works_without_top_seed() {
+        let ds = tourism_proxy(1);
+        let options = AdvisorOptions {
+            seed_top_model: false,
+            ..quick_options()
+        };
+        let outcome = Advisor::new(&ds, options).unwrap().run();
+        assert!(outcome.model_count >= 1);
+        assert!(outcome.error < 1.0);
+    }
+
+    #[test]
+    fn works_on_uncorrelated_synthetic_cube() {
+        let cube = generate_cube(&GenSpec::new(24, 48, 7));
+        let outcome = Advisor::new(&cube.dataset, quick_options()).unwrap().run();
+        assert!(outcome.error < 0.5, "error {}", outcome.error);
+        assert!(outcome.model_count < cube.dataset.node_count());
+    }
+
+    #[test]
+    fn build_cache_prevents_refitting_candidates() {
+        let ds = tourism_proxy(5);
+        let mut advisor = Advisor::new(&ds, quick_options()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut total_built = 0usize;
+        for _ in 0..12 {
+            let stats = advisor.step();
+            total_built += stats.models_built;
+            for (v, _) in advisor.configuration().models() {
+                seen.insert(v);
+            }
+        }
+        // Every build is a distinct node: total builds never exceed the
+        // node count even across many iterations.
+        assert!(
+            total_built <= ds.node_count(),
+            "built {total_built} models for {} nodes",
+            ds.node_count()
+        );
+    }
+
+    #[test]
+    fn expensive_models_do_not_explode_runtime() {
+        use fdc_forecast::FitOptions;
+        let ds = fdc_datagen::sales_proxy(2);
+        let cheap = AdvisorOptions {
+            fit: FitOptions::default(),
+            ..quick_options()
+        };
+        let costly = AdvisorOptions {
+            fit: FitOptions {
+                artificial_cost_us: 2_000,
+                ..FitOptions::default()
+            },
+            ..quick_options()
+        };
+        let built_cheap: usize = Advisor::new(&ds, cheap)
+            .unwrap()
+            .run()
+            .history
+            .iter()
+            .map(|s| s.models_built)
+            .sum();
+        let built_costly: usize = Advisor::new(&ds, costly)
+            .unwrap()
+            .run()
+            .history
+            .iter()
+            .map(|s| s.models_built)
+            .sum();
+        // The pre-filter and cache keep the build count bounded by the
+        // node count in both regimes.
+        assert!(built_cheap <= ds.node_count());
+        assert!(built_costly <= ds.node_count());
+    }
+
+    #[test]
+    fn single_series_cube_is_handled() {
+        use fdc_cube::{Coord, Dimension, Schema};
+        use fdc_forecast::{Granularity, TimeSeries};
+        let schema = Schema::flat(vec![Dimension::new("only", vec!["a".into()])]).unwrap();
+        let values: Vec<f64> = (0..30).map(|t| 10.0 + t as f64).collect();
+        let ds = fdc_cube::Dataset::from_base(
+            schema,
+            vec![(
+                Coord::new(vec![0]),
+                TimeSeries::new(values, Granularity::Monthly),
+            )],
+        )
+        .unwrap();
+        // Graph: the base node + the top; the advisor must terminate with
+        // a sane configuration.
+        let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
+        assert!(outcome.model_count >= 1);
+        assert!(outcome.error < 0.2, "trend series is easy: {}", outcome.error);
+    }
+
+    #[test]
+    fn all_zero_cube_is_handled() {
+        use fdc_cube::{Coord, Dimension, Schema};
+        use fdc_forecast::{Granularity, TimeSeries};
+        let schema = Schema::flat(vec![Dimension::new(
+            "d",
+            vec!["a".into(), "b".into()],
+        )])
+        .unwrap();
+        let ds = fdc_cube::Dataset::from_base(
+            schema,
+            vec![
+                (
+                    Coord::new(vec![0]),
+                    TimeSeries::new(vec![0.0; 24], Granularity::Monthly),
+                ),
+                (
+                    Coord::new(vec![1]),
+                    TimeSeries::new(vec![0.0; 24], Granularity::Monthly),
+                ),
+            ],
+        )
+        .unwrap();
+        // SMAPE of zero forecasts on zero data is zero: the seed model
+        // already achieves perfect error and the advisor stops quickly.
+        let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
+        assert!(outcome.error <= 1e-12, "error {}", outcome.error);
+        assert!(outcome
+            .configuration
+            .forecast_node(ds.graph().top_node(), 3)
+            .is_some());
+    }
+
+    #[test]
+    fn warm_start_resumes_from_configuration() {
+        let ds = tourism_proxy(6);
+        // First run with a tight budget.
+        let first = Advisor::new(
+            &ds,
+            AdvisorOptions {
+                stop: StopCriteria {
+                    max_models: Some(3),
+                    ..StopCriteria::default()
+                },
+                ..quick_options()
+            },
+        )
+        .unwrap()
+        .run();
+        assert!(first.model_count >= 3);
+
+        // Resume without the budget: the warm-started advisor keeps the
+        // old models and only improves from there.
+        let mut resumed =
+            Advisor::with_configuration(&ds, quick_options(), &first.configuration).unwrap();
+        let start_models = resumed.configuration().model_count();
+        assert_eq!(start_models, first.model_count);
+        let outcome = resumed.run();
+        assert!(outcome.error <= first.error + 1e-9);
+        assert!(outcome.model_count >= 1);
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_configuration() {
+        let ds = tourism_proxy(1);
+        let other = Configuration::new(3);
+        assert!(Advisor::with_configuration(&ds, quick_options(), &other).is_err());
+    }
+
+    #[test]
+    fn step_returns_live_statistics() {
+        let ds = tourism_proxy(1);
+        let mut advisor = Advisor::new(&ds, quick_options()).unwrap();
+        let s1 = advisor.step();
+        assert_eq!(s1.iteration, 1);
+        assert!(s1.error <= 1.0);
+        let s2 = advisor.step();
+        assert_eq!(s2.iteration, 2);
+        assert_eq!(advisor.history().len(), 2);
+    }
+}

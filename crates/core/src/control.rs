@@ -1,0 +1,282 @@
+//! Control phase (§IV-C.1): regulation of the advisor parameters.
+//!
+//! Three parameters are regulated:
+//!
+//! * **`|I|` (indicator size)** — sized so all indicator arrays fit in a
+//!   memory budget: each installed or cached local indicator costs
+//!   roughly `|I| · 16` bytes (target id + value), and in the worst case
+//!   one array exists per node.
+//! * **`γ` (candidate threshold)** — initialized, assuming normally
+//!   distributed indicator values, so the expected number of positive
+//!   candidates roughly equals the number of processors; afterwards
+//!   adapted each iteration by comparing the time spent in candidate
+//!   selection with the time spent in evaluation. Candidate selection
+//!   "should not be more expensive than the evaluation phase, otherwise
+//!   we could just invest the time to directly create forecast models".
+//! * **`α` (acceptance weight)** — starts low (only high-benefit models
+//!   are accepted) and is increased when (1) a number of rejects
+//!   occurred, (2) the per-α iteration cap is reached, or (3) the error
+//!   improvement became too small; the advisor stops when α exceeds its
+//!   limit.
+
+use std::time::Duration;
+
+/// Mutable control state carried across advisor iterations.
+#[derive(Debug, Clone)]
+pub struct ControlState {
+    /// Current candidate threshold multiplier γ (Eq. 5).
+    pub gamma: f64,
+    /// Current acceptance weight α (Eq. 8).
+    pub alpha: f64,
+    /// α schedule: increment applied on each trigger.
+    pub alpha_step: f64,
+    /// α value past which the advisor terminates.
+    pub alpha_limit: f64,
+    /// Whether γ adapts to phase timings.
+    pub adaptive_gamma: bool,
+    /// Rejects since the last α increase.
+    rejects: usize,
+    /// Iterations since the last α increase.
+    iterations: usize,
+    /// Rejects that trigger an α increase.
+    pub reject_threshold: usize,
+    /// Iteration cap per α level.
+    pub iteration_threshold: usize,
+    /// Minimal per-iteration error improvement; below it α increases.
+    pub min_improvement: f64,
+}
+
+impl ControlState {
+    /// Creates the control state with the paper's defaults: α starts at
+    /// 0.1 and is continuously increased until it exceeds `alpha_limit`.
+    pub fn new(initial_alpha: f64, alpha_limit: f64, adaptive_gamma: bool) -> Self {
+        ControlState {
+            gamma: 0.0,
+            alpha: initial_alpha,
+            alpha_step: 0.1,
+            alpha_limit,
+            adaptive_gamma,
+            rejects: 0,
+            iterations: 0,
+            reject_threshold: 4,
+            iteration_threshold: 10,
+            min_improvement: 1e-6,
+        }
+    }
+
+    /// Initializes γ so that, under a normal approximation of the global
+    /// indicator distribution, the expected number of positive candidates
+    /// equals `target_candidates` out of `node_count` nodes:
+    /// `P(I > μ + γσ) = target/n  ⇒  γ = Φ⁻¹(1 − target/n)`.
+    pub fn init_gamma(&mut self, target_candidates: usize, node_count: usize) {
+        let n = node_count.max(1) as f64;
+        let p = (target_candidates.max(1) as f64 / n).clamp(1e-6, 0.5);
+        self.gamma = inverse_normal_cdf(1.0 - p).clamp(-2.0, 4.0);
+    }
+
+    /// Adapts γ from the observed phase timings: if candidate selection
+    /// got more expensive than evaluation, raise γ (fewer candidates);
+    /// if evaluation dominates, lower γ so more candidates are examined
+    /// by the cheap indicators before the expensive model builds.
+    pub fn adapt_gamma(&mut self, selection: Duration, evaluation: Duration) {
+        if !self.adaptive_gamma {
+            return;
+        }
+        if selection > evaluation {
+            self.gamma = (self.gamma + 0.1).min(4.0);
+        } else {
+            self.gamma = (self.gamma - 0.1).max(-2.0);
+        }
+    }
+
+    /// Records the outcome of one iteration; returns `true` when the α
+    /// schedule advanced.
+    pub fn record_iteration(&mut self, rejects_this_iter: usize, error_improvement: f64) -> bool {
+        self.rejects += rejects_this_iter;
+        self.iterations += 1;
+        let trigger = self.rejects >= self.reject_threshold
+            || self.iterations >= self.iteration_threshold
+            || error_improvement < self.min_improvement;
+        if trigger {
+            self.alpha += self.alpha_step;
+            self.rejects = 0;
+            self.iterations = 0;
+        }
+        trigger
+    }
+
+    /// Whether the α schedule is exhausted (advisor should stop if no
+    /// other criterion fired earlier).
+    pub fn schedule_exhausted(&self) -> bool {
+        self.alpha > self.alpha_limit
+    }
+
+    /// The α used for acceptance, capped at 1 (α beyond 1 only signals
+    /// schedule exhaustion).
+    pub fn effective_alpha(&self) -> f64 {
+        self.alpha.min(1.0)
+    }
+}
+
+/// Chooses the indicator size `|I|` so that one local array per node fits
+/// into the memory budget (16 bytes per entry), clamped to
+/// `[min_size, node_count]`.
+pub fn indicator_size_for_budget(
+    node_count: usize,
+    memory_budget_bytes: usize,
+    min_size: usize,
+) -> usize {
+    let per_entry = 16usize;
+    let per_node = memory_budget_bytes / node_count.max(1) / per_entry;
+    per_node.clamp(min_size.min(node_count.max(1)), node_count.max(1))
+}
+
+/// Acklam's rational approximation of the inverse standard normal CDF
+/// (absolute error < 1.15e-9 — far more precision than γ needs).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_normal_known_quantiles() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413447) - 1.0).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert_eq!(inverse_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inverse_normal_cdf(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn init_gamma_targets_candidate_count() {
+        let mut c = ControlState::new(0.1, 1.0, true);
+        // 12 candidates out of 10_000 → a high γ (small tail).
+        c.init_gamma(12, 10_000);
+        assert!(c.gamma > 2.0, "γ = {}", c.gamma);
+        // 12 out of 24 → γ ≈ 0 (half the nodes).
+        c.init_gamma(12, 24);
+        assert!(c.gamma.abs() < 0.1, "γ = {}", c.gamma);
+    }
+
+    #[test]
+    fn adapt_gamma_follows_timings() {
+        let mut c = ControlState::new(0.1, 1.0, true);
+        c.gamma = 1.0;
+        c.adapt_gamma(Duration::from_millis(10), Duration::from_millis(100));
+        assert!(c.gamma < 1.0, "evaluation-heavy → more candidates");
+        let g = c.gamma;
+        c.adapt_gamma(Duration::from_millis(100), Duration::from_millis(10));
+        assert!(c.gamma > g, "selection-heavy → fewer candidates");
+    }
+
+    #[test]
+    fn adapt_gamma_noop_when_disabled() {
+        let mut c = ControlState::new(0.1, 1.0, false);
+        let g = c.gamma;
+        c.adapt_gamma(Duration::from_millis(100), Duration::from_millis(1));
+        assert_eq!(c.gamma, g);
+    }
+
+    #[test]
+    fn alpha_increases_on_rejects() {
+        let mut c = ControlState::new(0.1, 1.0, true);
+        let a0 = c.alpha;
+        for i in 1..c.reject_threshold {
+            assert!(!c.record_iteration(1, 1.0), "advanced after {i} rejects");
+        }
+        assert!(c.record_iteration(1, 1.0), "threshold rejects accumulated");
+        assert!(c.alpha > a0);
+    }
+
+    #[test]
+    fn alpha_increases_on_small_improvement() {
+        let mut c = ControlState::new(0.1, 1.0, true);
+        assert!(c.record_iteration(0, 0.0));
+    }
+
+    #[test]
+    fn alpha_increases_on_iteration_cap() {
+        let mut c = ControlState::new(0.1, 1.0, true);
+        let mut advanced = false;
+        for _ in 0..c.iteration_threshold {
+            advanced = c.record_iteration(0, 1.0);
+        }
+        assert!(advanced);
+    }
+
+    #[test]
+    fn schedule_exhausts_past_limit() {
+        let mut c = ControlState::new(0.95, 1.0, true);
+        assert!(!c.schedule_exhausted());
+        c.record_iteration(0, 0.0); // 0.95 → 1.10
+        assert!(c.schedule_exhausted());
+        assert!((c.effective_alpha() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indicator_size_respects_budget_and_bounds() {
+        // 1000 nodes, 1.6 MB → 100 entries per node.
+        assert_eq!(indicator_size_for_budget(1_000, 1_600_000, 16), 100);
+        // Huge budget → clamped to node count.
+        assert_eq!(indicator_size_for_budget(100, usize::MAX / 32, 16), 100);
+        // Tiny budget → clamped to the minimum.
+        assert_eq!(indicator_size_for_budget(1_000_000, 1024, 16), 16);
+        // min_size larger than node count degrades gracefully.
+        assert_eq!(indicator_size_for_budget(8, 0, 16), 8);
+    }
+}

@@ -1,0 +1,388 @@
+//! Derivation schemes and weights (§II-C, Eq. 1–3).
+//!
+//! A target node `t` can compute its forecasts from any set of source
+//! nodes `S` as
+//!
+//! ```text
+//! x̂_t = k_{S→t} · Σ_{s∈S} x̂_s       with    k_{S→t} = h_t / Σ_{s∈S} h_s
+//! ```
+//!
+//! where `h_v` is the sum over the whole history of node `v` — the
+//! historical-share weighting Gross & Sohl found most effective \[16\].
+//! The three special cases the paper illustrates (Fig. 3) fall out of the
+//! formula: *direct* (`S = {t}`, `k = 1`), *aggregation* (`S` = children
+//! of `t`, `k = 1` for consistent SUM data) and *disaggregation*
+//! (`S` = {parent}, `k` = the target's share of the parent).
+//!
+//! The module also computes the per-time-point weight series whose
+//! variance is the *similarity indicator* of §III-B: constant shares mean
+//! a stable relationship; fluctuating shares mean an unreliable scheme.
+
+use crate::dataset::Dataset;
+use crate::graph::NodeId;
+use fdc_forecast::accuracy::AccuracyMeasure;
+
+/// Classification of a derivation scheme relative to the graph structure
+/// (Fig. 3), mainly for reporting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// The node uses the model at its own node.
+    Direct,
+    /// The node aggregates forecasts of a full hyperedge of children.
+    Aggregation,
+    /// The node scales down the forecast of an ancestor.
+    Disaggregation,
+    /// Any other source combination (siblings, partial sets, multi-source).
+    General,
+}
+
+/// Classifies the scheme `sources → target` against the graph.
+pub fn classify_scheme(dataset: &Dataset, sources: &[NodeId], target: NodeId) -> SchemeKind {
+    let g = dataset.graph();
+    if sources == [target] {
+        return SchemeKind::Direct;
+    }
+    if let [s] = sources {
+        // Ancestor: target's base descendants are a subset of the source's.
+        if g.coord(*s).matches_base(g.coord(target))
+            || g
+                .base_descendants(target)
+                .iter()
+                .all(|b| g.coord(*s).matches_base(g.coord(*b)))
+        {
+            return SchemeKind::Disaggregation;
+        }
+    }
+    // Aggregation: sources equal the children of one hyperedge of target.
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort_unstable();
+    for edge in g.edges(target) {
+        if edge.children == sorted {
+            return SchemeKind::Aggregation;
+        }
+    }
+    SchemeKind::General
+}
+
+/// The derivation weight `k_{S→t} = h_t / Σ_s h_s` of Eq. (2)/(3),
+/// restricted to the first `history_len` observations (pass
+/// `usize::MAX` for the entire history). Returns 0 when the source
+/// history sums to zero.
+pub fn derivation_weight_over(
+    dataset: &Dataset,
+    sources: &[NodeId],
+    target: NodeId,
+    history_len: usize,
+) -> f64 {
+    let take = history_len.min(dataset.series_len());
+    let h_t: f64 = dataset.series(target).values()[..take].iter().sum();
+    let h_s: f64 = sources
+        .iter()
+        .map(|&s| dataset.series(s).values()[..take].iter().sum::<f64>())
+        .sum();
+    if h_s.abs() < f64::EPSILON {
+        0.0
+    } else {
+        h_t / h_s
+    }
+}
+
+/// [`derivation_weight_over`] on the whole history.
+pub fn derivation_weight(dataset: &Dataset, sources: &[NodeId], target: NodeId) -> f64 {
+    derivation_weight_over(dataset, sources, target, usize::MAX)
+}
+
+/// The per-time-point share series `k_τ = x_t(τ) / Σ_s x_s(τ)`.
+/// Time points with a (near-)zero source sum are skipped.
+pub fn weight_series(dataset: &Dataset, sources: &[NodeId], target: NodeId) -> Vec<f64> {
+    let n = dataset.series_len();
+    let target_vals = dataset.series(target).values();
+    let mut out = Vec::with_capacity(n);
+    for (tau, &target) in target_vals.iter().enumerate().take(n) {
+        let denom: f64 = sources
+            .iter()
+            .map(|&s| dataset.series(s).values()[tau])
+            .sum();
+        if denom.abs() > 1e-12 {
+            out.push(target / denom);
+        }
+    }
+    out
+}
+
+/// Variance of the per-time-point weights over the entire history — the
+/// *similarity* indicator ingredient (§III-B): "if weights strongly
+/// fluctuate over time, the corresponding scheme is quite unstable and
+/// leads to low accuracy".
+pub fn weight_variance(dataset: &Dataset, sources: &[NodeId], target: NodeId) -> f64 {
+    let w = weight_series(dataset, sources, target);
+    if w.len() < 2 {
+        return 0.0;
+    }
+    let mean = w.iter().sum::<f64>() / w.len() as f64;
+    w.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64
+}
+
+/// The *historical error* indicator ingredient (§III-B): assume perfect
+/// forecasts at the sources (use their real history), derive the target's
+/// values via the weight computed on the first `history_len` points, and
+/// score against the target's real history with `measure`.
+pub fn historical_error_over(
+    dataset: &Dataset,
+    sources: &[NodeId],
+    target: NodeId,
+    measure: AccuracyMeasure,
+    history_len: usize,
+) -> f64 {
+    let take = history_len.min(dataset.series_len());
+    if take == 0 {
+        return 0.0;
+    }
+    let k = derivation_weight_over(dataset, sources, target, take);
+    let mut derived = vec![0.0; take];
+    for &s in sources {
+        for (d, v) in derived.iter_mut().zip(dataset.series(s).values()) {
+            *d += v;
+        }
+    }
+    for d in &mut derived {
+        *d *= k;
+    }
+    measure.score(&dataset.series(target).values()[..take], &derived)
+}
+
+/// [`historical_error_over`] on the whole history (the paper computes the
+/// indicator "over the entire history as the time series from our
+/// real-world data sets are quite short").
+pub fn historical_error(
+    dataset: &Dataset,
+    sources: &[NodeId],
+    target: NodeId,
+    measure: AccuracyMeasure,
+) -> f64 {
+    historical_error_over(dataset, sources, target, measure, usize::MAX)
+}
+
+/// Combines source forecasts into the target forecast per Eq. (1):
+/// element-wise sum of the source forecasts scaled by `weight`.
+pub fn derive_forecast(source_forecasts: &[&[f64]], weight: f64) -> Vec<f64> {
+    let h = source_forecasts.first().map_or(0, |f| f.len());
+    let mut out = vec![0.0; h];
+    for fc in source_forecasts {
+        debug_assert_eq!(fc.len(), h, "source horizons must match");
+        for (o, v) in out.iter_mut().zip(*fc) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o *= weight;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Coord, STAR};
+    use crate::schema::{Dimension, FunctionalDependency, Schema};
+    use fdc_forecast::{Granularity, TimeSeries};
+
+    /// Two regions of two cities each; single product dimension omitted.
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Dimension::new(
+                    "city",
+                    vec!["C1".into(), "C2".into(), "C3".into(), "C4".into()],
+                ),
+                Dimension::new("region", vec!["R1".into(), "R2".into()]),
+            ],
+            vec![FunctionalDependency::new(0, 1, vec![0, 0, 1, 1])],
+        )
+        .unwrap();
+        let region_of = [0u32, 0, 1, 1];
+        // City i contributes a constant share: values (i+1) * (t+1).
+        let base = (0..4u32)
+            .map(|city| {
+                let values: Vec<f64> =
+                    (0..8).map(|t| (city as f64 + 1.0) * (t as f64 + 1.0)).collect();
+                (
+                    Coord::new(vec![city, region_of[city as usize]]),
+                    TimeSeries::new(values, Granularity::Monthly),
+                )
+            })
+            .collect();
+        Dataset::from_base(schema, base).unwrap()
+    }
+
+    fn node(ds: &Dataset, vals: Vec<u32>) -> NodeId {
+        ds.graph().node(&Coord::new(vals)).unwrap()
+    }
+
+    #[test]
+    fn direct_weight_is_one() {
+        let ds = dataset();
+        let t = node(&ds, vec![0, 0]);
+        assert!((derivation_weight(&ds, &[t], t) - 1.0).abs() < 1e-12);
+        assert_eq!(classify_scheme(&ds, &[t], t), SchemeKind::Direct);
+    }
+
+    #[test]
+    fn aggregation_weight_is_one_for_full_children() {
+        let ds = dataset();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1 = node(&ds, vec![0, 0]);
+        let c2 = node(&ds, vec![1, 0]);
+        let k = derivation_weight(&ds, &[c1, c2], r1);
+        assert!((k - 1.0).abs() < 1e-12);
+        assert_eq!(
+            classify_scheme(&ds, &[c1, c2], r1),
+            SchemeKind::Aggregation
+        );
+    }
+
+    #[test]
+    fn disaggregation_weight_is_child_share() {
+        let ds = dataset();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1 = node(&ds, vec![0, 0]); // share 1/(1+2) of region R1
+        let k = derivation_weight(&ds, &[r1], c1);
+        assert!((k - 1.0 / 3.0).abs() < 1e-12, "k = {k}");
+        assert_eq!(classify_scheme(&ds, &[r1], c1), SchemeKind::Disaggregation);
+    }
+
+    #[test]
+    fn sibling_scheme_is_general() {
+        let ds = dataset();
+        let c1 = node(&ds, vec![0, 0]);
+        let c2 = node(&ds, vec![1, 0]);
+        assert_eq!(classify_scheme(&ds, &[c2], c1), SchemeKind::General);
+        // C2 has twice C1's values → k = 1/2.
+        assert!((derivation_weight(&ds, &[c2], c1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_series_constant_for_proportional_data() {
+        let ds = dataset();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1 = node(&ds, vec![0, 0]);
+        let w = weight_series(&ds, &[r1], c1);
+        assert_eq!(w.len(), 8);
+        for v in &w {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!(weight_variance(&ds, &[r1], c1) < 1e-20);
+    }
+
+    #[test]
+    fn weight_variance_positive_for_shifting_shares() {
+        // Build a data set where C1's share of R1 drifts over time.
+        let schema = Schema::new(
+            vec![
+                Dimension::new("city", vec!["C1".into(), "C2".into()]),
+                Dimension::new("region", vec!["R1".into()]),
+            ],
+            vec![FunctionalDependency::new(0, 1, vec![0, 0])],
+        )
+        .unwrap();
+        let c1: Vec<f64> = (0..8).map(|t| 1.0 + t as f64).collect(); // growing
+        let c2: Vec<f64> = (0..8).map(|_| 10.0).collect(); // flat
+        let base = vec![
+            (
+                Coord::new(vec![0, 0]),
+                TimeSeries::new(c1, Granularity::Monthly),
+            ),
+            (
+                Coord::new(vec![1, 0]),
+                TimeSeries::new(c2, Granularity::Monthly),
+            ),
+        ];
+        let ds = Dataset::from_base(schema, base).unwrap();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1n = node(&ds, vec![0, 0]);
+        assert!(weight_variance(&ds, &[r1], c1n) > 1e-4);
+    }
+
+    #[test]
+    fn historical_error_zero_for_perfectly_proportional_data() {
+        let ds = dataset();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1 = node(&ds, vec![0, 0]);
+        let e = historical_error(&ds, &[r1], c1, AccuracyMeasure::Smape);
+        assert!(e < 1e-12, "error {e}");
+    }
+
+    #[test]
+    fn historical_error_positive_for_unstable_scheme() {
+        let schema = Schema::new(
+            vec![
+                Dimension::new("city", vec!["C1".into(), "C2".into()]),
+                Dimension::new("region", vec!["R1".into()]),
+            ],
+            vec![FunctionalDependency::new(0, 1, vec![0, 0])],
+        )
+        .unwrap();
+        let c1 = vec![1.0, 9.0, 1.0, 9.0, 1.0, 9.0];
+        let c2 = vec![9.0, 1.0, 9.0, 1.0, 9.0, 1.0];
+        let base = vec![
+            (
+                Coord::new(vec![0, 0]),
+                TimeSeries::new(c1, Granularity::Monthly),
+            ),
+            (
+                Coord::new(vec![1, 0]),
+                TimeSeries::new(c2, Granularity::Monthly),
+            ),
+        ];
+        let ds = Dataset::from_base(schema, base).unwrap();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1n = node(&ds, vec![0, 0]);
+        // Disaggregating the flat region series cannot reproduce the
+        // oscillating child.
+        let e = historical_error(&ds, &[r1], c1n, AccuracyMeasure::Smape);
+        assert!(e > 0.2, "error {e}");
+    }
+
+    #[test]
+    fn derive_forecast_applies_weight_to_sum() {
+        let fc = derive_forecast(&[&[1.0, 2.0], &[3.0, 4.0]], 0.5);
+        assert_eq!(fc, vec![2.0, 3.0]);
+        assert!(derive_forecast(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn zero_history_sources_give_zero_weight() {
+        let schema = Schema::flat(vec![Dimension::new(
+            "d",
+            vec!["a".into(), "b".into()],
+        )])
+        .unwrap();
+        let base = vec![
+            (
+                Coord::new(vec![0]),
+                TimeSeries::new(vec![0.0; 4], Granularity::Monthly),
+            ),
+            (
+                Coord::new(vec![1]),
+                TimeSeries::new(vec![1.0; 4], Granularity::Monthly),
+            ),
+        ];
+        let ds = Dataset::from_base(schema, base).unwrap();
+        let a = node(&ds, vec![0]);
+        let b = node(&ds, vec![1]);
+        assert_eq!(derivation_weight(&ds, &[a], b), 0.0);
+        assert!(weight_series(&ds, &[a], b).is_empty());
+        assert_eq!(weight_variance(&ds, &[a], b), 0.0);
+    }
+
+    #[test]
+    fn partial_history_weight() {
+        let ds = dataset();
+        let r1 = node(&ds, vec![STAR, 0]);
+        let c1 = node(&ds, vec![0, 0]);
+        // Proportional data: prefix weight equals full weight.
+        let k_full = derivation_weight(&ds, &[r1], c1);
+        let k_half = derivation_weight_over(&ds, &[r1], c1, 4);
+        assert!((k_full - k_half).abs() < 1e-12);
+    }
+}

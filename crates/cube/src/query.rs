@@ -1,0 +1,266 @@
+//! Node-level queries against the hyper graph.
+//!
+//! A query "describes one or several nodes in the hyper graph" (§II-A):
+//! equality predicates pin dimensions to values, unmentioned dimensions
+//! are aggregated (star), and a GROUP BY over a dimension expands to one
+//! node per value. This module is the logical layer; the SQL-ish surface
+//! syntax lives in `fdc-f2db`.
+
+use crate::graph::{Coord, NodeId, TimeSeriesGraph, STAR};
+use crate::{CubeError, Result};
+
+/// Per-dimension selector of a node query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimSelector {
+    /// Aggregate over the dimension (the default for unmentioned dims).
+    All,
+    /// Pin the dimension to one value label.
+    Value(String),
+    /// Expand the query into one node per value of this dimension
+    /// (GROUP BY).
+    GroupBy,
+}
+
+/// A declarative node query: one selector per dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeQuery {
+    selectors: Vec<DimSelector>,
+}
+
+impl NodeQuery {
+    /// A query aggregating over every dimension (the top node).
+    pub fn all(dim_count: usize) -> Self {
+        NodeQuery {
+            selectors: vec![DimSelector::All; dim_count],
+        }
+    }
+
+    /// Builds a query from named predicates: `(dimension, selector)`
+    /// pairs; unmentioned dimensions default to [`DimSelector::All`].
+    pub fn from_predicates(
+        graph: &TimeSeriesGraph,
+        predicates: &[(&str, DimSelector)],
+    ) -> Result<Self> {
+        let mut selectors = vec![DimSelector::All; graph.schema().dim_count()];
+        for (name, sel) in predicates {
+            let d = graph
+                .schema()
+                .dim_index(name)
+                .ok_or_else(|| CubeError::NotFound(format!("dimension {name}")))?;
+            selectors[d] = sel.clone();
+        }
+        Ok(NodeQuery { selectors })
+    }
+
+    /// Sets the selector of one dimension by index.
+    pub fn with(mut self, dim: usize, selector: DimSelector) -> Self {
+        self.selectors[dim] = selector;
+        self
+    }
+
+    /// The selectors per dimension.
+    pub fn selectors(&self) -> &[DimSelector] {
+        &self.selectors
+    }
+
+    /// Resolves the query to its node set.
+    ///
+    /// Without GROUP BY selectors the result has exactly one entry.
+    /// Each GROUP BY dimension multiplies the result by its (present)
+    /// values; nodes without data are skipped.
+    pub fn resolve(&self, graph: &TimeSeriesGraph) -> Result<Vec<NodeId>> {
+        if self.selectors.len() != graph.schema().dim_count() {
+            return Err(CubeError::InvalidCoordinate(format!(
+                "query has {} selectors, schema has {} dimensions",
+                self.selectors.len(),
+                graph.schema().dim_count()
+            )));
+        }
+        // Translate fixed selectors, collect group-by dims.
+        let mut fixed = vec![STAR; self.selectors.len()];
+        let mut group_dims = Vec::new();
+        for (d, sel) in self.selectors.iter().enumerate() {
+            match sel {
+                DimSelector::All => {}
+                DimSelector::Value(label) => {
+                    let idx = graph.schema().dimensions()[d]
+                        .value_index(label)
+                        .ok_or_else(|| {
+                            CubeError::NotFound(format!(
+                                "value {label} in dimension {}",
+                                graph.schema().dimensions()[d].name()
+                            ))
+                        })?;
+                    fixed[d] = idx;
+                }
+                DimSelector::GroupBy => group_dims.push(d),
+            }
+        }
+        // Expand group-by dimensions over their value domains.
+        let mut coords = vec![fixed];
+        for &d in &group_dims {
+            let card = graph.schema().dimensions()[d].cardinality() as u32;
+            let mut next = Vec::with_capacity(coords.len() * card as usize);
+            for c in &coords {
+                for v in 0..card {
+                    let mut cc = c.clone();
+                    cc[d] = v;
+                    next.push(cc);
+                }
+            }
+            coords = next;
+        }
+        let mut nodes = Vec::new();
+        for vals in coords {
+            if let Some(id) = graph.resolve(&Coord::new(vals)) {
+                nodes.push(id);
+            } else if group_dims.is_empty() {
+                return Err(CubeError::NotFound(
+                    "query does not match any node with data".into(),
+                ));
+            }
+        }
+        if nodes.is_empty() {
+            return Err(CubeError::NotFound(
+                "query does not match any node with data".into(),
+            ));
+        }
+        Ok(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Dimension, FunctionalDependency, Schema};
+
+    fn graph() -> TimeSeriesGraph {
+        let schema = Schema::new(
+            vec![
+                Dimension::new(
+                    "city",
+                    vec!["C1".into(), "C2".into(), "C3".into(), "C4".into()],
+                ),
+                Dimension::new("region", vec!["R1".into(), "R2".into()]),
+                Dimension::new("product", vec!["P1".into(), "P2".into()]),
+            ],
+            vec![FunctionalDependency::new(0, 1, vec![0, 0, 1, 1])],
+        )
+        .unwrap();
+        let region_of = [0u32, 0, 1, 1];
+        let mut base = Vec::new();
+        for city in 0..4u32 {
+            for product in 0..2u32 {
+                base.push(Coord::new(vec![city, region_of[city as usize], product]));
+            }
+        }
+        TimeSeriesGraph::build(schema, &base).unwrap()
+    }
+
+    #[test]
+    fn query1_of_figure1_resolves_base_node() {
+        // SELECT ... WHERE product='P2' AND city='C4' → node C4,R2,P2.
+        let g = graph();
+        let q = NodeQuery::from_predicates(
+            &g,
+            &[
+                ("product", DimSelector::Value("P2".into())),
+                ("city", DimSelector::Value("C4".into())),
+            ],
+        )
+        .unwrap();
+        let nodes = q.resolve(&g).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(g.coord(nodes[0]).values(), &[3, 1, 1]);
+    }
+
+    #[test]
+    fn query2_of_figure1_resolves_aggregate_node() {
+        // SELECT SUM ... WHERE product='P2' AND region='R2' → node *,R2,P2.
+        let g = graph();
+        let q = NodeQuery::from_predicates(
+            &g,
+            &[
+                ("product", DimSelector::Value("P2".into())),
+                ("region", DimSelector::Value("R2".into())),
+            ],
+        )
+        .unwrap();
+        let nodes = q.resolve(&g).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(g.coord(nodes[0]).values(), &[STAR, 1, 1]);
+    }
+
+    #[test]
+    fn empty_predicates_resolve_top() {
+        let g = graph();
+        let q = NodeQuery::all(3);
+        let nodes = q.resolve(&g).unwrap();
+        assert_eq!(nodes, vec![g.top_node()]);
+    }
+
+    #[test]
+    fn group_by_expands_to_one_node_per_value() {
+        let g = graph();
+        let q = NodeQuery::from_predicates(
+            &g,
+            &[
+                ("product", DimSelector::Value("P1".into())),
+                ("region", DimSelector::GroupBy),
+            ],
+        )
+        .unwrap();
+        let nodes = q.resolve(&g).unwrap();
+        assert_eq!(nodes.len(), 2);
+        for n in nodes {
+            assert_eq!(g.coord(n).values()[2], 0);
+            assert_ne!(g.coord(n).values()[1], STAR);
+        }
+    }
+
+    #[test]
+    fn unknown_dimension_and_value_are_errors() {
+        let g = graph();
+        assert!(NodeQuery::from_predicates(
+            &g,
+            &[("nope", DimSelector::Value("x".into()))]
+        )
+        .is_err());
+        let q = NodeQuery::from_predicates(&g, &[("city", DimSelector::Value("C9".into()))])
+            .unwrap_err_or(&g);
+        assert!(q);
+    }
+
+    /// Helper extension so the test above reads naturally.
+    trait UnwrapErrOr {
+        fn unwrap_err_or(self, graph: &TimeSeriesGraph) -> bool;
+    }
+
+    impl UnwrapErrOr for crate::Result<NodeQuery> {
+        fn unwrap_err_or(self, graph: &TimeSeriesGraph) -> bool {
+            match self {
+                Err(_) => true,
+                Ok(q) => q.resolve(graph).is_err(),
+            }
+        }
+    }
+
+    #[test]
+    fn fd_implied_query_canonicalizes() {
+        // WHERE city='C1' (region unspecified) resolves to the base node
+        // C1,R1,* — wait: product unspecified → star. City concrete forces
+        // region. Node C1,R1,* exists.
+        let g = graph();
+        let q = NodeQuery::from_predicates(&g, &[("city", DimSelector::Value("C1".into()))])
+            .unwrap();
+        let nodes = q.resolve(&g).unwrap();
+        assert_eq!(g.coord(nodes[0]).values(), &[0, 0, STAR]);
+    }
+
+    #[test]
+    fn wrong_arity_query_rejected() {
+        let g = graph();
+        let q = NodeQuery::all(2);
+        assert!(q.resolve(&g).is_err());
+    }
+}

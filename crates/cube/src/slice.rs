@@ -1,0 +1,176 @@
+//! Sub-cube extraction: slice a data set down to a region of the cube.
+//!
+//! Slicing keeps only the base series matching a set of dimension
+//! predicates and rebuilds the hyper graph underneath — the standard
+//! OLAP *slice/dice* operation lifted to the time series cube. Useful for
+//! running the advisor on a department's slice, for test fixtures, and
+//! for interactive exploration.
+
+use crate::dataset::Dataset;
+use crate::graph::{Coord, STAR};
+use crate::query::DimSelector;
+use crate::{CubeError, Result};
+
+/// Builds the sub-cube containing the base series selected by
+/// `selectors` (one per dimension; [`DimSelector::All`] keeps every
+/// value, [`DimSelector::Value`] pins one, [`DimSelector::GroupBy`] is
+/// treated as [`DimSelector::All`]).
+///
+/// The sliced data set keeps the full schema (dimension domains are not
+/// re-densified), so coordinates remain comparable across slices.
+pub fn slice_dataset(dataset: &Dataset, selectors: &[DimSelector]) -> Result<Dataset> {
+    let g = dataset.graph();
+    let schema = g.schema();
+    if selectors.len() != schema.dim_count() {
+        return Err(CubeError::InvalidCoordinate(format!(
+            "slice has {} selectors, schema has {} dimensions",
+            selectors.len(),
+            schema.dim_count()
+        )));
+    }
+    // Translate to a pattern coordinate.
+    let mut pattern = vec![STAR; selectors.len()];
+    for (d, sel) in selectors.iter().enumerate() {
+        if let DimSelector::Value(label) = sel {
+            let idx = schema.dimensions()[d].value_index(label).ok_or_else(|| {
+                CubeError::NotFound(format!(
+                    "value {label} in dimension {}",
+                    schema.dimensions()[d].name()
+                ))
+            })?;
+            pattern[d] = idx;
+        }
+    }
+    let pattern = Coord::new(pattern);
+
+    let base: Vec<(Coord, fdc_forecast::TimeSeries)> = g
+        .base_nodes()
+        .iter()
+        .filter(|&&b| pattern.matches_base(g.coord(b)))
+        .map(|&b| (g.coord(b).clone(), dataset.series(b).clone()))
+        .collect();
+    if base.is_empty() {
+        return Err(CubeError::NotFound(
+            "slice does not match any base series".into(),
+        ));
+    }
+    Dataset::from_base(schema.clone(), base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Dimension, FunctionalDependency, Schema};
+    use fdc_forecast::{Granularity, TimeSeries};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Dimension::new(
+                    "city",
+                    vec!["C1".into(), "C2".into(), "C3".into(), "C4".into()],
+                ),
+                Dimension::new("region", vec!["R1".into(), "R2".into()]),
+                Dimension::new("product", vec!["P1".into(), "P2".into()]),
+            ],
+            vec![FunctionalDependency::new(0, 1, vec![0, 0, 1, 1])],
+        )
+        .unwrap();
+        let region_of = [0u32, 0, 1, 1];
+        let mut base = Vec::new();
+        for city in 0..4u32 {
+            for product in 0..2u32 {
+                let values = (0..8).map(|t| (city + product + t) as f64 + 1.0).collect();
+                base.push((
+                    Coord::new(vec![city, region_of[city as usize], product]),
+                    TimeSeries::new(values, Granularity::Monthly),
+                ));
+            }
+        }
+        Dataset::from_base(schema, base).unwrap()
+    }
+
+    #[test]
+    fn slice_by_region_keeps_matching_cities() {
+        let ds = dataset();
+        let sliced = slice_dataset(
+            &ds,
+            &[
+                DimSelector::All,
+                DimSelector::Value("R1".into()),
+                DimSelector::All,
+            ],
+        )
+        .unwrap();
+        // Cities C1, C2 × products P1, P2 = 4 base series.
+        assert_eq!(sliced.graph().base_nodes().len(), 4);
+        for &b in sliced.graph().base_nodes() {
+            assert_eq!(sliced.graph().coord(b).values()[1], 0);
+        }
+        // The slice's total equals the original region aggregate.
+        let orig_region = ds
+            .graph()
+            .node(&Coord::new(vec![STAR, 0, STAR]))
+            .unwrap();
+        let sliced_top = sliced.graph().top_node();
+        assert_eq!(
+            sliced.series(sliced_top).values(),
+            ds.series(orig_region).values()
+        );
+    }
+
+    #[test]
+    fn slice_by_product_crosses_the_hierarchy() {
+        let ds = dataset();
+        let sliced = slice_dataset(
+            &ds,
+            &[
+                DimSelector::All,
+                DimSelector::All,
+                DimSelector::Value("P2".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(sliced.graph().base_nodes().len(), 4);
+        assert!(sliced.node_count() < ds.node_count());
+    }
+
+    #[test]
+    fn group_by_selector_behaves_like_all() {
+        let ds = dataset();
+        let a = slice_dataset(&ds, &[DimSelector::All, DimSelector::All, DimSelector::All]).unwrap();
+        let b = slice_dataset(
+            &ds,
+            &[DimSelector::GroupBy, DimSelector::All, DimSelector::All],
+        )
+        .unwrap();
+        assert_eq!(a.graph().base_nodes().len(), b.graph().base_nodes().len());
+    }
+
+    #[test]
+    fn slice_errors_are_reported() {
+        let ds = dataset();
+        // Wrong arity.
+        assert!(slice_dataset(&ds, &[DimSelector::All]).is_err());
+        // Unknown value.
+        assert!(slice_dataset(
+            &ds,
+            &[
+                DimSelector::Value("C9".into()),
+                DimSelector::All,
+                DimSelector::All
+            ]
+        )
+        .is_err());
+        // Contradictory predicates (C1 is in R1, not R2) → empty slice.
+        assert!(slice_dataset(
+            &ds,
+            &[
+                DimSelector::Value("C1".into()),
+                DimSelector::Value("R2".into()),
+                DimSelector::All
+            ]
+        )
+        .is_err());
+    }
+}

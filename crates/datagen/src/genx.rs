@@ -1,0 +1,227 @@
+//! GenX synthetic cubes (§VI-A).
+//!
+//! "We generated synthetic time series data for a certain number of base
+//! time series X. These are then summed to obtain the aggregated data for
+//! the levels above. To create the time series graph, we use three levels
+//! if X < 1,000, four levels for 1,000 ≤ X < 10,000, five levels for
+//! 10,000 ≤ X < 100,000 and six levels for X ≥ 100,000."
+//!
+//! The hierarchy is realized as a chain of functionally dependent
+//! dimensions (leaf → group → supergroup → …): a chain of `L − 1`
+//! dimensions yields a hyper graph with exactly `L` levels. Base series
+//! are independent SARIMA simulations (the paper notes in §VI-C that the
+//! synthetic series "were randomly generated and do not include
+//! correlations with respect to the dimensional attributes").
+
+use crate::noise::GaussianNoise;
+use crate::sarima_gen::{simulate_sarima, SarimaProcess};
+use fdc_cube::{Coord, Dataset, Dimension, FunctionalDependency, Schema};
+use fdc_forecast::{Granularity, TimeSeries};
+
+/// Specification of a synthetic GenX cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Number of base time series (the X of GenX).
+    pub base_count: usize,
+    /// Observations per series.
+    pub length: usize,
+    /// Seasonal period of the generating process.
+    pub seasonal_period: usize,
+    /// Granularity tag attached to the series.
+    pub granularity: Granularity,
+    /// Number of hyper-graph levels; `None` applies the paper's rule.
+    pub levels: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A quarterly-seasonal spec with the paper's level rule.
+    pub fn new(base_count: usize, length: usize, seed: u64) -> Self {
+        GenSpec {
+            base_count,
+            length,
+            seasonal_period: 4,
+            granularity: Granularity::Quarterly,
+            levels: None,
+            seed,
+        }
+    }
+
+    /// Alias of [`GenSpec::new`] emphasizing laptop-scale usage in docs.
+    pub fn small(base_count: usize, length: usize, seed: u64) -> Self {
+        GenSpec::new(base_count, length, seed)
+    }
+
+    /// The number of levels that will actually be used.
+    pub fn effective_levels(&self) -> usize {
+        self.levels.unwrap_or_else(|| paper_levels(self.base_count))
+    }
+}
+
+/// The paper's rule for the number of hyper-graph levels of GenX.
+pub fn paper_levels(base_count: usize) -> usize {
+    if base_count < 1_000 {
+        3
+    } else if base_count < 10_000 {
+        4
+    } else if base_count < 100_000 {
+        5
+    } else {
+        6
+    }
+}
+
+/// A generated cube: the data set plus the per-level group counts used to
+/// build the hierarchy (useful for diagnostics).
+#[derive(Debug, Clone)]
+pub struct GeneratedCube {
+    /// The materialized data set.
+    pub dataset: Dataset,
+    /// Cardinality of each hierarchy dimension, finest first.
+    pub level_cardinalities: Vec<usize>,
+}
+
+/// Generates a GenX cube.
+///
+/// # Panics
+/// Panics when `base_count == 0`, `length == 0`, or the level count is
+/// below 2 — programmer errors in benchmark setup, not runtime
+/// conditions.
+pub fn generate_cube(spec: &GenSpec) -> GeneratedCube {
+    assert!(spec.base_count > 0, "base_count must be positive");
+    assert!(spec.length > 0, "length must be positive");
+    let levels = spec.effective_levels();
+    assert!(levels >= 2, "a cube needs at least base + top level");
+    // A chain of (levels − 1) dimensions gives `levels` graph levels
+    // (base through top).
+    let dims = levels - 1;
+
+    // Cardinalities: geometric decrease from X down to a handful, e.g.
+    // X = 10_000, dims = 4 → [10_000, 464, 22, 2] (ratio X^(1/dims)).
+    let mut cards = Vec::with_capacity(dims);
+    let ratio = (spec.base_count as f64).powf(1.0 / dims as f64);
+    let mut c = spec.base_count as f64;
+    for _ in 0..dims {
+        cards.push((c.round() as usize).max(1));
+        c /= ratio;
+    }
+    cards[0] = spec.base_count;
+
+    // Dimensions finest (leaf, index 0) to coarsest, with FDs
+    // dim0 → dim1 → … Mapping: proportional index compression.
+    let mut dimensions = Vec::with_capacity(dims);
+    for (i, &card) in cards.iter().enumerate() {
+        let values = (0..card).map(|v| format!("L{i}V{v}")).collect();
+        dimensions.push(Dimension::new(format!("level{i}"), values));
+    }
+    let mut dependencies = Vec::with_capacity(dims.saturating_sub(1));
+    for i in 0..dims.saturating_sub(1) {
+        let from_card = cards[i];
+        let to_card = cards[i + 1];
+        let mapping = (0..from_card)
+            .map(|v| ((v as u64 * to_card as u64) / from_card as u64) as u32)
+            .collect();
+        dependencies.push(FunctionalDependency::new(i, i + 1, mapping));
+    }
+    let schema = Schema::new(dimensions, dependencies).expect("generated schema is valid");
+
+    // Base coordinates: leaf value v, ancestors forced by the FDs.
+    let mut noise = GaussianNoise::new(spec.seed);
+    let mut base = Vec::with_capacity(spec.base_count);
+    for v in 0..spec.base_count {
+        let mut coord = Vec::with_capacity(dims);
+        coord.push(v as u32);
+        for i in 0..dims.saturating_sub(1) {
+            let prev = coord[i] as u64;
+            coord.push(((prev * cards[i + 1] as u64) / cards[i] as u64) as u32);
+        }
+        let mut series_noise = noise.fork(v as u64);
+        let process = SarimaProcess::randomized(spec.seasonal_period, &mut series_noise);
+        let values = simulate_sarima(&process, spec.length, &mut series_noise);
+        base.push((
+            Coord::new(coord),
+            TimeSeries::new(values, spec.granularity),
+        ));
+    }
+
+    let dataset = Dataset::from_base(schema, base).expect("generated base data is valid");
+    GeneratedCube {
+        dataset,
+        level_cardinalities: cards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_level_rule() {
+        assert_eq!(paper_levels(10), 3);
+        assert_eq!(paper_levels(999), 3);
+        assert_eq!(paper_levels(1_000), 4);
+        assert_eq!(paper_levels(9_999), 4);
+        assert_eq!(paper_levels(10_000), 5);
+        assert_eq!(paper_levels(100_000), 6);
+    }
+
+    #[test]
+    fn small_cube_has_expected_structure() {
+        let cube = generate_cube(&GenSpec::new(16, 40, 1));
+        let g = cube.dataset.graph();
+        assert_eq!(g.base_nodes().len(), 16);
+        // 3 levels: base, groups, top.
+        assert_eq!(g.max_level() + 1, 3);
+        assert_eq!(cube.level_cardinalities[0], 16);
+        assert!(cube.level_cardinalities[1] < 16);
+    }
+
+    #[test]
+    fn levels_override_is_respected() {
+        let spec = GenSpec {
+            levels: Some(4),
+            ..GenSpec::new(27, 30, 2)
+        };
+        let cube = generate_cube(&spec);
+        assert_eq!(cube.dataset.graph().max_level() + 1, 4);
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let cube = generate_cube(&GenSpec::new(12, 24, 3));
+        let ds = &cube.dataset;
+        let top = ds.graph().top_node();
+        let expected: f64 = ds
+            .graph()
+            .base_nodes()
+            .iter()
+            .map(|&b| ds.series(b).values()[0])
+            .sum();
+        assert!((ds.series(top).values()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_cube(&GenSpec::new(8, 20, 42));
+        let b = generate_cube(&GenSpec::new(8, 20, 42));
+        for v in 0..a.dataset.node_count() {
+            assert_eq!(a.dataset.series(v).values(), b.dataset.series(v).values());
+        }
+        let c = generate_cube(&GenSpec::new(8, 20, 43));
+        assert_ne!(
+            a.dataset.series(0).values(),
+            c.dataset.series(0).values()
+        );
+    }
+
+    #[test]
+    fn all_series_positive_and_finite() {
+        let cube = generate_cube(&GenSpec::new(20, 48, 5));
+        for v in 0..cube.dataset.node_count() {
+            for x in cube.dataset.series(v).values() {
+                assert!(x.is_finite() && *x > 0.0);
+            }
+        }
+    }
+}

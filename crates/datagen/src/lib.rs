@@ -1,0 +1,32 @@
+//! # fdc-datagen
+//!
+//! Synthetic data generation for the reproduction (§VI-A of the paper).
+//!
+//! The paper evaluates on three real-world data sets — Tourism (Australian
+//! domestic tourism, 32 quarterly base series over purpose × state), Sales
+//! (27 monthly series from a market research company over products ×
+//! countries) and Energy (86 customers at hourly resolution from the
+//! Meregio project) — plus synthetic **GenX** cubes whose base series come
+//! from a SARIMA process simulated in R.
+//!
+//! The real data sets are proprietary or gated behind web downloads, so
+//! this crate provides **synthetic proxies** with matched shape (series
+//! counts, dimensions, granularity, hierarchy) and matched structure
+//! (cross-series correlation along dimensional attributes, seasonality at
+//! the natural period, differing noise levels). GenX is reproduced
+//! faithfully: independent SARIMA base series, with the paper's rule for
+//! the number of hyper-graph levels as a function of X.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod csv;
+pub mod genx;
+pub mod noise;
+pub mod proxies;
+pub mod sarima_gen;
+
+pub use csv::{export_csv, import_csv, CsvError};
+pub use genx::{generate_cube, paper_levels, GenSpec, GeneratedCube};
+pub use noise::GaussianNoise;
+pub use proxies::{energy_proxy, sales_proxy, tourism_proxy};
+pub use sarima_gen::{simulate_sarima, SarimaProcess};

@@ -1,0 +1,453 @@
+//! Configuration storage (§V): the two catalog tables of F²DB.
+//!
+//! "The first one stores the time series graph and model configuration
+//! (including model assignments, derivation schemes and corresponding
+//! weights), and the second table stores the forecast models itself
+//! including state and parameter values." Here the first table is the
+//! per-node [`CatalogEntry`] array, the second the [`StoredModel`] map;
+//! both serialize through the binary [`crate::codec`].
+
+use crate::codec::{Decoder, Encoder};
+use crate::maintenance::{MaintenancePolicy, MaintenanceStats};
+use crate::{F2dbError, Result};
+use fdc_cube::{derive_forecast, Configuration, Dataset, NodeId};
+use fdc_forecast::model::restore_model;
+use fdc_forecast::{FitOptions, ForecastModel};
+use std::collections::BTreeMap;
+
+/// Per-node configuration row: the derivation scheme serving the node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Source nodes whose model forecasts are combined.
+    pub scheme_sources: Vec<NodeId>,
+    /// Derivation weight `k` (maintained incrementally as time advances).
+    pub weight: f64,
+}
+
+/// A stored forecast model with its maintenance state.
+pub struct StoredModel {
+    /// The live model instance (kept up to date incrementally).
+    pub model: Box<dyn ForecastModel>,
+    /// Whether the model was marked invalid (parameters stale); lazily
+    /// re-estimated when a query references it.
+    pub invalid: bool,
+    /// Exponentially weighted one-step SMAPE at the model's node, driving
+    /// the threshold-based invalidation strategy.
+    pub rolling_error: f64,
+}
+
+impl std::fmt::Debug for StoredModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredModel")
+            .field("name", &self.model.name())
+            .field("invalid", &self.invalid)
+            .field("rolling_error", &self.rolling_error)
+            .finish()
+    }
+}
+
+/// The catalog: configuration rows + model store + the per-node history
+/// sums needed to update derivation weights incrementally.
+#[derive(Debug)]
+pub struct Catalog {
+    entries: Vec<Option<CatalogEntry>>,
+    models: BTreeMap<NodeId, StoredModel>,
+    history_sums: Vec<f64>,
+    advances: usize,
+}
+
+impl Catalog {
+    /// Builds a catalog from an advisor/baseline configuration.
+    ///
+    /// Every stored model is refit on the node's **full** history (the
+    /// advisor evaluated on the training split; deployment forecasts must
+    /// start at the current end of the data). Derivation weights are
+    /// recomputed over the full history accordingly.
+    pub fn from_configuration(
+        dataset: &Dataset,
+        configuration: &Configuration,
+        fit: &FitOptions,
+    ) -> Result<Self> {
+        let n = dataset.node_count();
+        let mut models = BTreeMap::new();
+        for (node, cm) in configuration.models() {
+            let model = cm.spec.fit(dataset.series(node), fit).map_err(|e| {
+                F2dbError::Cube(format!("refitting model at node {node}: {e}"))
+            })?;
+            models.insert(
+                node,
+                StoredModel {
+                    model,
+                    invalid: false,
+                    rolling_error: 0.0,
+                },
+            );
+        }
+        let history_sums: Vec<f64> = (0..n).map(|v| dataset.series(v).history_sum()).collect();
+        let mut entries = vec![None; n];
+        for (v, entry) in entries.iter_mut().enumerate() {
+            if let Some(scheme) = &configuration.estimate(v).scheme {
+                let h_s: f64 = scheme.sources.iter().map(|&s| history_sums[s]).sum();
+                let weight = if h_s.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    history_sums[v] / h_s
+                };
+                *entry = Some(CatalogEntry {
+                    scheme_sources: scheme.sources.clone(),
+                    weight,
+                });
+            }
+        }
+        Ok(Catalog {
+            entries,
+            models,
+            history_sums,
+            advances: 0,
+        })
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of stored models.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The configuration row of `node`.
+    pub fn entry(&self, node: NodeId) -> Option<&CatalogEntry> {
+        self.entries.get(node).and_then(|e| e.as_ref())
+    }
+
+    /// Whether the model at `node` is marked invalid.
+    pub fn is_invalid(&self, node: NodeId) -> bool {
+        self.models.get(&node).is_some_and(|m| m.invalid)
+    }
+
+    /// Computes the forecast of `node` from its scheme and the stored
+    /// models. `None` when the node has no scheme or a source model is
+    /// missing.
+    pub fn forecast(&self, node: NodeId, horizon: usize) -> Option<Vec<f64>> {
+        let entry = self.entry(node)?;
+        let forecasts: Vec<Vec<f64>> = entry
+            .scheme_sources
+            .iter()
+            .map(|s| self.models.get(s).map(|m| m.model.forecast(horizon)))
+            .collect::<Option<Vec<_>>>()?;
+        let refs: Vec<&[f64]> = forecasts.iter().map(|f| f.as_slice()).collect();
+        Some(derive_forecast(&refs, entry.weight))
+    }
+
+    /// Advances the catalog by one time stamp after the data set grew:
+    /// model states absorb their node's new actual value, rolling errors
+    /// update, derivation weights are refreshed from the new history
+    /// sums, and the invalidation policy is applied.
+    pub fn advance_time(
+        &mut self,
+        dataset: &Dataset,
+        last_index: usize,
+        policy: &MaintenancePolicy,
+        stats: &mut MaintenanceStats,
+    ) {
+        self.advances += 1;
+        // Model state updates (incremental, no re-estimation).
+        for (&node, stored) in self.models.iter_mut() {
+            let actual = dataset.series(node).values()[last_index];
+            let predicted = stored.model.forecast(1)[0];
+            let denom = (actual + predicted).abs();
+            let step_err = if denom < f64::EPSILON {
+                0.0
+            } else {
+                (actual - predicted).abs() / denom
+            };
+            stored.rolling_error = 0.8 * stored.rolling_error + 0.2 * step_err;
+            stored.model.update(actual);
+            stats.model_updates += 1;
+        }
+        // History sums and weights.
+        for (v, h) in self.history_sums.iter_mut().enumerate() {
+            *h += dataset.series(v).values()[last_index];
+        }
+        for (v, entry) in self.entries.iter_mut().enumerate() {
+            if let Some(e) = entry {
+                let h_s: f64 = e.scheme_sources.iter().map(|&s| self.history_sums[s]).sum();
+                e.weight = if h_s.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    self.history_sums[v] / h_s
+                };
+            }
+        }
+        // Invalidation.
+        match policy {
+            MaintenancePolicy::None => {}
+            MaintenancePolicy::TimeBased { every } => {
+                if *every > 0 && self.advances.is_multiple_of(*every) {
+                    for stored in self.models.values_mut() {
+                        if !stored.invalid {
+                            stored.invalid = true;
+                            stats.invalidations += 1;
+                        }
+                    }
+                }
+            }
+            MaintenancePolicy::ThresholdBased { smape_threshold } => {
+                for stored in self.models.values_mut() {
+                    if !stored.invalid && stored.rolling_error > *smape_threshold {
+                        stored.invalid = true;
+                        stats.invalidations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-estimates the model at `node` on its full current history and
+    /// clears the invalid flag (lazy maintenance, §V).
+    pub fn reestimate(&mut self, node: NodeId, dataset: &Dataset, fit: &FitOptions) -> Result<()> {
+        let stored = self
+            .models
+            .get_mut(&node)
+            .ok_or_else(|| F2dbError::Semantic(format!("no model at node {node}")))?;
+        stored
+            .model
+            .refit(dataset.series(node), fit)
+            .map_err(|e| F2dbError::Cube(format!("re-estimating node {node}: {e}")))?;
+        stored.invalid = false;
+        stored.rolling_error = 0.0;
+        Ok(())
+    }
+
+    /// Serializes the catalog.
+    pub fn encode(&self) -> bytes::Bytes {
+        let mut e = Encoder::with_header();
+        e.put_len(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                None => e.put_u8(0),
+                Some(en) => {
+                    e.put_u8(1);
+                    e.put_usize_slice(&en.scheme_sources);
+                    e.put_f64(en.weight);
+                }
+            }
+        }
+        e.put_len(self.models.len());
+        for (&node, stored) in &self.models {
+            e.put_u64(node as u64);
+            e.put_u8(stored.invalid as u8);
+            e.put_f64(stored.rolling_error);
+            e.put_model_state(&stored.model.state());
+        }
+        e.put_f64_slice(&self.history_sums);
+        e.put_u64(self.advances as u64);
+        e.finish()
+    }
+
+    /// Deserializes a catalog.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::with_header(bytes)?;
+        let n = d.get_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            match d.get_u8()? {
+                0 => entries.push(None),
+                1 => {
+                    let scheme_sources = d.get_usize_vec()?;
+                    let weight = d.get_f64()?;
+                    entries.push(Some(CatalogEntry {
+                        scheme_sources,
+                        weight,
+                    }));
+                }
+                t => return Err(F2dbError::Storage(format!("bad entry tag {t}"))),
+            }
+        }
+        let m = d.get_len()?;
+        let mut models = BTreeMap::new();
+        for _ in 0..m {
+            let node = d.get_u64()? as usize;
+            let invalid = d.get_u8()? != 0;
+            let rolling_error = d.get_f64()?;
+            let state = d.get_model_state()?;
+            let model = restore_model(&state)
+                .map_err(|e| F2dbError::Storage(format!("restoring model: {e}")))?;
+            models.insert(
+                node,
+                StoredModel {
+                    model,
+                    invalid,
+                    rolling_error,
+                },
+            );
+        }
+        let history_sums = d.get_f64_vec()?;
+        let advances = d.get_u64()? as usize;
+        if history_sums.len() != entries.len() {
+            return Err(F2dbError::Storage("inconsistent catalog arrays".into()));
+        }
+        Ok(Catalog {
+            entries,
+            models,
+            history_sums,
+            advances,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_cube::{ConfiguredModel, CubeSplit};
+    use fdc_forecast::ModelSpec;
+    use fdc_datagen::tourism_proxy;
+
+    fn catalog_fixture() -> (Dataset, Catalog) {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let mut cfg = Configuration::new(ds.node_count());
+        let top = ds.graph().top_node();
+        let model = ConfiguredModel::fit(
+            &split,
+            top,
+            &ModelSpec::default_for_period(4),
+            &FitOptions::default(),
+        )
+        .unwrap();
+        cfg.insert_model(top, model);
+        let all: Vec<NodeId> = (0..ds.node_count()).collect();
+        cfg.recompute_nodes(&ds, &split, &all);
+        let catalog = Catalog::from_configuration(&ds, &cfg, &FitOptions::default()).unwrap();
+        (ds, catalog)
+    }
+
+    #[test]
+    fn catalog_serves_every_configured_node() {
+        let (ds, catalog) = catalog_fixture();
+        assert_eq!(catalog.model_count(), 1);
+        for v in 0..ds.node_count() {
+            let fc = catalog.forecast(v, 4).expect("every node has a scheme");
+            assert_eq!(fc.len(), 4);
+            assert!(fc.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn weights_use_full_history() {
+        let (ds, catalog) = catalog_fixture();
+        let top = ds.graph().top_node();
+        let base = ds.graph().base_nodes()[0];
+        let entry = catalog.entry(base).unwrap();
+        assert_eq!(entry.scheme_sources, vec![top]);
+        let expect = ds.series(base).history_sum() / ds.series(top).history_sum();
+        assert!((entry.weight - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_time_updates_models_and_weights() {
+        let (mut ds, mut catalog) = catalog_fixture();
+        let top = ds.graph().top_node();
+        let obs_before = {
+            let m = catalog.models.get(&top).unwrap();
+            m.model.observations()
+        };
+        let new: Vec<(NodeId, f64)> = ds
+            .graph()
+            .base_nodes()
+            .iter()
+            .map(|&b| (b, 500.0))
+            .collect();
+        ds.advance_time(&new).unwrap();
+        let mut stats = MaintenanceStats::default();
+        catalog.advance_time(&ds, ds.series_len() - 1, &MaintenancePolicy::None, &mut stats);
+        assert_eq!(stats.model_updates, 1);
+        assert_eq!(
+            catalog.models.get(&top).unwrap().model.observations(),
+            obs_before + 1
+        );
+        // Weight of an equally-sized base on the total drifts toward 1/32.
+        let base = ds.graph().base_nodes()[0];
+        let e = catalog.entry(base).unwrap();
+        let expect = ds.series(base).history_sum() / ds.series(top).history_sum();
+        assert!((e.weight - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_based_policy_invalidates_periodically() {
+        let (mut ds, mut catalog) = catalog_fixture();
+        let policy = MaintenancePolicy::TimeBased { every: 2 };
+        let mut stats = MaintenanceStats::default();
+        for round in 1..=4 {
+            let new: Vec<(NodeId, f64)> = ds
+                .graph()
+                .base_nodes()
+                .iter()
+                .map(|&b| (b, 100.0))
+                .collect();
+            ds.advance_time(&new).unwrap();
+            catalog.advance_time(&ds, ds.series_len() - 1, &policy, &mut stats);
+            let top = ds.graph().top_node();
+            if round == 2 {
+                assert!(catalog.is_invalid(top));
+                // Re-estimate to observe the next invalidation.
+                catalog.reestimate(top, &ds, &FitOptions::default()).unwrap();
+                assert!(!catalog.is_invalid(top));
+            }
+        }
+        assert_eq!(stats.invalidations, 2);
+    }
+
+    #[test]
+    fn threshold_policy_reacts_to_bad_forecasts() {
+        let (mut ds, mut catalog) = catalog_fixture();
+        let policy = MaintenancePolicy::ThresholdBased {
+            smape_threshold: 0.15,
+        };
+        let mut stats = MaintenanceStats::default();
+        // Feed absurd values so the one-step error explodes. The rolling
+        // error is an EWMA with weight 0.2, so a single fully-wrong step
+        // (SMAPE ≈ 1) pushes it to ≈ 0.2 — above the threshold.
+        for _ in 0..2 {
+            let new: Vec<(NodeId, f64)> = ds
+                .graph()
+                .base_nodes()
+                .iter()
+                .map(|&b| (b, 1e6))
+                .collect();
+            ds.advance_time(&new).unwrap();
+            catalog.advance_time(&ds, ds.series_len() - 1, &policy, &mut stats);
+        }
+        assert!(catalog.is_invalid(ds.graph().top_node()));
+        assert!(stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (_, catalog) = catalog_fixture();
+        let bytes = catalog.encode();
+        let restored = Catalog::decode(&bytes).unwrap();
+        assert_eq!(restored.node_count(), catalog.node_count());
+        assert_eq!(restored.model_count(), catalog.model_count());
+        for v in 0..catalog.node_count() {
+            assert_eq!(restored.entry(v), catalog.entry(v));
+            assert_eq!(restored.forecast(v, 3), catalog.forecast(v, 3));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Catalog::decode(b"garbage").is_err());
+        let (_, catalog) = catalog_fixture();
+        let bytes = catalog.encode();
+        assert!(Catalog::decode(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn reestimate_unknown_node_fails() {
+        let (ds, mut catalog) = catalog_fixture();
+        assert!(catalog.reestimate(0, &ds, &FitOptions::default()).is_err());
+    }
+}

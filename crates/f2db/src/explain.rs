@@ -1,0 +1,108 @@
+//! `EXPLAIN` output: the plan of a forecast query.
+//!
+//! A forecast query never touches the base tables — it resolves to nodes
+//! of the time series graph, loads the models its derivation schemes
+//! reference and combines their forecasts (§V: "It, thus, finds the
+//! nodes, loads the necessary models and calculates the forecasts").
+//! `EXPLAIN` makes that plan visible: which nodes answer the query, what
+//! scheme kind serves each one, with which sources, weights and model
+//! maintenance states.
+
+use crate::query::AggregateFn;
+use fdc_cube::NodeId;
+
+/// One source of a derivation scheme in the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainSource {
+    /// Coordinate label of the source node.
+    pub label: String,
+    /// Whether the source model is currently marked invalid (the query
+    /// would trigger its lazy re-estimation).
+    pub invalid: bool,
+}
+
+/// One node of the query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRow {
+    /// The resolved graph node.
+    pub node: NodeId,
+    /// Coordinate label of the node.
+    pub label: String,
+    /// Scheme classification: direct / aggregation / disaggregation /
+    /// general.
+    pub scheme_kind: &'static str,
+    /// The scheme's sources.
+    pub sources: Vec<ExplainSource>,
+    /// The derivation weight `k`.
+    pub weight: f64,
+}
+
+/// The full plan of a forecast query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// Horizon in series steps.
+    pub horizon: usize,
+    /// Aggregate applied to the measure.
+    pub aggregate: AggregateFn,
+    /// Plan rows, one per resolved node.
+    pub rows: Vec<ExplainRow>,
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Forecast Plan (horizon: {} steps, aggregate: {:?})",
+            self.horizon, self.aggregate
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  -> node [{}] via {} (k = {:.6})",
+                row.label, row.scheme_kind, row.weight
+            )?;
+            for s in &row.sources {
+                writeln!(
+                    f,
+                    "       model @ [{}]{}",
+                    s.label,
+                    if s.invalid {
+                        "  (invalid: will re-estimate)"
+                    } else {
+                        ""
+                    }
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_plan() {
+        let report = ExplainReport {
+            horizon: 4,
+            aggregate: AggregateFn::Sum,
+            rows: vec![ExplainRow {
+                node: 7,
+                label: "*,R2,P4".into(),
+                scheme_kind: "disaggregation",
+                sources: vec![ExplainSource {
+                    label: "*,*,*".into(),
+                    invalid: true,
+                }],
+                weight: 0.25,
+            }],
+        };
+        let text = report.to_string();
+        assert!(text.contains("horizon: 4 steps"));
+        assert!(text.contains("*,R2,P4"));
+        assert!(text.contains("disaggregation"));
+        assert!(text.contains("will re-estimate"));
+        assert!(text.contains("0.250000"));
+    }
+}

@@ -1,0 +1,657 @@
+//! # fdc-f2db — the flash-forward database
+//!
+//! An embedded reimplementation of **F²DB** (§V of the paper; \[12\]), the
+//! PostgreSQL extension that stores a model configuration and processes
+//! forecast queries over it. The paper's architecture (Fig. 6) is
+//! reproduced with the same separation of concerns:
+//!
+//! * **Configuration storage** ([`catalog`]) — two catalog tables: one for
+//!   the time series graph + configuration (model assignments, derivation
+//!   schemes, weights), one for the forecast models themselves (state and
+//!   parameter values), persisted with a compact binary [`codec`];
+//! * **Forecast query processor** ([`parser`], [`query`], and
+//!   [`F2db::query`]) — a SQL dialect with the paper's `… AS OF now() +
+//!   '1 day'` horizon clause; a query is rewritten to nodes of the time
+//!   series graph, the necessary models are loaded and the forecasts
+//!   derived — *without* touching the base tables;
+//! * **Maintenance processor** ([`maintenance`] and [`F2db::insert_value`]) —
+//!   inserts are batched until a new value is available for every base
+//!   series, then time advances through the whole graph at once: model
+//!   states and derivation weights are updated incrementally, and models
+//!   are optionally marked invalid (time- or threshold-based strategy);
+//!   re-estimation is deferred until an invalid model is actually
+//!   referenced by a query.
+//!
+//! Substitution note (see DESIGN.md): the paper hosts this inside
+//! PostgreSQL; the embedded engine exercises the identical logic — what
+//! is stored, how queries resolve, when models are maintained — without
+//! the Postgres plumbing.
+
+//! ## Example
+//!
+//! ```
+//! use fdc_core::{Advisor, AdvisorOptions};
+//! use fdc_datagen::{generate_cube, GenSpec};
+//! use fdc_f2db::F2db;
+//!
+//! let cube = generate_cube(&GenSpec::new(8, 36, 2));
+//! let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default()).unwrap().run();
+//! let mut db = F2db::load(cube.dataset, &outcome.configuration).unwrap();
+//! let result = db
+//!     .query("SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'")
+//!     .unwrap();
+//! assert_eq!(result.rows[0].values.len(), 4);
+//! ```
+
+pub mod catalog;
+pub mod codec;
+pub mod explain;
+pub mod maintenance;
+pub mod parser;
+pub mod query;
+
+pub use catalog::{Catalog, CatalogEntry, StoredModel};
+pub use explain::{ExplainReport, ExplainRow, ExplainSource};
+pub use maintenance::{MaintenancePolicy, MaintenanceStats};
+pub use parser::parse_query;
+pub use query::{AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, Statement};
+
+use fdc_cube::{Configuration, Dataset, NodeId, NodeQuery};
+use fdc_forecast::FitOptions;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Errors raised by the database layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum F2dbError {
+    /// SQL syntax error.
+    Parse(String),
+    /// The query referenced unknown tables, dimensions or values.
+    Semantic(String),
+    /// Cube-level failure (misaligned inserts etc.).
+    Cube(String),
+    /// Persistence failure.
+    Storage(String),
+}
+
+impl std::fmt::Display for F2dbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            F2dbError::Parse(m) => write!(f, "parse error: {m}"),
+            F2dbError::Semantic(m) => write!(f, "semantic error: {m}"),
+            F2dbError::Cube(m) => write!(f, "cube error: {m}"),
+            F2dbError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for F2dbError {}
+
+impl From<fdc_cube::CubeError> for F2dbError {
+    fn from(e: fdc_cube::CubeError) -> Self {
+        F2dbError::Cube(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, F2dbError>;
+
+/// The embedded flash-forward database.
+pub struct F2db {
+    dataset: Dataset,
+    catalog: RwLock<Catalog>,
+    /// Batched inserts awaiting a complete next time stamp.
+    pending: HashMap<NodeId, f64>,
+    policy: MaintenancePolicy,
+    fit: FitOptions,
+    stats: MaintenanceStats,
+}
+
+impl F2db {
+    /// Loads a configuration produced by the advisor (or a baseline) into
+    /// the database: schemes and weights are stored, and each model is
+    /// refit on the node's *full* history so deployed forecasts start
+    /// from the current point in time.
+    pub fn load(dataset: Dataset, configuration: &Configuration) -> Result<Self> {
+        let catalog = Catalog::from_configuration(&dataset, configuration, &FitOptions::default())?;
+        Ok(F2db {
+            dataset,
+            catalog: RwLock::new(catalog),
+            pending: HashMap::new(),
+            policy: MaintenancePolicy::default(),
+            fit: FitOptions::default(),
+            stats: MaintenanceStats::default(),
+        })
+    }
+
+    /// Sets the maintenance (invalidation) policy.
+    pub fn with_policy(mut self, policy: MaintenancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the fit options used for lazy re-estimation.
+    pub fn with_fit_options(mut self, fit: FitOptions) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// The underlying data set.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Maintenance and query statistics.
+    pub fn stats(&self) -> &MaintenanceStats {
+        &self.stats
+    }
+
+    /// Number of models stored in the catalog.
+    pub fn model_count(&self) -> usize {
+        self.catalog.read().model_count()
+    }
+
+    /// Executes a semicolon-separated script of statements, stopping at
+    /// the first error. Returns one result per executed statement.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<QueryResult>> {
+        // Strip `--` comment lines first so a comment above a statement
+        // does not swallow it.
+        let cleaned: String = script
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("--"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut results = Vec::new();
+        for stmt in cleaned.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            results.push(self.execute(stmt)?);
+        }
+        Ok(results)
+    }
+
+    /// Executes a SQL statement (forecast query or insert).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match parse_query(sql)? {
+            Statement::Forecast(q) => self.run_forecast(&q),
+            Statement::Explain(_) => Err(F2dbError::Semantic(
+                "EXPLAIN statements return a plan; use F2db::explain".into(),
+            )),
+            Statement::Insert { values, measure } => {
+                self.insert_row(&values, measure)?;
+                Ok(QueryResult::empty())
+            }
+        }
+    }
+
+    /// Executes a forecast query (convenience wrapper around
+    /// [`F2db::execute`] that rejects non-query statements).
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        match parse_query(sql)? {
+            Statement::Forecast(q) => self.run_forecast(&q),
+            Statement::Explain(_) => Err(F2dbError::Semantic(
+                "EXPLAIN statements return a plan; use F2db::explain".into(),
+            )),
+            Statement::Insert { .. } => Err(F2dbError::Semantic(
+                "expected a forecast query, got an INSERT".into(),
+            )),
+        }
+    }
+
+    /// Explains how a forecast query would be answered: the nodes it
+    /// resolves to, each node's derivation scheme kind, sources, weight
+    /// and the models (with their maintenance state) that would serve it.
+    /// Accepts the query with or without a leading `EXPLAIN`.
+    pub fn explain(&self, sql: &str) -> Result<ExplainReport> {
+        let q = match parse_query(sql)? {
+            Statement::Forecast(q) | Statement::Explain(q) => q,
+            Statement::Insert { .. } => {
+                return Err(F2dbError::Semantic("cannot EXPLAIN an INSERT".into()));
+            }
+        };
+        let horizon = q
+            .horizon
+            .steps(self.dataset.series(0).granularity())
+            .ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "horizon unit {:?} is finer than the data granularity",
+                    q.horizon
+                ))
+            })?;
+        let nodes = self
+            .node_query(&q)?
+            .resolve(self.dataset.graph())
+            .map_err(|e| F2dbError::Semantic(e.to_string()))?;
+        let g = self.dataset.graph();
+        let catalog = self.catalog.read();
+        let mut rows = Vec::with_capacity(nodes.len());
+        for &n in &nodes {
+            let label = g.coord(n).display(g.schema());
+            match catalog.entry(n) {
+                Some(entry) => {
+                    let kind = match fdc_cube::derive::classify_scheme(
+                        &self.dataset,
+                        &entry.scheme_sources,
+                        n,
+                    ) {
+                        fdc_cube::SchemeKind::Direct => "direct",
+                        fdc_cube::SchemeKind::Aggregation => "aggregation",
+                        fdc_cube::SchemeKind::Disaggregation => "disaggregation",
+                        fdc_cube::SchemeKind::General => "general",
+                    };
+                    let sources = entry
+                        .scheme_sources
+                        .iter()
+                        .map(|&s| ExplainSource {
+                            label: g.coord(s).display(g.schema()),
+                            invalid: catalog.is_invalid(s),
+                        })
+                        .collect();
+                    rows.push(ExplainRow {
+                        node: n,
+                        label,
+                        scheme_kind: kind,
+                        sources,
+                        weight: entry.weight,
+                    });
+                }
+                None => {
+                    return Err(F2dbError::Semantic(format!(
+                        "node {label} has no derivation scheme in the configuration"
+                    )));
+                }
+            }
+        }
+        Ok(ExplainReport {
+            horizon,
+            aggregate: q.aggregate,
+            rows,
+        })
+    }
+
+    fn run_forecast(&mut self, q: &ForecastQuery) -> Result<QueryResult> {
+        let started = Instant::now();
+        let horizon = q
+            .horizon
+            .steps(self.dataset.series(0).granularity())
+            .ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "horizon unit {:?} is finer than the data granularity",
+                    q.horizon
+                ))
+            })?;
+        let node_query = self.node_query(q)?;
+        let nodes = node_query
+            .resolve(self.dataset.graph())
+            .map_err(|e| F2dbError::Semantic(e.to_string()))?;
+
+        // Lazy re-estimation: queries referencing invalid models trigger
+        // parameter re-estimation now (§V maintenance processor).
+        {
+            let mut catalog = self.catalog.write();
+            let mut referenced: Vec<NodeId> = Vec::new();
+            for &n in &nodes {
+                if let Some(entry) = catalog.entry(n) {
+                    referenced.extend(entry.scheme_sources.iter().copied());
+                }
+            }
+            referenced.sort_unstable();
+            referenced.dedup();
+            for s in referenced {
+                if catalog.is_invalid(s) {
+                    catalog.reestimate(s, &self.dataset, &self.fit)?;
+                    self.stats.reestimations += 1;
+                }
+            }
+        }
+
+        let catalog = self.catalog.read();
+        let mut rows = Vec::with_capacity(nodes.len());
+        let now = self.dataset.series(0).end();
+        for &n in &nodes {
+            let mut forecasts = catalog.forecast(n, horizon).ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "node {} has no derivation scheme in the configuration",
+                    self.dataset.graph().coord(n).display(self.dataset.graph().schema())
+                ))
+            })?;
+            if q.aggregate == query::AggregateFn::Avg {
+                // AVG = SUM / number of base series under the node (series
+                // are aligned, so the count is constant over time).
+                let count = self.dataset.graph().base_descendants(n).len().max(1) as f64;
+                for v in &mut forecasts {
+                    *v /= count;
+                }
+            }
+            rows.push(QueryRow {
+                node: n,
+                label: self
+                    .dataset
+                    .graph()
+                    .coord(n)
+                    .display(self.dataset.graph().schema()),
+                values: forecasts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (now + i as i64, v))
+                    .collect(),
+            });
+        }
+        drop(catalog);
+        self.stats.queries += 1;
+        self.stats.total_query_time += started.elapsed();
+        Ok(QueryResult { rows })
+    }
+
+    fn node_query(&self, q: &ForecastQuery) -> Result<NodeQuery> {
+        use fdc_cube::DimSelector;
+        let mut predicates: Vec<(&str, DimSelector)> = Vec::new();
+        for (dim, value) in &q.predicates {
+            predicates.push((dim.as_str(), DimSelector::Value(value.clone())));
+        }
+        for dim in &q.group_dims {
+            predicates.push((dim.as_str(), DimSelector::GroupBy));
+        }
+        NodeQuery::from_predicates(self.dataset.graph(), &predicates)
+            .map_err(|e| F2dbError::Semantic(e.to_string()))
+    }
+
+    /// Inserts one new observation for the base series identified by its
+    /// dimension values (in schema order). Returns `true` when the insert
+    /// completed a time stamp and the graph advanced.
+    pub fn insert_row(&mut self, dim_values: &[String], measure: f64) -> Result<bool> {
+        let schema = self.dataset.graph().schema();
+        if dim_values.len() != schema.dim_count() {
+            return Err(F2dbError::Semantic(format!(
+                "INSERT carries {} dimension values, schema has {}",
+                dim_values.len(),
+                schema.dim_count()
+            )));
+        }
+        let mut coord = Vec::with_capacity(dim_values.len());
+        for (d, value) in dim_values.iter().enumerate() {
+            let idx = schema.dimensions()[d].value_index(value).ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "unknown value {value} for dimension {}",
+                    schema.dimensions()[d].name()
+                ))
+            })?;
+            coord.push(idx);
+        }
+        let node = self
+            .dataset
+            .graph()
+            .node(&fdc_cube::Coord::new(coord))
+            .ok_or_else(|| F2dbError::Semantic("no base series for these values".into()))?;
+        self.insert_value(node, measure)
+    }
+
+    /// Inserts one new observation for a base node id. Inserts are
+    /// batched "until a new value is available for each base time series
+    /// for the next time stamp" (§V); then time advances through the
+    /// whole graph at once. Returns `true` when the graph advanced.
+    pub fn insert_value(&mut self, base_node: NodeId, measure: f64) -> Result<bool> {
+        if !self.dataset.graph().base_nodes().contains(&base_node) {
+            return Err(F2dbError::Semantic(format!(
+                "node {base_node} is not a base series"
+            )));
+        }
+        self.pending.insert(base_node, measure);
+        self.stats.inserts += 1;
+        if self.pending.len() < self.dataset.graph().base_nodes().len() {
+            return Ok(false);
+        }
+        self.advance_time()?;
+        Ok(true)
+    }
+
+    /// Number of inserts currently waiting for a complete time stamp.
+    pub fn pending_inserts(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn advance_time(&mut self) -> Result<()> {
+        let batch: Vec<(NodeId, f64)> = self.pending.drain().collect();
+        self.dataset.advance_time(&batch)?;
+        let last = self.dataset.series_len() - 1;
+        let mut catalog = self.catalog.write();
+        catalog.advance_time(&self.dataset, last, &self.policy, &mut self.stats);
+        self.stats.time_advances += 1;
+        Ok(())
+    }
+
+    /// Persists the catalog (configuration + model states) to a file.
+    pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
+        let bytes = self.catalog.read().encode();
+        std::fs::write(path, bytes).map_err(|e| F2dbError::Storage(e.to_string()))
+    }
+
+    /// Restores a database from a persisted catalog and the (current)
+    /// data set.
+    pub fn open_catalog(dataset: Dataset, path: &std::path::Path) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| F2dbError::Storage(e.to_string()))?;
+        let catalog = Catalog::decode(&bytes)?;
+        if catalog.node_count() != dataset.node_count() {
+            return Err(F2dbError::Storage(format!(
+                "catalog covers {} nodes, data set has {}",
+                catalog.node_count(),
+                dataset.node_count()
+            )));
+        }
+        Ok(F2db {
+            dataset,
+            catalog: RwLock::new(catalog),
+            pending: HashMap::new(),
+            policy: MaintenancePolicy::default(),
+            fit: FitOptions::default(),
+            stats: MaintenanceStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_core::{Advisor, AdvisorOptions};
+    use fdc_datagen::tourism_proxy;
+
+    fn small_db() -> F2db {
+        let ds = tourism_proxy(1);
+        let outcome = Advisor::new(
+            &ds,
+            AdvisorOptions {
+                parallelism: Some(2),
+                ..AdvisorOptions::default()
+            },
+        )
+        .unwrap()
+        .run();
+        F2db::load(ds, &outcome.configuration).unwrap()
+    }
+
+    #[test]
+    fn forecast_query_returns_horizon_rows() {
+        let mut db = small_db();
+        let result = db
+            .query("SELECT time, visitors FROM facts WHERE purpose = 'holiday' AND state = 'NSW' AS OF now() + '4 quarters'")
+            .unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows[0].values.len(), 4);
+        assert!(result.rows[0].values.iter().all(|(_, v)| v.is_finite()));
+        // Forecast time stamps continue the history.
+        assert_eq!(result.rows[0].values[0].0, 32);
+    }
+
+    #[test]
+    fn aggregate_query_resolves_aggregate_node() {
+        let mut db = small_db();
+        let result = db
+            .query("SELECT time, SUM(visitors) FROM facts WHERE state = 'QLD' GROUP BY time AS OF now() + '2 quarters'")
+            .unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert!(result.rows[0].label.contains('*'));
+    }
+
+    #[test]
+    fn group_by_dimension_returns_multiple_rows() {
+        let mut db = small_db();
+        let result = db
+            .query("SELECT time, SUM(visitors) FROM facts GROUP BY time, purpose AS OF now() + '1 quarter'")
+            .unwrap();
+        assert_eq!(result.rows.len(), 4);
+    }
+
+    #[test]
+    fn unknown_value_is_semantic_error() {
+        let mut db = small_db();
+        let err = db
+            .query("SELECT time, v FROM facts WHERE state = 'Nowhere' AS OF now() + '1 quarter'")
+            .unwrap_err();
+        assert!(matches!(err, F2dbError::Semantic(_)));
+    }
+
+    #[test]
+    fn inserts_batch_until_complete_then_advance() {
+        let mut db = small_db();
+        let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        let len_before = db.dataset().series_len();
+        for (i, &b) in base.iter().enumerate() {
+            let advanced = db.insert_value(b, 100.0).unwrap();
+            assert_eq!(advanced, i + 1 == base.len());
+        }
+        assert_eq!(db.dataset().series_len(), len_before + 1);
+        assert_eq!(db.pending_inserts(), 0);
+        assert_eq!(db.stats().time_advances, 1);
+    }
+
+    #[test]
+    fn insert_sql_statement_works() {
+        let mut db = small_db();
+        let r = db
+            .execute("INSERT INTO facts VALUES ('holiday', 'NSW', 123.0)")
+            .unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(db.pending_inserts(), 1);
+    }
+
+    #[test]
+    fn duplicate_pending_insert_overwrites() {
+        let mut db = small_db();
+        let b = db.dataset().graph().base_nodes()[0];
+        db.insert_value(b, 1.0).unwrap();
+        db.insert_value(b, 2.0).unwrap();
+        assert_eq!(db.pending_inserts(), 1);
+    }
+
+    #[test]
+    fn non_base_insert_is_rejected() {
+        let mut db = small_db();
+        let top = db.dataset().graph().top_node();
+        assert!(db.insert_value(top, 1.0).is_err());
+    }
+
+    #[test]
+    fn catalog_round_trips_through_disk() {
+        let db = small_db();
+        let path = std::env::temp_dir().join(format!("fdc_catalog_{}.bin", std::process::id()));
+        db.save_catalog(&path).unwrap();
+        let mut restored = F2db::open_catalog(db.dataset().clone(), &path).unwrap();
+        assert_eq!(restored.model_count(), db.model_count());
+        let result = restored
+            .query("SELECT time, v FROM facts AS OF now() + '2 quarters'")
+            .unwrap();
+        assert_eq!(result.rows.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn execute_script_runs_statements_in_order() {
+        let mut db = small_db();
+        let results = db
+            .execute_script(
+                "-- warm the cache
+                 INSERT INTO facts VALUES ('holiday', 'NSW', 10.0);
+                 SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '1 quarter';
+                 ",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].rows.is_empty());
+        assert_eq!(results[1].rows.len(), 1);
+        assert_eq!(db.pending_inserts(), 1);
+        // Errors stop the script.
+        assert!(db
+            .execute_script("SELECT time FROM facts AS OF now() + '1 quarter'; BOGUS;")
+            .is_err());
+    }
+
+    #[test]
+    fn avg_aggregate_divides_by_base_count() {
+        let mut db = small_db();
+        let sum = db
+            .query("SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '2 quarters'")
+            .unwrap();
+        let avg = db
+            .query("SELECT time, AVG(visitors) FROM facts GROUP BY time AS OF now() + '2 quarters'")
+            .unwrap();
+        let n = db.dataset().graph().base_nodes().len() as f64;
+        for (s, a) in sum.rows[0].values.iter().zip(&avg.rows[0].values) {
+            assert!((s.1 / n - a.1).abs() < 1e-9, "{} vs {}", s.1 / n, a.1);
+        }
+    }
+
+    #[test]
+    fn explain_describes_the_plan() {
+        let db = small_db();
+        let report = db
+            .explain("EXPLAIN SELECT time, SUM(visitors) FROM facts WHERE state = 'NSW' GROUP BY time AS OF now() + '4 quarters'")
+            .unwrap();
+        assert_eq!(report.horizon, 4);
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert!(row.label.contains("NSW"));
+        assert!(!row.sources.is_empty());
+        assert!(row.weight.is_finite());
+        assert!(
+            ["direct", "aggregation", "disaggregation", "general"]
+                .contains(&row.scheme_kind)
+        );
+        // Rendered plan mentions the node and scheme.
+        let text = report.to_string();
+        assert!(text.contains("NSW"));
+        assert!(text.contains(row.scheme_kind));
+        // explain() also accepts the query without the EXPLAIN prefix.
+        let same = db
+            .explain("SELECT time, SUM(visitors) FROM facts WHERE state = 'NSW' GROUP BY time AS OF now() + '4 quarters'")
+            .unwrap();
+        assert_eq!(same, report);
+    }
+
+    #[test]
+    fn execute_rejects_explain_with_hint() {
+        let mut db = small_db();
+        let err = db
+            .execute("EXPLAIN SELECT time, v FROM facts AS OF now() + '1 quarter'")
+            .unwrap_err();
+        assert!(matches!(err, F2dbError::Semantic(_)));
+        assert!(db.explain("INSERT INTO facts VALUES ('a', 1.0)").is_err());
+    }
+
+    #[test]
+    fn queries_are_fast_because_precomputed() {
+        let mut db = small_db();
+        // Warm up, then measure: a forecast query must not scan base data.
+        db.query("SELECT time, v FROM facts AS OF now() + '1 quarter'")
+            .unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            db.query("SELECT time, v FROM facts AS OF now() + '1 quarter'")
+                .unwrap();
+        }
+        let avg = start.elapsed() / 100;
+        assert!(avg < std::time::Duration::from_millis(5), "avg {avg:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Maintenance policies and statistics (§V).
+//!
+//! Model maintenance has a cheap and an expensive part: updating the
+//! model *state* with each new value is incremental and always performed;
+//! *parameter re-estimation* is expensive and therefore deferred — models
+//! are only **marked invalid** by a policy, and re-estimated lazily when
+//! a query actually references them ("with this approach we reduce
+//! maintenance overhead by delaying parameter reestimation until the
+//! model is actually referenced by a query").
+
+use std::time::Duration;
+
+/// When to mark stored models invalid (cf. \[12\] for the strategies).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenancePolicy {
+    /// Never invalidate (state updates only).
+    None,
+    /// Invalidate all models every `every` time advances.
+    TimeBased {
+        /// Invalidation period in time stamps.
+        every: usize,
+    },
+    /// Invalidate a model when its rolling one-step SMAPE exceeds the
+    /// threshold.
+    ThresholdBased {
+        /// Rolling-error threshold in `[0, 1]`.
+        smape_threshold: f64,
+    },
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy::ThresholdBased {
+            smape_threshold: 0.25,
+        }
+    }
+}
+
+/// Counters describing the database's maintenance and query activity —
+/// the quantities behind the paper's Fig. 9(b) experiment.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceStats {
+    /// Forecast queries processed.
+    pub queries: usize,
+    /// Insert statements processed.
+    pub inserts: usize,
+    /// Completed time advances (batched inserts).
+    pub time_advances: usize,
+    /// Incremental model state updates.
+    pub model_updates: usize,
+    /// Models marked invalid by the policy.
+    pub invalidations: usize,
+    /// Lazy parameter re-estimations triggered by queries.
+    pub reestimations: usize,
+    /// Total wall time spent answering forecast queries.
+    pub total_query_time: Duration,
+}
+
+impl MaintenanceStats {
+    /// Average forecast query latency.
+    pub fn avg_query_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_query_time / self.queries as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_threshold_based() {
+        assert!(matches!(
+            MaintenancePolicy::default(),
+            MaintenancePolicy::ThresholdBased { .. }
+        ));
+    }
+
+    #[test]
+    fn avg_query_time_handles_zero_queries() {
+        let stats = MaintenanceStats::default();
+        assert_eq!(stats.avg_query_time(), Duration::ZERO);
+        let stats = MaintenanceStats {
+            queries: 4,
+            total_query_time: Duration::from_millis(8),
+            ..MaintenanceStats::default()
+        };
+        assert_eq!(stats.avg_query_time(), Duration::from_millis(2));
+    }
+}

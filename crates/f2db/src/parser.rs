@@ -1,0 +1,463 @@
+//! Hand-rolled tokenizer and recursive-descent parser for the forecast
+//! query dialect.
+//!
+//! Supported grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement := forecast | insert
+//! forecast  := SELECT item (',' item)* FROM ident
+//!              (WHERE pred (AND pred)*)?
+//!              (GROUP BY group (',' group)*)?
+//!              AS OF NOW '(' ')' '+' STRING
+//! item      := ident | SUM '(' ident ')'
+//! pred      := ident '=' STRING
+//! group     := ident                  -- `time` marks plain aggregation
+//! insert    := INSERT INTO ident VALUES '(' STRING (',' STRING)* ',' NUMBER ')'
+//! ```
+//!
+//! The AS OF string holds the horizon, e.g. `'1 day'`, `'4 quarters'` or
+//! `'6 steps'`.
+
+use crate::query::{AggregateFn, ForecastQuery, HorizonSpec, Statement, TimeUnit};
+use crate::{F2dbError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Number(f64),
+    Comma,
+    LParen,
+    RParen,
+    Equals,
+    Plus,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Equals);
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+            }
+            ';' => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(F2dbError::Parse("unterminated string literal".into()));
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = s
+                    .parse()
+                    .map_err(|_| F2dbError::Parse(format!("bad number literal: {s}")))?;
+                tokens.push(Token::Number(v));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => {
+                return Err(F2dbError::Parse(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| F2dbError::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(F2dbError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<()> {
+        let t = self.next()?;
+        if t == token {
+            Ok(())
+        } else {
+            Err(F2dbError::Parse(format!(
+                "expected {token:?}, found {t:?}"
+            )))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(F2dbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Str(s) => Ok(s),
+            other => Err(F2dbError::Parse(format!(
+                "expected string literal, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parses one SQL statement of the dialect.
+pub fn parse_query(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    if p.peek_keyword("insert") {
+        parse_insert(&mut p)
+    } else if p.peek_keyword("explain") {
+        p.next()?;
+        match parse_forecast(&mut p)? {
+            Statement::Forecast(q) => Ok(Statement::Explain(q)),
+            other => Ok(other),
+        }
+    } else {
+        parse_forecast(&mut p)
+    }
+}
+
+fn parse_insert(p: &mut Parser) -> Result<Statement> {
+    p.expect_keyword("insert")?;
+    p.expect_keyword("into")?;
+    let _table = p.ident()?;
+    p.expect_keyword("values")?;
+    p.expect(Token::LParen)?;
+    let mut values = Vec::new();
+    let measure = loop {
+        match p.next()? {
+            Token::Str(s) => {
+                values.push(s);
+                match p.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => {
+                        return Err(F2dbError::Parse(
+                            "INSERT must end with the numeric measure".into(),
+                        ));
+                    }
+                    other => {
+                        return Err(F2dbError::Parse(format!("expected `,`, found {other:?}")));
+                    }
+                }
+            }
+            Token::Number(v) => {
+                p.expect(Token::RParen)?;
+                break v;
+            }
+            other => {
+                return Err(F2dbError::Parse(format!(
+                    "expected value literal, found {other:?}"
+                )));
+            }
+        }
+    };
+    if values.is_empty() {
+        return Err(F2dbError::Parse(
+            "INSERT needs at least one dimension value".into(),
+        ));
+    }
+    Ok(Statement::Insert { values, measure })
+}
+
+fn parse_forecast(p: &mut Parser) -> Result<Statement> {
+    p.expect_keyword("select")?;
+    let mut select = Vec::new();
+    let mut aggregate = AggregateFn::Sum;
+    loop {
+        let item = p.ident()?;
+        if item.eq_ignore_ascii_case("sum") || item.eq_ignore_ascii_case("avg") {
+            p.expect(Token::LParen)?;
+            let inner = p.ident()?;
+            p.expect(Token::RParen)?;
+            if item.eq_ignore_ascii_case("avg") {
+                aggregate = AggregateFn::Avg;
+            }
+            select.push(format!("{}({inner})", item.to_ascii_uppercase()));
+        } else {
+            select.push(item);
+        }
+        match p.peek() {
+            Some(Token::Comma) => {
+                p.next()?;
+            }
+            _ => break,
+        }
+    }
+    p.expect_keyword("from")?;
+    let table = p.ident()?;
+
+    let mut predicates = Vec::new();
+    if p.peek_keyword("where") {
+        p.next()?;
+        loop {
+            let dim = p.ident()?;
+            p.expect(Token::Equals)?;
+            let value = p.string()?;
+            predicates.push((dim, value));
+            if p.peek_keyword("and") {
+                p.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+
+    let mut group_dims = Vec::new();
+    if p.peek_keyword("group") {
+        p.next()?;
+        p.expect_keyword("by")?;
+        loop {
+            let g = p.ident()?;
+            if !g.eq_ignore_ascii_case("time") {
+                group_dims.push(g);
+            }
+            match p.peek() {
+                Some(Token::Comma) => {
+                    p.next()?;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    p.expect_keyword("as")?;
+    p.expect_keyword("of")?;
+    p.expect_keyword("now")?;
+    p.expect(Token::LParen)?;
+    p.expect(Token::RParen)?;
+    p.expect(Token::Plus)?;
+    let horizon_str = p.string()?;
+    let horizon = parse_horizon(&horizon_str)?;
+
+    if p.peek().is_some() {
+        return Err(F2dbError::Parse("trailing tokens after AS OF clause".into()));
+    }
+    Ok(Statement::Forecast(ForecastQuery {
+        select,
+        table,
+        predicates,
+        group_dims,
+        horizon,
+        aggregate,
+    }))
+}
+
+/// Parses the horizon string of the AS OF clause, e.g. `1 day`,
+/// `4 quarters` or `6 steps`.
+pub fn parse_horizon(s: &str) -> Result<HorizonSpec> {
+    let mut parts = s.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| F2dbError::Parse("empty horizon".into()))?
+        .parse()
+        .map_err(|_| F2dbError::Parse(format!("bad horizon quantity in `{s}`")))?;
+    if n == 0 {
+        return Err(F2dbError::Parse("horizon must be positive".into()));
+    }
+    let unit_word = parts
+        .next()
+        .ok_or_else(|| F2dbError::Parse(format!("missing horizon unit in `{s}`")))?
+        .to_ascii_lowercase();
+    if parts.next().is_some() {
+        return Err(F2dbError::Parse(format!("malformed horizon `{s}`")));
+    }
+    let unit = match unit_word.trim_end_matches('s') {
+        "step" => return Ok(HorizonSpec::Steps(n)),
+        "hour" => TimeUnit::Hour,
+        "day" => TimeUnit::Day,
+        "week" => TimeUnit::Week,
+        "month" => TimeUnit::Month,
+        "quarter" => TimeUnit::Quarter,
+        "year" => TimeUnit::Year,
+        other => {
+            return Err(F2dbError::Parse(format!("unknown horizon unit `{other}`")));
+        }
+    };
+    Ok(HorizonSpec::Units { n, unit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forecast(sql: &str) -> ForecastQuery {
+        match parse_query(sql).unwrap() {
+            Statement::Forecast(q) => q,
+            other => panic!("expected forecast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query1_of_figure1() {
+        let q = forecast(
+            "SELECT time, sales FROM facts WHERE product = 'P4' AND city = 'C4' AS OF now() + '1 day'",
+        );
+        assert_eq!(q.select, vec!["time", "sales"]);
+        assert_eq!(q.table, "facts");
+        assert_eq!(
+            q.predicates,
+            vec![
+                ("product".to_string(), "P4".to_string()),
+                ("city".to_string(), "C4".to_string())
+            ]
+        );
+        assert!(q.group_dims.is_empty());
+        assert_eq!(
+            q.horizon,
+            HorizonSpec::Units {
+                n: 1,
+                unit: TimeUnit::Day
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query2_of_figure1() {
+        let q = forecast(
+            "SELECT time, SUM(sales) FROM facts WHERE product = 'P4' AND region = 'R2' GROUP BY time AS OF now() + '1 day'",
+        );
+        assert_eq!(q.select, vec!["time", "SUM(sales)"]);
+        assert!(q.group_dims.is_empty(), "GROUP BY time is aggregation only");
+    }
+
+    #[test]
+    fn group_by_dimension_is_captured() {
+        let q = forecast(
+            "SELECT time, SUM(sales) FROM facts GROUP BY time, region AS OF now() + '2 days'",
+        );
+        assert_eq!(q.group_dims, vec!["region"]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = forecast("select time, v from facts where a = 'x' as of NOW() + '3 steps'");
+        assert_eq!(q.horizon, HorizonSpec::Steps(3));
+        assert_eq!(q.predicates[0].0, "a");
+    }
+
+    #[test]
+    fn parses_insert() {
+        match parse_query("INSERT INTO facts VALUES ('C1', 'R1', 'P2', 12.5)").unwrap() {
+            Statement::Insert { values, measure } => {
+                assert_eq!(values, vec!["C1", "R1", "P2"]);
+                assert_eq!(measure, 12.5);
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn horizon_units_singular_and_plural() {
+        assert_eq!(
+            parse_horizon("4 quarters").unwrap(),
+            HorizonSpec::Units {
+                n: 4,
+                unit: TimeUnit::Quarter
+            }
+        );
+        assert_eq!(
+            parse_horizon("1 quarter").unwrap(),
+            HorizonSpec::Units {
+                n: 1,
+                unit: TimeUnit::Quarter
+            }
+        );
+        assert_eq!(parse_horizon("10 steps").unwrap(), HorizonSpec::Steps(10));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT time FROM facts").is_err()); // no AS OF
+        assert!(parse_query("SELECT time FROM facts AS OF now() + '0 days'").is_err());
+        assert!(parse_query("SELECT time FROM facts AS OF now() + 'soon'").is_err());
+        assert!(parse_query("SELECT time FROM facts AS OF now() + '1 lightyear'").is_err());
+        assert!(parse_query("SELECT time FROM facts WHERE a = 'x' AS OF now() + '1 day' extra").is_err());
+        assert!(parse_query("INSERT INTO facts VALUES ()").is_err());
+        assert!(parse_query("INSERT INTO facts VALUES ('a')").is_err());
+        assert!(parse_query("SELECT 'unterminated FROM facts").is_err());
+        assert!(parse_query("SELECT ti@me FROM facts").is_err());
+    }
+
+    #[test]
+    fn number_tokenizer_handles_floats() {
+        match parse_query("INSERT INTO t VALUES ('a', -3.5e2)").unwrap() {
+            Statement::Insert { measure, .. } => assert_eq!(measure, -350.0),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Query AST and results for the forecast query dialect.
+
+use fdc_cube::NodeId;
+use fdc_forecast::Granularity;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A forecast query (`SELECT … AS OF now() + '…'`).
+    Forecast(ForecastQuery),
+    /// `EXPLAIN SELECT …` — describe how the query would be answered
+    /// (resolved nodes, derivation schemes, models) without executing it.
+    Explain(ForecastQuery),
+    /// An insert of one base observation
+    /// (`INSERT INTO facts VALUES ('C1', 'R1', 'P2', 12.5)`).
+    Insert {
+        /// Dimension value labels in schema order.
+        values: Vec<String>,
+        /// The measure value.
+        measure: f64,
+    },
+}
+
+/// The aggregate applied to the measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregateFn {
+    /// SUM — the cube's native aggregation (forecasts derive directly).
+    #[default]
+    Sum,
+    /// AVG — derived from the SUM forecast divided by the number of base
+    /// series under the node (exact for aligned cubes).
+    Avg,
+}
+
+/// A forecast query in the shape of Fig. 1:
+///
+/// ```sql
+/// SELECT time, SUM(sales) FROM facts
+/// WHERE product = 'P4' AND region = 'R2'
+/// GROUP BY time
+/// AS OF now() + '1 day'
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastQuery {
+    /// Raw select items (informational; the measure is implied).
+    pub select: Vec<String>,
+    /// The fact table name (informational; one cube per database).
+    pub table: String,
+    /// Equality predicates `dimension = 'value'`.
+    pub predicates: Vec<(String, String)>,
+    /// Dimensions listed in GROUP BY besides `time` (query expansion).
+    pub group_dims: Vec<String>,
+    /// The forecast horizon of the AS OF clause.
+    pub horizon: HorizonSpec,
+    /// The aggregate applied to the measure (SUM by default).
+    pub aggregate: AggregateFn,
+}
+
+/// Time units accepted in the AS OF clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeUnit {
+    /// Hours.
+    Hour,
+    /// Days.
+    Day,
+    /// Weeks.
+    Week,
+    /// Months.
+    Month,
+    /// Quarters.
+    Quarter,
+    /// Years.
+    Year,
+}
+
+/// The horizon of a forecast query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonSpec {
+    /// A raw number of series steps (`'3 steps'`).
+    Steps(usize),
+    /// A calendar quantity (`'1 day'`), converted against the data's
+    /// granularity.
+    Units {
+        /// Quantity.
+        n: usize,
+        /// Unit.
+        unit: TimeUnit,
+    },
+}
+
+impl HorizonSpec {
+    /// Converts the horizon into a number of series steps for the given
+    /// granularity. Returns `None` when the unit is finer than the
+    /// granularity (e.g. hours over monthly data).
+    pub fn steps(&self, granularity: Granularity) -> Option<usize> {
+        match *self {
+            HorizonSpec::Steps(n) => Some(n),
+            HorizonSpec::Units { n, unit } => {
+                let per_unit: Option<usize> = match (granularity, unit) {
+                    (Granularity::Hourly, TimeUnit::Hour) => Some(1),
+                    (Granularity::Hourly, TimeUnit::Day) => Some(24),
+                    (Granularity::Hourly, TimeUnit::Week) => Some(168),
+                    (Granularity::Daily, TimeUnit::Day) => Some(1),
+                    (Granularity::Daily, TimeUnit::Week) => Some(7),
+                    (Granularity::Weekly, TimeUnit::Week) => Some(1),
+                    (Granularity::Weekly, TimeUnit::Year) => Some(52),
+                    (Granularity::Monthly, TimeUnit::Month) => Some(1),
+                    (Granularity::Monthly, TimeUnit::Quarter) => Some(3),
+                    (Granularity::Monthly, TimeUnit::Year) => Some(12),
+                    (Granularity::Quarterly, TimeUnit::Quarter) => Some(1),
+                    (Granularity::Quarterly, TimeUnit::Year) => Some(4),
+                    (Granularity::Yearly, TimeUnit::Year) => Some(1),
+                    _ => None,
+                };
+                per_unit.map(|p| p * n)
+            }
+        }
+    }
+}
+
+/// One result row: the forecasts of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// The graph node answering the query.
+    pub node: NodeId,
+    /// Human-readable coordinate label (e.g. `holiday,NSW` or `*,QLD`).
+    pub label: String,
+    /// `(logical time, forecast value)` pairs.
+    pub values: Vec<(i64, f64)>,
+}
+
+/// Result of a statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Result rows (empty for inserts).
+    pub rows: Vec<QueryRow>,
+}
+
+impl QueryResult {
+    /// An empty result (inserts).
+    pub fn empty() -> Self {
+        QueryResult { rows: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_conversion_matches_granularity() {
+        assert_eq!(
+            HorizonSpec::Units {
+                n: 1,
+                unit: TimeUnit::Day
+            }
+            .steps(Granularity::Hourly),
+            Some(24)
+        );
+        assert_eq!(
+            HorizonSpec::Units {
+                n: 2,
+                unit: TimeUnit::Quarter
+            }
+            .steps(Granularity::Monthly),
+            Some(6)
+        );
+        assert_eq!(
+            HorizonSpec::Units {
+                n: 1,
+                unit: TimeUnit::Year
+            }
+            .steps(Granularity::Quarterly),
+            Some(4)
+        );
+        assert_eq!(HorizonSpec::Steps(5).steps(Granularity::Monthly), Some(5));
+    }
+
+    #[test]
+    fn finer_units_than_granularity_are_rejected() {
+        assert_eq!(
+            HorizonSpec::Units {
+                n: 3,
+                unit: TimeUnit::Hour
+            }
+            .steps(Granularity::Monthly),
+            None
+        );
+        assert_eq!(
+            HorizonSpec::Units {
+                n: 1,
+                unit: TimeUnit::Day
+            }
+            .steps(Granularity::Quarterly),
+            None
+        );
+    }
+}

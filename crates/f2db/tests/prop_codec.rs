@@ -1,0 +1,114 @@
+//! Property-based tests of the catalog codec and the SQL parser.
+
+use fdc_f2db::codec::{Decoder, Encoder};
+use fdc_f2db::parser::{parse_horizon, parse_query};
+use fdc_f2db::query::{HorizonSpec, Statement};
+use fdc_forecast::{ModelSpec, ModelState, SeasonalKind};
+use proptest::prelude::*;
+
+fn model_state_strategy() -> impl Strategy<Value = ModelState> {
+    let spec = prop_oneof![
+        Just(ModelSpec::Ses),
+        Just(ModelSpec::Holt),
+        (2usize..24, prop_oneof![
+            Just(SeasonalKind::Additive),
+            Just(SeasonalKind::Multiplicative)
+        ])
+            .prop_map(|(period, seasonal)| ModelSpec::HoltWinters { period, seasonal }),
+        (0usize..3, 0usize..2, 0usize..3)
+            .prop_map(|(p, d, q)| ModelSpec::Arima { p, d, q }),
+        ((0usize..2, 0usize..2, 0usize..2), (0usize..2, 0usize..2, 0usize..2), 2usize..13)
+            .prop_map(|(order, seasonal, period)| ModelSpec::Sarima { order, seasonal, period }),
+    ];
+    (
+        spec,
+        proptest::collection::vec(-1e6f64..1e6, 0..8),
+        proptest::collection::vec(-1e6f64..1e6, 0..32),
+        0usize..100_000,
+    )
+        .prop_map(|(spec, params, state, observations)| ModelState {
+            spec,
+            params,
+            state,
+            observations,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary model states survive the binary codec bit-exactly.
+    #[test]
+    fn model_state_codec_round_trip(states in proptest::collection::vec(model_state_strategy(), 1..8)) {
+        let mut e = Encoder::with_header();
+        for s in &states {
+            e.put_model_state(s);
+        }
+        let bytes = e.finish();
+        let mut d = Decoder::with_header(&bytes).unwrap();
+        for s in &states {
+            prop_assert_eq!(&d.get_model_state().unwrap(), s);
+        }
+        prop_assert!(d.is_empty());
+    }
+
+    /// Truncating an encoded stream anywhere never panics — it errors.
+    #[test]
+    fn truncated_streams_error_gracefully(
+        state in model_state_strategy(),
+        cut in 0usize..64,
+    ) {
+        let mut e = Encoder::with_header();
+        e.put_model_state(&state);
+        let bytes = e.finish();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        match Decoder::with_header(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(mut d) => {
+                // Must not panic; may error or (for cuts beyond the state)
+                // succeed.
+                let _ = d.get_model_state();
+            }
+        }
+    }
+
+    /// Generated forecast queries parse to the expected structure.
+    #[test]
+    fn generated_queries_parse(
+        dims in proptest::collection::vec(("[a-z]{1,8}", "[A-Za-z0-9]{1,8}"), 0..4),
+        n in 1usize..50,
+    ) {
+        let mut sql = String::from("SELECT time, SUM(m) FROM facts");
+        for (i, (d, v)) in dims.iter().enumerate() {
+            sql.push_str(if i == 0 { " WHERE " } else { " AND " });
+            sql.push_str(&format!("{d} = '{v}'"));
+        }
+        sql.push_str(&format!(" AS OF now() + '{n} steps'"));
+        match parse_query(&sql).unwrap() {
+            Statement::Forecast(q) => {
+                prop_assert_eq!(q.predicates.len(), dims.len());
+                prop_assert_eq!(q.horizon, HorizonSpec::Steps(n));
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Horizon strings round-trip through formatting for all units.
+    #[test]
+    fn horizon_parser_accepts_all_units(n in 1usize..1000) {
+        for unit in ["hour", "day", "week", "month", "quarter", "year", "step"] {
+            let plural = format!("{n} {unit}s");
+            let parsed = parse_horizon(&plural).unwrap();
+            match parsed {
+                HorizonSpec::Steps(k) => prop_assert_eq!(k, n),
+                HorizonSpec::Units { n: k, .. } => prop_assert_eq!(k, n),
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse_query(&input);
+    }
+}

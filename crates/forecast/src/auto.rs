@@ -1,0 +1,276 @@
+//! Automatic ARIMA order selection by corrected AIC.
+//!
+//! Complements [`crate::selection`] (which picks between model
+//! *families*) with a search over the `(p, d, q)(P, D, Q)` structure of
+//! the ARIMA family itself — the textbook `auto.arima` workflow reduced
+//! to the small orders that matter in practice:
+//!
+//! 1. pick `d` (and seasonal `D`) by variance reduction of differencing,
+//! 2. grid over small `(p, q)` / `(P, Q)` orders,
+//! 3. score each candidate with AICc computed from the CSS residual
+//!    variance, and
+//! 4. return the winner fitted on the full series.
+
+use crate::arima::{Sarima, SeasonalOrder};
+use crate::model::{FitOptions, ForecastError};
+use crate::series::TimeSeries;
+use crate::ArimaOrder;
+
+/// Result of an automatic order search.
+pub struct AutoArimaReport {
+    /// The winning fitted model.
+    pub model: Sarima,
+    /// Winning non-seasonal order.
+    pub order: ArimaOrder,
+    /// Winning seasonal order.
+    pub seasonal: SeasonalOrder,
+    /// AICc of the winner.
+    pub aicc: f64,
+    /// All evaluated candidates: `(order, seasonal, aicc)`.
+    pub candidates: Vec<(ArimaOrder, SeasonalOrder, f64)>,
+}
+
+/// Search bounds for [`auto_arima`].
+#[derive(Debug, Clone)]
+pub struct AutoArimaOptions {
+    /// Maximum non-seasonal AR order.
+    pub max_p: usize,
+    /// Maximum non-seasonal MA order.
+    pub max_q: usize,
+    /// Maximum regular differencing.
+    pub max_d: usize,
+    /// Seasonal period (1 disables the seasonal search).
+    pub period: usize,
+    /// Maximum seasonal AR/MA order.
+    pub max_seasonal: usize,
+    /// Fitting options for each candidate.
+    pub fit: FitOptions,
+}
+
+impl Default for AutoArimaOptions {
+    fn default() -> Self {
+        AutoArimaOptions {
+            max_p: 2,
+            max_q: 2,
+            max_d: 2,
+            period: 1,
+            max_seasonal: 1,
+            fit: FitOptions::default(),
+        }
+    }
+}
+
+/// Chooses the differencing order `d ≤ max_d` by the classic rule of
+/// thumb: difference while the lag-`lag` sample autocorrelation stays
+/// above 0.9 (near-unit-root behaviour). Stationary but strongly
+/// autocorrelated series (e.g. AR(1) with φ = 0.75) are correctly left
+/// undifferenced, where a variance-minimizing rule would over-difference.
+pub fn choose_differencing(x: &[f64], max_d: usize, lag: usize) -> usize {
+    let mut cur = x.to_vec();
+    let mut d = 0usize;
+    while d < max_d && cur.len() > lag + 2 {
+        if crate::diagnostics::autocorrelation(&cur, lag) <= 0.9 {
+            break;
+        }
+        cur = (lag..cur.len()).map(|t| cur[t] - cur[t - lag]).collect();
+        d += 1;
+    }
+    d
+}
+
+/// AICc from a CSS fit: `n·ln(σ̂²) + 2k + 2k(k+1)/(n−k−1)` where `k`
+/// counts coefficients plus the innovation variance.
+pub fn aicc_from_residual_variance(sigma2: f64, n: usize, coefficients: usize) -> f64 {
+    let k = (coefficients + 1) as f64;
+    let n = n as f64;
+    let denom = (n - k - 1.0).max(1.0);
+    n * sigma2.max(1e-300).ln() + 2.0 * k + 2.0 * k * (k + 1.0) / denom
+}
+
+/// Runs the order search and returns the winner.
+pub fn auto_arima(series: &TimeSeries, options: &AutoArimaOptions) -> crate::Result<AutoArimaReport> {
+    let x = series.values();
+    if x.len() < 8 {
+        return Err(ForecastError::SeriesTooShort {
+            required: 8,
+            got: x.len(),
+        });
+    }
+    let d = choose_differencing(x, options.max_d, 1);
+    let seasonal_d = if options.period > 1 {
+        choose_differencing(x, 1, options.period)
+    } else {
+        0
+    };
+
+    let seasonal_orders: Vec<(usize, usize)> = if options.period > 1 {
+        let m = options.max_seasonal;
+        (0..=m).flat_map(|sp| (0..=m).map(move |sq| (sp, sq))).collect()
+    } else {
+        vec![(0, 0)]
+    };
+
+    let mut candidates = Vec::new();
+    let mut best: Option<(ArimaOrder, SeasonalOrder, f64, Sarima)> = None;
+    for p in 0..=options.max_p {
+        for q in 0..=options.max_q {
+            for &(sp, sq) in &seasonal_orders {
+                let order = ArimaOrder::new(p, d, q);
+                let seasonal = SeasonalOrder::new(sp, seasonal_d, sq, options.period.max(1));
+                let Ok(model) = Sarima::fit(series, order, seasonal, &options.fit) else {
+                    continue;
+                };
+                // Residual variance from honest one-step replays over the
+                // fitted sample (approximated via the model's own CSS).
+                let sigma2 = in_sample_sigma2(&model, series);
+                let coefficients = p + q + sp + sq;
+                let n = x.len() - d - seasonal_d * options.period.max(1);
+                let aicc = aicc_from_residual_variance(sigma2, n, coefficients);
+                candidates.push((order, seasonal, aicc));
+                if best.as_ref().is_none_or(|(_, _, b, _)| aicc < *b) {
+                    best = Some((order, seasonal, aicc, model));
+                }
+            }
+        }
+    }
+    let (order, seasonal, aicc, model) = best.ok_or_else(|| {
+        ForecastError::EstimationFailed("no ARIMA candidate could be fitted".into())
+    })?;
+    Ok(AutoArimaReport {
+        model,
+        order,
+        seasonal,
+        aicc,
+        candidates,
+    })
+}
+
+/// Approximates the innovation variance of a fitted model by replaying
+/// the series through a clone and collecting one-step errors.
+fn in_sample_sigma2(model: &Sarima, series: &TimeSeries) -> f64 {
+    use crate::model::ForecastModel;
+    let x = series.values();
+    let warm = (x.len() / 3).max(4).min(x.len() - 1);
+    let prefix = TimeSeries::with_start(x[..warm].to_vec(), series.start(), series.granularity());
+    // Refit cheaply with the already-estimated parameters by restoring
+    // state: simply clone the model and replay is not possible backwards,
+    // so fit a fresh instance on the prefix with the same orders and the
+    // same optimizer budget.
+    let refit = Sarima::fit(
+        &prefix,
+        model.order(),
+        model.seasonal_order(),
+        &FitOptions::default(),
+    );
+    let mut m: Box<dyn ForecastModel> = match refit {
+        Ok(m) => Box::new(m),
+        Err(_) => model.boxed_clone(),
+    };
+    let mut sse = 0.0;
+    let mut count = 0usize;
+    for &actual in &x[warm..] {
+        let predicted = m.forecast(1)[0];
+        let e = actual - predicted;
+        sse += e * e;
+        count += 1;
+        m.update(actual);
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        sse / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Granularity;
+
+    fn lcg_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn choose_differencing_detects_trend() {
+        // A strongly trending series needs d = 1; white noise needs d = 0.
+        let trend: Vec<f64> = (0..100).map(|t| t as f64 * 5.0).collect();
+        assert_eq!(choose_differencing(&trend, 2, 1), 1);
+        let noise = lcg_noise(100, 1);
+        assert_eq!(choose_differencing(&noise, 2, 1), 0);
+    }
+
+    #[test]
+    fn aicc_penalizes_parameters() {
+        let small = aicc_from_residual_variance(1.0, 100, 1);
+        let big = aicc_from_residual_variance(1.0, 100, 5);
+        assert!(big > small);
+        // Better fit (smaller variance) wins despite more parameters when
+        // the improvement is large.
+        let good_fit = aicc_from_residual_variance(0.25, 100, 5);
+        assert!(good_fit < small);
+    }
+
+    use crate::model::ForecastModel;
+
+    #[test]
+    fn auto_arima_prefers_ar_structure_on_ar_data() {
+        let noise = lcg_noise(240, 9);
+        let mut x = vec![10.0];
+        for t in 1..240 {
+            let prev = x[t - 1];
+            x.push(10.0 + 0.75 * (prev - 10.0) + noise[t]);
+        }
+        let series = TimeSeries::new(x, Granularity::Monthly);
+        let report = auto_arima(&series, &AutoArimaOptions::default()).unwrap();
+        assert_eq!(report.order.d, 0, "stationary data needs no differencing");
+        assert!(
+            report.order.p >= 1,
+            "AR data should select p >= 1, got {:?}",
+            report.order
+        );
+        assert!(!report.candidates.is_empty());
+        assert!(report.model.forecast(5).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn auto_arima_differences_trending_data() {
+        let noise = lcg_noise(160, 4);
+        let x: Vec<f64> = (0..160).map(|t| 5.0 * t as f64 + noise[t] * 2.0).collect();
+        let series = TimeSeries::new(x, Granularity::Monthly);
+        let report = auto_arima(&series, &AutoArimaOptions::default()).unwrap();
+        assert!(report.order.d >= 1, "got {:?}", report.order);
+    }
+
+    #[test]
+    fn auto_arima_rejects_tiny_series() {
+        let series = TimeSeries::new(vec![1.0; 4], Granularity::Monthly);
+        assert!(auto_arima(&series, &AutoArimaOptions::default()).is_err());
+    }
+
+    #[test]
+    fn seasonal_search_is_enabled_by_period() {
+        let values: Vec<f64> = (0..96)
+            .map(|t| 50.0 + 20.0 * ((t % 12) as f64 / 12.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let series = TimeSeries::new(values, Granularity::Monthly);
+        let options = AutoArimaOptions {
+            period: 12,
+            ..AutoArimaOptions::default()
+        };
+        let report = auto_arima(&series, &options).unwrap();
+        assert!(
+            report.seasonal.d >= 1 || report.seasonal.p >= 1 || report.seasonal.q >= 1,
+            "seasonal structure not detected: {:?}",
+            report.seasonal
+        );
+    }
+}

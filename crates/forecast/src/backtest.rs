@@ -1,0 +1,244 @@
+//! Rolling-origin backtesting (time series cross-validation).
+//!
+//! A single train/test split — the paper's evaluation protocol — can be
+//! lucky or unlucky about where the cut falls. A rolling-origin backtest
+//! refits the model at several origins and aggregates the error over all
+//! of them, giving a lower-variance estimate of a specification's
+//! accuracy on one series. Useful for model selection on important nodes
+//! and for validating advisor configurations offline.
+
+use crate::accuracy::AccuracyMeasure;
+use crate::model::{FitOptions, ForecastError, ModelSpec};
+use crate::series::TimeSeries;
+
+/// Configuration of a rolling-origin backtest.
+#[derive(Debug, Clone)]
+pub struct BacktestOptions {
+    /// Forecast horizon evaluated at each origin.
+    pub horizon: usize,
+    /// Number of origins (folds).
+    pub folds: usize,
+    /// Minimum training length for the first origin; `None` uses the
+    /// spec's minimum plus one seasonal period of slack.
+    pub min_train: Option<usize>,
+    /// Accuracy measure aggregated over folds.
+    pub measure: AccuracyMeasure,
+    /// Fitting options per fold.
+    pub fit: FitOptions,
+}
+
+impl Default for BacktestOptions {
+    fn default() -> Self {
+        BacktestOptions {
+            horizon: 4,
+            folds: 5,
+            min_train: None,
+            measure: AccuracyMeasure::Smape,
+            fit: FitOptions::default(),
+        }
+    }
+}
+
+/// Result of a backtest: per-fold errors and their aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacktestReport {
+    /// `(origin, error)` per fold — origin is the training length used.
+    pub folds: Vec<(usize, f64)>,
+    /// Mean error over all folds.
+    pub mean_error: f64,
+    /// Worst fold error.
+    pub max_error: f64,
+}
+
+/// Runs a rolling-origin backtest of `spec` on `series`.
+///
+/// Origins are evenly spaced so that the last origin leaves exactly
+/// `horizon` observations for testing. Fails when the series cannot
+/// accommodate the requested folds.
+pub fn backtest(
+    series: &TimeSeries,
+    spec: &ModelSpec,
+    options: &BacktestOptions,
+) -> crate::Result<BacktestReport> {
+    if options.horizon == 0 || options.folds == 0 {
+        return Err(ForecastError::InvalidParameter(
+            "backtest needs a positive horizon and fold count".into(),
+        ));
+    }
+    let n = series.len();
+    let min_train = options
+        .min_train
+        .unwrap_or_else(|| spec.min_observations() + 2)
+        .max(spec.min_observations());
+    let last_origin = n
+        .checked_sub(options.horizon)
+        .ok_or(ForecastError::SeriesTooShort {
+            required: options.horizon + min_train,
+            got: n,
+        })?;
+    if last_origin < min_train {
+        return Err(ForecastError::SeriesTooShort {
+            required: options.horizon + min_train,
+            got: n,
+        });
+    }
+    // Evenly spaced origins in [min_train, last_origin].
+    let span = last_origin - min_train;
+    let origins: Vec<usize> = if options.folds == 1 || span == 0 {
+        vec![last_origin]
+    } else {
+        let folds = options.folds.min(span + 1);
+        (0..folds)
+            .map(|k| min_train + (span * k) / (folds - 1))
+            .collect()
+    };
+
+    let x = series.values();
+    let mut folds = Vec::with_capacity(origins.len());
+    for &origin in &origins {
+        let train = TimeSeries::with_start(
+            x[..origin].to_vec(),
+            series.start(),
+            series.granularity(),
+        );
+        let model = spec.fit(&train, &options.fit)?;
+        let fc = model.forecast(options.horizon);
+        let actual = &x[origin..origin + options.horizon];
+        folds.push((origin, options.measure.score(actual, &fc)));
+    }
+    let mean_error = folds.iter().map(|f| f.1).sum::<f64>() / folds.len() as f64;
+    let max_error = folds.iter().map(|f| f.1).fold(0.0, f64::max);
+    Ok(BacktestReport {
+        folds,
+        mean_error,
+        max_error,
+    })
+}
+
+/// Backtests several specs and returns them ranked by mean error
+/// (unfittable specs are dropped).
+pub fn backtest_select(
+    series: &TimeSeries,
+    specs: &[ModelSpec],
+    options: &BacktestOptions,
+) -> Vec<(ModelSpec, BacktestReport)> {
+    let mut out: Vec<(ModelSpec, BacktestReport)> = specs
+        .iter()
+        .filter_map(|spec| backtest(series, spec, options).ok().map(|r| (spec.clone(), r)))
+        .collect();
+    out.sort_by(|a, b| a.1.mean_error.total_cmp(&b.1.mean_error));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SeasonalKind;
+    use crate::series::Granularity;
+
+    fn seasonal_series(n: usize) -> TimeSeries {
+        let values = (0..n)
+            .map(|t| {
+                100.0 + 0.4 * t as f64
+                    + 12.0 * (std::f64::consts::TAU * (t % 12) as f64 / 12.0).sin()
+            })
+            .collect();
+        TimeSeries::new(values, Granularity::Monthly)
+    }
+
+    #[test]
+    fn backtest_produces_requested_folds() {
+        let series = seasonal_series(96);
+        let report = backtest(&series, &ModelSpec::Holt, &BacktestOptions::default()).unwrap();
+        assert_eq!(report.folds.len(), 5);
+        // Origins strictly increasing, last one leaves exactly `horizon`.
+        for w in report.folds.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(report.folds.last().unwrap().0, 96 - 4);
+        assert!(report.mean_error <= report.max_error + 1e-12);
+    }
+
+    #[test]
+    fn seasonal_model_wins_backtest_selection_on_seasonal_data() {
+        let series = seasonal_series(120);
+        let ranked = backtest_select(
+            &series,
+            &[
+                ModelSpec::Ses,
+                ModelSpec::Holt,
+                ModelSpec::HoltWinters {
+                    period: 12,
+                    seasonal: SeasonalKind::Additive,
+                },
+            ],
+            &BacktestOptions::default(),
+        );
+        assert_eq!(ranked.len(), 3);
+        assert!(
+            matches!(ranked[0].0, ModelSpec::HoltWinters { .. }),
+            "winner was {:?}",
+            ranked[0].0
+        );
+    }
+
+    #[test]
+    fn backtest_rejects_impossible_setups() {
+        let series = seasonal_series(10);
+        assert!(backtest(
+            &series,
+            &ModelSpec::Holt,
+            &BacktestOptions {
+                horizon: 0,
+                ..BacktestOptions::default()
+            }
+        )
+        .is_err());
+        assert!(backtest(
+            &series,
+            &ModelSpec::HoltWinters {
+                period: 12,
+                seasonal: SeasonalKind::Additive
+            },
+            &BacktestOptions::default()
+        )
+        .is_err());
+        let tiny = TimeSeries::new(vec![1.0, 2.0], Granularity::Monthly);
+        assert!(backtest(&tiny, &ModelSpec::Holt, &BacktestOptions::default()).is_err());
+    }
+
+    #[test]
+    fn single_fold_uses_last_origin() {
+        let series = seasonal_series(60);
+        let report = backtest(
+            &series,
+            &ModelSpec::Ses,
+            &BacktestOptions {
+                folds: 1,
+                horizon: 6,
+                ..BacktestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.folds.len(), 1);
+        assert_eq!(report.folds[0].0, 54);
+    }
+
+    #[test]
+    fn unfittable_specs_are_dropped_from_selection() {
+        let series = seasonal_series(20);
+        let ranked = backtest_select(
+            &series,
+            &[
+                ModelSpec::Ses,
+                ModelSpec::HoltWinters {
+                    period: 12,
+                    seasonal: SeasonalKind::Additive,
+                },
+            ],
+            &BacktestOptions::default(),
+        );
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].0, ModelSpec::Ses);
+    }
+}

@@ -1,0 +1,267 @@
+//! Residual diagnostics for fitted forecast models.
+//!
+//! A well-specified model leaves residuals that look like white noise.
+//! This module provides the standard checks — the sample autocorrelation
+//! function and the Ljung–Box portmanteau statistic — plus a convenience
+//! [`ResidualDiagnostics`] report computed from honest one-step-ahead
+//! errors (the model is fitted on a warm-up prefix and then replayed
+//! through its incremental update over the remainder). The maintenance
+//! processor's threshold-based invalidation and model selection both
+//! benefit from knowing *when* a model family stops being adequate.
+
+use crate::model::{FitOptions, ModelSpec};
+use crate::series::TimeSeries;
+
+/// Sample autocorrelation of `x` at the given lag (0 for degenerate
+/// input).
+pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if n < 2 || lag >= n {
+        return 0.0;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var < 1e-300 {
+        return 0.0;
+    }
+    let cov = (lag..n)
+        .map(|t| (x[t] - mean) * (x[t - lag] - mean))
+        .sum::<f64>()
+        / n as f64;
+    cov / var
+}
+
+/// The Ljung–Box Q statistic over the first `lags` autocorrelations:
+///
+/// ```text
+/// Q = n (n + 2) Σ_{k=1..m} ρ̂_k² / (n − k)
+/// ```
+///
+/// Under the white-noise null hypothesis Q is χ²-distributed with `m`
+/// degrees of freedom (minus the number of fitted parameters). Returns
+/// `(q, degrees_of_freedom)`.
+pub fn ljung_box(residuals: &[f64], lags: usize, fitted_params: usize) -> (f64, usize) {
+    let n = residuals.len();
+    if n < 3 || lags == 0 {
+        return (0.0, 0);
+    }
+    let m = lags.min(n - 1);
+    let q = (1..=m)
+        .map(|k| {
+            let rho = autocorrelation(residuals, k);
+            rho * rho / (n - k) as f64
+        })
+        .sum::<f64>()
+        * n as f64
+        * (n + 2) as f64;
+    (q, m.saturating_sub(fitted_params).max(1))
+}
+
+/// Approximate upper χ² critical value at the 5% level via the
+/// Wilson–Hilferty cube approximation — adequate for a pass/fail residual
+/// check without a stats dependency.
+pub fn chi_squared_critical_5pct(dof: usize) -> f64 {
+    let k = dof.max(1) as f64;
+    let z = 1.6449; // standard normal 95% quantile
+    let a = 1.0 - 2.0 / (9.0 * k);
+    let cube = a + z * (2.0 / (9.0 * k)).sqrt();
+    k * cube.powi(3)
+}
+
+/// A compact residual report for one model specification on one series.
+#[derive(Debug, Clone)]
+pub struct ResidualDiagnostics {
+    /// Honest one-step-ahead residuals over the post-warm-up part.
+    pub residuals: Vec<f64>,
+    /// Residual mean (should be near zero).
+    pub mean: f64,
+    /// Residual standard deviation.
+    pub std_dev: f64,
+    /// Lag-1 autocorrelation of the residuals.
+    pub lag1_autocorrelation: f64,
+    /// Ljung–Box Q over `min(10, n/4)` lags.
+    pub ljung_box_q: f64,
+    /// Degrees of freedom of the Q statistic.
+    pub ljung_box_dof: usize,
+}
+
+impl ResidualDiagnostics {
+    /// Builds the report from raw residuals (`fitted_params` adjusts the
+    /// Ljung–Box degrees of freedom).
+    pub fn from_residuals(residuals: Vec<f64>, fitted_params: usize) -> ResidualDiagnostics {
+        let n = residuals.len().max(1) as f64;
+        let mean = residuals.iter().sum::<f64>() / n;
+        let var = residuals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let lags = (residuals.len() / 4).clamp(1, 10);
+        let (q, dof) = ljung_box(&residuals, lags, fitted_params);
+        ResidualDiagnostics {
+            lag1_autocorrelation: autocorrelation(&residuals, 1),
+            ljung_box_q: q,
+            ljung_box_dof: dof,
+            mean,
+            std_dev: var.sqrt(),
+            residuals,
+        }
+    }
+
+    /// Fits `spec` on the first `warmup` observations of `series`, then
+    /// replays the remaining observations through the model's incremental
+    /// update, collecting honest one-step-ahead residuals.
+    pub fn compute(
+        spec: &ModelSpec,
+        series: &TimeSeries,
+        warmup: usize,
+        options: &FitOptions,
+    ) -> crate::Result<ResidualDiagnostics> {
+        let x = series.values();
+        let lo = spec.min_observations();
+        let hi = x.len().saturating_sub(1);
+        if lo > hi {
+            return Err(crate::model::ForecastError::SeriesTooShort {
+                required: lo + 1,
+                got: x.len(),
+            });
+        }
+        let warmup = warmup.clamp(lo, hi);
+        let prefix = TimeSeries::with_start(
+            x[..warmup].to_vec(),
+            series.start(),
+            series.granularity(),
+        );
+        let mut model = spec.fit(&prefix, options)?;
+        let mut residuals = Vec::with_capacity(x.len() - warmup);
+        for &actual in &x[warmup..] {
+            let predicted = model.forecast(1)[0];
+            residuals.push(actual - predicted);
+            model.update(actual);
+        }
+        Ok(Self::from_residuals(residuals, model.params().len()))
+    }
+
+    /// Whether the residuals pass the 5% Ljung–Box white-noise check.
+    pub fn looks_like_white_noise(&self) -> bool {
+        self.ljung_box_q <= chi_squared_critical_5pct(self.ljung_box_dof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SeasonalKind;
+    use crate::series::Granularity;
+
+    fn lcg_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        assert_eq!(autocorrelation(&[3.0; 10], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let x: Vec<f64> = (0..50).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&x, 1) < -0.9);
+        assert!(autocorrelation(&x, 2) > 0.9);
+    }
+
+    #[test]
+    fn white_noise_passes_ljung_box() {
+        let noise = lcg_noise(300, 42);
+        let (q, dof) = ljung_box(&noise, 10, 0);
+        assert!(
+            q <= chi_squared_critical_5pct(dof) * 1.2,
+            "white noise flagged: Q={q}, crit={}",
+            chi_squared_critical_5pct(dof)
+        );
+    }
+
+    #[test]
+    fn strongly_correlated_series_fails_ljung_box() {
+        // AR(1) with φ=0.9.
+        let noise = lcg_noise(300, 7);
+        let mut x = vec![0.0];
+        for t in 1..300 {
+            let prev = x[t - 1];
+            x.push(0.9 * prev + noise[t]);
+        }
+        let (q, dof) = ljung_box(&x, 10, 0);
+        assert!(q > chi_squared_critical_5pct(dof) * 3.0, "Q={q}");
+    }
+
+    #[test]
+    fn chi_squared_critical_increases_with_dof() {
+        assert!(chi_squared_critical_5pct(1) < chi_squared_critical_5pct(10));
+        // Known value: χ²(10, 0.95) ≈ 18.31.
+        assert!((chi_squared_critical_5pct(10) - 18.31).abs() < 0.5);
+    }
+
+    #[test]
+    fn good_model_leaves_whiter_residuals_than_bad_model() {
+        // Strongly seasonal series: Holt-Winters should leave near-white
+        // residuals; SES leaves the seasonal structure in them.
+        let noise = lcg_noise(120, 3);
+        let values: Vec<f64> = (0..120)
+            .map(|t| {
+                100.0
+                    + 30.0 * (2.0 * std::f64::consts::PI * (t % 12) as f64 / 12.0).sin()
+                    + noise[t] * 4.0
+            })
+            .collect();
+        let series = TimeSeries::new(values, Granularity::Monthly);
+        let opts = FitOptions::default();
+        let hw_spec = ModelSpec::HoltWinters {
+            period: 12,
+            seasonal: SeasonalKind::Additive,
+        };
+        let d_hw = ResidualDiagnostics::compute(&hw_spec, &series, 48, &opts).unwrap();
+        let d_ses = ResidualDiagnostics::compute(&ModelSpec::Ses, &series, 48, &opts).unwrap();
+        assert!(
+            d_hw.ljung_box_q < d_ses.ljung_box_q,
+            "HW Q {} should be below SES Q {}",
+            d_hw.ljung_box_q,
+            d_ses.ljung_box_q
+        );
+        assert!(d_hw.std_dev < d_ses.std_dev);
+    }
+
+    #[test]
+    fn diagnostics_report_is_complete() {
+        let values: Vec<f64> = (0..40).map(|t| 10.0 + t as f64).collect();
+        let series = TimeSeries::new(values, Granularity::Monthly);
+        let d = ResidualDiagnostics::compute(
+            &ModelSpec::Holt,
+            &series,
+            5,
+            &FitOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(d.residuals.len(), 35);
+        assert!(d.std_dev >= 0.0);
+        assert!(d.ljung_box_dof >= 1);
+        // A linear series is fit perfectly: residuals white / tiny.
+        assert!(d.std_dev < 1e-6);
+    }
+
+    #[test]
+    fn compute_rejects_unfittable_spec() {
+        let series = TimeSeries::new(vec![1.0, 2.0, 3.0], Granularity::Monthly);
+        let spec = ModelSpec::HoltWinters {
+            period: 12,
+            seasonal: SeasonalKind::Additive,
+        };
+        assert!(
+            ResidualDiagnostics::compute(&spec, &series, 2, &FitOptions::default()).is_err()
+        );
+    }
+}

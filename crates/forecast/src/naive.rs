@@ -1,0 +1,224 @@
+//! Naive reference models: last-value, seasonal-naive and drift.
+//!
+//! These are the canonical no-skill baselines of the forecasting
+//! literature (and the denominators of scaled accuracy measures such as
+//! MASE). They are full [`ForecastModel`] implementations — state
+//! updates, serialization, the lot — so they can be stored in a
+//! configuration or an F²DB catalog like any other model, which is handy
+//! for sanity-checking a configuration against the cheapest possible
+//! alternative.
+
+use crate::model::{FitOptions, ForecastError, ForecastModel, ModelSpec, ModelState};
+use crate::series::TimeSeries;
+
+/// Which naive strategy a [`NaiveModel`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NaiveKind {
+    /// Repeat the last observation.
+    Last,
+    /// Repeat the observation one season ago.
+    Seasonal(usize),
+    /// Extrapolate the average historical step (random walk with drift).
+    Drift,
+}
+
+/// A naive forecast model.
+///
+/// Serialization note: naive models are deliberately *not* representable
+/// in [`ModelSpec`] (the advisor never proposes them); [`state`] returns
+/// an SES-shaped state capturing the flat forecast so a persisted catalog
+/// degrades gracefully rather than failing. The seasonal and drift
+/// variants refuse to serialize losslessly and are documented as
+/// in-memory-only reference models.
+///
+/// [`state`]: ForecastModel::state
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveModel {
+    kind: NaiveKind,
+    /// Recent history: 1 value for Last, `s` values for Seasonal, the
+    /// first/last values + count for Drift.
+    window: Vec<f64>,
+    first: f64,
+    observations: usize,
+}
+
+impl NaiveModel {
+    /// Builds a naive model over a series.
+    pub fn fit(series: &TimeSeries, kind: NaiveKind) -> crate::Result<Self> {
+        let x = series.values();
+        let required = match kind {
+            NaiveKind::Last => 1,
+            NaiveKind::Seasonal(s) => s.max(1),
+            NaiveKind::Drift => 2,
+        };
+        if x.len() < required {
+            return Err(ForecastError::SeriesTooShort {
+                required,
+                got: x.len(),
+            });
+        }
+        if let NaiveKind::Seasonal(0) = kind {
+            return Err(ForecastError::InvalidParameter(
+                "seasonal naive needs a positive period".into(),
+            ));
+        }
+        let window = match kind {
+            NaiveKind::Last | NaiveKind::Drift => vec![*x.last().expect("non-empty")],
+            NaiveKind::Seasonal(s) => x[x.len() - s..].to_vec(),
+        };
+        Ok(NaiveModel {
+            kind,
+            window,
+            first: x[0],
+            observations: x.len(),
+        })
+    }
+
+    /// The strategy of this model.
+    pub fn kind(&self) -> NaiveKind {
+        self.kind
+    }
+
+    fn drift_per_step(&self) -> f64 {
+        if self.observations < 2 {
+            return 0.0;
+        }
+        (self.window[0] - self.first) / (self.observations - 1) as f64
+    }
+}
+
+impl ForecastModel for NaiveModel {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            NaiveKind::Last => "naive",
+            NaiveKind::Seasonal(_) => "seasonal-naive",
+            NaiveKind::Drift => "drift",
+        }
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        match self.kind {
+            NaiveKind::Last => vec![self.window[0]; horizon],
+            NaiveKind::Seasonal(s) => (0..horizon)
+                .map(|h| self.window[(self.observations + h) % s.max(1) % self.window.len()])
+                .collect(),
+            NaiveKind::Drift => {
+                let slope = self.drift_per_step();
+                (1..=horizon)
+                    .map(|h| self.window[0] + slope * h as f64)
+                    .collect()
+            }
+        }
+    }
+
+    fn update(&mut self, value: f64) {
+        match self.kind {
+            NaiveKind::Last | NaiveKind::Drift => self.window[0] = value,
+            NaiveKind::Seasonal(_) => {
+                let idx = self.observations % self.window.len();
+                self.window[idx] = value;
+            }
+        }
+        self.observations += 1;
+    }
+
+    fn refit(&mut self, series: &TimeSeries, _options: &FitOptions) -> crate::Result<()> {
+        *self = Self::fit(series, self.kind)?;
+        Ok(())
+    }
+
+    fn params(&self) -> Vec<f64> {
+        match self.kind {
+            NaiveKind::Drift => vec![self.drift_per_step()],
+            _ => Vec::new(),
+        }
+    }
+
+    fn state(&self) -> ModelState {
+        // Lossy degrade to a flat SES state (see the type-level docs).
+        ModelState {
+            spec: ModelSpec::Ses,
+            params: vec![1.0],
+            state: vec![self.window[0]],
+            observations: self.observations,
+        }
+    }
+
+    fn observations(&self) -> usize {
+        self.observations
+    }
+
+    fn boxed_clone(&self) -> Box<dyn ForecastModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Granularity;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(values, Granularity::Monthly)
+    }
+
+    #[test]
+    fn naive_repeats_last_value() {
+        let m = NaiveModel::fit(&ts(vec![1.0, 2.0, 7.0]), NaiveKind::Last).unwrap();
+        assert_eq!(m.forecast(3), vec![7.0, 7.0, 7.0]);
+        assert_eq!(m.name(), "naive");
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        // Values 1..8 with period 4: last season = [5,6,7,8]; n=8 so the
+        // next index is 8 % 4 = 0 → forecasts cycle 5,6,7,8,5…
+        let m = NaiveModel::fit(
+            &ts(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]),
+            NaiveKind::Seasonal(4),
+        )
+        .unwrap();
+        assert_eq!(m.forecast(5), vec![5.0, 6.0, 7.0, 8.0, 5.0]);
+    }
+
+    #[test]
+    fn drift_extrapolates_average_slope() {
+        // From 10 to 16 in 3 steps → slope 2 per step.
+        let m = NaiveModel::fit(&ts(vec![10.0, 12.0, 14.0, 16.0]), NaiveKind::Drift).unwrap();
+        assert_eq!(m.forecast(2), vec![18.0, 20.0]);
+        assert_eq!(m.params(), vec![2.0]);
+    }
+
+    #[test]
+    fn updates_keep_models_current() {
+        let mut m = NaiveModel::fit(&ts(vec![1.0, 2.0]), NaiveKind::Last).unwrap();
+        m.update(9.0);
+        assert_eq!(m.forecast(1), vec![9.0]);
+        assert_eq!(m.observations(), 3);
+
+        let mut s = NaiveModel::fit(
+            &ts(vec![1.0, 2.0, 3.0, 4.0]),
+            NaiveKind::Seasonal(2),
+        )
+        .unwrap();
+        // Window = [3,4]; update replaces position 4 % 2 = 0.
+        s.update(30.0);
+        assert_eq!(s.forecast(2), vec![4.0, 30.0]);
+    }
+
+    #[test]
+    fn rejects_insufficient_data() {
+        assert!(NaiveModel::fit(&ts(vec![]), NaiveKind::Last).is_err());
+        assert!(NaiveModel::fit(&ts(vec![1.0]), NaiveKind::Drift).is_err());
+        assert!(NaiveModel::fit(&ts(vec![1.0, 2.0]), NaiveKind::Seasonal(4)).is_err());
+        assert!(NaiveModel::fit(&ts(vec![1.0, 2.0]), NaiveKind::Seasonal(0)).is_err());
+    }
+
+    #[test]
+    fn refit_resets_to_new_series() {
+        let mut m = NaiveModel::fit(&ts(vec![1.0, 2.0]), NaiveKind::Last).unwrap();
+        m.refit(&ts(vec![5.0, 6.0, 42.0]), &FitOptions::default())
+            .unwrap();
+        assert_eq!(m.forecast(1), vec![42.0]);
+    }
+}

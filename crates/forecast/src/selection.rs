@@ -1,0 +1,199 @@
+//! Automatic model selection for a single time series.
+//!
+//! The advisor treats the forecast method as a pluggable detail (§II-B:
+//! "The forecast method that is used to create the model is independent
+//! of our approach"). This module provides the common policy used by the
+//! evaluation: fit a small set of candidate specifications on the training
+//! part and keep the one with the lowest holdout error. The paper found
+//! triple exponential smoothing best "in most cases" — selection lets the
+//! exceptions pick something better.
+
+use crate::accuracy::AccuracyMeasure;
+use crate::model::{FitOptions, ForecastModel, ModelSpec};
+use crate::series::TimeSeries;
+
+/// Outcome of model selection: the winning model plus the per-candidate
+/// scores (useful for diagnostics and tests).
+pub struct SelectionReport {
+    /// The fitted winner.
+    pub model: Box<dyn ForecastModel>,
+    /// The spec of the winner.
+    pub spec: ModelSpec,
+    /// Holdout error of the winner.
+    pub error: f64,
+    /// All evaluated `(spec, holdout error)` pairs, including failures as
+    /// infinite errors.
+    pub candidates: Vec<(ModelSpec, f64)>,
+}
+
+/// Default candidate set for a series with the given seasonal period.
+pub fn default_candidates(period: usize) -> Vec<ModelSpec> {
+    let mut specs = vec![ModelSpec::Ses, ModelSpec::Holt];
+    if period > 1 {
+        specs.push(ModelSpec::HoltWinters {
+            period,
+            seasonal: crate::model::SeasonalKind::Additive,
+        });
+        specs.push(ModelSpec::Sarima {
+            order: (1, 0, 0),
+            seasonal: (0, 1, 0),
+            period,
+        });
+    } else {
+        specs.push(ModelSpec::Arima { p: 1, d: 1, q: 1 });
+    }
+    specs
+}
+
+/// Fits every candidate on the training split of `series`, scores it on
+/// the test split with `measure`, refits the winner on the full series and
+/// returns it.
+///
+/// Returns `None` when no candidate could be fitted (series too short for
+/// all of them).
+pub fn select_best_model(
+    series: &TimeSeries,
+    specs: &[ModelSpec],
+    measure: AccuracyMeasure,
+    train_frac: f64,
+    options: &FitOptions,
+) -> Option<SelectionReport> {
+    let (train, test) = series.split(train_frac);
+    let mut candidates = Vec::with_capacity(specs.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (i, spec) in specs.iter().enumerate() {
+        let err = match spec.fit(&train, options) {
+            Ok(model) => {
+                let fc = model.forecast(test.len());
+                let e = measure.score(test.values(), &fc);
+                if e.is_finite() {
+                    e
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Err(_) => f64::INFINITY,
+        };
+        candidates.push((spec.clone(), err));
+        if best.is_none_or(|(_, be)| err < be) && err.is_finite() {
+            best = Some((i, err));
+        }
+    }
+    let (winner_idx, error) = best?;
+    let spec = specs[winner_idx].clone();
+    // Refit on the full history so the stored model is up to date.
+    let model = spec.fit(series, options).ok()?;
+    Some(SelectionReport {
+        model,
+        spec,
+        error,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Granularity;
+
+    fn seasonal_series(n: usize, period: usize) -> TimeSeries {
+        let values = (0..n)
+            .map(|t| {
+                200.0
+                    + t as f64
+                    + 50.0
+                        * (2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64).sin()
+            })
+            .collect();
+        TimeSeries::new(values, Granularity::Monthly)
+    }
+
+    #[test]
+    fn default_candidates_depend_on_period() {
+        let with_season = default_candidates(12);
+        assert!(with_season
+            .iter()
+            .any(|s| matches!(s, ModelSpec::HoltWinters { .. })));
+        let without = default_candidates(1);
+        assert!(without.iter().any(|s| matches!(s, ModelSpec::Arima { .. })));
+        assert!(!without
+            .iter()
+            .any(|s| matches!(s, ModelSpec::HoltWinters { .. })));
+    }
+
+    #[test]
+    fn seasonal_series_prefers_seasonal_model() {
+        let series = seasonal_series(72, 12);
+        let report = select_best_model(
+            &series,
+            &default_candidates(12),
+            AccuracyMeasure::Smape,
+            0.8,
+            &FitOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(
+                report.spec,
+                ModelSpec::HoltWinters { .. } | ModelSpec::Sarima { .. }
+            ),
+            "picked {:?}",
+            report.spec
+        );
+        assert!(report.error < 0.05, "error {}", report.error);
+    }
+
+    #[test]
+    fn trend_series_prefers_trend_capable_model() {
+        let values: Vec<f64> = (0..40).map(|t| 10.0 + 3.0 * t as f64).collect();
+        let series = TimeSeries::new(values, Granularity::Yearly);
+        let report = select_best_model(
+            &series,
+            &default_candidates(1),
+            AccuracyMeasure::Smape,
+            0.8,
+            &FitOptions::default(),
+        )
+        .unwrap();
+        // SES cannot follow a steep trend; Holt or ARIMA must win.
+        assert_ne!(report.spec, ModelSpec::Ses, "SES should lose on trend data");
+    }
+
+    #[test]
+    fn too_short_series_returns_none() {
+        let series = TimeSeries::new(vec![1.0], Granularity::Monthly);
+        assert!(select_best_model(
+            &series,
+            &default_candidates(12),
+            AccuracyMeasure::Smape,
+            0.8,
+            &FitOptions::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn report_contains_all_candidates() {
+        let series = seasonal_series(72, 4);
+        let specs = default_candidates(4);
+        let report = select_best_model(
+            &series,
+            &specs,
+            AccuracyMeasure::Smape,
+            0.8,
+            &FitOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.candidates.len(), specs.len());
+        let winner_err = report
+            .candidates
+            .iter()
+            .find(|(s, _)| *s == report.spec)
+            .unwrap()
+            .1;
+        assert!(report
+            .candidates
+            .iter()
+            .all(|(_, e)| *e >= winner_err || !e.is_finite()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Time series container and basic operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling granularity of a time series.
+///
+/// The paper's data sets span quarterly (Tourism), monthly (Sales) and
+/// hourly (Energy) resolutions; the granularity determines the natural
+/// seasonal period used when fitting seasonal models (§VI-A: "we set the
+/// seasonality according to the granularity of the data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Hourly observations; daily seasonality (period 24).
+    Hourly,
+    /// Daily observations; weekly seasonality (period 7).
+    Daily,
+    /// Weekly observations; yearly seasonality (period 52).
+    Weekly,
+    /// Monthly observations; yearly seasonality (period 12).
+    Monthly,
+    /// Quarterly observations; yearly seasonality (period 4).
+    Quarterly,
+    /// Yearly observations; no seasonality.
+    Yearly,
+}
+
+impl Granularity {
+    /// The natural seasonal period for this granularity (1 = no season).
+    pub fn seasonal_period(self) -> usize {
+        match self {
+            Granularity::Hourly => 24,
+            Granularity::Daily => 7,
+            Granularity::Weekly => 52,
+            Granularity::Monthly => 12,
+            Granularity::Quarterly => 4,
+            Granularity::Yearly => 1,
+        }
+    }
+}
+
+/// An ordered sequence of measure values according to the time dimension
+/// (§II-A).
+///
+/// A `TimeSeries` is either a *base* time series (one per combination of
+/// categorical attribute values) or an *aggregated* series formed by
+/// summing base series. Values are evenly spaced; the logical time of the
+/// first observation is `start`, which allows series that became active at
+/// different times to be aligned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+    start: i64,
+    granularity: Granularity,
+}
+
+impl TimeSeries {
+    /// Creates a series starting at logical time 0.
+    pub fn new(values: Vec<f64>, granularity: Granularity) -> Self {
+        TimeSeries {
+            values,
+            start: 0,
+            granularity,
+        }
+    }
+
+    /// Creates a series with an explicit logical start time.
+    pub fn with_start(values: Vec<f64>, start: i64, granularity: Granularity) -> Self {
+        TimeSeries {
+            values,
+            start,
+            granularity,
+        }
+    }
+
+    /// The observations in time order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Logical time of the first observation.
+    #[inline]
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Logical time one past the last observation.
+    #[inline]
+    pub fn end(&self) -> i64 {
+        self.start + self.values.len() as i64
+    }
+
+    /// Sampling granularity.
+    #[inline]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends one observation (used by the maintenance processor when new
+    /// actual values arrive).
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Sum over the whole history — the `h_s` quantity of Eq. (2).
+    pub fn history_sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Arithmetic mean of the observations (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.history_sum() / self.values.len() as f64
+        }
+    }
+
+    /// Population variance of the observations (0 for fewer than 2 values).
+    pub fn variance(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Splits the series into a training and a testing part; `train_frac`
+    /// is clamped so both parts are non-empty whenever `len() >= 2`.
+    ///
+    /// The paper uses "about 80% of the data to train the forecast models
+    /// and the remaining data to find and evaluate the best configuration"
+    /// (§VI-A).
+    pub fn split(&self, train_frac: f64) -> (TimeSeries, TimeSeries) {
+        let n = self.values.len();
+        let mut k = ((n as f64) * train_frac).round() as usize;
+        if n >= 2 {
+            k = k.clamp(1, n - 1);
+        } else {
+            k = n;
+        }
+        let train = TimeSeries::with_start(self.values[..k].to_vec(), self.start, self.granularity);
+        let test = TimeSeries::with_start(
+            self.values[k..].to_vec(),
+            self.start + k as i64,
+            self.granularity,
+        );
+        (train, test)
+    }
+
+    /// Element-wise sum of several aligned series (the SUM aggregation of
+    /// §II-A). All series must share start, length and granularity.
+    ///
+    /// Returns `None` when `series` is empty or misaligned.
+    pub fn aggregate_sum(series: &[&TimeSeries]) -> Option<TimeSeries> {
+        let first = series.first()?;
+        let n = first.len();
+        if series
+            .iter()
+            .any(|s| s.len() != n || s.start != first.start || s.granularity != first.granularity)
+        {
+            return None;
+        }
+        let mut values = vec![0.0; n];
+        for s in series {
+            for (acc, v) in values.iter_mut().zip(s.values()) {
+                *acc += v;
+            }
+        }
+        Some(TimeSeries::with_start(values, first.start, first.granularity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: &[f64]) -> TimeSeries {
+        TimeSeries::new(values.to_vec(), Granularity::Monthly)
+    }
+
+    #[test]
+    fn seasonal_periods() {
+        assert_eq!(Granularity::Hourly.seasonal_period(), 24);
+        assert_eq!(Granularity::Quarterly.seasonal_period(), 4);
+        assert_eq!(Granularity::Yearly.seasonal_period(), 1);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = TimeSeries::with_start(vec![1.0, 2.0, 3.0], 5, Granularity::Daily);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.start(), 5);
+        assert_eq!(s.end(), 8);
+        assert!(!s.is_empty());
+        assert_eq!(s.granularity(), Granularity::Daily);
+    }
+
+    #[test]
+    fn history_sum_and_mean() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.history_sum(), 10.0);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(ts(&[]).mean(), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        let s = ts(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(ts(&[1.0]).variance(), 0.0);
+    }
+
+    #[test]
+    fn split_eighty_twenty() {
+        let s = ts(&(0..10).map(|v| v as f64).collect::<Vec<_>>());
+        let (train, test) = s.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(test.start(), 8);
+        assert_eq!(test.values(), &[8.0, 9.0]);
+    }
+
+    #[test]
+    fn split_never_produces_empty_parts() {
+        let s = ts(&[1.0, 2.0]);
+        let (train, test) = s.split(0.999);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = s.split(0.0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_sum_adds_elementwise() {
+        let a = ts(&[1.0, 2.0]);
+        let b = ts(&[10.0, 20.0]);
+        let sum = TimeSeries::aggregate_sum(&[&a, &b]).unwrap();
+        assert_eq!(sum.values(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn aggregate_sum_rejects_misaligned() {
+        let a = ts(&[1.0, 2.0]);
+        let b = ts(&[1.0]);
+        assert!(TimeSeries::aggregate_sum(&[&a, &b]).is_none());
+        let c = TimeSeries::with_start(vec![1.0, 2.0], 1, Granularity::Monthly);
+        assert!(TimeSeries::aggregate_sum(&[&a, &c]).is_none());
+        assert!(TimeSeries::aggregate_sum(&[]).is_none());
+    }
+
+    #[test]
+    fn push_extends_series() {
+        let mut s = ts(&[1.0]);
+        s.push(2.0);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+        assert_eq!(s.end(), 2);
+    }
+}

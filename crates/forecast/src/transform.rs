@@ -1,0 +1,204 @@
+//! Variance-stabilizing transforms.
+//!
+//! Many cube measures (sales counts, visits, energy) have variance that
+//! grows with the level; a Box–Cox transform before fitting and the
+//! inverse after forecasting often improves additive-model fits. The
+//! transform is provided as a standalone utility: the advisor treats the
+//! forecast method as a black box (§II-B), so transforms compose at the
+//! call site rather than inside the models.
+
+use crate::model::ForecastError;
+use crate::series::TimeSeries;
+
+/// A fitted Box–Cox transform `y = (xᵏ − 1)/λ` (λ ≠ 0) or `y = ln x`
+/// (λ = 0), with a shift making the data strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxCox {
+    /// The exponent λ.
+    pub lambda: f64,
+    /// Shift added before transforming (0 when data is already positive).
+    pub shift: f64,
+}
+
+impl BoxCox {
+    /// Creates a transform with a fixed λ for the given data (derives the
+    /// positivity shift).
+    pub fn with_lambda(x: &[f64], lambda: f64) -> crate::Result<Self> {
+        if x.is_empty() {
+            return Err(ForecastError::InvalidParameter(
+                "Box-Cox needs at least one observation".into(),
+            ));
+        }
+        let min = x.iter().copied().fold(f64::INFINITY, f64::min);
+        let shift = if min > 0.0 { 0.0 } else { -min + 1.0 };
+        Ok(BoxCox { lambda, shift })
+    }
+
+    /// Selects λ from a small grid by maximizing the Box–Cox
+    /// log-likelihood (normality of the transformed data).
+    pub fn fit(x: &[f64]) -> crate::Result<Self> {
+        if x.len() < 3 {
+            return Err(ForecastError::SeriesTooShort {
+                required: 3,
+                got: x.len(),
+            });
+        }
+        let candidate = BoxCox::with_lambda(x, 1.0)?;
+        let shift = candidate.shift;
+        let grid = [-1.0, -0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+        let mut best = (1.0, f64::NEG_INFINITY);
+        for &lambda in &grid {
+            let t = BoxCox { lambda, shift };
+            let y: Vec<f64> = x.iter().map(|&v| t.forward(v)).collect();
+            let n = y.len() as f64;
+            let mean = y.iter().sum::<f64>() / n;
+            let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            if var <= 0.0 {
+                continue;
+            }
+            // Profile log-likelihood: −n/2·ln σ² + (λ−1)·Σ ln(x+shift).
+            let log_jac: f64 = x.iter().map(|&v| (v + shift).max(1e-300).ln()).sum();
+            let ll = -n / 2.0 * var.ln() + (lambda - 1.0) * log_jac;
+            if ll > best.1 {
+                best = (lambda, ll);
+            }
+        }
+        Ok(BoxCox {
+            lambda: best.0,
+            shift,
+        })
+    }
+
+    /// Transforms one value.
+    pub fn forward(&self, x: f64) -> f64 {
+        let v = (x + self.shift).max(1e-300);
+        if self.lambda.abs() < 1e-12 {
+            v.ln()
+        } else {
+            (v.powf(self.lambda) - 1.0) / self.lambda
+        }
+    }
+
+    /// Inverts one transformed value.
+    pub fn inverse(&self, y: f64) -> f64 {
+        let v = if self.lambda.abs() < 1e-12 {
+            y.exp()
+        } else {
+            let base = self.lambda * y + 1.0;
+            // Guard against slightly-negative bases from forecast noise.
+            base.max(1e-300).powf(1.0 / self.lambda)
+        };
+        v - self.shift
+    }
+
+    /// Transforms a whole series.
+    pub fn forward_series(&self, series: &TimeSeries) -> TimeSeries {
+        TimeSeries::with_start(
+            series.values().iter().map(|&v| self.forward(v)).collect(),
+            series.start(),
+            series.granularity(),
+        )
+    }
+
+    /// Inverts a slice of forecasts.
+    pub fn inverse_all(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.inverse(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Granularity;
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        for lambda in [-1.0, -0.5, 0.0, 0.5, 1.0, 2.0] {
+            let t = BoxCox { lambda, shift: 0.0 };
+            for x in [0.1, 1.0, 5.0, 123.4] {
+                let y = t.forward(x);
+                assert!(
+                    (t.inverse(y) - x).abs() < 1e-9,
+                    "λ={lambda} x={x} inverted to {}",
+                    t.inverse(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_a_shift() {
+        let t = BoxCox {
+            lambda: 1.0,
+            shift: 0.0,
+        };
+        assert!((t.forward(5.0) - 4.0).abs() < 1e-12); // (x−1)/1
+        assert!((t.inverse(4.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_is_log() {
+        let t = BoxCox {
+            lambda: 0.0,
+            shift: 0.0,
+        };
+        assert!((t.forward(std::f64::consts::E) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonpositive_data_gets_shifted() {
+        let t = BoxCox::with_lambda(&[-3.0, 0.0, 2.0], 0.5).unwrap();
+        assert_eq!(t.shift, 4.0);
+        let y = t.forward(-3.0);
+        assert!(y.is_finite());
+        assert!((t.inverse(y) + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_prefers_log_for_multiplicative_growth() {
+        // Exponential growth: log (λ≈0) should beat identity (λ=1).
+        let x: Vec<f64> = (0..60).map(|t| (0.1 * t as f64).exp()).collect();
+        let t = BoxCox::fit(&x).unwrap();
+        assert!(
+            t.lambda <= 0.25,
+            "expected λ near 0 for exponential data, got {}",
+            t.lambda
+        );
+    }
+
+    #[test]
+    fn fit_keeps_identity_for_already_gaussian_data() {
+        // Linear data with additive noise: identity should be competitive
+        // (λ close to 1, certainly not log).
+        let mut state = 42u64;
+        let x: Vec<f64> = (0..200)
+            .map(|t| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                100.0 + t as f64 * 0.1 + noise * 5.0
+            })
+            .collect();
+        let t = BoxCox::fit(&x).unwrap();
+        assert!(t.lambda >= 0.5, "got λ = {}", t.lambda);
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let series = TimeSeries::new(vec![1.0, 4.0, 9.0, 16.0], Granularity::Monthly);
+        let t = BoxCox::with_lambda(series.values(), 0.5).unwrap();
+        let transformed = t.forward_series(&series);
+        let back = t.inverse_all(transformed.values());
+        for (a, b) in back.iter().zip(series.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(transformed.start(), series.start());
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(BoxCox::with_lambda(&[], 1.0).is_err());
+        assert!(BoxCox::fit(&[1.0]).is_err());
+    }
+}

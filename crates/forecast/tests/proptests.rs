@@ -1,0 +1,118 @@
+//! Property-based tests of the forecasting substrate.
+
+use fdc_forecast::model::restore_model;
+use fdc_forecast::{
+    smape, FitOptions, ForecastModel, Granularity, ModelSpec, SeasonalKind, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn series_strategy(min_len: usize) -> impl Strategy<Value = TimeSeries> {
+    proptest::collection::vec(1.0f64..1000.0, min_len..min_len + 64)
+        .prop_map(|v| TimeSeries::new(v, Granularity::Monthly))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental update equals batch recomputation for SES (the
+    /// invariant F²DB maintenance relies on).
+    #[test]
+    fn ses_incremental_equals_batch(
+        series in series_strategy(8),
+        alpha in 0.05f64..0.95,
+        extra in proptest::collection::vec(1.0f64..1000.0, 1..8),
+    ) {
+        use fdc_forecast::smoothing::SimpleExponentialSmoothing;
+        let mut all = series.values().to_vec();
+        all.extend_from_slice(&extra);
+        let batch = SimpleExponentialSmoothing::with_params(&all, alpha);
+        let mut incr = SimpleExponentialSmoothing::with_params(series.values(), alpha);
+        for &v in &extra {
+            incr.update(v);
+        }
+        prop_assert!((incr.forecast(1)[0] - batch.forecast(1)[0]).abs() < 1e-9);
+        prop_assert_eq!(incr.observations(), batch.observations());
+    }
+
+    /// Holt incremental update equals batch recomputation.
+    #[test]
+    fn holt_incremental_equals_batch(
+        series in series_strategy(8),
+        alpha in 0.05f64..0.95,
+        beta in 0.05f64..0.95,
+        extra in proptest::collection::vec(1.0f64..1000.0, 1..8),
+    ) {
+        use fdc_forecast::smoothing::Holt;
+        let mut all = series.values().to_vec();
+        all.extend_from_slice(&extra);
+        let batch = Holt::with_params(&all, alpha, beta);
+        let mut incr = Holt::with_params(series.values(), alpha, beta);
+        for &v in &extra {
+            incr.update(v);
+        }
+        prop_assert!((incr.forecast(3)[2] - batch.forecast(3)[2]).abs() < 1e-6);
+    }
+
+    /// Every fitted model produces finite forecasts of the requested
+    /// length, and restores identically from serialized state.
+    #[test]
+    fn fitted_models_forecast_finitely_and_round_trip(
+        series in series_strategy(30),
+        horizon in 1usize..24,
+    ) {
+        let opts = FitOptions::default();
+        for spec in [
+            ModelSpec::Ses,
+            ModelSpec::Holt,
+            ModelSpec::HoltWinters { period: 4, seasonal: SeasonalKind::Additive },
+            ModelSpec::Arima { p: 1, d: 1, q: 0 },
+        ] {
+            let model = spec.fit(&series, &opts).expect("series long enough");
+            let fc = model.forecast(horizon);
+            prop_assert_eq!(fc.len(), horizon);
+            prop_assert!(fc.iter().all(|v| v.is_finite()), "{:?}: {:?}", spec, fc);
+            let restored = restore_model(&model.state()).expect("state is valid");
+            prop_assert_eq!(restored.forecast(horizon), fc);
+        }
+    }
+
+    /// A constant series is forecast (almost) exactly by every smoothing
+    /// model.
+    #[test]
+    fn constant_series_forecast_exactly(
+        level in 1.0f64..1e4,
+        len in 12usize..40,
+    ) {
+        let series = TimeSeries::new(vec![level; len], Granularity::Quarterly);
+        let opts = FitOptions::default();
+        for spec in [ModelSpec::Ses, ModelSpec::Holt] {
+            let model = spec.fit(&series, &opts).unwrap();
+            for v in model.forecast(4) {
+                prop_assert!((v - level).abs() < 1e-6 * level, "{:?} -> {v}", spec);
+            }
+        }
+    }
+
+    /// SMAPE of a forecast scaled toward the actual decreases
+    /// monotonically (closer forecasts are never judged worse).
+    #[test]
+    fn smape_monotone_under_contraction(
+        actual in proptest::collection::vec(1.0f64..1e4, 4..32),
+        scale in 1.1f64..4.0,
+    ) {
+        let far: Vec<f64> = actual.iter().map(|v| v * scale).collect();
+        let near: Vec<f64> = actual.iter().map(|v| v * (1.0 + (scale - 1.0) / 2.0)).collect();
+        prop_assert!(smape(&actual, &near) <= smape(&actual, &far) + 1e-12);
+    }
+
+    /// Train/test split partitions the series exactly.
+    #[test]
+    fn split_partitions_series(series in series_strategy(4), frac in 0.0f64..1.0) {
+        let (train, test) = series.split(frac);
+        prop_assert_eq!(train.len() + test.len(), series.len());
+        let mut joined = train.values().to_vec();
+        joined.extend_from_slice(test.values());
+        prop_assert_eq!(joined.as_slice(), series.values());
+        prop_assert_eq!(test.start(), train.end());
+    }
+}

@@ -1,0 +1,121 @@
+//! The empirical **greedy** model selection of Fischer et al. \[19\].
+//!
+//! "A simple greedy approach that initially builds all forecast models
+//! for all nodes in the graph and then selects in each step the model
+//! with the highest benefit with respect to forecast accuracy. It stops
+//! when there is no model left that improves the accuracy. To calculate
+//! the forecasts, it only considers the traditional derivation schemes
+//! aggregation, disaggregation and direct" (§VI-B).
+//!
+//! Building every model upfront and re-evaluating every remaining
+//! candidate in every iteration is what makes the approach accurate but
+//! expensive — its runtime "strongly increases with increasing number of
+//! time series" (Fig. 9a), which the scalability benchmark reproduces.
+
+use crate::{adopt_traditional, errors_of, BaselineOptions, BaselineResult};
+use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset};
+use std::time::Instant;
+
+/// Runs the greedy baseline.
+pub fn greedy(dataset: &Dataset, split: &CubeSplit, options: &BaselineOptions) -> BaselineResult {
+    let start = Instant::now();
+    let spec = options.resolve_spec(dataset);
+    let n = dataset.node_count();
+
+    // Phase 1: build all models (the expensive upfront investment of [19]).
+    let mut pool: Vec<Option<ConfiguredModel>> = (0..n)
+        .map(|v| ConfiguredModel::fit(split, v, &spec, &options.fit).ok())
+        .collect();
+
+    // Phase 2: iteratively add the model with the highest benefit.
+    let mut cfg = Configuration::new(n);
+    let mut remaining: Vec<usize> = (0..n).filter(|&v| pool[v].is_some()).collect();
+    loop {
+        let current_error = cfg.overall_error();
+        let mut best: Option<(usize, f64)> = None;
+        for &cand in &remaining {
+            // Tentatively add the candidate and measure the configuration
+            // error restricted to traditional schemes.
+            let mut trial = cfg.clone();
+            trial.insert_model(
+                cand,
+                pool[cand].as_ref().expect("candidate is available").clone(),
+            );
+            adopt_traditional(&mut trial, dataset, split);
+            let err = trial.overall_error();
+            if err < current_error - 1e-12 && best.is_none_or(|(_, be)| err < be) {
+                best = Some((cand, err));
+            }
+        }
+        let Some((winner, _)) = best else { break };
+        cfg.insert_model(
+            winner,
+            pool[winner].take().expect("winner was available"),
+        );
+        adopt_traditional(&mut cfg, dataset, split);
+        remaining.retain(|&v| v != winner);
+    }
+
+    BaselineResult {
+        name: "greedy",
+        node_errors: errors_of(&cfg),
+        model_count: cfg.model_count(),
+        total_cost: cfg.total_cost(),
+        wall_time: start.elapsed(),
+        configuration: Some(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::tourism_proxy;
+
+    #[test]
+    fn greedy_selects_a_proper_subset_of_models() {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let r = greedy(&ds, &split, &BaselineOptions::default());
+        assert!(r.model_count >= 1);
+        assert!(
+            r.model_count < ds.node_count(),
+            "greedy kept all {} models",
+            r.model_count
+        );
+    }
+
+    #[test]
+    fn greedy_beats_data_independent_baselines_on_correlated_data() {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let g = greedy(&ds, &split, &BaselineOptions::default());
+        let td = crate::top_down(&ds, &split, &BaselineOptions::default());
+        let bu = crate::bottom_up(&ds, &split, &BaselineOptions::default());
+        // Greedy has strictly more freedom than either fixed scheme, so its
+        // training-split error cannot be (much) worse than the best of them.
+        let best_fixed = td.overall_error().min(bu.overall_error());
+        assert!(
+            g.overall_error() <= best_fixed + 1e-9,
+            "greedy {} vs best fixed {best_fixed}",
+            g.overall_error()
+        );
+    }
+
+    #[test]
+    fn greedy_schemes_are_traditional_only() {
+        let ds = tourism_proxy(2);
+        let split = CubeSplit::new(&ds, 0.8);
+        let r = greedy(&ds, &split, &BaselineOptions::default());
+        let cfg = r.configuration.as_ref().unwrap();
+        for v in 0..ds.node_count() {
+            if let Some(s) = &cfg.estimate(v).scheme {
+                let kind = fdc_cube::derive::classify_scheme(&ds, &s.sources, v);
+                assert_ne!(
+                    kind,
+                    fdc_cube::SchemeKind::General,
+                    "node {v} uses a non-traditional scheme"
+                );
+            }
+        }
+    }
+}

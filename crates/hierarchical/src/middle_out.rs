@@ -1,0 +1,121 @@
+//! The **middle-out** approach: models at an intermediate level.
+//!
+//! Not part of the paper's evaluation, but the third classic strategy of
+//! the hierarchical-forecasting literature the paper cites (\[23\]): place
+//! models at one intermediate aggregation level, *aggregate up* from it
+//! and *disaggregate down* below it. It interpolates between bottom-up
+//! (level 0) and top-down (top level) in both cost and error behaviour,
+//! which makes it a useful calibration point next to the advisor.
+
+use crate::{errors_of, is_ancestor, BaselineOptions, BaselineResult};
+use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset, NodeId};
+use std::time::Instant;
+
+/// Runs the middle-out baseline with models at the given hyper-graph
+/// `level` (0 = bottom-up behaviour, `max_level` = top-down behaviour).
+pub fn middle_out(
+    dataset: &Dataset,
+    split: &CubeSplit,
+    level: usize,
+    options: &BaselineOptions,
+) -> BaselineResult {
+    let start = Instant::now();
+    let spec = options.resolve_spec(dataset);
+    let g = dataset.graph();
+    let level = level.min(g.max_level());
+    let mut cfg = Configuration::new(dataset.node_count());
+
+    // Models at every node of the chosen level.
+    let mid: Vec<NodeId> = (0..g.node_count()).filter(|&v| g.level(v) == level).collect();
+    for &v in &mid {
+        if let Ok(model) = ConfiguredModel::fit(split, v, &spec, &options.fit) {
+            cfg.insert_model(v, model);
+        }
+    }
+
+    // Serve every node: at-level direct; above by aggregating the level
+    // nodes underneath; below by disaggregating from the covering level
+    // node.
+    for t in 0..dataset.node_count() {
+        if cfg.has_model(t) {
+            cfg.adopt_if_better(dataset, split, &[t], t);
+            continue;
+        }
+        if g.level(t) > level {
+            let sources: Vec<NodeId> = mid
+                .iter()
+                .copied()
+                .filter(|&m| cfg.has_model(m) && is_ancestor(dataset, t, m))
+                .collect();
+            if !sources.is_empty() {
+                cfg.adopt_if_better(dataset, split, &sources, t);
+            }
+        } else {
+            // Find the (unique for tree-shaped dims, first for general
+            // cubes) level node covering t.
+            if let Some(&m) = mid
+                .iter()
+                .find(|&&m| cfg.has_model(m) && is_ancestor(dataset, m, t))
+            {
+                cfg.adopt_if_better(dataset, split, &[m], t);
+            }
+        }
+    }
+
+    BaselineResult {
+        name: "middle-out",
+        node_errors: errors_of(&cfg),
+        model_count: cfg.model_count(),
+        total_cost: cfg.total_cost(),
+        wall_time: start.elapsed(),
+        configuration: Some(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::tourism_proxy;
+
+    #[test]
+    fn middle_out_at_level_one_covers_everything() {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let r = middle_out(&ds, &split, 1, &BaselineOptions::default());
+        // Level 1 of the tourism cube: purpose aggregates (4) + state
+        // aggregates (8) = 12 models.
+        assert_eq!(r.model_count, 12);
+        let cfg = r.configuration.as_ref().unwrap();
+        for v in 0..ds.node_count() {
+            assert!(
+                cfg.estimate(v).scheme.is_some(),
+                "node {v} unserved by middle-out"
+            );
+        }
+    }
+
+    #[test]
+    fn level_extremes_match_bottom_up_and_top_down_costs() {
+        let ds = tourism_proxy(2);
+        let split = CubeSplit::new(&ds, 0.8);
+        let bottom = middle_out(&ds, &split, 0, &BaselineOptions::default());
+        assert_eq!(bottom.model_count, ds.graph().base_nodes().len());
+        let top = middle_out(&ds, &split, ds.graph().max_level(), &BaselineOptions::default());
+        assert_eq!(top.model_count, 1);
+        // Level beyond max clamps.
+        let clamped = middle_out(&ds, &split, 99, &BaselineOptions::default());
+        assert_eq!(clamped.model_count, 1);
+    }
+
+    #[test]
+    fn middle_out_cost_sits_between_extremes() {
+        let ds = tourism_proxy(3);
+        let split = CubeSplit::new(&ds, 0.8);
+        let opts = BaselineOptions::default();
+        let bu = middle_out(&ds, &split, 0, &opts);
+        let mid = middle_out(&ds, &split, 1, &opts);
+        let td = middle_out(&ds, &split, ds.graph().max_level(), &opts);
+        assert!(td.model_count < mid.model_count);
+        assert!(mid.model_count < bu.model_count);
+    }
+}

@@ -1,0 +1,81 @@
+//! The **top-down** approach: one model at the top node.
+//!
+//! "The other commonly applied method … distributes the forecasts of the
+//! top node down the hierarchy based on the historical proportions of the
+//! data. Gross and Sohl analyzed several versions of this approach, where
+//! a simple method that uses the proportions of the historical averages
+//! performed best" (§VI-B). The derivation weight `k = h_t / h_top`
+//! computed on the training history is exactly that proportion.
+
+use crate::{errors_of, BaselineOptions, BaselineResult};
+use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset};
+use std::time::Instant;
+
+/// Runs the top-down baseline.
+pub fn top_down(
+    dataset: &Dataset,
+    split: &CubeSplit,
+    options: &BaselineOptions,
+) -> BaselineResult {
+    let start = Instant::now();
+    let spec = options.resolve_spec(dataset);
+    let top = dataset.graph().top_node();
+    let mut cfg = Configuration::new(dataset.node_count());
+    if let Ok(model) = ConfiguredModel::fit(split, top, &spec, &options.fit) {
+        cfg.insert_model(top, model);
+        for v in 0..dataset.node_count() {
+            cfg.adopt_if_better(dataset, split, &[top], v);
+        }
+    }
+    BaselineResult {
+        name: "top-down",
+        node_errors: errors_of(&cfg),
+        model_count: cfg.model_count(),
+        total_cost: cfg.total_cost(),
+        wall_time: start.elapsed(),
+        configuration: Some(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::tourism_proxy;
+
+    #[test]
+    fn top_down_builds_exactly_one_model() {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let r = top_down(&ds, &split, &BaselineOptions::default());
+        assert_eq!(r.model_count, 1);
+        let cfg = r.configuration.as_ref().unwrap();
+        assert!(cfg.has_model(ds.graph().top_node()));
+    }
+
+    #[test]
+    fn every_node_disaggregates_from_top() {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let r = top_down(&ds, &split, &BaselineOptions::default());
+        let cfg = r.configuration.as_ref().unwrap();
+        let top = ds.graph().top_node();
+        let mut weight_sum = 0.0;
+        for &b in ds.graph().base_nodes() {
+            let scheme = cfg.estimate(b).scheme.as_ref().unwrap();
+            assert_eq!(scheme.sources, vec![top]);
+            weight_sum += scheme.weight;
+        }
+        // The base proportions of the total must sum to ≈ 1.
+        assert!((weight_sum - 1.0).abs() < 0.05, "proportions sum {weight_sum}");
+    }
+
+    #[test]
+    fn top_down_cheapest_in_cost() {
+        let ds = tourism_proxy(2);
+        let split = CubeSplit::new(&ds, 0.8);
+        let td = top_down(&ds, &split, &BaselineOptions::default());
+        let direct = crate::direct(&ds, &split, &BaselineOptions::default());
+        assert!(td.total_cost < direct.total_cost);
+        assert!(td.model_count < direct.model_count);
+    }
+}

@@ -1,0 +1,76 @@
+//! # fdc-linalg
+//!
+//! A small, dependency-free dense linear algebra kernel used by the
+//! hierarchical-forecasting baselines of the data-cube reproduction —
+//! most importantly the *optimal combination* (Hyndman et al.) baseline,
+//! which reconciles independent node forecasts through the ordinary
+//! least squares projection `ŷ̃ = S (SᵀS)⁻¹ Sᵀ ŷ`.
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — a row-major dense matrix of `f64` with the usual
+//!   arithmetic, transpose and multiplication operations,
+//! * [`cholesky::Cholesky`] — Cholesky factorization of symmetric
+//!   positive-definite systems (used for normal-equation solves),
+//! * [`qr::Qr`] — Householder QR factorization (used for rank-safe least
+//!   squares),
+//! * [`lstsq`](mod@crate::lstsq) — convenience least squares driver choosing between the two.
+//!
+//! All algorithms are textbook implementations (Golub & Van Loan) written
+//! for clarity; the matrices appearing in the reproduction are small
+//! (number of graph nodes × number of base series), so asymptotics are not
+//! a concern, but the kernels are still written allocation-consciously.
+
+//! ## Example
+//!
+//! ```
+//! use fdc_linalg::{lstsq, Matrix};
+//!
+//! // Fit y = 1 + 2t through three points.
+//! let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+//! let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
+//! assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 2.0).abs() < 1e-9);
+//! ```
+
+pub mod cholesky;
+pub mod lstsq;
+pub mod matrix;
+pub mod qr;
+
+pub use cholesky::Cholesky;
+pub use lstsq::{lstsq, ols_projection, solve_normal_equations};
+pub use matrix::Matrix;
+pub use qr::Qr;
+
+/// Error type for linear algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was supplied.
+        found: String,
+    },
+    /// The matrix is (numerically) singular or not positive definite.
+    Singular,
+    /// The input is empty where a non-empty value is required.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular or not positive definite"),
+            LinalgError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

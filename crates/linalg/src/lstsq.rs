@@ -1,0 +1,110 @@
+//! Least squares drivers.
+//!
+//! The optimal-combination baseline solves `min ‖S β − ŷ‖₂` where `S` is
+//! the summing matrix of the time series hyper graph. For well-conditioned
+//! systems the normal equations with a Cholesky solve are fastest; when the
+//! Gram matrix is (numerically) singular we fall back to Householder QR,
+//! which is slower but more robust.
+
+use crate::{Cholesky, LinalgError, Matrix, Qr, Result};
+
+/// Solves the least squares problem `min ‖a x − b‖₂`.
+///
+/// Tries the normal equations (Cholesky) first and falls back to QR when
+/// the Gram matrix is not positive definite.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    match solve_normal_equations(a, b) {
+        Ok(x) => Ok(x),
+        Err(LinalgError::Singular) => Qr::new(a)?.solve(b),
+        Err(e) => Err(e),
+    }
+}
+
+/// Solves `min ‖a x − b‖₂` through the normal equations `(AᵀA)x = Aᵀb`.
+pub fn solve_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("vector of length {}", a.rows()),
+            found: format!("vector of length {}", b.len()),
+        });
+    }
+    let at = a.transpose();
+    let gram = at.matmul(a)?;
+    let rhs = at.matvec(b)?;
+    Cholesky::new(&gram)?.solve(&rhs)
+}
+
+/// Computes the OLS projection matrix `P = S (SᵀS)⁻¹ Sᵀ` used by the
+/// optimal-combination reconciliation of Hyndman et al.
+///
+/// Multiplying a vector of independent node forecasts by `P` yields the
+/// reconciled forecasts that are consistent with the aggregation
+/// structure while minimizing the total adjustment in the least squares
+/// sense.
+pub fn ols_projection(s: &Matrix) -> Result<Matrix> {
+    let st = s.transpose();
+    let gram = st.matmul(s)?;
+    let gram_inv = Cholesky::new(&gram)?.inverse()?;
+    s.matmul(&gram_inv)?.matmul(&st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstsq_matches_qr_on_regular_system() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = [1.0, 3.0, 5.0];
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_falls_back_to_qr_errors_when_truly_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert!(lstsq(&a, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn normal_equations_reject_bad_rhs() {
+        let a = Matrix::identity(2);
+        assert!(solve_normal_equations(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn projection_is_idempotent_and_symmetric() {
+        // Summing matrix of a 2-leaf hierarchy: rows = [total; leaf1; leaf2]
+        let s = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let p = ols_projection(&s).unwrap();
+        // Idempotent: P P = P
+        let pp = p.matmul(&p).unwrap();
+        assert!(pp.max_abs_diff(&p).unwrap() < 1e-10);
+        // Symmetric
+        assert!(p.max_abs_diff(&p.transpose()).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn projection_preserves_coherent_forecasts() {
+        // A coherent vector (total = leaf1 + leaf2) lies in span(S) and
+        // must be unchanged by the projection.
+        let s = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let p = ols_projection(&s).unwrap();
+        let coherent = [5.0, 2.0, 3.0];
+        let out = p.matvec(&coherent).unwrap();
+        for (a, b) in out.iter().zip(&coherent) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn projection_reconciles_incoherent_forecasts() {
+        let s = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let p = ols_projection(&s).unwrap();
+        // total says 10 but leaves say 2+3: projection must output a
+        // coherent vector (first component equals sum of the rest).
+        let out = p.matvec(&[10.0, 2.0, 3.0]).unwrap();
+        assert!((out[0] - (out[1] + out[2])).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,240 @@
+#![allow(clippy::needless_range_loop)] // triangular solves read clearest with index loops
+//! Householder QR factorization and least squares solve.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// The factorization is stored in compact form: the upper triangle of the
+/// working matrix holds `R`, while the Householder vectors that implicitly
+/// define `Q` are kept in the lower triangle plus a separate scalar array.
+/// This is the standard LAPACK-style storage and avoids materializing `Q`,
+/// which is never needed for least squares.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization (R in the upper triangle, Householder vectors
+    /// below the diagonal).
+    qr: Matrix,
+    /// The leading coefficients of the Householder vectors (the diagonal
+    /// elements of the pre-scaled vectors).
+    r_diag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a`. Requires `a.rows() >= a.cols()` and a non-empty
+    /// matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "rows >= cols".into(),
+                found: format!("{m}x{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut r_diag = vec![0.0; n];
+        for k in 0..n {
+            // Norm of the k-th column below (and including) the diagonal.
+            let mut nrm = 0.0f64;
+            for i in k..m {
+                nrm = nrm.hypot(qr[(i, k)]);
+            }
+            if nrm == 0.0 {
+                r_diag[k] = 0.0;
+                continue;
+            }
+            if qr[(k, k)] < 0.0 {
+                nrm = -nrm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= nrm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let v = qr[(i, k)];
+                    qr[(i, j)] += s * v;
+                }
+            }
+            r_diag[k] = -nrm;
+        }
+        Ok(Qr { qr, r_diag })
+    }
+
+    /// Whether `R` has full rank (no negligible diagonal element).
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self
+            .r_diag
+            .iter()
+            .map(|d| d.abs())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        self.r_diag.iter().all(|d| d.abs() > 1e-12 * scale)
+    }
+
+    /// Solves the least squares problem `min ‖a x − b‖₂` where `a` is the
+    /// factorized matrix.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {m}"),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        if !self.is_full_rank() {
+            return Err(LinalgError::Singular);
+        }
+        let mut y = b.to_vec();
+        // Compute Qᵀ b by applying the reflectors in order.
+        for k in 0..n {
+            if self.qr[(k, k)] == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = (Qᵀ b)[..n]
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = y[k];
+            for j in (k + 1)..n {
+                s -= self.qr[(k, j)] * x[j];
+            }
+            x[k] = s / self.r_diag[k];
+        }
+        Ok(x)
+    }
+
+    /// Solves against every column of `b`, producing the `n × p` solution.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.qr.cols();
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let x = self.solve(&b.col(c))?;
+            for (r, v) in x.into_iter().enumerate() {
+                out[(r, c)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts the `n × n` upper-triangular factor `R` (mainly for tests).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            r[(i, i)] = self.r_diag[i];
+            for j in (i + 1)..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_regression_recovers_line() {
+        // Fit y = 2 + 3t exactly through 5 points.
+        let ts: Vec<f64> = (0..5).map(|t| t as f64).collect();
+        let rows: Vec<Vec<f64>> = ts.iter().map(|&t| vec![1.0, t]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b: Vec<f64> = ts.iter().map(|&t| 2.0 + 3.0 * t).collect();
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Noisy overdetermined system: solution must satisfy the normal
+        // equations Aᵀ(Ax - b) = 0.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.2, 2.8, 4.1];
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let atr = a.transpose().matvec(&resid).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_consistent() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r.rows(), 2);
+        // |R| diag should equal singular-value-product magnitude: check
+        // RᵀR == AᵀA (both equal Gram matrix).
+        let gram = a.transpose().matmul(&a).unwrap();
+        let rtr = r.transpose().matmul(&r).unwrap();
+        assert!(gram.max_abs_diff(&rtr).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 4.0], &[4.0, 8.0]]).unwrap();
+        let x = Qr::new(&a).unwrap().solve_matrix(&b).unwrap();
+        let expect = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap();
+        assert!(x.max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a = Matrix::identity(2);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the linear algebra kernel.
+
+use fdc_linalg::{lstsq, ols_projection, Cholesky, Matrix, Qr};
+use proptest::prelude::*;
+
+/// Strategy: a random well-conditioned SPD matrix `A = B Bᵀ + n·I`.
+fn spd_strategy() -> impl Strategy<Value = Matrix> {
+    (2usize..6).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data).unwrap();
+            let bbt = b.matmul(&b.transpose()).unwrap();
+            bbt.add(&Matrix::identity(n).scale(n as f64)).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cholesky factor reconstructs the input and solves correctly.
+    #[test]
+    fn cholesky_solves_spd_systems(a in spd_strategy()) {
+        let n = a.rows();
+        let ch = Cholesky::new(&a).expect("SPD by construction");
+        let l = ch.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8 * a.frobenius_norm().max(1.0));
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    /// QR least squares satisfies the normal equations Aᵀ(Ax − b) = 0.
+    #[test]
+    fn qr_satisfies_normal_equations(
+        rows in 3usize..8,
+        cols in 1usize..3,
+        data in proptest::collection::vec(-10.0f64..10.0, 24),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        let a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec()).unwrap();
+        // Make the system full rank by nudging the diagonal.
+        let mut a = a;
+        for i in 0..cols {
+            a[(i, i)] += 5.0;
+        }
+        let b = &rhs[..rows];
+        let qr = Qr::new(&a).unwrap();
+        prop_assume!(qr.is_full_rank());
+        let x = qr.solve(b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(b).map(|(p, q)| p - q).collect();
+        for v in a.transpose().matvec(&resid).unwrap() {
+            prop_assert!(v.abs() < 1e-6, "normal equation residual {v}");
+        }
+    }
+
+    /// The driver lstsq agrees with QR on full-rank systems.
+    #[test]
+    fn lstsq_matches_qr(
+        rows in 3usize..8,
+        data in proptest::collection::vec(-5.0f64..5.0, 16),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let cols = 2usize;
+        let mut a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec()).unwrap();
+        for i in 0..cols {
+            a[(i, i)] += 10.0;
+        }
+        let b = &rhs[..rows];
+        let via_driver = lstsq(&a, b).unwrap();
+        let via_qr = Qr::new(&a).unwrap().solve(b).unwrap();
+        for (u, v) in via_driver.iter().zip(&via_qr) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    /// OLS projection of a summing matrix is idempotent, symmetric and
+    /// fixes coherent vectors.
+    #[test]
+    fn projection_properties(leaves in 2usize..5) {
+        // Hierarchy: total + each leaf.
+        let mut s = Matrix::zeros(leaves + 1, leaves);
+        for j in 0..leaves {
+            s[(0, j)] = 1.0;
+            s[(j + 1, j)] = 1.0;
+        }
+        let p = ols_projection(&s).unwrap();
+        let pp = p.matmul(&p).unwrap();
+        prop_assert!(pp.max_abs_diff(&p).unwrap() < 1e-9);
+        prop_assert!(p.max_abs_diff(&p.transpose()).unwrap() < 1e-9);
+        // Coherent vector: total = Σ leaves.
+        let mut y = vec![0.0; leaves + 1];
+        for j in 1..=leaves {
+            y[j] = j as f64;
+            y[0] += j as f64;
+        }
+        let py = p.matvec(&y).unwrap();
+        for (u, v) in py.iter().zip(&y) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    /// Matrix transpose is an involution and matmul is associative on
+    /// small random matrices.
+    #[test]
+    fn matrix_algebra_laws(
+        a_data in proptest::collection::vec(-3.0f64..3.0, 6),
+        b_data in proptest::collection::vec(-3.0f64..3.0, 6),
+        c_data in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let a = Matrix::from_vec(2, 3, a_data).unwrap();
+        let b = Matrix::from_vec(3, 2, b_data).unwrap();
+        let c = Matrix::from_vec(2, 2, c_data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-9);
+        // (AB)ᵀ = BᵀAᵀ
+        let abt = a.matmul(&b).unwrap().transpose();
+        let btat = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(abt.max_abs_diff(&btat).unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! `fdc-shell` — an interactive session against the embedded
+//! flash-forward database.
+//!
+//! Loads a data set (a CSV in the `fdc::datagen::import_csv` long format,
+//! or a built-in demo cube), runs the model configuration advisor, and
+//! then reads SQL statements from stdin: forecast queries, inserts and
+//! `EXPLAIN`, plus the meta commands `\report`, `\stats` and `\quit`.
+//!
+//! ```sh
+//! cargo run --release --bin fdc-shell                 # demo cube
+//! cargo run --release --bin fdc-shell -- data.csv     # your data (monthly)
+//! ```
+
+use fdc::advisor::{summarize, Advisor, AdvisorOptions};
+use fdc::datagen::{generate_cube, import_csv, GenSpec};
+use fdc::f2db::F2db;
+use fdc::forecast::Granularity;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = match args.first() {
+        Some(path) => {
+            let content = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let granularity = match args.get(1).map(String::as_str) {
+                Some("hourly") => Granularity::Hourly,
+                Some("daily") => Granularity::Daily,
+                Some("weekly") => Granularity::Weekly,
+                Some("quarterly") => Granularity::Quarterly,
+                Some("yearly") => Granularity::Yearly,
+                _ => Granularity::Monthly,
+            };
+            match import_csv(&content, granularity) {
+                Ok(ds) => ds,
+                Err(e) => {
+                    eprintln!("import failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("no CSV given — using a demo cube (24 base series, quarterly)");
+            generate_cube(&GenSpec::new(24, 48, 42)).dataset
+        }
+    };
+
+    eprintln!(
+        "cube: {} base series, {} nodes; running the advisor…",
+        dataset.graph().base_nodes().len(),
+        dataset.node_count()
+    );
+    let outcome = match Advisor::new(&dataset, AdvisorOptions::default()) {
+        Ok(mut advisor) => advisor.run(),
+        Err(e) => {
+            eprintln!("advisor failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "configuration ready: error {:.4}, {} models\n",
+        outcome.error, outcome.model_count
+    );
+    let report = summarize(&dataset, &outcome.configuration, 5);
+    let mut db = match F2db::load(dataset, &outcome.configuration) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let dims: Vec<String> = db
+        .dataset()
+        .graph()
+        .schema()
+        .dimensions()
+        .iter()
+        .map(|d| d.name().to_string())
+        .collect();
+    eprintln!("dimensions: {}", dims.join(", "));
+    eprintln!("try: SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'");
+    eprintln!("     EXPLAIN <query> | \\report | \\stats | \\quit\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("fdc> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\quit" | "\\q" | "exit" => break,
+            "\\report" => {
+                println!("{report}");
+                continue;
+            }
+            "\\stats" => {
+                let s = db.stats();
+                println!(
+                    "queries {}, inserts {}, advances {}, updates {}, invalidations {}, reestimations {}, avg query {:?}",
+                    s.queries,
+                    s.inserts,
+                    s.time_advances,
+                    s.model_updates,
+                    s.invalidations,
+                    s.reestimations,
+                    s.avg_query_time()
+                );
+                continue;
+            }
+            _ => {}
+        }
+        if line.to_ascii_lowercase().starts_with("explain") {
+            match db.explain(line) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match db.execute(line) {
+            Ok(result) if result.rows.is_empty() => {
+                println!("ok ({} inserts pending)", db.pending_inserts());
+            }
+            Ok(result) => {
+                for row in &result.rows {
+                    println!("[{}]", row.label);
+                    for (t, v) in &row.values {
+                        println!("  t={t:<6} {v:.3}");
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-crate integration: the qualitative relationships the paper's
+//! accuracy analysis (§VI-B, Fig. 7) establishes between the approaches
+//! must hold on the proxy data sets.
+
+use fdc::advisor::{Advisor, AdvisorOptions};
+use fdc::cube::CubeSplit;
+use fdc::datagen::{sales_proxy, tourism_proxy};
+use fdc::hierarchical::{bottom_up, combine, direct, greedy, top_down, BaselineOptions};
+
+#[test]
+fn figure7_relationships_hold_on_tourism() {
+    let ds = tourism_proxy(1);
+    let split = CubeSplit::new(&ds, 0.8);
+    let opts = BaselineOptions::default();
+
+    let dir = direct(&ds, &split, &opts);
+    let bu = bottom_up(&ds, &split, &opts);
+    let td = top_down(&ds, &split, &opts);
+    let comb = combine(&ds, &split, &opts);
+    let gre = greedy(&ds, &split, &opts);
+    let adv = Advisor::new(&ds, AdvisorOptions::default()).unwrap().run();
+
+    // Cost ordering: top-down cheapest (1 model), direct/combine most
+    // expensive (model per node).
+    assert_eq!(td.model_count, 1);
+    assert_eq!(dir.model_count, ds.node_count());
+    assert_eq!(comb.model_count, ds.node_count());
+    assert_eq!(bu.model_count, ds.graph().base_nodes().len());
+
+    // Greedy beats the data-independent approaches on error.
+    let best_fixed = dir
+        .overall_error()
+        .min(bu.overall_error())
+        .min(td.overall_error());
+    assert!(
+        gre.overall_error() <= best_fixed + 1e-9,
+        "greedy {} vs best fixed {best_fixed}",
+        gre.overall_error()
+    );
+
+    // The advisor achieves the lowest error overall ("for all data sets,
+    // our advisor results in the lowest overall forecast error") with a
+    // small tolerance for optimizer noise …
+    assert!(
+        adv.error <= gre.overall_error() + 0.005,
+        "advisor {} vs greedy {}",
+        adv.error,
+        gre.overall_error()
+    );
+    // … while storing fewer models than direct/bottom-up/combine.
+    assert!(adv.model_count < dir.model_count);
+    assert!(adv.model_count < comb.model_count);
+}
+
+#[test]
+fn advisor_beats_every_fixed_scheme_on_sales() {
+    let ds = sales_proxy(1);
+    let split = CubeSplit::new(&ds, 0.8);
+    let opts = BaselineOptions::default();
+    let fixed_errors = [
+        direct(&ds, &split, &opts).overall_error(),
+        bottom_up(&ds, &split, &opts).overall_error(),
+        top_down(&ds, &split, &opts).overall_error(),
+    ];
+    let adv = Advisor::new(&ds, AdvisorOptions::default()).unwrap().run();
+    let best = fixed_errors.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        adv.error <= best + 1e-9,
+        "advisor {} vs best fixed {best}",
+        adv.error
+    );
+}
+
+#[test]
+fn greedy_runtime_exceeds_advisor_runtime() {
+    // The paper's Fig. 9(a): greedy scales much worse. Even at 45 nodes
+    // the exhaustive benefit evaluation costs more wall time than the
+    // advisor's candidate-guided search.
+    let ds = tourism_proxy(2);
+    let split = CubeSplit::new(&ds, 0.8);
+    let gre = greedy(&ds, &split, &BaselineOptions::default());
+    let start = std::time::Instant::now();
+    let _ = Advisor::new(&ds, AdvisorOptions::default()).unwrap().run();
+    let adv_time = start.elapsed();
+    assert!(
+        gre.wall_time > adv_time / 4,
+        "greedy {:?} suspiciously fast vs advisor {:?}",
+        gre.wall_time,
+        adv_time
+    );
+}

@@ -1,0 +1,113 @@
+//! End-to-end integration: data generation → advisor → F²DB deployment →
+//! forecast queries → streaming maintenance. Exercises every crate of the
+//! workspace through the public `fdc` facade.
+
+use fdc::advisor::{Advisor, AdvisorOptions, StopCriteria};
+use fdc::datagen::{generate_cube, sales_proxy, GenSpec};
+use fdc::f2db::{F2db, MaintenancePolicy};
+
+#[test]
+fn advisor_to_database_to_queries() {
+    let ds = sales_proxy(5);
+    let outcome = Advisor::new(&ds, AdvisorOptions::default())
+        .expect("valid dataset")
+        .run();
+    assert!(outcome.error < 0.2, "advisor error {}", outcome.error);
+
+    let mut db = F2db::load(ds, &outcome.configuration).expect("loads");
+    // Base-level query.
+    let base = db
+        .query("SELECT time, sales FROM facts WHERE product = 'prod0' AND country = 'DE' AS OF now() + '3 months'")
+        .expect("base query");
+    assert_eq!(base.rows.len(), 1);
+    assert_eq!(base.rows[0].values.len(), 3);
+    // Aggregate with drill-down.
+    let drill = db
+        .query("SELECT time, SUM(sales) FROM facts GROUP BY time, category AS OF now() + '1 month'")
+        .expect("drill-down");
+    assert_eq!(drill.rows.len(), 3);
+    // The category forecasts must roughly sum to the total forecast
+    // (schemes differ per node, so allow slack).
+    let total = db
+        .query("SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '1 month'")
+        .expect("total");
+    let parts: f64 = drill.rows.iter().map(|r| r.values[0].1).sum();
+    let whole = total.rows[0].values[0].1;
+    assert!(
+        (parts - whole).abs() / whole < 0.25,
+        "drill-down sum {parts} vs total {whole}"
+    );
+}
+
+#[test]
+fn streaming_maintenance_keeps_database_consistent() {
+    let cube = generate_cube(&GenSpec::new(20, 40, 9));
+    let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
+        .expect("valid dataset")
+        .run();
+    let mut db = F2db::load(cube.dataset.clone(), &outcome.configuration)
+        .expect("loads")
+        .with_policy(MaintenancePolicy::TimeBased { every: 2 });
+
+    let base = db.dataset().graph().base_nodes().to_vec();
+    let len0 = db.dataset().series_len();
+    for round in 0..4 {
+        for &b in &base {
+            db.insert_value(b, 75.0 + round as f64).expect("insert");
+        }
+        // Queries still answer after each advance (and trigger lazy
+        // re-estimation of invalidated models).
+        let r = db
+            .query("SELECT time, SUM(v) FROM t GROUP BY time AS OF now() + '2 quarters'")
+            .expect("query");
+        assert!(r.rows[0].values.iter().all(|(_, v)| v.is_finite()));
+        // Forecast time stamps track the growing history.
+        assert_eq!(r.rows[0].values[0].0, (len0 + round + 1) as i64);
+    }
+    let stats = db.stats();
+    assert_eq!(stats.time_advances, 4);
+    assert!(stats.invalidations > 0, "time-based policy must fire");
+    assert!(
+        stats.reestimations > 0,
+        "queries must trigger lazy re-estimation"
+    );
+}
+
+#[test]
+fn stop_criteria_bound_the_configuration() {
+    let cube = generate_cube(&GenSpec::new(40, 36, 4));
+    let options = AdvisorOptions {
+        stop: StopCriteria {
+            relative_models: Some(0.10),
+            ..StopCriteria::default()
+        },
+        ..AdvisorOptions::default()
+    };
+    let outcome = Advisor::new(&cube.dataset, options).expect("valid").run();
+    // One batch of acceptances may overshoot slightly; the bound must hold
+    // within a batch of the parallelism width.
+    let bound = (cube.dataset.node_count() as f64 * 0.10).ceil() as usize + 8;
+    assert!(
+        outcome.model_count <= bound,
+        "{} models exceeds relative bound {bound}",
+        outcome.model_count
+    );
+}
+
+#[test]
+fn catalog_persistence_survives_process_boundary_shape() {
+    let ds = sales_proxy(6);
+    let outcome = Advisor::new(&ds, AdvisorOptions::default())
+        .expect("valid")
+        .run();
+    let db = F2db::load(ds.clone(), &outcome.configuration).expect("loads");
+    let path = std::env::temp_dir().join(format!("fdc_e2e_{}.cat", std::process::id()));
+    db.save_catalog(&path).expect("save");
+    let mut reopened = F2db::open_catalog(ds, &path).expect("open");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reopened.model_count(), db.model_count());
+    let r = reopened
+        .query("SELECT time, SUM(sales) FROM facts GROUP BY time AS OF now() + '2 months'")
+        .expect("query after reopen");
+    assert_eq!(r.rows[0].values.len(), 2);
+}
