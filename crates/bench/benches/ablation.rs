@@ -1,90 +1,71 @@
 //! Timing ablations: how the advisor's runtime responds to its design
 //! knobs (indicator size, multi-source rounds, adaptive γ). The *quality*
 //! side of these ablations is produced by the `ablation` binary.
+//!
+//! Run with `cargo bench -p fdc-bench --bench ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdc_bench::timing::{bench, emit_metrics};
 use fdc_core::{Advisor, AdvisorOptions};
 use fdc_datagen::{generate_cube, GenSpec};
-use std::hint::black_box;
 
-fn bench_indicator_size(c: &mut Criterion) {
+fn bench_indicator_size() {
     let cube = generate_cube(&GenSpec::new(100, 36, 1));
     let n = cube.dataset.node_count();
-    let mut group = c.benchmark_group("ablation_indicator_size");
-    group.sample_size(10);
     for pct in [25usize, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
-            b.iter(|| {
-                let outcome = Advisor::new(
-                    &cube.dataset,
-                    AdvisorOptions {
-                        indicator_size: Some((n * pct / 100).max(2)),
-                        ..AdvisorOptions::default()
-                    },
-                )
-                .unwrap()
-                .run();
-                black_box(outcome.error)
-            })
+        bench(&format!("ablation_indicator_size/{pct}"), || {
+            let outcome = Advisor::new(
+                &cube.dataset,
+                AdvisorOptions {
+                    indicator_size: Some((n * pct / 100).max(2)),
+                    ..AdvisorOptions::default()
+                },
+            )
+            .unwrap()
+            .run();
+            outcome.error
         });
     }
-    group.finish();
 }
 
-fn bench_multisource(c: &mut Criterion) {
+fn bench_multisource() {
     let cube = generate_cube(&GenSpec::new(80, 36, 2));
-    let mut group = c.benchmark_group("ablation_multisource");
-    group.sample_size(10);
     for steps in [0usize, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
-            b.iter(|| {
-                let outcome = Advisor::new(
-                    &cube.dataset,
-                    AdvisorOptions {
-                        multisource_steps: steps,
-                        ..AdvisorOptions::default()
-                    },
-                )
-                .unwrap()
-                .run();
-                black_box(outcome.error)
-            })
+        bench(&format!("ablation_multisource/{steps}"), || {
+            let outcome = Advisor::new(
+                &cube.dataset,
+                AdvisorOptions {
+                    multisource_steps: steps,
+                    ..AdvisorOptions::default()
+                },
+            )
+            .unwrap()
+            .run();
+            outcome.error
         });
     }
-    group.finish();
 }
 
-fn bench_adaptive_gamma(c: &mut Criterion) {
+fn bench_adaptive_gamma() {
     let cube = generate_cube(&GenSpec::new(80, 36, 3));
-    let mut group = c.benchmark_group("ablation_gamma");
-    group.sample_size(10);
     for adaptive in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(adaptive),
-            &adaptive,
-            |b, &adaptive| {
-                b.iter(|| {
-                    let outcome = Advisor::new(
-                        &cube.dataset,
-                        AdvisorOptions {
-                            adaptive_gamma: adaptive,
-                            ..AdvisorOptions::default()
-                        },
-                    )
-                    .unwrap()
-                    .run();
-                    black_box(outcome.error)
-                })
-            },
-        );
+        bench(&format!("ablation_gamma/{adaptive}"), || {
+            let outcome = Advisor::new(
+                &cube.dataset,
+                AdvisorOptions {
+                    adaptive_gamma: adaptive,
+                    ..AdvisorOptions::default()
+                },
+            )
+            .unwrap()
+            .run();
+            outcome.error
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_indicator_size,
-    bench_multisource,
-    bench_adaptive_gamma
-);
-criterion_main!(benches);
+fn main() {
+    bench_indicator_size();
+    bench_multisource();
+    bench_adaptive_gamma();
+    emit_metrics("bench_ablation");
+}

@@ -1,92 +1,99 @@
 //! Micro-benchmarks of the advisor: indicator computation, candidate
 //! selection, a single iteration, and a full run on a small cube.
+//!
+//! Run with `cargo bench -p fdc-bench --bench advisor`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdc_bench::timing::{bench, emit_metrics};
 use fdc_core::{indicator, Advisor, AdvisorOptions};
 use fdc_cube::CubeSplit;
 use fdc_datagen::{generate_cube, tourism_proxy, GenSpec};
 use std::hint::black_box;
 
-fn bench_indicator(c: &mut Criterion) {
+fn bench_indicator() {
     let ds = tourism_proxy(1);
     let split = CubeSplit::new(&ds, 0.8);
     let opts = indicator::IndicatorOptions::new(ds.node_count(), split.train_len());
     let top = ds.graph().top_node();
-    c.bench_function("scheme_indicator", |b| {
-        b.iter(|| {
-            black_box(indicator::scheme_indicator(
-                &ds,
-                top,
-                ds.graph().base_nodes()[0],
-                &opts,
-            ))
-        })
+    bench("scheme_indicator", || {
+        indicator::scheme_indicator(&ds, top, ds.graph().base_nodes()[0], &opts)
     });
-    c.bench_function("local_indicator_45_nodes", |b| {
-        b.iter(|| black_box(indicator::LocalIndicator::compute(&ds, top, &opts)))
+    bench("local_indicator_45_nodes", || {
+        indicator::LocalIndicator::compute(&ds, top, &opts)
     });
 }
 
-fn bench_advisor_step(c: &mut Criterion) {
+fn bench_advisor_step() {
     let ds = tourism_proxy(1);
-    c.bench_function("advisor_step", |b| {
-        b.iter_batched(
-            || {
-                Advisor::new(
-                    &ds,
-                    AdvisorOptions {
-                        parallelism: Some(2),
-                        ..AdvisorOptions::default()
-                    },
-                )
-                .unwrap()
+    bench("advisor_step", || {
+        let mut advisor = Advisor::new(
+            &ds,
+            AdvisorOptions {
+                parallelism: Some(2),
+                ..AdvisorOptions::default()
             },
-            |mut advisor| black_box(advisor.step()),
-            criterion::BatchSize::LargeInput,
         )
+        .unwrap();
+        black_box(advisor.step())
     });
 }
 
-fn bench_advisor_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("advisor_run");
-    group.sample_size(10);
+fn bench_advisor_run() {
     for size in [50usize, 100] {
         let cube = generate_cube(&GenSpec::new(size, 36, 1));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| {
-                let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
-                    .unwrap()
-                    .run();
-                black_box(outcome.error)
-            })
+        bench(&format!("advisor_run/{size}"), || {
+            let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
+                .unwrap()
+                .run();
+            outcome.error
         });
     }
-    group.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn bench_baselines() {
     use fdc_hierarchical::{bottom_up, direct, greedy, top_down, BaselineOptions};
     let ds = fdc_datagen::tourism_proxy(1);
     let split = CubeSplit::new(&ds, 0.8);
     let opts = BaselineOptions::default();
-    let mut group = c.benchmark_group("baselines_tourism");
-    group.sample_size(10);
-    group.bench_function("direct", |b| b.iter(|| black_box(direct(&ds, &split, &opts))));
-    group.bench_function("bottom_up", |b| {
-        b.iter(|| black_box(bottom_up(&ds, &split, &opts)))
+    bench("baselines_tourism/direct", || direct(&ds, &split, &opts));
+    bench("baselines_tourism/bottom_up", || {
+        bottom_up(&ds, &split, &opts)
     });
-    group.bench_function("top_down", |b| {
-        b.iter(|| black_box(top_down(&ds, &split, &opts)))
+    bench("baselines_tourism/top_down", || {
+        top_down(&ds, &split, &opts)
     });
-    group.bench_function("greedy", |b| b.iter(|| black_box(greedy(&ds, &split, &opts))));
-    group.finish();
+    bench("baselines_tourism/greedy", || greedy(&ds, &split, &opts));
 }
 
-criterion_group!(
-    benches,
-    bench_indicator,
-    bench_advisor_step,
-    bench_advisor_run,
-    bench_baselines
-);
-criterion_main!(benches);
+/// Measures the cost of the observability layer itself: a full advisor
+/// run with tracing spans enabled vs disabled (counters and histograms
+/// stay on in both — they are single atomic adds and not worth a knob).
+/// The measured difference is documented in DESIGN.md ("Observability")
+/// and must stay within a few percent.
+fn bench_instrumentation_overhead() {
+    let ds = tourism_proxy(1);
+    let run = || {
+        let outcome = Advisor::new(
+            &ds,
+            AdvisorOptions {
+                parallelism: Some(2),
+                ..AdvisorOptions::default()
+            },
+        )
+        .unwrap()
+        .run();
+        outcome.error
+    };
+    fdc_obs::set_spans_enabled(false);
+    bench("advisor_run_overhead/spans_off", run);
+    fdc_obs::set_spans_enabled(true);
+    bench("advisor_run_overhead/spans_on", run);
+}
+
+fn main() {
+    bench_indicator();
+    bench_advisor_step();
+    bench_advisor_run();
+    bench_baselines();
+    bench_instrumentation_overhead();
+    emit_metrics("bench_advisor");
+}

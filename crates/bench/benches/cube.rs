@@ -1,76 +1,60 @@
 //! Micro-benchmarks of the cube substrate: hyper graph construction,
 //! aggregate materialization, derivation weights and query resolution.
+//!
+//! Run with `cargo bench -p fdc-bench --bench cube`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdc_bench::timing::{bench, emit_metrics};
 use fdc_cube::{derive, DimSelector, NodeQuery};
 use fdc_datagen::{generate_cube, tourism_proxy, GenSpec};
 use std::hint::black_box;
 
-fn bench_graph_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_build");
-    group.sample_size(10);
+fn bench_graph_build() {
     for size in [100usize, 400, 1600] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let spec = GenSpec::new(size, 24, 1);
-            b.iter(|| black_box(generate_cube(&spec)))
+        let spec = GenSpec::new(size, 24, 1);
+        bench(&format!("graph_build/{size}"), || {
+            black_box(generate_cube(&spec))
         });
     }
-    group.finish();
 }
 
-fn bench_derivation(c: &mut Criterion) {
+fn bench_derivation() {
     let ds = tourism_proxy(1);
     let top = ds.graph().top_node();
     let base = ds.graph().base_nodes()[0];
-    c.bench_function("derivation_weight", |b| {
-        b.iter(|| black_box(derive::derivation_weight(&ds, &[top], base)))
+    bench("derivation_weight", || {
+        derive::derivation_weight(&ds, &[top], base)
     });
-    c.bench_function("weight_variance", |b| {
-        b.iter(|| black_box(derive::weight_variance(&ds, &[top], base)))
+    bench("weight_variance", || {
+        derive::weight_variance(&ds, &[top], base)
     });
-    c.bench_function("historical_error", |b| {
-        b.iter(|| {
-            black_box(derive::historical_error(
-                &ds,
-                &[top],
-                base,
-                fdc_forecast::AccuracyMeasure::Smape,
-            ))
-        })
+    bench("historical_error", || {
+        derive::historical_error(&ds, &[top], base, fdc_forecast::AccuracyMeasure::Smape)
     });
 }
 
-fn bench_query_resolution(c: &mut Criterion) {
+fn bench_query_resolution() {
     let cube = generate_cube(&GenSpec::new(400, 24, 1));
     let g = cube.dataset.graph();
-    let query = NodeQuery::from_predicates(
-        g,
-        &[("level1", DimSelector::Value("L1V0".into()))],
-    )
-    .unwrap();
-    c.bench_function("query_resolve", |b| {
-        b.iter(|| black_box(query.resolve(g).unwrap()))
-    });
+    let query =
+        NodeQuery::from_predicates(g, &[("level1", DimSelector::Value("L1V0".into()))]).unwrap();
+    bench("query_resolve", || query.resolve(g).unwrap());
 }
 
-fn bench_advance_time(c: &mut Criterion) {
+fn bench_advance_time() {
     let cube = generate_cube(&GenSpec::new(200, 24, 1));
     let base: Vec<usize> = cube.dataset.graph().base_nodes().to_vec();
     let values: Vec<(usize, f64)> = base.iter().map(|&b| (b, 42.0)).collect();
-    c.bench_function("advance_time_200", |b| {
-        b.iter_batched(
-            || cube.dataset.clone(),
-            |mut ds| ds.advance_time(black_box(&values)).unwrap(),
-            criterion::BatchSize::LargeInput,
-        )
+    bench("advance_time_200", || {
+        let mut ds = cube.dataset.clone();
+        ds.advance_time(black_box(&values)).unwrap();
+        ds
     });
 }
 
-criterion_group!(
-    benches,
-    bench_graph_build,
-    bench_derivation,
-    bench_query_resolution,
-    bench_advance_time
-);
-criterion_main!(benches);
+fn main() {
+    bench_graph_build();
+    bench_derivation();
+    bench_query_resolution();
+    bench_advance_time();
+    emit_metrics("bench_cube");
+}

@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the F²DB layer: SQL parsing, forecast query
 //! execution (the fast path of Fig. 9b), inserts with time advance, and
 //! catalog serialization.
+//!
+//! Run with `cargo bench -p fdc-bench --bench f2db`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fdc_bench::timing::{bench, emit_metrics};
 use fdc_core::{Advisor, AdvisorOptions};
 use fdc_datagen::tourism_proxy;
 use fdc_f2db::{parse_query, F2db};
@@ -14,59 +16,51 @@ fn make_db() -> F2db {
     F2db::load(ds, &outcome.configuration).unwrap()
 }
 
-fn bench_parse(c: &mut Criterion) {
+fn bench_parse() {
     let sql = "SELECT time, SUM(visitors) FROM facts WHERE purpose = 'holiday' AND state = 'NSW' GROUP BY time AS OF now() + '4 quarters'";
-    c.bench_function("parse_query", |b| {
-        b.iter(|| black_box(parse_query(black_box(sql)).unwrap()))
-    });
+    bench("parse_query", || parse_query(black_box(sql)).unwrap());
 }
 
-fn bench_query(c: &mut Criterion) {
+fn bench_query() {
     let mut db = make_db();
     let sql = "SELECT time, visitors FROM facts WHERE purpose = 'holiday' AND state = 'NSW' AS OF now() + '4 quarters'";
-    c.bench_function("forecast_query", |b| {
-        b.iter(|| black_box(db.query(black_box(sql)).unwrap()))
-    });
-    let agg = "SELECT time, SUM(visitors) FROM facts GROUP BY time, purpose AS OF now() + '2 quarters'";
-    c.bench_function("forecast_query_group_by", |b| {
-        b.iter(|| black_box(db.query(black_box(agg)).unwrap()))
-    });
-}
-
-fn bench_insert_advance(c: &mut Criterion) {
-    c.bench_function("insert_batch_and_advance", |b| {
-        b.iter_batched(
-            make_db,
-            |mut db| {
-                let base: Vec<usize> = db.dataset().graph().base_nodes().to_vec();
-                for &node in &base {
-                    db.insert_value(node, 123.0).unwrap();
-                }
-                black_box(db.stats().time_advances)
-            },
-            criterion::BatchSize::LargeInput,
-        )
+    bench("forecast_query", || db.query(black_box(sql)).unwrap());
+    let agg =
+        "SELECT time, SUM(visitors) FROM facts GROUP BY time, purpose AS OF now() + '2 quarters'";
+    bench("forecast_query_group_by", || {
+        db.query(black_box(agg)).unwrap()
     });
 }
 
-fn bench_catalog_roundtrip(c: &mut Criterion) {
+fn bench_insert_advance() {
+    let mut db = make_db();
+    let base: Vec<usize> = db.dataset().graph().base_nodes().to_vec();
+    // Each round inserts a full base batch, which triggers one time
+    // advance; the database keeps growing, which is the realistic
+    // steady-state workload.
+    bench("insert_batch_and_advance", || {
+        for &node in &base {
+            db.insert_value(node, 123.0).unwrap();
+        }
+        db.stats().time_advances
+    });
+}
+
+fn bench_catalog_roundtrip() {
     let db = make_db();
     let path = std::env::temp_dir().join("fdc_bench_catalog.bin");
-    c.bench_function("catalog_save_load", |b| {
-        b.iter(|| {
-            db.save_catalog(&path).unwrap();
-            let restored = F2db::open_catalog(db.dataset().clone(), &path).unwrap();
-            black_box(restored.model_count())
-        })
+    bench("catalog_save_load", || {
+        db.save_catalog(&path).unwrap();
+        let restored = F2db::open_catalog(db.dataset().clone(), &path).unwrap();
+        restored.model_count()
     });
     std::fs::remove_file(&path).ok();
 }
 
-criterion_group!(
-    benches,
-    bench_parse,
-    bench_query,
-    bench_insert_advance,
-    bench_catalog_roundtrip
-);
-criterion_main!(benches);
+fn main() {
+    bench_parse();
+    bench_query();
+    bench_insert_advance();
+    bench_catalog_roundtrip();
+    emit_metrics("bench_f2db");
+}

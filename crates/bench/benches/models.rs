@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the forecast model substrate: fitting, forecasting
 //! and incremental updates for every model family.
+//!
+//! Run with `cargo bench -p fdc-bench --bench models`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdc_bench::timing::{bench, emit_metrics};
 use fdc_forecast::{
     Arima, ArimaOrder, FitOptions, ForecastModel, ModelSpec, Sarima, SeasonalKind, SeasonalOrder,
     TimeSeries,
@@ -20,23 +22,22 @@ fn seasonal_series(n: usize, period: usize) -> TimeSeries {
     TimeSeries::new(values, fdc_forecast::Granularity::Monthly)
 }
 
-fn bench_fit(c: &mut Criterion) {
+fn bench_fit() {
     let series = seasonal_series(96, 12);
     let opts = FitOptions::default();
-    let mut group = c.benchmark_group("model_fit");
     for (name, spec) in [
-        ("ses", ModelSpec::Ses),
-        ("holt", ModelSpec::Holt),
+        ("model_fit/ses", ModelSpec::Ses),
+        ("model_fit/holt", ModelSpec::Holt),
         (
-            "holt_winters",
+            "model_fit/holt_winters",
             ModelSpec::HoltWinters {
                 period: 12,
                 seasonal: SeasonalKind::Additive,
             },
         ),
-        ("arima_111", ModelSpec::Arima { p: 1, d: 1, q: 1 }),
+        ("model_fit/arima_111", ModelSpec::Arima { p: 1, d: 1, q: 1 }),
         (
-            "sarima",
+            "model_fit/sarima",
             ModelSpec::Sarima {
                 order: (1, 0, 0),
                 seasonal: (0, 1, 0),
@@ -44,14 +45,11 @@ fn bench_fit(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| spec.fit(black_box(&series), &opts).unwrap())
-        });
+        bench(name, || spec.fit(black_box(&series), &opts).unwrap());
     }
-    group.finish();
 }
 
-fn bench_forecast_and_update(c: &mut Criterion) {
+fn bench_forecast_and_update() {
     let series = seasonal_series(96, 12);
     let opts = FitOptions::default();
     let hw = ModelSpec::HoltWinters {
@@ -69,45 +67,37 @@ fn bench_forecast_and_update(c: &mut Criterion) {
     )
     .unwrap();
 
-    let mut group = c.benchmark_group("model_forecast");
     for h in [1usize, 12, 48] {
-        group.bench_with_input(BenchmarkId::new("holt_winters", h), &h, |b, &h| {
-            b.iter(|| black_box(hw.forecast(h)))
+        bench(&format!("model_forecast/holt_winters/{h}"), || {
+            hw.forecast(h)
         });
-        group.bench_with_input(BenchmarkId::new("arima", h), &h, |b, &h| {
-            b.iter(|| black_box(arima.forecast(h)))
-        });
-        group.bench_with_input(BenchmarkId::new("sarima", h), &h, |b, &h| {
-            b.iter(|| black_box(sarima.forecast(h)))
-        });
+        bench(&format!("model_forecast/arima/{h}"), || arima.forecast(h));
+        bench(&format!("model_forecast/sarima/{h}"), || sarima.forecast(h));
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("model_update");
-    group.bench_function("holt_winters", |b| {
-        b.iter_batched(
-            || hw.clone(),
-            |mut m| m.update(black_box(123.0)),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("model_update/holt_winters", || {
+        let mut m = hw.clone();
+        m.update(black_box(123.0));
+        m
     });
-    group.bench_function("sarima", |b| {
-        b.iter_batched(
-            || sarima.clone(),
-            |mut m| m.update(black_box(123.0)),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("model_update/sarima", || {
+        let mut m = sarima.clone();
+        m.update(black_box(123.0));
+        m
     });
-    group.finish();
 }
 
-fn bench_accuracy(c: &mut Criterion) {
+fn bench_accuracy() {
     let actual: Vec<f64> = (0..256).map(|t| 50.0 + (t as f64).sin()).collect();
     let forecast: Vec<f64> = actual.iter().map(|v| v * 1.01).collect();
-    c.bench_function("smape_256", |b| {
-        b.iter(|| fdc_forecast::smape(black_box(&actual), black_box(&forecast)))
+    bench("smape_256", || {
+        fdc_forecast::smape(black_box(&actual), black_box(&forecast))
     });
 }
 
-criterion_group!(benches, bench_fit, bench_forecast_and_update, bench_accuracy);
-criterion_main!(benches);
+fn main() {
+    bench_fit();
+    bench_forecast_and_update();
+    bench_accuracy();
+    emit_metrics("bench_models");
+}

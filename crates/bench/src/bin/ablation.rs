@@ -15,8 +15,8 @@
 
 use fdc_bench::run_advisor;
 use fdc_core::AdvisorOptions;
-use fdc_datagen::{sales_proxy, tourism_proxy};
 use fdc_cube::Dataset;
+use fdc_datagen::{sales_proxy, tourism_proxy};
 
 fn datasets() -> Vec<(&'static str, Dataset)> {
     vec![("tourism", tourism_proxy(1)), ("sales", sales_proxy(1))]
@@ -98,4 +98,6 @@ fn main() {
             );
         }
     }
+
+    fdc_bench::emit_metrics("ablation");
 }

@@ -55,4 +55,6 @@ fn main() {
         &format!("Fig. 7(d) Gen{gen_size} (synthetic SARIMA cube)"),
         &run_all(&cube.dataset, selection, fit, 1.0),
     );
+
+    fdc_bench::emit_metrics("fig7_accuracy");
 }

@@ -25,14 +25,20 @@ fn datasets(scale: usize) -> Vec<(&'static str, Dataset)> {
         ("tourism", tourism_proxy(1)),
         ("sales", sales_proxy(1)),
         ("energy", energy_proxy(1, 240)),
-        ("genx", generate_cube(&GenSpec::new(100 * scale, 48, 1)).dataset),
+        (
+            "genx",
+            generate_cube(&GenSpec::new(100 * scale, 48, 1)).dataset,
+        ),
     ]
 }
 
 /// Fig. 8(a): indicator vs real derivation error, sampled pairs.
 fn correlation() {
     println!("\n== Fig. 8(a) Correlation indicator <-> real error ==");
-    println!("{:<9} {:>6} {:>6} {:>11} {:>11}", "dataset", "src", "tgt", "indicator", "real_err");
+    println!(
+        "{:<9} {:>6} {:>6} {:>11} {:>11}",
+        "dataset", "src", "tgt", "indicator", "real_err"
+    );
     for (name, ds) in [("sales", sales_proxy(1)), ("tourism", tourism_proxy(1))] {
         let split = CubeSplit::new(&ds, 0.8);
         // λ = 0: the historical-error ingredient is the direct estimate of
@@ -122,10 +128,7 @@ fn indicator_size(scale: usize) {
 /// Fig. 8(c,d): runtime and error vs artificial model creation time.
 fn gamma(scale: usize) {
     println!("\n== Fig. 8(c) Influence of gamma — runtime (Sales) ==");
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "approach", "model_us", "runtime"
-    );
+    println!("{:<12} {:>12} {:>12}", "approach", "model_us", "runtime");
     let sales = sales_proxy(1);
     let split = CubeSplit::new(&sales, 0.8);
     // The paper varies artificial model creation time 0–60 s; scaled down
@@ -194,9 +197,7 @@ fn alpha(scale: usize) {
         let outcome = advisor.run();
         for grid in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
             // Last iteration whose α was still within the grid point.
-            let snap = outcome
-                .history
-                .iter().rfind(|s| s.alpha <= grid + 1e-9);
+            let snap = outcome.history.iter().rfind(|s| s.alpha <= grid + 1e-9);
             let (err, models) = match snap {
                 Some(s) => (s.error, s.model_count),
                 None => (outcome.history.first().map_or(1.0, |s| s.error), 1),
@@ -224,4 +225,5 @@ fn main() {
     if matches!(which, "alpha" | "all") {
         alpha(scale);
     }
+    fdc_bench::emit_metrics("fig8_parameters");
 }

@@ -12,7 +12,7 @@
 //! Usage: `cargo run -p fdc-bench --release --bin fig9_runtime
 //! [--scale n] [--full] [scalability|queries]`
 
-use fdc_bench::{parse_scale_args, ApproachSelection, QueryWorkload, run_all};
+use fdc_bench::{parse_scale_args, run_all, ApproachSelection, QueryWorkload};
 use fdc_core::{Advisor, AdvisorOptions, StopCriteria};
 use fdc_datagen::{generate_cube, GenSpec};
 use fdc_f2db::F2db;
@@ -109,4 +109,5 @@ fn main() {
     if matches!(which, "queries" | "all") {
         queries(scale);
     }
+    fdc_bench::emit_metrics("fig9_runtime");
 }

@@ -1,7 +1,7 @@
 //! # fdc-bench
 //!
 //! The benchmark harness regenerating every figure of the paper's
-//! evaluation (§VI), plus criterion micro-benchmarks and ablation
+//! evaluation (§VI), plus framework-free micro-benchmarks and ablation
 //! studies. See DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! recorded paper-vs-measured results.
 //!
@@ -19,8 +19,10 @@
 //! time; the defaults regenerate every figure's *shape* on a laptop in
 //! minutes).
 
+pub mod timing;
 pub mod workload;
 
+pub use timing::{bench, emit_metrics};
 pub use workload::QueryWorkload;
 
 use fdc_core::{Advisor, AdvisorOptions, StopCriteria};
@@ -179,7 +181,14 @@ mod tests {
         let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
         assert_eq!(
             names,
-            vec!["direct", "bottom-up", "top-down", "combine", "greedy", "advisor"]
+            vec![
+                "direct",
+                "bottom-up",
+                "top-down",
+                "combine",
+                "greedy",
+                "advisor"
+            ]
         );
         for r in &rows {
             assert!(r.error.is_finite() && r.error >= 0.0);

@@ -5,13 +5,12 @@
 //! of the measured latency, exactly as they would be inside the DBMS.
 
 use fdc_cube::{NodeId, TimeSeriesGraph, STAR};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fdc_rng::Rng;
 
 /// A deterministic random query workload over a time series graph.
 #[derive(Debug)]
 pub struct QueryWorkload {
-    rng: StdRng,
+    rng: Rng,
     /// Maximum forecast horizon (steps) of generated queries.
     pub max_horizon: usize,
 }
@@ -20,14 +19,14 @@ impl QueryWorkload {
     /// Creates a workload generator with a fixed seed.
     pub fn new(seed: u64) -> Self {
         QueryWorkload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             max_horizon: 4,
         }
     }
 
     /// Picks a uniformly random node (base or aggregated).
     pub fn random_node(&mut self, graph: &TimeSeriesGraph) -> NodeId {
-        self.rng.gen_range(0..graph.node_count())
+        self.rng.usize_below(graph.node_count())
     }
 
     /// Renders the forecast query addressing `node` in the SQL dialect:
@@ -51,7 +50,7 @@ impl QueryWorkload {
         } else {
             format!(" WHERE {}", predicates.join(" AND "))
         };
-        let horizon = 1 + self.rng.gen_range(0..self.max_horizon.max(1));
+        let horizon = 1 + self.rng.usize_below(self.max_horizon.max(1));
         format!(
             "SELECT time, SUM(value) FROM facts{where_clause} GROUP BY time AS OF now() + '{horizon} steps'"
         )
@@ -65,7 +64,7 @@ impl QueryWorkload {
 
     /// Generates one random base-series insert value in `[lo, hi)`.
     pub fn next_insert_value(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        self.rng.f64_range(lo, hi)
     }
 }
 

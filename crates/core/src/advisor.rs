@@ -222,8 +222,11 @@ impl<'a> Advisor<'a> {
         let mut indicator_options = IndicatorOptions::new(indicator_size, split.train_len());
         indicator_options.lambda = options.lambda;
 
-        let mut control =
-            ControlState::new(options.initial_alpha, options.alpha_limit, options.adaptive_gamma);
+        let mut control = ControlState::new(
+            options.initial_alpha,
+            options.alpha_limit,
+            options.adaptive_gamma,
+        );
         control.init_gamma(parallelism, dataset.node_count());
         let criterion =
             AcceptanceCriterion::new(options.initial_alpha.min(1.0), dataset.node_count());
@@ -286,8 +289,7 @@ impl<'a> Advisor<'a> {
         // Re-fit each configured model spec on the new training split so
         // the resumed search evaluates against current data.
         for (node, cm) in configuration.models() {
-            let Ok(model) =
-                ConfiguredModel::fit(&advisor.split, node, &cm.spec, &advisor.fit)
+            let Ok(model) = ConfiguredModel::fit(&advisor.split, node, &cm.spec, &advisor.fit)
             else {
                 continue; // series now too short for this spec — drop it
             };
@@ -348,26 +350,33 @@ impl<'a> Advisor<'a> {
     /// Runs one full iteration (all four phases) and returns its
     /// statistics.
     pub fn step(&mut self) -> IterationStats {
+        let _step_span = fdc_obs::span!("advisor.step");
         self.iteration += 1;
+        fdc_obs::counter("advisor.iterations").incr();
         let err_before = self.configuration.overall_error();
         self.criterion.alpha = self.control.effective_alpha();
 
         // ---- Candidate selection phase -----------------------------------
         let selection_start = Instant::now();
-        let candidates = select_candidates(
-            self.dataset,
-            &self.configuration,
-            &self.store,
-            &self.indicator_options,
-            self.control.gamma,
-            self.parallelism,
-            &self.rejected,
-            &mut self.local_cache,
-        );
+        let candidates = {
+            let _span = fdc_obs::span!("select");
+            select_candidates(
+                self.dataset,
+                &self.configuration,
+                &self.store,
+                &self.indicator_options,
+                self.control.gamma,
+                self.parallelism,
+                &self.rejected,
+                &mut self.local_cache,
+            )
+        };
         let selection_time = selection_start.elapsed();
+        fdc_obs::counter("advisor.candidates").add(candidates.positive.len() as u64);
 
         // ---- Evaluation phase --------------------------------------------
         let evaluation_start = Instant::now();
+        let evaluation_span = fdc_obs::span!("evaluate");
         // Indicator-based pre-filter: skip building candidates whose
         // acceptance is hopeless even under an optimistic (2×) reading of
         // their indicator-predicted benefit. At low α this avoids paying
@@ -453,13 +462,9 @@ impl<'a> Advisor<'a> {
                     model,
                     &effect,
                 );
-                let local = self
-                    .local_cache
-                    .get(&node)
-                    .cloned()
-                    .unwrap_or_else(|| {
-                        LocalIndicator::compute(self.dataset, node, &self.indicator_options)
-                    });
+                let local = self.local_cache.get(&node).cloned().unwrap_or_else(|| {
+                    LocalIndicator::compute(self.dataset, node, &self.indicator_options)
+                });
                 self.store.insert(local);
                 accepted += 1;
             } else {
@@ -479,12 +484,22 @@ impl<'a> Advisor<'a> {
                 deleted += self.try_delete(victim.node) as usize;
             }
         }
+        drop(evaluation_span);
         let evaluation_time = evaluation_start.elapsed();
+        fdc_obs::counter("advisor.models_built").add(models_built as u64);
+        fdc_obs::counter("advisor.accepted").add(accepted as u64);
+        fdc_obs::counter("advisor.rejected").add(rejected_now as u64);
+        fdc_obs::counter("advisor.deleted").add(deleted as u64);
+        fdc_obs::histogram("advisor.selection.ns").record_duration(selection_time);
+        fdc_obs::histogram("advisor.evaluation.ns").record_duration(evaluation_time);
 
         // ---- Asynchronous multi-source optimization ------------------------
-        for _ in 0..self.multisource_steps {
-            self.multisource
-                .step(self.dataset, &self.split, &mut self.configuration);
+        {
+            let _span = fdc_obs::span!("multisource");
+            for _ in 0..self.multisource_steps {
+                self.multisource
+                    .step(self.dataset, &self.split, &mut self.configuration);
+            }
         }
 
         // ---- Control phase --------------------------------------------------
@@ -492,7 +507,8 @@ impl<'a> Advisor<'a> {
             // The evaluation phase did no real work (all candidates were
             // filtered or cached): widen the candidate pool instead of
             // letting the timing rule squeeze it further.
-            self.control.adapt_gamma(Duration::ZERO, Duration::from_secs(1));
+            self.control
+                .adapt_gamma(Duration::ZERO, Duration::from_secs(1));
         } else {
             self.control.adapt_gamma(selection_time, evaluation_time);
         }
@@ -571,9 +587,7 @@ impl<'a> Advisor<'a> {
             }
         }
         if let Some(frac) = self.stop.relative_models {
-            if self.configuration.model_count() as f64
-                >= frac * self.dataset.node_count() as f64
-            {
+            if self.configuration.model_count() as f64 >= frac * self.dataset.node_count() as f64 {
                 return Some(StopReason::CostReached);
             }
         }
@@ -596,6 +610,7 @@ impl<'a> Advisor<'a> {
     /// Runs iterations until a stop criterion fires and returns the final
     /// outcome.
     pub fn run(&mut self) -> AdvisorOutcome {
+        let _span = fdc_obs::span!("advisor.run");
         self.started = Instant::now();
         let stop_reason = loop {
             if let Some(reason) = self.stop_reason() {
@@ -603,7 +618,7 @@ impl<'a> Advisor<'a> {
             }
             self.step();
         };
-        AdvisorOutcome {
+        let outcome = AdvisorOutcome {
             configuration: self.configuration.clone(),
             history: self.history.clone(),
             error: self.configuration.overall_error(),
@@ -611,7 +626,9 @@ impl<'a> Advisor<'a> {
             total_cost: self.configuration.total_cost(),
             wall_time: self.started.elapsed(),
             stop_reason,
-        }
+        };
+        fdc_obs::gauge("advisor.model_count").set(outcome.model_count as i64);
+        outcome
     }
 }
 
@@ -658,10 +675,7 @@ mod tests {
         let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
         for v in 0..ds.node_count() {
             let est = outcome.configuration.estimate(v);
-            assert!(
-                est.scheme.is_some(),
-                "node {v} has no derivation scheme"
-            );
+            assert!(est.scheme.is_some(), "node {v} has no derivation scheme");
             assert!(est.error < 1.0);
         }
     }
@@ -850,18 +864,18 @@ mod tests {
         // a sane configuration.
         let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
         assert!(outcome.model_count >= 1);
-        assert!(outcome.error < 0.2, "trend series is easy: {}", outcome.error);
+        assert!(
+            outcome.error < 0.2,
+            "trend series is easy: {}",
+            outcome.error
+        );
     }
 
     #[test]
     fn all_zero_cube_is_handled() {
         use fdc_cube::{Coord, Dimension, Schema};
         use fdc_forecast::{Granularity, TimeSeries};
-        let schema = Schema::flat(vec![Dimension::new(
-            "d",
-            vec!["a".into(), "b".into()],
-        )])
-        .unwrap();
+        let schema = Schema::flat(vec![Dimension::new("d", vec!["a".into(), "b".into()])]).unwrap();
         let ds = fdc_cube::Dataset::from_base(
             schema,
             vec![

@@ -81,6 +81,11 @@ pub fn select_candidates(
     let mut positive: Vec<RankedCandidate> = positive_pre
         .into_iter()
         .map(|v| {
+            if local_cache.contains_key(&v) {
+                fdc_obs::counter("advisor.indicator.cache_hit").incr();
+            } else {
+                fdc_obs::counter("advisor.indicator.cache_miss").incr();
+            }
             let local = local_cache
                 .entry(v)
                 .or_insert_with(|| LocalIndicator::compute(dataset, v, indicator_options));
@@ -111,8 +116,8 @@ pub fn select_candidates(
 mod tests {
     use super::*;
     use fdc_cube::{ConfiguredModel, CubeSplit};
-    use fdc_forecast::{FitOptions, ModelSpec};
     use fdc_datagen::tourism_proxy;
+    use fdc_forecast::{FitOptions, ModelSpec};
 
     struct Fixture {
         ds: Dataset,
@@ -229,14 +234,7 @@ mod tests {
             rejected.insert(c.node);
         }
         let none = select_candidates(
-            &f.ds,
-            &f.cfg,
-            &f.store,
-            &f.opts,
-            0.0,
-            50,
-            &rejected,
-            &mut cache,
+            &f.ds, &f.cfg, &f.store, &f.opts, 0.0, 50, &rejected, &mut cache,
         );
         assert!(none.positive.is_empty());
     }

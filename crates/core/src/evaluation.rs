@@ -107,11 +107,12 @@ pub fn build_models_parallel(
     std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .iter()
-            .map(|&v| {
-                scope.spawn(move || (v, ConfiguredModel::fit(split, v, spec, options).ok()))
-            })
+            .map(|&v| scope.spawn(move || (v, ConfiguredModel::fit(split, v, spec, options).ok())))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fit thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fit thread panicked"))
+            .collect()
     })
 }
 
@@ -235,8 +236,7 @@ pub fn commit_model(
             .map(|e| e.children.clone())
             .collect();
         for children in edges {
-            if children.contains(&source) && children.iter().all(|&c| configuration.has_model(c))
-            {
+            if children.contains(&source) && children.iter().all(|&c| configuration.has_model(c)) {
                 configuration.adopt_if_better(dataset, split, &children, t);
             }
         }
@@ -264,12 +264,7 @@ mod tests {
         let mut c = AcceptanceCriterion::new(0.1, 10);
         c.avg_creation_time = Duration::from_millis(10);
         // Tiny error improvement, large cost increase → reject.
-        assert!(!c.accepts(
-            0.50,
-            Duration::ZERO,
-            0.499,
-            Duration::from_millis(50),
-        ));
+        assert!(!c.accepts(0.50, Duration::ZERO, 0.499, Duration::from_millis(50),));
         // With a balanced α, a large error improvement justifies a modest
         // cost increase (one model ≈ 0.1 of the direct cost here).
         let balanced = AcceptanceCriterion {

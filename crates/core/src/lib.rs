@@ -50,7 +50,9 @@ pub mod indicator;
 pub mod multisource;
 pub mod report;
 
-pub use advisor::{Advisor, AdvisorOptions, AdvisorOutcome, IterationStats, StopCriteria, StopReason};
+pub use advisor::{
+    Advisor, AdvisorOptions, AdvisorOutcome, IterationStats, StopCriteria, StopReason,
+};
 pub use candidate::{CandidateSet, RankedCandidate};
 pub use control::ControlState;
 pub use evaluation::AcceptanceCriterion;

@@ -13,13 +13,13 @@
 //! * [`MultiSourceSearch::step`] — synchronous: one propose/evaluate/adopt
 //!   round, used by the advisor loop (deterministic and easy to test);
 //! * [`spawn_proposer`] — a background thread streaming proposals through
-//!   a bounded crossbeam channel, matching the paper's asynchronous
-//!   design; the consumer evaluates and applies them at its own pace.
+//!   a bounded `std::sync::mpsc` channel, matching the paper's
+//!   asynchronous design; the consumer evaluates and applies them at its
+//!   own pace.
 
-use crossbeam::channel::{bounded, Receiver};
 use fdc_cube::{Configuration, CubeSplit, Dataset, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fdc_rng::Rng;
+use std::sync::mpsc::{sync_channel, Receiver};
 
 /// A proposed derivation scheme: derive `target` from `sources`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +40,7 @@ fn source_weight(distance: usize) -> f64 {
 /// model nodes drawn without replacement, weighted by proximity to the
 /// target. Returns `None` when no model node exists.
 fn sample_proposal(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     node_count: usize,
     distance: impl Fn(NodeId, NodeId) -> usize,
     model_nodes: &[NodeId],
@@ -49,8 +49,8 @@ fn sample_proposal(
     if model_nodes.is_empty() || node_count == 0 {
         return None;
     }
-    let target = rng.gen_range(0..node_count);
-    let m = rng.gen_range(1..=max_sources.max(1)).min(model_nodes.len());
+    let target = rng.usize_below(node_count);
+    let m = (1 + rng.usize_below(max_sources.max(1))).min(model_nodes.len());
     // Weighted sampling without replacement (sequential roulette).
     let mut pool: Vec<NodeId> = model_nodes.to_vec();
     let mut weights: Vec<f64> = pool
@@ -63,7 +63,7 @@ fn sample_proposal(
         if total <= 0.0 {
             break;
         }
-        let mut pick = rng.gen_range(0.0..total);
+        let mut pick = rng.f64_range(0.0, total);
         let mut idx = 0;
         for (i, &w) in weights.iter().enumerate() {
             if pick < w {
@@ -86,7 +86,7 @@ fn sample_proposal(
 /// Synchronous multi-source searcher owned by the advisor.
 #[derive(Debug)]
 pub struct MultiSourceSearch {
-    rng: StdRng,
+    rng: Rng,
     /// Maximum number of sources per proposal.
     pub max_sources: usize,
 }
@@ -95,7 +95,7 @@ impl MultiSourceSearch {
     /// Creates a searcher with a deterministic seed.
     pub fn new(seed: u64) -> Self {
         MultiSourceSearch {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             max_sources: 3,
         }
     }
@@ -134,9 +134,9 @@ pub fn spawn_proposer(
     max_sources: usize,
     seed: u64,
 ) -> Receiver<Proposal> {
-    let (tx, rx) = bounded(64);
+    let (tx, rx) = sync_channel(64);
     std::thread::spawn(move || {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let n = coords.len();
         let distance = |a: NodeId, b: NodeId| -> usize {
             coords[a]
@@ -163,8 +163,8 @@ pub fn spawn_proposer(
 mod tests {
     use super::*;
     use fdc_cube::ConfiguredModel;
-    use fdc_forecast::{FitOptions, ModelSpec};
     use fdc_datagen::tourism_proxy;
+    use fdc_forecast::{FitOptions, ModelSpec};
 
     fn with_models(ds: &Dataset, split: &CubeSplit, nodes: &[NodeId]) -> Configuration {
         let mut cfg = Configuration::new(ds.node_count());
@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn sampling_respects_source_pool_and_count() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let models = vec![2usize, 5, 7];
         for _ in 0..50 {
             let p = sample_proposal(&mut rng, 20, |_, _| 1, &models, 3).unwrap();
@@ -202,7 +202,7 @@ mod tests {
         // Node 0 is distance 0 from target; node 1 is distance 5. With
         // many samples, node 0 must be drawn far more often in size-1
         // proposals.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let models = vec![0usize, 1];
         let mut near = 0;
         let mut far = 0;
@@ -225,7 +225,7 @@ mod tests {
 
     #[test]
     fn empty_model_set_yields_no_proposal() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         assert!(sample_proposal(&mut rng, 10, |_, _| 0, &[], 3).is_none());
     }
 

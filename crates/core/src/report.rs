@@ -43,7 +43,11 @@ pub struct SchemeCounts {
 
 /// Builds the report for a configuration over its data set. `top_k`
 /// bounds the worst-nodes list.
-pub fn summarize(dataset: &Dataset, configuration: &Configuration, top_k: usize) -> ConfigurationReport {
+pub fn summarize(
+    dataset: &Dataset,
+    configuration: &Configuration,
+    top_k: usize,
+) -> ConfigurationReport {
     let g = dataset.graph();
     let mut models_per_level = vec![0usize; g.max_level() + 1];
     for (v, _) in configuration.models() {

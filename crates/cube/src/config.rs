@@ -396,8 +396,7 @@ mod tests {
                         (city as f64 + 1.0)
                             * (20.0
                                 + 0.3 * t as f64
-                                + 5.0
-                                    * (2.0 * std::f64::consts::PI * (t % 4) as f64 / 4.0).sin())
+                                + 5.0 * (2.0 * std::f64::consts::PI * (t % 4) as f64 / 4.0).sin())
                     })
                     .collect();
                 (

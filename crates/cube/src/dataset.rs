@@ -105,11 +105,7 @@ impl Dataset {
     ///
     /// The new series must be aligned with the existing ones and its
     /// coordinate fully concrete, canonical and previously absent.
-    pub fn with_added_base(
-        &self,
-        coord: Coord,
-        series: TimeSeries,
-    ) -> Result<Dataset> {
+    pub fn with_added_base(&self, coord: Coord, series: TimeSeries) -> Result<Dataset> {
         let g = self.graph();
         let mut base: Vec<(Coord, TimeSeries)> = g
             .base_nodes()
@@ -213,7 +209,11 @@ mod tests {
                 }
             }
             for (a, e) in ds.series(v).values().iter().zip(&expect) {
-                assert!((a - e).abs() < 1e-9, "node {}", g.coord(v).display(g.schema()));
+                assert!(
+                    (a - e).abs() < 1e-9,
+                    "node {}",
+                    g.coord(v).display(g.schema())
+                );
             }
         }
     }
@@ -307,10 +307,7 @@ mod tests {
         assert_eq!(ds.series_len(), n_before + 1);
         let top = ds.graph().top_node();
         assert!((ds.series(top).values().last().unwrap() - 800.0).abs() < 1e-9);
-        let r1 = ds
-            .graph()
-            .node(&Coord::new(vec![STAR, 0, STAR]))
-            .unwrap();
+        let r1 = ds.graph().node(&Coord::new(vec![STAR, 0, STAR])).unwrap();
         assert!((ds.series(r1).values().last().unwrap() - 400.0).abs() < 1e-9);
     }
 

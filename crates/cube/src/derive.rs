@@ -45,8 +45,7 @@ pub fn classify_scheme(dataset: &Dataset, sources: &[NodeId], target: NodeId) ->
     if let [s] = sources {
         // Ancestor: target's base descendants are a subset of the source's.
         if g.coord(*s).matches_base(g.coord(target))
-            || g
-                .base_descendants(target)
+            || g.base_descendants(target)
                 .iter()
                 .all(|b| g.coord(*s).matches_base(g.coord(*b)))
         {
@@ -204,8 +203,9 @@ mod tests {
         // City i contributes a constant share: values (i+1) * (t+1).
         let base = (0..4u32)
             .map(|city| {
-                let values: Vec<f64> =
-                    (0..8).map(|t| (city as f64 + 1.0) * (t as f64 + 1.0)).collect();
+                let values: Vec<f64> = (0..8)
+                    .map(|t| (city as f64 + 1.0) * (t as f64 + 1.0))
+                    .collect();
                 (
                     Coord::new(vec![city, region_of[city as usize]]),
                     TimeSeries::new(values, Granularity::Monthly),
@@ -235,10 +235,7 @@ mod tests {
         let c2 = node(&ds, vec![1, 0]);
         let k = derivation_weight(&ds, &[c1, c2], r1);
         assert!((k - 1.0).abs() < 1e-12);
-        assert_eq!(
-            classify_scheme(&ds, &[c1, c2], r1),
-            SchemeKind::Aggregation
-        );
+        assert_eq!(classify_scheme(&ds, &[c1, c2], r1), SchemeKind::Aggregation);
     }
 
     #[test]
@@ -352,11 +349,7 @@ mod tests {
 
     #[test]
     fn zero_history_sources_give_zero_weight() {
-        let schema = Schema::flat(vec![Dimension::new(
-            "d",
-            vec!["a".into(), "b".into()],
-        )])
-        .unwrap();
+        let schema = Schema::flat(vec![Dimension::new("d", vec!["a".into(), "b".into()])]).unwrap();
         let base = vec![
             (
                 Coord::new(vec![0]),

@@ -21,7 +21,6 @@
 
 use crate::schema::Schema;
 use crate::{CubeError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Sentinel value index representing the aggregation over a dimension
@@ -32,7 +31,7 @@ pub const STAR: u32 = u32::MAX;
 pub type NodeId = usize;
 
 /// A coordinate in the cube: one value index per dimension, or [`STAR`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Coord(Box<[u32]>);
 
 impl Coord {
@@ -126,7 +125,7 @@ pub fn canonicalize(schema: &Schema, coord: &Coord) -> Option<Coord> {
 
 /// A hyperedge: instantiating dimension `dim` of a node yields the set of
 /// `children` whose series sum to the node's series.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HyperEdge {
     /// The dimension whose values the children enumerate.
     pub dim: usize,
@@ -135,7 +134,7 @@ pub struct HyperEdge {
 }
 
 /// The time series hyper graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeriesGraph {
     schema: Schema,
     coords: Vec<Coord>,
@@ -468,7 +467,11 @@ mod tests {
         for v in 0..g.node_count() {
             let c = g.coord(v);
             if !c.is_star(0) {
-                assert!(!c.is_star(1), "node {} is non-canonical", c.display(g.schema()));
+                assert!(
+                    !c.is_star(1),
+                    "node {} is non-canonical",
+                    c.display(g.schema())
+                );
             }
         }
     }

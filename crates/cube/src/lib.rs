@@ -56,8 +56,8 @@ pub use derive::{
 };
 pub use graph::{Coord, NodeId, TimeSeriesGraph, STAR};
 pub use query::{DimSelector, NodeQuery};
-pub use slice::slice_dataset;
 pub use schema::{Dimension, FunctionalDependency, Schema};
+pub use slice::slice_dataset;
 
 /// Errors raised by cube construction and evaluation.
 #[derive(Debug, Clone, PartialEq)]

@@ -221,11 +221,9 @@ mod tests {
     #[test]
     fn unknown_dimension_and_value_are_errors() {
         let g = graph();
-        assert!(NodeQuery::from_predicates(
-            &g,
-            &[("nope", DimSelector::Value("x".into()))]
-        )
-        .is_err());
+        assert!(
+            NodeQuery::from_predicates(&g, &[("nope", DimSelector::Value("x".into()))]).is_err()
+        );
         let q = NodeQuery::from_predicates(&g, &[("city", DimSelector::Value("C9".into()))])
             .unwrap_err_or(&g);
         assert!(q);
@@ -251,8 +249,8 @@ mod tests {
         // C1,R1,* — wait: product unspecified → star. City concrete forces
         // region. Node C1,R1,* exists.
         let g = graph();
-        let q = NodeQuery::from_predicates(&g, &[("city", DimSelector::Value("C1".into()))])
-            .unwrap();
+        let q =
+            NodeQuery::from_predicates(&g, &[("city", DimSelector::Value("C1".into()))]).unwrap();
         let nodes = q.resolve(&g).unwrap();
         assert_eq!(g.coord(nodes[0]).values(), &[0, 0, STAR]);
     }

@@ -8,10 +8,9 @@
 //! encode functional dependencies" (property 3 of the graph).
 
 use crate::{CubeError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A categorical dimension: a name plus its value domain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dimension {
     name: String,
     values: Vec<String>,
@@ -43,14 +42,17 @@ impl Dimension {
 
     /// Index of a value label.
     pub fn value_index(&self, label: &str) -> Option<u32> {
-        self.values.iter().position(|v| v == label).map(|i| i as u32)
+        self.values
+            .iter()
+            .position(|v| v == label)
+            .map(|i| i as u32)
     }
 }
 
 /// A functional dependency `determinant → dependent`: every value of the
 /// determinant dimension maps to exactly one value of the dependent
 /// dimension (each city lies in exactly one region).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionalDependency {
     /// Index of the determining dimension (e.g. city).
     pub determinant: usize,
@@ -72,7 +74,7 @@ impl FunctionalDependency {
 }
 
 /// The full dimension schema: dimensions plus functional dependencies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     dimensions: Vec<Dimension>,
     dependencies: Vec<FunctionalDependency>,
@@ -233,21 +235,13 @@ mod tests {
     #[test]
     fn rejects_self_dependency() {
         let d = Dimension::new("d", vec!["a".into()]);
-        assert!(Schema::new(
-            vec![d],
-            vec![FunctionalDependency::new(0, 0, vec![0])]
-        )
-        .is_err());
+        assert!(Schema::new(vec![d], vec![FunctionalDependency::new(0, 0, vec![0])]).is_err());
     }
 
     #[test]
     fn rejects_out_of_range_dependency() {
         let d = Dimension::new("d", vec!["a".into()]);
-        assert!(Schema::new(
-            vec![d],
-            vec![FunctionalDependency::new(0, 5, vec![0])]
-        )
-        .is_err());
+        assert!(Schema::new(vec![d], vec![FunctionalDependency::new(0, 5, vec![0])]).is_err());
     }
 
     #[test]

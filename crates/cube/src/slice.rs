@@ -108,10 +108,7 @@ mod tests {
             assert_eq!(sliced.graph().coord(b).values()[1], 0);
         }
         // The slice's total equals the original region aggregate.
-        let orig_region = ds
-            .graph()
-            .node(&Coord::new(vec![STAR, 0, STAR]))
-            .unwrap();
+        let orig_region = ds.graph().node(&Coord::new(vec![STAR, 0, STAR])).unwrap();
         let sliced_top = sliced.graph().top_node();
         assert_eq!(
             sliced.series(sliced_top).values(),
@@ -138,7 +135,8 @@ mod tests {
     #[test]
     fn group_by_selector_behaves_like_all() {
         let ds = dataset();
-        let a = slice_dataset(&ds, &[DimSelector::All, DimSelector::All, DimSelector::All]).unwrap();
+        let a =
+            slice_dataset(&ds, &[DimSelector::All, DimSelector::All, DimSelector::All]).unwrap();
         let b = slice_dataset(
             &ds,
             &[DimSelector::GroupBy, DimSelector::All, DimSelector::All],

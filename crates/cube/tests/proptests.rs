@@ -1,72 +1,77 @@
-//! Property-based tests of the hyper graph invariants.
+//! Randomized property tests of the hyper graph invariants, driven by
+//! the deterministic workspace RNG.
 
 use fdc_cube::graph::canonicalize;
 use fdc_cube::{Coord, Dimension, FunctionalDependency, Schema, TimeSeriesGraph, STAR};
-use proptest::prelude::*;
+use fdc_rng::Rng;
+use std::collections::BTreeSet;
 
-/// Strategy: a schema with a leaf dimension functionally grouped into a
-/// coarser one, plus an independent flat dimension, and a random subset
-/// of base coordinates.
-fn graph_strategy() -> impl Strategy<Value = TimeSeriesGraph> {
-    (2usize..7, 2usize..4, 2usize..4).prop_flat_map(|(leaves, groups, flats)| {
-        proptest::collection::btree_set((0..leaves, 0..flats), 1..leaves * flats).prop_map(
-            move |picked| {
-                let schema = Schema::new(
-                    vec![
-                        Dimension::new("leaf", (0..leaves).map(|i| format!("l{i}")).collect()),
-                        Dimension::new("group", (0..groups).map(|i| format!("g{i}")).collect()),
-                        Dimension::new("flat", (0..flats).map(|i| format!("f{i}")).collect()),
-                    ],
-                    vec![FunctionalDependency::new(
-                        0,
-                        1,
-                        (0..leaves).map(|i| (i % groups) as u32).collect(),
-                    )],
-                )
-                .unwrap();
-                let coords: Vec<Coord> = picked
-                    .into_iter()
-                    .map(|(l, f)| {
-                        Coord::new(vec![l as u32, (l % groups) as u32, f as u32])
-                    })
-                    .collect();
-                TimeSeriesGraph::build(schema, &coords).unwrap()
-            },
-        )
-    })
+/// A schema with a leaf dimension functionally grouped into a coarser
+/// one, plus an independent flat dimension, and a random subset of base
+/// coordinates.
+fn random_graph(rng: &mut Rng) -> TimeSeriesGraph {
+    let leaves = 2 + rng.usize_below(5);
+    let groups = 2 + rng.usize_below(2);
+    let flats = 2 + rng.usize_below(2);
+    let want = 1 + rng.usize_below(leaves * flats - 1).min(leaves * flats - 1);
+    let mut picked: BTreeSet<(usize, usize)> = BTreeSet::new();
+    while picked.len() < want {
+        picked.insert((rng.usize_below(leaves), rng.usize_below(flats)));
+    }
+    let schema = Schema::new(
+        vec![
+            Dimension::new("leaf", (0..leaves).map(|i| format!("l{i}")).collect()),
+            Dimension::new("group", (0..groups).map(|i| format!("g{i}")).collect()),
+            Dimension::new("flat", (0..flats).map(|i| format!("f{i}")).collect()),
+        ],
+        vec![FunctionalDependency::new(
+            0,
+            1,
+            (0..leaves).map(|i| (i % groups) as u32).collect(),
+        )],
+    )
+    .unwrap();
+    let coords: Vec<Coord> = picked
+        .into_iter()
+        .map(|(l, f)| Coord::new(vec![l as u32, (l % groups) as u32, f as u32]))
+        .collect();
+    TimeSeriesGraph::build(schema, &coords).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Structural invariants of the hyper graph (§II-A).
-    #[test]
-    fn graph_structural_invariants(g in graph_strategy()) {
+/// Structural invariants of the hyper graph (§II-A).
+#[test]
+fn graph_structural_invariants() {
+    let mut rng = Rng::seed_from_u64(0xc0be1);
+    for case in 0..64 {
+        let g = random_graph(&mut rng);
         // Node 0-level count equals base count; a unique top node exists.
         let base: Vec<_> = (0..g.node_count()).filter(|&v| g.level(v) == 0).collect();
-        prop_assert_eq!(base.len(), g.base_nodes().len());
+        assert_eq!(base.len(), g.base_nodes().len(), "case {case}");
         let tops: Vec<_> = (0..g.node_count())
             .filter(|&v| g.coord(v).values().iter().all(|&x| x == STAR))
             .collect();
-        prop_assert_eq!(tops, vec![g.top_node()]);
+        assert_eq!(tops, vec![g.top_node()], "case {case}");
 
         for v in 0..g.node_count() {
             // Every non-base node has at least one hyperedge; base nodes
             // have none; every node except top has at least one parent.
             if g.level(v) == 0 {
-                prop_assert!(g.edges(v).is_empty());
+                assert!(g.edges(v).is_empty());
             } else {
-                prop_assert!(!g.edges(v).is_empty());
+                assert!(!g.edges(v).is_empty());
             }
             if v != g.top_node() {
-                prop_assert!(!g.parents(v).is_empty(), "node {v} unreachable");
+                assert!(
+                    !g.parents(v).is_empty(),
+                    "case {case}: node {v} unreachable"
+                );
             }
             // Canonical coordinates only.
             let canon = canonicalize(g.schema(), g.coord(v)).unwrap();
-            prop_assert_eq!(&canon, g.coord(v));
+            assert_eq!(&canon, g.coord(v));
             // Parent levels are exactly one above.
             for &(_, p) in g.parents(v) {
-                prop_assert_eq!(g.level(p), g.level(v) + 1);
+                assert_eq!(g.level(p), g.level(v) + 1);
             }
             // Each hyperedge's children partition the node's base set.
             let base_set = g.base_descendants(v);
@@ -79,43 +84,53 @@ proptest! {
                 covered.sort_unstable();
                 let mut expect = base_set.clone();
                 expect.sort_unstable();
-                prop_assert_eq!(covered, expect, "edge over dim {} of node {}", edge.dim, v);
+                assert_eq!(
+                    covered, expect,
+                    "case {case}: edge over dim {} of node {}",
+                    edge.dim, v
+                );
             }
         }
     }
+}
 
-    /// Resolve is the inverse of coord: every node's coordinate resolves
-    /// back to the node; starred variants canonicalize consistently.
-    #[test]
-    fn resolve_round_trips(g in graph_strategy()) {
+/// Resolve is the inverse of coord: every node's coordinate resolves
+/// back to the node; starred variants canonicalize consistently.
+#[test]
+fn resolve_round_trips() {
+    let mut rng = Rng::seed_from_u64(0xc0be2);
+    for _ in 0..64 {
+        let g = random_graph(&mut rng);
         for v in 0..g.node_count() {
-            prop_assert_eq!(g.resolve(g.coord(v)), Some(v));
+            assert_eq!(g.resolve(g.coord(v)), Some(v));
         }
         // Dropping the (determined) group value of a base coordinate must
         // resolve to the same base node.
         for &b in g.base_nodes() {
             let mut vals = g.coord(b).values().to_vec();
             vals[1] = STAR;
-            prop_assert_eq!(g.resolve(&Coord::new(vals)), Some(b));
+            assert_eq!(g.resolve(&Coord::new(vals)), Some(b));
         }
     }
+}
 
-    /// Distance is a metric-like function: zero iff equal, symmetric,
-    /// triangle inequality (it is a Hamming distance on coordinates).
-    #[test]
-    fn distance_is_hamming_metric(g in graph_strategy()) {
+/// Distance is a metric-like function: zero iff equal, symmetric,
+/// triangle inequality (it is a Hamming distance on coordinates).
+#[test]
+fn distance_is_hamming_metric() {
+    let mut rng = Rng::seed_from_u64(0xc0be3);
+    for _ in 0..32 {
+        let g = random_graph(&mut rng);
         let n = g.node_count().min(8);
         for a in 0..n {
-            prop_assert_eq!(g.distance(a, a), 0);
+            assert_eq!(g.distance(a, a), 0);
             for b in 0..n {
-                prop_assert_eq!(g.distance(a, b), g.distance(b, a));
+                assert_eq!(g.distance(a, b), g.distance(b, a));
                 if a != b {
-                    prop_assert!(g.distance(a, b) > 0);
+                    assert!(g.distance(a, b) > 0);
                 }
                 for c in 0..n {
-                    prop_assert!(
-                        g.distance(a, c) <= g.distance(a, b) + g.distance(b, c)
-                    );
+                    assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c));
                 }
             }
         }

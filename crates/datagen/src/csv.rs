@@ -117,8 +117,8 @@ pub fn import_csv(content: &str, granularity: Granularity) -> Result<Dataset, Cs
         .zip(&domains)
         .map(|(name, values)| Dimension::new(name, values.clone()))
         .collect();
-    let schema = Schema::new(dimensions, dependencies)
-        .map_err(|e| CsvError::Inconsistent(e.to_string()))?;
+    let schema =
+        Schema::new(dimensions, dependencies).map_err(|e| CsvError::Inconsistent(e.to_string()))?;
 
     // Group observations per coordinate and check time density.
     let t0 = rows.iter().map(|r| r.0).min().expect("non-empty");
@@ -126,9 +126,7 @@ pub fn import_csv(content: &str, granularity: Granularity) -> Result<Dataset, Cs
     let len = (t1 - t0 + 1) as usize;
     let mut per_coord: BTreeMap<Vec<u32>, Vec<Option<f64>>> = BTreeMap::new();
     for (time, coord, value) in rows {
-        let slot = per_coord
-            .entry(coord)
-            .or_insert_with(|| vec![None; len]);
+        let slot = per_coord.entry(coord).or_insert_with(|| vec![None; len]);
         let idx = (time - t0) as usize;
         if slot[idx].is_some() {
             return Err(CsvError::Inconsistent(format!(
@@ -212,9 +210,7 @@ fn infer_dependencies(
     let direct: Vec<(usize, usize)> = out.iter().map(|f| (f.determinant, f.dependent)).collect();
     out.retain(|f| {
         !direct.iter().any(|&(a, b)| {
-            a == f.determinant
-                && b != f.dependent
-                && direct.contains(&(b, f.dependent))
+            a == f.determinant && b != f.dependent && direct.contains(&(b, f.dependent))
         })
     });
     out
@@ -293,13 +289,11 @@ time,city,region,product,sales
         let ds = import_csv(SAMPLE, Granularity::Monthly).unwrap();
         let csv = export_csv(&ds, "sales");
         let ds2 = import_csv(&csv, Granularity::Monthly).unwrap();
-        assert_eq!(ds.graph().base_nodes().len(), ds2.graph().base_nodes().len());
-        for (&a, &b) in ds
-            .graph()
-            .base_nodes()
-            .iter()
-            .zip(ds2.graph().base_nodes())
-        {
+        assert_eq!(
+            ds.graph().base_nodes().len(),
+            ds2.graph().base_nodes().len()
+        );
+        for (&a, &b) in ds.graph().base_nodes().iter().zip(ds2.graph().base_nodes()) {
             assert_eq!(ds.series(a).values(), ds2.series(b).values());
         }
     }

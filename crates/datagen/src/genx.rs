@@ -139,10 +139,7 @@ pub fn generate_cube(spec: &GenSpec) -> GeneratedCube {
         let mut series_noise = noise.fork(v as u64);
         let process = SarimaProcess::randomized(spec.seasonal_period, &mut series_noise);
         let values = simulate_sarima(&process, spec.length, &mut series_noise);
-        base.push((
-            Coord::new(coord),
-            TimeSeries::new(values, spec.granularity),
-        ));
+        base.push((Coord::new(coord), TimeSeries::new(values, spec.granularity)));
     }
 
     let dataset = Dataset::from_base(schema, base).expect("generated base data is valid");
@@ -209,10 +206,7 @@ mod tests {
             assert_eq!(a.dataset.series(v).values(), b.dataset.series(v).values());
         }
         let c = generate_cube(&GenSpec::new(8, 20, 43));
-        assert_ne!(
-            a.dataset.series(0).values(),
-            c.dataset.series(0).values()
-        );
+        assert_ne!(a.dataset.series(0).values(), c.dataset.series(0).values());
     }
 
     #[test]

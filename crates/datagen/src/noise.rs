@@ -1,16 +1,16 @@
 //! Gaussian noise source.
 //!
-//! `rand_distr` is outside the sanctioned dependency set, so the normal
-//! distribution is implemented directly via the Box–Muller transform on
-//! top of `rand`'s uniform generator.
+//! The normal distribution is implemented directly via the Box–Muller
+//! transform on top of the workspace's deterministic uniform generator
+//! (`fdc-rng`), so data generation stays dependency-free and
+//! bit-reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fdc_rng::Rng;
 
 /// A seeded Gaussian noise generator (Box–Muller, both branches used).
 #[derive(Debug, Clone)]
 pub struct GaussianNoise {
-    rng: StdRng,
+    rng: Rng,
     /// The second Box–Muller sample, cached between calls.
     spare: Option<f64>,
 }
@@ -19,7 +19,7 @@ impl GaussianNoise {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
         GaussianNoise {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             spare: None,
         }
     }
@@ -29,8 +29,8 @@ impl GaussianNoise {
         if let Some(v) = self.spare.take() {
             return v;
         }
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1: f64 = self.rng.f64_range(f64::EPSILON, 1.0);
+        let u2: f64 = self.rng.f64_range(0.0, 1.0);
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -44,17 +44,17 @@ impl GaussianNoise {
 
     /// Draws a uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        self.rng.f64_range(lo, hi)
     }
 
     /// Draws a uniform integer in `[0, n)`.
     pub fn uniform_index(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        self.rng.usize_below(n)
     }
 
     /// Re-seeds derived generators deterministically.
     pub fn fork(&mut self, salt: u64) -> GaussianNoise {
-        let seed: u64 = self.rng.gen::<u64>() ^ salt;
+        let seed: u64 = self.rng.next_u64() ^ salt;
         GaussianNoise::new(seed)
     }
 }

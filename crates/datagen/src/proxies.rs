@@ -33,11 +33,13 @@ fn mixed_series(
     (0..length)
         .map(|t| {
             let season = if period > 1 {
-                seasonal_amplitude * ((2.0 * PI * (t % period) as f64 / period as f64) + seasonal_phase).sin()
+                seasonal_amplitude
+                    * ((2.0 * PI * (t % period) as f64 / period as f64) + seasonal_phase).sin()
             } else {
                 0.0
             };
-            let v = level + trend_per_step * t as f64 + level * season + noise.sample(0.0, noise_sd);
+            let v =
+                level + trend_per_step * t as f64 + level * season + noise.sample(0.0, noise_sd);
             v.max(0.1)
         })
         .collect()
@@ -97,7 +99,11 @@ pub fn sales_proxy(seed: u64) -> Dataset {
             Dimension::new("category", categories),
             Dimension::new("country", countries.iter().map(|s| s.to_string()).collect()),
         ],
-        vec![FunctionalDependency::new(0, 1, vec![0, 0, 0, 1, 1, 1, 2, 2, 2])],
+        vec![FunctionalDependency::new(
+            0,
+            1,
+            vec![0, 0, 0, 1, 1, 1, 2, 2, 2],
+        )],
     )
     .expect("sales schema is valid");
 

@@ -71,9 +71,10 @@ impl Catalog {
         let n = dataset.node_count();
         let mut models = BTreeMap::new();
         for (node, cm) in configuration.models() {
-            let model = cm.spec.fit(dataset.series(node), fit).map_err(|e| {
-                F2dbError::Cube(format!("refitting model at node {node}: {e}"))
-            })?;
+            let model = cm
+                .spec
+                .fit(dataset.series(node), fit)
+                .map_err(|e| F2dbError::Cube(format!("refitting model at node {node}: {e}")))?;
             models.insert(
                 node,
                 StoredModel {
@@ -222,7 +223,7 @@ impl Catalog {
     }
 
     /// Serializes the catalog.
-    pub fn encode(&self) -> bytes::Bytes {
+    pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::with_header();
         e.put_len(self.entries.len());
         for entry in &self.entries {
@@ -302,8 +303,8 @@ impl Catalog {
 mod tests {
     use super::*;
     use fdc_cube::{ConfiguredModel, CubeSplit};
-    use fdc_forecast::ModelSpec;
     use fdc_datagen::tourism_proxy;
+    use fdc_forecast::ModelSpec;
 
     fn catalog_fixture() -> (Dataset, Catalog) {
         let ds = tourism_proxy(1);
@@ -362,7 +363,12 @@ mod tests {
             .collect();
         ds.advance_time(&new).unwrap();
         let mut stats = MaintenanceStats::default();
-        catalog.advance_time(&ds, ds.series_len() - 1, &MaintenancePolicy::None, &mut stats);
+        catalog.advance_time(
+            &ds,
+            ds.series_len() - 1,
+            &MaintenancePolicy::None,
+            &mut stats,
+        );
         assert_eq!(stats.model_updates, 1);
         assert_eq!(
             catalog.models.get(&top).unwrap().model.observations(),
@@ -393,7 +399,9 @@ mod tests {
             if round == 2 {
                 assert!(catalog.is_invalid(top));
                 // Re-estimate to observe the next invalidation.
-                catalog.reestimate(top, &ds, &FitOptions::default()).unwrap();
+                catalog
+                    .reestimate(top, &ds, &FitOptions::default())
+                    .unwrap();
                 assert!(!catalog.is_invalid(top));
             }
         }
@@ -411,12 +419,8 @@ mod tests {
         // error is an EWMA with weight 0.2, so a single fully-wrong step
         // (SMAPE ≈ 1) pushes it to ≈ 0.2 — above the threshold.
         for _ in 0..2 {
-            let new: Vec<(NodeId, f64)> = ds
-                .graph()
-                .base_nodes()
-                .iter()
-                .map(|&b| (b, 1e6))
-                .collect();
+            let new: Vec<(NodeId, f64)> =
+                ds.graph().base_nodes().iter().map(|&b| (b, 1e6)).collect();
             ds.advance_time(&new).unwrap();
             catalog.advance_time(&ds, ds.series_len() - 1, &policy, &mut stats);
         }

@@ -1,13 +1,12 @@
 //! Compact binary codec for catalog persistence.
 //!
 //! The catalog rows (derivation schemes, weights, model states) are
-//! encoded with a small hand-rolled binary format on top of `bytes` —
+//! encoded with a small hand-rolled binary format on top of `Vec<u8>` —
 //! length-prefixed, little-endian, with a versioned magic header. Keeping
-//! the codec local avoids pulling a serde format crate into the
+//! the codec local avoids pulling any serialization crate into the
 //! dependency set and makes the on-disk layout explicit.
 
 use crate::{F2dbError, Result};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fdc_forecast::{ModelSpec, ModelState, SeasonalKind};
 
 /// Magic bytes identifying a catalog file.
@@ -18,43 +17,43 @@ pub const VERSION: u16 = 1;
 /// Write-side codec helper.
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     /// Creates an encoder with the catalog header already written.
     pub fn with_header() -> Self {
         let mut e = Encoder {
-            buf: BytesMut::with_capacity(1024),
+            buf: Vec::with_capacity(1024),
         };
-        e.buf.put_slice(MAGIC);
-        e.buf.put_u16_le(VERSION);
+        e.buf.extend_from_slice(MAGIC);
+        e.buf.extend_from_slice(&VERSION.to_le_bytes());
         e
     }
 
     /// Finalizes the buffer.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Appends an u8.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends an u32.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an u64.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an f64.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a usize (as u64).
@@ -152,27 +151,27 @@ impl<'a> Decoder<'a> {
     }
 
     fn get_u16(&mut self) -> Result<u16> {
-        Ok(self.take(2)?.get_u16_le())
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     /// Reads an u8.
     pub fn get_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?.get_u8())
+        Ok(self.take(1)?[0])
     }
 
     /// Reads an u32.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(self.take(4)?.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Reads an u64.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(self.take(8)?.get_u64_le())
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Reads an f64.
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(self.take(8)?.get_f64_le())
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Reads a usize (bounded to avoid allocation bombs from corrupt

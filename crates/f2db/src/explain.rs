@@ -10,6 +10,39 @@
 
 use crate::query::AggregateFn;
 use fdc_cube::NodeId;
+use std::time::Duration;
+
+/// Maintenance state of a source model at execution time
+/// (`EXPLAIN ANALYZE` only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceModelState {
+    /// The stored model was valid and served the query as-is.
+    Cached,
+    /// The model was invalid and this query triggered its lazy
+    /// re-estimation.
+    Reestimated,
+}
+
+impl std::fmt::Display for SourceModelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceModelState::Cached => write!(f, "cached"),
+            SourceModelState::Reestimated => write!(f, "re-estimated"),
+        }
+    }
+}
+
+/// Execution annotations of one plan node (`EXPLAIN ANALYZE` only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAnalysis {
+    /// Wall-clock time spent deriving this node's forecast.
+    pub elapsed: Duration,
+    /// Model state per scheme source, parallel to
+    /// [`ExplainRow::sources`].
+    pub source_states: Vec<SourceModelState>,
+    /// The forecast values actually produced.
+    pub values: Vec<f64>,
+}
 
 /// One source of a derivation scheme in the plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +68,8 @@ pub struct ExplainRow {
     pub sources: Vec<ExplainSource>,
     /// The derivation weight `k`.
     pub weight: f64,
+    /// Execution annotations; `Some` only for `EXPLAIN ANALYZE`.
+    pub analysis: Option<NodeAnalysis>,
 }
 
 /// The full plan of a forecast query.
@@ -46,6 +81,8 @@ pub struct ExplainReport {
     pub aggregate: AggregateFn,
     /// Plan rows, one per resolved node.
     pub rows: Vec<ExplainRow>,
+    /// Total execution wall-clock; `Some` only for `EXPLAIN ANALYZE`.
+    pub total_elapsed: Option<Duration>,
 }
 
 impl std::fmt::Display for ExplainReport {
@@ -56,23 +93,51 @@ impl std::fmt::Display for ExplainReport {
             self.horizon, self.aggregate
         )?;
         for row in &self.rows {
-            writeln!(
+            write!(
                 f,
                 "  -> node [{}] via {} (k = {:.6})",
                 row.label, row.scheme_kind, row.weight
             )?;
-            for s in &row.sources {
-                writeln!(
-                    f,
-                    "       model @ [{}]{}",
-                    s.label,
-                    if s.invalid {
-                        "  (invalid: will re-estimate)"
-                    } else {
-                        ""
-                    }
-                )?;
+            match &row.analysis {
+                Some(a) => writeln!(f, "  (actual time: {:.1?})", a.elapsed)?,
+                None => writeln!(f)?,
             }
+            for (i, s) in row.sources.iter().enumerate() {
+                match &row.analysis {
+                    Some(a) => writeln!(
+                        f,
+                        "       model @ [{}]  ({})",
+                        s.label,
+                        a.source_states
+                            .get(i)
+                            .copied()
+                            .unwrap_or(SourceModelState::Cached)
+                    )?,
+                    None => writeln!(
+                        f,
+                        "       model @ [{}]{}",
+                        s.label,
+                        if s.invalid {
+                            "  (invalid: will re-estimate)"
+                        } else {
+                            ""
+                        }
+                    )?,
+                }
+            }
+            if let Some(a) = &row.analysis {
+                write!(f, "       values: [")?;
+                for (i, v) in a.values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:.3}")?;
+                }
+                writeln!(f, "]")?;
+            }
+        }
+        if let Some(total) = self.total_elapsed {
+            writeln!(f, "Execution time: {total:.1?}")?;
         }
         Ok(())
     }
@@ -96,7 +161,9 @@ mod tests {
                     invalid: true,
                 }],
                 weight: 0.25,
+                analysis: None,
             }],
+            total_elapsed: None,
         };
         let text = report.to_string();
         assert!(text.contains("horizon: 4 steps"));
@@ -104,5 +171,35 @@ mod tests {
         assert!(text.contains("disaggregation"));
         assert!(text.contains("will re-estimate"));
         assert!(text.contains("0.250000"));
+        assert!(!text.contains("actual time"));
+    }
+
+    #[test]
+    fn display_renders_analyzed_plan() {
+        let report = ExplainReport {
+            horizon: 2,
+            aggregate: AggregateFn::Sum,
+            rows: vec![ExplainRow {
+                node: 3,
+                label: "*,*".into(),
+                scheme_kind: "direct",
+                sources: vec![ExplainSource {
+                    label: "*,*".into(),
+                    invalid: false,
+                }],
+                weight: 1.0,
+                analysis: Some(NodeAnalysis {
+                    elapsed: Duration::from_micros(42),
+                    source_states: vec![SourceModelState::Reestimated],
+                    values: vec![10.5, 11.25],
+                }),
+            }],
+            total_elapsed: Some(Duration::from_micros(55)),
+        };
+        let text = report.to_string();
+        assert!(text.contains("actual time"), "{text}");
+        assert!(text.contains("re-estimated"), "{text}");
+        assert!(text.contains("values: [10.500, 11.250]"), "{text}");
+        assert!(text.contains("Execution time"), "{text}");
     }
 }

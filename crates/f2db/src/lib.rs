@@ -51,15 +51,15 @@ pub mod parser;
 pub mod query;
 
 pub use catalog::{Catalog, CatalogEntry, StoredModel};
-pub use explain::{ExplainReport, ExplainRow, ExplainSource};
+pub use explain::{ExplainReport, ExplainRow, ExplainSource, NodeAnalysis, SourceModelState};
 pub use maintenance::{MaintenancePolicy, MaintenanceStats};
 pub use parser::parse_query;
 pub use query::{AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, Statement};
 
 use fdc_cube::{Configuration, Dataset, NodeId, NodeQuery};
 use fdc_forecast::FitOptions;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 use std::time::Instant;
 
 /// Errors raised by the database layer.
@@ -149,7 +149,7 @@ impl F2db {
 
     /// Number of models stored in the catalog.
     pub fn model_count(&self) -> usize {
-        self.catalog.read().model_count()
+        self.catalog.read().unwrap().model_count()
     }
 
     /// Executes a semicolon-separated script of statements, stopping at
@@ -177,8 +177,9 @@ impl F2db {
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         match parse_query(sql)? {
             Statement::Forecast(q) => self.run_forecast(&q),
-            Statement::Explain(_) => Err(F2dbError::Semantic(
-                "EXPLAIN statements return a plan; use F2db::explain".into(),
+            Statement::Explain { .. } => Err(F2dbError::Semantic(
+                "EXPLAIN statements return a plan; use F2db::explain or F2db::explain_analyze"
+                    .into(),
             )),
             Statement::Insert { values, measure } => {
                 self.insert_row(&values, measure)?;
@@ -192,8 +193,9 @@ impl F2db {
     pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
         match parse_query(sql)? {
             Statement::Forecast(q) => self.run_forecast(&q),
-            Statement::Explain(_) => Err(F2dbError::Semantic(
-                "EXPLAIN statements return a plan; use F2db::explain".into(),
+            Statement::Explain { .. } => Err(F2dbError::Semantic(
+                "EXPLAIN statements return a plan; use F2db::explain or F2db::explain_analyze"
+                    .into(),
             )),
             Statement::Insert { .. } => Err(F2dbError::Semantic(
                 "expected a forecast query, got an INSERT".into(),
@@ -207,7 +209,16 @@ impl F2db {
     /// Accepts the query with or without a leading `EXPLAIN`.
     pub fn explain(&self, sql: &str) -> Result<ExplainReport> {
         let q = match parse_query(sql)? {
-            Statement::Forecast(q) | Statement::Explain(q) => q,
+            Statement::Forecast(q)
+            | Statement::Explain {
+                query: q,
+                analyze: false,
+            } => q,
+            Statement::Explain { analyze: true, .. } => {
+                return Err(F2dbError::Semantic(
+                    "EXPLAIN ANALYZE executes the query; use F2db::explain_analyze".into(),
+                ));
+            }
             Statement::Insert { .. } => {
                 return Err(F2dbError::Semantic("cannot EXPLAIN an INSERT".into()));
             }
@@ -226,7 +237,7 @@ impl F2db {
             .resolve(self.dataset.graph())
             .map_err(|e| F2dbError::Semantic(e.to_string()))?;
         let g = self.dataset.graph();
-        let catalog = self.catalog.read();
+        let catalog = self.catalog.read().unwrap();
         let mut rows = Vec::with_capacity(nodes.len());
         for &n in &nodes {
             let label = g.coord(n).display(g.schema());
@@ -256,6 +267,7 @@ impl F2db {
                         scheme_kind: kind,
                         sources,
                         weight: entry.weight,
+                        analysis: None,
                     });
                 }
                 None => {
@@ -269,10 +281,171 @@ impl F2db {
             horizon,
             aggregate: q.aggregate,
             rows,
+            total_elapsed: None,
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: produces the same plan as [`F2db::explain`] but
+    /// actually executes it, annotating every row with the wall-clock
+    /// time spent deriving its forecast, the state of each source model
+    /// (cached, or re-estimated lazily by this very query) and the values
+    /// produced. Accepts the query with or without a leading
+    /// `EXPLAIN [ANALYZE]`.
+    ///
+    /// Counts as a real query for maintenance statistics and latency
+    /// metrics — the lazy re-estimation it triggers is identical to what
+    /// the query processor would do.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<ExplainReport> {
+        let _span = fdc_obs::span!("f2db.explain_analyze");
+        let q = match parse_query(sql)? {
+            Statement::Forecast(q) | Statement::Explain { query: q, .. } => q,
+            Statement::Insert { .. } => {
+                return Err(F2dbError::Semantic("cannot EXPLAIN an INSERT".into()));
+            }
+        };
+        let started = Instant::now();
+        // Static plan first (sources, kinds, weights, pre-execution
+        // invalid flags).
+        let mut report = self.plan_report(&q)?;
+        let horizon = report.horizon;
+
+        // Execute: lazily re-estimate every invalid source referenced by
+        // the plan, recording which ones this query paid for.
+        let mut reestimated: Vec<NodeId> = Vec::new();
+        {
+            let mut catalog = self.catalog.write().unwrap();
+            let mut referenced: Vec<NodeId> = Vec::new();
+            for row in &report.rows {
+                if let Some(entry) = catalog.entry(row.node) {
+                    referenced.extend(entry.scheme_sources.iter().copied());
+                }
+            }
+            referenced.sort_unstable();
+            referenced.dedup();
+            for s in referenced {
+                if catalog.is_invalid(s) {
+                    catalog.reestimate(s, &self.dataset, &self.fit)?;
+                    self.stats.reestimations += 1;
+                    fdc_obs::counter("f2db.models.reestimated").incr();
+                    reestimated.push(s);
+                } else {
+                    fdc_obs::counter("f2db.models.cached").incr();
+                }
+            }
+        }
+
+        let catalog = self.catalog.read().unwrap();
+        for row in &mut report.rows {
+            let node_started = Instant::now();
+            let mut values = catalog.forecast(row.node, horizon).ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "node {} has no derivation scheme in the configuration",
+                    row.label
+                ))
+            })?;
+            if q.aggregate == query::AggregateFn::Avg {
+                let count = self.dataset.graph().base_descendants(row.node).len().max(1) as f64;
+                for v in &mut values {
+                    *v /= count;
+                }
+            }
+            let elapsed = node_started.elapsed();
+            let entry = catalog.entry(row.node).expect("planned node has an entry");
+            let source_states = entry
+                .scheme_sources
+                .iter()
+                .map(|s| {
+                    if reestimated.binary_search(s).is_ok() {
+                        SourceModelState::Reestimated
+                    } else {
+                        SourceModelState::Cached
+                    }
+                })
+                .collect();
+            row.analysis = Some(NodeAnalysis {
+                elapsed,
+                source_states,
+                values,
+            });
+        }
+        drop(catalog);
+        let total = started.elapsed();
+        report.total_elapsed = Some(total);
+        self.stats.queries += 1;
+        self.stats.total_query_time += total;
+        fdc_obs::counter("f2db.queries").incr();
+        fdc_obs::counter("f2db.explain_analyze").incr();
+        fdc_obs::histogram("f2db.query.ns").record_duration(total);
+        Ok(report)
+    }
+
+    /// Builds the static plan of `q` (shared by [`F2db::explain`] and
+    /// [`F2db::explain_analyze`]).
+    fn plan_report(&self, q: &ForecastQuery) -> Result<ExplainReport> {
+        let horizon = q
+            .horizon
+            .steps(self.dataset.series(0).granularity())
+            .ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "horizon unit {:?} is finer than the data granularity",
+                    q.horizon
+                ))
+            })?;
+        let nodes = self
+            .node_query(q)?
+            .resolve(self.dataset.graph())
+            .map_err(|e| F2dbError::Semantic(e.to_string()))?;
+        let g = self.dataset.graph();
+        let catalog = self.catalog.read().unwrap();
+        let mut rows = Vec::with_capacity(nodes.len());
+        for &n in &nodes {
+            let label = g.coord(n).display(g.schema());
+            match catalog.entry(n) {
+                Some(entry) => {
+                    let kind = match fdc_cube::derive::classify_scheme(
+                        &self.dataset,
+                        &entry.scheme_sources,
+                        n,
+                    ) {
+                        fdc_cube::SchemeKind::Direct => "direct",
+                        fdc_cube::SchemeKind::Aggregation => "aggregation",
+                        fdc_cube::SchemeKind::Disaggregation => "disaggregation",
+                        fdc_cube::SchemeKind::General => "general",
+                    };
+                    let sources = entry
+                        .scheme_sources
+                        .iter()
+                        .map(|&s| ExplainSource {
+                            label: g.coord(s).display(g.schema()),
+                            invalid: catalog.is_invalid(s),
+                        })
+                        .collect();
+                    rows.push(ExplainRow {
+                        node: n,
+                        label,
+                        scheme_kind: kind,
+                        sources,
+                        weight: entry.weight,
+                        analysis: None,
+                    });
+                }
+                None => {
+                    return Err(F2dbError::Semantic(format!(
+                        "node {label} has no derivation scheme in the configuration"
+                    )));
+                }
+            }
+        }
+        Ok(ExplainReport {
+            horizon,
+            aggregate: q.aggregate,
+            rows,
+            total_elapsed: None,
         })
     }
 
     fn run_forecast(&mut self, q: &ForecastQuery) -> Result<QueryResult> {
+        let _span = fdc_obs::span!("f2db.query");
         let started = Instant::now();
         let horizon = q
             .horizon
@@ -291,7 +464,7 @@ impl F2db {
         // Lazy re-estimation: queries referencing invalid models trigger
         // parameter re-estimation now (§V maintenance processor).
         {
-            let mut catalog = self.catalog.write();
+            let mut catalog = self.catalog.write().unwrap();
             let mut referenced: Vec<NodeId> = Vec::new();
             for &n in &nodes {
                 if let Some(entry) = catalog.entry(n) {
@@ -304,18 +477,24 @@ impl F2db {
                 if catalog.is_invalid(s) {
                     catalog.reestimate(s, &self.dataset, &self.fit)?;
                     self.stats.reestimations += 1;
+                    fdc_obs::counter("f2db.models.reestimated").incr();
+                } else {
+                    fdc_obs::counter("f2db.models.cached").incr();
                 }
             }
         }
 
-        let catalog = self.catalog.read();
+        let catalog = self.catalog.read().unwrap();
         let mut rows = Vec::with_capacity(nodes.len());
         let now = self.dataset.series(0).end();
         for &n in &nodes {
             let mut forecasts = catalog.forecast(n, horizon).ok_or_else(|| {
                 F2dbError::Semantic(format!(
                     "node {} has no derivation scheme in the configuration",
-                    self.dataset.graph().coord(n).display(self.dataset.graph().schema())
+                    self.dataset
+                        .graph()
+                        .coord(n)
+                        .display(self.dataset.graph().schema())
                 ))
             })?;
             if q.aggregate == query::AggregateFn::Avg {
@@ -341,8 +520,11 @@ impl F2db {
             });
         }
         drop(catalog);
+        let elapsed = started.elapsed();
         self.stats.queries += 1;
-        self.stats.total_query_time += started.elapsed();
+        self.stats.total_query_time += elapsed;
+        fdc_obs::counter("f2db.queries").incr();
+        fdc_obs::histogram("f2db.query.ns").record_duration(elapsed);
         Ok(QueryResult { rows })
     }
 
@@ -401,6 +583,7 @@ impl F2db {
         }
         self.pending.insert(base_node, measure);
         self.stats.inserts += 1;
+        fdc_obs::counter("f2db.inserts").incr();
         if self.pending.len() < self.dataset.graph().base_nodes().len() {
             return Ok(false);
         }
@@ -414,18 +597,21 @@ impl F2db {
     }
 
     fn advance_time(&mut self) -> Result<()> {
+        let _span = fdc_obs::span!("f2db.advance_time");
         let batch: Vec<(NodeId, f64)> = self.pending.drain().collect();
         self.dataset.advance_time(&batch)?;
         let last = self.dataset.series_len() - 1;
-        let mut catalog = self.catalog.write();
+        let mut catalog = self.catalog.write().unwrap();
         catalog.advance_time(&self.dataset, last, &self.policy, &mut self.stats);
         self.stats.time_advances += 1;
+        fdc_obs::counter("f2db.time_advances").incr();
         Ok(())
     }
 
     /// Persists the catalog (configuration + model states) to a file.
     pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
-        let bytes = self.catalog.read().encode();
+        let bytes = self.catalog.read().unwrap().encode();
+        fdc_obs::counter("f2db.catalog.encoded_bytes").add(bytes.len() as u64);
         std::fs::write(path, bytes).map_err(|e| F2dbError::Storage(e.to_string()))
     }
 
@@ -433,6 +619,7 @@ impl F2db {
     /// data set.
     pub fn open_catalog(dataset: Dataset, path: &std::path::Path) -> Result<Self> {
         let bytes = std::fs::read(path).map_err(|e| F2dbError::Storage(e.to_string()))?;
+        fdc_obs::counter("f2db.catalog.decoded_bytes").add(bytes.len() as u64);
         let catalog = Catalog::decode(&bytes)?;
         if catalog.node_count() != dataset.node_count() {
             return Err(F2dbError::Storage(format!(
@@ -615,10 +802,7 @@ mod tests {
         assert!(row.label.contains("NSW"));
         assert!(!row.sources.is_empty());
         assert!(row.weight.is_finite());
-        assert!(
-            ["direct", "aggregation", "disaggregation", "general"]
-                .contains(&row.scheme_kind)
-        );
+        assert!(["direct", "aggregation", "disaggregation", "general"].contains(&row.scheme_kind));
         // Rendered plan mentions the node and scheme.
         let text = report.to_string();
         assert!(text.contains("NSW"));

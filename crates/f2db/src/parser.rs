@@ -4,7 +4,8 @@
 //! Supported grammar (keywords case-insensitive):
 //!
 //! ```text
-//! statement := forecast | insert
+//! statement := forecast | explain | insert
+//! explain   := EXPLAIN (ANALYZE)? forecast
 //! forecast  := SELECT item (',' item)* FROM ident
 //!              (WHERE pred (AND pred)*)?
 //!              (GROUP BY group (',' group)*)?
@@ -145,9 +146,7 @@ impl Parser {
         if t == token {
             Ok(())
         } else {
-            Err(F2dbError::Parse(format!(
-                "expected {token:?}, found {t:?}"
-            )))
+            Err(F2dbError::Parse(format!("expected {token:?}, found {t:?}")))
         }
     }
 
@@ -182,8 +181,12 @@ pub fn parse_query(sql: &str) -> Result<Statement> {
         parse_insert(&mut p)
     } else if p.peek_keyword("explain") {
         p.next()?;
+        let analyze = p.peek_keyword("analyze");
+        if analyze {
+            p.next()?;
+        }
         match parse_forecast(&mut p)? {
-            Statement::Forecast(q) => Ok(Statement::Explain(q)),
+            Statement::Forecast(q) => Ok(Statement::Explain { query: q, analyze }),
             other => Ok(other),
         }
     } else {
@@ -304,7 +307,9 @@ fn parse_forecast(p: &mut Parser) -> Result<Statement> {
     let horizon = parse_horizon(&horizon_str)?;
 
     if p.peek().is_some() {
-        return Err(F2dbError::Parse("trailing tokens after AS OF clause".into()));
+        return Err(F2dbError::Parse(
+            "trailing tokens after AS OF clause".into(),
+        ));
     }
     Ok(Statement::Forecast(ForecastQuery {
         select,
@@ -410,6 +415,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_explain_and_explain_analyze() {
+        let sql = "SELECT time, v FROM facts AS OF now() + '2 steps'";
+        match parse_query(&format!("EXPLAIN {sql}")).unwrap() {
+            Statement::Explain { query, analyze } => {
+                assert!(!analyze);
+                assert_eq!(query.horizon, HorizonSpec::Steps(2));
+            }
+            other => panic!("expected explain, got {other:?}"),
+        }
+        match parse_query(&format!("explain ANALYZE {sql}")).unwrap() {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            other => panic!("expected explain analyze, got {other:?}"),
+        }
+        // ANALYZE alone (without EXPLAIN) is not a statement.
+        assert!(parse_query(&format!("ANALYZE {sql}")).is_err());
+    }
+
+    #[test]
     fn parses_insert() {
         match parse_query("INSERT INTO facts VALUES ('C1', 'R1', 'P2', 12.5)").unwrap() {
             Statement::Insert { values, measure } => {
@@ -446,7 +469,10 @@ mod tests {
         assert!(parse_query("SELECT time FROM facts AS OF now() + '0 days'").is_err());
         assert!(parse_query("SELECT time FROM facts AS OF now() + 'soon'").is_err());
         assert!(parse_query("SELECT time FROM facts AS OF now() + '1 lightyear'").is_err());
-        assert!(parse_query("SELECT time FROM facts WHERE a = 'x' AS OF now() + '1 day' extra").is_err());
+        assert!(
+            parse_query("SELECT time FROM facts WHERE a = 'x' AS OF now() + '1 day' extra")
+                .is_err()
+        );
         assert!(parse_query("INSERT INTO facts VALUES ()").is_err());
         assert!(parse_query("INSERT INTO facts VALUES ('a')").is_err());
         assert!(parse_query("SELECT 'unterminated FROM facts").is_err());

@@ -8,9 +8,17 @@ use fdc_forecast::Granularity;
 pub enum Statement {
     /// A forecast query (`SELECT … AS OF now() + '…'`).
     Forecast(ForecastQuery),
-    /// `EXPLAIN SELECT …` — describe how the query would be answered
-    /// (resolved nodes, derivation schemes, models) without executing it.
-    Explain(ForecastQuery),
+    /// `EXPLAIN [ANALYZE] SELECT …` — describe how the query would be
+    /// answered (resolved nodes, derivation schemes, models). With
+    /// `ANALYZE` the plan is actually executed and annotated with
+    /// per-node wall-clock timings, source-model states and the values
+    /// produced.
+    Explain {
+        /// The query being explained.
+        query: ForecastQuery,
+        /// Whether the plan should be executed (`EXPLAIN ANALYZE`).
+        analyze: bool,
+    },
     /// An insert of one base observation
     /// (`INSERT INTO facts VALUES ('C1', 'R1', 'P2', 12.5)`).
     Insert {

@@ -1,45 +1,57 @@
-//! Property-based tests of the catalog codec and the SQL parser.
+//! Randomized property tests of the catalog codec and the SQL parser,
+//! driven by the deterministic workspace RNG.
 
 use fdc_f2db::codec::{Decoder, Encoder};
 use fdc_f2db::parser::{parse_horizon, parse_query};
 use fdc_f2db::query::{HorizonSpec, Statement};
 use fdc_forecast::{ModelSpec, ModelState, SeasonalKind};
-use proptest::prelude::*;
+use fdc_rng::Rng;
 
-fn model_state_strategy() -> impl Strategy<Value = ModelState> {
-    let spec = prop_oneof![
-        Just(ModelSpec::Ses),
-        Just(ModelSpec::Holt),
-        (2usize..24, prop_oneof![
-            Just(SeasonalKind::Additive),
-            Just(SeasonalKind::Multiplicative)
-        ])
-            .prop_map(|(period, seasonal)| ModelSpec::HoltWinters { period, seasonal }),
-        (0usize..3, 0usize..2, 0usize..3)
-            .prop_map(|(p, d, q)| ModelSpec::Arima { p, d, q }),
-        ((0usize..2, 0usize..2, 0usize..2), (0usize..2, 0usize..2, 0usize..2), 2usize..13)
-            .prop_map(|(order, seasonal, period)| ModelSpec::Sarima { order, seasonal, period }),
-    ];
-    (
+fn random_model_state(rng: &mut Rng) -> ModelState {
+    let spec = match rng.usize_below(5) {
+        0 => ModelSpec::Ses,
+        1 => ModelSpec::Holt,
+        2 => ModelSpec::HoltWinters {
+            period: 2 + rng.usize_below(22),
+            seasonal: if rng.bool() {
+                SeasonalKind::Additive
+            } else {
+                SeasonalKind::Multiplicative
+            },
+        },
+        3 => ModelSpec::Arima {
+            p: rng.usize_below(3),
+            d: rng.usize_below(2),
+            q: rng.usize_below(3),
+        },
+        _ => ModelSpec::Sarima {
+            order: (rng.usize_below(2), rng.usize_below(2), rng.usize_below(2)),
+            seasonal: (rng.usize_below(2), rng.usize_below(2), rng.usize_below(2)),
+            period: 2 + rng.usize_below(11),
+        },
+    };
+    let params: Vec<f64> = (0..rng.usize_below(8))
+        .map(|_| rng.f64_range(-1e6, 1e6))
+        .collect();
+    let state: Vec<f64> = (0..rng.usize_below(32))
+        .map(|_| rng.f64_range(-1e6, 1e6))
+        .collect();
+    ModelState {
         spec,
-        proptest::collection::vec(-1e6f64..1e6, 0..8),
-        proptest::collection::vec(-1e6f64..1e6, 0..32),
-        0usize..100_000,
-    )
-        .prop_map(|(spec, params, state, observations)| ModelState {
-            spec,
-            params,
-            state,
-            observations,
-        })
+        params,
+        state,
+        observations: rng.usize_below(100_000),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary model states survive the binary codec bit-exactly.
-    #[test]
-    fn model_state_codec_round_trip(states in proptest::collection::vec(model_state_strategy(), 1..8)) {
+/// Arbitrary model states survive the binary codec bit-exactly.
+#[test]
+fn model_state_codec_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xc0dec1);
+    for case in 0..128 {
+        let states: Vec<ModelState> = (0..1 + rng.usize_below(7))
+            .map(|_| random_model_state(&mut rng))
+            .collect();
         let mut e = Encoder::with_header();
         for s in &states {
             e.put_model_state(s);
@@ -47,21 +59,22 @@ proptest! {
         let bytes = e.finish();
         let mut d = Decoder::with_header(&bytes).unwrap();
         for s in &states {
-            prop_assert_eq!(&d.get_model_state().unwrap(), s);
+            assert_eq!(&d.get_model_state().unwrap(), s, "case {case}");
         }
-        prop_assert!(d.is_empty());
+        assert!(d.is_empty());
     }
+}
 
-    /// Truncating an encoded stream anywhere never panics — it errors.
-    #[test]
-    fn truncated_streams_error_gracefully(
-        state in model_state_strategy(),
-        cut in 0usize..64,
-    ) {
+/// Truncating an encoded stream anywhere never panics — it errors.
+#[test]
+fn truncated_streams_error_gracefully() {
+    let mut rng = Rng::seed_from_u64(0xc0dec2);
+    for _ in 0..128 {
+        let state = random_model_state(&mut rng);
         let mut e = Encoder::with_header();
         e.put_model_state(&state);
         let bytes = e.finish();
-        let cut = cut.min(bytes.len().saturating_sub(1));
+        let cut = rng.usize_below(64).min(bytes.len().saturating_sub(1));
         match Decoder::with_header(&bytes[..cut]) {
             Err(_) => {}
             Ok(mut d) => {
@@ -71,13 +84,33 @@ proptest! {
             }
         }
     }
+}
 
-    /// Generated forecast queries parse to the expected structure.
-    #[test]
-    fn generated_queries_parse(
-        dims in proptest::collection::vec(("[a-z]{1,8}", "[A-Za-z0-9]{1,8}"), 0..4),
-        n in 1usize..50,
-    ) {
+/// Generated forecast queries parse to the expected structure.
+#[test]
+fn generated_queries_parse() {
+    let mut rng = Rng::seed_from_u64(0xc0dec3);
+    for case in 0..128 {
+        let ndims = rng.usize_below(4);
+        let dims: Vec<(String, String)> = (0..ndims)
+            .map(|i| {
+                let dlen = 1 + rng.usize_below(8);
+                let d: String = (0..dlen)
+                    .map(|_| (b'a' + rng.usize_below(26) as u8) as char)
+                    .collect();
+                let vlen = 1 + rng.usize_below(8);
+                let v: String = (0..vlen)
+                    .map(|_| {
+                        const ALNUM: &[u8] =
+                            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+                        ALNUM[rng.usize_below(ALNUM.len())] as char
+                    })
+                    .collect();
+                // Distinct dimension names: prefix with a per-index letter.
+                (format!("{}{d}", (b'a' + i as u8) as char), v)
+            })
+            .collect();
+        let n = 1 + rng.usize_below(49);
         let mut sql = String::from("SELECT time, SUM(m) FROM facts");
         for (i, (d, v)) in dims.iter().enumerate() {
             sql.push_str(if i == 0 { " WHERE " } else { " AND " });
@@ -86,29 +119,48 @@ proptest! {
         sql.push_str(&format!(" AS OF now() + '{n} steps'"));
         match parse_query(&sql).unwrap() {
             Statement::Forecast(q) => {
-                prop_assert_eq!(q.predicates.len(), dims.len());
-                prop_assert_eq!(q.horizon, HorizonSpec::Steps(n));
+                assert_eq!(q.predicates.len(), dims.len(), "case {case}: {sql}");
+                assert_eq!(q.horizon, HorizonSpec::Steps(n));
             }
-            other => prop_assert!(false, "unexpected {:?}", other),
+            other => panic!("case {case}: unexpected {other:?}"),
         }
     }
+}
 
-    /// Horizon strings round-trip through formatting for all units.
-    #[test]
-    fn horizon_parser_accepts_all_units(n in 1usize..1000) {
+/// Horizon strings round-trip through formatting for all units.
+#[test]
+fn horizon_parser_accepts_all_units() {
+    let mut rng = Rng::seed_from_u64(0xc0dec4);
+    for _ in 0..64 {
+        let n = 1 + rng.usize_below(999);
         for unit in ["hour", "day", "week", "month", "quarter", "year", "step"] {
             let plural = format!("{n} {unit}s");
             let parsed = parse_horizon(&plural).unwrap();
             match parsed {
-                HorizonSpec::Steps(k) => prop_assert_eq!(k, n),
-                HorizonSpec::Units { n: k, .. } => prop_assert_eq!(k, n),
+                HorizonSpec::Steps(k) => assert_eq!(k, n),
+                HorizonSpec::Units { n: k, .. } => assert_eq!(k, n),
             }
         }
     }
+}
 
-    /// The parser never panics on arbitrary input.
-    #[test]
-    fn parser_total_on_arbitrary_input(input in ".{0,200}") {
+/// The parser never panics on arbitrary input.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    let mut rng = Rng::seed_from_u64(0xc0dec5);
+    for _ in 0..256 {
+        let len = rng.usize_below(200);
+        let input: String = (0..len)
+            .map(|_| {
+                // Bias toward printable ASCII with occasional arbitrary
+                // Unicode scalar values.
+                if rng.usize_below(8) == 0 {
+                    char::from_u32(rng.usize_below(0xD7FF) as u32).unwrap_or('?')
+                } else {
+                    (0x20 + rng.usize_below(0x5F) as u8) as char
+                }
+            })
+            .collect();
         let _ = parse_query(&input);
     }
 }

@@ -32,10 +32,7 @@ impl AccuracyMeasure {
     }
 }
 
-fn paired<'a>(
-    actual: &'a [f64],
-    forecast: &'a [f64],
-) -> impl Iterator<Item = (f64, f64)> + 'a {
+fn paired<'a>(actual: &'a [f64], forecast: &'a [f64]) -> impl Iterator<Item = (f64, f64)> + 'a {
     debug_assert_eq!(
         actual.len(),
         forecast.len(),
@@ -93,7 +90,10 @@ pub fn mae(actual: &[f64], forecast: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    paired(actual, forecast).map(|(x, f)| (x - f).abs()).sum::<f64>() / actual.len() as f64
+    paired(actual, forecast)
+        .map(|(x, f)| (x - f).abs())
+        .sum::<f64>()
+        / actual.len() as f64
 }
 
 /// Root mean squared error.
@@ -115,10 +115,7 @@ pub fn mase(train: &[f64], actual: &[f64], forecast: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    let naive_err: f64 = train
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs())
-        .sum::<f64>()
+    let naive_err: f64 = train.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
         / (train.len().saturating_sub(1)).max(1) as f64;
     let err = mae(actual, forecast);
     if naive_err < f64::EPSILON {

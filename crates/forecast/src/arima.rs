@@ -26,14 +26,13 @@ use crate::optimize::{
     FnObjective, GridSearch, HillClimbing, NelderMead, Optimizer, SimulatedAnnealing,
 };
 use crate::series::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// Bound for individual AR/MA coefficients; keeps the recursions stable
 /// while covering virtually all practically identified models.
 const COEF_BOUND: (f64, f64) = (-0.95, 0.95);
 
 /// Non-seasonal order (p, d, q).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArimaOrder {
     /// Autoregressive order.
     pub p: usize,
@@ -51,7 +50,7 @@ impl ArimaOrder {
 }
 
 /// Seasonal order (P, D, Q) with period `s`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SeasonalOrder {
     /// Seasonal autoregressive order.
     pub p: usize,
@@ -332,13 +331,11 @@ impl Sarima {
             });
         }
 
-        let (w_raw, differencer) =
-            Differencer::batch(x, order.d, seasonal.d, seasonal.period).ok_or(
-                ForecastError::SeriesTooShort {
-                    required,
-                    got: x.len(),
-                },
-            )?;
+        let (w_raw, differencer) = Differencer::batch(x, order.d, seasonal.d, seasonal.period)
+            .ok_or(ForecastError::SeriesTooShort {
+                required,
+                got: x.len(),
+            })?;
         let mean = w_raw.iter().sum::<f64>() / w_raw.len() as f64;
         let w: Vec<f64> = w_raw.iter().map(|v| v - mean).collect();
 
@@ -502,7 +499,9 @@ impl Sarima {
     ) -> crate::Result<Self> {
         let dim = order.p + seasonal.p + order.q + seasonal.q;
         if state.params.len() != dim {
-            return Err(ForecastError::InvalidState("parameter count mismatch".into()));
+            return Err(ForecastError::InvalidState(
+                "parameter count mismatch".into(),
+            ));
         }
         let (ar, ma) = Self::expand_params(&state.params, order, seasonal);
         let ar_len = ar.len();
@@ -640,7 +639,11 @@ pub struct Arima {
 
 impl Arima {
     /// Fits an ARIMA(p, d, q) model by CSS.
-    pub fn fit(series: &TimeSeries, order: ArimaOrder, options: &FitOptions) -> crate::Result<Self> {
+    pub fn fit(
+        series: &TimeSeries,
+        order: ArimaOrder,
+        options: &FitOptions,
+    ) -> crate::Result<Self> {
         Ok(Arima {
             inner: Sarima::fit(series, order, SeasonalOrder::none(), options)?,
         })
@@ -736,7 +739,9 @@ mod tests {
 
     #[test]
     fn incremental_differencing_matches_batch() {
-        let x: Vec<f64> = (0..20).map(|t| (t as f64).powi(2) * 0.1 + t as f64).collect();
+        let x: Vec<f64> = (0..20)
+            .map(|t| (t as f64).powi(2) * 0.1 + t as f64)
+            .collect();
         let (w_full, _) = Differencer::batch(&x, 1, 1, 4).unwrap();
         let (_, mut diff) = Differencer::batch(&x[..15], 1, 1, 4).unwrap();
         let mut incr = Vec::new();
@@ -748,7 +753,9 @@ mod tests {
 
     #[test]
     fn integration_inverts_differencing() {
-        let x: Vec<f64> = (0..24).map(|t| 5.0 + t as f64 * 2.0 + ((t % 4) as f64)).collect();
+        let x: Vec<f64> = (0..24)
+            .map(|t| 5.0 + t as f64 * 2.0 + ((t % 4) as f64))
+            .collect();
         // Difference the first 20, then "forecast" the true differenced
         // values of the last 4 and integrate: must reproduce x exactly.
         let (w_all, _) = Differencer::batch(&x, 1, 1, 4).unwrap();
@@ -844,8 +851,12 @@ mod tests {
     #[test]
     fn random_walk_arima010_forecasts_near_last_value() {
         let values: Vec<f64> = (0..30).map(|t| 100.0 + t as f64).collect();
-        let model = Arima::fit(&ts(values), ArimaOrder::new(0, 1, 0), &FitOptions::default())
-            .unwrap();
+        let model = Arima::fit(
+            &ts(values),
+            ArimaOrder::new(0, 1, 0),
+            &FitOptions::default(),
+        )
+        .unwrap();
         let fc = model.forecast(3);
         // Drift = mean of differences = 1 → forecasts 130, 131, 132.
         assert!((fc[0] - 130.0).abs() < 1e-6, "{fc:?}");
@@ -876,7 +887,11 @@ mod tests {
     #[test]
     fn fit_rejects_short_series() {
         assert!(matches!(
-            Arima::fit(&ts(vec![1.0; 4]), ArimaOrder::new(2, 1, 2), &FitOptions::default()),
+            Arima::fit(
+                &ts(vec![1.0; 4]),
+                ArimaOrder::new(2, 1, 2),
+                &FitOptions::default()
+            ),
             Err(ForecastError::SeriesTooShort { .. })
         ));
     }
@@ -948,8 +963,7 @@ mod tests {
     #[test]
     fn arima_state_round_trip() {
         let series = ar1_series(80, 0.5);
-        let model =
-            Arima::fit(&series, ArimaOrder::new(1, 0, 1), &FitOptions::default()).unwrap();
+        let model = Arima::fit(&series, ArimaOrder::new(1, 0, 1), &FitOptions::default()).unwrap();
         let restored = Arima::from_state(&model.state()).unwrap();
         assert_eq!(restored.forecast(5), model.forecast(5));
     }
@@ -957,8 +971,7 @@ mod tests {
     #[test]
     fn from_state_rejects_mismatched_spec() {
         let series = ar1_series(80, 0.5);
-        let model =
-            Arima::fit(&series, ArimaOrder::new(1, 0, 0), &FitOptions::default()).unwrap();
+        let model = Arima::fit(&series, ArimaOrder::new(1, 0, 0), &FitOptions::default()).unwrap();
         assert!(Sarima::from_state(&model.state()).is_err());
         let mut bad = model.state();
         bad.state.pop();
@@ -969,8 +982,7 @@ mod tests {
     fn forecasts_are_finite_even_for_boundary_parameters() {
         // Construct the state directly with extreme-but-bounded φ.
         let series = ar1_series(60, 0.9);
-        let model =
-            Arima::fit(&series, ArimaOrder::new(2, 1, 2), &FitOptions::default()).unwrap();
+        let model = Arima::fit(&series, ArimaOrder::new(2, 1, 2), &FitOptions::default()).unwrap();
         let fc = model.forecast(50);
         assert!(fc.iter().all(|v| v.is_finite()));
     }

@@ -88,7 +88,10 @@ pub fn aicc_from_residual_variance(sigma2: f64, n: usize, coefficients: usize) -
 }
 
 /// Runs the order search and returns the winner.
-pub fn auto_arima(series: &TimeSeries, options: &AutoArimaOptions) -> crate::Result<AutoArimaReport> {
+pub fn auto_arima(
+    series: &TimeSeries,
+    options: &AutoArimaOptions,
+) -> crate::Result<AutoArimaReport> {
     let x = series.values();
     if x.len() < 8 {
         return Err(ForecastError::SeriesTooShort {
@@ -105,7 +108,9 @@ pub fn auto_arima(series: &TimeSeries, options: &AutoArimaOptions) -> crate::Res
 
     let seasonal_orders: Vec<(usize, usize)> = if options.period > 1 {
         let m = options.max_seasonal;
-        (0..=m).flat_map(|sp| (0..=m).map(move |sq| (sp, sq))).collect()
+        (0..=m)
+            .flat_map(|sp| (0..=m).map(move |sq| (sp, sq)))
+            .collect()
     } else {
         vec![(0, 0)]
     };

@@ -96,11 +96,8 @@ pub fn backtest(
     let x = series.values();
     let mut folds = Vec::with_capacity(origins.len());
     for &origin in &origins {
-        let train = TimeSeries::with_start(
-            x[..origin].to_vec(),
-            series.start(),
-            series.granularity(),
-        );
+        let train =
+            TimeSeries::with_start(x[..origin].to_vec(), series.start(), series.granularity());
         let model = spec.fit(&train, &options.fit)?;
         let fc = model.forecast(options.horizon);
         let actual = &x[origin..origin + options.horizon];
@@ -124,7 +121,11 @@ pub fn backtest_select(
 ) -> Vec<(ModelSpec, BacktestReport)> {
     let mut out: Vec<(ModelSpec, BacktestReport)> = specs
         .iter()
-        .filter_map(|spec| backtest(series, spec, options).ok().map(|r| (spec.clone(), r)))
+        .filter_map(|spec| {
+            backtest(series, spec, options)
+                .ok()
+                .map(|r| (spec.clone(), r))
+        })
         .collect();
     out.sort_by(|a, b| a.1.mean_error.total_cmp(&b.1.mean_error));
     out
@@ -139,7 +140,8 @@ mod tests {
     fn seasonal_series(n: usize) -> TimeSeries {
         let values = (0..n)
             .map(|t| {
-                100.0 + 0.4 * t as f64
+                100.0
+                    + 0.4 * t as f64
                     + 12.0 * (std::f64::consts::TAU * (t % 12) as f64 / 12.0).sin()
             })
             .collect();

@@ -227,13 +227,14 @@ mod tests {
         // Trend is close to the true line in the interior.
         for t in 12..60 {
             let truth = 50.0 + 0.5 * t as f64;
-            assert!((d.trend[t] - truth).abs() < 1.0, "t={t}: {} vs {truth}", d.trend[t]);
+            assert!(
+                (d.trend[t] - truth).abs() < 1.0,
+                "t={t}: {} vs {truth}",
+                d.trend[t]
+            );
         }
         // Seasonal indices match the sine (peak ≈ +10 near position 3).
-        let peak = d.seasonal[..12]
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let peak = d.seasonal[..12].iter().cloned().fold(f64::MIN, f64::max);
         assert!((peak - 10.0).abs() < 1.0, "peak {peak}");
         // Remainder is tiny for this noiseless construction.
         assert!(variance(&d.remainder) < 0.5);
@@ -276,9 +277,7 @@ mod tests {
 
     #[test]
     fn odd_period_decomposition_works() {
-        let values: Vec<f64> = (0..35)
-            .map(|t| 10.0 + ((t % 7) as f64) - 3.0)
-            .collect();
+        let values: Vec<f64> = (0..35).map(|t| 10.0 + ((t % 7) as f64) - 3.0).collect();
         let d = decompose(&ts(values), 7, SeasonalKind::Additive).unwrap();
         assert_eq!(d.period, 7);
         assert!(d.trend.iter().all(|v| v.is_finite()));

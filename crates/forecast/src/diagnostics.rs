@@ -91,7 +91,11 @@ impl ResidualDiagnostics {
     pub fn from_residuals(residuals: Vec<f64>, fitted_params: usize) -> ResidualDiagnostics {
         let n = residuals.len().max(1) as f64;
         let mean = residuals.iter().sum::<f64>() / n;
-        let var = residuals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var = residuals
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         let lags = (residuals.len() / 4).clamp(1, 10);
         let (q, dof) = ljung_box(&residuals, lags, fitted_params);
         ResidualDiagnostics {
@@ -123,11 +127,8 @@ impl ResidualDiagnostics {
             });
         }
         let warmup = warmup.clamp(lo, hi);
-        let prefix = TimeSeries::with_start(
-            x[..warmup].to_vec(),
-            series.start(),
-            series.granularity(),
-        );
+        let prefix =
+            TimeSeries::with_start(x[..warmup].to_vec(), series.start(), series.granularity());
         let mut model = spec.fit(&prefix, options)?;
         let mut residuals = Vec::with_capacity(x.len() - warmup);
         for &actual in &x[warmup..] {
@@ -170,7 +171,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let x: Vec<f64> = (0..50).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..50)
+            .map(|t| if t % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&x, 1) < -0.9);
         assert!(autocorrelation(&x, 2) > 0.9);
     }
@@ -239,13 +242,8 @@ mod tests {
     fn diagnostics_report_is_complete() {
         let values: Vec<f64> = (0..40).map(|t| 10.0 + t as f64).collect();
         let series = TimeSeries::new(values, Granularity::Monthly);
-        let d = ResidualDiagnostics::compute(
-            &ModelSpec::Holt,
-            &series,
-            5,
-            &FitOptions::default(),
-        )
-        .unwrap();
+        let d = ResidualDiagnostics::compute(&ModelSpec::Holt, &series, 5, &FitOptions::default())
+            .unwrap();
         assert_eq!(d.residuals.len(), 35);
         assert!(d.std_dev >= 0.0);
         assert!(d.ljung_box_dof >= 1);
@@ -260,8 +258,6 @@ mod tests {
             period: 12,
             seasonal: SeasonalKind::Additive,
         };
-        assert!(
-            ResidualDiagnostics::compute(&spec, &series, 2, &FitOptions::default()).is_err()
-        );
+        assert!(ResidualDiagnostics::compute(&spec, &series, 2, &FitOptions::default()).is_err());
     }
 }

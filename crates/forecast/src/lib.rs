@@ -64,16 +64,15 @@ pub mod smoothing;
 pub mod transform;
 
 pub use accuracy::{mae, mape, mase, rmse, smape, AccuracyMeasure};
-pub use diagnostics::{autocorrelation, ljung_box, ResidualDiagnostics};
-pub use naive::{NaiveKind, NaiveModel};
 pub use arima::{Arima, ArimaOrder, Sarima, SeasonalOrder};
 pub use auto::{auto_arima, AutoArimaOptions, AutoArimaReport};
 pub use backtest::{backtest, backtest_select, BacktestOptions, BacktestReport};
 pub use decompose::{decompose, suggest_seasonal_kind, Decomposition};
+pub use diagnostics::{autocorrelation, ljung_box, ResidualDiagnostics};
 pub use model::{FitOptions, ForecastError, ForecastModel, ModelSpec, ModelState, SeasonalKind};
+pub use naive::{NaiveKind, NaiveModel};
 pub use optimize::{
-    GridSearch, HillClimbing, NelderMead, Objective, OptimizeResult, Optimizer,
-    SimulatedAnnealing,
+    GridSearch, HillClimbing, NelderMead, Objective, OptimizeResult, Optimizer, SimulatedAnnealing,
 };
 pub use selection::{select_best_model, SelectionReport};
 pub use series::{Granularity, TimeSeries};

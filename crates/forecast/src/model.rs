@@ -4,7 +4,6 @@
 use crate::arima::{Arima, ArimaOrder, Sarima, SeasonalOrder};
 use crate::series::TimeSeries;
 use crate::smoothing::{DampedHolt, Holt, HoltWinters, SimpleExponentialSmoothing};
-use serde::{Deserialize, Serialize};
 
 /// Errors raised while fitting or using forecast models.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +28,10 @@ impl std::fmt::Display for ForecastError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ForecastError::SeriesTooShort { required, got } => {
-                write!(f, "series too short: need {required} observations, got {got}")
+                write!(
+                    f,
+                    "series too short: need {required} observations, got {got}"
+                )
             }
             ForecastError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             ForecastError::EstimationFailed(msg) => write!(f, "estimation failed: {msg}"),
@@ -41,7 +43,7 @@ impl std::fmt::Display for ForecastError {
 impl std::error::Error for ForecastError {}
 
 /// Kind of seasonal component for triple exponential smoothing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SeasonalKind {
     /// Seasonal effect added to the level (robust for series containing
     /// zeros).
@@ -94,7 +96,7 @@ pub enum OptimizerKind {
 /// hyper-parameters. The advisor and the baselines fit models through this
 /// type so the forecast method stays "independent of our approach"
 /// (§II-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ModelSpec {
     /// Simple exponential smoothing.
     Ses,
@@ -227,7 +229,7 @@ fn busy_wait_us(us: u64) {
 /// Serializable snapshot of a fitted model: what F²DB's second catalog
 /// table stores ("the forecast models itself including state and parameter
 /// values", §V).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelState {
     /// Structural specification the state belongs to.
     pub spec: ModelSpec,

@@ -196,11 +196,7 @@ mod tests {
         assert_eq!(m.forecast(1), vec![9.0]);
         assert_eq!(m.observations(), 3);
 
-        let mut s = NaiveModel::fit(
-            &ts(vec![1.0, 2.0, 3.0, 4.0]),
-            NaiveKind::Seasonal(2),
-        )
-        .unwrap();
+        let mut s = NaiveModel::fit(&ts(vec![1.0, 2.0, 3.0, 4.0]), NaiveKind::Seasonal(2)).unwrap();
         // Window = [3,4]; update replaces position 4 % 2 = 0.
         s.update(30.0);
         assert_eq!(s.forecast(2), vec![4.0, 30.0]);

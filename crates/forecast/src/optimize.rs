@@ -12,8 +12,15 @@
 //! which is appropriate for smoothing parameters in `(0, 1)` and ARMA
 //! coefficients constrained to `(-1, 1)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fdc_rng::Rng;
+
+/// Records one optimizer run into the metrics registry
+/// (`optimize.<algo>.runs` / `optimize.<algo>.evals`), so the advisor's
+/// objective-evaluation budget is observable per algorithm.
+fn record_run(algo: &str, evaluations: usize) {
+    fdc_obs::counter(&format!("optimize.{algo}.runs")).incr();
+    fdc_obs::counter(&format!("optimize.{algo}.evals")).add(evaluations as u64);
+}
 
 /// A function to minimize, with box constraints.
 pub trait Objective {
@@ -152,11 +159,7 @@ impl Optimizer for NelderMead {
             // flat or symmetric objectives.
             let x_spread = simplex[1..]
                 .iter()
-                .flat_map(|(p, _)| {
-                    p.iter()
-                        .zip(&simplex[0].0)
-                        .map(|(a, b)| (a - b).abs())
-                })
+                .flat_map(|(p, _)| p.iter().zip(&simplex[0].0).map(|(a, b)| (a - b).abs()))
                 .fold(0.0f64, f64::max);
             if (worst - best).abs() <= self.tolerance * (1.0 + best.abs())
                 && x_spread <= self.tolerance.sqrt()
@@ -217,6 +220,7 @@ impl Optimizer for NelderMead {
 
         simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let (x, value) = simplex.swap_remove(0);
+        record_run("nelder_mead", evals);
         OptimizeResult {
             x,
             value,
@@ -294,6 +298,7 @@ impl Optimizer for HillClimbing {
             }
         }
 
+        record_run("hill_climbing", evals);
         OptimizeResult {
             x,
             value: fx,
@@ -332,10 +337,10 @@ impl Default for SimulatedAnnealing {
 
 impl SimulatedAnnealing {
     /// Draws a standard normal sample via Box–Muller (keeps us independent
-    /// of `rand_distr`, which is outside the sanctioned dependency set).
-    fn standard_normal(rng: &mut StdRng) -> f64 {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
+    /// of external distribution crates).
+    fn standard_normal(rng: &mut Rng) -> f64 {
+        let u1: f64 = rng.f64_range(f64::EPSILON, 1.0);
+        let u2: f64 = rng.f64_range(0.0, 1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }
@@ -356,7 +361,7 @@ impl Optimizer for SimulatedAnnealing {
                 }
             })
             .collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut evals = 0usize;
 
         let mut current = x0.to_vec();
@@ -373,7 +378,7 @@ impl Optimizer for SimulatedAnnealing {
             let f_cand = eval_clamped(objective, &bounds, &mut cand, &mut evals);
             let accept = f_cand <= f_current || {
                 let delta = f_cand - f_current;
-                rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp()
+                rng.f64() < (-delta / temperature.max(1e-12)).exp()
             };
             if accept {
                 current = cand;
@@ -386,6 +391,7 @@ impl Optimizer for SimulatedAnnealing {
             temperature *= self.cooling;
         }
 
+        record_run("simulated_annealing", evals);
         OptimizeResult {
             x: best,
             value: f_best,
@@ -437,6 +443,7 @@ impl Optimizer for GridSearch {
         }
 
         let (x, value) = best.expect("grid search evaluated at least one point");
+        record_run("grid_search", evals);
         OptimizeResult {
             x,
             value,

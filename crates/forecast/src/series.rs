@@ -1,14 +1,12 @@
 //! Time series container and basic operations.
 
-use serde::{Deserialize, Serialize};
-
 /// Sampling granularity of a time series.
 ///
 /// The paper's data sets span quarterly (Tourism), monthly (Sales) and
 /// hourly (Energy) resolutions; the granularity determines the natural
 /// seasonal period used when fitting seasonal models (§VI-A: "we set the
 /// seasonality according to the granularity of the data").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// Hourly observations; daily seasonality (period 24).
     Hourly,
@@ -46,7 +44,7 @@ impl Granularity {
 /// summing base series. Values are evenly spaced; the logical time of the
 /// first observation is `start`, which allows series that became active at
 /// different times to be aligned.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     values: Vec<f64>,
     start: i64,
@@ -179,7 +177,11 @@ impl TimeSeries {
                 *acc += v;
             }
         }
-        Some(TimeSeries::with_start(values, first.start, first.granularity))
+        Some(TimeSeries::with_start(
+            values,
+            first.start,
+            first.granularity,
+        ))
     }
 }
 

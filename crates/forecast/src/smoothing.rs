@@ -27,25 +27,31 @@ fn run_optimizer(
 ) -> Vec<f64> {
     let max_evaluations = max_iterations.max(50) * objective.dim().max(1);
     match kind {
-        OptimizerKind::NelderMead => NelderMead {
-            max_evaluations,
-            ..NelderMead::default()
+        OptimizerKind::NelderMead => {
+            NelderMead {
+                max_evaluations,
+                ..NelderMead::default()
+            }
+            .minimize(objective, x0)
+            .x
         }
-        .minimize(objective, x0)
-        .x,
-        OptimizerKind::HillClimbing => HillClimbing {
-            max_evaluations,
-            ..HillClimbing::default()
+        OptimizerKind::HillClimbing => {
+            HillClimbing {
+                max_evaluations,
+                ..HillClimbing::default()
+            }
+            .minimize(objective, x0)
+            .x
         }
-        .minimize(objective, x0)
-        .x,
-        OptimizerKind::SimulatedAnnealing => SimulatedAnnealing {
-            max_evaluations,
-            seed,
-            ..SimulatedAnnealing::default()
+        OptimizerKind::SimulatedAnnealing => {
+            SimulatedAnnealing {
+                max_evaluations,
+                seed,
+                ..SimulatedAnnealing::default()
+            }
+            .minimize(objective, x0)
+            .x
         }
-        .minimize(objective, x0)
-        .x,
     }
 }
 
@@ -312,7 +318,6 @@ impl ForecastModel for Holt {
     }
 }
 
-
 // ---------------------------------------------------------------------------
 // Damped-trend Holt
 // ---------------------------------------------------------------------------
@@ -344,10 +349,9 @@ impl DampedHolt {
         }
         // φ is bounded to [0.7, 0.99]: lower values damp so aggressively
         // the model degenerates to SES (standard practice).
-        let objective = FnObjective::new(
-            vec![SMOOTH_BOUNDS, SMOOTH_BOUNDS, (0.7, 0.99)],
-            |p| Self::sse(x, p[0], p[1], p[2]),
-        );
+        let objective = FnObjective::new(vec![SMOOTH_BOUNDS, SMOOTH_BOUNDS, (0.7, 0.99)], |p| {
+            Self::sse(x, p[0], p[1], p[2])
+        });
         let best = run_optimizer(
             options.optimizer,
             options.seed,
@@ -443,8 +447,7 @@ impl ForecastModel for DampedHolt {
 
     fn update(&mut self, value: f64) {
         let prev_level = self.level;
-        self.level =
-            self.alpha * value + (1.0 - self.alpha) * (self.level + self.phi * self.trend);
+        self.level = self.alpha * value + (1.0 - self.alpha) * (self.level + self.phi * self.trend);
         self.trend =
             self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.phi * self.trend;
         self.observations += 1;
@@ -529,10 +532,9 @@ impl HoltWinters {
                 "multiplicative seasonality requires strictly positive data".into(),
             ));
         }
-        let objective = FnObjective::new(
-            vec![SMOOTH_BOUNDS, SMOOTH_BOUNDS, SMOOTH_BOUNDS],
-            |p| Self::sse(x, period, kind, p[0], p[1], p[2]),
-        );
+        let objective = FnObjective::new(vec![SMOOTH_BOUNDS, SMOOTH_BOUNDS, SMOOTH_BOUNDS], |p| {
+            Self::sse(x, period, kind, p[0], p[1], p[2])
+        });
         let best = run_optimizer(
             options.optimizer,
             options.seed,
@@ -540,7 +542,9 @@ impl HoltWinters {
             &objective,
             &[0.3, 0.05, 0.1],
         );
-        Ok(Self::with_params(x, period, kind, best[0], best[1], best[2]))
+        Ok(Self::with_params(
+            x, period, kind, best[0], best[1], best[2],
+        ))
     }
 
     /// Builds the model with fixed parameters.
@@ -650,14 +654,7 @@ impl HoltWinters {
         }
     }
 
-    fn sse(
-        x: &[f64],
-        period: usize,
-        kind: SeasonalKind,
-        alpha: f64,
-        beta: f64,
-        gamma: f64,
-    ) -> f64 {
+    fn sse(x: &[f64], period: usize, kind: SeasonalKind, alpha: f64, beta: f64, gamma: f64) -> f64 {
         let (mut level, mut trend, mut seasonal) = Self::initial_components(x, period, kind);
         let mut sse = 0.0;
         for (t, &v) in x.iter().enumerate().skip(period) {
@@ -793,7 +790,8 @@ mod tests {
             .map(|t| {
                 100.0
                     + 0.5 * t as f64
-                    + 20.0 * (2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64).sin()
+                    + 20.0
+                        * (2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64).sin()
             })
             .collect();
         ts(values)
@@ -860,8 +858,8 @@ mod tests {
     #[test]
     fn holt_winters_recovers_seasonal_pattern() {
         let series = seasonal_series(48, 12);
-        let model = HoltWinters::fit(&series, 12, SeasonalKind::Additive, &FitOptions::default())
-            .unwrap();
+        let model =
+            HoltWinters::fit(&series, 12, SeasonalKind::Additive, &FitOptions::default()).unwrap();
         // Forecast the next full season and compare against the generating
         // process.
         let fc = model.forecast(12);
@@ -909,11 +907,21 @@ mod tests {
     #[test]
     fn holt_winters_rejects_short_series_and_tiny_period() {
         assert!(matches!(
-            HoltWinters::fit(&ts(vec![1.0; 8]), 4, SeasonalKind::Additive, &FitOptions::default()),
+            HoltWinters::fit(
+                &ts(vec![1.0; 8]),
+                4,
+                SeasonalKind::Additive,
+                &FitOptions::default()
+            ),
             Err(ForecastError::SeriesTooShort { .. })
         ));
         assert!(matches!(
-            HoltWinters::fit(&ts(vec![1.0; 8]), 1, SeasonalKind::Additive, &FitOptions::default()),
+            HoltWinters::fit(
+                &ts(vec![1.0; 8]),
+                1,
+                SeasonalKind::Additive,
+                &FitOptions::default()
+            ),
             Err(ForecastError::InvalidParameter(_))
         ));
     }
@@ -923,8 +931,7 @@ mod tests {
         let series = seasonal_series(40, 4);
         let x = series.values();
         let full = HoltWinters::with_params(x, 4, SeasonalKind::Additive, 0.4, 0.1, 0.2);
-        let mut incr =
-            HoltWinters::with_params(&x[..32], 4, SeasonalKind::Additive, 0.4, 0.1, 0.2);
+        let mut incr = HoltWinters::with_params(&x[..32], 4, SeasonalKind::Additive, 0.4, 0.1, 0.2);
         for &v in &x[32..] {
             incr.update(v);
         }
@@ -970,7 +977,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn damped_holt_flattens_at_long_horizons() {
         let values: Vec<f64> = (0..40).map(|t| 10.0 + 2.0 * t as f64).collect();
@@ -998,7 +1004,10 @@ mod tests {
         assert!((0.7..=0.99).contains(&p));
         let restored = DampedHolt::from_state(&m.state()).unwrap();
         assert_eq!(restored.forecast(6), m.forecast(6));
-        assert!(DampedHolt::from_state(&Holt::fit(&series, &FitOptions::default()).unwrap().state()).is_err());
+        assert!(DampedHolt::from_state(
+            &Holt::fit(&series, &FitOptions::default()).unwrap().state()
+        )
+        .is_err());
     }
 
     #[test]
@@ -1016,14 +1025,8 @@ mod tests {
     #[test]
     fn refit_replaces_parameters() {
         let series = seasonal_series(48, 4);
-        let mut model = HoltWinters::with_params(
-            series.values(),
-            4,
-            SeasonalKind::Additive,
-            0.9,
-            0.9,
-            0.9,
-        );
+        let mut model =
+            HoltWinters::with_params(series.values(), 4, SeasonalKind::Additive, 0.9, 0.9, 0.9);
         model
             .refit(&series, &FitOptions::default())
             .expect("refit succeeds");

@@ -1,28 +1,30 @@
-//! Property-based tests of the forecasting substrate.
+//! Randomized property tests of the forecasting substrate, driven by
+//! the deterministic workspace RNG.
 
 use fdc_forecast::model::restore_model;
 use fdc_forecast::{
     smape, FitOptions, ForecastModel, Granularity, ModelSpec, SeasonalKind, TimeSeries,
 };
-use proptest::prelude::*;
+use fdc_rng::Rng;
 
-fn series_strategy(min_len: usize) -> impl Strategy<Value = TimeSeries> {
-    proptest::collection::vec(1.0f64..1000.0, min_len..min_len + 64)
-        .prop_map(|v| TimeSeries::new(v, Granularity::Monthly))
+fn random_series(rng: &mut Rng, min_len: usize) -> TimeSeries {
+    let len = min_len + rng.usize_below(64);
+    let v: Vec<f64> = (0..len).map(|_| rng.f64_range(1.0, 1000.0)).collect();
+    TimeSeries::new(v, Granularity::Monthly)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Incremental update equals batch recomputation for SES (the
-    /// invariant F²DB maintenance relies on).
-    #[test]
-    fn ses_incremental_equals_batch(
-        series in series_strategy(8),
-        alpha in 0.05f64..0.95,
-        extra in proptest::collection::vec(1.0f64..1000.0, 1..8),
-    ) {
-        use fdc_forecast::smoothing::SimpleExponentialSmoothing;
+/// Incremental update equals batch recomputation for SES (the
+/// invariant F²DB maintenance relies on).
+#[test]
+fn ses_incremental_equals_batch() {
+    use fdc_forecast::smoothing::SimpleExponentialSmoothing;
+    let mut rng = Rng::seed_from_u64(0xf01);
+    for case in 0..48 {
+        let series = random_series(&mut rng, 8);
+        let alpha = rng.f64_range(0.05, 0.95);
+        let extra: Vec<f64> = (0..1 + rng.usize_below(7))
+            .map(|_| rng.f64_range(1.0, 1000.0))
+            .collect();
         let mut all = series.values().to_vec();
         all.extend_from_slice(&extra);
         let batch = SimpleExponentialSmoothing::with_params(&all, alpha);
@@ -30,19 +32,26 @@ proptest! {
         for &v in &extra {
             incr.update(v);
         }
-        prop_assert!((incr.forecast(1)[0] - batch.forecast(1)[0]).abs() < 1e-9);
-        prop_assert_eq!(incr.observations(), batch.observations());
+        assert!(
+            (incr.forecast(1)[0] - batch.forecast(1)[0]).abs() < 1e-9,
+            "case {case}"
+        );
+        assert_eq!(incr.observations(), batch.observations());
     }
+}
 
-    /// Holt incremental update equals batch recomputation.
-    #[test]
-    fn holt_incremental_equals_batch(
-        series in series_strategy(8),
-        alpha in 0.05f64..0.95,
-        beta in 0.05f64..0.95,
-        extra in proptest::collection::vec(1.0f64..1000.0, 1..8),
-    ) {
-        use fdc_forecast::smoothing::Holt;
+/// Holt incremental update equals batch recomputation.
+#[test]
+fn holt_incremental_equals_batch() {
+    use fdc_forecast::smoothing::Holt;
+    let mut rng = Rng::seed_from_u64(0xf02);
+    for case in 0..48 {
+        let series = random_series(&mut rng, 8);
+        let alpha = rng.f64_range(0.05, 0.95);
+        let beta = rng.f64_range(0.05, 0.95);
+        let extra: Vec<f64> = (0..1 + rng.usize_below(7))
+            .map(|_| rng.f64_range(1.0, 1000.0))
+            .collect();
         let mut all = series.values().to_vec();
         all.extend_from_slice(&extra);
         let batch = Holt::with_params(&all, alpha, beta);
@@ -50,69 +59,93 @@ proptest! {
         for &v in &extra {
             incr.update(v);
         }
-        prop_assert!((incr.forecast(3)[2] - batch.forecast(3)[2]).abs() < 1e-6);
+        assert!(
+            (incr.forecast(3)[2] - batch.forecast(3)[2]).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    /// Every fitted model produces finite forecasts of the requested
-    /// length, and restores identically from serialized state.
-    #[test]
-    fn fitted_models_forecast_finitely_and_round_trip(
-        series in series_strategy(30),
-        horizon in 1usize..24,
-    ) {
-        let opts = FitOptions::default();
+/// Every fitted model produces finite forecasts of the requested
+/// length, and restores identically from serialized state.
+#[test]
+fn fitted_models_forecast_finitely_and_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xf03);
+    let opts = FitOptions::default();
+    for case in 0..24 {
+        let series = random_series(&mut rng, 30);
+        let horizon = 1 + rng.usize_below(23);
         for spec in [
             ModelSpec::Ses,
             ModelSpec::Holt,
-            ModelSpec::HoltWinters { period: 4, seasonal: SeasonalKind::Additive },
+            ModelSpec::HoltWinters {
+                period: 4,
+                seasonal: SeasonalKind::Additive,
+            },
             ModelSpec::Arima { p: 1, d: 1, q: 0 },
         ] {
             let model = spec.fit(&series, &opts).expect("series long enough");
             let fc = model.forecast(horizon);
-            prop_assert_eq!(fc.len(), horizon);
-            prop_assert!(fc.iter().all(|v| v.is_finite()), "{:?}: {:?}", spec, fc);
+            assert_eq!(fc.len(), horizon);
+            assert!(
+                fc.iter().all(|v| v.is_finite()),
+                "case {case} {spec:?}: {fc:?}"
+            );
             let restored = restore_model(&model.state()).expect("state is valid");
-            prop_assert_eq!(restored.forecast(horizon), fc);
+            assert_eq!(restored.forecast(horizon), fc);
         }
     }
+}
 
-    /// A constant series is forecast (almost) exactly by every smoothing
-    /// model.
-    #[test]
-    fn constant_series_forecast_exactly(
-        level in 1.0f64..1e4,
-        len in 12usize..40,
-    ) {
+/// A constant series is forecast (almost) exactly by every smoothing
+/// model.
+#[test]
+fn constant_series_forecast_exactly() {
+    let mut rng = Rng::seed_from_u64(0xf04);
+    let opts = FitOptions::default();
+    for _ in 0..32 {
+        let level = rng.f64_range(1.0, 1e4);
+        let len = 12 + rng.usize_below(28);
         let series = TimeSeries::new(vec![level; len], Granularity::Quarterly);
-        let opts = FitOptions::default();
         for spec in [ModelSpec::Ses, ModelSpec::Holt] {
             let model = spec.fit(&series, &opts).unwrap();
             for v in model.forecast(4) {
-                prop_assert!((v - level).abs() < 1e-6 * level, "{:?} -> {v}", spec);
+                assert!((v - level).abs() < 1e-6 * level, "{spec:?} -> {v}");
             }
         }
     }
+}
 
-    /// SMAPE of a forecast scaled toward the actual decreases
-    /// monotonically (closer forecasts are never judged worse).
-    #[test]
-    fn smape_monotone_under_contraction(
-        actual in proptest::collection::vec(1.0f64..1e4, 4..32),
-        scale in 1.1f64..4.0,
-    ) {
+/// SMAPE of a forecast scaled toward the actual decreases
+/// monotonically (closer forecasts are never judged worse).
+#[test]
+fn smape_monotone_under_contraction() {
+    let mut rng = Rng::seed_from_u64(0xf05);
+    for _ in 0..48 {
+        let n = 4 + rng.usize_below(28);
+        let actual: Vec<f64> = (0..n).map(|_| rng.f64_range(1.0, 1e4)).collect();
+        let scale = rng.f64_range(1.1, 4.0);
         let far: Vec<f64> = actual.iter().map(|v| v * scale).collect();
-        let near: Vec<f64> = actual.iter().map(|v| v * (1.0 + (scale - 1.0) / 2.0)).collect();
-        prop_assert!(smape(&actual, &near) <= smape(&actual, &far) + 1e-12);
+        let near: Vec<f64> = actual
+            .iter()
+            .map(|v| v * (1.0 + (scale - 1.0) / 2.0))
+            .collect();
+        assert!(smape(&actual, &near) <= smape(&actual, &far) + 1e-12);
     }
+}
 
-    /// Train/test split partitions the series exactly.
-    #[test]
-    fn split_partitions_series(series in series_strategy(4), frac in 0.0f64..1.0) {
+/// Train/test split partitions the series exactly.
+#[test]
+fn split_partitions_series() {
+    let mut rng = Rng::seed_from_u64(0xf06);
+    for _ in 0..48 {
+        let series = random_series(&mut rng, 4);
+        let frac = rng.f64();
         let (train, test) = series.split(frac);
-        prop_assert_eq!(train.len() + test.len(), series.len());
+        assert_eq!(train.len() + test.len(), series.len());
         let mut joined = train.values().to_vec();
         joined.extend_from_slice(test.values());
-        prop_assert_eq!(joined.as_slice(), series.values());
-        prop_assert_eq!(test.start(), train.end());
+        assert_eq!(joined.as_slice(), series.values());
+        assert_eq!(test.start(), train.end());
     }
 }

@@ -19,11 +19,7 @@ use std::time::Instant;
 /// Runs the optimal-combination baseline. Returns `None` in
 /// `configuration`: reconciliation mixes every node into every forecast
 /// and is not representable as per-node derivation schemes.
-pub fn combine(
-    dataset: &Dataset,
-    split: &CubeSplit,
-    options: &BaselineOptions,
-) -> BaselineResult {
+pub fn combine(dataset: &Dataset, split: &CubeSplit, options: &BaselineOptions) -> BaselineResult {
     let start = Instant::now();
     let spec = options.resolve_spec(dataset);
     let g = dataset.graph();

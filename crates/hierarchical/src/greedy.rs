@@ -48,10 +48,7 @@ pub fn greedy(dataset: &Dataset, split: &CubeSplit, options: &BaselineOptions) -
             }
         }
         let Some((winner, _)) = best else { break };
-        cfg.insert_model(
-            winner,
-            pool[winner].take().expect("winner was available"),
-        );
+        cfg.insert_model(winner, pool[winner].take().expect("winner was available"));
         adopt_traditional(&mut cfg, dataset, split);
         remaining.retain(|&v| v != winner);
     }

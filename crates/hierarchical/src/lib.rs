@@ -113,7 +113,9 @@ impl BaselineResult {
 
 /// Extracts per-node errors from a configuration.
 pub(crate) fn errors_of(cfg: &Configuration) -> Vec<f64> {
-    (0..cfg.node_count()).map(|v| cfg.estimate(v).error).collect()
+    (0..cfg.node_count())
+        .map(|v| cfg.estimate(v).error)
+        .collect()
 }
 
 /// Recomputes every node's estimate considering only the *traditional*

@@ -26,7 +26,9 @@ pub fn middle_out(
     let mut cfg = Configuration::new(dataset.node_count());
 
     // Models at every node of the chosen level.
-    let mid: Vec<NodeId> = (0..g.node_count()).filter(|&v| g.level(v) == level).collect();
+    let mid: Vec<NodeId> = (0..g.node_count())
+        .filter(|&v| g.level(v) == level)
+        .collect();
     for &v in &mid {
         if let Ok(model) = ConfiguredModel::fit(split, v, &spec, &options.fit) {
             cfg.insert_model(v, model);
@@ -100,7 +102,12 @@ mod tests {
         let split = CubeSplit::new(&ds, 0.8);
         let bottom = middle_out(&ds, &split, 0, &BaselineOptions::default());
         assert_eq!(bottom.model_count, ds.graph().base_nodes().len());
-        let top = middle_out(&ds, &split, ds.graph().max_level(), &BaselineOptions::default());
+        let top = middle_out(
+            &ds,
+            &split,
+            ds.graph().max_level(),
+            &BaselineOptions::default(),
+        );
         assert_eq!(top.model_count, 1);
         // Level beyond max clamps.
         let clamped = middle_out(&ds, &split, 99, &BaselineOptions::default());

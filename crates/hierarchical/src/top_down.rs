@@ -12,11 +12,7 @@ use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset};
 use std::time::Instant;
 
 /// Runs the top-down baseline.
-pub fn top_down(
-    dataset: &Dataset,
-    split: &CubeSplit,
-    options: &BaselineOptions,
-) -> BaselineResult {
+pub fn top_down(dataset: &Dataset, split: &CubeSplit, options: &BaselineOptions) -> BaselineResult {
     let start = Instant::now();
     let spec = options.resolve_spec(dataset);
     let top = dataset.graph().top_node();
@@ -66,7 +62,10 @@ mod tests {
             weight_sum += scheme.weight;
         }
         // The base proportions of the total must sum to ≈ 1.
-        assert!((weight_sum - 1.0).abs() < 0.05, "proportions sum {weight_sum}");
+        assert!(
+            (weight_sum - 1.0).abs() < 0.05,
+            "proportions sum {weight_sum}"
+        );
     }
 
     #[test]

@@ -164,13 +164,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -306,7 +300,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -334,8 +331,14 @@ mod tests {
     fn add_sub_scale() {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         let b = Matrix::from_rows(&[&[3.0, -1.0]]).unwrap();
-        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 1.0]]).unwrap());
-        assert_eq!(a.sub(&b).unwrap(), Matrix::from_rows(&[&[-2.0, 3.0]]).unwrap());
+        assert_eq!(
+            a.add(&b).unwrap(),
+            Matrix::from_rows(&[&[4.0, 1.0]]).unwrap()
+        );
+        assert_eq!(
+            a.sub(&b).unwrap(),
+            Matrix::from_rows(&[&[-2.0, 3.0]]).unwrap()
+        );
         assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, 4.0]]).unwrap());
         assert!(a.add(&Matrix::zeros(2, 2)).is_err());
     }

@@ -178,13 +178,7 @@ mod tests {
     fn least_squares_minimizes_residual() {
         // Noisy overdetermined system: solution must satisfy the normal
         // equations Aᵀ(Ax - b) = 0.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let b = [1.0, 2.2, 2.8, 4.1];
         let x = Qr::new(&a).unwrap().solve(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -200,7 +194,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
         assert!(!qr.is_full_rank());
-        assert_eq!(qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]

@@ -1,87 +1,97 @@
-//! Property-based tests of the linear algebra kernel.
+//! Randomized property tests of the linear algebra kernel, driven by the
+//! deterministic workspace RNG (seeded loops instead of a shrinking
+//! framework: failures print the case index, which is enough to replay).
 
 use fdc_linalg::{lstsq, ols_projection, Cholesky, Matrix, Qr};
-use proptest::prelude::*;
+use fdc_rng::Rng;
 
-/// Strategy: a random well-conditioned SPD matrix `A = B Bᵀ + n·I`.
-fn spd_strategy() -> impl Strategy<Value = Matrix> {
-    (2usize..6).prop_flat_map(|n| {
-        proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
-            let b = Matrix::from_vec(n, n, data).unwrap();
-            let bbt = b.matmul(&b.transpose()).unwrap();
-            bbt.add(&Matrix::identity(n).scale(n as f64)).unwrap()
-        })
-    })
+/// A random well-conditioned SPD matrix `A = B Bᵀ + n·I`.
+fn random_spd(rng: &mut Rng) -> Matrix {
+    let n = 2 + rng.usize_below(4);
+    let data: Vec<f64> = (0..n * n).map(|_| rng.f64_range(-2.0, 2.0)).collect();
+    let b = Matrix::from_vec(n, n, data).unwrap();
+    let bbt = b.matmul(&b.transpose()).unwrap();
+    bbt.add(&Matrix::identity(n).scale(n as f64)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Cholesky factor reconstructs the input and solves correctly.
-    #[test]
-    fn cholesky_solves_spd_systems(a in spd_strategy()) {
+/// Cholesky factor reconstructs the input and solves correctly.
+#[test]
+fn cholesky_solves_spd_systems() {
+    let mut rng = Rng::seed_from_u64(0x11a1);
+    for case in 0..64 {
+        let a = random_spd(&mut rng);
         let n = a.rows();
         let ch = Cholesky::new(&a).expect("SPD by construction");
         let l = ch.factor();
         let rec = l.matmul(&l.transpose()).unwrap();
-        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8 * a.frobenius_norm().max(1.0));
+        assert!(
+            rec.max_abs_diff(&a).unwrap() < 1e-8 * a.frobenius_norm().max(1.0),
+            "case {case}"
+        );
         let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
         let x = ch.solve(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
         for (u, v) in ax.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+            assert!((u - v).abs() < 1e-7, "case {case}: {u} vs {v}");
         }
     }
+}
 
-    /// QR least squares satisfies the normal equations Aᵀ(Ax − b) = 0.
-    #[test]
-    fn qr_satisfies_normal_equations(
-        rows in 3usize..8,
-        cols in 1usize..3,
-        data in proptest::collection::vec(-10.0f64..10.0, 24),
-        rhs in proptest::collection::vec(-10.0f64..10.0, 8),
-    ) {
-        let a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec()).unwrap();
+/// QR least squares satisfies the normal equations Aᵀ(Ax − b) = 0.
+#[test]
+fn qr_satisfies_normal_equations() {
+    let mut rng = Rng::seed_from_u64(0x11a2);
+    for case in 0..64 {
+        let rows = 3 + rng.usize_below(5);
+        let cols = 1 + rng.usize_below(2);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| rng.f64_range(-10.0, 10.0))
+            .collect();
+        let mut a = Matrix::from_vec(rows, cols, data).unwrap();
         // Make the system full rank by nudging the diagonal.
-        let mut a = a;
         for i in 0..cols {
             a[(i, i)] += 5.0;
         }
-        let b = &rhs[..rows];
+        let b: Vec<f64> = (0..rows).map(|_| rng.f64_range(-10.0, 10.0)).collect();
         let qr = Qr::new(&a).unwrap();
-        prop_assume!(qr.is_full_rank());
-        let x = qr.solve(b).unwrap();
+        if !qr.is_full_rank() {
+            continue;
+        }
+        let x = qr.solve(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
-        let resid: Vec<f64> = ax.iter().zip(b).map(|(p, q)| p - q).collect();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
         for v in a.transpose().matvec(&resid).unwrap() {
-            prop_assert!(v.abs() < 1e-6, "normal equation residual {v}");
+            assert!(v.abs() < 1e-6, "case {case}: normal equation residual {v}");
         }
     }
+}
 
-    /// The driver lstsq agrees with QR on full-rank systems.
-    #[test]
-    fn lstsq_matches_qr(
-        rows in 3usize..8,
-        data in proptest::collection::vec(-5.0f64..5.0, 16),
-        rhs in proptest::collection::vec(-5.0f64..5.0, 8),
-    ) {
+/// The driver lstsq agrees with QR on full-rank systems.
+#[test]
+fn lstsq_matches_qr() {
+    let mut rng = Rng::seed_from_u64(0x11a3);
+    for case in 0..64 {
+        let rows = 3 + rng.usize_below(5);
         let cols = 2usize;
-        let mut a = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec()).unwrap();
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.f64_range(-5.0, 5.0)).collect();
+        let mut a = Matrix::from_vec(rows, cols, data).unwrap();
         for i in 0..cols {
             a[(i, i)] += 10.0;
         }
-        let b = &rhs[..rows];
-        let via_driver = lstsq(&a, b).unwrap();
-        let via_qr = Qr::new(&a).unwrap().solve(b).unwrap();
+        let b: Vec<f64> = (0..rows).map(|_| rng.f64_range(-5.0, 5.0)).collect();
+        let via_driver = lstsq(&a, &b).unwrap();
+        let via_qr = Qr::new(&a).unwrap().solve(&b).unwrap();
         for (u, v) in via_driver.iter().zip(&via_qr) {
-            prop_assert!((u - v).abs() < 1e-6);
+            assert!((u - v).abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    /// OLS projection of a summing matrix is idempotent, symmetric and
-    /// fixes coherent vectors.
-    #[test]
-    fn projection_properties(leaves in 2usize..5) {
+/// OLS projection of a summing matrix is idempotent, symmetric and
+/// fixes coherent vectors.
+#[test]
+fn projection_properties() {
+    for leaves in 2usize..5 {
         // Hierarchy: total + each leaf.
         let mut s = Matrix::zeros(leaves + 1, leaves);
         for j in 0..leaves {
@@ -90,8 +100,8 @@ proptest! {
         }
         let p = ols_projection(&s).unwrap();
         let pp = p.matmul(&p).unwrap();
-        prop_assert!(pp.max_abs_diff(&p).unwrap() < 1e-9);
-        prop_assert!(p.max_abs_diff(&p.transpose()).unwrap() < 1e-9);
+        assert!(pp.max_abs_diff(&p).unwrap() < 1e-9);
+        assert!(p.max_abs_diff(&p.transpose()).unwrap() < 1e-9);
         // Coherent vector: total = Σ leaves.
         let mut y = vec![0.0; leaves + 1];
         for j in 1..=leaves {
@@ -100,28 +110,30 @@ proptest! {
         }
         let py = p.matvec(&y).unwrap();
         for (u, v) in py.iter().zip(&y) {
-            prop_assert!((u - v).abs() < 1e-9);
+            assert!((u - v).abs() < 1e-9);
         }
     }
+}
 
-    /// Matrix transpose is an involution and matmul is associative on
-    /// small random matrices.
-    #[test]
-    fn matrix_algebra_laws(
-        a_data in proptest::collection::vec(-3.0f64..3.0, 6),
-        b_data in proptest::collection::vec(-3.0f64..3.0, 6),
-        c_data in proptest::collection::vec(-3.0f64..3.0, 4),
-    ) {
+/// Matrix transpose is an involution and matmul is associative on
+/// small random matrices.
+#[test]
+fn matrix_algebra_laws() {
+    let mut rng = Rng::seed_from_u64(0x11a4);
+    for case in 0..64 {
+        let a_data: Vec<f64> = (0..6).map(|_| rng.f64_range(-3.0, 3.0)).collect();
+        let b_data: Vec<f64> = (0..6).map(|_| rng.f64_range(-3.0, 3.0)).collect();
+        let c_data: Vec<f64> = (0..4).map(|_| rng.f64_range(-3.0, 3.0)).collect();
         let a = Matrix::from_vec(2, 3, a_data).unwrap();
         let b = Matrix::from_vec(3, 2, b_data).unwrap();
         let c = Matrix::from_vec(2, 2, c_data).unwrap();
-        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        assert_eq!(a.transpose().transpose(), a.clone());
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-9);
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-9, "case {case}");
         // (AB)ᵀ = BᵀAᵀ
         let abt = a.matmul(&b).unwrap().transpose();
         let btat = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(abt.max_abs_diff(&btat).unwrap() < 1e-9);
+        assert!(abt.max_abs_diff(&btat).unwrap() < 1e-9, "case {case}");
     }
 }

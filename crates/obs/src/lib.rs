@@ -1,0 +1,123 @@
+//! # fdc-obs — observability for the data-cube advisor and F²DB
+//!
+//! The paper's whole value proposition is a cost/accuracy trade-off: the
+//! advisor spends model-creation time to buy SMAPE, and F²DB answers
+//! forecast queries under latency constraints. This crate is the
+//! measurement layer that makes those costs visible:
+//!
+//! * a process-global, thread-safe **metrics registry** — atomic
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s with
+//!   p50/p95/p99 snapshots ([`Snapshot`] renders as text or JSON);
+//! * lightweight hierarchical **tracing spans** — `let _g =
+//!   span!("advisor.step");` RAII guards that aggregate wall-clock time
+//!   per dotted path, with an optional [`SpanSubscriber`] such as
+//!   [`FlameCollector`] that renders a flame-style summary.
+//!
+//! Everything is `std`-only and safe to leave enabled in release
+//! builds: counters are single atomic adds, histograms are one atomic
+//! add into a power-of-two bucket, and spans cost two `Instant::now()`
+//! calls plus one histogram record. Span collection can be switched off
+//! globally with [`set_spans_enabled`].
+//!
+//! Metric names are dotted paths (`f2db.query.ns`); by convention a
+//! name ending in `.ns` holds nanoseconds and is rendered as a humanized
+//! duration by [`Snapshot`]'s `Display`.
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use span::{
+    set_spans_enabled, set_subscriber, spans_enabled, take_subscriber, FlameCollector, SpanGuard,
+    SpanSubscriber,
+};
+
+use std::sync::Arc;
+
+/// Returns (interning on first use) the counter registered under `name`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Returns (interning on first use) the gauge registered under `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Returns (interning on first use) the histogram registered under
+/// `name`. Suffix the name with `.ns` when recording nanoseconds.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// Takes a consistent snapshot of the global registry.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// Opens a span; prefer the [`span!`] macro.
+pub fn enter_span(name: &str) -> SpanGuard {
+    SpanGuard::enter(name)
+}
+
+/// Opens a hierarchical tracing span that closes when the returned
+/// guard is dropped:
+///
+/// ```
+/// let _g = fdc_obs::span!("advisor.step");
+/// // ... timed work ...
+/// ```
+///
+/// Nested spans build dotted paths (`advisor.step/select`); each close
+/// records into the `span.<path>.ns` histogram and notifies the global
+/// subscriber, if any. The guard must be bound to a named variable
+/// (`let _g = ...`) — `let _ = ...` drops it immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercises the global enable flag and the macro in one sequential
+    /// test: other tests in this binary use spans concurrently, so the
+    /// flag must only ever be toggled here.
+    #[test]
+    fn span_macro_records_into_registry() {
+        set_spans_enabled(false);
+        {
+            let _g = crate::span!("obs_lib_test.disabled");
+        }
+        set_spans_enabled(true);
+        assert!(
+            !crate::snapshot()
+                .histograms
+                .iter()
+                .any(|(n, _)| n == "span.obs_lib_test.disabled.ns"),
+            "disabled span leaked into registry"
+        );
+        {
+            let _g = crate::span!("obs_lib_test.outer");
+            let _h = crate::span!("inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = crate::snapshot();
+        let outer = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "span.obs_lib_test.outer.ns")
+            .expect("outer span histogram");
+        assert!(outer.1.count >= 1);
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|(n, _)| n == "span.obs_lib_test.outer/inner.ns"),
+            "nested span path missing: {:?}",
+            snap.histograms.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,610 @@
+//! The metrics registry: atomic counters, gauges, and log-bucketed
+//! histograms with percentile snapshots.
+//!
+//! All types are lock-free on the hot path (a single atomic RMW per
+//! record); the registry itself takes a short `RwLock` read to resolve
+//! a name to its handle. Callers on genuinely hot loops should resolve
+//! the `Arc` handle once and reuse it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ≤ i ≤ 64) holds values whose bit length is `i`, i.e. the range
+/// `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (used by benches between phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: an instantaneous signed value (model counts, scaled errors).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (by convention
+/// nanoseconds when the metric name ends in `.ns`).
+///
+/// Buckets are powers of two, so recording is one `leading_zeros` plus
+/// one atomic add, and the full value range of `u64` is covered with 65
+/// buckets. Percentiles are estimated as the midpoint of the bucket
+/// containing the requested rank, clamped to the observed min/max —
+/// the relative error is bounded by the bucket width (≤ 2× the true
+/// value), which is plenty for latency reporting.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, otherwise its bit length.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` covered by a bucket.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// Records a sample.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Takes a point-in-time snapshot (not atomic across buckets, which
+    /// is fine for reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // 1-based rank of the q-quantile sample.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    let (lo, hi) = bucket_bounds(i);
+                    return (lo + (hi - lo) / 2).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+        }
+    }
+
+    /// Resets all buckets and statistics.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The process-wide registry interning metrics by name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(m) = map.read().unwrap().get(name) {
+        return Arc::clone(m);
+    }
+    let mut w = map.write().unwrap();
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// Resolves (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// Resolves (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// Resolves (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every registered metric. Existing handles stay valid.
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.read().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.read().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// A full registry snapshot. `Display` renders a human-readable report
+/// (durations humanized for `.ns`-suffixed names); [`Snapshot::to_json`]
+/// renders a machine-readable document.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Renders nanoseconds via `Duration`'s humanized `Debug` form.
+fn fmt_ns(ns: u64) -> String {
+    format!("{:?}", Duration::from_nanos(ns))
+}
+
+fn is_nanos(name: &str) -> bool {
+    name.ends_with(".ns") || name.ends_with("_ns")
+}
+
+impl Snapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,p50,p95,p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                writeln!(f, "  {name:<44} {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, v) in &self.gauges {
+                writeln!(f, "  {name:<44} {v}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, h) in &self.histograms {
+                if is_nanos(name) {
+                    writeln!(
+                        f,
+                        "  {name:<44} count={} mean={} p50={} p95={} p99={} max={}",
+                        h.count,
+                        fmt_ns(h.mean() as u64),
+                        fmt_ns(h.p50),
+                        fmt_ns(h.p95),
+                        fmt_ns(h.p99),
+                        fmt_ns(h.max),
+                    )?;
+                } else {
+                    writeln!(
+                        f,
+                        "  {name:<44} count={} mean={:.1} p50={} p95={} p99={} max={}",
+                        h.count,
+                        h.mean(),
+                        h.p50,
+                        h.p95,
+                        h.p99,
+                        h.max,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        let (lo, hi) = bucket_bounds(0);
+        assert_eq!((lo, hi), (0, 0));
+        let mut expected_lo = 1u64;
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i}");
+            assert!(bucket_of(lo) == i && bucket_of(hi) == i, "bucket {i}");
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket ends at u64::MAX");
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99),
+            (0, 0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_percentiles_collapse() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(777);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 777);
+        assert_eq!(s.max, 777);
+        // Midpoint estimate is clamped to the observed min/max.
+        assert_eq!(s.p50, 777);
+        assert_eq!(s.p95, 777);
+        assert_eq!(s.p99, 777);
+    }
+
+    #[test]
+    fn percentiles_track_uniform_distribution_within_bucket_error() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // True p50 = 500, bucket [256, 511]; estimate must land there.
+        assert!((256..=511).contains(&s.p50), "p50 {}", s.p50);
+        // True p95 = 950, bucket [512, 1023] clamped to max 1000.
+        assert!((512..=1000).contains(&s.p95), "p95 {}", s.p95);
+        assert!((512..=1000).contains(&s.p99), "p99 {}", s.p99);
+        // Log-bucket estimates are within a factor of two of the truth.
+        assert!(s.p50 as f64 >= 250.0 && s.p50 as f64 <= 1000.0);
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_buckets() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let c = Arc::new(Counter::default());
+        let threads = 8;
+        let per_thread = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_are_lossless() {
+        let h = Arc::new(Histogram::default());
+        let threads = 8u64;
+        let per_thread = 5_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i + 1);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per_thread);
+        let n = threads * per_thread;
+        assert_eq!(s.sum, n * (n + 1) / 2);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, n);
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let r = Registry::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.incr();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn registry_reset_keeps_handles_valid() {
+        let r = Registry::default();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        c.add(5);
+        h.record(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        c.incr();
+        assert_eq!(r.snapshot().counters[0].1, 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let r = Registry::default();
+        r.counter("a.b").add(3);
+        r.gauge("g").set(-2);
+        r.histogram("h.ns").record(1000);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.b\":3"), "{json}");
+        assert!(json.contains("\"g\":-2"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        // Balanced braces (crude structural check without a parser).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn display_humanizes_ns_histograms() {
+        let r = Registry::default();
+        r.histogram("query.ns").record(1_500_000);
+        let text = r.snapshot().to_string();
+        assert!(text.contains("query.ns"), "{text}");
+        assert!(text.contains("ms") || text.contains("µs"), "{text}");
+    }
+}

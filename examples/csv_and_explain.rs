@@ -33,7 +33,11 @@ fn main() {
         dataset.graph().base_nodes().len(),
         dataset.node_count(),
         schema.dependencies().len(),
-        if schema.dependencies().len() == 1 { "y" } else { "ies" },
+        if schema.dependencies().len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
     );
     for fd in schema.dependencies() {
         println!(

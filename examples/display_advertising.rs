@@ -7,9 +7,9 @@
 //! Run with: `cargo run --release --example display_advertising`
 
 use fdc::advisor::{Advisor, AdvisorOptions, StopCriteria};
+use fdc::cube::CubeSplit;
 use fdc::datagen::{generate_cube, GenSpec};
 use fdc::hierarchical::{top_down, BaselineOptions};
-use fdc::cube::CubeSplit;
 
 fn main() {
     // 400 base series of ad-impression counts (attribute combinations),
@@ -37,7 +37,9 @@ fn main() {
         },
         ..AdvisorOptions::default()
     };
-    let outcome = Advisor::new(&dataset, options).expect("valid dataset").run();
+    let outcome = Advisor::new(&dataset, options)
+        .expect("valid dataset")
+        .run();
     println!(
         "advisor under budget: {} models (budget {budget}), error {:.4}, stopped: {:?}",
         outcome.model_count, outcome.error, outcome.stop_reason

@@ -22,8 +22,7 @@ fn main() {
 
     // 2. Run the advisor. No parameterization needed — indicator size,
     //    candidate threshold and acceptance weight regulate themselves.
-    let mut advisor = Advisor::new(&dataset, AdvisorOptions::default())
-        .expect("dataset is valid");
+    let mut advisor = Advisor::new(&dataset, AdvisorOptions::default()).expect("dataset is valid");
     let outcome = advisor.run();
     println!(
         "advisor: error {:.4}, {} models (of {} possible), cost {:?}, {} iterations, stopped: {:?}",

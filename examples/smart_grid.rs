@@ -9,8 +9,7 @@
 use fdc::advisor::{Advisor, AdvisorOptions};
 use fdc::datagen::energy_proxy;
 use fdc::f2db::{F2db, MaintenancePolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fdc_rng::Rng;
 
 fn main() {
     // Two weeks of hourly demand for 86 customers in 8 districts.
@@ -41,14 +40,14 @@ fn main() {
 
     // Stream 24 hours of smart-meter readings, interleaved with grid
     // operator queries.
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let base = db.dataset().graph().base_nodes().to_vec();
     for hour in 0..24 {
         // All meters report their reading for this hour (the maintenance
         // processor batches them and advances the graph at once).
         for &meter in &base {
             let last = *db.dataset().series(meter).values().last().unwrap();
-            let reading = (last + rng.gen_range(-0.5..0.5)).max(0.1);
+            let reading = (last + rng.f64_range(-0.5, 0.5)).max(0.1);
             db.insert_value(meter, reading).expect("insert");
         }
         // The operator asks for the total demand over the next day.

@@ -3,8 +3,9 @@
 //!
 //! Loads a data set (a CSV in the `fdc::datagen::import_csv` long format,
 //! or a built-in demo cube), runs the model configuration advisor, and
-//! then reads SQL statements from stdin: forecast queries, inserts and
-//! `EXPLAIN`, plus the meta commands `\report`, `\stats` and `\quit`.
+//! then reads SQL statements from stdin: forecast queries, inserts,
+//! `EXPLAIN` and `EXPLAIN ANALYZE`, plus the meta commands `\report`,
+//! `\stats`, `\metrics` and `\quit`.
 //!
 //! ```sh
 //! cargo run --release --bin fdc-shell                 # demo cube
@@ -85,7 +86,7 @@ fn main() {
         .collect();
     eprintln!("dimensions: {}", dims.join(", "));
     eprintln!("try: SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'");
-    eprintln!("     EXPLAIN <query> | \\report | \\stats | \\quit\n");
+    eprintln!("     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\metrics | \\quit\n");
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -111,6 +112,19 @@ fn main() {
                 println!("{report}");
                 continue;
             }
+            "\\metrics" => {
+                let snap = fdc::obs::snapshot();
+                if snap.is_empty() {
+                    println!("(no metrics recorded yet)");
+                } else {
+                    print!("{snap}");
+                }
+                continue;
+            }
+            "\\metrics json" => {
+                println!("{}", fdc::obs::snapshot().to_json());
+                continue;
+            }
             "\\stats" => {
                 let s = db.stats();
                 println!(
@@ -127,8 +141,15 @@ fn main() {
             }
             _ => {}
         }
-        if line.to_ascii_lowercase().starts_with("explain") {
-            match db.explain(line) {
+        let lowered = line.to_ascii_lowercase();
+        if lowered.starts_with("explain") {
+            let analyzed = lowered.starts_with("explain analyze");
+            let plan = if analyzed {
+                db.explain_analyze(line)
+            } else {
+                db.explain(line)
+            };
+            match plan {
                 Ok(plan) => println!("{plan}"),
                 Err(e) => println!("error: {e}"),
             }

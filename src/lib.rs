@@ -21,6 +21,10 @@
 //! * [`datagen`] — synthetic data generation (SARIMA simulation, GenX
 //!   cubes, proxies of the paper's real-world data sets).
 //! * [`linalg`] — the dense linear algebra kernel used by reconciliation.
+//! * [`obs`] — observability: the global metrics registry (counters,
+//!   gauges, latency histograms) and hierarchical tracing spans.
+//! * [`rng`] — the deterministic xoshiro256** random number generator
+//!   shared by data generation, stochastic optimizers and sampling.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +47,5 @@ pub use fdc_f2db as f2db;
 pub use fdc_forecast as forecast;
 pub use fdc_hierarchical as hierarchical;
 pub use fdc_linalg as linalg;
+pub use fdc_obs as obs;
+pub use fdc_rng as rng;

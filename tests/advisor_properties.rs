@@ -1,44 +1,39 @@
-//! Property-based integration tests of the advisor on randomly generated
+//! Randomized integration tests of the advisor on randomly generated
 //! cubes: whatever the data looks like, the advisor must terminate with a
 //! consistent, non-degraded configuration.
 
 use fdc::advisor::{summarize, Advisor, AdvisorOptions};
 use fdc::cube::{Coord, Dataset, Dimension, FunctionalDependency, Schema};
 use fdc::forecast::{Granularity, TimeSeries};
-use proptest::prelude::*;
+use fdc::rng::Rng;
 
-/// Strategy: a two-level cube (3–6 leaves grouped into 2 regions) with
-/// random positive series of 20–40 observations.
-fn cube_strategy() -> impl Strategy<Value = Dataset> {
-    (3usize..7, 20usize..40).prop_flat_map(|(leaves, len)| {
-        proptest::collection::vec(proptest::collection::vec(1.0f64..300.0, len), leaves).prop_map(
-            move |series| {
-                let schema = Schema::new(
-                    vec![
-                        Dimension::new("leaf", (0..leaves).map(|i| format!("l{i}")).collect()),
-                        Dimension::new("grp", vec!["g0".into(), "g1".into()]),
-                    ],
-                    vec![FunctionalDependency::new(
-                        0,
-                        1,
-                        (0..leaves).map(|i| (i % 2) as u32).collect(),
-                    )],
-                )
-                .unwrap();
-                let base = series
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, vals)| {
-                        (
-                            Coord::new(vec![i as u32, (i % 2) as u32]),
-                            TimeSeries::new(vals, Granularity::Quarterly),
-                        )
-                    })
-                    .collect();
-                Dataset::from_base(schema, base).unwrap()
-            },
-        )
-    })
+/// A two-level cube (3–6 leaves grouped into 2 regions) with random
+/// positive series of 20–40 observations.
+fn random_cube(rng: &mut Rng) -> Dataset {
+    let leaves = 3 + rng.usize_below(4);
+    let len = 20 + rng.usize_below(20);
+    let schema = Schema::new(
+        vec![
+            Dimension::new("leaf", (0..leaves).map(|i| format!("l{i}")).collect()),
+            Dimension::new("grp", vec!["g0".into(), "g1".into()]),
+        ],
+        vec![FunctionalDependency::new(
+            0,
+            1,
+            (0..leaves).map(|i| (i % 2) as u32).collect(),
+        )],
+    )
+    .unwrap();
+    let base = (0..leaves)
+        .map(|i| {
+            let vals: Vec<f64> = (0..len).map(|_| rng.f64_range(1.0, 300.0)).collect();
+            (
+                Coord::new(vec![i as u32, (i % 2) as u32]),
+                TimeSeries::new(vals, Granularity::Quarterly),
+            )
+        })
+        .collect();
+    Dataset::from_base(schema, base).unwrap()
 }
 
 fn quick_options() -> AdvisorOptions {
@@ -49,52 +44,59 @@ fn quick_options() -> AdvisorOptions {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The advisor always terminates, never ends worse than its initial
-    /// configuration, and leaves a fully consistent configuration: every
-    /// scheme references only model-carrying sources, errors are within
-    /// [0, 1], and the report's invariants hold.
-    #[test]
-    fn advisor_is_total_and_consistent(ds in cube_strategy()) {
+/// The advisor always terminates, never ends worse than its initial
+/// configuration, and leaves a fully consistent configuration: every
+/// scheme references only model-carrying sources, errors are within
+/// [0, 1], and the report's invariants hold.
+#[test]
+fn advisor_is_total_and_consistent() {
+    let mut rng = Rng::seed_from_u64(0xad01);
+    for case in 0..12 {
+        let ds = random_cube(&mut rng);
         let mut advisor = Advisor::new(&ds, quick_options()).expect("valid dataset");
         let initial = advisor.configuration().overall_error();
         let outcome = advisor.run();
-        prop_assert!(outcome.error <= initial + 1e-9);
-        prop_assert!(outcome.model_count >= 1);
+        assert!(outcome.error <= initial + 1e-9, "case {case}");
+        assert!(outcome.model_count >= 1);
         for v in 0..ds.node_count() {
             let est = outcome.configuration.estimate(v);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&est.error));
+            assert!((0.0..=1.0 + 1e-9).contains(&est.error));
             if let Some(s) = &est.scheme {
-                prop_assert!(!s.sources.is_empty());
+                assert!(!s.sources.is_empty());
                 for src in &s.sources {
-                    prop_assert!(outcome.configuration.has_model(*src));
+                    assert!(outcome.configuration.has_model(*src));
                 }
-                prop_assert!(s.weight.is_finite());
+                assert!(s.weight.is_finite());
             }
         }
         let report = summarize(&ds, &outcome.configuration, 3);
         let c = report.scheme_counts;
-        prop_assert_eq!(
+        assert_eq!(
             c.direct + c.aggregation + c.disaggregation + c.general + c.unserved,
             ds.node_count()
         );
-        prop_assert_eq!(report.models_per_level.iter().sum::<usize>(), outcome.model_count);
+        assert_eq!(
+            report.models_per_level.iter().sum::<usize>(),
+            outcome.model_count
+        );
     }
+}
 
-    /// History invariants: iteration numbers increase by one, α is
-    /// non-decreasing, and model counts never exceed the node count.
-    #[test]
-    fn advisor_history_is_well_formed(ds in cube_strategy()) {
+/// History invariants: iteration numbers increase by one, α is
+/// non-decreasing, and model counts never exceed the node count.
+#[test]
+fn advisor_history_is_well_formed() {
+    let mut rng = Rng::seed_from_u64(0xad02);
+    for _ in 0..12 {
+        let ds = random_cube(&mut rng);
         let outcome = Advisor::new(&ds, quick_options()).unwrap().run();
         for (i, s) in outcome.history.iter().enumerate() {
-            prop_assert_eq!(s.iteration, i + 1);
-            prop_assert!(s.model_count <= ds.node_count());
-            prop_assert!(s.error.is_finite());
+            assert_eq!(s.iteration, i + 1);
+            assert!(s.model_count <= ds.node_count());
+            assert!(s.error.is_finite());
         }
         for w in outcome.history.windows(2) {
-            prop_assert!(w[0].alpha <= w[1].alpha + 1e-12);
+            assert!(w[0].alpha <= w[1].alpha + 1e-12);
         }
     }
 }

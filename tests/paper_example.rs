@@ -9,9 +9,9 @@
 //! model creation + acceptance, and the final deletion step that removes
 //! the too-greedy top model once city models serve the graph better.
 
-use fdc::advisor::indicator::{IndicatorOptions, IndicatorStore, LocalIndicator};
 use fdc::advisor::candidate::select_candidates;
-use fdc::cube::{Configuration, ConfiguredModel, Coord, CubeSplit, Dataset, Dimension, Schema, STAR};
+use fdc::advisor::indicator::{IndicatorOptions, IndicatorStore, LocalIndicator};
+use fdc::cube::{Configuration, ConfiguredModel, Coord, CubeSplit, Dataset, Dimension, Schema};
 use fdc::forecast::{FitOptions, Granularity, ModelSpec, TimeSeries};
 use std::collections::{HashMap, HashSet};
 
@@ -28,7 +28,10 @@ fn fig4_dataset() -> Dataset {
     )])
     .unwrap();
     let series = |f: Box<dyn Fn(usize) -> f64>| -> TimeSeries {
-        TimeSeries::new((0..40).map(|t| f(t).max(0.1)).collect(), Granularity::Quarterly)
+        TimeSeries::new(
+            (0..40).map(|t| f(t).max(0.1)).collect(),
+            Granularity::Quarterly,
+        )
     };
     let base = vec![
         (
@@ -81,7 +84,14 @@ fn figure4_iteration_walkthrough() {
     //        the zero-indicator model node is the negative candidate ---------
     let mut cache = HashMap::new();
     let cands = select_candidates(
-        &ds, &cfg, &store, &opts, 0.0, 4, &HashSet::new(), &mut cache,
+        &ds,
+        &cfg,
+        &store,
+        &opts,
+        0.0,
+        4,
+        &HashSet::new(),
+        &mut cache,
     );
     assert!(!cands.positive.is_empty());
     assert!(cands.positive.iter().all(|c| !cfg.has_model(c.node)));
@@ -106,14 +116,21 @@ fn figure4_iteration_walkthrough() {
     for v in 0..ds.node_count() {
         improved |= cfg.adopt_if_better(&ds, &split, &[winner], v);
     }
-    assert!(improved, "the top-ranked model must serve at least one node");
+    assert!(
+        improved,
+        "the top-ranked model must serve at least one node"
+    );
     let err_after = cfg.overall_error();
     assert!(
         err_after < err_before,
         "accepting the ranked model must improve the error ({err_before} → {err_after})"
     );
     store.insert(LocalIndicator::compute(&ds, winner, &opts));
-    assert_eq!(store.global()[winner], 0.0, "the winner now carries a model");
+    assert_eq!(
+        store.global()[winner],
+        0.0,
+        "the winner now carries a model"
+    );
 
     // -- (f) Deletion: removing a model forces its dependents onto the
     //        remaining models and the bookkeeping stays consistent -----------

@@ -1,58 +1,47 @@
-//! Property-based integration tests over the public API (proptest).
+//! Randomized integration tests over the public API, driven by the
+//! deterministic workspace RNG.
 
 use fdc::cube::{Coord, Dataset, Dimension, FunctionalDependency, Schema};
 use fdc::forecast::{smape, Granularity, TimeSeries};
-use proptest::prelude::*;
+use fdc::rng::Rng;
 
-/// Strategy: a small two-level schema (cities grouped into regions) plus
-/// aligned positive base series.
-fn cube_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..6, 2usize..4, 8usize..24).prop_flat_map(|(cities, regions, len)| {
-        let values = proptest::collection::vec(
-            proptest::collection::vec(0.5f64..500.0, len),
-            cities,
-        );
-        values.prop_map(move |series| {
-            let schema = Schema::new(
-                vec![
-                    Dimension::new(
-                        "city",
-                        (0..cities).map(|i| format!("C{i}")).collect(),
-                    ),
-                    Dimension::new(
-                        "region",
-                        (0..regions).map(|i| format!("R{i}")).collect(),
-                    ),
-                ],
-                vec![FunctionalDependency::new(
-                    0,
-                    1,
-                    (0..cities).map(|i| (i % regions) as u32).collect(),
-                )],
+/// A small two-level cube (cities grouped into regions) with aligned
+/// positive base series.
+fn random_cube(rng: &mut Rng) -> Dataset {
+    let cities = 2 + rng.usize_below(4);
+    let regions = 2 + rng.usize_below(2);
+    let len = 8 + rng.usize_below(16);
+    let schema = Schema::new(
+        vec![
+            Dimension::new("city", (0..cities).map(|i| format!("C{i}")).collect()),
+            Dimension::new("region", (0..regions).map(|i| format!("R{i}")).collect()),
+        ],
+        vec![FunctionalDependency::new(
+            0,
+            1,
+            (0..cities).map(|i| (i % regions) as u32).collect(),
+        )],
+    )
+    .expect("generated schema is valid");
+    let base = (0..cities)
+        .map(|i| {
+            let vals: Vec<f64> = (0..len).map(|_| rng.f64_range(0.5, 500.0)).collect();
+            (
+                Coord::new(vec![i as u32, (i % regions) as u32]),
+                TimeSeries::new(vals, Granularity::Monthly),
             )
-            .expect("generated schema is valid");
-            let base = series
-                .into_iter()
-                .enumerate()
-                .map(|(i, vals)| {
-                    (
-                        Coord::new(vec![i as u32, (i % regions) as u32]),
-                        TimeSeries::new(vals, Granularity::Monthly),
-                    )
-                })
-                .collect();
-            Dataset::from_base(schema, base).expect("generated data is valid")
         })
-    })
+        .collect();
+    Dataset::from_base(schema, base).expect("generated data is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every aggregate equals the sum of the base series it covers, at
-    /// every time point, for arbitrary cubes.
-    #[test]
-    fn aggregates_always_sum_base_descendants(ds in cube_strategy()) {
+/// Every aggregate equals the sum of the base series it covers, at
+/// every time point, for arbitrary cubes.
+#[test]
+fn aggregates_always_sum_base_descendants() {
+    let mut rng = Rng::seed_from_u64(0x9101);
+    for _ in 0..64 {
+        let ds = random_cube(&mut rng);
         let g = ds.graph();
         for v in 0..g.node_count() {
             let mut expect = vec![0.0; ds.series_len()];
@@ -62,80 +51,81 @@ proptest! {
                 }
             }
             for (a, e) in ds.series(v).values().iter().zip(&expect) {
-                prop_assert!((a - e).abs() < 1e-6 * e.abs().max(1.0));
+                assert!((a - e).abs() < 1e-6 * e.abs().max(1.0));
             }
         }
     }
+}
 
-    /// Derivation: deriving any node from the top node with the
-    /// historical-share weight reproduces totals within SMAPE < 1, and
-    /// derived values scale linearly in the weight.
-    #[test]
-    fn derivation_weights_are_shares(ds in cube_strategy()) {
+/// Derivation: the historical-share weights of all base nodes from the
+/// top node sum to 1.
+#[test]
+fn derivation_weights_are_shares() {
+    let mut rng = Rng::seed_from_u64(0x9102);
+    for _ in 0..64 {
+        let ds = random_cube(&mut rng);
         let g = ds.graph();
         let top = g.top_node();
-        // Weights of all base nodes from top sum to 1 (shares of the sum).
         let total: f64 = g
             .base_nodes()
             .iter()
             .map(|&b| fdc::cube::derivation_weight(&ds, &[top], b))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
     }
+}
 
-    /// The weight variance is non-negative and zero for a node derived
-    /// from itself.
-    #[test]
-    fn weight_variance_invariants(ds in cube_strategy()) {
+/// The weight variance is non-negative and zero for a node derived
+/// from itself.
+#[test]
+fn weight_variance_invariants() {
+    let mut rng = Rng::seed_from_u64(0x9103);
+    for _ in 0..64 {
+        let ds = random_cube(&mut rng);
         let g = ds.graph();
         let top = g.top_node();
         for &b in g.base_nodes() {
             let var = fdc::cube::weight_variance(&ds, &[top], b);
-            prop_assert!(var >= 0.0);
-            prop_assert!(fdc::cube::weight_variance(&ds, &[b], b) < 1e-20);
+            assert!(var >= 0.0);
+            assert!(fdc::cube::weight_variance(&ds, &[b], b) < 1e-20);
         }
     }
+}
 
-    /// SMAPE is symmetric in its arguments, bounded in [0, 1] for
-    /// sign-consistent data, and zero iff forecasts are exact.
-    #[test]
-    fn smape_axioms(
-        actual in proptest::collection::vec(0.01f64..1e6, 1..64),
-        noise in proptest::collection::vec(0.0f64..2.0, 1..64),
-    ) {
-        let n = actual.len().min(noise.len());
-        let actual = &actual[..n];
-        let forecast: Vec<f64> = actual
-            .iter()
-            .zip(&noise[..n])
-            .map(|(a, k)| a * k)
-            .collect();
-        let e = smape(actual, &forecast);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&e));
-        prop_assert!((smape(&forecast, actual) - e).abs() < 1e-12);
-        prop_assert!(smape(actual, actual) == 0.0);
+/// SMAPE is symmetric in its arguments, bounded in [0, 1] for
+/// sign-consistent data, and zero iff forecasts are exact.
+#[test]
+fn smape_axioms() {
+    let mut rng = Rng::seed_from_u64(0x9104);
+    for _ in 0..64 {
+        let n = 1 + rng.usize_below(63);
+        let actual: Vec<f64> = (0..n).map(|_| rng.f64_range(0.01, 1e6)).collect();
+        let forecast: Vec<f64> = actual.iter().map(|a| a * rng.f64_range(0.0, 2.0)).collect();
+        let e = smape(&actual, &forecast);
+        assert!((0.0..=1.0 + 1e-12).contains(&e));
+        assert!((smape(&forecast, &actual) - e).abs() < 1e-12);
+        assert!(smape(&actual, &actual) == 0.0);
     }
+}
 
-    /// Advancing time by one step grows every node series by exactly one
-    /// value and keeps aggregation consistency.
-    #[test]
-    fn advance_time_preserves_consistency(
-        ds in cube_strategy(),
-        new_vals in proptest::collection::vec(0.5f64..100.0, 6),
-    ) {
-        let mut ds = ds;
+/// Advancing time by one step grows every node series by exactly one
+/// value and keeps aggregation consistency.
+#[test]
+fn advance_time_preserves_consistency() {
+    let mut rng = Rng::seed_from_u64(0x9105);
+    for _ in 0..64 {
+        let mut ds = random_cube(&mut rng);
         let base = ds.graph().base_nodes().to_vec();
         let updates: Vec<(usize, f64)> = base
             .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, new_vals[i % new_vals.len()]))
+            .map(|&b| (b, rng.f64_range(0.5, 100.0)))
             .collect();
         let len0 = ds.series_len();
         ds.advance_time(&updates).expect("aligned update");
-        prop_assert_eq!(ds.series_len(), len0 + 1);
+        assert_eq!(ds.series_len(), len0 + 1);
         let top = ds.graph().top_node();
         let expect: f64 = updates.iter().map(|(_, v)| v).sum();
         let got = *ds.series(top).values().last().unwrap();
-        prop_assert!((got - expect).abs() < 1e-9);
+        assert!((got - expect).abs() < 1e-9);
     }
 }
