@@ -22,7 +22,7 @@ fn bench_parse() {
 }
 
 fn bench_query() {
-    let mut db = make_db();
+    let db = make_db();
     let sql = "SELECT time, visitors FROM facts WHERE purpose = 'holiday' AND state = 'NSW' AS OF now() + '4 quarters'";
     bench("forecast_query", || db.query(black_box(sql)).unwrap());
     let agg =
@@ -33,7 +33,7 @@ fn bench_query() {
 }
 
 fn bench_insert_advance() {
-    let mut db = make_db();
+    let db = make_db();
     let base: Vec<usize> = db.dataset().graph().base_nodes().to_vec();
     // Each round inserts a full base batch, which triggers one time
     // advance; the database keeps growing, which is the realistic

@@ -1,0 +1,220 @@
+//! Concurrent forecast-query throughput: sharded engine vs a single
+//! global lock.
+//!
+//! The sharded `F²DB` engine takes `&self` everywhere, so reader
+//! threads query it directly and only contend on the catalog shard
+//! holding the models their queries reference. The baseline wraps the
+//! very same engine in one `Mutex` — the layout every `&mut self` API
+//! forces on its callers — so every call serializes on a global lock.
+//!
+//! Two scenarios, both running the identical pre-generated query log:
+//!
+//! * `warm_reads` — pure reader fan-out over a fully-valid catalog,
+//!   measured over a fixed wall-clock window. This scales with
+//!   physical cores; on a single-core host both engines top out at the
+//!   same CPU-bound ceiling and the interesting number is that
+//!   sharding costs nothing.
+//! * `reestimation` — the headline: every model is invalidated (as a
+//!   batched time advance would), then the reader threads run the
+//!   query log to completion, lazily re-estimating the models they
+//!   reference on the way (§V-B). Re-fit cost is modeled by
+//!   `FitOptions::artificial_stall_us` — an I/O-style stall, as inside
+//!   the DBMS a re-fit scans the stored base history while the CPU
+//!   sits idle. Under the global lock the stalls serialize: every
+//!   reader waits out every re-fit. The sharded single-flight path
+//!   lets re-fits of different models overlap and only blocks readers
+//!   that reference the model being re-fit, so recovery throughput
+//!   scales with the thread count — on any core count, because
+//!   overlapping stalls need no extra cores.
+//!
+//! Usage: `cargo run -p fdc-bench --release --bin concurrent_qps
+//! [--scale n]`. Results land in the fenced `--- metrics ---` JSON
+//! (gauges `bench.concurrent_qps.*`).
+
+use fdc_bench::{emit_metrics, QueryWorkload};
+use fdc_core::{Advisor, AdvisorOptions};
+use fdc_datagen::{generate_cube, GenSpec};
+use fdc_f2db::F2db;
+use fdc_forecast::FitOptions;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Wall-clock window of the warm-read scenario.
+const WINDOW: Duration = Duration::from_millis(400);
+
+/// Stall per model re-fit in the re-estimation scenario (2 ms, the
+/// middle of the paper's Fig. 8(c) cost sweep).
+const REFIT_STALL_US: u64 = 2_000;
+
+/// Invalidate-all/recover rounds per re-estimation measurement.
+const ROUNDS: usize = 3;
+
+/// Runs `threads` readers over `log` for [`WINDOW`] and returns total
+/// queries per second. Each thread cycles through its own slice of the
+/// pre-generated log, so both engines execute identical SQL.
+fn windowed_qps(threads: usize, log: &[String], query: impl Fn(&str) + Sync) -> f64 {
+    let stop = AtomicBool::new(false);
+    let counts: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stop = &stop;
+                let query = &query;
+                scope.spawn(move || {
+                    let mine: Vec<&String> = log.iter().skip(t).step_by(threads).collect();
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for q in &mine {
+                            query(q);
+                            n += 1;
+                        }
+                    }
+                    n
+                })
+            })
+            .collect();
+        std::thread::sleep(WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    counts.iter().sum::<u64>() as f64 / WINDOW.as_secs_f64()
+}
+
+/// Fixed-work recovery: [`ROUNDS`] times, `invalidate` everything and
+/// run the whole log once, partitioned over `threads`. Returns queries
+/// per second of wall time (lazy re-fits included).
+fn recovery_qps(
+    threads: usize,
+    log: &[String],
+    invalidate: impl Fn(),
+    query: impl Fn(&str) + Sync,
+) -> f64 {
+    let mut total = Duration::ZERO;
+    for _ in 0..ROUNDS {
+        invalidate();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let query = &query;
+                scope.spawn(move || {
+                    for q in log.iter().skip(t).step_by(threads) {
+                        query(q);
+                    }
+                });
+            }
+        });
+        total += start.elapsed();
+    }
+    (ROUNDS * log.len()) as f64 / total.as_secs_f64()
+}
+
+fn main() {
+    let (scale, _, _) = fdc_bench::parse_scale_args();
+    let cube = generate_cube(&GenSpec::new(64 * scale, 48, 7));
+    let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
+        .expect("advisor construction")
+        .run();
+
+    let fit = FitOptions {
+        artificial_stall_us: REFIT_STALL_US,
+        ..FitOptions::default()
+    };
+    let sharded = F2db::load(cube.dataset.clone(), &outcome.configuration)
+        .expect("load")
+        .with_fit_options(fit.clone());
+    let single = Mutex::new(
+        F2db::load(cube.dataset.clone(), &outcome.configuration)
+            .expect("load")
+            .with_fit_options(fit),
+    );
+
+    // Pre-generated query log shared by both engines and all threads.
+    let mut wl = QueryWorkload::new(42);
+    let log: Vec<String> = (0..256)
+        .map(|_| wl.next_query(cube.dataset.graph()))
+        .collect();
+    // Warm both engines so every referenced model starts out valid.
+    for q in &log {
+        sharded.query(q).expect("query");
+        single.lock().unwrap().query(q).expect("query");
+    }
+
+    println!(
+        "== Concurrent forecast-query throughput ({} nodes, {} models, {} shards, {} cores) ==",
+        cube.dataset.node_count(),
+        sharded.model_count(),
+        sharded.shard_count(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    println!("\n-- warm_reads (valid catalog, {WINDOW:?} window) --");
+    println!(
+        "{:<9} {:>14} {:>14} {:>9}",
+        "threads", "single-lock", "sharded", "speedup"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let qps_single = windowed_qps(threads, &log, |q| {
+            single.lock().unwrap().query(q).expect("query");
+        });
+        let qps_sharded = windowed_qps(threads, &log, |q| {
+            sharded.query(q).expect("query");
+        });
+        let speedup = qps_sharded / qps_single;
+        println!("{threads:<9} {qps_single:>12.0}/s {qps_sharded:>12.0}/s {speedup:>8.2}x");
+        fdc_obs::gauge(&format!(
+            "bench.concurrent_qps.warm_reads.single_lock.t{threads}"
+        ))
+        .set(qps_single as i64);
+        fdc_obs::gauge(&format!(
+            "bench.concurrent_qps.warm_reads.sharded.t{threads}"
+        ))
+        .set(qps_sharded as i64);
+        fdc_obs::gauge(&format!(
+            "bench.concurrent_qps.warm_reads.speedup_x100.t{threads}"
+        ))
+        .set((speedup * 100.0) as i64);
+    }
+
+    println!("\n-- reestimation (invalidate all, {REFIT_STALL_US} µs stall per re-fit) --");
+    println!(
+        "{:<9} {:>14} {:>14} {:>9}",
+        "threads", "single-lock", "sharded", "speedup"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let qps_single = recovery_qps(
+            threads,
+            &log,
+            || {
+                single.lock().unwrap().invalidate_all();
+            },
+            |q| {
+                single.lock().unwrap().query(q).expect("query");
+            },
+        );
+        let qps_sharded = recovery_qps(
+            threads,
+            &log,
+            || {
+                sharded.invalidate_all();
+            },
+            |q| {
+                sharded.query(q).expect("query");
+            },
+        );
+        let speedup = qps_sharded / qps_single;
+        println!("{threads:<9} {qps_single:>12.0}/s {qps_sharded:>12.0}/s {speedup:>8.2}x");
+        fdc_obs::gauge(&format!(
+            "bench.concurrent_qps.reestimation.single_lock.t{threads}"
+        ))
+        .set(qps_single as i64);
+        fdc_obs::gauge(&format!(
+            "bench.concurrent_qps.reestimation.sharded.t{threads}"
+        ))
+        .set(qps_sharded as i64);
+        fdc_obs::gauge(&format!(
+            "bench.concurrent_qps.reestimation.speedup_x100.t{threads}"
+        ))
+        .set((speedup * 100.0) as i64);
+    }
+    emit_metrics("concurrent_qps");
+}

@@ -71,7 +71,7 @@ fn queries(scale: usize) {
         .run();
 
         for ratio in 1..=10usize {
-            let mut db = F2db::load(cube.dataset.clone(), &outcome.configuration)
+            let db = F2db::load(cube.dataset.clone(), &outcome.configuration)
                 .expect("configuration loads")
                 .with_policy(fdc_f2db::MaintenancePolicy::TimeBased { every: 3 });
             let mut workload = QueryWorkload::new(42);

@@ -16,6 +16,7 @@
 
 use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset, NodeId};
 use fdc_forecast::{FitOptions, ModelSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// The generalized acceptance criterion (Eq. 8).
@@ -89,31 +90,78 @@ impl AcceptanceCriterion {
     }
 }
 
-/// Builds models for the given candidate nodes in parallel, one thread
-/// per candidate (the caller restricts the candidate count to the number
-/// of available processors).
+/// Runs `work` over every item on a bounded pool of at most `parallelism`
+/// worker threads pulling from a shared index. Results come back in input
+/// order, together with the peak number of workers observed inside `work`
+/// simultaneously — the quantity the parallelism-limit test asserts on.
+pub fn run_chunked<T, R, F>(items: &[T], parallelism: usize, work: F) -> (Vec<R>, usize)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = parallelism.max(1).min(items.len());
+    if workers <= 1 {
+        let results: Vec<R> = items.iter().map(&work).collect();
+        return (results, usize::from(!items.is_empty()));
+    }
+    let next = AtomicUsize::new(0);
+    let current = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let running = current.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(running, Ordering::SeqCst);
+                        let r = work(&items[i]);
+                        current.fetch_sub(1, Ordering::SeqCst);
+                        done.push((i, r));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    (results, peak.load(Ordering::SeqCst))
+}
+
+/// Builds models for the given candidate nodes in parallel on at most
+/// `parallelism` worker threads ("the number of nodes n is restricted by
+/// the number of available processors", §IV-B.1).
 pub fn build_models_parallel(
     split: &CubeSplit,
     candidates: &[NodeId],
     spec: &ModelSpec,
     options: &FitOptions,
+    parallelism: usize,
 ) -> Vec<(NodeId, Option<ConfiguredModel>)> {
-    if candidates.len() <= 1 {
+    if candidates.len() <= 1 || parallelism <= 1 {
         return candidates
             .iter()
             .map(|&v| (v, ConfiguredModel::fit(split, v, spec, options).ok()))
             .collect();
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .iter()
-            .map(|&v| scope.spawn(move || (v, ConfiguredModel::fit(split, v, spec, options).ok())))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fit thread panicked"))
-            .collect()
-    })
+    let (models, _peak) = run_chunked(candidates, parallelism, |&v| {
+        ConfiguredModel::fit(split, v, spec, options).ok()
+    });
+    candidates.iter().copied().zip(models).collect()
 }
 
 /// The measured effect of tentatively adding a model at `source`: the new
@@ -295,7 +343,7 @@ mod tests {
         let ds = tourism_proxy(1);
         let split = CubeSplit::new(&ds, 0.8);
         let candidates: Vec<NodeId> = ds.graph().base_nodes()[..4].to_vec();
-        let built = build_models_parallel(&split, &candidates, &spec(), &FitOptions::default());
+        let built = build_models_parallel(&split, &candidates, &spec(), &FitOptions::default(), 4);
         assert_eq!(built.len(), 4);
         for (v, m) in &built {
             assert!(candidates.contains(v));
@@ -308,11 +356,51 @@ mod tests {
         let ds = tourism_proxy(1);
         let split = CubeSplit::new(&ds, 0.8);
         let candidates: Vec<NodeId> = ds.graph().base_nodes()[..3].to_vec();
-        let parallel = build_models_parallel(&split, &candidates, &spec(), &FitOptions::default());
+        let parallel =
+            build_models_parallel(&split, &candidates, &spec(), &FitOptions::default(), 2);
         for (v, m) in parallel {
             let serial = ConfiguredModel::fit(&split, v, &spec(), &FitOptions::default()).unwrap();
             assert_eq!(m.unwrap().test_forecast, serial.test_forecast);
         }
+    }
+
+    #[test]
+    fn chunked_worker_pool_respects_parallelism_limit() {
+        // 16 slow tasks on a limit of 3: the observed peak concurrency
+        // must never exceed the limit, and the slow tasks guarantee the
+        // workers actually overlap (peak > 1).
+        let items: Vec<usize> = (0..16).collect();
+        let (results, peak) = run_chunked(&items, 3, |&i| {
+            std::thread::sleep(Duration::from_millis(10));
+            i * 2
+        });
+        assert_eq!(results, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(peak <= 3, "peak {peak} exceeds the configured limit of 3");
+        assert!(peak >= 2, "workers never overlapped (peak {peak})");
+
+        // Degenerate limits behave: serial execution peaks at one worker.
+        let (serial, peak1) = run_chunked(&items, 1, |&i| i);
+        assert_eq!(serial, items);
+        assert_eq!(peak1, 1);
+        let (none, peak0) = run_chunked::<usize, usize, _>(&[], 4, |&i| i);
+        assert!(none.is_empty());
+        assert_eq!(peak0, 0);
+    }
+
+    #[test]
+    fn parallel_build_with_slow_fits_stays_within_limit() {
+        let ds = tourism_proxy(1);
+        let split = CubeSplit::new(&ds, 0.8);
+        let candidates: Vec<NodeId> = ds.graph().base_nodes()[..6].to_vec();
+        let slow = FitOptions {
+            artificial_cost_us: 5_000,
+            ..FitOptions::default()
+        };
+        let (models, peak) = run_chunked(&candidates, 2, |&v| {
+            ConfiguredModel::fit(&split, v, &spec(), &slow).ok()
+        });
+        assert!(models.iter().all(|m| m.is_some()));
+        assert!(peak <= 2, "peak {peak} exceeds AdvisorOptions-style limit");
     }
 
     #[test]

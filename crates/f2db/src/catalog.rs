@@ -1,19 +1,51 @@
-//! Configuration storage (§V): the two catalog tables of F²DB.
+//! Configuration storage (§V): the two catalog tables of F²DB, sharded
+//! for concurrent access.
 //!
 //! "The first one stores the time series graph and model configuration
 //! (including model assignments, derivation schemes and corresponding
 //! weights), and the second table stores the forecast models itself
 //! including state and parameter values." Here the first table is the
-//! per-node [`CatalogEntry`] array, the second the [`StoredModel`] map;
+//! per-node [`CatalogEntry`] map, the second the [`StoredModel`] map;
 //! both serialize through the binary [`crate::codec`].
+//!
+//! ## Concurrency
+//!
+//! The catalog is split into [`Catalog::shard_count`] shards, each one an
+//! independently `RwLock`-guarded slice of the node space keyed by a
+//! node-id hash. Point queries on different nodes touch different shards
+//! and never contend; the batched time-advance write path takes one shard
+//! write lock at a time instead of a global lock, so readers of other
+//! shards keep flowing while maintenance runs.
+//!
+//! Lazy parameter re-estimation is **single-flight**: when a maintenance
+//! policy has invalidated a model and many concurrent queries reference
+//! it, exactly one thread re-fits (the *leader*); the others wait on the
+//! node's in-flight slot and reuse the result. The dedup is observable in
+//! the `fdc-obs` registry (`f2db.models.reestimated` counts exactly one
+//! re-fit per invalidation epoch, `f2db.reestimate.in_flight` gauges the
+//! fits currently running).
+//!
+//! Consistency model: every individual node read is consistent (shard
+//! locks), and [`Catalog::advance_time`] is serialized by the caller
+//! (F²DB's maintenance processor). A query that spans shards *while* an
+//! advance is in progress may observe a mix of pre- and post-advance
+//! models; callers that need strict serial equivalence (the stress suite)
+//! phase queries and advances with barriers.
 
 use crate::codec::{Decoder, Encoder};
-use crate::maintenance::{MaintenancePolicy, MaintenanceStats};
+use crate::maintenance::MaintenancePolicy;
 use crate::{F2dbError, Result};
 use fdc_cube::{derive_forecast, Configuration, Dataset, NodeId};
 use fdc_forecast::model::restore_model;
 use fdc_forecast::{FitOptions, ForecastModel};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Default number of catalog shards. A modest power of two: enough that 8
+/// reader threads rarely collide, small enough that whole-catalog
+/// operations (encode, advance) stay cheap.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
 
 /// Per-node configuration row: the derivation scheme serving the node.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +66,10 @@ pub struct StoredModel {
     /// Exponentially weighted one-step SMAPE at the model's node, driving
     /// the threshold-based invalidation strategy.
     pub rolling_error: f64,
+    /// Invalidation epoch: incremented every time the model is marked
+    /// invalid. Lets the stress suite assert that one epoch never pays
+    /// for more than one re-estimation.
+    pub epoch: u64,
 }
 
 impl std::fmt::Debug for StoredModel {
@@ -42,22 +78,122 @@ impl std::fmt::Debug for StoredModel {
             .field("name", &self.model.name())
             .field("invalid", &self.invalid)
             .field("rolling_error", &self.rolling_error)
+            .field("epoch", &self.epoch)
             .finish()
     }
 }
 
-/// The catalog: configuration rows + model store + the per-node history
-/// sums needed to update derivation weights incrementally.
+/// One lock-guarded slice of the catalog: the nodes whose id hashes to
+/// this shard, with their configuration rows, models and history sums.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: BTreeMap<NodeId, CatalogEntry>,
+    models: BTreeMap<NodeId, StoredModel>,
+    history_sums: BTreeMap<NodeId, f64>,
+}
+
+/// Tallies of one [`Catalog::advance_time`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceOutcome {
+    /// Incremental model state updates performed.
+    pub model_updates: u64,
+    /// Models newly marked invalid by the policy.
+    pub invalidations: u64,
+}
+
+/// How a [`Catalog::reestimate_single_flight`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reestimation {
+    /// The model was already valid; nothing to do.
+    AlreadyValid,
+    /// This thread was the leader and re-fitted the model.
+    Refit,
+    /// Another thread was already re-fitting; this thread waited on the
+    /// in-flight slot and reused the result.
+    Waited,
+}
+
+/// In-flight slot of a single-flight re-estimation.
+#[derive(Debug)]
+struct InflightSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Running,
+    Done(Option<F2dbError>),
+}
+
+impl InflightSlot {
+    fn new() -> Self {
+        InflightSlot {
+            state: Mutex::new(SlotState::Running),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The sharded catalog: configuration rows + model store + the per-node
+/// history sums needed to update derivation weights incrementally.
 #[derive(Debug)]
 pub struct Catalog {
-    entries: Vec<Option<CatalogEntry>>,
-    models: BTreeMap<NodeId, StoredModel>,
-    history_sums: Vec<f64>,
-    advances: usize,
+    node_count: usize,
+    advances: AtomicU64,
+    shards: Vec<RwLock<Shard>>,
+    inflight: Mutex<HashMap<NodeId, Arc<InflightSlot>>>,
+}
+
+/// Fibonacci-hash of a node id (spreads consecutive ids across shards).
+fn hash_node(node: NodeId) -> u64 {
+    (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl Catalog {
-    /// Builds a catalog from an advisor/baseline configuration.
+    fn empty(node_count: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        fdc_obs::gauge("f2db.catalog.shards").set(shard_count as i64);
+        Catalog {
+            node_count,
+            advances: AtomicU64::new(0),
+            shards: (0..shard_count)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn shard_of(&self, node: NodeId) -> usize {
+        (hash_node(node) % self.shards.len() as u64) as usize
+    }
+
+    /// Read-locks shard `i`, counting contended acquisitions into the
+    /// `f2db.shard.read_contention` metric.
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, Shard> {
+        match self.shards[i].try_read() {
+            Ok(g) => g,
+            Err(_) => {
+                fdc_obs::counter("f2db.shard.read_contention").incr();
+                self.shards[i].read().unwrap()
+            }
+        }
+    }
+
+    /// Write-locks shard `i`, counting contended acquisitions into the
+    /// `f2db.shard.write_contention` metric.
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
+        match self.shards[i].try_write() {
+            Ok(g) => g,
+            Err(_) => {
+                fdc_obs::counter("f2db.shard.write_contention").incr();
+                self.shards[i].write().unwrap()
+            }
+        }
+    }
+
+    /// Builds a catalog from an advisor/baseline configuration with the
+    /// default shard count.
     ///
     /// Every stored model is refit on the node's **full** history (the
     /// advisor evaluated on the training split; deployment forecasts must
@@ -68,25 +204,39 @@ impl Catalog {
         configuration: &Configuration,
         fit: &FitOptions,
     ) -> Result<Self> {
+        Self::from_configuration_sharded(dataset, configuration, fit, DEFAULT_SHARD_COUNT)
+    }
+
+    /// [`Catalog::from_configuration`] with an explicit shard count
+    /// (`1` reproduces a single global lock — the concurrency baseline).
+    pub fn from_configuration_sharded(
+        dataset: &Dataset,
+        configuration: &Configuration,
+        fit: &FitOptions,
+        shard_count: usize,
+    ) -> Result<Self> {
         let n = dataset.node_count();
-        let mut models = BTreeMap::new();
+        let catalog = Catalog::empty(n, shard_count);
+        let history_sums: Vec<f64> = (0..n).map(|v| dataset.series(v).history_sum()).collect();
         for (node, cm) in configuration.models() {
             let model = cm
                 .spec
                 .fit(dataset.series(node), fit)
                 .map_err(|e| F2dbError::Cube(format!("refitting model at node {node}: {e}")))?;
-            models.insert(
+            let mut shard = catalog.shards[catalog.shard_of(node)].write().unwrap();
+            shard.models.insert(
                 node,
                 StoredModel {
                     model,
                     invalid: false,
                     rolling_error: 0.0,
+                    epoch: 0,
                 },
             );
         }
-        let history_sums: Vec<f64> = (0..n).map(|v| dataset.series(v).history_sum()).collect();
-        let mut entries = vec![None; n];
-        for (v, entry) in entries.iter_mut().enumerate() {
+        for v in 0..n {
+            let mut shard = catalog.shards[catalog.shard_of(v)].write().unwrap();
+            shard.history_sums.insert(v, history_sums[v]);
             if let Some(scheme) = &configuration.estimate(v).scheme {
                 let h_s: f64 = scheme.sources.iter().map(|&s| history_sums[s]).sum();
                 let weight = if h_s.abs() < f64::EPSILON {
@@ -94,38 +244,157 @@ impl Catalog {
                 } else {
                     history_sums[v] / h_s
                 };
-                *entry = Some(CatalogEntry {
-                    scheme_sources: scheme.sources.clone(),
-                    weight,
-                });
+                shard.entries.insert(
+                    v,
+                    CatalogEntry {
+                        scheme_sources: scheme.sources.clone(),
+                        weight,
+                    },
+                );
             }
         }
-        Ok(Catalog {
-            entries,
-            models,
-            history_sums,
-            advances: 0,
-        })
+        Ok(catalog)
+    }
+
+    /// Redistributes the catalog over `shard_count` shards (contents and
+    /// on-disk encoding are shard-count independent).
+    pub fn reshard(self, shard_count: usize) -> Self {
+        let advances = self.advances.load(Ordering::SeqCst);
+        let resharded = Catalog::empty(self.node_count, shard_count);
+        resharded.advances.store(advances, Ordering::SeqCst);
+        for old in self.shards {
+            let old = old.into_inner().unwrap();
+            for (node, entry) in old.entries {
+                resharded.shards[resharded.shard_of(node)]
+                    .write()
+                    .unwrap()
+                    .entries
+                    .insert(node, entry);
+            }
+            for (node, stored) in old.models {
+                resharded.shards[resharded.shard_of(node)]
+                    .write()
+                    .unwrap()
+                    .models
+                    .insert(node, stored);
+            }
+            for (node, h) in old.history_sums {
+                resharded.shards[resharded.shard_of(node)]
+                    .write()
+                    .unwrap()
+                    .history_sums
+                    .insert(node, h);
+            }
+        }
+        resharded
     }
 
     /// Number of nodes covered.
     pub fn node_count(&self) -> usize {
-        self.entries.len()
+        self.node_count
+    }
+
+    /// Number of shards the catalog is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of stored models.
     pub fn model_count(&self) -> usize {
-        self.models.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().models.len())
+            .sum()
     }
 
-    /// The configuration row of `node`.
-    pub fn entry(&self, node: NodeId) -> Option<&CatalogEntry> {
-        self.entries.get(node).and_then(|e| e.as_ref())
+    /// The configuration row of `node` (cloned out of its shard).
+    pub fn entry(&self, node: NodeId) -> Option<CatalogEntry> {
+        self.read_shard(self.shard_of(node))
+            .entries
+            .get(&node)
+            .cloned()
     }
 
     /// Whether the model at `node` is marked invalid.
     pub fn is_invalid(&self, node: NodeId) -> bool {
-        self.models.get(&node).is_some_and(|m| m.invalid)
+        self.read_shard(self.shard_of(node))
+            .models
+            .get(&node)
+            .is_some_and(|m| m.invalid)
+    }
+
+    /// Invalidation epoch of the model at `node` (how many times it has
+    /// been marked invalid so far).
+    pub fn epoch(&self, node: NodeId) -> Option<u64> {
+        self.read_shard(self.shard_of(node))
+            .models
+            .get(&node)
+            .map(|m| m.epoch)
+    }
+
+    /// Number of observations the model at `node` has absorbed.
+    pub fn observations(&self, node: NodeId) -> Option<usize> {
+        self.read_shard(self.shard_of(node))
+            .models
+            .get(&node)
+            .map(|m| m.model.observations())
+    }
+
+    /// Rolling one-step SMAPE of the model at `node`.
+    pub fn rolling_error(&self, node: NodeId) -> Option<f64> {
+        self.read_shard(self.shard_of(node))
+            .models
+            .get(&node)
+            .map(|m| m.rolling_error)
+    }
+
+    /// All nodes whose models are currently marked invalid, ascending.
+    pub fn invalid_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap()
+                    .models
+                    .iter()
+                    .filter(|(_, m)| m.invalid)
+                    .map(|(&n, _)| n)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Marks the model at `node` invalid (next referencing query pays for
+    /// a re-estimation). Returns whether the flag changed.
+    pub fn invalidate(&self, node: NodeId) -> bool {
+        let mut shard = self.write_shard(self.shard_of(node));
+        match shard.models.get_mut(&node) {
+            Some(m) if !m.invalid => {
+                m.invalid = true;
+                m.epoch += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks every stored model invalid; returns how many flags changed.
+    pub fn invalidate_all(&self) -> usize {
+        let mut changed = 0;
+        for lock in &self.shards {
+            let mut shard = lock.write().unwrap();
+            for m in shard.models.values_mut() {
+                if !m.invalid {
+                    m.invalid = true;
+                    m.epoch += 1;
+                    changed += 1;
+                }
+            }
+        }
+        changed
     }
 
     /// Computes the forecast of `node` from its scheme and the stored
@@ -133,11 +402,11 @@ impl Catalog {
     /// missing.
     pub fn forecast(&self, node: NodeId, horizon: usize) -> Option<Vec<f64>> {
         let entry = self.entry(node)?;
-        let forecasts: Vec<Vec<f64>> = entry
-            .scheme_sources
-            .iter()
-            .map(|s| self.models.get(s).map(|m| m.model.forecast(horizon)))
-            .collect::<Option<Vec<_>>>()?;
+        let mut forecasts = Vec::with_capacity(entry.scheme_sources.len());
+        for &s in &entry.scheme_sources {
+            let shard = self.read_shard(self.shard_of(s));
+            forecasts.push(shard.models.get(&s)?.model.forecast(horizon));
+        }
         let refs: Vec<&[f64]> = forecasts.iter().map(|f| f.as_slice()).collect();
         Some(derive_forecast(&refs, entry.weight))
     }
@@ -146,73 +415,98 @@ impl Catalog {
     /// model states absorb their node's new actual value, rolling errors
     /// update, derivation weights are refreshed from the new history
     /// sums, and the invalidation policy is applied.
+    ///
+    /// Takes per-shard write locks one at a time (never a global lock);
+    /// the caller (F²DB's maintenance processor) serializes concurrent
+    /// advances.
     pub fn advance_time(
-        &mut self,
+        &self,
         dataset: &Dataset,
         last_index: usize,
         policy: &MaintenancePolicy,
-        stats: &mut MaintenanceStats,
-    ) {
-        self.advances += 1;
-        // Model state updates (incremental, no re-estimation).
-        for (&node, stored) in self.models.iter_mut() {
-            let actual = dataset.series(node).values()[last_index];
-            let predicted = stored.model.forecast(1)[0];
-            let denom = (actual + predicted).abs();
-            let step_err = if denom < f64::EPSILON {
-                0.0
-            } else {
-                (actual - predicted).abs() / denom
-            };
-            stored.rolling_error = 0.8 * stored.rolling_error + 0.2 * step_err;
-            stored.model.update(actual);
-            stats.model_updates += 1;
-        }
-        // History sums and weights.
-        for (v, h) in self.history_sums.iter_mut().enumerate() {
-            *h += dataset.series(v).values()[last_index];
-        }
-        for (v, entry) in self.entries.iter_mut().enumerate() {
-            if let Some(e) = entry {
-                let h_s: f64 = e.scheme_sources.iter().map(|&s| self.history_sums[s]).sum();
-                e.weight = if h_s.abs() < f64::EPSILON {
+    ) -> AdvanceOutcome {
+        let advances = self.advances.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut out = AdvanceOutcome::default();
+        // Pass 1 (per-shard write): model state updates + history sums +
+        // invalidation. No cross-shard data is needed here.
+        for lock in &self.shards {
+            let mut shard = lock.write().unwrap();
+            let shard = &mut *shard;
+            for (&node, stored) in shard.models.iter_mut() {
+                let actual = dataset.series(node).values()[last_index];
+                let predicted = stored.model.forecast(1)[0];
+                let denom = (actual + predicted).abs();
+                let step_err = if denom < f64::EPSILON {
                     0.0
                 } else {
-                    self.history_sums[v] / h_s
+                    (actual - predicted).abs() / denom
                 };
+                stored.rolling_error = 0.8 * stored.rolling_error + 0.2 * step_err;
+                stored.model.update(actual);
+                out.model_updates += 1;
             }
-        }
-        // Invalidation.
-        match policy {
-            MaintenancePolicy::None => {}
-            MaintenancePolicy::TimeBased { every } => {
-                if *every > 0 && self.advances.is_multiple_of(*every) {
-                    for stored in self.models.values_mut() {
-                        if !stored.invalid {
+            for (&node, h) in shard.history_sums.iter_mut() {
+                *h += dataset.series(node).values()[last_index];
+            }
+            match policy {
+                MaintenancePolicy::None => {}
+                MaintenancePolicy::TimeBased { every } => {
+                    if *every > 0 && advances.is_multiple_of(*every as u64) {
+                        for stored in shard.models.values_mut() {
+                            if !stored.invalid {
+                                stored.invalid = true;
+                                stored.epoch += 1;
+                                out.invalidations += 1;
+                            }
+                        }
+                    }
+                }
+                MaintenancePolicy::ThresholdBased { smape_threshold } => {
+                    for stored in shard.models.values_mut() {
+                        if !stored.invalid && stored.rolling_error > *smape_threshold {
                             stored.invalid = true;
-                            stats.invalidations += 1;
+                            stored.epoch += 1;
+                            out.invalidations += 1;
                         }
                     }
                 }
             }
-            MaintenancePolicy::ThresholdBased { smape_threshold } => {
-                for stored in self.models.values_mut() {
-                    if !stored.invalid && stored.rolling_error > *smape_threshold {
-                        stored.invalid = true;
-                        stats.invalidations += 1;
-                    }
-                }
+        }
+        // Pass 2 (per-shard read): snapshot the full history-sum vector.
+        let mut sums = vec![0.0; self.node_count];
+        for lock in &self.shards {
+            let shard = lock.read().unwrap();
+            for (&node, &h) in &shard.history_sums {
+                sums[node] = h;
             }
         }
+        // Pass 3 (per-shard write): refresh derivation weights from the
+        // snapshot (weights need the sums of cross-shard source nodes).
+        for lock in &self.shards {
+            let mut shard = lock.write().unwrap();
+            for (&v, entry) in shard.entries.iter_mut() {
+                let h_s: f64 = entry.scheme_sources.iter().map(|&s| sums[s]).sum();
+                entry.weight = if h_s.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    sums[v] / h_s
+                };
+            }
+        }
+        out
     }
 
     /// Re-estimates the model at `node` on its full current history and
-    /// clears the invalid flag (lazy maintenance, §V).
-    pub fn reestimate(&mut self, node: NodeId, dataset: &Dataset, fit: &FitOptions) -> Result<()> {
-        let stored = self
+    /// clears the invalid flag (lazy maintenance, §V). Unconditional —
+    /// concurrent callers should prefer
+    /// [`Catalog::reestimate_single_flight`].
+    pub fn reestimate(&self, node: NodeId, dataset: &Dataset, fit: &FitOptions) -> Result<()> {
+        let mut shard = self.write_shard(self.shard_of(node));
+        let stored = shard
             .models
             .get_mut(&node)
             .ok_or_else(|| F2dbError::Semantic(format!("no model at node {node}")))?;
+        fit.apply_artificial_cost();
         stored
             .model
             .refit(dataset.series(node), fit)
@@ -222,12 +516,109 @@ impl Catalog {
         Ok(())
     }
 
-    /// Serializes the catalog.
+    /// Re-estimates the model at `node` only if it is still invalid.
+    /// Returns whether a re-fit actually happened.
+    fn reestimate_if_invalid(
+        &self,
+        node: NodeId,
+        dataset: &Dataset,
+        fit: &FitOptions,
+    ) -> Result<bool> {
+        let mut shard = self.write_shard(self.shard_of(node));
+        let stored = shard
+            .models
+            .get_mut(&node)
+            .ok_or_else(|| F2dbError::Semantic(format!("no model at node {node}")))?;
+        if !stored.invalid {
+            return Ok(false);
+        }
+        fit.apply_artificial_cost();
+        stored
+            .model
+            .refit(dataset.series(node), fit)
+            .map_err(|e| F2dbError::Cube(format!("re-estimating node {node}: {e}")))?;
+        stored.invalid = false;
+        stored.rolling_error = 0.0;
+        Ok(true)
+    }
+
+    /// Single-flight lazy re-estimation: when many threads hit the same
+    /// invalidated model, exactly one re-fits; the rest wait on the
+    /// node's in-flight slot and reuse the result. Re-fitting is
+    /// deterministic (full-history refit), so which thread leads does not
+    /// affect the forecasts served afterwards.
+    pub fn reestimate_single_flight(
+        &self,
+        node: NodeId,
+        dataset: &Dataset,
+        fit: &FitOptions,
+    ) -> Result<Reestimation> {
+        let mut waited = false;
+        loop {
+            if !self.is_invalid(node) {
+                return Ok(if waited {
+                    Reestimation::Waited
+                } else {
+                    Reestimation::AlreadyValid
+                });
+            }
+            let (slot, leader) = {
+                let mut map = self.inflight.lock().unwrap();
+                match map.entry(node) {
+                    std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        (Arc::clone(v.insert(Arc::new(InflightSlot::new()))), true)
+                    }
+                }
+            };
+            if leader {
+                let in_flight = fdc_obs::gauge("f2db.reestimate.in_flight");
+                in_flight.incr();
+                let result = self.reestimate_if_invalid(node, dataset, fit);
+                {
+                    let mut state = slot.state.lock().unwrap();
+                    *state = SlotState::Done(result.as_ref().err().cloned());
+                    slot.cv.notify_all();
+                }
+                self.inflight.lock().unwrap().remove(&node);
+                in_flight.decr();
+                return match result {
+                    Ok(true) => Ok(Reestimation::Refit),
+                    Ok(false) => Ok(if waited {
+                        Reestimation::Waited
+                    } else {
+                        Reestimation::AlreadyValid
+                    }),
+                    Err(e) => Err(e),
+                };
+            }
+            let mut state = slot.state.lock().unwrap();
+            while matches!(*state, SlotState::Running) {
+                state = slot.cv.wait(state).unwrap();
+            }
+            if let SlotState::Done(Some(e)) = &*state {
+                return Err(e.clone());
+            }
+            drop(state);
+            waited = true;
+            // Loop: the model is normally valid now; re-check handles the
+            // race where a new invalidation landed in the meantime.
+        }
+    }
+
+    /// Serializes the catalog. The byte layout is canonical (node order)
+    /// and therefore independent of the shard count.
     pub fn encode(&self) -> Vec<u8> {
+        // Lock every shard (ascending index) for a consistent snapshot.
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read().unwrap()).collect();
+        let entry_of = |v: NodeId| guards[self.shard_of(v)].entries.get(&v);
+        let model_of = |v: NodeId| guards[self.shard_of(v)].models.get(&v);
+
         let mut e = Encoder::with_header();
-        e.put_len(self.entries.len());
-        for entry in &self.entries {
-            match entry {
+        e.put_len(self.node_count);
+        for v in 0..self.node_count {
+            match entry_of(v) {
                 None => e.put_u8(0),
                 Some(en) => {
                     e.put_u8(1);
@@ -236,23 +627,41 @@ impl Catalog {
                 }
             }
         }
-        e.put_len(self.models.len());
-        for (&node, stored) in &self.models {
+        let model_nodes: Vec<NodeId> = (0..self.node_count)
+            .filter(|&v| model_of(v).is_some())
+            .collect();
+        e.put_len(model_nodes.len());
+        for &node in &model_nodes {
+            let stored = model_of(node).expect("model listed above");
             e.put_u64(node as u64);
             e.put_u8(stored.invalid as u8);
             e.put_f64(stored.rolling_error);
             e.put_model_state(&stored.model.state());
         }
-        e.put_f64_slice(&self.history_sums);
-        e.put_u64(self.advances as u64);
+        let sums: Vec<f64> = (0..self.node_count)
+            .map(|v| {
+                guards[self.shard_of(v)]
+                    .history_sums
+                    .get(&v)
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        e.put_f64_slice(&sums);
+        e.put_u64(self.advances.load(Ordering::SeqCst));
         e.finish()
     }
 
-    /// Deserializes a catalog.
+    /// Deserializes a catalog into the default shard count.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_sharded(bytes, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Deserializes a catalog into an explicit shard count.
+    pub fn decode_sharded(bytes: &[u8], shard_count: usize) -> Result<Self> {
         let mut d = Decoder::with_header(bytes)?;
         let n = d.get_len()?;
-        let mut entries = Vec::with_capacity(n);
+        let mut entries: Vec<Option<CatalogEntry>> = Vec::with_capacity(n);
         for _ in 0..n {
             match d.get_u8()? {
                 0 => entries.push(None),
@@ -282,20 +691,37 @@ impl Catalog {
                     model,
                     invalid,
                     rolling_error,
+                    epoch: u64::from(invalid),
                 },
             );
         }
         let history_sums = d.get_f64_vec()?;
-        let advances = d.get_u64()? as usize;
+        let advances = d.get_u64()?;
         if history_sums.len() != entries.len() {
             return Err(F2dbError::Storage("inconsistent catalog arrays".into()));
         }
-        Ok(Catalog {
-            entries,
-            models,
-            history_sums,
-            advances,
-        })
+        let catalog = Catalog::empty(n, shard_count);
+        catalog.advances.store(advances, Ordering::SeqCst);
+        for (v, entry) in entries.into_iter().enumerate() {
+            let mut shard = catalog.shards[catalog.shard_of(v)].write().unwrap();
+            shard.history_sums.insert(v, history_sums[v]);
+            if let Some(en) = entry {
+                shard.entries.insert(v, en);
+            }
+        }
+        for (node, stored) in models {
+            if node >= n {
+                return Err(F2dbError::Storage(format!(
+                    "model at node {node} outside catalog of {n} nodes"
+                )));
+            }
+            catalog.shards[catalog.shard_of(node)]
+                .write()
+                .unwrap()
+                .models
+                .insert(node, stored);
+        }
+        Ok(catalog)
     }
 }
 
@@ -329,6 +755,7 @@ mod tests {
     fn catalog_serves_every_configured_node() {
         let (ds, catalog) = catalog_fixture();
         assert_eq!(catalog.model_count(), 1);
+        assert_eq!(catalog.shard_count(), DEFAULT_SHARD_COUNT);
         for v in 0..ds.node_count() {
             let fc = catalog.forecast(v, 4).expect("every node has a scheme");
             assert_eq!(fc.len(), 4);
@@ -349,12 +776,9 @@ mod tests {
 
     #[test]
     fn advance_time_updates_models_and_weights() {
-        let (mut ds, mut catalog) = catalog_fixture();
+        let (mut ds, catalog) = catalog_fixture();
         let top = ds.graph().top_node();
-        let obs_before = {
-            let m = catalog.models.get(&top).unwrap();
-            m.model.observations()
-        };
+        let obs_before = catalog.observations(top).unwrap();
         let new: Vec<(NodeId, f64)> = ds
             .graph()
             .base_nodes()
@@ -362,18 +786,9 @@ mod tests {
             .map(|&b| (b, 500.0))
             .collect();
         ds.advance_time(&new).unwrap();
-        let mut stats = MaintenanceStats::default();
-        catalog.advance_time(
-            &ds,
-            ds.series_len() - 1,
-            &MaintenancePolicy::None,
-            &mut stats,
-        );
-        assert_eq!(stats.model_updates, 1);
-        assert_eq!(
-            catalog.models.get(&top).unwrap().model.observations(),
-            obs_before + 1
-        );
+        let out = catalog.advance_time(&ds, ds.series_len() - 1, &MaintenancePolicy::None);
+        assert_eq!(out.model_updates, 1);
+        assert_eq!(catalog.observations(top).unwrap(), obs_before + 1);
         // Weight of an equally-sized base on the total drifts toward 1/32.
         let base = ds.graph().base_nodes()[0];
         let e = catalog.entry(base).unwrap();
@@ -383,9 +798,9 @@ mod tests {
 
     #[test]
     fn time_based_policy_invalidates_periodically() {
-        let (mut ds, mut catalog) = catalog_fixture();
+        let (mut ds, catalog) = catalog_fixture();
         let policy = MaintenancePolicy::TimeBased { every: 2 };
-        let mut stats = MaintenanceStats::default();
+        let mut invalidations = 0;
         for round in 1..=4 {
             let new: Vec<(NodeId, f64)> = ds
                 .graph()
@@ -394,10 +809,13 @@ mod tests {
                 .map(|&b| (b, 100.0))
                 .collect();
             ds.advance_time(&new).unwrap();
-            catalog.advance_time(&ds, ds.series_len() - 1, &policy, &mut stats);
+            invalidations += catalog
+                .advance_time(&ds, ds.series_len() - 1, &policy)
+                .invalidations;
             let top = ds.graph().top_node();
             if round == 2 {
                 assert!(catalog.is_invalid(top));
+                assert_eq!(catalog.epoch(top), Some(1));
                 // Re-estimate to observe the next invalidation.
                 catalog
                     .reestimate(top, &ds, &FitOptions::default())
@@ -405,16 +823,16 @@ mod tests {
                 assert!(!catalog.is_invalid(top));
             }
         }
-        assert_eq!(stats.invalidations, 2);
+        assert_eq!(invalidations, 2);
     }
 
     #[test]
     fn threshold_policy_reacts_to_bad_forecasts() {
-        let (mut ds, mut catalog) = catalog_fixture();
+        let (mut ds, catalog) = catalog_fixture();
         let policy = MaintenancePolicy::ThresholdBased {
             smape_threshold: 0.15,
         };
-        let mut stats = MaintenanceStats::default();
+        let mut invalidations = 0;
         // Feed absurd values so the one-step error explodes. The rolling
         // error is an EWMA with weight 0.2, so a single fully-wrong step
         // (SMAPE ≈ 1) pushes it to ≈ 0.2 — above the threshold.
@@ -422,10 +840,12 @@ mod tests {
             let new: Vec<(NodeId, f64)> =
                 ds.graph().base_nodes().iter().map(|&b| (b, 1e6)).collect();
             ds.advance_time(&new).unwrap();
-            catalog.advance_time(&ds, ds.series_len() - 1, &policy, &mut stats);
+            invalidations += catalog
+                .advance_time(&ds, ds.series_len() - 1, &policy)
+                .invalidations;
         }
         assert!(catalog.is_invalid(ds.graph().top_node()));
-        assert!(stats.invalidations >= 1);
+        assert!(invalidations >= 1);
     }
 
     #[test]
@@ -442,6 +862,19 @@ mod tests {
     }
 
     #[test]
+    fn encoding_is_shard_count_independent() {
+        let (_, catalog) = catalog_fixture();
+        let bytes = catalog.encode();
+        for shards in [1, 3, 7, 64] {
+            let re = Catalog::decode_sharded(&bytes, shards).unwrap();
+            assert_eq!(re.shard_count(), shards);
+            assert_eq!(re.encode(), bytes, "{shards}-shard layout changed bytes");
+        }
+        let resharded = Catalog::decode(&bytes).unwrap().reshard(5);
+        assert_eq!(resharded.encode(), bytes);
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(Catalog::decode(b"garbage").is_err());
         let (_, catalog) = catalog_fixture();
@@ -451,7 +884,54 @@ mod tests {
 
     #[test]
     fn reestimate_unknown_node_fails() {
-        let (ds, mut catalog) = catalog_fixture();
+        let (ds, catalog) = catalog_fixture();
         assert!(catalog.reestimate(0, &ds, &FitOptions::default()).is_err());
+        assert!(catalog
+            .reestimate_single_flight(ds.graph().top_node(), &ds, &FitOptions::default())
+            .is_ok());
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_reestimation() {
+        let (ds, catalog) = catalog_fixture();
+        let top = ds.graph().top_node();
+        assert!(catalog.invalidate(top));
+        assert!(!catalog.invalidate(top), "already invalid");
+        assert_eq!(catalog.epoch(top), Some(1));
+
+        let fit = FitOptions::default();
+        let outcomes: Vec<Reestimation> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        catalog
+                            .reestimate_single_flight(top, &ds, &fit)
+                            .expect("re-estimation succeeds")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let refits = outcomes
+            .iter()
+            .filter(|o| **o == Reestimation::Refit)
+            .count();
+        assert_eq!(refits, 1, "exactly one leader per epoch: {outcomes:?}");
+        assert!(!catalog.is_invalid(top));
+        // A second epoch pays for exactly one more re-fit.
+        catalog.invalidate(top);
+        assert_eq!(catalog.epoch(top), Some(2));
+        assert_eq!(
+            catalog.reestimate_single_flight(top, &ds, &fit).unwrap(),
+            Reestimation::Refit
+        );
+    }
+
+    #[test]
+    fn invalidate_all_flags_every_model() {
+        let (_, catalog) = catalog_fixture();
+        assert_eq!(catalog.invalidate_all(), catalog.model_count());
+        assert_eq!(catalog.invalidate_all(), 0);
+        assert_eq!(catalog.invalid_nodes().len(), catalog.model_count());
     }
 }

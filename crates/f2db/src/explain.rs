@@ -85,8 +85,18 @@ pub struct ExplainReport {
     pub total_elapsed: Option<Duration>,
 }
 
-impl std::fmt::Display for ExplainReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl ExplainReport {
+    /// Renders the report like `Display`, but with every wall-clock field
+    /// replaced by `<masked>`. Timings vary run to run; everything else in
+    /// the plan is deterministic, which makes this form snapshot-testable.
+    pub fn to_masked_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, true)
+            .expect("String sink never fails");
+        out
+    }
+
+    fn render(&self, f: &mut dyn std::fmt::Write, mask_timings: bool) -> std::fmt::Result {
         writeln!(
             f,
             "Forecast Plan (horizon: {} steps, aggregate: {:?})",
@@ -99,6 +109,7 @@ impl std::fmt::Display for ExplainReport {
                 row.label, row.scheme_kind, row.weight
             )?;
             match &row.analysis {
+                Some(_) if mask_timings => writeln!(f, "  (actual time: <masked>)")?,
                 Some(a) => writeln!(f, "  (actual time: {:.1?})", a.elapsed)?,
                 None => writeln!(f)?,
             }
@@ -137,9 +148,21 @@ impl std::fmt::Display for ExplainReport {
             }
         }
         if let Some(total) = self.total_elapsed {
-            writeln!(f, "Execution time: {total:.1?}")?;
+            if mask_timings {
+                writeln!(f, "Execution time: <masked>")?;
+            } else {
+                writeln!(f, "Execution time: {total:.1?}")?;
+            }
         }
         Ok(())
+    }
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.render(&mut out, false)?;
+        f.write_str(&out)
     }
 }
 
@@ -201,5 +224,11 @@ mod tests {
         assert!(text.contains("re-estimated"), "{text}");
         assert!(text.contains("values: [10.500, 11.250]"), "{text}");
         assert!(text.contains("Execution time"), "{text}");
+
+        let masked = report.to_masked_string();
+        assert!(masked.contains("actual time: <masked>"), "{masked}");
+        assert!(masked.contains("Execution time: <masked>"), "{masked}");
+        assert!(!masked.contains("42"), "{masked}");
+        assert!(masked.contains("values: [10.500, 11.250]"), "{masked}");
     }
 }

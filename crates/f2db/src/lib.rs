@@ -22,6 +22,17 @@
 //!   re-estimation is deferred until an invalid model is actually
 //!   referenced by a query.
 //!
+//! ## Concurrency
+//!
+//! Every `F2db` method takes `&self`; the engine is safe to share across
+//! threads (`Arc<F2db>` or scoped borrows). Internally the catalog is
+//! sharded by node-id hash ([`catalog`]), lazy re-estimation is
+//! single-flight (one re-fit per invalidation epoch, concurrent queries
+//! wait and reuse the result), and inserts/time advances form a batched
+//! write path taking per-shard write locks. See DESIGN.md for the lock
+//! order and the serial-equivalence argument behind the stress suite in
+//! `tests/concurrency_stress.rs`.
+//!
 //! Substitution note (see DESIGN.md): the paper hosts this inside
 //! PostgreSQL; the embedded engine exercises the identical logic — what
 //! is stored, how queries resolve, when models are maintained — without
@@ -36,7 +47,7 @@
 //!
 //! let cube = generate_cube(&GenSpec::new(8, 36, 2));
 //! let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default()).unwrap().run();
-//! let mut db = F2db::load(cube.dataset, &outcome.configuration).unwrap();
+//! let db = F2db::load(cube.dataset, &outcome.configuration).unwrap();
 //! let result = db
 //!     .query("SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'")
 //!     .unwrap();
@@ -50,16 +61,18 @@ pub mod maintenance;
 pub mod parser;
 pub mod query;
 
-pub use catalog::{Catalog, CatalogEntry, StoredModel};
+pub use catalog::{
+    AdvanceOutcome, Catalog, CatalogEntry, Reestimation, StoredModel, DEFAULT_SHARD_COUNT,
+};
 pub use explain::{ExplainReport, ExplainRow, ExplainSource, NodeAnalysis, SourceModelState};
-pub use maintenance::{MaintenancePolicy, MaintenanceStats};
+pub use maintenance::{MaintenancePolicy, MaintenanceStats, SharedMaintenanceStats};
 pub use parser::parse_query;
 pub use query::{AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, Statement};
 
 use fdc_cube::{Configuration, Dataset, NodeId, NodeQuery};
 use fdc_forecast::FitOptions;
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 /// Errors raised by the database layer.
@@ -98,14 +111,22 @@ impl From<fdc_cube::CubeError> for F2dbError {
 pub type Result<T> = std::result::Result<T, F2dbError>;
 
 /// The embedded flash-forward database.
+///
+/// All methods take `&self`; share it across threads with `Arc` or scoped
+/// borrows. Lock order (see DESIGN.md): `advance_lock` → `dataset` →
+/// catalog shard. Callers holding the [`F2db::dataset`] guard must drop
+/// it before calling a write path ([`F2db::insert_value`]) from the same
+/// thread.
 pub struct F2db {
-    dataset: Dataset,
-    catalog: RwLock<Catalog>,
+    dataset: RwLock<Dataset>,
+    catalog: Catalog,
     /// Batched inserts awaiting a complete next time stamp.
-    pending: HashMap<NodeId, f64>,
+    pending: Mutex<HashMap<NodeId, f64>>,
+    /// Serializes time advances (inserts completing a time stamp).
+    advance_lock: Mutex<()>,
     policy: MaintenancePolicy,
     fit: FitOptions,
-    stats: MaintenanceStats,
+    stats: SharedMaintenanceStats,
 }
 
 impl F2db {
@@ -116,12 +137,13 @@ impl F2db {
     pub fn load(dataset: Dataset, configuration: &Configuration) -> Result<Self> {
         let catalog = Catalog::from_configuration(&dataset, configuration, &FitOptions::default())?;
         Ok(F2db {
-            dataset,
-            catalog: RwLock::new(catalog),
-            pending: HashMap::new(),
+            dataset: RwLock::new(dataset),
+            catalog,
+            pending: Mutex::new(HashMap::new()),
+            advance_lock: Mutex::new(()),
             policy: MaintenancePolicy::default(),
             fit: FitOptions::default(),
-            stats: MaintenanceStats::default(),
+            stats: SharedMaintenanceStats::default(),
         })
     }
 
@@ -137,24 +159,60 @@ impl F2db {
         self
     }
 
-    /// The underlying data set.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// Redistributes the catalog over `shards` shards. `1` reproduces a
+    /// single global catalog lock — the concurrency baseline.
+    pub fn with_shards(self, shards: usize) -> Self {
+        let F2db {
+            dataset,
+            catalog,
+            pending,
+            advance_lock,
+            policy,
+            fit,
+            stats,
+        } = self;
+        F2db {
+            dataset,
+            catalog: catalog.reshard(shards),
+            pending,
+            advance_lock,
+            policy,
+            fit,
+            stats,
+        }
     }
 
-    /// Maintenance and query statistics.
-    pub fn stats(&self) -> &MaintenanceStats {
-        &self.stats
+    /// Read access to the underlying data set. Holds a read lock for the
+    /// guard's lifetime — drop it before calling an insert path from the
+    /// same thread.
+    pub fn dataset(&self) -> RwLockReadGuard<'_, Dataset> {
+        self.dataset.read().unwrap()
+    }
+
+    /// A point-in-time snapshot of the maintenance and query statistics.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats.snapshot()
     }
 
     /// Number of models stored in the catalog.
     pub fn model_count(&self) -> usize {
-        self.catalog.read().unwrap().model_count()
+        self.catalog.model_count()
+    }
+
+    /// Number of catalog shards.
+    pub fn shard_count(&self) -> usize {
+        self.catalog.shard_count()
+    }
+
+    /// The sharded catalog itself — read-only diagnostics (invalid flags,
+    /// invalidation epochs, shard count) for tools and test harnesses.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
     /// Executes a semicolon-separated script of statements, stopping at
     /// the first error. Returns one result per executed statement.
-    pub fn execute_script(&mut self, script: &str) -> Result<Vec<QueryResult>> {
+    pub fn execute_script(&self, script: &str) -> Result<Vec<QueryResult>> {
         // Strip `--` comment lines first so a comment above a statement
         // does not swallow it.
         let cleaned: String = script
@@ -174,7 +232,7 @@ impl F2db {
     }
 
     /// Executes a SQL statement (forecast query or insert).
-    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         match parse_query(sql)? {
             Statement::Forecast(q) => self.run_forecast(&q),
             Statement::Explain { .. } => Err(F2dbError::Semantic(
@@ -190,7 +248,7 @@ impl F2db {
 
     /// Executes a forecast query (convenience wrapper around
     /// [`F2db::execute`] that rejects non-query statements).
-    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
         match parse_query(sql)? {
             Statement::Forecast(q) => self.run_forecast(&q),
             Statement::Explain { .. } => Err(F2dbError::Semantic(
@@ -223,66 +281,8 @@ impl F2db {
                 return Err(F2dbError::Semantic("cannot EXPLAIN an INSERT".into()));
             }
         };
-        let horizon = q
-            .horizon
-            .steps(self.dataset.series(0).granularity())
-            .ok_or_else(|| {
-                F2dbError::Semantic(format!(
-                    "horizon unit {:?} is finer than the data granularity",
-                    q.horizon
-                ))
-            })?;
-        let nodes = self
-            .node_query(&q)?
-            .resolve(self.dataset.graph())
-            .map_err(|e| F2dbError::Semantic(e.to_string()))?;
-        let g = self.dataset.graph();
-        let catalog = self.catalog.read().unwrap();
-        let mut rows = Vec::with_capacity(nodes.len());
-        for &n in &nodes {
-            let label = g.coord(n).display(g.schema());
-            match catalog.entry(n) {
-                Some(entry) => {
-                    let kind = match fdc_cube::derive::classify_scheme(
-                        &self.dataset,
-                        &entry.scheme_sources,
-                        n,
-                    ) {
-                        fdc_cube::SchemeKind::Direct => "direct",
-                        fdc_cube::SchemeKind::Aggregation => "aggregation",
-                        fdc_cube::SchemeKind::Disaggregation => "disaggregation",
-                        fdc_cube::SchemeKind::General => "general",
-                    };
-                    let sources = entry
-                        .scheme_sources
-                        .iter()
-                        .map(|&s| ExplainSource {
-                            label: g.coord(s).display(g.schema()),
-                            invalid: catalog.is_invalid(s),
-                        })
-                        .collect();
-                    rows.push(ExplainRow {
-                        node: n,
-                        label,
-                        scheme_kind: kind,
-                        sources,
-                        weight: entry.weight,
-                        analysis: None,
-                    });
-                }
-                None => {
-                    return Err(F2dbError::Semantic(format!(
-                        "node {label} has no derivation scheme in the configuration"
-                    )));
-                }
-            }
-        }
-        Ok(ExplainReport {
-            horizon,
-            aggregate: q.aggregate,
-            rows,
-            total_elapsed: None,
-        })
+        let ds = self.dataset.read().unwrap();
+        self.plan_report(&ds, &q)
     }
 
     /// `EXPLAIN ANALYZE`: produces the same plan as [`F2db::explain`] but
@@ -295,7 +295,7 @@ impl F2db {
     /// Counts as a real query for maintenance statistics and latency
     /// metrics — the lazy re-estimation it triggers is identical to what
     /// the query processor would do.
-    pub fn explain_analyze(&mut self, sql: &str) -> Result<ExplainReport> {
+    pub fn explain_analyze(&self, sql: &str) -> Result<ExplainReport> {
         let _span = fdc_obs::span!("f2db.explain_analyze");
         let q = match parse_query(sql)? {
             Statement::Forecast(q) | Statement::Explain { query: q, .. } => q,
@@ -304,53 +304,36 @@ impl F2db {
             }
         };
         let started = Instant::now();
+        let ds = self.dataset.read().unwrap();
         // Static plan first (sources, kinds, weights, pre-execution
         // invalid flags).
-        let mut report = self.plan_report(&q)?;
+        let mut report = self.plan_report(&ds, &q)?;
         let horizon = report.horizon;
 
         // Execute: lazily re-estimate every invalid source referenced by
         // the plan, recording which ones this query paid for.
-        let mut reestimated: Vec<NodeId> = Vec::new();
-        {
-            let mut catalog = self.catalog.write().unwrap();
-            let mut referenced: Vec<NodeId> = Vec::new();
-            for row in &report.rows {
-                if let Some(entry) = catalog.entry(row.node) {
-                    referenced.extend(entry.scheme_sources.iter().copied());
-                }
-            }
-            referenced.sort_unstable();
-            referenced.dedup();
-            for s in referenced {
-                if catalog.is_invalid(s) {
-                    catalog.reestimate(s, &self.dataset, &self.fit)?;
-                    self.stats.reestimations += 1;
-                    fdc_obs::counter("f2db.models.reestimated").incr();
-                    reestimated.push(s);
-                } else {
-                    fdc_obs::counter("f2db.models.cached").incr();
-                }
-            }
-        }
+        let nodes: Vec<NodeId> = report.rows.iter().map(|r| r.node).collect();
+        let reestimated = self.reestimate_referenced(&ds, &nodes)?;
 
-        let catalog = self.catalog.read().unwrap();
         for row in &mut report.rows {
             let node_started = Instant::now();
-            let mut values = catalog.forecast(row.node, horizon).ok_or_else(|| {
+            let mut values = self.catalog.forecast(row.node, horizon).ok_or_else(|| {
                 F2dbError::Semantic(format!(
                     "node {} has no derivation scheme in the configuration",
                     row.label
                 ))
             })?;
             if q.aggregate == query::AggregateFn::Avg {
-                let count = self.dataset.graph().base_descendants(row.node).len().max(1) as f64;
+                let count = ds.graph().base_descendants(row.node).len().max(1) as f64;
                 for v in &mut values {
                     *v /= count;
                 }
             }
             let elapsed = node_started.elapsed();
-            let entry = catalog.entry(row.node).expect("planned node has an entry");
+            let entry = self
+                .catalog
+                .entry(row.node)
+                .expect("planned node has an entry");
             let source_states = entry
                 .scheme_sources
                 .iter()
@@ -368,11 +351,9 @@ impl F2db {
                 values,
             });
         }
-        drop(catalog);
         let total = started.elapsed();
         report.total_elapsed = Some(total);
-        self.stats.queries += 1;
-        self.stats.total_query_time += total;
+        self.stats.record_query(total);
         fdc_obs::counter("f2db.queries").incr();
         fdc_obs::counter("f2db.explain_analyze").incr();
         fdc_obs::histogram("f2db.query.ns").record_duration(total);
@@ -381,32 +362,24 @@ impl F2db {
 
     /// Builds the static plan of `q` (shared by [`F2db::explain`] and
     /// [`F2db::explain_analyze`]).
-    fn plan_report(&self, q: &ForecastQuery) -> Result<ExplainReport> {
-        let horizon = q
-            .horizon
-            .steps(self.dataset.series(0).granularity())
-            .ok_or_else(|| {
-                F2dbError::Semantic(format!(
-                    "horizon unit {:?} is finer than the data granularity",
-                    q.horizon
-                ))
-            })?;
-        let nodes = self
-            .node_query(q)?
-            .resolve(self.dataset.graph())
+    fn plan_report(&self, ds: &Dataset, q: &ForecastQuery) -> Result<ExplainReport> {
+        let horizon = q.horizon.steps(ds.series(0).granularity()).ok_or_else(|| {
+            F2dbError::Semantic(format!(
+                "horizon unit {:?} is finer than the data granularity",
+                q.horizon
+            ))
+        })?;
+        let nodes = Self::node_query(ds, q)?
+            .resolve(ds.graph())
             .map_err(|e| F2dbError::Semantic(e.to_string()))?;
-        let g = self.dataset.graph();
-        let catalog = self.catalog.read().unwrap();
+        let g = ds.graph();
         let mut rows = Vec::with_capacity(nodes.len());
         for &n in &nodes {
             let label = g.coord(n).display(g.schema());
-            match catalog.entry(n) {
+            match self.catalog.entry(n) {
                 Some(entry) => {
-                    let kind = match fdc_cube::derive::classify_scheme(
-                        &self.dataset,
-                        &entry.scheme_sources,
-                        n,
-                    ) {
+                    let kind = match fdc_cube::derive::classify_scheme(ds, &entry.scheme_sources, n)
+                    {
                         fdc_cube::SchemeKind::Direct => "direct",
                         fdc_cube::SchemeKind::Aggregation => "aggregation",
                         fdc_cube::SchemeKind::Disaggregation => "disaggregation",
@@ -417,7 +390,7 @@ impl F2db {
                         .iter()
                         .map(|&s| ExplainSource {
                             label: g.coord(s).display(g.schema()),
-                            invalid: catalog.is_invalid(s),
+                            invalid: self.catalog.is_invalid(s),
                         })
                         .collect();
                     rows.push(ExplainRow {
@@ -444,74 +417,78 @@ impl F2db {
         })
     }
 
-    fn run_forecast(&mut self, q: &ForecastQuery) -> Result<QueryResult> {
+    /// Lazily re-estimates every invalid model referenced by the
+    /// derivation schemes of `nodes` (§V maintenance processor). Uses the
+    /// catalog's single-flight slot per node, so under concurrency each
+    /// invalidation epoch pays for exactly one re-fit. Returns the
+    /// sources this call was the leader for, sorted ascending.
+    fn reestimate_referenced(&self, ds: &Dataset, nodes: &[NodeId]) -> Result<Vec<NodeId>> {
+        let mut referenced: Vec<NodeId> = Vec::new();
+        for &n in nodes {
+            if let Some(entry) = self.catalog.entry(n) {
+                referenced.extend(entry.scheme_sources.iter().copied());
+            }
+        }
+        referenced.sort_unstable();
+        referenced.dedup();
+        let mut refitted = Vec::new();
+        for s in referenced {
+            if self.catalog.is_invalid(s) {
+                match self.catalog.reestimate_single_flight(s, ds, &self.fit)? {
+                    Reestimation::Refit => {
+                        self.stats.record_reestimation();
+                        fdc_obs::counter("f2db.models.reestimated").incr();
+                        refitted.push(s);
+                    }
+                    Reestimation::AlreadyValid | Reestimation::Waited => {
+                        fdc_obs::counter("f2db.models.cached").incr();
+                    }
+                }
+            } else {
+                fdc_obs::counter("f2db.models.cached").incr();
+            }
+        }
+        Ok(refitted)
+    }
+
+    fn run_forecast(&self, q: &ForecastQuery) -> Result<QueryResult> {
         let _span = fdc_obs::span!("f2db.query");
         let started = Instant::now();
-        let horizon = q
-            .horizon
-            .steps(self.dataset.series(0).granularity())
-            .ok_or_else(|| {
-                F2dbError::Semantic(format!(
-                    "horizon unit {:?} is finer than the data granularity",
-                    q.horizon
-                ))
-            })?;
-        let node_query = self.node_query(q)?;
-        let nodes = node_query
-            .resolve(self.dataset.graph())
+        let ds = self.dataset.read().unwrap();
+        let horizon = q.horizon.steps(ds.series(0).granularity()).ok_or_else(|| {
+            F2dbError::Semantic(format!(
+                "horizon unit {:?} is finer than the data granularity",
+                q.horizon
+            ))
+        })?;
+        let nodes = Self::node_query(&ds, q)?
+            .resolve(ds.graph())
             .map_err(|e| F2dbError::Semantic(e.to_string()))?;
 
         // Lazy re-estimation: queries referencing invalid models trigger
         // parameter re-estimation now (§V maintenance processor).
-        {
-            let mut catalog = self.catalog.write().unwrap();
-            let mut referenced: Vec<NodeId> = Vec::new();
-            for &n in &nodes {
-                if let Some(entry) = catalog.entry(n) {
-                    referenced.extend(entry.scheme_sources.iter().copied());
-                }
-            }
-            referenced.sort_unstable();
-            referenced.dedup();
-            for s in referenced {
-                if catalog.is_invalid(s) {
-                    catalog.reestimate(s, &self.dataset, &self.fit)?;
-                    self.stats.reestimations += 1;
-                    fdc_obs::counter("f2db.models.reestimated").incr();
-                } else {
-                    fdc_obs::counter("f2db.models.cached").incr();
-                }
-            }
-        }
+        self.reestimate_referenced(&ds, &nodes)?;
 
-        let catalog = self.catalog.read().unwrap();
         let mut rows = Vec::with_capacity(nodes.len());
-        let now = self.dataset.series(0).end();
+        let now = ds.series(0).end();
         for &n in &nodes {
-            let mut forecasts = catalog.forecast(n, horizon).ok_or_else(|| {
+            let mut forecasts = self.catalog.forecast(n, horizon).ok_or_else(|| {
                 F2dbError::Semantic(format!(
                     "node {} has no derivation scheme in the configuration",
-                    self.dataset
-                        .graph()
-                        .coord(n)
-                        .display(self.dataset.graph().schema())
+                    ds.graph().coord(n).display(ds.graph().schema())
                 ))
             })?;
             if q.aggregate == query::AggregateFn::Avg {
                 // AVG = SUM / number of base series under the node (series
                 // are aligned, so the count is constant over time).
-                let count = self.dataset.graph().base_descendants(n).len().max(1) as f64;
+                let count = ds.graph().base_descendants(n).len().max(1) as f64;
                 for v in &mut forecasts {
                     *v /= count;
                 }
             }
             rows.push(QueryRow {
                 node: n,
-                label: self
-                    .dataset
-                    .graph()
-                    .coord(n)
-                    .display(self.dataset.graph().schema()),
+                label: ds.graph().coord(n).display(ds.graph().schema()),
                 values: forecasts
                     .into_iter()
                     .enumerate()
@@ -519,16 +496,15 @@ impl F2db {
                     .collect(),
             });
         }
-        drop(catalog);
+        drop(ds);
         let elapsed = started.elapsed();
-        self.stats.queries += 1;
-        self.stats.total_query_time += elapsed;
+        self.stats.record_query(elapsed);
         fdc_obs::counter("f2db.queries").incr();
         fdc_obs::histogram("f2db.query.ns").record_duration(elapsed);
         Ok(QueryResult { rows })
     }
 
-    fn node_query(&self, q: &ForecastQuery) -> Result<NodeQuery> {
+    fn node_query(ds: &Dataset, q: &ForecastQuery) -> Result<NodeQuery> {
         use fdc_cube::DimSelector;
         let mut predicates: Vec<(&str, DimSelector)> = Vec::new();
         for (dim, value) in &q.predicates {
@@ -537,37 +513,38 @@ impl F2db {
         for dim in &q.group_dims {
             predicates.push((dim.as_str(), DimSelector::GroupBy));
         }
-        NodeQuery::from_predicates(self.dataset.graph(), &predicates)
+        NodeQuery::from_predicates(ds.graph(), &predicates)
             .map_err(|e| F2dbError::Semantic(e.to_string()))
     }
 
     /// Inserts one new observation for the base series identified by its
     /// dimension values (in schema order). Returns `true` when the insert
     /// completed a time stamp and the graph advanced.
-    pub fn insert_row(&mut self, dim_values: &[String], measure: f64) -> Result<bool> {
-        let schema = self.dataset.graph().schema();
-        if dim_values.len() != schema.dim_count() {
-            return Err(F2dbError::Semantic(format!(
-                "INSERT carries {} dimension values, schema has {}",
-                dim_values.len(),
-                schema.dim_count()
-            )));
-        }
-        let mut coord = Vec::with_capacity(dim_values.len());
-        for (d, value) in dim_values.iter().enumerate() {
-            let idx = schema.dimensions()[d].value_index(value).ok_or_else(|| {
-                F2dbError::Semantic(format!(
-                    "unknown value {value} for dimension {}",
-                    schema.dimensions()[d].name()
-                ))
-            })?;
-            coord.push(idx);
-        }
-        let node = self
-            .dataset
-            .graph()
-            .node(&fdc_cube::Coord::new(coord))
-            .ok_or_else(|| F2dbError::Semantic("no base series for these values".into()))?;
+    pub fn insert_row(&self, dim_values: &[String], measure: f64) -> Result<bool> {
+        let node = {
+            let ds = self.dataset.read().unwrap();
+            let schema = ds.graph().schema();
+            if dim_values.len() != schema.dim_count() {
+                return Err(F2dbError::Semantic(format!(
+                    "INSERT carries {} dimension values, schema has {}",
+                    dim_values.len(),
+                    schema.dim_count()
+                )));
+            }
+            let mut coord = Vec::with_capacity(dim_values.len());
+            for (d, value) in dim_values.iter().enumerate() {
+                let idx = schema.dimensions()[d].value_index(value).ok_or_else(|| {
+                    F2dbError::Semantic(format!(
+                        "unknown value {value} for dimension {}",
+                        schema.dimensions()[d].name()
+                    ))
+                })?;
+                coord.push(idx);
+            }
+            ds.graph()
+                .node(&fdc_cube::Coord::new(coord))
+                .ok_or_else(|| F2dbError::Semantic("no base series for these values".into()))?
+        };
         self.insert_value(node, measure)
     }
 
@@ -575,42 +552,101 @@ impl F2db {
     /// batched "until a new value is available for each base time series
     /// for the next time stamp" (§V); then time advances through the
     /// whole graph at once. Returns `true` when the graph advanced.
-    pub fn insert_value(&mut self, base_node: NodeId, measure: f64) -> Result<bool> {
-        if !self.dataset.graph().base_nodes().contains(&base_node) {
-            return Err(F2dbError::Semantic(format!(
-                "node {base_node} is not a base series"
-            )));
+    pub fn insert_value(&self, base_node: NodeId, measure: f64) -> Result<bool> {
+        let base_count = {
+            let ds = self.dataset.read().unwrap();
+            if !ds.graph().base_nodes().contains(&base_node) {
+                return Err(F2dbError::Semantic(format!(
+                    "node {base_node} is not a base series"
+                )));
+            }
+            ds.graph().base_nodes().len()
+        };
+        let batch = {
+            let mut pending = self.pending.lock().unwrap();
+            pending.insert(base_node, measure);
+            self.stats.record_insert();
+            fdc_obs::counter("f2db.inserts").incr();
+            if pending.len() < base_count {
+                None
+            } else {
+                Some(pending.drain().collect::<Vec<_>>())
+            }
+        };
+        match batch {
+            None => Ok(false),
+            Some(batch) => {
+                self.advance_time(batch)?;
+                Ok(true)
+            }
         }
-        self.pending.insert(base_node, measure);
-        self.stats.inserts += 1;
-        fdc_obs::counter("f2db.inserts").incr();
-        if self.pending.len() < self.dataset.graph().base_nodes().len() {
-            return Ok(false);
-        }
-        self.advance_time()?;
-        Ok(true)
     }
 
     /// Number of inserts currently waiting for a complete time stamp.
     pub fn pending_inserts(&self) -> usize {
-        self.pending.len()
+        self.pending.lock().unwrap().len()
     }
 
-    fn advance_time(&mut self) -> Result<()> {
+    /// Proactively re-estimates every currently-invalid model — the job
+    /// a background maintenance worker runs between query bursts. Safe to
+    /// call from many threads concurrently; the single-flight slots make
+    /// sure each invalidation epoch pays for one re-fit total. Returns
+    /// how many models this call re-fitted.
+    pub fn maintain(&self) -> Result<usize> {
+        let ds = self.dataset.read().unwrap();
+        let mut refitted = 0;
+        for node in self.catalog.invalid_nodes() {
+            if self
+                .catalog
+                .reestimate_single_flight(node, &ds, &self.fit)?
+                == Reestimation::Refit
+            {
+                self.stats.record_reestimation();
+                fdc_obs::counter("f2db.models.reestimated").incr();
+                refitted += 1;
+            }
+        }
+        Ok(refitted)
+    }
+
+    /// Marks the model at `node` invalid (as a maintenance policy would).
+    /// Returns whether the flag changed.
+    pub fn invalidate(&self, node: NodeId) -> bool {
+        let changed = self.catalog.invalidate(node);
+        if changed {
+            self.stats.record_invalidations(1);
+        }
+        changed
+    }
+
+    /// Marks every stored model invalid; returns how many flags changed.
+    pub fn invalidate_all(&self) -> usize {
+        let n = self.catalog.invalidate_all();
+        self.stats.record_invalidations(n as u64);
+        n
+    }
+
+    fn advance_time(&self, batch: Vec<(NodeId, f64)>) -> Result<()> {
         let _span = fdc_obs::span!("f2db.advance_time");
-        let batch: Vec<(NodeId, f64)> = self.pending.drain().collect();
-        self.dataset.advance_time(&batch)?;
-        let last = self.dataset.series_len() - 1;
-        let mut catalog = self.catalog.write().unwrap();
-        catalog.advance_time(&self.dataset, last, &self.policy, &mut self.stats);
-        self.stats.time_advances += 1;
+        // Serialize advances: the catalog's per-shard passes assume one
+        // advance at a time (queries keep flowing shard by shard).
+        let _serial = self.advance_lock.lock().unwrap();
+        let last = {
+            let mut ds = self.dataset.write().unwrap();
+            ds.advance_time(&batch)?;
+            ds.series_len() - 1
+        };
+        let ds = self.dataset.read().unwrap();
+        let out = self.catalog.advance_time(&ds, last, &self.policy);
+        self.stats
+            .record_advance(out.model_updates, out.invalidations);
         fdc_obs::counter("f2db.time_advances").incr();
         Ok(())
     }
 
     /// Persists the catalog (configuration + model states) to a file.
     pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
-        let bytes = self.catalog.read().unwrap().encode();
+        let bytes = self.catalog.encode();
         fdc_obs::counter("f2db.catalog.encoded_bytes").add(bytes.len() as u64);
         std::fs::write(path, bytes).map_err(|e| F2dbError::Storage(e.to_string()))
     }
@@ -629,12 +665,13 @@ impl F2db {
             )));
         }
         Ok(F2db {
-            dataset,
-            catalog: RwLock::new(catalog),
-            pending: HashMap::new(),
+            dataset: RwLock::new(dataset),
+            catalog,
+            pending: Mutex::new(HashMap::new()),
+            advance_lock: Mutex::new(()),
             policy: MaintenancePolicy::default(),
             fit: FitOptions::default(),
-            stats: MaintenanceStats::default(),
+            stats: SharedMaintenanceStats::default(),
         })
     }
 }
@@ -661,7 +698,7 @@ mod tests {
 
     #[test]
     fn forecast_query_returns_horizon_rows() {
-        let mut db = small_db();
+        let db = small_db();
         let result = db
             .query("SELECT time, visitors FROM facts WHERE purpose = 'holiday' AND state = 'NSW' AS OF now() + '4 quarters'")
             .unwrap();
@@ -674,7 +711,7 @@ mod tests {
 
     #[test]
     fn aggregate_query_resolves_aggregate_node() {
-        let mut db = small_db();
+        let db = small_db();
         let result = db
             .query("SELECT time, SUM(visitors) FROM facts WHERE state = 'QLD' GROUP BY time AS OF now() + '2 quarters'")
             .unwrap();
@@ -684,7 +721,7 @@ mod tests {
 
     #[test]
     fn group_by_dimension_returns_multiple_rows() {
-        let mut db = small_db();
+        let db = small_db();
         let result = db
             .query("SELECT time, SUM(visitors) FROM facts GROUP BY time, purpose AS OF now() + '1 quarter'")
             .unwrap();
@@ -693,7 +730,7 @@ mod tests {
 
     #[test]
     fn unknown_value_is_semantic_error() {
-        let mut db = small_db();
+        let db = small_db();
         let err = db
             .query("SELECT time, v FROM facts WHERE state = 'Nowhere' AS OF now() + '1 quarter'")
             .unwrap_err();
@@ -702,7 +739,7 @@ mod tests {
 
     #[test]
     fn inserts_batch_until_complete_then_advance() {
-        let mut db = small_db();
+        let db = small_db();
         let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
         let len_before = db.dataset().series_len();
         for (i, &b) in base.iter().enumerate() {
@@ -716,7 +753,7 @@ mod tests {
 
     #[test]
     fn insert_sql_statement_works() {
-        let mut db = small_db();
+        let db = small_db();
         let r = db
             .execute("INSERT INTO facts VALUES ('holiday', 'NSW', 123.0)")
             .unwrap();
@@ -726,7 +763,7 @@ mod tests {
 
     #[test]
     fn duplicate_pending_insert_overwrites() {
-        let mut db = small_db();
+        let db = small_db();
         let b = db.dataset().graph().base_nodes()[0];
         db.insert_value(b, 1.0).unwrap();
         db.insert_value(b, 2.0).unwrap();
@@ -735,7 +772,7 @@ mod tests {
 
     #[test]
     fn non_base_insert_is_rejected() {
-        let mut db = small_db();
+        let db = small_db();
         let top = db.dataset().graph().top_node();
         assert!(db.insert_value(top, 1.0).is_err());
     }
@@ -745,7 +782,7 @@ mod tests {
         let db = small_db();
         let path = std::env::temp_dir().join(format!("fdc_catalog_{}.bin", std::process::id()));
         db.save_catalog(&path).unwrap();
-        let mut restored = F2db::open_catalog(db.dataset().clone(), &path).unwrap();
+        let restored = F2db::open_catalog(db.dataset().clone(), &path).unwrap();
         assert_eq!(restored.model_count(), db.model_count());
         let result = restored
             .query("SELECT time, v FROM facts AS OF now() + '2 quarters'")
@@ -756,7 +793,7 @@ mod tests {
 
     #[test]
     fn execute_script_runs_statements_in_order() {
-        let mut db = small_db();
+        let db = small_db();
         let results = db
             .execute_script(
                 "-- warm the cache
@@ -777,7 +814,7 @@ mod tests {
 
     #[test]
     fn avg_aggregate_divides_by_base_count() {
-        let mut db = small_db();
+        let db = small_db();
         let sum = db
             .query("SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '2 quarters'")
             .unwrap();
@@ -816,7 +853,7 @@ mod tests {
 
     #[test]
     fn execute_rejects_explain_with_hint() {
-        let mut db = small_db();
+        let db = small_db();
         let err = db
             .execute("EXPLAIN SELECT time, v FROM facts AS OF now() + '1 quarter'")
             .unwrap_err();
@@ -826,7 +863,7 @@ mod tests {
 
     #[test]
     fn queries_are_fast_because_precomputed() {
-        let mut db = small_db();
+        let db = small_db();
         // Warm up, then measure: a forecast query must not scan base data.
         db.query("SELECT time, v FROM facts AS OF now() + '1 quarter'")
             .unwrap();
@@ -837,5 +874,50 @@ mod tests {
         }
         let avg = start.elapsed() / 100;
         assert!(avg < std::time::Duration::from_millis(5), "avg {avg:?}");
+    }
+
+    #[test]
+    fn concurrent_queries_and_inserts_do_not_deadlock() {
+        let db = small_db().with_policy(MaintenancePolicy::TimeBased { every: 1 });
+        let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        db.query("SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '1 quarter'")
+                            .unwrap();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for round in 0..3 {
+                    for &b in &base {
+                        db.insert_value(b, 50.0 + round as f64).unwrap();
+                    }
+                }
+            });
+            scope.spawn(|| {
+                for _ in 0..5 {
+                    db.maintain().unwrap();
+                }
+            });
+        });
+        let stats = db.stats();
+        assert_eq!(stats.queries, 80);
+        assert_eq!(stats.time_advances, 3);
+        // Every invalidation epoch paid for at most one re-estimation.
+        assert!(stats.reestimations <= stats.invalidations);
+    }
+
+    #[test]
+    fn invalidate_all_then_query_reestimates_once() {
+        let db = small_db();
+        let n = db.invalidate_all();
+        assert_eq!(n, db.model_count());
+        db.query("SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '1 quarter'")
+            .unwrap();
+        let stats = db.stats();
+        assert!(stats.reestimations >= 1);
+        assert!(stats.reestimations <= n);
     }
 }

@@ -8,6 +8,7 @@
 //! maintenance overhead by delaying parameter reestimation until the
 //! model is actually referenced by a query").
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// When to mark stored models invalid (cf. \[12\] for the strategies).
@@ -65,6 +66,84 @@ impl MaintenanceStats {
             self.total_query_time / self.queries as u32
         }
     }
+
+    /// The pure counters (everything except wall time), for comparing a
+    /// concurrent run against its serial replay where the counts must
+    /// match but latencies obviously differ.
+    pub fn counters(&self) -> [usize; 6] {
+        [
+            self.queries,
+            self.inserts,
+            self.time_advances,
+            self.model_updates,
+            self.invalidations,
+            self.reestimations,
+        ]
+    }
+}
+
+/// Thread-safe maintenance counters: the engine's internal, atomically
+/// updated form of [`MaintenanceStats`]. Readers take a [`Self::snapshot`];
+/// the relaxed ordering is fine because each counter is independent and
+/// only ever summed.
+#[derive(Debug, Default)]
+pub struct SharedMaintenanceStats {
+    queries: AtomicU64,
+    inserts: AtomicU64,
+    time_advances: AtomicU64,
+    model_updates: AtomicU64,
+    invalidations: AtomicU64,
+    reestimations: AtomicU64,
+    total_query_ns: AtomicU64,
+}
+
+impl SharedMaintenanceStats {
+    /// Records one answered forecast query and its wall time.
+    pub fn record_query(&self, elapsed: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.total_query_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one processed insert statement.
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed time advance and its per-model tallies.
+    pub fn record_advance(&self, model_updates: u64, invalidations: u64) {
+        self.time_advances.fetch_add(1, Ordering::Relaxed);
+        self.model_updates
+            .fetch_add(model_updates, Ordering::Relaxed);
+        self.invalidations
+            .fetch_add(invalidations, Ordering::Relaxed);
+    }
+
+    /// Records one lazy parameter re-estimation.
+    pub fn record_reestimation(&self) {
+        self.reestimations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records explicitly requested invalidations (outside a time
+    /// advance, e.g. `F2db::invalidate_all`).
+    pub fn record_invalidations(&self, n: u64) {
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters. (Counters
+    /// advanced mid-snapshot may or may not be included; call from a
+    /// quiescent point for exact numbers.)
+    pub fn snapshot(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            queries: self.queries.load(Ordering::Relaxed) as usize,
+            inserts: self.inserts.load(Ordering::Relaxed) as usize,
+            time_advances: self.time_advances.load(Ordering::Relaxed) as usize,
+            model_updates: self.model_updates.load(Ordering::Relaxed) as usize,
+            invalidations: self.invalidations.load(Ordering::Relaxed) as usize,
+            reestimations: self.reestimations.load(Ordering::Relaxed) as usize,
+            total_query_time: Duration::from_nanos(self.total_query_ns.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +156,21 @@ mod tests {
             MaintenancePolicy::default(),
             MaintenancePolicy::ThresholdBased { .. }
         ));
+    }
+
+    #[test]
+    fn shared_stats_snapshot_reflects_records() {
+        let shared = SharedMaintenanceStats::default();
+        shared.record_query(Duration::from_millis(3));
+        shared.record_query(Duration::from_millis(5));
+        shared.record_insert();
+        shared.record_advance(7, 2);
+        shared.record_reestimation();
+        shared.record_invalidations(3);
+        let snap = shared.snapshot();
+        assert_eq!(snap.counters(), [2, 1, 1, 7, 5, 1]);
+        assert_eq!(snap.total_query_time, Duration::from_millis(8));
+        assert_eq!(snap.avg_query_time(), Duration::from_millis(4));
     }
 
     #[test]

@@ -149,6 +149,34 @@ impl QueryResult {
     pub fn empty() -> Self {
         QueryResult { rows: Vec::new() }
     }
+
+    /// A fingerprint over the exact bit patterns of every row: node ids,
+    /// labels, time stamps and the raw IEEE-754 bits of each forecast
+    /// value (FNV-1a). Two results fingerprint equal iff they are
+    /// **byte-identical** — the equivalence the concurrency stress suite
+    /// demands between the concurrent engine and its serial replay.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.rows.len() as u64).to_le_bytes());
+        for row in &self.rows {
+            eat(&(row.node as u64).to_le_bytes());
+            eat(row.label.as_bytes());
+            eat(&(row.values.len() as u64).to_le_bytes());
+            for &(t, v) in &row.values {
+                eat(&t.to_le_bytes());
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +210,28 @@ mod tests {
             Some(4)
         );
         assert_eq!(HorizonSpec::Steps(5).steps(Granularity::Monthly), Some(5));
+    }
+
+    #[test]
+    fn fingerprint_separates_bitwise_differences() {
+        let row = |v: f64| QueryRow {
+            node: 3,
+            label: "*,NSW".into(),
+            values: vec![(32, v), (33, v + 1.0)],
+        };
+        let a = QueryResult {
+            rows: vec![row(10.0)],
+        };
+        let same = QueryResult {
+            rows: vec![row(10.0)],
+        };
+        assert_eq!(a.fingerprint(), same.fingerprint());
+        // One ULP of difference must change the fingerprint.
+        let nudged = QueryResult {
+            rows: vec![row(f64::from_bits(10.0_f64.to_bits() + 1))],
+        };
+        assert_ne!(a.fingerprint(), nudged.fingerprint());
+        assert_ne!(a.fingerprint(), QueryResult::empty().fingerprint());
     }
 
     #[test]

@@ -25,7 +25,7 @@ const QUERY: &str =
 
 #[test]
 fn explain_analyze_reports_per_node_timings_and_values() {
-    let mut db = small_db();
+    let db = small_db();
     let report = db
         .explain_analyze(&format!("EXPLAIN ANALYZE {QUERY}"))
         .unwrap();
@@ -46,14 +46,14 @@ fn explain_analyze_reports_per_node_timings_and_values() {
 
 #[test]
 fn explain_analyze_accepts_query_without_explain_prefix() {
-    let mut db = small_db();
+    let db = small_db();
     let report = db.explain_analyze(QUERY).unwrap();
     assert!(report.rows.iter().all(|r| r.analysis.is_some()));
 }
 
 #[test]
 fn fresh_catalog_reports_all_sources_cached() {
-    let mut db = small_db();
+    let db = small_db();
     let report = db.explain_analyze(QUERY).unwrap();
     for row in &report.rows {
         let analysis = row.analysis.as_ref().unwrap();
@@ -66,7 +66,7 @@ fn fresh_catalog_reports_all_sources_cached() {
 
 #[test]
 fn query_after_insert_reports_reestimated_models() {
-    let mut db = small_db().with_policy(MaintenancePolicy::TimeBased { every: 1 });
+    let db = small_db().with_policy(MaintenancePolicy::TimeBased { every: 1 });
     // A full insert round advances time; the time-based policy then
     // invalidates every model, so the next query must pay lazy
     // re-estimation and say so.
@@ -120,7 +120,7 @@ fn plain_explain_does_not_execute() {
 
 #[test]
 fn analyzed_queries_record_latency_metrics() {
-    let mut db = small_db();
+    let db = small_db();
     db.explain_analyze(QUERY).unwrap();
     let snap = fdc_obs::snapshot();
     let (_, hist) = snap

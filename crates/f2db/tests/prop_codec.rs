@@ -1,10 +1,13 @@
 //! Randomized property tests of the catalog codec and the SQL parser,
 //! driven by the deterministic workspace RNG.
 
+use fdc_cube::{Configuration, ConfiguredModel, CubeSplit, Dataset, NodeId};
+use fdc_datagen::{generate_cube, GenSpec};
 use fdc_f2db::codec::{Decoder, Encoder};
 use fdc_f2db::parser::{parse_horizon, parse_query};
 use fdc_f2db::query::{HorizonSpec, Statement};
-use fdc_forecast::{ModelSpec, ModelState, SeasonalKind};
+use fdc_f2db::{Catalog, MaintenancePolicy};
+use fdc_forecast::{FitOptions, ModelSpec, ModelState, SeasonalKind};
 use fdc_rng::Rng;
 
 fn random_model_state(rng: &mut Rng) -> ModelState {
@@ -62,6 +65,126 @@ fn model_state_codec_round_trip() {
             assert_eq!(&d.get_model_state().unwrap(), s, "case {case}");
         }
         assert!(d.is_empty());
+    }
+}
+
+/// A random small cube with a random configuration loaded into a catalog,
+/// randomly invalidated and advanced so invalid flags, rolling errors,
+/// epochs and the advance counter all carry arbitrary values.
+fn random_catalog(rng: &mut Rng) -> (Dataset, Catalog, Vec<NodeId>) {
+    let base = 2 + rng.usize_below(7);
+    let length = 16 + rng.usize_below(17);
+    let mut ds = generate_cube(&GenSpec::new(base, length, rng.next_u64())).dataset;
+    let split = CubeSplit::new(&ds, 0.8);
+    let fit = FitOptions::default();
+    let mut cfg = Configuration::new(ds.node_count());
+    // A model at the top plus a random subset of further nodes.
+    let mut model_nodes = vec![ds.graph().top_node()];
+    for v in 0..ds.node_count() {
+        if v != ds.graph().top_node() && rng.usize_below(4) == 0 {
+            model_nodes.push(v);
+        }
+    }
+    for &v in &model_nodes {
+        let spec = if rng.bool() {
+            ModelSpec::Ses
+        } else {
+            ModelSpec::Holt
+        };
+        let model = ConfiguredModel::fit(&split, v, &spec, &fit).expect("short fits succeed");
+        cfg.insert_model(v, model);
+    }
+    let all: Vec<NodeId> = (0..ds.node_count()).collect();
+    cfg.recompute_nodes(&ds, &split, &all);
+    let catalog = Catalog::from_configuration(&ds, &cfg, &fit).expect("catalog loads");
+
+    // Random time advances stamp rolling errors, weights and the advance
+    // counter; a threshold policy flips some invalid flags along the way.
+    let policy = MaintenancePolicy::ThresholdBased {
+        smape_threshold: 0.05,
+    };
+    for _ in 0..rng.usize_below(4) {
+        let batch: Vec<(NodeId, f64)> = ds
+            .graph()
+            .base_nodes()
+            .iter()
+            .map(|&b| (b, rng.f64_range(0.1, 1e4)))
+            .collect();
+        ds.advance_time(&batch).unwrap();
+        catalog.advance_time(&ds, ds.series_len() - 1, &policy);
+    }
+    // Plus explicit random invalidations.
+    for &v in &model_nodes {
+        if rng.bool() {
+            catalog.invalidate(v);
+        }
+    }
+    (ds, catalog, model_nodes)
+}
+
+/// encode → decode → encode is byte-stable for arbitrary catalogs, for
+/// every shard layout: the canonical node-order encoding makes the bytes
+/// independent of how the shards slice the node space.
+#[test]
+fn catalog_codec_round_trip_is_byte_stable_across_shards() {
+    let mut rng = Rng::seed_from_u64(0xc0dec6);
+    for case in 0..12 {
+        let (_, catalog, _) = random_catalog(&mut rng);
+        let bytes = catalog.encode();
+        for shards in [1, 2 + rng.usize_below(14), 64] {
+            let decoded = Catalog::decode_sharded(&bytes, shards)
+                .unwrap_or_else(|e| panic!("case {case}, {shards} shards: {e}"));
+            assert_eq!(decoded.shard_count(), shards);
+            assert_eq!(
+                decoded.encode(),
+                bytes,
+                "case {case}: re-encode with {shards} shards changed bytes"
+            );
+        }
+        // Resharding an in-memory catalog is also byte-invisible.
+        let resharded = Catalog::decode(&bytes)
+            .unwrap()
+            .reshard(1 + rng.usize_below(32));
+        assert_eq!(
+            resharded.encode(),
+            bytes,
+            "case {case}: reshard changed bytes"
+        );
+    }
+}
+
+/// Decoded catalogs serve the same forecasts and maintenance state as the
+/// original, whatever the shard count.
+#[test]
+fn decoded_catalog_preserves_forecasts_and_state() {
+    let mut rng = Rng::seed_from_u64(0xc0dec7);
+    for case in 0..8 {
+        let (ds, catalog, model_nodes) = random_catalog(&mut rng);
+        let bytes = catalog.encode();
+        let shards = 1 + rng.usize_below(16);
+        let decoded = Catalog::decode_sharded(&bytes, shards).unwrap();
+        assert_eq!(decoded.node_count(), catalog.node_count(), "case {case}");
+        assert_eq!(decoded.model_count(), catalog.model_count(), "case {case}");
+        for v in 0..ds.node_count() {
+            assert_eq!(decoded.entry(v), catalog.entry(v), "case {case} node {v}");
+            assert_eq!(
+                decoded.forecast(v, 3),
+                catalog.forecast(v, 3),
+                "case {case} node {v}"
+            );
+        }
+        for &v in &model_nodes {
+            assert_eq!(
+                decoded.is_invalid(v),
+                catalog.is_invalid(v),
+                "case {case} node {v}"
+            );
+            assert_eq!(
+                decoded.rolling_error(v),
+                catalog.rolling_error(v),
+                "case {case} node {v}"
+            );
+        }
     }
 }
 

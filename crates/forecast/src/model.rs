@@ -65,6 +65,25 @@ pub struct FitOptions {
     /// used only by the Fig. 8(c,d) experiments that "artificially vary the
     /// time that is required to create a single forecast model" (§VI-C).
     pub artificial_cost_us: u64,
+    /// Artificial extra model-creation time, in microseconds of *sleep* —
+    /// models the I/O portion of a (re-)fit: inside the DBMS, re-estimating
+    /// a model scans the stored base history, during which the CPU is idle.
+    /// Used by the concurrency benchmarks to expose lock-hold cost.
+    pub artificial_stall_us: u64,
+}
+
+impl FitOptions {
+    /// Burns the configured artificial model-creation cost: busy work
+    /// first, then the I/O-style sleep. Every fit and re-fit entry point
+    /// pays this once per model.
+    pub fn apply_artificial_cost(&self) {
+        if self.artificial_cost_us > 0 {
+            busy_wait_us(self.artificial_cost_us);
+        }
+        if self.artificial_stall_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.artificial_stall_us));
+        }
+    }
 }
 
 impl Default for FitOptions {
@@ -74,6 +93,7 @@ impl Default for FitOptions {
             max_iterations: 200,
             seed: 0x5eed,
             artificial_cost_us: 0,
+            artificial_stall_us: 0,
         }
     }
 }
@@ -155,9 +175,7 @@ impl ModelSpec {
         series: &TimeSeries,
         options: &FitOptions,
     ) -> crate::Result<Box<dyn ForecastModel>> {
-        if options.artificial_cost_us > 0 {
-            busy_wait_us(options.artificial_cost_us);
-        }
+        options.apply_artificial_cost();
         match self {
             ModelSpec::Ses => Ok(Box::new(SimpleExponentialSmoothing::fit(series, options)?)),
             ModelSpec::Holt => Ok(Box::new(Holt::fit(series, options)?)),
@@ -245,8 +263,10 @@ pub struct ModelState {
 ///
 /// Implementations capture "the dependency of future on past data". The
 /// trait supports both query-time forecasting and the incremental
-/// maintenance performed by F²DB when new values arrive.
-pub trait ForecastModel: Send {
+/// maintenance performed by F²DB when new values arrive. Models are
+/// `Send + Sync` so a catalog shard can serve `forecast` calls from many
+/// reader threads behind a shared lock.
+pub trait ForecastModel: Send + Sync {
     /// Human-readable model family name.
     fn name(&self) -> &'static str;
 

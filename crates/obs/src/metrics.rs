@@ -58,6 +58,16 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Increments by one (e.g. a work item entered an in-flight set).
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one (the work item left the in-flight set).
+    pub fn decr(&self) {
+        self.add(-1);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -548,6 +558,19 @@ mod tests {
         assert_eq!(s.sum, n * (n + 1) / 2);
         assert_eq!(s.min, 1);
         assert_eq!(s.max, n);
+    }
+
+    #[test]
+    fn gauge_incr_decr_track_in_flight_work() {
+        let g = Gauge::default();
+        g.incr();
+        g.incr();
+        assert_eq!(g.get(), 2);
+        g.decr();
+        assert_eq!(g.get(), 1);
+        g.decr();
+        g.decr();
+        assert_eq!(g.get(), -1, "gauges may go negative; callers balance");
     }
 
     #[test]

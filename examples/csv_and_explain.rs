@@ -55,7 +55,7 @@ fn main() {
         outcome.error, outcome.model_count
     );
 
-    let mut db = F2db::load(dataset, &outcome.configuration).expect("loads");
+    let db = F2db::load(dataset, &outcome.configuration).expect("loads");
 
     // EXPLAIN shows how the query will be answered before running it.
     let sql = "SELECT time, SUM(sales) FROM facts WHERE region = 'North' GROUP BY time AS OF now() + '3 months'";
@@ -77,7 +77,7 @@ fn main() {
     );
 
     // Round-trip back to CSV.
-    let exported = export_csv(db.dataset(), "sales");
+    let exported = export_csv(&db.dataset(), "sales");
     println!(
         "\nexport: {} lines of CSV (round-trips through import_csv)",
         exported.lines().count()

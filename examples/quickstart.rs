@@ -46,7 +46,7 @@ fn main() {
     }
 
     // 4. Load the configuration into F²DB and process a forecast query.
-    let mut db = F2db::load(dataset, &outcome.configuration).expect("configuration loads");
+    let db = F2db::load(dataset, &outcome.configuration).expect("configuration loads");
     let result = db
         .query("SELECT time, SUM(value) FROM facts GROUP BY time AS OF now() + '4 quarters'")
         .expect("query succeeds");

@@ -68,7 +68,7 @@ fn main() {
         "configuration: error {:.4}, {} models\n",
         outcome.error, outcome.model_count
     );
-    let mut db = F2db::load(dataset, &outcome.configuration).expect("loads");
+    let db = F2db::load(dataset, &outcome.configuration).expect("loads");
 
     // Forecast Query 1 of the paper: product P4 in city C4, next step.
     println!("-- Query 1: SELECT time, sales WHERE product='P4' AND city='C4' --");

@@ -32,7 +32,7 @@ fn main() {
     // Deploy with a threshold-based invalidation strategy: models whose
     // rolling one-step error exceeds 20% are marked stale and re-estimated
     // lazily on the next query that needs them.
-    let mut db = F2db::load(dataset, &outcome.configuration)
+    let db = F2db::load(dataset, &outcome.configuration)
         .expect("loads")
         .with_policy(MaintenancePolicy::ThresholdBased {
             smape_threshold: 0.2,

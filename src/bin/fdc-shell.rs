@@ -68,7 +68,7 @@ fn main() {
         outcome.error, outcome.model_count
     );
     let report = summarize(&dataset, &outcome.configuration, 5);
-    let mut db = match F2db::load(dataset, &outcome.configuration) {
+    let db = match F2db::load(dataset, &outcome.configuration) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("load failed: {e}");
@@ -85,8 +85,11 @@ fn main() {
         .map(|d| d.name().to_string())
         .collect();
     eprintln!("dimensions: {}", dims.join(", "));
+    eprintln!("catalog: {} shards", db.shard_count());
     eprintln!("try: SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'");
-    eprintln!("     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\metrics | \\quit\n");
+    eprintln!(
+        "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\maintain | \\metrics | \\quit\n"
+    );
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -128,15 +131,26 @@ fn main() {
             "\\stats" => {
                 let s = db.stats();
                 println!(
-                    "queries {}, inserts {}, advances {}, updates {}, invalidations {}, reestimations {}, avg query {:?}",
+                    "queries {}, inserts {}, advances {}, updates {}, invalidations {}, reestimations {}, avg query {:?}, {} shards",
                     s.queries,
                     s.inserts,
                     s.time_advances,
                     s.model_updates,
                     s.invalidations,
                     s.reestimations,
-                    s.avg_query_time()
+                    s.avg_query_time(),
+                    db.shard_count()
                 );
+                continue;
+            }
+            "\\maintain" => {
+                match db.maintain() {
+                    Ok(refitted) => println!(
+                        "maintenance sweep done: {refitted} models re-fitted, {} still invalid",
+                        db.catalog().invalid_nodes().len()
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
                 continue;
             }
             _ => {}

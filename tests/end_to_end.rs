@@ -14,7 +14,7 @@ fn advisor_to_database_to_queries() {
         .run();
     assert!(outcome.error < 0.2, "advisor error {}", outcome.error);
 
-    let mut db = F2db::load(ds, &outcome.configuration).expect("loads");
+    let db = F2db::load(ds, &outcome.configuration).expect("loads");
     // Base-level query.
     let base = db
         .query("SELECT time, sales FROM facts WHERE product = 'prod0' AND country = 'DE' AS OF now() + '3 months'")
@@ -45,7 +45,7 @@ fn streaming_maintenance_keeps_database_consistent() {
     let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
         .expect("valid dataset")
         .run();
-    let mut db = F2db::load(cube.dataset.clone(), &outcome.configuration)
+    let db = F2db::load(cube.dataset.clone(), &outcome.configuration)
         .expect("loads")
         .with_policy(MaintenancePolicy::TimeBased { every: 2 });
 
@@ -103,7 +103,7 @@ fn catalog_persistence_survives_process_boundary_shape() {
     let db = F2db::load(ds.clone(), &outcome.configuration).expect("loads");
     let path = std::env::temp_dir().join(format!("fdc_e2e_{}.cat", std::process::id()));
     db.save_catalog(&path).expect("save");
-    let mut reopened = F2db::open_catalog(ds, &path).expect("open");
+    let reopened = F2db::open_catalog(ds, &path).expect("open");
     std::fs::remove_file(&path).ok();
     assert_eq!(reopened.model_count(), db.model_count());
     let r = reopened
