@@ -30,7 +30,11 @@
 //! (F²DB's maintenance processor). A query that spans shards *while* an
 //! advance is in progress may observe a mix of pre- and post-advance
 //! models; callers that need strict serial equivalence (the stress suite)
-//! phase queries and advances with barriers.
+//! phase queries and advances with barriers. A lazy re-fit that races an
+//! advance stays safe even without barriers: a refit landing after the
+//! dataset append already absorbed the newest observation, and the
+//! advance pass detects this (via the model's observation count) and
+//! skips its incremental update, so no observation is ever applied twice.
 
 use crate::codec::{Decoder, Encoder};
 use crate::maintenance::MaintenancePolicy;
@@ -68,7 +72,8 @@ pub struct StoredModel {
     pub rolling_error: f64,
     /// Invalidation epoch: incremented every time the model is marked
     /// invalid. Lets the stress suite assert that one epoch never pays
-    /// for more than one re-estimation.
+    /// for more than one re-estimation. Persisted by the codec (format
+    /// version 2), so the count survives a save/restore.
     pub epoch: u64,
 }
 
@@ -426,6 +431,12 @@ impl Catalog {
         policy: &MaintenancePolicy,
     ) -> AdvanceOutcome {
         let advances = self.advances.fetch_add(1, Ordering::SeqCst) + 1;
+        let time_due = match policy {
+            MaintenancePolicy::TimeBased { every } => {
+                *every > 0 && advances.is_multiple_of(*every as u64)
+            }
+            _ => false,
+        };
         let mut out = AdvanceOutcome::default();
         // Pass 1 (per-shard write): model state updates + history sums +
         // invalidation. No cross-shard data is needed here.
@@ -433,6 +444,20 @@ impl Catalog {
             let mut shard = lock.write().unwrap();
             let shard = &mut *shard;
             for (&node, stored) in shard.models.iter_mut() {
+                // A lazy re-fit racing this advance may already have
+                // fitted the model on the history *including*
+                // `last_index`: the dataset append happens before these
+                // shard passes, so a query's refit can observe the new
+                // value first. Re-applying the incremental update would
+                // absorb the newest observation twice and every later
+                // forecast would silently diverge from the serial order.
+                // Such a refit instead serializes after this advance:
+                // skip the update, the rolling-error step and the policy
+                // (whose invalidation that refit already consumed).
+                if stored.model.observations() > last_index {
+                    fdc_obs::counter("f2db.advance.skipped_updates").incr();
+                    continue;
+                }
                 let actual = dataset.series(node).values()[last_index];
                 let predicted = stored.model.forecast(1)[0];
                 let denom = (actual + predicted).abs();
@@ -444,32 +469,21 @@ impl Catalog {
                 stored.rolling_error = 0.8 * stored.rolling_error + 0.2 * step_err;
                 stored.model.update(actual);
                 out.model_updates += 1;
+                let invalidate = match policy {
+                    MaintenancePolicy::None => false,
+                    MaintenancePolicy::TimeBased { .. } => time_due,
+                    MaintenancePolicy::ThresholdBased { smape_threshold } => {
+                        stored.rolling_error > *smape_threshold
+                    }
+                };
+                if invalidate && !stored.invalid {
+                    stored.invalid = true;
+                    stored.epoch += 1;
+                    out.invalidations += 1;
+                }
             }
             for (&node, h) in shard.history_sums.iter_mut() {
                 *h += dataset.series(node).values()[last_index];
-            }
-            match policy {
-                MaintenancePolicy::None => {}
-                MaintenancePolicy::TimeBased { every } => {
-                    if *every > 0 && advances.is_multiple_of(*every as u64) {
-                        for stored in shard.models.values_mut() {
-                            if !stored.invalid {
-                                stored.invalid = true;
-                                stored.epoch += 1;
-                                out.invalidations += 1;
-                            }
-                        }
-                    }
-                }
-                MaintenancePolicy::ThresholdBased { smape_threshold } => {
-                    for stored in shard.models.values_mut() {
-                        if !stored.invalid && stored.rolling_error > *smape_threshold {
-                            stored.invalid = true;
-                            stored.epoch += 1;
-                            out.invalidations += 1;
-                        }
-                    }
-                }
             }
         }
         // Pass 2 (per-shard read): snapshot the full history-sum vector.
@@ -636,6 +650,7 @@ impl Catalog {
             e.put_u64(node as u64);
             e.put_u8(stored.invalid as u8);
             e.put_f64(stored.rolling_error);
+            e.put_u64(stored.epoch);
             e.put_model_state(&stored.model.state());
         }
         let sums: Vec<f64> = (0..self.node_count)
@@ -682,6 +697,7 @@ impl Catalog {
             let node = d.get_u64()? as usize;
             let invalid = d.get_u8()? != 0;
             let rolling_error = d.get_f64()?;
+            let epoch = d.get_u64()?;
             let state = d.get_model_state()?;
             let model = restore_model(&state)
                 .map_err(|e| F2dbError::Storage(format!("restoring model: {e}")))?;
@@ -691,7 +707,7 @@ impl Catalog {
                     model,
                     invalid,
                     rolling_error,
-                    epoch: u64::from(invalid),
+                    epoch,
                 },
             );
         }
@@ -846,6 +862,71 @@ mod tests {
         }
         assert!(catalog.is_invalid(ds.graph().top_node()));
         assert!(invalidations >= 1);
+    }
+
+    #[test]
+    fn racing_refit_is_not_double_updated_by_advance() {
+        let (mut ds, catalog) = catalog_fixture();
+        let top = ds.graph().top_node();
+        assert!(catalog.invalidate(top));
+        let new: Vec<(NodeId, f64)> = ds
+            .graph()
+            .base_nodes()
+            .iter()
+            .map(|&b| (b, 321.0))
+            .collect();
+        ds.advance_time(&new).unwrap();
+        // Replay the race window serially: a lazy refit lands between the
+        // dataset append and the catalog advance, fitting through the new
+        // observation and clearing the invalid flag.
+        catalog
+            .reestimate(top, &ds, &FitOptions::default())
+            .unwrap();
+        let obs = catalog.observations(top).unwrap();
+        assert_eq!(obs, ds.series_len());
+        let epoch = catalog.epoch(top);
+        let out = catalog.advance_time(
+            &ds,
+            ds.series_len() - 1,
+            &MaintenancePolicy::TimeBased { every: 1 },
+        );
+        assert_eq!(out.model_updates, 0, "already-fitted model must be skipped");
+        assert_eq!(out.invalidations, 0, "the refit consumed this invalidation");
+        assert_eq!(
+            catalog.observations(top),
+            Some(obs),
+            "observation absorbed twice"
+        );
+        assert_eq!(catalog.epoch(top), epoch);
+        assert!(!catalog.is_invalid(top));
+        // The next advance updates the model normally again.
+        let new: Vec<(NodeId, f64)> = ds
+            .graph()
+            .base_nodes()
+            .iter()
+            .map(|&b| (b, 322.0))
+            .collect();
+        ds.advance_time(&new).unwrap();
+        let out = catalog.advance_time(&ds, ds.series_len() - 1, &MaintenancePolicy::None);
+        assert_eq!(out.model_updates, 1);
+        assert_eq!(catalog.observations(top), Some(obs + 1));
+    }
+
+    #[test]
+    fn epochs_survive_codec_round_trip() {
+        let (ds, catalog) = catalog_fixture();
+        let top = ds.graph().top_node();
+        // Two full invalidation epochs, ending valid: epoch 2, invalid
+        // false — a state the invalid flag alone cannot reconstruct.
+        catalog.invalidate(top);
+        catalog.reestimate(top, &ds, &FitOptions::default()).unwrap();
+        catalog.invalidate(top);
+        catalog.reestimate(top, &ds, &FitOptions::default()).unwrap();
+        assert_eq!(catalog.epoch(top), Some(2));
+        assert!(!catalog.is_invalid(top));
+        let restored = Catalog::decode(&catalog.encode()).unwrap();
+        assert_eq!(restored.epoch(top), Some(2));
+        assert!(!restored.is_invalid(top));
     }
 
     #[test]

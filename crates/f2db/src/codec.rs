@@ -11,8 +11,9 @@ use fdc_forecast::{ModelSpec, ModelState, SeasonalKind};
 
 /// Magic bytes identifying a catalog file.
 pub const MAGIC: &[u8; 4] = b"F2DB";
-/// On-disk format version.
-pub const VERSION: u16 = 1;
+/// On-disk format version. Version 2 added the per-model invalidation
+/// epoch (version-1 files lost it on restore).
+pub const VERSION: u16 = 2;
 
 /// Write-side codec helper.
 #[derive(Debug, Default)]

@@ -72,7 +72,7 @@ pub use query::{AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, 
 use fdc_cube::{Configuration, Dataset, NodeId, NodeQuery};
 use fdc_forecast::FitOptions;
 use std::collections::HashMap;
-use std::sync::{Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 /// Errors raised by the database layer.
@@ -113,10 +113,10 @@ pub type Result<T> = std::result::Result<T, F2dbError>;
 /// The embedded flash-forward database.
 ///
 /// All methods take `&self`; share it across threads with `Arc` or scoped
-/// borrows. Lock order (see DESIGN.md): `advance_lock` → `dataset` →
-/// catalog shard. Callers holding the [`F2db::dataset`] guard must drop
-/// it before calling a write path ([`F2db::insert_value`]) from the same
-/// thread.
+/// borrows. Lock order (see DESIGN.md): `pending` → `advance_lock` →
+/// `dataset` → catalog shard. Callers holding the [`F2db::dataset`] guard
+/// must drop it before calling a write path ([`F2db::insert_value`]) from
+/// the same thread.
 pub struct F2db {
     dataset: RwLock<Dataset>,
     catalog: Catalog,
@@ -562,24 +562,23 @@ impl F2db {
             }
             ds.graph().base_nodes().len()
         };
-        let batch = {
-            let mut pending = self.pending.lock().unwrap();
-            pending.insert(base_node, measure);
-            self.stats.record_insert();
-            fdc_obs::counter("f2db.inserts").incr();
-            if pending.len() < base_count {
-                None
-            } else {
-                Some(pending.drain().collect::<Vec<_>>())
-            }
-        };
-        match batch {
-            None => Ok(false),
-            Some(batch) => {
-                self.advance_time(batch)?;
-                Ok(true)
-            }
+        let mut pending = self.pending.lock().unwrap();
+        pending.insert(base_node, measure);
+        self.stats.record_insert();
+        fdc_obs::counter("f2db.inserts").incr();
+        if pending.len() < base_count {
+            return Ok(false);
         }
+        // Take the advance lock while still holding the pending mutex: a
+        // batch that completed first must append its time stamp first.
+        // Acquiring it only inside the advance would let a later-drained
+        // batch overtake an earlier one and swap which values land at
+        // which time index.
+        let serial = self.advance_lock.lock().unwrap();
+        let batch: Vec<(NodeId, f64)> = pending.drain().collect();
+        drop(pending);
+        self.advance_time(batch, serial)?;
+        Ok(true)
     }
 
     /// Number of inserts currently waiting for a complete time stamp.
@@ -626,11 +625,13 @@ impl F2db {
         n
     }
 
-    fn advance_time(&self, batch: Vec<(NodeId, f64)>) -> Result<()> {
+    /// Applies one complete batch under the advance lock the caller
+    /// already holds ([`F2db::insert_value`] acquires it while draining,
+    /// so batches commit in completion order). Advances are serialized:
+    /// the catalog's per-shard passes assume one advance at a time
+    /// (queries keep flowing shard by shard).
+    fn advance_time(&self, batch: Vec<(NodeId, f64)>, _serial: MutexGuard<'_, ()>) -> Result<()> {
         let _span = fdc_obs::span!("f2db.advance_time");
-        // Serialize advances: the catalog's per-shard passes assume one
-        // advance at a time (queries keep flowing shard by shard).
-        let _serial = self.advance_lock.lock().unwrap();
         let last = {
             let mut ds = self.dataset.write().unwrap();
             ds.advance_time(&batch)?;

@@ -184,6 +184,11 @@ fn decoded_catalog_preserves_forecasts_and_state() {
                 catalog.rolling_error(v),
                 "case {case} node {v}"
             );
+            assert_eq!(
+                decoded.epoch(v),
+                catalog.epoch(v),
+                "case {case} node {v}: epoch lost across persistence"
+            );
         }
     }
 }
