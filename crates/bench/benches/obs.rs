@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the observability plane itself: what one metric
+//! record costs (plain vs labeled, interned vs held handle), what the
+//! drift tracker adds per time advance, and what a full Prometheus
+//! encode / journal publish costs. The measured numbers back the
+//! overhead discussion in DESIGN.md §7 and EXPERIMENTS.md.
+//!
+//! Run with `cargo bench -p fdc-bench --bench obs`.
+
+use fdc_bench::timing::{bench, emit_metrics};
+use fdc_obs::{AccuracyOptions, Event, Journal, RollingAccuracy};
+use std::hint::black_box;
+
+fn bench_metric_records() {
+    bench("counter_incr_held_handle", {
+        let c = fdc_obs::counter("obsbench.plain");
+        move || c.incr()
+    });
+    bench("counter_incr_interned_by_name", || {
+        fdc_obs::counter("obsbench.plain").incr()
+    });
+    bench("labeled_counter_incr_held_handle", {
+        let c = fdc_obs::counter_with("obsbench.labeled", &[("node", "17"), ("phase", "x")]);
+        move || c.incr()
+    });
+    bench("labeled_counter_incr_interned", || {
+        fdc_obs::counter_with("obsbench.labeled", &[("node", "17"), ("phase", "x")]).incr()
+    });
+    bench("histogram_record_held_handle", {
+        let h = fdc_obs::histogram("obsbench.lat.ns");
+        let mut v = 1u64;
+        move || {
+            v = v.wrapping_mul(2862933555777941757).wrapping_add(1);
+            h.record(v >> 40)
+        }
+    });
+}
+
+fn bench_drift_tracker() {
+    let acc = RollingAccuracy::new(AccuracyOptions::default())
+        .with_gauge_families("obsbench.smape", "obsbench.mae");
+    let mut key = 0u64;
+    bench("rolling_accuracy_record_64_keys", move || {
+        key = (key + 1) % 64;
+        acc.record(key, 100.0, 98.5)
+    });
+}
+
+fn bench_export_plane() {
+    // Populate a realistic registry shape first (the other benches above
+    // already added families; add a labeled spread).
+    for node in 0..64 {
+        fdc_obs::float_gauge_with("obsbench.spread", &[("node", &node.to_string())])
+            .set(node as f64 / 64.0);
+    }
+    bench("encode_prometheus_full_registry", || {
+        black_box(fdc_obs::encode_prometheus(&fdc_obs::snapshot()).len())
+    });
+    bench("snapshot_to_json", || {
+        black_box(fdc_obs::snapshot().to_json().len())
+    });
+    let journal = Journal::with_capacity(1024);
+    let mut i = 0u64;
+    bench("journal_publish_ring_only", move || {
+        i += 1;
+        journal.publish(Event::BatchAdvance {
+            time_index: i,
+            model_updates: 22,
+            invalidations: 3,
+            drift_alerts: 0,
+        })
+    });
+}
+
+fn main() {
+    bench_metric_records();
+    bench_drift_tracker();
+    bench_export_plane();
+    emit_metrics("bench_obs");
+}

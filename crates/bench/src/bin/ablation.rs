@@ -31,6 +31,7 @@ fn report(tag: &str, name: &str, options: AdvisorOptions, ds: &Dataset) {
 }
 
 fn main() {
+    let _obs = fdc_bench::obs_session();
     println!(
         "{:<14} {:<9} {:>10} {:>9} {:>12}",
         "ablation", "dataset", "error", "#models", "wall time"

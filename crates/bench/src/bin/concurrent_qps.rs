@@ -36,9 +36,31 @@ use fdc_core::{Advisor, AdvisorOptions};
 use fdc_datagen::{generate_cube, GenSpec};
 use fdc_f2db::F2db;
 use fdc_forecast::FitOptions;
+use fdc_obs::names;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Records one measured QPS sample into the labeled gauge families
+/// (`bench.concurrent_qps.qps{phase,engine,threads}` and the per-phase
+/// speedup family).
+fn record_qps(phase: &str, engine: &str, threads: usize, qps: f64) {
+    let t = threads.to_string();
+    fdc_obs::gauge_with(
+        names::BENCH_CONCURRENT_QPS,
+        &[("phase", phase), ("engine", engine), ("threads", &t)],
+    )
+    .set(qps as i64);
+}
+
+fn record_speedup(phase: &str, threads: usize, speedup: f64) {
+    let t = threads.to_string();
+    fdc_obs::gauge_with(
+        names::BENCH_CONCURRENT_SPEEDUP_X100,
+        &[("phase", phase), ("threads", &t)],
+    )
+    .set((speedup * 100.0) as i64);
+}
 
 /// Wall-clock window of the warm-read scenario.
 const WINDOW: Duration = Duration::from_millis(400);
@@ -109,6 +131,7 @@ fn recovery_qps(
 }
 
 fn main() {
+    let _obs = fdc_bench::obs_session();
     let (scale, _, _) = fdc_bench::parse_scale_args();
     let cube = generate_cube(&GenSpec::new(64 * scale, 48, 7));
     let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
@@ -161,18 +184,9 @@ fn main() {
         });
         let speedup = qps_sharded / qps_single;
         println!("{threads:<9} {qps_single:>12.0}/s {qps_sharded:>12.0}/s {speedup:>8.2}x");
-        fdc_obs::gauge(&format!(
-            "bench.concurrent_qps.warm_reads.single_lock.t{threads}"
-        ))
-        .set(qps_single as i64);
-        fdc_obs::gauge(&format!(
-            "bench.concurrent_qps.warm_reads.sharded.t{threads}"
-        ))
-        .set(qps_sharded as i64);
-        fdc_obs::gauge(&format!(
-            "bench.concurrent_qps.warm_reads.speedup_x100.t{threads}"
-        ))
-        .set((speedup * 100.0) as i64);
+        record_qps("warm_reads", "single_lock", threads, qps_single);
+        record_qps("warm_reads", "sharded", threads, qps_sharded);
+        record_speedup("warm_reads", threads, speedup);
     }
 
     println!("\n-- reestimation (invalidate all, {REFIT_STALL_US} µs stall per re-fit) --");
@@ -203,18 +217,9 @@ fn main() {
         );
         let speedup = qps_sharded / qps_single;
         println!("{threads:<9} {qps_single:>12.0}/s {qps_sharded:>12.0}/s {speedup:>8.2}x");
-        fdc_obs::gauge(&format!(
-            "bench.concurrent_qps.reestimation.single_lock.t{threads}"
-        ))
-        .set(qps_single as i64);
-        fdc_obs::gauge(&format!(
-            "bench.concurrent_qps.reestimation.sharded.t{threads}"
-        ))
-        .set(qps_sharded as i64);
-        fdc_obs::gauge(&format!(
-            "bench.concurrent_qps.reestimation.speedup_x100.t{threads}"
-        ))
-        .set((speedup * 100.0) as i64);
+        record_qps("reestimation", "single_lock", threads, qps_single);
+        record_qps("reestimation", "sharded", threads, qps_sharded);
+        record_speedup("reestimation", threads, speedup);
     }
     emit_metrics("concurrent_qps");
 }

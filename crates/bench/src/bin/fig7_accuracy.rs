@@ -18,6 +18,7 @@ use fdc_datagen::{energy_proxy, generate_cube, sales_proxy, tourism_proxy, GenSp
 use fdc_forecast::FitOptions;
 
 fn main() {
+    let _obs = fdc_bench::obs_session();
     let (scale, full, _) = parse_scale_args();
     let fit = FitOptions::default();
     let everything = ApproachSelection {

@@ -211,6 +211,7 @@ fn alpha(scale: usize) {
 }
 
 fn main() {
+    let _obs = fdc_bench::obs_session();
     let (scale, _full, extra) = parse_scale_args();
     let which = extra.first().map(|s| s.as_str()).unwrap_or("all");
     if matches!(which, "corr" | "all") {

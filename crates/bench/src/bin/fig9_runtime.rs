@@ -101,6 +101,7 @@ fn queries(scale: usize) {
 }
 
 fn main() {
+    let _obs = fdc_bench::obs_session();
     let (scale, full, extra) = parse_scale_args();
     let which = extra.first().map(|s| s.as_str()).unwrap_or("all");
     if matches!(which, "scalability" | "all") {

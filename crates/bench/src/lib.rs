@@ -22,7 +22,7 @@
 pub mod timing;
 pub mod workload;
 
-pub use timing::{bench, emit_metrics};
+pub use timing::{bench, emit_metrics, obs_session, ObsSession};
 pub use workload::QueryWorkload;
 
 use fdc_core::{Advisor, AdvisorOptions, StopCriteria};

@@ -352,7 +352,7 @@ impl<'a> Advisor<'a> {
     pub fn step(&mut self) -> IterationStats {
         let _step_span = fdc_obs::span!("advisor.step");
         self.iteration += 1;
-        fdc_obs::counter("advisor.iterations").incr();
+        fdc_obs::counter(fdc_obs::names::ADVISOR_ITERATIONS).incr();
         let err_before = self.configuration.overall_error();
         self.criterion.alpha = self.control.effective_alpha();
 
@@ -372,7 +372,7 @@ impl<'a> Advisor<'a> {
             )
         };
         let selection_time = selection_start.elapsed();
-        fdc_obs::counter("advisor.candidates").add(candidates.positive.len() as u64);
+        fdc_obs::counter(fdc_obs::names::ADVISOR_CANDIDATES).add(candidates.positive.len() as u64);
 
         // ---- Evaluation phase --------------------------------------------
         let evaluation_start = Instant::now();
@@ -492,12 +492,12 @@ impl<'a> Advisor<'a> {
         }
         drop(evaluation_span);
         let evaluation_time = evaluation_start.elapsed();
-        fdc_obs::counter("advisor.models_built").add(models_built as u64);
-        fdc_obs::counter("advisor.accepted").add(accepted as u64);
-        fdc_obs::counter("advisor.rejected").add(rejected_now as u64);
-        fdc_obs::counter("advisor.deleted").add(deleted as u64);
-        fdc_obs::histogram("advisor.selection.ns").record_duration(selection_time);
-        fdc_obs::histogram("advisor.evaluation.ns").record_duration(evaluation_time);
+        fdc_obs::counter(fdc_obs::names::ADVISOR_MODELS_BUILT).add(models_built as u64);
+        fdc_obs::counter(fdc_obs::names::ADVISOR_ACCEPTED).add(accepted as u64);
+        fdc_obs::counter(fdc_obs::names::ADVISOR_REJECTED).add(rejected_now as u64);
+        fdc_obs::counter(fdc_obs::names::ADVISOR_DELETED).add(deleted as u64);
+        fdc_obs::histogram(fdc_obs::names::ADVISOR_SELECTION_NS).record_duration(selection_time);
+        fdc_obs::histogram(fdc_obs::names::ADVISOR_EVALUATION_NS).record_duration(evaluation_time);
 
         // ---- Asynchronous multi-source optimization ------------------------
         {
@@ -633,7 +633,7 @@ impl<'a> Advisor<'a> {
             wall_time: self.started.elapsed(),
             stop_reason,
         };
-        fdc_obs::gauge("advisor.model_count").set(outcome.model_count as i64);
+        fdc_obs::gauge(fdc_obs::names::ADVISOR_MODEL_COUNT).set(outcome.model_count as i64);
         outcome
     }
 }

@@ -82,9 +82,9 @@ pub fn select_candidates(
         .into_iter()
         .map(|v| {
             if local_cache.contains_key(&v) {
-                fdc_obs::counter("advisor.indicator.cache_hit").incr();
+                fdc_obs::counter(fdc_obs::names::ADVISOR_INDICATOR_CACHE_HIT).incr();
             } else {
-                fdc_obs::counter("advisor.indicator.cache_miss").incr();
+                fdc_obs::counter(fdc_obs::names::ADVISOR_INDICATOR_CACHE_MISS).incr();
             }
             let local = local_cache
                 .entry(v)

@@ -42,6 +42,7 @@ use crate::{F2dbError, Result};
 use fdc_cube::{derive_forecast, Configuration, Dataset, NodeId};
 use fdc_forecast::model::restore_model;
 use fdc_forecast::{FitOptions, ForecastModel};
+use fdc_obs::{journal, names, Event, RollingAccuracy};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -102,8 +103,10 @@ struct Shard {
 pub struct AdvanceOutcome {
     /// Incremental model state updates performed.
     pub model_updates: u64,
-    /// Models newly marked invalid by the policy.
+    /// Models newly marked invalid (by the policy or a drift alert).
     pub invalidations: u64,
+    /// Drift alerts raised by the accuracy tracker during this advance.
+    pub drift_alerts: u64,
 }
 
 /// How a [`Catalog::reestimate_single_flight`] call was satisfied.
@@ -158,7 +161,7 @@ fn hash_node(node: NodeId) -> u64 {
 impl Catalog {
     fn empty(node_count: usize, shard_count: usize) -> Self {
         let shard_count = shard_count.max(1);
-        fdc_obs::gauge("f2db.catalog.shards").set(shard_count as i64);
+        fdc_obs::gauge(names::F2DB_CATALOG_SHARDS).set(shard_count as i64);
         Catalog {
             node_count,
             advances: AtomicU64::new(0),
@@ -179,7 +182,7 @@ impl Catalog {
         match self.shards[i].try_read() {
             Ok(g) => g,
             Err(_) => {
-                fdc_obs::counter("f2db.shard.read_contention").incr();
+                fdc_obs::counter(names::F2DB_SHARD_READ_CONTENTION).incr();
                 self.shards[i].read().unwrap()
             }
         }
@@ -191,7 +194,7 @@ impl Catalog {
         match self.shards[i].try_write() {
             Ok(g) => g,
             Err(_) => {
-                fdc_obs::counter("f2db.shard.write_contention").incr();
+                fdc_obs::counter(names::F2DB_SHARD_WRITE_CONTENTION).incr();
                 self.shards[i].write().unwrap()
             }
         }
@@ -430,6 +433,23 @@ impl Catalog {
         last_index: usize,
         policy: &MaintenancePolicy,
     ) -> AdvanceOutcome {
+        self.advance_time_with(dataset, last_index, policy, None)
+    }
+
+    /// [`Catalog::advance_time`] with an optional [`RollingAccuracy`]
+    /// tracker: each stored model's `(actual, one-step forecast)` pair is
+    /// fed into the tracker, and a [`fdc_obs::DriftAlert`] (windowed
+    /// SMAPE crossing its threshold) additionally marks the model
+    /// invalid — drift is a first-class invalidation trigger alongside
+    /// the configured policy. Alerts land in the event journal and the
+    /// `f2db.drift.alerts` counter.
+    pub fn advance_time_with(
+        &self,
+        dataset: &Dataset,
+        last_index: usize,
+        policy: &MaintenancePolicy,
+        accuracy: Option<&RollingAccuracy>,
+    ) -> AdvanceOutcome {
         let advances = self.advances.fetch_add(1, Ordering::SeqCst) + 1;
         let time_due = match policy {
             MaintenancePolicy::TimeBased { every } => {
@@ -455,7 +475,7 @@ impl Catalog {
                 // skip the update, the rolling-error step and the policy
                 // (whose invalidation that refit already consumed).
                 if stored.model.observations() > last_index {
-                    fdc_obs::counter("f2db.advance.skipped_updates").incr();
+                    fdc_obs::counter(names::F2DB_ADVANCE_SKIPPED_UPDATES).incr();
                     continue;
                 }
                 let actual = dataset.series(node).values()[last_index];
@@ -469,13 +489,26 @@ impl Catalog {
                 stored.rolling_error = 0.8 * stored.rolling_error + 0.2 * step_err;
                 stored.model.update(actual);
                 out.model_updates += 1;
-                let invalidate = match policy {
+                let mut invalidate = match policy {
                     MaintenancePolicy::None => false,
                     MaintenancePolicy::TimeBased { .. } => time_due,
                     MaintenancePolicy::ThresholdBased { smape_threshold } => {
                         stored.rolling_error > *smape_threshold
                     }
                 };
+                if let Some(acc) = accuracy {
+                    if let Some(alert) = acc.record(node as u64, actual, predicted) {
+                        out.drift_alerts += 1;
+                        invalidate = true;
+                        fdc_obs::counter(names::F2DB_DRIFT_ALERTS).incr();
+                        journal().publish(Event::DriftAlert {
+                            node: node as u64,
+                            smape: alert.smape,
+                            mae: alert.mae,
+                            threshold: alert.threshold,
+                        });
+                    }
+                }
                 if invalidate && !stored.invalid {
                     stored.invalid = true;
                     stored.epoch += 1;
@@ -586,7 +619,7 @@ impl Catalog {
                 }
             };
             if leader {
-                let in_flight = fdc_obs::gauge("f2db.reestimate.in_flight");
+                let in_flight = fdc_obs::gauge(names::F2DB_REESTIMATE_IN_FLIGHT);
                 in_flight.incr();
                 let result = self.reestimate_if_invalid(node, dataset, fit);
                 {
@@ -596,6 +629,13 @@ impl Catalog {
                 }
                 self.inflight.lock().unwrap().remove(&node);
                 in_flight.decr();
+                if let Ok(true) = result {
+                    journal().publish(Event::ReEstimation {
+                        node: node as u64,
+                        epoch: self.epoch(node).unwrap_or(0),
+                        outcome: "refit",
+                    });
+                }
                 return match result {
                     Ok(true) => Ok(Reestimation::Refit),
                     Ok(false) => Ok(if waited {
@@ -919,9 +959,13 @@ mod tests {
         // Two full invalidation epochs, ending valid: epoch 2, invalid
         // false — a state the invalid flag alone cannot reconstruct.
         catalog.invalidate(top);
-        catalog.reestimate(top, &ds, &FitOptions::default()).unwrap();
+        catalog
+            .reestimate(top, &ds, &FitOptions::default())
+            .unwrap();
         catalog.invalidate(top);
-        catalog.reestimate(top, &ds, &FitOptions::default()).unwrap();
+        catalog
+            .reestimate(top, &ds, &FitOptions::default())
+            .unwrap();
         assert_eq!(catalog.epoch(top), Some(2));
         assert!(!catalog.is_invalid(top));
         let restored = Catalog::decode(&catalog.encode()).unwrap();

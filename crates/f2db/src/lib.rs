@@ -71,6 +71,7 @@ pub use query::{AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, 
 
 use fdc_cube::{Configuration, Dataset, NodeId, NodeQuery};
 use fdc_forecast::FitOptions;
+use fdc_obs::{journal, names, AccuracyOptions, Event, RollingAccuracy};
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
@@ -127,6 +128,10 @@ pub struct F2db {
     policy: MaintenancePolicy,
     fit: FitOptions,
     stats: SharedMaintenanceStats,
+    /// Optional drift monitor: windowed per-node SMAPE/MAE fed by the
+    /// advance path, publishing `f2db.node.smape`/`.mae` gauge families
+    /// and raising drift alerts (see [`F2db::with_drift_monitoring`]).
+    accuracy: Option<RollingAccuracy>,
 }
 
 impl F2db {
@@ -144,6 +149,7 @@ impl F2db {
             policy: MaintenancePolicy::default(),
             fit: FitOptions::default(),
             stats: SharedMaintenanceStats::default(),
+            accuracy: None,
         })
     }
 
@@ -159,6 +165,27 @@ impl F2db {
         self
     }
 
+    /// Enables drift-aware accuracy monitoring: every time advance feeds
+    /// each stored model's `(actual, one-step forecast)` pair into a
+    /// windowed SMAPE/MAE tracker published as the `f2db.node.smape` /
+    /// `f2db.node.mae` gauge families (label `node`). A window crossing
+    /// `opts.smape_threshold` raises a `DriftAlert` journal event,
+    /// counts into `f2db.drift.alerts` and marks the model invalid, so
+    /// the next referencing query re-estimates it (which in turn resets
+    /// the node's window — a fresh model is not judged by stale errors).
+    pub fn with_drift_monitoring(mut self, opts: AccuracyOptions) -> Self {
+        self.accuracy = Some(
+            RollingAccuracy::new(opts)
+                .with_gauge_families(names::F2DB_NODE_SMAPE, names::F2DB_NODE_MAE),
+        );
+        self
+    }
+
+    /// The drift monitor, when enabled by [`F2db::with_drift_monitoring`].
+    pub fn drift_monitor(&self) -> Option<&RollingAccuracy> {
+        self.accuracy.as_ref()
+    }
+
     /// Redistributes the catalog over `shards` shards. `1` reproduces a
     /// single global catalog lock — the concurrency baseline.
     pub fn with_shards(self, shards: usize) -> Self {
@@ -170,6 +197,7 @@ impl F2db {
             policy,
             fit,
             stats,
+            accuracy,
         } = self;
         F2db {
             dataset,
@@ -179,6 +207,7 @@ impl F2db {
             policy,
             fit,
             stats,
+            accuracy,
         }
     }
 
@@ -354,9 +383,9 @@ impl F2db {
         let total = started.elapsed();
         report.total_elapsed = Some(total);
         self.stats.record_query(total);
-        fdc_obs::counter("f2db.queries").incr();
-        fdc_obs::counter("f2db.explain_analyze").incr();
-        fdc_obs::histogram("f2db.query.ns").record_duration(total);
+        fdc_obs::counter(names::F2DB_QUERIES).incr();
+        fdc_obs::counter(names::F2DB_EXPLAIN_ANALYZE).incr();
+        fdc_obs::histogram(names::F2DB_QUERY_NS).record_duration(total);
         Ok(report)
     }
 
@@ -437,15 +466,18 @@ impl F2db {
                 match self.catalog.reestimate_single_flight(s, ds, &self.fit)? {
                     Reestimation::Refit => {
                         self.stats.record_reestimation();
-                        fdc_obs::counter("f2db.models.reestimated").incr();
+                        fdc_obs::counter(names::F2DB_MODELS_REESTIMATED).incr();
+                        if let Some(acc) = &self.accuracy {
+                            acc.reset_key(s as u64);
+                        }
                         refitted.push(s);
                     }
                     Reestimation::AlreadyValid | Reestimation::Waited => {
-                        fdc_obs::counter("f2db.models.cached").incr();
+                        fdc_obs::counter(names::F2DB_MODELS_CACHED).incr();
                     }
                 }
             } else {
-                fdc_obs::counter("f2db.models.cached").incr();
+                fdc_obs::counter(names::F2DB_MODELS_CACHED).incr();
             }
         }
         Ok(refitted)
@@ -499,8 +531,8 @@ impl F2db {
         drop(ds);
         let elapsed = started.elapsed();
         self.stats.record_query(elapsed);
-        fdc_obs::counter("f2db.queries").incr();
-        fdc_obs::histogram("f2db.query.ns").record_duration(elapsed);
+        fdc_obs::counter(names::F2DB_QUERIES).incr();
+        fdc_obs::histogram(names::F2DB_QUERY_NS).record_duration(elapsed);
         Ok(QueryResult { rows })
     }
 
@@ -565,7 +597,7 @@ impl F2db {
         let mut pending = self.pending.lock().unwrap();
         pending.insert(base_node, measure);
         self.stats.record_insert();
-        fdc_obs::counter("f2db.inserts").incr();
+        fdc_obs::counter(names::F2DB_INSERTS).incr();
         if pending.len() < base_count {
             return Ok(false);
         }
@@ -601,7 +633,10 @@ impl F2db {
                 == Reestimation::Refit
             {
                 self.stats.record_reestimation();
-                fdc_obs::counter("f2db.models.reestimated").incr();
+                fdc_obs::counter(names::F2DB_MODELS_REESTIMATED).incr();
+                if let Some(acc) = &self.accuracy {
+                    acc.reset_key(node as u64);
+                }
                 refitted += 1;
             }
         }
@@ -638,17 +673,28 @@ impl F2db {
             ds.series_len() - 1
         };
         let ds = self.dataset.read().unwrap();
-        let out = self.catalog.advance_time(&ds, last, &self.policy);
+        let out = self
+            .catalog
+            .advance_time_with(&ds, last, &self.policy, self.accuracy.as_ref());
         self.stats
             .record_advance(out.model_updates, out.invalidations);
-        fdc_obs::counter("f2db.time_advances").incr();
+        fdc_obs::counter(names::F2DB_TIME_ADVANCES).incr();
+        journal().publish(Event::BatchAdvance {
+            time_index: last as u64,
+            model_updates: out.model_updates,
+            invalidations: out.invalidations,
+            drift_alerts: out.drift_alerts,
+        });
         Ok(())
     }
 
     /// Persists the catalog (configuration + model states) to a file.
     pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
         let bytes = self.catalog.encode();
-        fdc_obs::counter("f2db.catalog.encoded_bytes").add(bytes.len() as u64);
+        fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(bytes.len() as u64);
+        journal().publish(Event::CatalogSave {
+            bytes: bytes.len() as u64,
+        });
         std::fs::write(path, bytes).map_err(|e| F2dbError::Storage(e.to_string()))
     }
 
@@ -656,7 +702,10 @@ impl F2db {
     /// data set.
     pub fn open_catalog(dataset: Dataset, path: &std::path::Path) -> Result<Self> {
         let bytes = std::fs::read(path).map_err(|e| F2dbError::Storage(e.to_string()))?;
-        fdc_obs::counter("f2db.catalog.decoded_bytes").add(bytes.len() as u64);
+        fdc_obs::counter(names::F2DB_CATALOG_DECODED_BYTES).add(bytes.len() as u64);
+        journal().publish(Event::CatalogLoad {
+            bytes: bytes.len() as u64,
+        });
         let catalog = Catalog::decode(&bytes)?;
         if catalog.node_count() != dataset.node_count() {
             return Err(F2dbError::Storage(format!(
@@ -673,6 +722,7 @@ impl F2db {
             policy: MaintenancePolicy::default(),
             fit: FitOptions::default(),
             stats: SharedMaintenanceStats::default(),
+            accuracy: None,
         })
     }
 }

@@ -126,7 +126,7 @@ fn analyzed_queries_record_latency_metrics() {
     let (_, hist) = snap
         .histograms
         .iter()
-        .find(|(name, _)| name == "f2db.query.ns")
+        .find(|(name, _)| name == fdc_obs::names::F2DB_QUERY_NS)
         .expect("query latency histogram exists");
     assert!(hist.count >= 1);
     assert!(hist.p50 > 0);

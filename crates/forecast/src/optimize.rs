@@ -18,8 +18,8 @@ use fdc_rng::Rng;
 /// (`optimize.<algo>.runs` / `optimize.<algo>.evals`), so the advisor's
 /// objective-evaluation budget is observable per algorithm.
 fn record_run(algo: &str, evaluations: usize) {
-    fdc_obs::counter(&format!("optimize.{algo}.runs")).incr();
-    fdc_obs::counter(&format!("optimize.{algo}.evals")).add(evaluations as u64);
+    fdc_obs::counter(&fdc_obs::names::optimize_runs(algo)).incr();
+    fdc_obs::counter(&fdc_obs::names::optimize_evals(algo)).add(evaluations as u64);
 }
 
 /// A function to minimize, with box constraints.

@@ -1,0 +1,331 @@
+//! Rolling forecast-accuracy tracking and drift detection.
+//!
+//! The maintenance loop (paper §V) watches per-model forecast error to
+//! decide when to re-estimate. [`RollingAccuracy`] is the observable
+//! half of that loop: a windowed SMAPE/MAE per tracked key (catalog
+//! node), fed one `(actual, predicted)` pair per time advance, that
+//!
+//! * publishes each key's current window into a float-gauge family
+//!   (label `node`) so `/metrics` exposes per-node accuracy, and
+//! * raises a [`DriftAlert`] when the windowed SMAPE **crosses** the
+//!   configured threshold from below (edge-triggered, so a persistently
+//!   bad series alerts once per excursion, not once per step).
+//!
+//! The tracker is engine-agnostic: keys are plain `u64`s and the gauge
+//! family is configured by the caller, so `fdc-f2db` wires it to its
+//! catalog nodes without this crate knowing about catalogs.
+
+use crate::metrics::registry;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Configuration of a [`RollingAccuracy`] tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyOptions {
+    /// Window length in observations (per key).
+    pub window: usize,
+    /// Windowed-SMAPE threshold in `[0, 1]` above which a key is
+    /// considered drifting.
+    pub smape_threshold: f64,
+    /// Minimum observations in the window before drift can fire (a
+    /// single bad step in a near-empty window is noise, not drift).
+    pub min_samples: usize,
+}
+
+impl Default for AccuracyOptions {
+    fn default() -> Self {
+        AccuracyOptions {
+            window: 12,
+            smape_threshold: 0.5,
+            min_samples: 4,
+        }
+    }
+}
+
+/// A drift signal returned by [`RollingAccuracy::record`] when a key's
+/// windowed SMAPE crosses its threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAlert {
+    /// The tracked key (catalog node id).
+    pub key: u64,
+    /// Windowed SMAPE at the moment of crossing.
+    pub smape: f64,
+    /// Windowed MAE at the moment of crossing.
+    pub mae: f64,
+    /// The configured threshold that was crossed.
+    pub threshold: f64,
+}
+
+/// Per-key state: a ring of the last `window` error terms.
+#[derive(Debug)]
+struct KeyWindow {
+    /// Per-step symmetric errors `|a−p| / |a+p|` (the SMAPE terms).
+    smape_terms: Vec<f64>,
+    /// Per-step absolute errors `|a−p|`.
+    abs_errors: Vec<f64>,
+    /// Next write position in the rings.
+    next: usize,
+    /// Observations absorbed so far (saturates at the window length).
+    filled: usize,
+    /// Whether the key was above threshold after the last record —
+    /// drift fires only on the false→true edge.
+    above: bool,
+}
+
+impl KeyWindow {
+    fn new(window: usize) -> Self {
+        KeyWindow {
+            smape_terms: vec![0.0; window],
+            abs_errors: vec![0.0; window],
+            next: 0,
+            filled: 0,
+            above: false,
+        }
+    }
+
+    fn push(&mut self, smape_term: f64, abs_err: f64) {
+        self.smape_terms[self.next] = smape_term;
+        self.abs_errors[self.next] = abs_err;
+        self.next = (self.next + 1) % self.smape_terms.len();
+        self.filled = (self.filled + 1).min(self.smape_terms.len());
+    }
+
+    fn smape(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.smape_terms.iter().take(self.filled).sum::<f64>() / self.filled as f64
+    }
+
+    fn mae(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.abs_errors.iter().take(self.filled).sum::<f64>() / self.filled as f64
+    }
+}
+
+/// Windowed per-key SMAPE/MAE tracker with edge-triggered drift
+/// detection. All methods take `&self`; internally one mutex guards the
+/// key map (records happen once per key per time advance — far off any
+/// hot path).
+#[derive(Debug)]
+pub struct RollingAccuracy {
+    opts: AccuracyOptions,
+    /// Float-gauge families to publish into: `(smape_family,
+    /// mae_family)`, label `node=<key>`. `None` keeps the tracker
+    /// registry-silent (tests, ad-hoc use).
+    gauges: Option<(String, String)>,
+    windows: Mutex<HashMap<u64, KeyWindow>>,
+}
+
+impl RollingAccuracy {
+    /// Creates a tracker with the given options, not publishing gauges.
+    pub fn new(opts: AccuracyOptions) -> Self {
+        RollingAccuracy {
+            opts: AccuracyOptions {
+                window: opts.window.max(1),
+                ..opts
+            },
+            gauges: None,
+            windows: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Publishes each key's windowed SMAPE and MAE into the given
+    /// float-gauge families (label `node`), e.g.
+    /// `f2db.node.smape{node="17"}`.
+    pub fn with_gauge_families(mut self, smape_family: &str, mae_family: &str) -> Self {
+        self.gauges = Some((smape_family.to_string(), mae_family.to_string()));
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &AccuracyOptions {
+        &self.opts
+    }
+
+    /// Records one `(actual, predicted)` pair for `key`. Returns a
+    /// [`DriftAlert`] when this record moved the key's windowed SMAPE
+    /// across the threshold from below (and the window holds at least
+    /// `min_samples` observations).
+    pub fn record(&self, key: u64, actual: f64, predicted: f64) -> Option<DriftAlert> {
+        let denom = (actual + predicted).abs();
+        let smape_term = if denom < f64::EPSILON {
+            0.0
+        } else {
+            (actual - predicted).abs() / denom
+        };
+        let abs_err = (actual - predicted).abs();
+
+        let (smape, mae, fired) = {
+            let mut windows = self.windows.lock().unwrap();
+            let w = windows
+                .entry(key)
+                .or_insert_with(|| KeyWindow::new(self.opts.window));
+            w.push(smape_term, abs_err);
+            let smape = w.smape();
+            let mae = w.mae();
+            let above =
+                w.filled >= self.opts.min_samples.max(1) && smape > self.opts.smape_threshold;
+            let fired = above && !w.above;
+            w.above = above;
+            (smape, mae, fired)
+        };
+
+        if let Some((smape_family, mae_family)) = &self.gauges {
+            let node = key.to_string();
+            registry()
+                .float_gauge_with(smape_family, &[("node", &node)])
+                .set(smape);
+            registry()
+                .float_gauge_with(mae_family, &[("node", &node)])
+                .set(mae);
+        }
+
+        fired.then_some(DriftAlert {
+            key,
+            smape,
+            mae,
+            threshold: self.opts.smape_threshold,
+        })
+    }
+
+    /// Windowed SMAPE of `key` (`None` until its first record).
+    pub fn smape(&self, key: u64) -> Option<f64> {
+        self.windows.lock().unwrap().get(&key).map(|w| w.smape())
+    }
+
+    /// Windowed MAE of `key` (`None` until its first record).
+    pub fn mae(&self, key: u64) -> Option<f64> {
+        self.windows.lock().unwrap().get(&key).map(|w| w.mae())
+    }
+
+    /// Number of keys tracked so far.
+    pub fn tracked_keys(&self) -> usize {
+        self.windows.lock().unwrap().len()
+    }
+
+    /// Clears `key`'s window (call after the model was re-estimated, so
+    /// the fresh parameters are not judged by the stale window — and so
+    /// the next genuine excursion re-alerts).
+    pub fn reset_key(&self, key: u64) {
+        let mut windows = self.windows.lock().unwrap();
+        if let Some(w) = windows.get_mut(&key) {
+            *w = KeyWindow::new(self.opts.window);
+        }
+        drop(windows);
+        if let Some((smape_family, mae_family)) = &self.gauges {
+            let node = key.to_string();
+            registry()
+                .float_gauge_with(smape_family, &[("node", &node)])
+                .set(0.0);
+            registry()
+                .float_gauge_with(mae_family, &[("node", &node)])
+                .set(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(window: usize, threshold: f64, min_samples: usize) -> AccuracyOptions {
+        AccuracyOptions {
+            window,
+            smape_threshold: threshold,
+            min_samples,
+        }
+    }
+
+    #[test]
+    fn window_math_matches_hand_computation() {
+        let acc = RollingAccuracy::new(opts(3, 0.9, 1));
+        // Perfect forecast: SMAPE term 0, MAE 0.
+        acc.record(1, 10.0, 10.0);
+        assert_eq!(acc.smape(1), Some(0.0));
+        assert_eq!(acc.mae(1), Some(0.0));
+        // One fully-wrong step: |10-0|/|10+0| = 1.
+        acc.record(1, 10.0, 0.0);
+        assert!((acc.smape(1).unwrap() - 0.5).abs() < 1e-12);
+        assert!((acc.mae(1).unwrap() - 5.0).abs() < 1e-12);
+        // Window slides: after 3 more perfect steps the bad one is gone.
+        for _ in 0..3 {
+            acc.record(1, 10.0, 10.0);
+        }
+        assert_eq!(acc.smape(1), Some(0.0));
+    }
+
+    #[test]
+    fn drift_fires_on_threshold_crossing_only() {
+        let acc = RollingAccuracy::new(opts(4, 0.4, 2));
+        assert!(acc.record(7, 10.0, 10.0).is_none());
+        // First bad step: window SMAPE 0.5 but only fires once the edge
+        // is crossed with >= min_samples.
+        let alert = acc.record(7, 10.0, 0.0).expect("crossing fires");
+        assert_eq!(alert.key, 7);
+        assert!(alert.smape > 0.4);
+        assert_eq!(alert.threshold, 0.4);
+        // Still above: no re-fire.
+        assert!(acc.record(7, 10.0, 0.0).is_none());
+        // Recover below, then cross again: fires again.
+        for _ in 0..4 {
+            assert!(acc.record(7, 10.0, 10.0).is_none());
+        }
+        for _ in 0..4 {
+            if acc.record(7, 10.0, 0.0).is_some() {
+                return;
+            }
+        }
+        panic!("second excursion must re-alert");
+    }
+
+    #[test]
+    fn min_samples_suppresses_early_noise() {
+        let acc = RollingAccuracy::new(opts(8, 0.2, 4));
+        // Three terrible steps — below min_samples, no alert.
+        for _ in 0..3 {
+            assert!(acc.record(1, 100.0, 0.0).is_none());
+        }
+        // The fourth reaches min_samples and fires.
+        assert!(acc.record(1, 100.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn reset_key_clears_window_and_rearms() {
+        let acc = RollingAccuracy::new(opts(4, 0.4, 1));
+        assert!(acc.record(3, 10.0, 0.0).is_some());
+        acc.reset_key(3);
+        assert_eq!(acc.smape(3), Some(0.0));
+        // Re-armed: the next excursion alerts again.
+        assert!(acc.record(3, 10.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn gauges_publish_per_key_series() {
+        let acc = RollingAccuracy::new(opts(4, 0.9, 1))
+            .with_gauge_families("acc_test.smape", "acc_test.mae");
+        acc.record(42, 10.0, 0.0);
+        let snap = crate::snapshot();
+        let smape = snap
+            .float_gauges
+            .iter()
+            .find(|(n, _)| n == "acc_test.smape{node=\"42\"}")
+            .expect("gauge series exists");
+        assert!((smape.1 - 1.0).abs() < 1e-12);
+        let mae = snap
+            .float_gauges
+            .iter()
+            .find(|(n, _)| n == "acc_test.mae{node=\"42\"}")
+            .expect("mae series exists");
+        assert!((mae.1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_is_not_an_error() {
+        let acc = RollingAccuracy::new(opts(2, 0.1, 1));
+        assert!(acc.record(1, 0.0, 0.0).is_none());
+        assert_eq!(acc.smape(1), Some(0.0));
+    }
+}

@@ -1,0 +1,392 @@
+//! The structured event journal — the audit trail of the maintenance
+//! loop.
+//!
+//! Metrics answer "how much"; the journal answers "what happened, in
+//! what order": every invalidation-driven re-estimation, drift alert,
+//! batched time advance and catalog save lands here as one typed
+//! [`Event`] with a process-wide sequence number and a wall-clock
+//! timestamp. The journal is a fixed-capacity ring (oldest events are
+//! dropped once [`Journal::capacity`] is exceeded — a bounded audit
+//! trail that can never exhaust memory), with an optional JSONL file
+//! sink that persists every event as it is published.
+//!
+//! Pushes take one short mutex; events are structural (per time
+//! advance or re-fit, not per insert or query), so this is far from any
+//! hot path. The global journal is process-wide ([`journal`]), matching
+//! the metrics registry.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity of the global journal.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// A typed observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A model's windowed SMAPE crossed its drift threshold.
+    DriftAlert {
+        /// Catalog node of the drifting model.
+        node: u64,
+        /// Windowed SMAPE at the crossing.
+        smape: f64,
+        /// Windowed MAE at the crossing.
+        mae: f64,
+        /// The configured threshold.
+        threshold: f64,
+    },
+    /// A lazy (or sweep-driven) parameter re-estimation resolved.
+    ReEstimation {
+        /// Catalog node of the model.
+        node: u64,
+        /// The model's invalidation epoch after the call.
+        epoch: u64,
+        /// How the single-flight call was satisfied: `"refit"`,
+        /// `"waited"` or `"already_valid"`.
+        outcome: &'static str,
+    },
+    /// A batched insert completed a time stamp and the graph advanced.
+    BatchAdvance {
+        /// Index of the newly appended time stamp.
+        time_index: u64,
+        /// Incremental model state updates performed.
+        model_updates: u64,
+        /// Models newly marked invalid by the policy.
+        invalidations: u64,
+        /// Drift alerts raised during this advance.
+        drift_alerts: u64,
+    },
+    /// The catalog was persisted to disk.
+    CatalogSave {
+        /// Encoded size in bytes.
+        bytes: u64,
+    },
+    /// A catalog was restored from disk.
+    CatalogLoad {
+        /// Decoded size in bytes.
+        bytes: u64,
+    },
+    /// The HTTP exporter started serving.
+    ServeStart {
+        /// The bound address, e.g. `127.0.0.1:9100`.
+        addr: String,
+    },
+}
+
+impl Event {
+    /// The event's type tag as rendered in JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DriftAlert { .. } => "DriftAlert",
+            Event::ReEstimation { .. } => "ReEstimation",
+            Event::BatchAdvance { .. } => "BatchAdvance",
+            Event::CatalogSave { .. } => "CatalogSave",
+            Event::CatalogLoad { .. } => "CatalogLoad",
+            Event::ServeStart { .. } => "ServeStart",
+        }
+    }
+
+    /// Serializes the payload fields (without the envelope) as the
+    /// inside of a JSON object, e.g. `"node":3,"smape":0.61`.
+    fn payload_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        match self {
+            Event::DriftAlert {
+                node,
+                smape,
+                mae,
+                threshold,
+            } => format!(
+                "\"node\":{node},\"smape\":{},\"mae\":{},\"threshold\":{}",
+                f(*smape),
+                f(*mae),
+                f(*threshold)
+            ),
+            Event::ReEstimation {
+                node,
+                epoch,
+                outcome,
+            } => format!("\"node\":{node},\"epoch\":{epoch},\"outcome\":\"{outcome}\""),
+            Event::BatchAdvance {
+                time_index,
+                model_updates,
+                invalidations,
+                drift_alerts,
+            } => format!(
+                "\"time_index\":{time_index},\"model_updates\":{model_updates},\"invalidations\":{invalidations},\"drift_alerts\":{drift_alerts}"
+            ),
+            Event::CatalogSave { bytes } => format!("\"bytes\":{bytes}"),
+            Event::CatalogLoad { bytes } => format!("\"bytes\":{bytes}"),
+            Event::ServeStart { addr } => {
+                // Addresses contain no characters needing JSON escapes.
+                format!("\"addr\":\"{addr}\"")
+            }
+        }
+    }
+}
+
+/// An [`Event`] with its journal envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Monotonic sequence number (process-wide, starts at 1).
+    pub seq: u64,
+    /// Wall-clock publication time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// One JSON object per event — the JSONL line format.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"unix_ms\":{},\"type\":\"{}\",{}}}",
+            self.seq,
+            self.unix_ms,
+            self.event.kind(),
+            self.event.payload_json()
+        )
+    }
+}
+
+impl fmt::Display for TimedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+#[derive(Default)]
+struct JournalInner {
+    ring: VecDeque<TimedEvent>,
+    sink: Option<BufWriter<File>>,
+}
+
+/// The bounded event ring with an optional JSONL sink.
+pub struct Journal {
+    capacity: usize,
+    seq: AtomicU64,
+    total: AtomicU64,
+    inner: Mutex<JournalInner>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.capacity)
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Journal {
+    /// Creates a journal holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            inner: Mutex::new(JournalInner::default()),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Publishes an event: assigns seq + timestamp, appends to the ring
+    /// (dropping the oldest event when full) and writes one JSONL line
+    /// to the sink, if any. Returns the assigned sequence number.
+    pub fn publish(&self, event: Event) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.total.fetch_add(1, Ordering::Relaxed);
+        crate::counter(crate::names::OBS_JOURNAL_EVENTS).incr();
+        let timed = TimedEvent {
+            seq,
+            unix_ms: now_unix_ms(),
+            event,
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(sink) = inner.sink.as_mut() {
+            // Line-buffered-ish: write + flush per event so a crash (or
+            // an abrupt test-process exit) loses nothing. Events are
+            // structural, so the syscall rate is negligible.
+            let _ = writeln!(sink, "{}", timed.to_json());
+            let _ = sink.flush();
+        }
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(timed);
+        seq
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TimedEvent> {
+        let inner = self.inner.lock().unwrap();
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever published (including ones the ring dropped).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a JSONL file sink (truncating `path`); every subsequent
+    /// publish appends one line. Replaces any previous sink.
+    pub fn set_jsonl_sink(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        self.inner.lock().unwrap().sink = Some(BufWriter::new(file));
+        Ok(())
+    }
+
+    /// Detaches the JSONL sink, flushing buffered lines.
+    pub fn close_sink(&self) {
+        if let Some(mut sink) = self.inner.lock().unwrap().sink.take() {
+            let _ = sink.flush();
+        }
+    }
+
+    /// Renders the most recent `n` events as a JSON array (oldest
+    /// first) — the `/events` response body.
+    pub fn recent_json(&self, n: usize) -> String {
+        let events = self.recent(n);
+        let mut out = String::from("[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// The process-global journal (capacity
+/// [`DEFAULT_JOURNAL_CAPACITY`]).
+pub fn journal() -> &'static Journal {
+    static JOURNAL: OnceLock<Journal> = OnceLock::new();
+    JOURNAL.get_or_init(|| Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_assigns_increasing_seq() {
+        let j = Journal::with_capacity(8);
+        let a = j.publish(Event::CatalogSave { bytes: 10 });
+        let b = j.publish(Event::CatalogLoad { bytes: 10 });
+        assert!(b > a);
+        let recent = j.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert!(recent[0].seq < recent[1].seq);
+        assert_eq!(j.total(), 2);
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let j = Journal::with_capacity(3);
+        for i in 0..5 {
+            j.publish(Event::CatalogSave { bytes: i });
+        }
+        let recent = j.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent
+                .iter()
+                .map(|e| match e.event {
+                    Event::CatalogSave { bytes } => bytes,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(j.total(), 5);
+    }
+
+    #[test]
+    fn event_json_is_well_formed() {
+        let j = Journal::with_capacity(8);
+        j.publish(Event::DriftAlert {
+            node: 3,
+            smape: 0.625,
+            mae: 12.5,
+            threshold: 0.5,
+        });
+        j.publish(Event::ReEstimation {
+            node: 3,
+            epoch: 2,
+            outcome: "refit",
+        });
+        j.publish(Event::BatchAdvance {
+            time_index: 33,
+            model_updates: 7,
+            invalidations: 1,
+            drift_alerts: 1,
+        });
+        let json = j.recent_json(10);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"type\":\"DriftAlert\""), "{json}");
+        assert!(json.contains("\"smape\":0.625"), "{json}");
+        assert!(json.contains("\"outcome\":\"refit\""), "{json}");
+        assert!(json.contains("\"time_index\":33"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn jsonl_sink_persists_every_event() {
+        let j = Journal::with_capacity(2);
+        let path = std::env::temp_dir().join(format!(
+            "fdc_journal_test_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        j.set_jsonl_sink(&path).unwrap();
+        for i in 0..4 {
+            j.publish(Event::CatalogSave { bytes: i });
+        }
+        j.close_sink();
+        let content = std::fs::read_to_string(&path).unwrap();
+        // The ring kept 2 events, the sink all 4.
+        assert_eq!(content.lines().count(), 4);
+        for line in content.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":\"CatalogSave\""));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recent_handles_small_n() {
+        let j = Journal::with_capacity(8);
+        for i in 0..5 {
+            j.publish(Event::CatalogSave { bytes: i });
+        }
+        let last_two = j.recent(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[1].seq, 5);
+    }
+}

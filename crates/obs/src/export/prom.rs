@@ -1,0 +1,208 @@
+//! Prometheus text-format exposition (version 0.0.4).
+//!
+//! One encoder renders a [`Snapshot`] for both consumers: the shell's
+//! `\metrics` command and the HTTP `/metrics` route, so the two can
+//! never drift apart.
+//!
+//! Series keys in the registry already carry their labels in Prometheus
+//! syntax (`name{k="v"}`, canonical order, escaped values — see
+//! `crate::labels`), so encoding a labeled sample is: split the family
+//! off at the first `{`, sanitize the family into the Prometheus name
+//! charset, and emit the label body verbatim. Histograms expand into
+//! the conventional `_bucket{le=...}` / `_sum` / `_count` triple with
+//! cumulative, non-decreasing bucket counts.
+
+use crate::labels::{prometheus_name, split_series};
+use crate::metrics::Snapshot;
+use std::collections::BTreeMap;
+
+/// Groups a section's series by sanitized family name, preserving the
+/// snapshot's sorted order within each family. Prometheus requires all
+/// samples of a family to be contiguous under one `# TYPE` line.
+fn group_by_family<V: Copy>(series: &[(String, V)]) -> BTreeMap<String, Vec<(&str, V)>> {
+    let mut families: BTreeMap<String, Vec<(&str, V)>> = BTreeMap::new();
+    for (key, v) in series {
+        let (family, _) = split_series(key);
+        families
+            .entry(prometheus_name(family))
+            .or_default()
+            .push((key.as_str(), *v));
+    }
+    families
+}
+
+/// Appends one sample line: `name{body} value` (or `name value` when
+/// the series has no labels).
+fn push_sample(out: &mut String, name: &str, body: &str, value: &str) {
+    out.push_str(name);
+    if !body.is_empty() {
+        out.push('{');
+        out.push_str(body);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Renders `f` the way Prometheus expects floats (finite shortest form;
+/// non-finite becomes `NaN`/`+Inf`/`-Inf`, which the text format allows).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Encodes a snapshot in the Prometheus text exposition format.
+pub fn encode_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+
+    for (family, series) in group_by_family(&snap.counters) {
+        out.push_str(&format!("# TYPE {family} counter\n"));
+        for (key, v) in series {
+            let (_, body) = split_series(key);
+            push_sample(&mut out, &family, body, &v.to_string());
+        }
+    }
+
+    for (family, series) in group_by_family(&snap.gauges) {
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (key, v) in series {
+            let (_, body) = split_series(key);
+            push_sample(&mut out, &family, body, &v.to_string());
+        }
+    }
+
+    for (family, series) in group_by_family(&snap.float_gauges) {
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (key, v) in series {
+            let (_, body) = split_series(key);
+            push_sample(&mut out, &family, body, &fmt_f64(v));
+        }
+    }
+
+    for (family, series) in group_by_family(&snap.histograms) {
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        for (key, h) in series {
+            let (_, body) = split_series(key);
+            let bucket_name = format!("{family}_bucket");
+            for (le, cum) in h.cumulative_buckets() {
+                let le_label = format!("le=\"{le}\"");
+                let full_body = if body.is_empty() {
+                    le_label
+                } else {
+                    format!("{body},{le_label}")
+                };
+                push_sample(&mut out, &bucket_name, &full_body, &cum.to_string());
+            }
+            let inf_body = if body.is_empty() {
+                "le=\"+Inf\"".to_string()
+            } else {
+                format!("{body},le=\"+Inf\"")
+            };
+            push_sample(&mut out, &bucket_name, &inf_body, &h.count.to_string());
+            push_sample(&mut out, &format!("{family}_sum"), body, &h.sum.to_string());
+            push_sample(
+                &mut out,
+                &format!("{family}_count"),
+                body,
+                &h.count.to_string(),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn encodes_all_metric_kinds() {
+        let r = Registry::default();
+        r.counter("f2db.queries").add(7);
+        r.gauge("advisor.model_count").set(42);
+        r.float_gauge_with("f2db.node.smape", &[("node", "3")])
+            .set(0.625);
+        r.histogram("f2db.query.ns").record(1000);
+        r.histogram("f2db.query.ns").record(3000);
+        let text = encode_prometheus(&r.snapshot());
+
+        assert!(text.contains("# TYPE f2db_queries counter\n"), "{text}");
+        assert!(text.contains("f2db_queries 7\n"), "{text}");
+        assert!(text.contains("# TYPE advisor_model_count gauge\n"));
+        assert!(text.contains("advisor_model_count 42\n"));
+        assert!(text.contains("# TYPE f2db_node_smape gauge\n"));
+        assert!(text.contains("f2db_node_smape{node=\"3\"} 0.625\n"));
+        assert!(text.contains("# TYPE f2db_query_ns histogram\n"));
+        assert!(
+            text.contains("f2db_query_ns_bucket{le=\"1023\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("f2db_query_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("f2db_query_ns_sum 4000\n"));
+        assert!(text.contains("f2db_query_ns_count 2\n"));
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.rsplit_once(' ').is_some(),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_label() {
+        let r = Registry::default();
+        r.histogram_with("work.ns", &[("kind", "fit")]).record(100);
+        let text = encode_prometheus(&r.snapshot());
+        assert!(
+            text.contains("work_ns_bucket{kind=\"fit\",le=\"127\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("work_ns_bucket{kind=\"fit\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("work_ns_sum{kind=\"fit\"} 100\n"));
+        assert!(text.contains("work_ns_count{kind=\"fit\"} 1\n"));
+    }
+
+    #[test]
+    fn one_type_line_per_family() {
+        let r = Registry::default();
+        for node in ["1", "2", "3"] {
+            r.counter_with("family.hits", &[("node", node)]).incr();
+        }
+        let text = encode_prometheus(&r.snapshot());
+        assert_eq!(text.matches("# TYPE family_hits counter").count(), 1);
+        assert_eq!(text.matches("family_hits{node=").count(), 3);
+    }
+
+    #[test]
+    fn cumulative_bucket_counts_do_not_decrease() {
+        let r = Registry::default();
+        let h = r.histogram("lat.ns");
+        for v in [1u64, 5, 5, 900, 70_000] {
+            h.record(v);
+        }
+        let text = encode_prometheus(&r.snapshot());
+        let mut last = 0u64;
+        let mut buckets = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("lat_ns_bucket{") {
+                let count: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(count >= last, "{text}");
+                last = count;
+                buckets += 1;
+            }
+        }
+        assert!(buckets >= 4, "{text}");
+        assert_eq!(last, 5, "+Inf bucket equals total count");
+    }
+}

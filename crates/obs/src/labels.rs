@@ -1,0 +1,176 @@
+//! Labeled metric series.
+//!
+//! A labeled series is interned in the registry under one canonical
+//! string key: the family name followed by its labels in Prometheus
+//! text syntax, `name{k1="v1",k2="v2"}`. Canonicalization makes equal
+//! label sets hit the same series no matter the argument order:
+//!
+//! * labels are sorted by key (duplicate keys keep the last value),
+//! * label values are escaped Prometheus-style (`\\`, `\"`, `\n`),
+//! * the empty label set is just the bare family name.
+//!
+//! Because the key *is* the Prometheus series syntax, the text
+//! exporter never parses labels back out — it splits a series at the
+//! first `{` to find its family and emits the rest verbatim. Metric
+//! family names must therefore never contain `{` (the `names` module
+//! enforces this for the workspace's own names).
+//!
+//! ## Cardinality
+//!
+//! Per-family cardinality is bounded by [`MAX_SERIES_PER_FAMILY`]: the
+//! first `MAX_SERIES_PER_FAMILY` distinct label sets of a family get
+//! their own series; later ones are redirected to the family's shared
+//! `{overflow="true"}` series and counted in `obs.series.dropped`. This
+//! keeps an unbounded key space (node ids of a huge cube, user-supplied
+//! dimension values) from growing the registry without bound while
+//! still accounting every sample.
+
+/// Maximum number of distinct label sets kept per metric family.
+pub const MAX_SERIES_PER_FAMILY: usize = 128;
+
+/// The canonical series key of the overflow series of a family.
+pub(crate) fn overflow_series(name: &str) -> String {
+    format!("{name}{{overflow=\"true\"}}")
+}
+
+/// Appends a label value with Prometheus text-format escaping
+/// (backslash, double quote, newline).
+fn push_escaped(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builds the canonical series key for `name` with `labels`.
+///
+/// Labels are sorted by key; duplicate keys keep the value given last.
+/// An empty label set yields the bare name.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    // Stable sort, then keep the last occurrence of each key.
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut dedup: Vec<(&str, &str)> = Vec::with_capacity(sorted.len());
+    for (k, v) in sorted {
+        match dedup.last_mut() {
+            Some((lk, lv)) if *lk == k => *lv = v,
+            _ => dedup.push((k, v)),
+        }
+    }
+    let mut out = String::with_capacity(name.len() + 16 * dedup.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in dedup.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        push_escaped(&mut out, v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a canonical series key into its family name and raw label
+/// body (the text between the braces, without them). Series without
+/// labels return an empty body.
+pub fn split_series(series: &str) -> (&str, &str) {
+    match series.find('{') {
+        Some(i) => (&series[..i], &series[i + 1..series.len() - 1]),
+        None => (series, ""),
+    }
+}
+
+/// Sanitizes a dotted metric name into the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+pub fn prometheus_name(family: &str) -> String {
+    let mut out: String = family
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::registry;
+
+    #[test]
+    fn series_key_is_canonical() {
+        assert_eq!(series_key("m", &[]), "m");
+        assert_eq!(
+            series_key("m", &[("b", "2"), ("a", "1")]),
+            "m{a=\"1\",b=\"2\"}"
+        );
+        // Argument order does not matter.
+        assert_eq!(
+            series_key("m", &[("a", "1"), ("b", "2")]),
+            series_key("m", &[("b", "2"), ("a", "1")])
+        );
+        // Duplicate keys keep the last value.
+        assert_eq!(series_key("m", &[("a", "1"), ("a", "2")]), "m{a=\"2\"}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let key = series_key("m", &[("path", "a\"b\\c\nd")]);
+        assert_eq!(key, "m{path=\"a\\\"b\\\\c\\nd\"}");
+        let (family, body) = split_series(&key);
+        assert_eq!(family, "m");
+        assert_eq!(body, "path=\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn split_series_handles_unlabeled() {
+        assert_eq!(split_series("plain.name"), ("plain.name", ""));
+        assert_eq!(split_series("n{a=\"x\"}"), ("n", "a=\"x\""));
+        // A `{` inside a label value does not confuse the family split:
+        // the family is everything before the FIRST `{`.
+        let key = series_key("m", &[("v", "{weird}")]);
+        assert_eq!(split_series(&key).0, "m");
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes() {
+        assert_eq!(prometheus_name("f2db.query.ns"), "f2db_query_ns");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+        assert_eq!(prometheus_name("2fast"), "_2fast");
+    }
+
+    #[test]
+    fn cardinality_bound_redirects_to_overflow() {
+        let r = registry();
+        let family = "labels_test.cardinality";
+        for i in 0..MAX_SERIES_PER_FAMILY {
+            r.counter_with(family, &[("i", &i.to_string())]).incr();
+        }
+        let dropped_before = r.counter(crate::names::OBS_SERIES_DROPPED).get();
+        // One past the bound: lands in the overflow series.
+        r.counter_with(family, &[("i", "next")]).add(7);
+        r.counter_with(family, &[("i", "next2")]).add(5);
+        assert!(r.counter(crate::names::OBS_SERIES_DROPPED).get() >= dropped_before + 2);
+        assert_eq!(r.counter(&overflow_series(family)).get(), 12);
+        // Existing series keep resolving even when the family is full.
+        r.counter_with(family, &[("i", "3")]).incr();
+        assert_eq!(r.counter(&series_key(family, &[("i", "3")])).get(), 2);
+    }
+}

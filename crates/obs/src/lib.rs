@@ -21,12 +21,40 @@
 //!
 //! Metric names are dotted paths (`f2db.query.ns`); by convention a
 //! name ending in `.ns` holds nanoseconds and is rendered as a humanized
-//! duration by [`Snapshot`]'s `Display`.
+//! duration by [`Snapshot`]'s `Display`. The canonical names used by the
+//! workspace live in [`names`].
+//!
+//! On top of the registry sit the drift/export layers:
+//!
+//! * **labeled series** — `counter_with("hits", &[("node", "3")])`
+//!   interns `hits{node="3"}` with canonical label order and a bounded
+//!   per-family cardinality ([`labels`]);
+//! * **rolling accuracy** — [`RollingAccuracy`] tracks windowed
+//!   SMAPE/MAE per key and raises edge-triggered [`DriftAlert`]s;
+//! * **event journal** — [`journal`] is a bounded ring of typed
+//!   [`Event`]s with an optional JSONL sink;
+//! * **export plane** — [`encode_prometheus`] (text exposition),
+//!   [`ObsServer`] (std-only HTTP `/metrics`, `/healthz`, `/events`,
+//!   `/snapshot`), and [`TraceCollector`] (Chrome `trace_event` JSON
+//!   for Perfetto).
 
+pub mod accuracy;
+pub mod events;
+pub mod export;
+pub mod labels;
 pub mod metrics;
+pub mod names;
 pub mod span;
 
-pub use metrics::{registry, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use accuracy::{AccuracyOptions, DriftAlert, RollingAccuracy};
+pub use events::{journal, Event, Journal, TimedEvent};
+pub use export::http::ObsServer;
+pub use export::prom::encode_prometheus;
+pub use export::trace::TraceCollector;
+pub use labels::{prometheus_name, series_key, split_series, MAX_SERIES_PER_FAMILY};
+pub use metrics::{
+    registry, Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+};
 pub use span::{
     set_spans_enabled, set_subscriber, spans_enabled, take_subscriber, FlameCollector, SpanGuard,
     SpanSubscriber,
@@ -44,10 +72,37 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
     registry().gauge(name)
 }
 
+/// Returns (interning on first use) the float gauge registered under
+/// `name`.
+pub fn float_gauge(name: &str) -> Arc<FloatGauge> {
+    registry().float_gauge(name)
+}
+
 /// Returns (interning on first use) the histogram registered under
 /// `name`. Suffix the name with `.ns` when recording nanoseconds.
 pub fn histogram(name: &str) -> Arc<Histogram> {
     registry().histogram(name)
+}
+
+/// Returns the labeled counter series `name{labels}` (canonical label
+/// order; per-family cardinality bounded by [`MAX_SERIES_PER_FAMILY`]).
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    registry().counter_with(name, labels)
+}
+
+/// Returns the labeled gauge series `name{labels}`.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    registry().gauge_with(name, labels)
+}
+
+/// Returns the labeled float-gauge series `name{labels}`.
+pub fn float_gauge_with(name: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+    registry().float_gauge_with(name, labels)
+}
+
+/// Returns the labeled histogram series `name{labels}`.
+pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    registry().histogram_with(name, labels)
 }
 
 /// Takes a consistent snapshot of the global registry.

@@ -6,6 +6,8 @@
 //! a name to its handle. Callers on genuinely hot loops should resolve
 //! the `Arc` handle once and reuse it.
 
+use crate::labels::{overflow_series, series_key, MAX_SERIES_PER_FAMILY};
+use crate::names;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -15,7 +17,7 @@ use std::time::Duration;
 /// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
 /// (1 ≤ i ≤ 64) holds values whose bit length is `i`, i.e. the range
 /// `[2^(i-1), 2^i)`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -79,6 +81,29 @@ impl Gauge {
     }
 }
 
+/// A gauge holding an `f64` (scaled errors, ratios — values an [`i64`]
+/// gauge would truncate). Stored as the value's bit pattern in one
+/// atomic, so reads and writes stay lock-free.
+#[derive(Debug, Default)]
+pub struct FloatGauge(AtomicU64);
+
+impl FloatGauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
 /// A log-bucketed histogram of `u64` samples (by convention
 /// nanoseconds when the metric name ends in `.ns`).
 ///
@@ -113,7 +138,7 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// Inclusive value range `[lo, hi]` covered by a bucket.
-fn bucket_bounds(i: usize) -> (u64, u64) {
+pub(crate) fn bucket_bounds(i: usize) -> (u64, u64) {
     match i {
         0 => (0, 0),
         64 => (1 << 63, u64::MAX),
@@ -168,6 +193,8 @@ impl Histogram {
             }
             max
         };
+        let mut buckets = [0u64; BUCKETS];
+        buckets.copy_from_slice(&counts);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
@@ -176,6 +203,7 @@ impl Histogram {
             p50: percentile(0.50),
             p95: percentile(0.95),
             p99: percentile(0.99),
+            buckets,
         }
     }
 
@@ -207,6 +235,10 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Raw per-bucket sample counts (power-of-two buckets; see
+    /// [`Histogram`]). The Prometheus exporter renders these as
+    /// cumulative `le` buckets.
+    pub buckets: [u64; BUCKETS],
 }
 
 impl HistogramSnapshot {
@@ -218,13 +250,36 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs over the
+    /// non-empty buckets, in ascending bound order — the exact shape of
+    /// Prometheus histogram `_bucket{le=...}` samples (`+Inf` excluded;
+    /// it equals [`HistogramSnapshot::count`]). Cumulative counts are
+    /// non-decreasing by construction.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((bucket_bounds(i).1, cum));
+        }
+        out
+    }
 }
 
 /// The process-wide registry interning metrics by name.
+///
+/// Labeled series are interned under their canonical series key
+/// ([`crate::labels::series_key`]); the `*_with` methods enforce the
+/// per-family cardinality bound.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    float_gauges: RwLock<BTreeMap<String, Arc<FloatGauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -234,6 +289,41 @@ fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc
     }
     let mut w = map.write().unwrap();
     Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+/// Interns the labeled series of `name`, enforcing the per-family
+/// cardinality bound: a new label set beyond [`MAX_SERIES_PER_FAMILY`]
+/// is redirected to the family's shared `{overflow="true"}` series and
+/// reported via the `obs.series.dropped` counter handed in by the
+/// caller (passed, not resolved here, to keep the drop path free of
+/// recursion into this function).
+fn intern_labeled<T: Default>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    labels: &[(&str, &str)],
+    dropped: &Counter,
+) -> Arc<T> {
+    let key = series_key(name, labels);
+    if let Some(m) = map.read().unwrap().get(&key) {
+        return Arc::clone(m);
+    }
+    let mut w = map.write().unwrap();
+    if w.contains_key(&key) {
+        return Arc::clone(&w[&key]);
+    }
+    // New series: count the family's existing labeled series. The
+    // prefix `name{` cannot collide with other families because `{`
+    // never appears in family names.
+    let prefix = format!("{name}{{");
+    let family_series = w
+        .range(prefix.clone()..)
+        .take_while(|(k, _)| k.starts_with(&prefix))
+        .count();
+    if !labels.is_empty() && family_series >= MAX_SERIES_PER_FAMILY {
+        dropped.incr();
+        return Arc::clone(w.entry(overflow_series(name)).or_default());
+    }
+    Arc::clone(w.entry(key).or_default())
 }
 
 impl Registry {
@@ -247,9 +337,39 @@ impl Registry {
         intern(&self.gauges, name)
     }
 
+    /// Resolves (creating on first use) the float gauge `name`.
+    pub fn float_gauge(&self, name: &str) -> Arc<FloatGauge> {
+        intern(&self.float_gauges, name)
+    }
+
     /// Resolves (creating on first use) the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         intern(&self.histograms, name)
+    }
+
+    /// Resolves the labeled counter series `name{labels}` (canonical
+    /// label order, bounded per-family cardinality).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let dropped = self.counter(names::OBS_SERIES_DROPPED);
+        intern_labeled(&self.counters, name, labels, &dropped)
+    }
+
+    /// Resolves the labeled gauge series `name{labels}`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let dropped = self.counter(names::OBS_SERIES_DROPPED);
+        intern_labeled(&self.gauges, name, labels, &dropped)
+    }
+
+    /// Resolves the labeled float-gauge series `name{labels}`.
+    pub fn float_gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+        let dropped = self.counter(names::OBS_SERIES_DROPPED);
+        intern_labeled(&self.float_gauges, name, labels, &dropped)
+    }
+
+    /// Resolves the labeled histogram series `name{labels}`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let dropped = self.counter(names::OBS_SERIES_DROPPED);
+        intern_labeled(&self.histograms, name, labels, &dropped)
     }
 
     /// Snapshots every registered metric, sorted by name.
@@ -264,6 +384,13 @@ impl Registry {
                 .collect(),
             gauges: self
                 .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            float_gauges: self
+                .float_gauges
                 .read()
                 .unwrap()
                 .iter()
@@ -287,6 +414,9 @@ impl Registry {
         for g in self.gauges.read().unwrap().values() {
             g.reset();
         }
+        for g in self.float_gauges.read().unwrap().values() {
+            g.reset();
+        }
         for h in self.histograms.read().unwrap().values() {
             h.reset();
         }
@@ -308,6 +438,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` per gauge, sorted by name.
     pub gauges: Vec<(String, i64)>,
+    /// `(name, value)` per float gauge, sorted by name.
+    pub float_gauges: Vec<(String, f64)>,
     /// `(name, summary)` per histogram, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -324,11 +456,18 @@ fn is_nanos(name: &str) -> bool {
 impl Snapshot {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.float_gauges.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// Serializes the snapshot as a JSON object:
-    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,p50,p95,p99}}}`.
+    /// `{"counters":{...},"gauges":{...},"float_gauges":{...},"histograms":{name:{count,sum,min,max,p50,p95,p99}}}`.
+    ///
+    /// Series names may carry labels (`name{k="v"}`), so the string
+    /// escaping of names is load-bearing: quotes and backslashes inside
+    /// label values must round-trip.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\"counters\":{");
@@ -349,6 +488,15 @@ impl Snapshot {
             out.push(':');
             out.push_str(&v.to_string());
         }
+        out.push_str("},\"float_gauges\":{");
+        for (i, (name, v)) in self.float_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            push_json_f64(&mut out, *v);
+        }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             if i > 0 {
@@ -362,6 +510,18 @@ impl Snapshot {
         }
         out.push_str("}}");
         out
+    }
+}
+
+/// Appends an `f64` as a JSON number. JSON has no NaN/Infinity; those
+/// (never produced by well-behaved gauges) serialize as `null`.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 round-trips (shortest representation) and never
+        // produces exponents JSON cannot parse.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
     }
 }
 
@@ -397,6 +557,12 @@ impl fmt::Display for Snapshot {
             writeln!(f, "gauges:")?;
             for (name, v) in &self.gauges {
                 writeln!(f, "  {name:<44} {v}")?;
+            }
+        }
+        if !self.float_gauges.is_empty() {
+            writeln!(f, "float gauges:")?;
+            for (name, v) in &self.float_gauges {
+                writeln!(f, "  {name:<44} {v:.6}")?;
             }
         }
         if !self.histograms.is_empty() {
@@ -620,6 +786,73 @@ mod tests {
         let mut out = String::new();
         push_json_str(&mut out, "a\"b\\c\nd");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_escapes_labeled_series_names() {
+        // Labeled series keys contain quotes and (for escaped label
+        // values) backslashes — `to_json` must keep the document
+        // parseable. Exercise the worst case: a label value containing
+        // a quote and a backslash, which the canonical key stores as
+        // `m{k="a\"b\\c"}`.
+        let r = Registry::default();
+        r.counter_with("m", &[("k", "a\"b\\c")]).add(1);
+        r.float_gauge_with("g", &[("k", "x\"y")]).set(0.5);
+        let json = r.snapshot().to_json();
+        // The key's `"` chars are JSON-escaped; its `\` chars doubled.
+        assert!(json.contains(r#""m{k=\"a\\\"b\\\\c\"}":1"#), "{json}");
+        assert!(json.contains(r#""g{k=\"x\\\"y\"}":0.5"#), "{json}");
+        // Structural sanity: balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn float_gauge_round_trips_values() {
+        let r = Registry::default();
+        let g = r.float_gauge("ratio");
+        g.set(0.375);
+        assert_eq!(g.get(), 0.375);
+        let snap = r.snapshot();
+        assert_eq!(snap.float_gauges, vec![("ratio".to_string(), 0.375)]);
+        assert!(snap.to_json().contains("\"ratio\":0.375"));
+        assert!(snap.to_string().contains("ratio"));
+        r.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn labeled_series_intern_by_canonical_key() {
+        let r = Registry::default();
+        let a = r.counter_with("hits", &[("node", "3"), ("kind", "q")]);
+        let b = r.counter_with("hits", &[("kind", "q"), ("node", "3")]);
+        assert!(Arc::ptr_eq(&a, &b), "label order must not split series");
+        a.incr();
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == "hits{kind=\"q\",node=\"3\"}")
+                .map(|(_, v)| *v),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 5000, 5001] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative_buckets();
+        assert!(!cum.is_empty());
+        let mut last = 0;
+        for (le, c) in &cum {
+            assert!(*c >= last, "cumulative counts must not decrease");
+            assert!(*le > 0);
+            last = *c;
+        }
+        assert_eq!(last, s.count);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Canonical metric and event names.
+//!
+//! Every metric the workspace records is named here once; `f2db`,
+//! `core` and `bench` reference these constants instead of string
+//! literals, so a typo can no longer silently create a parallel series.
+//! The DESIGN.md "Metric catalog" section documents each name's meaning
+//! and labels; keep the two in sync.
+//!
+//! Naming convention: dotted paths, `<subsystem>.<noun>[.<unit>]`; a
+//! name ending in `.ns` holds nanoseconds (humanized by `Snapshot`'s
+//! `Display` and converted by the Prometheus encoder's name mangling to
+//! `_ns`).
+
+// ---- F²DB query path -------------------------------------------------
+
+/// Counter: forecast queries answered (plain and `EXPLAIN ANALYZE`).
+pub const F2DB_QUERIES: &str = "f2db.queries";
+/// Counter: `EXPLAIN ANALYZE` executions (subset of [`F2DB_QUERIES`]).
+pub const F2DB_EXPLAIN_ANALYZE: &str = "f2db.explain_analyze";
+/// Histogram: end-to-end forecast query latency in nanoseconds.
+pub const F2DB_QUERY_NS: &str = "f2db.query.ns";
+/// Counter: source models served from the catalog without a re-fit.
+pub const F2DB_MODELS_CACHED: &str = "f2db.models.cached";
+/// Counter: lazy parameter re-estimations (one per invalidation epoch).
+pub const F2DB_MODELS_REESTIMATED: &str = "f2db.models.reestimated";
+
+// ---- F²DB write path -------------------------------------------------
+
+/// Counter: insert statements processed.
+pub const F2DB_INSERTS: &str = "f2db.inserts";
+/// Counter: completed batched time advances.
+pub const F2DB_TIME_ADVANCES: &str = "f2db.time_advances";
+/// Counter: incremental model updates skipped because a racing lazy
+/// re-fit already absorbed the newest observation.
+pub const F2DB_ADVANCE_SKIPPED_UPDATES: &str = "f2db.advance.skipped_updates";
+
+// ---- F²DB catalog ----------------------------------------------------
+
+/// Gauge: number of catalog shards.
+pub const F2DB_CATALOG_SHARDS: &str = "f2db.catalog.shards";
+/// Counter: bytes written by catalog persistence.
+pub const F2DB_CATALOG_ENCODED_BYTES: &str = "f2db.catalog.encoded_bytes";
+/// Counter: bytes read by catalog restoration.
+pub const F2DB_CATALOG_DECODED_BYTES: &str = "f2db.catalog.decoded_bytes";
+/// Counter: contended catalog shard read-lock acquisitions.
+pub const F2DB_SHARD_READ_CONTENTION: &str = "f2db.shard.read_contention";
+/// Counter: contended catalog shard write-lock acquisitions.
+pub const F2DB_SHARD_WRITE_CONTENTION: &str = "f2db.shard.write_contention";
+/// Gauge: single-flight re-estimations currently running.
+pub const F2DB_REESTIMATE_IN_FLIGHT: &str = "f2db.reestimate.in_flight";
+
+// ---- F²DB accuracy / drift monitoring --------------------------------
+
+/// Float gauge family (label `node`): windowed SMAPE of the stored
+/// model's one-step forecasts at a catalog node.
+pub const F2DB_NODE_SMAPE: &str = "f2db.node.smape";
+/// Float gauge family (label `node`): windowed mean absolute error of
+/// the stored model's one-step forecasts at a catalog node.
+pub const F2DB_NODE_MAE: &str = "f2db.node.mae";
+/// Counter: drift alerts raised (windowed SMAPE crossed its threshold).
+pub const F2DB_DRIFT_ALERTS: &str = "f2db.drift.alerts";
+
+// ---- Advisor ---------------------------------------------------------
+
+/// Counter: advisor iterations run.
+pub const ADVISOR_ITERATIONS: &str = "advisor.iterations";
+/// Counter: candidate nodes proposed by the selection phase.
+pub const ADVISOR_CANDIDATES: &str = "advisor.candidates";
+/// Counter: candidate models actually built (post pre-filter).
+pub const ADVISOR_MODELS_BUILT: &str = "advisor.models_built";
+/// Counter: candidate models accepted into the configuration.
+pub const ADVISOR_ACCEPTED: &str = "advisor.accepted";
+/// Counter: candidate models rejected by the acceptance criterion.
+pub const ADVISOR_REJECTED: &str = "advisor.rejected";
+/// Counter: models deleted by the deletion phase.
+pub const ADVISOR_DELETED: &str = "advisor.deleted";
+/// Histogram: per-iteration candidate selection time.
+pub const ADVISOR_SELECTION_NS: &str = "advisor.selection.ns";
+/// Histogram: per-iteration evaluation time.
+pub const ADVISOR_EVALUATION_NS: &str = "advisor.evaluation.ns";
+/// Gauge: models in the final configuration.
+pub const ADVISOR_MODEL_COUNT: &str = "advisor.model_count";
+/// Counter: indicator-store cache hits during selection.
+pub const ADVISOR_INDICATOR_CACHE_HIT: &str = "advisor.indicator.cache_hit";
+/// Counter: indicator-store cache misses during selection.
+pub const ADVISOR_INDICATOR_CACHE_MISS: &str = "advisor.indicator.cache_miss";
+
+// ---- Observability plane itself --------------------------------------
+
+/// Counter: labeled series dropped because a family hit its cardinality
+/// bound (the sample lands in the family's `overflow="true"` series).
+pub const OBS_SERIES_DROPPED: &str = "obs.series.dropped";
+/// Counter: HTTP requests served by the exporter.
+pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
+/// Counter: events pushed into the journal.
+pub const OBS_JOURNAL_EVENTS: &str = "obs.journal.events";
+
+// ---- Bench harness ---------------------------------------------------
+
+/// Gauge family for the concurrent-QPS bench (labels `phase`, `engine`,
+/// `threads`): measured queries per second.
+pub const BENCH_CONCURRENT_QPS: &str = "bench.concurrent_qps.qps";
+/// Gauge family for the concurrent-QPS bench (labels `phase`,
+/// `threads`): sharded-vs-single-lock speedup × 100.
+pub const BENCH_CONCURRENT_SPEEDUP_X100: &str = "bench.concurrent_qps.speedup_x100";
+
+/// Histogram name for a micro-benchmark's per-iteration samples.
+pub fn bench_ns(name: &str) -> String {
+    format!("bench.{name}.ns")
+}
+
+/// Counter name for an optimizer's run count.
+pub fn optimize_runs(algo: &str) -> String {
+    format!("optimize.{algo}.runs")
+}
+
+/// Counter name for an optimizer's objective-evaluation count.
+pub fn optimize_evals(algo: &str) -> String {
+    format!("optimize.{algo}.evals")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_dotted_and_unique() {
+        let all = [
+            F2DB_QUERIES,
+            F2DB_EXPLAIN_ANALYZE,
+            F2DB_QUERY_NS,
+            F2DB_MODELS_CACHED,
+            F2DB_MODELS_REESTIMATED,
+            F2DB_INSERTS,
+            F2DB_TIME_ADVANCES,
+            F2DB_ADVANCE_SKIPPED_UPDATES,
+            F2DB_CATALOG_SHARDS,
+            F2DB_CATALOG_ENCODED_BYTES,
+            F2DB_CATALOG_DECODED_BYTES,
+            F2DB_SHARD_READ_CONTENTION,
+            F2DB_SHARD_WRITE_CONTENTION,
+            F2DB_REESTIMATE_IN_FLIGHT,
+            F2DB_NODE_SMAPE,
+            F2DB_NODE_MAE,
+            F2DB_DRIFT_ALERTS,
+            ADVISOR_ITERATIONS,
+            ADVISOR_CANDIDATES,
+            ADVISOR_MODELS_BUILT,
+            ADVISOR_ACCEPTED,
+            ADVISOR_REJECTED,
+            ADVISOR_DELETED,
+            ADVISOR_SELECTION_NS,
+            ADVISOR_EVALUATION_NS,
+            ADVISOR_MODEL_COUNT,
+            ADVISOR_INDICATOR_CACHE_HIT,
+            ADVISOR_INDICATOR_CACHE_MISS,
+            OBS_SERIES_DROPPED,
+            OBS_HTTP_REQUESTS,
+            OBS_JOURNAL_EVENTS,
+            BENCH_CONCURRENT_QPS,
+            BENCH_CONCURRENT_SPEEDUP_X100,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for n in all {
+            assert!(!n.is_empty() && !n.contains(['{', '}', '"', ' ']), "{n}");
+            assert!(seen.insert(n), "duplicate metric name {n}");
+        }
+        assert_eq!(bench_ns("models"), "bench.models.ns");
+    }
+}

@@ -5,7 +5,7 @@
 //! or a built-in demo cube), runs the model configuration advisor, and
 //! then reads SQL statements from stdin: forecast queries, inserts,
 //! `EXPLAIN` and `EXPLAIN ANALYZE`, plus the meta commands `\report`,
-//! `\stats`, `\metrics` and `\quit`.
+//! `\stats`, `\metrics`, `\events`, `\serve`, `\trace` and `\quit`.
 //!
 //! ```sh
 //! cargo run --release --bin fdc-shell                 # demo cube
@@ -16,7 +16,10 @@ use fdc::advisor::{summarize, Advisor, AdvisorOptions};
 use fdc::datagen::{generate_cube, import_csv, GenSpec};
 use fdc::f2db::F2db;
 use fdc::forecast::Granularity;
+use fdc::obs::{AccuracyOptions, ObsServer, TraceCollector};
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +72,7 @@ fn main() {
     );
     let report = summarize(&dataset, &outcome.configuration, 5);
     let db = match F2db::load(dataset, &outcome.configuration) {
-        Ok(db) => db,
+        Ok(db) => db.with_drift_monitoring(AccuracyOptions::default()),
         Err(e) => {
             eprintln!("load failed: {e}");
             std::process::exit(1);
@@ -88,8 +91,14 @@ fn main() {
     eprintln!("catalog: {} shards", db.shard_count());
     eprintln!("try: SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'");
     eprintln!(
-        "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\maintain | \\metrics | \\quit\n"
+        "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\maintain | \\metrics [human|json]"
     );
+    eprintln!("     \\events [n] | \\serve <port> | \\trace <file.json> | \\trace | \\quit\n");
+
+    // Export-plane state owned by the session: a running HTTP exporter
+    // and/or an in-progress Chrome trace recording.
+    let mut server: Option<ObsServer> = None;
+    let mut trace: Option<(Arc<TraceCollector>, PathBuf)> = None;
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -116,6 +125,17 @@ fn main() {
                 continue;
             }
             "\\metrics" => {
+                // Same encoder as the HTTP /metrics route, so the shell
+                // output and a scrape can never disagree.
+                let snap = fdc::obs::snapshot();
+                if snap.is_empty() {
+                    println!("(no metrics recorded yet)");
+                } else {
+                    print!("{}", fdc::obs::encode_prometheus(&snap));
+                }
+                continue;
+            }
+            "\\metrics human" => {
                 let snap = fdc::obs::snapshot();
                 if snap.is_empty() {
                     println!("(no metrics recorded yet)");
@@ -155,6 +175,61 @@ fn main() {
             }
             _ => {}
         }
+        if let Some(rest) = line.strip_prefix("\\events") {
+            let n = rest.trim().parse::<usize>().unwrap_or(16);
+            let events = fdc::obs::journal().recent(n);
+            if events.is_empty() {
+                println!("(no events journaled yet)");
+            } else {
+                for e in events {
+                    println!("{e}");
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\serve") {
+            if let Some(s) = &server {
+                println!("exporter already running on {}", s.addr());
+                continue;
+            }
+            let port = rest.trim().parse::<u16>().unwrap_or(0);
+            match ObsServer::bind(port) {
+                Ok(s) => {
+                    println!(
+                        "serving http://{} — /metrics /healthz /events?n= /snapshot",
+                        s.addr()
+                    );
+                    server = Some(s);
+                }
+                Err(e) => println!("error: cannot bind port {port}: {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\trace") {
+            let rest = rest.trim();
+            match (&mut trace, rest.is_empty()) {
+                (Some((collector, path)), true) => {
+                    fdc::obs::take_subscriber();
+                    match collector.write_to(path) {
+                        Ok(()) => println!(
+                            "wrote {} span(s) to {} — load it at https://ui.perfetto.dev",
+                            collector.len(),
+                            path.display()
+                        ),
+                        Err(e) => println!("error writing trace: {e}"),
+                    }
+                    trace = None;
+                }
+                (None, true) => println!("usage: \\trace <file.json> to record, \\trace to stop"),
+                (_, false) => {
+                    let collector = TraceCollector::new();
+                    fdc::obs::set_subscriber(collector.clone());
+                    trace = Some((collector, PathBuf::from(rest)));
+                    println!("recording spans; \\trace again to write {rest}");
+                }
+            }
+            continue;
+        }
         let lowered = line.to_ascii_lowercase();
         if lowered.starts_with("explain") {
             let analyzed = lowered.starts_with("explain analyze");
@@ -184,4 +259,5 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+    drop(server);
 }
