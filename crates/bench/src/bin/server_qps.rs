@@ -1,0 +1,385 @@
+//! Closed-loop load generator for the `fdc-serve` forecast server.
+//!
+//! Spawns an in-process server over the tourism-proxy engine and hammers
+//! it with N client threads (default 8), each running a seeded mixed
+//! workload: ~80 % `POST /query` (SQL from the shared [`QueryWorkload`]
+//! generator) and ~20 % `POST /insert` full-round batches, one TCP
+//! connection per request — the closed loop a forecast dashboard or an
+//! ingest pipeline would present. Reported per route: exact p50/p95/p99
+//! latency and total throughput.
+//!
+//! `--restart` exercises the graceful-drain contract mid-run: the server
+//! shuts down under full load (drain queue, flush the coalescing buffer,
+//! maintain, persist catalog + pending sidecar), the engine is reopened
+//! with `open_catalog` + `restore_pending`, and a fresh server takes
+//! over while the clients retry through the gap. The run then proves
+//! the headline acceptance number: zero dropped acknowledged writes —
+//! every `202` full round is a committed time stamp on one engine or
+//! the other.
+//!
+//! The restarted listener binds a fresh ephemeral port (accepted
+//! connections from the first life leave `TIME_WAIT` entries on the old
+//! port and `std` cannot set `SO_REUSEADDR`); clients pick up the new
+//! address from a shared cell, exactly as they would from a service
+//! registry.
+//!
+//! Usage: `cargo run -p fdc-bench --release --bin server_qps --
+//! [--threads n] [--secs s] [--port p] [--scale n] [--restart]
+//! [--strict] [--json-out FILE]`. `--strict` exits non-zero on any
+//! error response, any dropped acknowledged write, or an insert-batch
+//! ratio that shows coalescing is not happening — the CI smoke
+//! contract. `--json-out` writes the summary (the `BENCH_server.json`
+//! artifact); the obs snapshot still lands in the usual
+//! `--- metrics ---` fence.
+
+use fdc_bench::{emit_metrics, obs_session, parse_scale_args, QueryWorkload};
+use fdc_core::{Advisor, AdvisorOptions};
+use fdc_datagen::{generate_cube, GenSpec};
+use fdc_f2db::F2db;
+use fdc_obs::names;
+use fdc_rng::Rng;
+use fdc_serve::{restore_pending, ServeOptions, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fraction of requests that are inserts (the rest are queries).
+const INSERT_MIX: f64 = 0.2;
+
+/// What one client thread brings home.
+#[derive(Default)]
+struct ClientStats {
+    /// `(route, latency, status)` per completed request; route 0 is
+    /// query, 1 is insert.
+    samples: Vec<(u8, u64, u16)>,
+    /// `202` full-round inserts — each one is exactly one committed
+    /// time stamp the server owes us across any restart.
+    acked: u64,
+    /// Connect/IO failures, expected only inside the restart gap.
+    conn_errors: u64,
+}
+
+/// One request over a fresh connection; returns `(status, latency_ns)`.
+fn http_once(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, u64)> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: fdc\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, start.elapsed().as_nanos() as u64))
+}
+
+/// The dimension-value strings of every base series, in base-node order.
+fn base_dims(db: &F2db) -> Vec<Vec<String>> {
+    let ds = db.dataset();
+    let g = ds.graph();
+    let schema = g.schema();
+    g.base_nodes()
+        .iter()
+        .map(|&n| {
+            g.coord(n)
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(d, &idx)| schema.dimensions()[d].values()[idx as usize].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// An `/insert` body carrying one value per base series — a full round
+/// that commits exactly one time stamp.
+fn full_round_body(dims: &[Vec<String>], value: f64) -> String {
+    let rows: Vec<String> = dims
+        .iter()
+        .map(|d| {
+            let quoted: Vec<String> = d.iter().map(|v| format!("\"{v}\"")).collect();
+            format!("{{\"dims\":[{}],\"value\":{value}}}", quoted.join(","))
+        })
+        .collect();
+    format!("{{\"rows\":[{}]}}", rows.join(","))
+}
+
+/// Nearest-rank percentile over an ascending sample vector.
+fn pctl(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn serve_options(catalog_path: &std::path::Path) -> ServeOptions {
+    ServeOptions {
+        workers: 4,
+        queue_depth: 256,
+        coalesce_window: Duration::from_millis(2),
+        deadline: Duration::from_secs(30),
+        catalog_path: Some(catalog_path.to_path_buf()),
+        ..ServeOptions::default()
+    }
+}
+
+fn main() {
+    let _obs = obs_session();
+    let (scale, _full, extra) = parse_scale_args();
+    let mut threads = 8usize;
+    let mut secs = 3.0f64;
+    let mut port = 0u16;
+    let mut restart = false;
+    let mut strict = false;
+    let mut json_out: Option<String> = None;
+    let mut it = extra.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs an integer");
+            }
+            "--secs" => {
+                secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--secs needs a number");
+            }
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--port needs a port number");
+            }
+            "--restart" => restart = true,
+            "--strict" => strict = true,
+            "--json-out" => json_out = Some(it.next().expect("--json-out needs a path")),
+            other => panic!("unknown flag {other} (see the module doc for usage)"),
+        }
+    }
+    let threads = threads.max(1);
+
+    let cube = generate_cube(&GenSpec::new(16 * scale, 48, 7));
+    let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
+        .expect("advisor construction")
+        .run();
+    let db = Arc::new(F2db::load(cube.dataset, &outcome.configuration).expect("load"));
+    let dims = base_dims(&db);
+    let graph = db.dataset().graph().clone();
+    let initial_len = db.dataset().series_len();
+
+    let dir = std::env::temp_dir().join(format!("fdc_server_qps_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let catalog_path = dir.join("catalog.bin");
+
+    let server =
+        Server::start(Arc::clone(&db), port, serve_options(&catalog_path)).expect("server start");
+    let addr = Arc::new(Mutex::new(server.addr()));
+    println!(
+        "== server_qps: {threads} client(s), {secs:.1}s, {}% inserts, serving {} ({} models){} ==",
+        (INSERT_MIX * 100.0) as u32,
+        server.addr(),
+        db.model_count(),
+        if restart { ", restart mid-run" } else { "" },
+    );
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let (stats, committed, flushed_rows, engine_inserts, engine_batches) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let dims = &dims;
+                    let graph = &graph;
+                    let stop = &stop;
+                    let addr = Arc::clone(&addr);
+                    scope.spawn(move || {
+                        let mut rng = Rng::seed_from_u64(0xBE9C_0000 + t as u64);
+                        let mut wl = QueryWorkload::new(0x51E0_0000 + t as u64);
+                        let mut stats = ClientStats::default();
+                        while !stop.load(Ordering::Relaxed) {
+                            let insert = rng.f64_range(0.0, 1.0) < INSERT_MIX;
+                            let (route, path, body) = if insert {
+                                let v = rng.f64_range(10.0, 500.0);
+                                (1u8, "/insert", full_round_body(dims, v))
+                            } else {
+                                let sql = wl.next_query(graph);
+                                (
+                                    0u8,
+                                    "/query",
+                                    format!("{{\"sql\":\"{}\"}}", fdc_serve::json::escape(&sql)),
+                                )
+                            };
+                            let at = *addr.lock().unwrap();
+                            match http_once(at, path, &body) {
+                                Ok((status, ns)) => {
+                                    stats.samples.push((route, ns, status));
+                                    if insert && status == 202 {
+                                        stats.acked += 1;
+                                    }
+                                }
+                                Err(_) => {
+                                    // Restart gap (or shutdown): back off and
+                                    // re-read the address.
+                                    stats.conn_errors += 1;
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                            }
+                        }
+                        stats
+                    })
+                })
+                .collect();
+
+            let mut committed = 0u64;
+            let mut flushed_rows = 0u64;
+            if restart {
+                std::thread::sleep(Duration::from_secs_f64(secs / 2.0));
+                let report = server.shutdown().expect("graceful shutdown");
+                flushed_rows += report.flushed_rows;
+                committed += (db.dataset().series_len() - initial_len) as u64;
+                // "Restart": reopen the persisted catalog against the
+                // drained data set, re-apply the pending sidecar, serve
+                // again on a fresh port.
+                let db2 = Arc::new(
+                    F2db::open_catalog(db.dataset().clone(), &catalog_path).expect("open_catalog"),
+                );
+                restore_pending(&db2, &catalog_path).expect("restore pending");
+                let len2 = db2.dataset().series_len();
+                let server2 = Server::start(Arc::clone(&db2), 0, serve_options(&catalog_path))
+                    .expect("server restart");
+                *addr.lock().unwrap() = server2.addr();
+                std::thread::sleep(Duration::from_secs_f64(secs / 2.0));
+                stop.store(true, Ordering::Relaxed);
+                let stats: Vec<ClientStats> =
+                    handles.into_iter().map(|h| h.join().unwrap()).collect();
+                let report = server2.shutdown().expect("graceful shutdown");
+                flushed_rows += report.flushed_rows;
+                committed += (db2.dataset().series_len() - len2) as u64;
+                let (s1, s2) = (db.stats(), db2.stats());
+                (
+                    stats,
+                    committed,
+                    flushed_rows,
+                    s1.inserts + s2.inserts,
+                    s1.insert_batches + s2.insert_batches,
+                )
+            } else {
+                std::thread::sleep(Duration::from_secs_f64(secs));
+                stop.store(true, Ordering::Relaxed);
+                let stats: Vec<ClientStats> =
+                    handles.into_iter().map(|h| h.join().unwrap()).collect();
+                let report = server.shutdown().expect("graceful shutdown");
+                flushed_rows += report.flushed_rows;
+                committed += (db.dataset().series_len() - initial_len) as u64;
+                let s = db.stats();
+                (stats, committed, flushed_rows, s.inserts, s.insert_batches)
+            }
+        });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // ---- aggregate ----------------------------------------------------
+    let acked: u64 = stats.iter().map(|s| s.acked).sum();
+    let conn_errors: u64 = stats.iter().map(|s| s.conn_errors).sum();
+    let mut by_route: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut errors = 0u64;
+    let mut requests = 0u64;
+    for s in &stats {
+        for &(route, ns, status) in &s.samples {
+            requests += 1;
+            by_route[route as usize].push(ns);
+            if status >= 400 {
+                errors += 1;
+            }
+        }
+    }
+    by_route[0].sort_unstable();
+    by_route[1].sort_unstable();
+    let qps = requests as f64 / elapsed;
+    let dropped = acked.saturating_sub(committed);
+
+    let rows_per_batch = if engine_batches > 0 {
+        engine_inserts as f64 / engine_batches as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "{requests} requests in {elapsed:.2}s — {qps:.0} req/s, {errors} error response(s), \
+         {conn_errors} connect retry(ies)"
+    );
+    println!(
+        "{acked} acked insert round(s), {committed} committed, {dropped} dropped, \
+         {flushed_rows} row(s) in drain flushes, {rows_per_batch:.1} rows/engine batch"
+    );
+    for (name, lats) in [("query", &by_route[0]), ("insert", &by_route[1])] {
+        println!(
+            "{name:<7} n={:<7} p50 {:>9.1?}  p95 {:>9.1?}  p99 {:>9.1?}",
+            lats.len(),
+            Duration::from_nanos(pctl(lats, 0.50)),
+            Duration::from_nanos(pctl(lats, 0.95)),
+            Duration::from_nanos(pctl(lats, 0.99)),
+        );
+    }
+
+    for (stat, v) in [
+        ("qps", qps as i64),
+        ("requests", requests as i64),
+        ("errors", errors as i64),
+        ("acked", acked as i64),
+        ("dropped_acked", dropped as i64),
+        ("query_p95_us", (pctl(&by_route[0], 0.95) / 1_000) as i64),
+        ("insert_p95_us", (pctl(&by_route[1], 0.95) / 1_000) as i64),
+    ] {
+        fdc_obs::gauge_with(names::BENCH_SERVER_QPS, &[("stat", stat)]).set(v);
+    }
+
+    let route_json = |lats: &[u64]| {
+        format!(
+            "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            lats.len(),
+            pctl(lats, 0.50) / 1_000,
+            pctl(lats, 0.95) / 1_000,
+            pctl(lats, 0.99) / 1_000,
+        )
+    };
+    let summary = format!(
+        "{{\"bench\":\"server_qps\",\"threads\":{threads},\"secs\":{elapsed:.3},\
+         \"restart\":{restart},\"requests\":{requests},\"qps\":{qps:.1},\
+         \"errors\":{errors},\"conn_retries\":{conn_errors},\
+         \"acked_insert_rounds\":{acked},\"committed_rounds\":{committed},\
+         \"dropped_acked_writes\":{dropped},\"rows_per_insert_batch\":{rows_per_batch:.2},\
+         \"routes\":{{\"query\":{},\"insert\":{}}}}}",
+        route_json(&by_route[0]),
+        route_json(&by_route[1]),
+    );
+    if let Some(path) = &json_out {
+        std::fs::write(path, &summary).expect("write --json-out");
+        println!("wrote {path}");
+    }
+    emit_metrics("server_qps");
+    std::fs::remove_dir_all(&dir).ok();
+
+    if strict {
+        let batching_ok = acked == 0 || rows_per_batch > 1.0;
+        if errors > 0 || dropped > 0 || !batching_ok {
+            eprintln!(
+                "strict: FAILED ({errors} error response(s), {dropped} dropped acked write(s), \
+                 {rows_per_batch:.2} rows/batch)"
+            );
+            std::process::exit(2);
+        }
+        println!("strict: ok");
+    }
+}

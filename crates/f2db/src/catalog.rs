@@ -307,6 +307,13 @@ impl Catalog {
         self.shards.len()
     }
 
+    /// Lifetime count of time advances this catalog has absorbed —
+    /// persisted with the catalog, so it survives a save/open cycle and
+    /// lets a restart verify that every acknowledged advance was durable.
+    pub fn advances(&self) -> u64 {
+        self.advances.load(Ordering::SeqCst)
+    }
+
     /// Number of stored models.
     pub fn model_count(&self) -> usize {
         self.shards
@@ -737,7 +744,9 @@ impl Catalog {
             let node = d.get_u64()? as usize;
             let invalid = d.get_u8()? != 0;
             let rolling_error = d.get_f64()?;
-            let epoch = d.get_u64()?;
+            // Version 1 predates invalidation epochs; migrate to epoch 0
+            // (the counter restarts, the model state is unaffected).
+            let epoch = if d.version() >= 2 { d.get_u64()? } else { 0 };
             let state = d.get_model_state()?;
             let model = restore_model(&state)
                 .map_err(|e| F2dbError::Storage(format!("restoring model: {e}")))?;

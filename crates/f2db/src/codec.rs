@@ -11,9 +11,13 @@ use fdc_forecast::{ModelSpec, ModelState, SeasonalKind};
 
 /// Magic bytes identifying a catalog file.
 pub const MAGIC: &[u8; 4] = b"F2DB";
-/// On-disk format version. Version 2 added the per-model invalidation
-/// epoch (version-1 files lost it on restore).
+/// On-disk format version written by the encoder. Version 2 added the
+/// per-model invalidation epoch.
 pub const VERSION: u16 = 2;
+/// Oldest on-disk format version the decoder still reads. Version 1
+/// (pre-epoch) files are migrated on load: every model's invalidation
+/// epoch restarts at 0.
+pub const MIN_VERSION: u16 = 1;
 
 /// Write-side codec helper.
 #[derive(Debug, Default)]
@@ -123,23 +127,35 @@ impl Encoder {
 #[derive(Debug)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
+    version: u16,
 }
 
 impl<'a> Decoder<'a> {
-    /// Creates a decoder, validating the header.
+    /// Creates a decoder, validating the magic and accepting any format
+    /// version in `MIN_VERSION..=VERSION`; the caller branches on
+    /// [`Decoder::version`] for fields that newer versions added.
     pub fn with_header(bytes: &'a [u8]) -> Result<Self> {
-        let mut d = Decoder { buf: bytes };
+        let mut d = Decoder {
+            buf: bytes,
+            version: 0,
+        };
         let magic = d.take(4)?;
         if magic != MAGIC {
             return Err(F2dbError::Storage("bad catalog magic".into()));
         }
         let version = d.get_u16()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(F2dbError::Storage(format!(
-                "unsupported catalog version {version}"
+                "unsupported catalog version {version} (this build reads versions {MIN_VERSION} through {VERSION})"
             )));
         }
+        d.version = version;
         Ok(d)
+    }
+
+    /// The format version declared by the header.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {

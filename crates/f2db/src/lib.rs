@@ -549,34 +549,40 @@ impl F2db {
             .map_err(|e| F2dbError::Semantic(e.to_string()))
     }
 
+    /// Resolves dimension values (in schema order) to the base node they
+    /// identify — the validation half of [`F2db::insert_row`], usable on
+    /// its own by callers (like a network server) that resolve rows up
+    /// front and commit them later in a micro-batch.
+    pub fn base_node_for(&self, dim_values: &[String]) -> Result<NodeId> {
+        let ds = self.dataset.read().unwrap();
+        let schema = ds.graph().schema();
+        if dim_values.len() != schema.dim_count() {
+            return Err(F2dbError::Semantic(format!(
+                "INSERT carries {} dimension values, schema has {}",
+                dim_values.len(),
+                schema.dim_count()
+            )));
+        }
+        let mut coord = Vec::with_capacity(dim_values.len());
+        for (d, value) in dim_values.iter().enumerate() {
+            let idx = schema.dimensions()[d].value_index(value).ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "unknown value {value} for dimension {}",
+                    schema.dimensions()[d].name()
+                ))
+            })?;
+            coord.push(idx);
+        }
+        ds.graph()
+            .node(&fdc_cube::Coord::new(coord))
+            .ok_or_else(|| F2dbError::Semantic("no base series for these values".into()))
+    }
+
     /// Inserts one new observation for the base series identified by its
     /// dimension values (in schema order). Returns `true` when the insert
     /// completed a time stamp and the graph advanced.
     pub fn insert_row(&self, dim_values: &[String], measure: f64) -> Result<bool> {
-        let node = {
-            let ds = self.dataset.read().unwrap();
-            let schema = ds.graph().schema();
-            if dim_values.len() != schema.dim_count() {
-                return Err(F2dbError::Semantic(format!(
-                    "INSERT carries {} dimension values, schema has {}",
-                    dim_values.len(),
-                    schema.dim_count()
-                )));
-            }
-            let mut coord = Vec::with_capacity(dim_values.len());
-            for (d, value) in dim_values.iter().enumerate() {
-                let idx = schema.dimensions()[d].value_index(value).ok_or_else(|| {
-                    F2dbError::Semantic(format!(
-                        "unknown value {value} for dimension {}",
-                        schema.dimensions()[d].name()
-                    ))
-                })?;
-                coord.push(idx);
-            }
-            ds.graph()
-                .node(&fdc_cube::Coord::new(coord))
-                .ok_or_else(|| F2dbError::Semantic("no base series for these values".into()))?
-        };
+        let node = self.base_node_for(dim_values)?;
         self.insert_value(node, measure)
     }
 
@@ -613,9 +619,79 @@ impl F2db {
         Ok(true)
     }
 
+    /// Inserts a micro-batch of observations in one pass over the write
+    /// path: the pending map's mutex is held across the *whole* batch, and
+    /// every time stamp the batch completes advances inline — so `n`
+    /// coalesced rows cost one `pending` acquisition and at most
+    /// `n / base_count` advance-lock acquisitions, instead of `n` of each.
+    /// This is the commit path behind network micro-batching (fdc-serve
+    /// coalesces concurrent `/insert` requests into calls to this).
+    ///
+    /// Later duplicates of a base node within one incomplete time stamp
+    /// overwrite earlier ones, exactly as repeated [`F2db::insert_value`]
+    /// calls would. Returns the number of time advances the batch
+    /// triggered. On error (a row that is not a base series) the rows
+    /// before the offending one remain applied, like a failing statement
+    /// in a script.
+    pub fn insert_batch(&self, rows: &[(NodeId, f64)]) -> Result<usize> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let _span = fdc_obs::span!("f2db.insert_batch");
+        let base_count = {
+            let ds = self.dataset.read().unwrap();
+            for &(node, _) in rows {
+                if !ds.graph().base_nodes().contains(&node) {
+                    return Err(F2dbError::Semantic(format!(
+                        "node {node} is not a base series"
+                    )));
+                }
+            }
+            ds.graph().base_nodes().len()
+        };
+        let mut advances = 0usize;
+        let mut pending = self.pending.lock().unwrap();
+        for &(node, measure) in rows {
+            pending.insert(node, measure);
+            self.stats.record_insert();
+            fdc_obs::counter(names::F2DB_INSERTS).incr();
+            if pending.len() < base_count {
+                continue;
+            }
+            // Same ordering rule as insert_value: acquire the advance
+            // lock while holding pending so completed time stamps commit
+            // in completion order. The pending mutex stays held through
+            // the advance — lock order `pending → advance_lock → dataset
+            // → shard` allows it, and it is what makes the batch a single
+            // write-path pass.
+            let serial = self.advance_lock.lock().unwrap();
+            let batch: Vec<(NodeId, f64)> = pending.drain().collect();
+            self.advance_time(batch, serial)?;
+            advances += 1;
+        }
+        drop(pending);
+        self.stats.record_insert_batch();
+        fdc_obs::counter(names::F2DB_INSERT_BATCHES).incr();
+        fdc_obs::histogram(names::F2DB_INSERT_BATCH_ROWS).record(rows.len() as u64);
+        Ok(advances)
+    }
+
     /// Number of inserts currently waiting for a complete time stamp.
     pub fn pending_inserts(&self) -> usize {
         self.pending.lock().unwrap().len()
+    }
+
+    /// Snapshot of the inserts waiting for a complete time stamp, sorted
+    /// by node id. A server draining for shutdown persists these alongside
+    /// the catalog and re-applies them (via [`F2db::insert_batch`]) after
+    /// restart, so acknowledged writes of an incomplete time stamp are not
+    /// lost.
+    pub fn pending_rows(&self) -> Vec<(NodeId, f64)> {
+        let pending = self.pending.lock().unwrap();
+        let mut rows: Vec<(NodeId, f64)> = pending.iter().map(|(&n, &v)| (n, v)).collect();
+        drop(pending);
+        rows.sort_by_key(|&(n, _)| n);
+        rows
     }
 
     /// Proactively re-estimates every currently-invalid model — the job
@@ -688,14 +764,37 @@ impl F2db {
         Ok(())
     }
 
-    /// Persists the catalog (configuration + model states) to a file.
+    /// Persists the catalog (configuration + model states) to a file,
+    /// crash-safely: the bytes are written to a temporary sibling in the
+    /// same directory, fsynced, then atomically renamed over `path` — a
+    /// crash mid-save leaves either the previous catalog or the new one,
+    /// never a truncated mix.
     pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
+        use std::io::Write as _;
         let bytes = self.catalog.encode();
         fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(bytes.len() as u64);
         journal().publish(Event::CatalogSave {
             bytes: bytes.len() as u64,
         });
-        std::fs::write(path, bytes).map_err(|e| F2dbError::Storage(e.to_string()))
+        let io = |e: std::io::Error| F2dbError::Storage(e.to_string());
+        // The temp file must live on the same filesystem as the target
+        // for the rename to be atomic, so it goes next to it rather than
+        // into the system temp dir. The pid keeps concurrent processes
+        // saving to the same path from clobbering each other's temp file.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp).map_err(io)?;
+            file.write_all(&bytes).map_err(io)?;
+            file.sync_all().map_err(io)?;
+            drop(file);
+            std::fs::rename(&tmp, path).map_err(io)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 
     /// Restores a database from a persisted catalog and the (current)
@@ -800,6 +899,103 @@ mod tests {
         assert_eq!(db.dataset().series_len(), len_before + 1);
         assert_eq!(db.pending_inserts(), 0);
         assert_eq!(db.stats().time_advances, 1);
+    }
+
+    #[test]
+    fn insert_batch_commits_many_rows_per_advance() {
+        let db = small_db();
+        let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        assert!(base.len() > 1, "fixture must have several base series");
+        let len_before = db.dataset().series_len();
+        // Three complete rounds in a single micro-batch.
+        let rows: Vec<(NodeId, f64)> = (0..3)
+            .flat_map(|round| {
+                base.iter()
+                    .map(move |&b| (b, 100.0 + round as f64))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let advances = db.insert_batch(&rows).unwrap();
+        assert_eq!(advances, 3);
+        assert_eq!(db.dataset().series_len(), len_before + 3);
+        assert_eq!(db.pending_inserts(), 0);
+        let stats = db.stats();
+        assert_eq!(stats.inserts, rows.len());
+        assert_eq!(stats.insert_batches, 1);
+        assert_eq!(stats.time_advances, 3);
+        // The point of micro-batching: >1 row per advance-lock trip.
+        assert!(stats.inserts / stats.time_advances > 1);
+    }
+
+    #[test]
+    fn insert_batch_partial_round_stays_pending() {
+        let db = small_db();
+        let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        let rows: Vec<(NodeId, f64)> = base[..base.len() - 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, i as f64))
+            .collect();
+        let advances = db.insert_batch(&rows).unwrap();
+        assert_eq!(advances, 0);
+        assert_eq!(db.pending_inserts(), rows.len());
+        // pending_rows is the sorted snapshot a draining server persists.
+        let mut expected = rows.clone();
+        expected.sort_by_key(|&(n, _)| n);
+        assert_eq!(db.pending_rows(), expected);
+        // Re-applying the snapshot elsewhere reproduces the same pending
+        // state (duplicates overwrite, so this is idempotent).
+        let db2 = small_db();
+        db2.insert_batch(&db.pending_rows()).unwrap();
+        assert_eq!(db2.pending_rows(), db.pending_rows());
+    }
+
+    #[test]
+    fn insert_batch_rejects_non_base_nodes_before_applying() {
+        let db = small_db();
+        let top = db.dataset().graph().top_node();
+        let b = db.dataset().graph().base_nodes()[0];
+        assert!(db.insert_batch(&[(b, 1.0), (top, 2.0)]).is_err());
+        // Validation happens before any row is applied.
+        assert_eq!(db.pending_inserts(), 0);
+        assert_eq!(db.insert_batch(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_catalog_intact() {
+        let db = small_db();
+        let dir = std::env::temp_dir().join(format!("fdc_atomic_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.bin");
+        db.save_catalog(&path).unwrap();
+
+        // Simulate a crash mid-save: a later save got as far as writing
+        // garbage into its temp sibling but never renamed it.
+        let tmp = {
+            let mut t = path.as_os_str().to_owned();
+            t.push(format!(".tmp.{}", std::process::id()));
+            std::path::PathBuf::from(t)
+        };
+        std::fs::write(&tmp, b"partial garbage from an interrupted save").unwrap();
+
+        // The real catalog is untouched and still opens.
+        let restored = F2db::open_catalog(db.dataset().clone(), &path).unwrap();
+        assert_eq!(restored.model_count(), db.model_count());
+
+        // The next successful save consumes the temp file via rename and
+        // leaves a valid catalog.
+        db.save_catalog(&path).unwrap();
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        F2db::open_catalog(db.dataset().clone(), &path).unwrap();
+
+        // A failing save (unwritable target directory) reports Storage
+        // and cleans its temp file up.
+        let bad = dir.join("no_such_subdir").join("catalog.bin");
+        assert!(matches!(
+            db.save_catalog(&bad).unwrap_err(),
+            F2dbError::Storage(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

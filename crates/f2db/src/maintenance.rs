@@ -45,6 +45,9 @@ pub struct MaintenanceStats {
     pub queries: usize,
     /// Insert statements processed.
     pub inserts: usize,
+    /// Micro-batched insert commits ([`crate::F2db::insert_batch`]
+    /// calls); each commit enters the write path once for all its rows.
+    pub insert_batches: usize,
     /// Completed time advances (batched inserts).
     pub time_advances: usize,
     /// Incremental model state updates.
@@ -70,10 +73,11 @@ impl MaintenanceStats {
     /// The pure counters (everything except wall time), for comparing a
     /// concurrent run against its serial replay where the counts must
     /// match but latencies obviously differ.
-    pub fn counters(&self) -> [usize; 6] {
+    pub fn counters(&self) -> [usize; 7] {
         [
             self.queries,
             self.inserts,
+            self.insert_batches,
             self.time_advances,
             self.model_updates,
             self.invalidations,
@@ -90,6 +94,7 @@ impl MaintenanceStats {
 pub struct SharedMaintenanceStats {
     queries: AtomicU64,
     inserts: AtomicU64,
+    insert_batches: AtomicU64,
     time_advances: AtomicU64,
     model_updates: AtomicU64,
     invalidations: AtomicU64,
@@ -108,6 +113,11 @@ impl SharedMaintenanceStats {
     /// Records one processed insert statement.
     pub fn record_insert(&self) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one micro-batched insert commit.
+    pub fn record_insert_batch(&self) {
+        self.insert_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one completed time advance and its per-model tallies.
@@ -137,6 +147,7 @@ impl SharedMaintenanceStats {
         MaintenanceStats {
             queries: self.queries.load(Ordering::Relaxed) as usize,
             inserts: self.inserts.load(Ordering::Relaxed) as usize,
+            insert_batches: self.insert_batches.load(Ordering::Relaxed) as usize,
             time_advances: self.time_advances.load(Ordering::Relaxed) as usize,
             model_updates: self.model_updates.load(Ordering::Relaxed) as usize,
             invalidations: self.invalidations.load(Ordering::Relaxed) as usize,
@@ -164,11 +175,12 @@ mod tests {
         shared.record_query(Duration::from_millis(3));
         shared.record_query(Duration::from_millis(5));
         shared.record_insert();
+        shared.record_insert_batch();
         shared.record_advance(7, 2);
         shared.record_reestimation();
         shared.record_invalidations(3);
         let snap = shared.snapshot();
-        assert_eq!(snap.counters(), [2, 1, 1, 7, 5, 1]);
+        assert_eq!(snap.counters(), [2, 1, 1, 1, 7, 5, 1]);
         assert_eq!(snap.total_query_time, Duration::from_millis(8));
         assert_eq!(snap.avg_query_time(), Duration::from_millis(4));
     }

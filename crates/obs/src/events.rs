@@ -77,6 +77,17 @@ pub enum Event {
         /// The bound address, e.g. `127.0.0.1:9100`.
         addr: String,
     },
+    /// A network server completed its graceful drain: it stopped
+    /// accepting, answered every queued request, flushed buffered
+    /// insert rows into the engine and persisted its state.
+    ServeShutdown {
+        /// The address the server was bound to.
+        addr: String,
+        /// Queued requests answered during the drain.
+        drained_requests: u64,
+        /// Buffered insert rows flushed into the engine.
+        flushed_rows: u64,
+    },
 }
 
 impl Event {
@@ -89,6 +100,7 @@ impl Event {
             Event::CatalogSave { .. } => "CatalogSave",
             Event::CatalogLoad { .. } => "CatalogLoad",
             Event::ServeStart { .. } => "ServeStart",
+            Event::ServeShutdown { .. } => "ServeShutdown",
         }
     }
 
@@ -133,6 +145,13 @@ impl Event {
                 // Addresses contain no characters needing JSON escapes.
                 format!("\"addr\":\"{addr}\"")
             }
+            Event::ServeShutdown {
+                addr,
+                drained_requests,
+                flushed_rows,
+            } => format!(
+                "\"addr\":\"{addr}\",\"drained_requests\":{drained_requests},\"flushed_rows\":{flushed_rows}"
+            ),
         }
     }
 }

@@ -10,18 +10,19 @@
 //! | `/events?n=N`  | last `N` journal events as a JSON array         |
 //! | `/snapshot`    | the registry snapshot as JSON                   |
 //!
-//! The request surface is so small that a hand-rolled parser (read the
-//! request head, take the path from the first line) is simpler and
-//! safer than a dependency. Connections are served sequentially with
-//! short read timeouts — this is a scrape endpoint, not a web server.
-//! Shutdown sets a flag and wakes the accept loop by connecting to the
-//! listener's own port.
+//! Requests are read with the shared HTTP/1.1 reader
+//! ([`crate::export::httpcore`]) — the same module `fdc-serve` builds
+//! its worker-pool server on, so the two network surfaces cannot drift
+//! apart in how they parse a request. Connections are served
+//! sequentially with short read timeouts — this is a scrape endpoint,
+//! not a web server. Shutdown sets a flag and wakes the accept loop by
+//! connecting to the listener's own port.
 
 use crate::events::{journal, Event};
+use crate::export::httpcore::{read_request, split_target, write_response};
 use crate::export::prom::encode_prometheus;
 use crate::metrics::registry;
 use crate::names;
-use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -119,52 +120,6 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
     }
 }
 
-/// Reads the request head (up to the blank line) and returns the
-/// request target of the first line, e.g. `/events?n=10`.
-fn read_request_target(stream: &mut TcpStream) -> std::io::Result<String> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 256];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let first = head.lines().next().unwrap_or("");
-    // "GET /path HTTP/1.1" — take the middle token.
-    let mut parts = first.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("");
-    if method != "GET" {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "only GET is supported",
-        ));
-    }
-    Ok(target.to_string())
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
 /// Parses `n=<count>` out of a query string, tolerating other params.
 fn parse_event_count(query: &str) -> usize {
     query
@@ -175,21 +130,29 @@ fn parse_event_count(query: &str) -> usize {
 }
 
 fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    let target = match read_request_target(&mut stream) {
-        Ok(t) => t,
+    // The exporter accepts no bodies; 1 KiB covers any scrape head.
+    let request = match read_request(&mut stream, 1024, Duration::from_millis(500)) {
+        Ok(r) => r,
         Err(_) => {
             return write_response(
                 &mut stream,
-                "405 Method Not Allowed",
+                "400 Bad Request",
                 "text/plain",
-                "only GET is supported\n",
+                "malformed request\n",
+                &[],
             );
         }
     };
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target.as_str(), ""),
-    };
+    if request.method != "GET" {
+        return write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+            &[("Allow", "GET")],
+        );
+    }
+    let (path, query) = split_target(&request.target);
     // One bounded-cardinality label: the route (or "other" for misses).
     let route = match path {
         "/metrics" | "/healthz" | "/events" | "/snapshot" => path,
@@ -207,6 +170,7 @@ fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 &body,
+                &[],
             )
         }
         "/healthz" => write_response(
@@ -214,23 +178,31 @@ fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
             "200 OK",
             "application/json",
             "{\"status\":\"ok\"}\n",
+            &[],
         ),
         "/events" => {
             let n = parse_event_count(query);
             let body = journal().recent_json(n);
-            write_response(&mut stream, "200 OK", "application/json", &body)
+            write_response(&mut stream, "200 OK", "application/json", &body, &[])
         }
         "/snapshot" => {
             let body = registry().snapshot().to_json();
-            write_response(&mut stream, "200 OK", "application/json", &body)
+            write_response(&mut stream, "200 OK", "application/json", &body, &[])
         }
-        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "not found\n",
+            &[],
+        ),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     /// Raw one-shot HTTP GET against the server, returning the full
     /// response (head + body).

@@ -1,0 +1,276 @@
+//! The one hand-rolled HTTP/1.1 request reader of the workspace.
+//!
+//! Both network surfaces — the observability exporter
+//! ([`super::http::ObsServer`]) and the forecast-serving subsystem
+//! (`fdc-serve`) — speak a deliberately tiny slice of HTTP/1.1: one
+//! request per connection, explicit `Content-Length` bodies, no chunked
+//! transfer encoding, no keep-alive. Sharing the reader here means the
+//! two servers cannot drift apart in how they parse a request line,
+//! fold headers or bound a body.
+//!
+//! The surface is small enough that parsing by hand is simpler and
+//! safer than a dependency: read until the blank line, split the
+//! request line, lower-case header names, then read exactly
+//! `Content-Length` more bytes (bounded by the caller's `max_body`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP/1.1 request: the request line, lower-cased header
+/// names, and the raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target, e.g. `/events?n=10`.
+    pub target: String,
+    /// Headers in arrival order; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target split into `(path, query)`; the query is `""` when
+    /// the target carries none.
+    pub fn path_query(&self) -> (&str, &str) {
+        split_target(&self.target)
+    }
+}
+
+/// Splits a request target into `(path, query)`.
+pub fn split_target(target: &str) -> (&str, &str) {
+    match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    }
+}
+
+/// Errors a request read can fail with — mapped to a status code by the
+/// caller so the two servers can answer malformed traffic uniformly.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket-level failure (timeout, reset, EOF mid-head).
+    Io(std::io::Error),
+    /// The request line or headers were not parseable HTTP/1.1.
+    Malformed(&'static str),
+    /// The declared `Content-Length` exceeds the caller's bound.
+    BodyTooLarge(usize),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds the limit"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`: the head up to the blank
+/// line, then exactly `Content-Length` body bytes (rejected beyond
+/// `max_body`). `timeout` bounds every socket read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    timeout: Duration,
+) -> Result<Request, RequestError> {
+    stream.set_read_timeout(Some(timeout))?;
+    // Read until the head terminator, keeping any body bytes that
+    // arrived in the same segments.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::Malformed("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(RequestError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(RequestError::Malformed("request line has no target"))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestError::Malformed("header line without a colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RequestError::Malformed("unparseable content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge(content_length));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete HTTP/1.1 response with `Connection: close`,
+/// `Content-Type`/`Content-Length` and any `extra_headers`, then the
+/// body. `status` is the full status line tail, e.g. `"200 OK"`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, TcpListener};
+
+    /// Round-trips raw request bytes through a real socket pair.
+    fn parse(raw: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Keep the write half open until the reader is done parsing;
+            // shutdown would race a reader still waiting on body bytes.
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, 4096, Duration::from_millis(500));
+        drop(writer.join().unwrap());
+        result
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let req = parse(
+            b"POST /insert?sync=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/insert?sync=1");
+        assert_eq!(req.path_query(), ("/insert", "sync=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("Content-Length"), Some("11"));
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/metrics");
+        assert!(req.body.is_empty());
+        assert_eq!(req.path_query(), ("/metrics", ""));
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let err = parse(b"POST /q HTTP/1.1\r\nContent-Length: 100000\r\n\r\n").unwrap_err();
+        assert!(matches!(err, RequestError::BodyTooLarge(100000)), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_head() {
+        assert!(matches!(
+            parse(b"\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn split_target_handles_bare_paths() {
+        assert_eq!(split_target("/a/b"), ("/a/b", ""));
+        assert_eq!(split_target("/a?x=1&y=2"), ("/a", "x=1&y=2"));
+    }
+}

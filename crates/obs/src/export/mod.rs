@@ -4,6 +4,9 @@
 //! * [`prom::encode_prometheus`] renders a [`crate::Snapshot`] in the
 //!   Prometheus text format — one encoder shared by the shell's
 //!   `\metrics` command and the HTTP `/metrics` route.
+//! * [`httpcore`] is the shared std-only HTTP/1.1 request reader and
+//!   response writer — one parser for both [`http::ObsServer`] and the
+//!   `fdc-serve` forecast-serving subsystem.
 //! * [`http::ObsServer`] serves `/metrics`, `/healthz`, `/events` and
 //!   `/snapshot` from a `std::net::TcpListener` accept loop — no HTTP
 //!   library, because the request surface is four fixed GET routes.
@@ -12,5 +15,6 @@
 //!   the resulting JSON loads directly into Perfetto / `chrome://tracing`.
 
 pub mod http;
+pub mod httpcore;
 pub mod prom;
 pub mod trace;

@@ -49,6 +49,7 @@ pub mod span;
 pub use accuracy::{AccuracyOptions, DriftAlert, RollingAccuracy};
 pub use events::{journal, Event, Journal, TimedEvent};
 pub use export::http::ObsServer;
+pub use export::httpcore;
 pub use export::prom::encode_prometheus;
 pub use export::trace::TraceCollector;
 pub use labels::{prometheus_name, series_key, split_series, MAX_SERIES_PER_FAMILY};

@@ -33,6 +33,10 @@ pub const F2DB_TIME_ADVANCES: &str = "f2db.time_advances";
 /// Counter: incremental model updates skipped because a racing lazy
 /// re-fit already absorbed the newest observation.
 pub const F2DB_ADVANCE_SKIPPED_UPDATES: &str = "f2db.advance.skipped_updates";
+/// Counter: micro-batched insert commits (`F2db::insert_batch` calls).
+pub const F2DB_INSERT_BATCHES: &str = "f2db.insert.batches";
+/// Histogram: rows per micro-batched insert commit.
+pub const F2DB_INSERT_BATCH_ROWS: &str = "f2db.insert.batch_rows";
 
 // ---- F²DB catalog ----------------------------------------------------
 
@@ -95,6 +99,24 @@ pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
 /// Counter: events pushed into the journal.
 pub const OBS_JOURNAL_EVENTS: &str = "obs.journal.events";
 
+// ---- Forecast-serving subsystem (`fdc-serve`) ------------------------
+
+/// Counter family (labels `route`, `status`): HTTP requests answered by
+/// the forecast server, by route and status code.
+pub const SERVE_REQUESTS: &str = "serve.http.requests";
+/// Histogram family (label `route`): end-to-end request latency from
+/// worker pickup to response written, in nanoseconds.
+pub const SERVE_REQUEST_NS: &str = "serve.request.ns";
+/// Gauge: connections currently queued for a worker.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Counter family (label `reason`): requests rejected by admission
+/// control — `queue_full` (429) or `deadline` (503).
+pub const SERVE_REJECTED: &str = "serve.rejected";
+/// Counter: micro-batch flushes performed by the insert coalescer.
+pub const SERVE_BATCH_FLUSHES: &str = "serve.batch.flushes";
+/// Histogram: rows per insert-coalescer flush.
+pub const SERVE_BATCH_FLUSH_ROWS: &str = "serve.batch.flush_rows";
+
 // ---- Bench harness ---------------------------------------------------
 
 /// Gauge family for the concurrent-QPS bench (labels `phase`, `engine`,
@@ -103,6 +125,9 @@ pub const BENCH_CONCURRENT_QPS: &str = "bench.concurrent_qps.qps";
 /// Gauge family for the concurrent-QPS bench (labels `phase`,
 /// `threads`): sharded-vs-single-lock speedup × 100.
 pub const BENCH_CONCURRENT_SPEEDUP_X100: &str = "bench.concurrent_qps.speedup_x100";
+/// Gauge family for the `server_qps` load generator (label `stat`):
+/// closed-loop throughput and latency percentiles against `fdc-serve`.
+pub const BENCH_SERVER_QPS: &str = "bench.server_qps";
 
 /// Histogram name for a micro-benchmark's per-iteration samples.
 pub fn bench_ns(name: &str) -> String {
@@ -134,6 +159,8 @@ mod tests {
             F2DB_INSERTS,
             F2DB_TIME_ADVANCES,
             F2DB_ADVANCE_SKIPPED_UPDATES,
+            F2DB_INSERT_BATCHES,
+            F2DB_INSERT_BATCH_ROWS,
             F2DB_CATALOG_SHARDS,
             F2DB_CATALOG_ENCODED_BYTES,
             F2DB_CATALOG_DECODED_BYTES,
@@ -157,8 +184,15 @@ mod tests {
             OBS_SERIES_DROPPED,
             OBS_HTTP_REQUESTS,
             OBS_JOURNAL_EVENTS,
+            SERVE_REQUESTS,
+            SERVE_REQUEST_NS,
+            SERVE_QUEUE_DEPTH,
+            SERVE_REJECTED,
+            SERVE_BATCH_FLUSHES,
+            SERVE_BATCH_FLUSH_ROWS,
             BENCH_CONCURRENT_QPS,
             BENCH_CONCURRENT_SPEEDUP_X100,
+            BENCH_SERVER_QPS,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for n in all {

@@ -1,0 +1,773 @@
+//! # fdc-serve — the network forecast-serving subsystem
+//!
+//! Wraps an embedded [`F2db`] in a small, std-only HTTP/1.1 server so a
+//! deployed model configuration can be queried and maintained over the
+//! network. The architecture is the classic bounded-queue worker pool:
+//!
+//! * an **accept thread** owns the listener and performs admission
+//!   control — when the bounded connection queue is full, the request is
+//!   answered `429 Too Many Requests` (with `Retry-After`) immediately
+//!   instead of queueing unboundedly;
+//! * a fixed pool of **worker threads** pops connections, enforces the
+//!   per-request deadline (a connection that waited in the queue longer
+//!   than the deadline is answered `503` without doing the work), parses
+//!   the request with the same [`fdc_obs::httpcore`] reader the
+//!   observability exporter uses, and dispatches on the route table
+//!   below;
+//! * a **flusher thread** micro-batches writes: concurrent `POST
+//!   /insert` requests deposit resolved rows into the [`Batcher`] and
+//!   block; after one coalescing window the flusher commits everything
+//!   deposited in a single [`F2db::insert_batch`] call, so `n`
+//!   concurrent inserts cost one pass over the engine's write path
+//!   instead of `n`. A `202 Accepted` is only sent *after* the commit.
+//!
+//! ## Routes
+//!
+//! | Route | Body | Answer |
+//! |---|---|---|
+//! | `POST /query` | `{"sql": "..."}` | `200` forecast rows |
+//! | `POST /explain` | `{"sql": "...", "analyze": bool?}` | `200` plan |
+//! | `POST /insert` | `{"dims": [...], "value": v}` or `{"rows": [...]}` | `202` after commit |
+//! | `POST /maintain` | — | `200` re-fit count |
+//! | `GET /stats` | — | `200` engine + server counters |
+//! | `GET /healthz` | — | `200` |
+//!
+//! ## Graceful drain
+//!
+//! [`Server::shutdown`] stops accepting, answers everything already
+//! queued, joins the workers, commits any still-buffered insert rows,
+//! runs [`F2db::maintain`], and — when a catalog path is configured —
+//! persists the catalog (crash-safely) plus a *pending sidecar* holding
+//! the rows of the incomplete next time stamp, so **every acknowledged
+//! write survives a restart** ([`restore_pending`] re-applies the
+//! sidecar after [`F2db::open_catalog`]). The drain is observable: a
+//! `ServeShutdown` journal event records what was drained and flushed.
+
+pub mod batcher;
+pub mod json;
+
+pub use batcher::{Batcher, DepositOutcome};
+
+use fdc_cube::NodeId;
+use fdc_f2db::{F2db, F2dbError};
+use fdc_obs::httpcore::{read_request, write_response, Request, RequestError};
+use fdc_obs::{journal, names, Event};
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Bound on connections queued for a worker; beyond it the accept
+    /// thread answers `429`.
+    pub queue_depth: usize,
+    /// How long the flusher lingers after the first deposited row so
+    /// concurrent inserts coalesce into one engine commit.
+    pub coalesce_window: Duration,
+    /// Per-request deadline: time in the queue counts against it, and an
+    /// insert waits at most this long for its flush.
+    pub deadline: Duration,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+    /// Socket read timeout while parsing a request.
+    pub read_timeout: Duration,
+    /// When set, [`Server::shutdown`] persists the catalog here and the
+    /// pending rows next to it (see [`pending_sidecar_path`]).
+    pub catalog_path: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_depth: 64,
+            coalesce_window: Duration::from_millis(2),
+            deadline: Duration::from_secs(5),
+            max_body: 1 << 20,
+            read_timeout: Duration::from_secs(2),
+            catalog_path: None,
+        }
+    }
+}
+
+/// What the graceful drain accomplished, returned by
+/// [`Server::shutdown`].
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// The address the server was bound to.
+    pub addr: SocketAddr,
+    /// Queued requests answered after the listener stopped accepting.
+    pub drained_requests: u64,
+    /// Buffered insert rows committed by the final flush.
+    pub flushed_rows: u64,
+    /// Models re-estimated by the shutdown `maintain` pass.
+    pub refitted: usize,
+    /// Whether a catalog (and pending sidecar) was persisted.
+    pub saved_catalog: bool,
+    /// Rows of the incomplete next time stamp written to the sidecar.
+    pub saved_pending_rows: usize,
+}
+
+/// A connection waiting for a worker.
+struct Conn {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// State shared by the accept thread, workers and flusher.
+struct Shared {
+    db: Arc<F2db>,
+    opts: ServeOptions,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cv: Condvar,
+    stopping: AtomicBool,
+    drained: AtomicU64,
+    batcher: Batcher,
+}
+
+/// The running server: a bound listener plus its thread pool. Stop it
+/// with [`Server::shutdown`] — dropping without a shutdown leaks the
+/// threads (they park on the queue) but keeps the process safe.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    flusher_handle: Option<JoinHandle<(u64, u64)>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (`0` picks an ephemeral port — read it
+    /// back with [`Server::addr`]) and starts the accept thread, the
+    /// worker pool and the insert flusher.
+    pub fn start(db: Arc<F2db>, port: u16, opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            opts,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            drained: AtomicU64::new(0),
+            batcher: Batcher::default(),
+        });
+        journal().publish(Event::ServeStart {
+            addr: addr.to_string(),
+        });
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let worker_handles = (0..shared.opts.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let flusher_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                shared
+                    .batcher
+                    .run_flusher(&shared.db, shared.opts.coalesce_window)
+            })
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            flusher_handle: Some(flusher_handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn db(&self) -> &Arc<F2db> {
+        &self.shared.db
+    }
+
+    /// Gracefully drains and stops the server: stop accepting → answer
+    /// every queued request → join the workers → commit buffered insert
+    /// rows → `maintain` → persist catalog + pending sidecar (when
+    /// configured) → publish the `ServeShutdown` journal event.
+    pub fn shutdown(mut self) -> Result<ShutdownReport, F2dbError> {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept thread with a no-op connection.
+        drop(TcpStream::connect(self.addr));
+        if let Some(h) = self.accept_handle.take() {
+            h.join().expect("accept thread panicked");
+        }
+        // Workers drain the queue, then observe `stopping` and exit.
+        self.shared.queue_cv.notify_all();
+        for h in self.worker_handles.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+        // No depositor is left; whatever is still buffered commits now.
+        let flushed_rows = self.shared.batcher.flush_once(&self.shared.db);
+        self.shared.batcher.stop();
+        if let Some(h) = self.flusher_handle.take() {
+            h.join().expect("flusher thread panicked");
+        }
+        let refitted = self.shared.db.maintain()?;
+        let mut saved_catalog = false;
+        let mut saved_pending_rows = 0;
+        if let Some(path) = self.shared.opts.catalog_path.clone() {
+            self.shared.db.save_catalog(&path)?;
+            let pending = self.shared.db.pending_rows();
+            saved_pending_rows = pending.len();
+            write_pending_sidecar(&pending_sidecar_path(&path), &pending)
+                .map_err(|e| F2dbError::Storage(e.to_string()))?;
+            saved_catalog = true;
+        }
+        let drained_requests = self.shared.drained.load(Ordering::SeqCst);
+        journal().publish(Event::ServeShutdown {
+            addr: self.addr.to_string(),
+            drained_requests,
+            flushed_rows,
+        });
+        Ok(ShutdownReport {
+            addr: self.addr,
+            drained_requests,
+            flushed_rows,
+            refitted,
+            saved_catalog,
+            saved_pending_rows,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pending-rows sidecar
+// ---------------------------------------------------------------------------
+
+/// Where the pending rows of an incomplete time stamp are persisted,
+/// next to the catalog: `<catalog>.pending`.
+pub fn pending_sidecar_path(catalog: &Path) -> PathBuf {
+    let mut p = catalog.as_os_str().to_owned();
+    p.push(".pending");
+    PathBuf::from(p)
+}
+
+/// Writes pending rows to the sidecar (atomically, same temp + rename
+/// discipline as the catalog). Values are stored as f64 bit patterns so
+/// the restore is exact.
+pub fn write_pending_sidecar(path: &Path, rows: &[(NodeId, f64)]) -> std::io::Result<()> {
+    let mut text = String::from("fdc-pending v1\n");
+    for &(node, value) in rows {
+        text.push_str(&format!("{node} {:016x}\n", value.to_bits()));
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Reads a pending sidecar back. A missing file is an empty pending set
+/// (a pre-sidecar shutdown or a clean one).
+pub fn read_pending_sidecar(path: &Path) -> std::io::Result<Vec<(NodeId, f64)>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut lines = text.lines();
+    if lines.next() != Some("fdc-pending v1") {
+        return Err(bad("bad pending sidecar header"));
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (node, bits) = line
+            .split_once(' ')
+            .ok_or_else(|| bad("malformed pending sidecar line"))?;
+        let node: NodeId = node
+            .parse()
+            .map_err(|_| bad("bad node id in pending sidecar"))?;
+        let bits =
+            u64::from_str_radix(bits, 16).map_err(|_| bad("bad value bits in pending sidecar"))?;
+        rows.push((node, f64::from_bits(bits)));
+    }
+    Ok(rows)
+}
+
+/// Re-applies the pending sidecar written by a graceful shutdown to a
+/// freshly re-opened database: the counterpart of [`F2db::open_catalog`]
+/// for the rows of the incomplete next time stamp. Returns how many rows
+/// were restored.
+pub fn restore_pending(db: &F2db, catalog_path: &Path) -> Result<usize, F2dbError> {
+    let rows = read_pending_sidecar(&pending_sidecar_path(catalog_path))
+        .map_err(|e| F2dbError::Storage(e.to_string()))?;
+    if !rows.is_empty() {
+        db.insert_batch(&rows)?;
+    }
+    Ok(rows.len())
+}
+
+// ---------------------------------------------------------------------------
+// Accept / worker loops
+// ---------------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The shutdown wake-up connection (or a late client); the
+            // listener closes when this loop returns.
+            return;
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.opts.queue_depth {
+            drop(queue);
+            fdc_obs::counter_with(names::SERVE_REJECTED, &[("reason", "queue_full")]).incr();
+            fdc_obs::counter_with(
+                names::SERVE_REQUESTS,
+                &[("route", "admission"), ("status", "429")],
+            )
+            .incr();
+            stream
+                .set_write_timeout(Some(Duration::from_millis(500)))
+                .ok();
+            write_response(
+                &mut stream,
+                "429 Too Many Requests",
+                "application/json",
+                "{\"error\":\"connection queue full\"}",
+                &[("Retry-After", "1")],
+            )
+            .ok();
+            close_unread(stream, Duration::from_millis(250));
+            continue;
+        }
+        queue.push_back(Conn {
+            stream,
+            enqueued: Instant::now(),
+        });
+        fdc_obs::gauge(names::SERVE_QUEUE_DEPTH).set(queue.len() as i64);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    fdc_obs::gauge(names::SERVE_QUEUE_DEPTH).set(queue.len() as i64);
+                    break conn;
+                }
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (next, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap();
+                queue = next;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            shared.drained.fetch_add(1, Ordering::SeqCst);
+        }
+        handle_connection(shared, conn);
+    }
+}
+
+fn handle_connection(shared: &Shared, conn: Conn) {
+    let Conn {
+        mut stream,
+        enqueued,
+    } = conn;
+    let queued_for = enqueued.elapsed();
+    if queued_for > shared.opts.deadline {
+        fdc_obs::counter_with(names::SERVE_REJECTED, &[("reason", "deadline")]).incr();
+        respond(
+            &mut stream,
+            "admission",
+            503,
+            err_body("deadline exceeded while queued"),
+            &[],
+        );
+        close_unread(stream, Duration::from_millis(500));
+        return;
+    }
+    let request = match read_request(&mut stream, shared.opts.max_body, shared.opts.read_timeout) {
+        Ok(r) => r,
+        Err(RequestError::BodyTooLarge(_)) => {
+            respond(
+                &mut stream,
+                "malformed",
+                413,
+                err_body("request body too large"),
+                &[],
+            );
+            close_unread(stream, Duration::from_millis(500));
+            return;
+        }
+        Err(e) => {
+            respond(&mut stream, "malformed", 400, err_body(&e.to_string()), &[]);
+            close_unread(stream, Duration::from_millis(500));
+            return;
+        }
+    };
+    let started = Instant::now();
+    let remaining = shared.opts.deadline.saturating_sub(queued_for);
+    let (route, status, body, extra) = route_request(shared, &request, remaining);
+    let extra_refs: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
+    respond(&mut stream, route, status, body, &extra_refs);
+    fdc_obs::histogram_with(names::SERVE_REQUEST_NS, &[("route", route)])
+        .record_duration(started.elapsed());
+}
+
+/// Writes the response and records the route/status counter.
+fn respond(
+    stream: &mut TcpStream,
+    route: &'static str,
+    status: u16,
+    body: String,
+    extra: &[(&str, &str)],
+) {
+    let status_line = match status {
+        200 => "200 OK",
+        202 => "202 Accepted",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        413 => "413 Payload Too Large",
+        500 => "500 Internal Server Error",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    };
+    fdc_obs::counter_with(
+        names::SERVE_REQUESTS,
+        &[("route", route), ("status", &status.to_string())],
+    )
+    .incr();
+    write_response(stream, status_line, "application/json", &body, extra).ok();
+}
+
+fn err_body(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json::escape(msg))
+}
+
+/// Closes a connection whose request was *not* fully read, without
+/// destroying the response: closing with unread bytes in the receive
+/// buffer sends an RST that discards the client's buffered response, so
+/// after writing the response we half-close and drain whatever the
+/// client sent (bounded in bytes and time) before dropping the socket.
+fn close_unread(mut stream: TcpStream, timeout: Duration) {
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    stream.set_read_timeout(Some(timeout)).ok();
+    let mut buf = [0u8; 8192];
+    let mut total = 0usize;
+    while let Ok(n) = stream.read(&mut buf) {
+        if n == 0 {
+            break;
+        }
+        total += n;
+        if total > (4 << 20) {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and handlers
+// ---------------------------------------------------------------------------
+
+type Routed = (&'static str, u16, String, Vec<(&'static str, String)>);
+
+fn route_request(shared: &Shared, request: &Request, remaining: Duration) -> Routed {
+    let (path, _query) = request.path_query();
+    let no_extra = Vec::new;
+    match (request.method.as_str(), path) {
+        ("POST", "/query") => {
+            let (status, body) = handle_query(shared, &request.body);
+            ("query", status, body, no_extra())
+        }
+        ("POST", "/explain") => {
+            let (status, body) = handle_explain(shared, &request.body);
+            ("explain", status, body, no_extra())
+        }
+        ("POST", "/insert") => handle_insert(shared, &request.body, remaining),
+        ("POST", "/maintain") => {
+            let (status, body) = match shared.db.maintain() {
+                Ok(refitted) => (200, format!("{{\"refitted\":{refitted}}}")),
+                Err(e) => (500, err_body(&e.to_string())),
+            };
+            ("maintain", status, body, no_extra())
+        }
+        ("GET", "/stats") => ("stats", 200, stats_body(shared), no_extra()),
+        ("GET", "/healthz") => ("healthz", 200, "{\"status\":\"ok\"}".into(), no_extra()),
+        (_, "/query" | "/explain" | "/insert" | "/maintain") => (
+            "method",
+            405,
+            err_body("use POST"),
+            vec![("Allow", "POST".to_string())],
+        ),
+        (_, "/stats" | "/healthz") => (
+            "method",
+            405,
+            err_body("use GET"),
+            vec![("Allow", "GET".to_string())],
+        ),
+        _ => ("unknown", 404, err_body("no such route"), no_extra()),
+    }
+}
+
+/// Parses a `{"sql": "..."}` body.
+fn sql_of(body: &[u8]) -> Result<(String, json::Value), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text)?;
+    let sql = doc
+        .get("sql")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| "body must be a JSON object with a \"sql\" string".to_string())?
+        .to_string();
+    Ok((sql, doc))
+}
+
+fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let (sql, _) = match sql_of(body) {
+        Ok(v) => v,
+        Err(m) => return (400, err_body(&m)),
+    };
+    match shared.db.query(&sql) {
+        Ok(result) => {
+            let rows: Vec<String> = result
+                .rows
+                .iter()
+                .map(|r| {
+                    let values: Vec<String> = r
+                        .values
+                        .iter()
+                        .map(|(t, v)| format!("[{t},{}]", json::num(*v)))
+                        .collect();
+                    format!(
+                        "{{\"node\":{},\"label\":\"{}\",\"values\":[{}]}}",
+                        r.node,
+                        json::escape(&r.label),
+                        values.join(",")
+                    )
+                })
+                .collect();
+            (200, format!("{{\"rows\":[{}]}}", rows.join(",")))
+        }
+        Err(e) => (400, err_body(&e.to_string())),
+    }
+}
+
+fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let (sql, doc) = match sql_of(body) {
+        Ok(v) => v,
+        Err(m) => return (400, err_body(&m)),
+    };
+    let analyze = doc
+        .get("analyze")
+        .and_then(json::Value::as_bool)
+        .unwrap_or(false);
+    let report = if analyze {
+        shared.db.explain_analyze(&sql)
+    } else {
+        shared.db.explain(&sql)
+    };
+    match report {
+        Ok(report) => {
+            let rows: Vec<String> = report
+                .rows
+                .iter()
+                .map(|r| {
+                    let sources: Vec<String> = r
+                        .sources
+                        .iter()
+                        .map(|s| {
+                            format!(
+                                "{{\"label\":\"{}\",\"invalid\":{}}}",
+                                json::escape(&s.label),
+                                s.invalid
+                            )
+                        })
+                        .collect();
+                    let analysis = match &r.analysis {
+                        None => String::new(),
+                        Some(a) => {
+                            let values: Vec<String> =
+                                a.values.iter().map(|v| json::num(*v)).collect();
+                            format!(
+                                ",\"elapsed_ns\":{},\"values\":[{}]",
+                                a.elapsed.as_nanos(),
+                                values.join(",")
+                            )
+                        }
+                    };
+                    format!(
+                        "{{\"node\":{},\"label\":\"{}\",\"scheme\":\"{}\",\"weight\":{},\"sources\":[{}]{analysis}}}",
+                        r.node,
+                        json::escape(&r.label),
+                        r.scheme_kind,
+                        json::num(r.weight),
+                        sources.join(",")
+                    )
+                })
+                .collect();
+            (
+                200,
+                format!(
+                    "{{\"horizon\":{},\"analyzed\":{},\"rows\":[{}]}}",
+                    report.horizon,
+                    report.total_elapsed.is_some(),
+                    rows.join(",")
+                ),
+            )
+        }
+        Err(e) => (400, err_body(&e.to_string())),
+    }
+}
+
+fn handle_insert(shared: &Shared, body: &[u8], remaining: Duration) -> Routed {
+    let no_extra = Vec::new;
+    let parsed = (|| -> Result<Vec<(NodeId, f64)>, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let doc = json::parse(text)?;
+        let row_of = |v: &json::Value| -> Result<(NodeId, f64), String> {
+            let dims = v
+                .get("dims")
+                .and_then(json::Value::as_array)
+                .ok_or("row needs a \"dims\" array")?;
+            let dims: Vec<String> = dims
+                .iter()
+                .map(|d| d.as_str().map(str::to_string).ok_or("dims must be strings"))
+                .collect::<Result<_, _>>()?;
+            let value = v
+                .get("value")
+                .and_then(json::Value::as_f64)
+                .ok_or("row needs a numeric \"value\"")?;
+            let node = shared.db.base_node_for(&dims).map_err(|e| e.to_string())?;
+            Ok((node, value))
+        };
+        match doc.get("rows").and_then(json::Value::as_array) {
+            Some(rows) => {
+                if rows.is_empty() {
+                    return Err("\"rows\" must not be empty".into());
+                }
+                rows.iter().map(row_of).collect()
+            }
+            None => Ok(vec![row_of(&doc)?]),
+        }
+    })();
+    let rows = match parsed {
+        Ok(rows) => rows,
+        Err(m) => return ("insert", 400, err_body(&m), no_extra()),
+    };
+    let accepted = rows.len();
+    match shared.batcher.deposit_and_wait(&rows, remaining) {
+        DepositOutcome::Committed => (
+            "insert",
+            202,
+            format!("{{\"accepted\":{accepted}}}"),
+            no_extra(),
+        ),
+        DepositOutcome::Failed(msg) => ("insert", 500, err_body(&msg), no_extra()),
+        DepositOutcome::TimedOut => {
+            fdc_obs::counter_with(names::SERVE_REJECTED, &[("reason", "deadline")]).incr();
+            (
+                "insert",
+                503,
+                err_body("insert flush deadline exceeded"),
+                vec![("Retry-After", "1".to_string())],
+            )
+        }
+    }
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let stats = shared.db.stats();
+    let queue_len = shared.queue.lock().unwrap().len();
+    format!(
+        "{{\"queries\":{},\"inserts\":{},\"insert_batches\":{},\"time_advances\":{},\
+         \"model_updates\":{},\"invalidations\":{},\"reestimations\":{},\
+         \"pending_inserts\":{},\"buffered_rows\":{},\"queue_depth\":{},\
+         \"series_len\":{},\"models\":{}}}",
+        stats.queries,
+        stats.inserts,
+        stats.insert_batches,
+        stats.time_advances,
+        stats.model_updates,
+        stats.invalidations,
+        stats.reestimations,
+        shared.db.pending_inserts(),
+        shared.batcher.buffered(),
+        queue_len,
+        shared.db.dataset().series_len(),
+        shared.db.model_count(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_round_trips_exact_bits() {
+        let dir = std::env::temp_dir().join(format!("fdc_sidecar_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let catalog = dir.join("catalog.bin");
+        let sidecar = pending_sidecar_path(&catalog);
+        // The third value's decimal rendering would lose bits if the
+        // sidecar stored decimals instead of bit patterns.
+        let rows = vec![
+            (3usize, 1.5),
+            (7, -0.0),
+            (11, f64::from_bits(0x3FF0_0000_0000_0001)),
+        ];
+        write_pending_sidecar(&sidecar, &rows).unwrap();
+        let restored = read_pending_sidecar(&sidecar).unwrap();
+        assert_eq!(restored.len(), rows.len());
+        for ((n1, v1), (n2, v2)) in rows.iter().zip(&restored) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+        // Missing sidecar reads as empty, malformed one errors.
+        assert!(read_pending_sidecar(&dir.join("nope")).unwrap().is_empty());
+        std::fs::write(&sidecar, "not a sidecar\n").unwrap();
+        assert!(read_pending_sidecar(&sidecar).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared fixture and a minimal blocking HTTP client for the server
+//! integration tests.
+
+#![allow(dead_code)]
+
+use fdc_core::{Advisor, AdvisorOptions};
+use fdc_datagen::tourism_proxy;
+use fdc_f2db::F2db;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The tourism-proxy engine every test serves (unwrapped, so callers
+/// can still apply builder options).
+pub fn small_db_raw() -> F2db {
+    let ds = tourism_proxy(1);
+    let outcome = Advisor::new(
+        &ds,
+        AdvisorOptions {
+            parallelism: Some(2),
+            ..AdvisorOptions::default()
+        },
+    )
+    .unwrap()
+    .run();
+    F2db::load(ds, &outcome.configuration).unwrap()
+}
+
+/// [`small_db_raw`] wrapped for sharing with a server.
+pub fn small_db() -> Arc<F2db> {
+    Arc::new(small_db_raw())
+}
+
+/// The dimension-value strings of every base series, in base-node order —
+/// what an `/insert` body's `dims` arrays must carry.
+pub fn base_dims(db: &F2db) -> Vec<Vec<String>> {
+    let ds = db.dataset();
+    let g = ds.graph();
+    let schema = g.schema();
+    g.base_nodes()
+        .iter()
+        .map(|&n| {
+            g.coord(n)
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(d, &idx)| schema.dimensions()[d].values()[idx as usize].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// An `/insert` body carrying one value for every base series — a "full
+/// round" that completes exactly one time stamp when committed.
+pub fn full_round_body(dims: &[Vec<String>], value: f64) -> String {
+    let rows: Vec<String> = dims.iter().map(|d| row_json(d, value)).collect();
+    format!("{{\"rows\":[{}]}}", rows.join(","))
+}
+
+/// A single `{"dims": [...], "value": v}` row object.
+pub fn row_json(dims: &[String], value: f64) -> String {
+    let quoted: Vec<String> = dims.iter().map(|d| format!("\"{d}\"")).collect();
+    format!("{{\"dims\":[{}],\"value\":{value}}}", quoted.join(","))
+}
+
+/// A parsed HTTP response.
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one request over a fresh connection (the server speaks one
+/// request per connection) and parses the response.
+pub fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: fdc\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no response head"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers = lines
+        .filter_map(|l| {
+            l.split_once(':')
+                .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(Response {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}

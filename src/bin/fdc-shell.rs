@@ -5,7 +5,10 @@
 //! or a built-in demo cube), runs the model configuration advisor, and
 //! then reads SQL statements from stdin: forecast queries, inserts,
 //! `EXPLAIN` and `EXPLAIN ANALYZE`, plus the meta commands `\report`,
-//! `\stats`, `\metrics`, `\events`, `\serve`, `\trace` and `\quit`.
+//! `\stats`, `\metrics`, `\events`, `\serve`, `\listen`, `\trace` and
+//! `\quit`. `\listen <port>` starts the `fdc-serve` forecast server on
+//! the session's engine, so the same catalog answers both the prompt
+//! and HTTP clients.
 //!
 //! ```sh
 //! cargo run --release --bin fdc-shell                 # demo cube
@@ -72,7 +75,7 @@ fn main() {
     );
     let report = summarize(&dataset, &outcome.configuration, 5);
     let db = match F2db::load(dataset, &outcome.configuration) {
-        Ok(db) => db.with_drift_monitoring(AccuracyOptions::default()),
+        Ok(db) => Arc::new(db.with_drift_monitoring(AccuracyOptions::default())),
         Err(e) => {
             eprintln!("load failed: {e}");
             std::process::exit(1);
@@ -93,11 +96,15 @@ fn main() {
     eprintln!(
         "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\maintain | \\metrics [human|json]"
     );
-    eprintln!("     \\events [n] | \\serve <port> | \\trace <file.json> | \\trace | \\quit\n");
+    eprintln!(
+        "     \\events [n] | \\serve <port> | \\listen <port> | \\trace <file.json> | \\trace | \\quit\n"
+    );
 
-    // Export-plane state owned by the session: a running HTTP exporter
-    // and/or an in-progress Chrome trace recording.
+    // Export-plane state owned by the session: a running HTTP exporter,
+    // an in-progress Chrome trace recording, and/or a forecast server
+    // answering HTTP clients from the same engine.
     let mut server: Option<ObsServer> = None;
+    let mut forecast_server: Option<fdc::serve::Server> = None;
     let mut trace: Option<(Arc<TraceCollector>, PathBuf)> = None;
 
     let stdin = std::io::stdin();
@@ -205,6 +212,28 @@ fn main() {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix("\\listen") {
+            if let Some(s) = &forecast_server {
+                println!("forecast server already listening on {}", s.addr());
+                continue;
+            }
+            let port = rest.trim().parse::<u16>().unwrap_or(0);
+            match fdc::serve::Server::start(
+                Arc::clone(&db),
+                port,
+                fdc::serve::ServeOptions::default(),
+            ) {
+                Ok(s) => {
+                    println!(
+                        "forecast server on http://{} — POST /query /explain /insert /maintain, GET /stats /healthz",
+                        s.addr()
+                    );
+                    forecast_server = Some(s);
+                }
+                Err(e) => println!("error: cannot bind port {port}: {e}"),
+            }
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("\\trace") {
             let rest = rest.trim();
             match (&mut trace, rest.is_empty()) {
@@ -257,6 +286,15 @@ fn main() {
                 }
             }
             Err(e) => println!("error: {e}"),
+        }
+    }
+    if let Some(s) = forecast_server.take() {
+        match s.shutdown() {
+            Ok(r) => eprintln!(
+                "forecast server drained: {} queued request(s) answered, {} row(s) flushed",
+                r.drained_requests, r.flushed_rows
+            ),
+            Err(e) => eprintln!("forecast server shutdown failed: {e}"),
         }
     }
     drop(server);

@@ -23,6 +23,9 @@
 //! * [`linalg`] — the dense linear algebra kernel used by reconciliation.
 //! * [`obs`] — observability: the global metrics registry (counters,
 //!   gauges, latency histograms) and hierarchical tracing spans.
+//! * [`serve`] — the network forecast-serving subsystem: an HTTP/1.1
+//!   worker pool over the F²DB engine with micro-batched writes,
+//!   admission control and graceful drain.
 //! * [`rng`] — the deterministic xoshiro256** random number generator
 //!   shared by data generation, stochastic optimizers and sampling.
 //!
@@ -49,3 +52,4 @@ pub use fdc_hierarchical as hierarchical;
 pub use fdc_linalg as linalg;
 pub use fdc_obs as obs;
 pub use fdc_rng as rng;
+pub use fdc_serve as serve;
