@@ -23,14 +23,22 @@
 //! address from a shared cell, exactly as they would from a service
 //! registry.
 //!
+//! `--durability` appends three measured phases that price the
+//! write-ahead log: an insert-only closed loop against a WAL-backed
+//! server with `fsync` on, the same loop with `fsync` off, and a raw
+//! concurrent-appender microbench that shows group commit working
+//! (fsyncs ≪ appends, mean group size > 1). The numbers land under the
+//! `"durability"` key of the JSON summary.
+//!
 //! Usage: `cargo run -p fdc-bench --release --bin server_qps --
 //! [--threads n] [--secs s] [--port p] [--scale n] [--restart]
-//! [--strict] [--json-out FILE]`. `--strict` exits non-zero on any
-//! error response, any dropped acknowledged write, or an insert-batch
-//! ratio that shows coalescing is not happening — the CI smoke
-//! contract. `--json-out` writes the summary (the `BENCH_server.json`
-//! artifact); the obs snapshot still lands in the usual
-//! `--- metrics ---` fence.
+//! [--durability] [--strict] [--json-out FILE]`. `--strict` exits
+//! non-zero on any error response, any dropped acknowledged write, an
+//! insert-batch ratio that shows coalescing is not happening, or (with
+//! `--durability`) a WAL group-commit size that never exceeded one —
+//! the CI smoke contract. `--json-out` writes the summary (the
+//! `BENCH_server.json` artifact); the obs snapshot still lands in the
+//! usual `--- metrics ---` fence.
 
 use fdc_bench::{emit_metrics, obs_session, parse_scale_args, QueryWorkload};
 use fdc_core::{Advisor, AdvisorOptions};
@@ -121,6 +129,135 @@ fn pctl(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
+/// What one durability phase measured: an insert-only closed loop
+/// against a WAL-backed server, with the fsync either in or out of the
+/// acknowledgement path.
+struct DurabilityPhase {
+    rounds: u64,
+    rows: u64,
+    secs: f64,
+    appends: u64,
+    fsyncs: u64,
+}
+
+impl DurabilityPhase {
+    fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.secs.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        let rows_per_fsync = if self.fsyncs > 0 {
+            self.rows as f64 / self.fsyncs as f64
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"rounds\":{},\"rounds_per_sec\":{:.1},\"rows\":{},\
+             \"wal_appends\":{},\"fsyncs\":{},\"rows_per_fsync\":{rows_per_fsync:.2}}}",
+            self.rounds,
+            self.rounds_per_sec(),
+            self.rows,
+            self.appends,
+            self.fsyncs,
+        )
+    }
+}
+
+/// Runs one insert-only closed loop for `secs` against a fresh engine
+/// with a write-ahead log attached (`fsync` as given) and returns what
+/// it cost: acked rounds, committed rows, WAL appends and fsyncs.
+fn durability_phase(
+    label: &str,
+    fsync: bool,
+    threads: usize,
+    secs: f64,
+    scale: usize,
+    dir: &std::path::Path,
+) -> DurabilityPhase {
+    let cube = generate_cube(&GenSpec::new(8 * scale, 48, 11));
+    let outcome = Advisor::new(&cube.dataset, AdvisorOptions::default())
+        .expect("advisor construction")
+        .run();
+    let db = F2db::load(cube.dataset, &outcome.configuration).expect("load");
+    let (db, _report) = db
+        .attach_wal(
+            &dir.join(format!("wal_{label}")),
+            fdc_wal::WalOptions {
+                fsync,
+                ..fdc_wal::WalOptions::default()
+            },
+        )
+        .expect("attach wal");
+    let db = Arc::new(db);
+    let dims = base_dims(&db);
+    let server = Server::start(
+        Arc::clone(&db),
+        0,
+        ServeOptions {
+            workers: 4,
+            queue_depth: 256,
+            deadline: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let rounds: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let dims = &dims;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(0xD04A_B1E0 + t as u64);
+                    let mut acked = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let body = full_round_body(dims, rng.f64_range(10.0, 500.0));
+                        if let Ok((202, _)) = http_once(addr, "/insert", &body) {
+                            acked += 1;
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown().expect("durability phase shutdown");
+    let w = db.wal_stats().expect("wal stats");
+    DurabilityPhase {
+        rounds,
+        rows: db.stats().inserts as u64,
+        secs: elapsed,
+        appends: w.appends,
+        fsyncs: w.fsyncs,
+    }
+}
+
+/// Hammers a raw [`fdc_wal::Wal`] with concurrent appenders so the
+/// dedicated fsync thread has waiters to coalesce; returns `(appends,
+/// fsyncs)` — group commit working means fsyncs ≪ appends.
+fn group_commit_micro(dir: &std::path::Path, threads: usize, per_thread: usize) -> (u64, u64) {
+    let (wal, _) = fdc_wal::Wal::open(&dir.join("wal_group"), fdc_wal::WalOptions::default())
+        .expect("wal open");
+    let payload = [0xA5u8; 64];
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..per_thread {
+                    wal.append(&payload).expect("append");
+                }
+            });
+        }
+    });
+    let s = wal.stats();
+    (s.appends, s.fsyncs)
+}
+
 fn serve_options(catalog_path: &std::path::Path) -> ServeOptions {
     ServeOptions {
         workers: 4,
@@ -139,6 +276,7 @@ fn main() {
     let mut secs = 3.0f64;
     let mut port = 0u16;
     let mut restart = false;
+    let mut durability = false;
     let mut strict = false;
     let mut json_out: Option<String> = None;
     let mut it = extra.into_iter();
@@ -163,6 +301,7 @@ fn main() {
                     .expect("--port needs a port number");
             }
             "--restart" => restart = true,
+            "--durability" => durability = true,
             "--strict" => strict = true,
             "--json-out" => json_out = Some(it.next().expect("--json-out needs a path")),
             other => panic!("unknown flag {other} (see the module doc for usage)"),
@@ -333,6 +472,50 @@ fn main() {
         );
     }
 
+    // ---- durability phases --------------------------------------------
+    let mut group_mean = 0.0f64;
+    let durability_json = if durability {
+        let secs_each = (secs / 4.0).clamp(0.5, 2.0);
+        let on = durability_phase("on", true, threads, secs_each, scale, &dir);
+        let off = durability_phase("off", false, threads, secs_each, scale, &dir);
+        let (g_appends, g_fsyncs) = group_commit_micro(&dir, 16, 250);
+        group_mean = if g_fsyncs > 0 {
+            g_appends as f64 / g_fsyncs as f64
+        } else {
+            g_appends as f64
+        };
+        let on_off_ratio = if on.rounds_per_sec() > 0.0 {
+            off.rounds_per_sec() / on.rounds_per_sec()
+        } else {
+            0.0
+        };
+        println!(
+            "durability: fsync-on {:.0} round/s ({} fsyncs, {:.1} rows/fsync), \
+             fsync-off {:.0} round/s — off/on ratio {on_off_ratio:.2}",
+            on.rounds_per_sec(),
+            on.fsyncs,
+            if on.fsyncs > 0 {
+                on.rows as f64 / on.fsyncs as f64
+            } else {
+                0.0
+            },
+            off.rounds_per_sec(),
+        );
+        println!(
+            "group commit: {g_appends} concurrent appends in {g_fsyncs} fsync(s) — \
+             mean group size {group_mean:.1}"
+        );
+        format!(
+            "{{\"fsync_on\":{},\"fsync_off\":{},\"on_off_ratio\":{on_off_ratio:.2},\
+             \"group_commit\":{{\"appends\":{g_appends},\"fsyncs\":{g_fsyncs},\
+             \"mean_group_size\":{group_mean:.2}}}}}",
+            on.json(),
+            off.json(),
+        )
+    } else {
+        "null".to_string()
+    };
+
     for (stat, v) in [
         ("qps", qps as i64),
         ("requests", requests as i64),
@@ -360,7 +543,7 @@ fn main() {
          \"errors\":{errors},\"conn_retries\":{conn_errors},\
          \"acked_insert_rounds\":{acked},\"committed_rounds\":{committed},\
          \"dropped_acked_writes\":{dropped},\"rows_per_insert_batch\":{rows_per_batch:.2},\
-         \"routes\":{{\"query\":{},\"insert\":{}}}}}",
+         \"routes\":{{\"query\":{},\"insert\":{}}},\"durability\":{durability_json}}}",
         route_json(&by_route[0]),
         route_json(&by_route[1]),
     );
@@ -373,10 +556,11 @@ fn main() {
 
     if strict {
         let batching_ok = acked == 0 || rows_per_batch > 1.0;
-        if errors > 0 || dropped > 0 || !batching_ok {
+        let grouping_ok = !durability || group_mean > 1.0;
+        if errors > 0 || dropped > 0 || !batching_ok || !grouping_ok {
             eprintln!(
                 "strict: FAILED ({errors} error response(s), {dropped} dropped acked write(s), \
-                 {rows_per_batch:.2} rows/batch)"
+                 {rows_per_batch:.2} rows/batch, {group_mean:.2} mean wal group)"
             );
             std::process::exit(2);
         }

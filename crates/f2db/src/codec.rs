@@ -153,6 +153,17 @@ impl<'a> Decoder<'a> {
         Ok(d)
     }
 
+    /// Creates a decoder with *no* header expectation — for container
+    /// formats (like the `F2CK` checkpoint container in [`crate::durability`])
+    /// that embed catalog-codec primitives under their own magic. The
+    /// version reports as the current [`VERSION`].
+    pub fn raw(bytes: &'a [u8]) -> Self {
+        Decoder {
+            buf: bytes,
+            version: VERSION,
+        }
+    }
+
     /// The format version declared by the header.
     pub fn version(&self) -> u16 {
         self.version
@@ -266,6 +277,13 @@ impl<'a> Decoder<'a> {
             state,
             observations,
         })
+    }
+
+    /// Consumes and returns every remaining byte.
+    pub fn take_remaining(&mut self) -> &'a [u8] {
+        let rest = self.buf;
+        self.buf = &[];
+        rest
     }
 
     /// Whether all bytes were consumed.

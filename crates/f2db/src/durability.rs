@@ -1,0 +1,289 @@
+//! Durability formats: the WAL record payloads and the `F2CK`
+//! checkpoint container.
+//!
+//! Two codecs live here, both on the catalog [`codec`](crate::codec)
+//! primitives:
+//!
+//! * [`WalRecord`] — what one write-ahead-log record carries. Today a
+//!   single variant, `InsertBatch`: the rows of one committed
+//!   [`F2db::insert_batch`](crate::F2db::insert_batch) call, in apply
+//!   order. Replaying records in sequence order reproduces the exact
+//!   in-memory commit order, because the engine appends the record
+//!   under the same mutex that serializes the applies.
+//! * the **checkpoint container** — what `save_catalog` writes when a
+//!   WAL is attached. A catalog file alone is not enough to restart
+//!   from: replay also needs the durable WAL position the snapshot
+//!   corresponds to, the pending (incomplete-time-stamp) rows, and the
+//!   base series the advances have grown — the caller's data set on
+//!   disk predates every advance the log absorbed. All four parts go in
+//!   *one* file behind *one* atomic rename, so a crash mid-checkpoint
+//!   can never tear them apart: magic `F2CK`, then the WAL sequence
+//!   number, the pending rows, a base-series snapshot (aggregates are
+//!   recomputed deterministically by [`Dataset::from_base`]), and the
+//!   ordinary `F2DB`-encoded catalog bytes. Legacy plain-catalog files
+//!   still open: [`is_checkpoint_container`] dispatches on the magic.
+
+use crate::codec::{Decoder, Encoder};
+use crate::{F2dbError, Result};
+use fdc_cube::{Coord, Dataset, NodeId};
+use fdc_forecast::{Granularity, TimeSeries};
+
+/// Magic bytes identifying a checkpoint container file.
+pub const CONTAINER_MAGIC: &[u8; 4] = b"F2CK";
+/// Container format version.
+pub const CONTAINER_VERSION: u16 = 1;
+
+/// One write-ahead-log record, as the engine logs it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// The rows of one committed insert batch, in apply order.
+    InsertBatch {
+        /// `(base node, measure)` pairs.
+        rows: Vec<(NodeId, f64)>,
+    },
+}
+
+const TAG_INSERT_BATCH: u8 = 1;
+
+impl WalRecord {
+    /// Encodes the record payload (framing — length, checksum, sequence
+    /// number — is the WAL's job, not ours).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::default();
+        match self {
+            WalRecord::InsertBatch { rows } => {
+                e.put_u8(TAG_INSERT_BATCH);
+                e.put_len(rows.len());
+                for &(node, value) in rows {
+                    e.put_u64(node as u64);
+                    e.put_f64(value);
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a record payload. A payload that does not parse is a
+    /// versioned hard error: the WAL's checksum already passed, so this
+    /// is a format mismatch, not a torn write.
+    pub fn decode(bytes: &[u8]) -> Result<WalRecord> {
+        let mut d = Decoder::raw(bytes);
+        match d.get_u8()? {
+            TAG_INSERT_BATCH => {
+                let n = d.get_len()?;
+                let mut rows = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let node = d.get_u64()? as NodeId;
+                    let value = d.get_f64()?;
+                    rows.push((node, value));
+                }
+                Ok(WalRecord::InsertBatch { rows })
+            }
+            t => Err(F2dbError::Storage(format!(
+                "unknown wal record tag {t} (this build reads wal record format v{CONTAINER_VERSION})"
+            ))),
+        }
+    }
+}
+
+/// Whether `bytes` is a checkpoint container (as opposed to a legacy
+/// plain `F2DB` catalog file).
+pub fn is_checkpoint_container(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[..4] == CONTAINER_MAGIC
+}
+
+fn granularity_tag(g: Granularity) -> u8 {
+    match g {
+        Granularity::Hourly => 0,
+        Granularity::Daily => 1,
+        Granularity::Weekly => 2,
+        Granularity::Monthly => 3,
+        Granularity::Quarterly => 4,
+        Granularity::Yearly => 5,
+    }
+}
+
+fn granularity_from_tag(tag: u8) -> Result<Granularity> {
+    Ok(match tag {
+        0 => Granularity::Hourly,
+        1 => Granularity::Daily,
+        2 => Granularity::Weekly,
+        3 => Granularity::Monthly,
+        4 => Granularity::Quarterly,
+        5 => Granularity::Yearly,
+        t => {
+            return Err(F2dbError::Storage(format!(
+                "bad granularity tag {t} in checkpoint container"
+            )))
+        }
+    })
+}
+
+/// Encodes a checkpoint container: the durable WAL position, the
+/// pending rows, the base-series snapshot of `dataset`, and the encoded
+/// catalog. Everything replay-on-open needs, in one atomically-written
+/// file.
+pub fn encode_checkpoint(
+    wal_seq: u64,
+    pending: &[(NodeId, f64)],
+    dataset: &Dataset,
+    catalog_bytes: &[u8],
+) -> Vec<u8> {
+    let mut e = Encoder::default();
+    // Header by hand — Encoder::with_header writes the F2DB magic.
+    let mut buf = Vec::with_capacity(64 + catalog_bytes.len());
+    buf.extend_from_slice(CONTAINER_MAGIC);
+    buf.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+
+    e.put_u64(wal_seq);
+    e.put_len(pending.len());
+    for &(node, value) in pending {
+        e.put_u64(node as u64);
+        e.put_f64(value);
+    }
+    let base = dataset.graph().base_nodes();
+    e.put_len(base.len());
+    for &b in base {
+        let coord = dataset.graph().coord(b);
+        e.put_len(coord.values().len());
+        for &v in coord.values() {
+            e.put_u32(v);
+        }
+        let series = dataset.series(b);
+        e.put_u64(series.start() as u64);
+        e.put_u8(granularity_tag(series.granularity()));
+        e.put_f64_slice(series.values());
+    }
+    e.put_len(catalog_bytes.len());
+    buf.extend_from_slice(&e.finish());
+    buf.extend_from_slice(catalog_bytes);
+    buf
+}
+
+/// A decoded checkpoint container.
+#[derive(Debug, Clone)]
+pub struct DecodedCheckpoint {
+    /// The WAL sequence number this snapshot is consistent with; replay
+    /// applies only records past it.
+    pub wal_seq: u64,
+    /// Inserts that were waiting for a complete time stamp.
+    pub pending: Vec<(NodeId, f64)>,
+    /// Base series at checkpoint time, in base-node order.
+    pub base: Vec<(Coord, TimeSeries)>,
+    /// The embedded `F2DB`-encoded catalog.
+    pub catalog_bytes: Vec<u8>,
+}
+
+/// Decodes a checkpoint container written by [`encode_checkpoint`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<DecodedCheckpoint> {
+    if !is_checkpoint_container(bytes) {
+        return Err(F2dbError::Storage("bad checkpoint container magic".into()));
+    }
+    if bytes.len() < 6 {
+        return Err(F2dbError::Storage("truncated checkpoint container".into()));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != CONTAINER_VERSION {
+        return Err(F2dbError::Storage(format!(
+            "unsupported checkpoint container version {version} (this build reads v{CONTAINER_VERSION})"
+        )));
+    }
+    let mut d = Decoder::raw(&bytes[6..]);
+    let wal_seq = d.get_u64()?;
+    let n_pending = d.get_len()?;
+    let mut pending = Vec::with_capacity(n_pending.min(1 << 16));
+    for _ in 0..n_pending {
+        let node = d.get_u64()? as NodeId;
+        let value = d.get_f64()?;
+        pending.push((node, value));
+    }
+    let n_base = d.get_len()?;
+    let mut base = Vec::with_capacity(n_base.min(1 << 16));
+    for _ in 0..n_base {
+        let n_dims = d.get_len()?;
+        let mut coord = Vec::with_capacity(n_dims.min(64));
+        for _ in 0..n_dims {
+            coord.push(d.get_u32()?);
+        }
+        let start = d.get_u64()? as i64;
+        let granularity = granularity_from_tag(d.get_u8()?)?;
+        let values = d.get_f64_vec()?;
+        base.push((
+            Coord::new(coord),
+            TimeSeries::with_start(values, start, granularity),
+        ));
+    }
+    let catalog_len = d.get_len()?;
+    let catalog_bytes = d.take_remaining();
+    if catalog_bytes.len() != catalog_len {
+        return Err(F2dbError::Storage(format!(
+            "checkpoint container declares {catalog_len} catalog bytes, {} present",
+            catalog_bytes.len()
+        )));
+    }
+    Ok(DecodedCheckpoint {
+        wal_seq,
+        pending,
+        base,
+        catalog_bytes: catalog_bytes.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_record_round_trips() {
+        let records = [
+            WalRecord::InsertBatch { rows: vec![] },
+            WalRecord::InsertBatch {
+                rows: vec![(0, 1.5), (7, -2.25), (usize::MAX >> 1, 0.0)],
+            },
+        ];
+        for r in &records {
+            let bytes = r.encode();
+            assert_eq!(&WalRecord::decode(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_record_tag_is_versioned_error() {
+        let err = WalRecord::decode(&[0xEE]).unwrap_err();
+        match err {
+            F2dbError::Storage(msg) => {
+                assert!(msg.contains("unknown wal record tag"), "{msg}");
+                assert!(msg.contains('v'), "{msg}");
+            }
+            other => panic!("expected Storage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let bytes = WalRecord::InsertBatch {
+            rows: vec![(1, 2.0), (3, 4.0)],
+        }
+        .encode();
+        for cut in 1..bytes.len() {
+            assert!(
+                WalRecord::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn container_magic_dispatch() {
+        assert!(is_checkpoint_container(b"F2CKxxxx"));
+        assert!(!is_checkpoint_container(b"F2DBxxxx"));
+        assert!(!is_checkpoint_container(b"F2"));
+        assert!(decode_checkpoint(b"F2DB\x02\x00").is_err());
+        // Unsupported version.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(CONTAINER_MAGIC);
+        bad.extend_from_slice(&99u16.to_le_bytes());
+        let err = decode_checkpoint(&bad).unwrap_err();
+        assert!(matches!(err, F2dbError::Storage(_)));
+    }
+}

@@ -56,6 +56,7 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod durability;
 pub mod explain;
 pub mod maintenance;
 pub mod parser;
@@ -64,6 +65,7 @@ pub mod query;
 pub use catalog::{
     AdvanceOutcome, Catalog, CatalogEntry, Reestimation, StoredModel, DEFAULT_SHARD_COUNT,
 };
+pub use durability::{DecodedCheckpoint, WalRecord};
 pub use explain::{ExplainReport, ExplainRow, ExplainSource, NodeAnalysis, SourceModelState};
 pub use maintenance::{MaintenancePolicy, MaintenanceStats, SharedMaintenanceStats};
 pub use parser::parse_query;
@@ -132,6 +134,35 @@ pub struct F2db {
     /// advance path, publishing `f2db.node.smape`/`.mae` gauge families
     /// and raising drift alerts (see [`F2db::with_drift_monitoring`]).
     accuracy: Option<RollingAccuracy>,
+    /// Optional write-ahead log. When attached, every committed insert
+    /// batch appends one [`WalRecord`] *before* mutating in-memory
+    /// state (under the `pending` mutex, so log order equals apply
+    /// order), and the insert only returns once the record's
+    /// group-commit fsync completes.
+    wal: Option<fdc_wal::Wal>,
+    /// WAL position the state was recovered from: records at or below
+    /// it are already reflected in the loaded checkpoint and must not
+    /// be re-applied by [`F2db::attach_wal`].
+    recovered_wal_seq: u64,
+}
+
+/// What [`F2db::attach_wal`] (and [`F2db::recover`]) replayed.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The raw log-level recovery: records found, torn bytes truncated,
+    /// segment count.
+    pub wal: fdc_wal::WalRecovery,
+    /// WAL records decoded and re-applied to the engine.
+    pub replayed_batches: u64,
+    /// Insert rows those records carried.
+    pub replayed_rows: u64,
+    /// Time advances the replay triggered.
+    pub advances: u64,
+    /// The watermark replay resumed from: the greater of the checkpoint
+    /// container's WAL position and the log's own checkpoint marker.
+    pub resumed_from_seq: u64,
+    /// Stale `*.tmp.*` catalog siblings swept during recovery.
+    pub swept_tmp: usize,
 }
 
 impl F2db {
@@ -150,6 +181,8 @@ impl F2db {
             fit: FitOptions::default(),
             stats: SharedMaintenanceStats::default(),
             accuracy: None,
+            wal: None,
+            recovered_wal_seq: 0,
         })
     }
 
@@ -198,6 +231,8 @@ impl F2db {
             fit,
             stats,
             accuracy,
+            wal,
+            recovered_wal_seq,
         } = self;
         F2db {
             dataset,
@@ -208,6 +243,8 @@ impl F2db {
             fit,
             stats,
             accuracy,
+            wal,
+            recovered_wal_seq,
         }
     }
 
@@ -601,10 +638,17 @@ impl F2db {
             ds.graph().base_nodes().len()
         };
         let mut pending = self.pending.lock().unwrap();
+        // Log before mutating: the record is submitted under the same
+        // mutex that serializes applies, so WAL order == apply order.
+        let ticket = self.wal_submit(&[(base_node, measure)])?;
         pending.insert(base_node, measure);
         self.stats.record_insert();
         fdc_obs::counter(names::F2DB_INSERTS).incr();
         if pending.len() < base_count {
+            drop(pending);
+            // Wait outside every lock — this is what lets the sync
+            // thread batch many appenders into one fsync.
+            self.wal_wait(ticket)?;
             return Ok(false);
         }
         // Take the advance lock while still holding the pending mutex: a
@@ -616,7 +660,38 @@ impl F2db {
         let batch: Vec<(NodeId, f64)> = pending.drain().collect();
         drop(pending);
         self.advance_time(batch, serial)?;
+        self.wal_wait(ticket)?;
         Ok(true)
+    }
+
+    /// Submits one [`WalRecord::InsertBatch`] for `rows` (no-op without
+    /// an attached log). Must be called under the `pending` mutex so
+    /// log order matches apply order.
+    fn wal_submit(&self, rows: &[(NodeId, f64)]) -> Result<Option<fdc_wal::Append>> {
+        match &self.wal {
+            None => Ok(None),
+            Some(wal) => {
+                let payload = WalRecord::InsertBatch {
+                    rows: rows.to_vec(),
+                }
+                .encode();
+                wal.submit(&payload)
+                    .map(Some)
+                    .map_err(|e| F2dbError::Storage(e.to_string()))
+            }
+        }
+    }
+
+    /// Blocks until a submitted record is durable. Call with every lock
+    /// released.
+    fn wal_wait(&self, ticket: Option<fdc_wal::Append>) -> Result<()> {
+        match ticket {
+            None => Ok(()),
+            Some(t) => t
+                .wait()
+                .map(|_| ())
+                .map_err(|e| F2dbError::Storage(e.to_string())),
+        }
     }
 
     /// Inserts a micro-batch of observations in one pass over the write
@@ -651,6 +726,9 @@ impl F2db {
         };
         let mut advances = 0usize;
         let mut pending = self.pending.lock().unwrap();
+        // One WAL record covers the whole micro-batch: N coalesced rows
+        // cost one log append and share one group-commit fsync.
+        let ticket = self.wal_submit(rows)?;
         for &(node, measure) in rows {
             pending.insert(node, measure);
             self.stats.record_insert();
@@ -673,6 +751,9 @@ impl F2db {
         self.stats.record_insert_batch();
         fdc_obs::counter(names::F2DB_INSERT_BATCHES).incr();
         fdc_obs::histogram(names::F2DB_INSERT_BATCH_ROWS).record(rows.len() as u64);
+        // Ack only once durable. Waiting after the locks drop lets the
+        // sync thread coalesce concurrent committers into one fsync.
+        self.wal_wait(ticket)?;
         Ok(advances)
     }
 
@@ -764,48 +845,82 @@ impl F2db {
         Ok(())
     }
 
-    /// Persists the catalog (configuration + model states) to a file,
-    /// crash-safely: the bytes are written to a temporary sibling in the
-    /// same directory, fsynced, then atomically renamed over `path` — a
-    /// crash mid-save leaves either the previous catalog or the new one,
-    /// never a truncated mix.
+    /// Persists the engine state to a file, crash-safely *and* durably:
+    /// the bytes are written to a temporary sibling, fsynced, atomically
+    /// renamed over `path`, and the parent directory is fsynced so the
+    /// rename itself survives power failure.
+    ///
+    /// Without a WAL this writes the plain catalog (configuration +
+    /// model states), as before. With a WAL attached this is a
+    /// **checkpoint**: one `F2CK` container holding the durable WAL
+    /// position, the pending rows, the base-series snapshot and the
+    /// catalog — then fully-checkpointed WAL segments are truncated.
     pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
-        use std::io::Write as _;
-        let bytes = self.catalog.encode();
-        fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(bytes.len() as u64);
-        journal().publish(Event::CatalogSave {
-            bytes: bytes.len() as u64,
-        });
         let io = |e: std::io::Error| F2dbError::Storage(e.to_string());
-        // The temp file must live on the same filesystem as the target
-        // for the rename to be atomic, so it goes next to it rather than
-        // into the system temp dir. The pid keeps concurrent processes
-        // saving to the same path from clobbering each other's temp file.
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(".tmp.{}", std::process::id()));
-        let tmp = std::path::PathBuf::from(tmp);
-        let result = (|| {
-            let mut file = std::fs::File::create(&tmp).map_err(io)?;
-            file.write_all(&bytes).map_err(io)?;
-            file.sync_all().map_err(io)?;
-            drop(file);
-            std::fs::rename(&tmp, path).map_err(io)
-        })();
-        if result.is_err() {
-            std::fs::remove_file(&tmp).ok();
+        match &self.wal {
+            None => {
+                let bytes = self.catalog.encode();
+                fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(bytes.len() as u64);
+                journal().publish(Event::CatalogSave {
+                    bytes: bytes.len() as u64,
+                });
+                fdc_wal::atomic_write_durable(path, &bytes).map_err(io)
+            }
+            Some(wal) => {
+                // Hold `pending` across the snapshot: inserts submit
+                // their WAL record and apply under this mutex, so while
+                // we hold it, `last_seq` names exactly the state the
+                // snapshot captures. Lock order `pending → dataset →
+                // shard` permits the nested reads.
+                let pending = self.pending.lock().unwrap();
+                let wal_seq = wal.stats().last_seq;
+                let mut rows: Vec<(NodeId, f64)> = pending.iter().map(|(&n, &v)| (n, v)).collect();
+                rows.sort_by_key(|&(n, _)| n);
+                let catalog_bytes = self.catalog.encode();
+                let container = {
+                    let ds = self.dataset.read().unwrap();
+                    durability::encode_checkpoint(wal_seq, &rows, &ds, &catalog_bytes)
+                };
+                fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(container.len() as u64);
+                journal().publish(Event::CatalogSave {
+                    bytes: container.len() as u64,
+                });
+                fdc_wal::atomic_write_durable(path, &container).map_err(io)?;
+                drop(pending);
+                // The snapshot is durable; segments at or below wal_seq
+                // are now dead weight.
+                wal.checkpoint(wal_seq)
+                    .map_err(|e| F2dbError::Storage(e.to_string()))?;
+                Ok(())
+            }
         }
-        result
     }
 
-    /// Restores a database from a persisted catalog and the (current)
-    /// data set.
+    /// Restores a database from a persisted file and the (current) data
+    /// set. Reads both formats: a legacy plain catalog uses the caller's
+    /// data set as-is; an `F2CK` checkpoint container additionally
+    /// restores the base series the checkpoint snapshotted (recomputing
+    /// aggregates), the pending rows, and the WAL watermark that
+    /// [`F2db::attach_wal`] will resume replay from. Stale `*.tmp.*`
+    /// siblings from interrupted saves are swept.
     pub fn open_catalog(dataset: Dataset, path: &std::path::Path) -> Result<Self> {
+        let _ = fdc_wal::sweep_stale_tmp(path);
         let bytes = std::fs::read(path).map_err(|e| F2dbError::Storage(e.to_string()))?;
         fdc_obs::counter(names::F2DB_CATALOG_DECODED_BYTES).add(bytes.len() as u64);
         journal().publish(Event::CatalogLoad {
             bytes: bytes.len() as u64,
         });
-        let catalog = Catalog::decode(&bytes)?;
+        let (catalog, dataset, pending, recovered_wal_seq) =
+            if durability::is_checkpoint_container(&bytes) {
+                let cp = durability::decode_checkpoint(&bytes)?;
+                let schema = dataset.graph().schema().clone();
+                let restored = Dataset::from_base(schema, cp.base)?;
+                let catalog = Catalog::decode(&cp.catalog_bytes)?;
+                let pending: HashMap<NodeId, f64> = cp.pending.into_iter().collect();
+                (catalog, restored, pending, cp.wal_seq)
+            } else {
+                (Catalog::decode(&bytes)?, dataset, HashMap::new(), 0)
+            };
         if catalog.node_count() != dataset.node_count() {
             return Err(F2dbError::Storage(format!(
                 "catalog covers {} nodes, data set has {}",
@@ -816,13 +931,82 @@ impl F2db {
         Ok(F2db {
             dataset: RwLock::new(dataset),
             catalog,
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(pending),
             advance_lock: Mutex::new(()),
             policy: MaintenancePolicy::default(),
             fit: FitOptions::default(),
             stats: SharedMaintenanceStats::default(),
             accuracy: None,
+            wal: None,
+            recovered_wal_seq,
         })
+    }
+
+    /// Opens (replaying) the write-ahead log in `wal_dir`, re-applies
+    /// every record past the recovered watermark, and attaches the log
+    /// so subsequent inserts are durable. Call on a freshly loaded or
+    /// freshly opened engine, before serving traffic.
+    ///
+    /// Replay is idempotent across restarts: records the checkpoint
+    /// already covers are filtered by sequence number, and a second
+    /// recovery of the same files reproduces byte-identical state.
+    pub fn attach_wal(
+        mut self,
+        wal_dir: &std::path::Path,
+        opts: fdc_wal::WalOptions,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (wal, wal_recovery) =
+            fdc_wal::Wal::open(wal_dir, opts).map_err(|e| F2dbError::Storage(e.to_string()))?;
+        let resumed_from_seq = self.recovered_wal_seq.max(wal_recovery.checkpoint_seq);
+        let mut replayed_batches = 0u64;
+        let mut replayed_rows = 0u64;
+        let mut advances = 0u64;
+        for (seq, payload) in &wal_recovery.records {
+            if *seq <= resumed_from_seq {
+                continue;
+            }
+            match WalRecord::decode(payload)? {
+                WalRecord::InsertBatch { rows } => {
+                    // `self.wal` is still None here, so the re-apply
+                    // does not re-log the records.
+                    advances += self.insert_batch(&rows)? as u64;
+                    replayed_rows += rows.len() as u64;
+                    replayed_batches += 1;
+                }
+            }
+        }
+        let report = RecoveryReport {
+            swept_tmp: wal_recovery.swept_tmp,
+            wal: wal_recovery,
+            replayed_batches,
+            replayed_rows,
+            advances,
+            resumed_from_seq,
+        };
+        self.wal = Some(wal);
+        Ok((self, report))
+    }
+
+    /// One-call crash recovery: [`F2db::open_catalog`] (either format)
+    /// followed by [`F2db::attach_wal`].
+    pub fn recover(
+        dataset: Dataset,
+        catalog_path: &std::path::Path,
+        wal_dir: &std::path::Path,
+        opts: fdc_wal::WalOptions,
+    ) -> Result<(Self, RecoveryReport)> {
+        Self::open_catalog(dataset, catalog_path)?.attach_wal(wal_dir, opts)
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&fdc_wal::Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Counters of the attached write-ahead log, if any: last appended
+    /// sequence number, checkpoint watermark, live segments, fsyncs.
+    pub fn wal_stats(&self) -> Option<fdc_wal::WalStats> {
+        self.wal.as_ref().map(|w| w.stats())
     }
 }
 

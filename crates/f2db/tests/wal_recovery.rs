@@ -1,0 +1,336 @@
+//! End-to-end durability: checkpoint container + WAL replay.
+//!
+//! These tests exercise the full `save_catalog` (checkpoint) /
+//! `recover` cycle at the engine level: acked inserts survive a
+//! simulated crash (dropping the engine without a save), replay is
+//! byte-deterministic, checkpoints truncate segments, torn tails are
+//! dropped cleanly and pre-watermark corruption is a hard error.
+
+use fdc_core::{Advisor, AdvisorOptions};
+use fdc_cube::NodeId;
+use fdc_datagen::tourism_proxy;
+use fdc_f2db::{F2db, F2dbError};
+use fdc_wal::WalOptions;
+use std::fs;
+use std::path::PathBuf;
+
+fn small_db() -> F2db {
+    let ds = tourism_proxy(1);
+    let outcome = Advisor::new(
+        &ds,
+        AdvisorOptions {
+            parallelism: Some(2),
+            ..AdvisorOptions::default()
+        },
+    )
+    .unwrap()
+    .run();
+    F2db::load(ds, &outcome.configuration).unwrap()
+}
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "fdc_wal_recovery_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch { dir }
+    }
+
+    fn catalog(&self) -> PathBuf {
+        self.dir.join("catalog.f2db")
+    }
+
+    fn wal_dir(&self) -> PathBuf {
+        self.dir.join("wal")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn wal_opts() -> WalOptions {
+    WalOptions::default()
+}
+
+#[test]
+fn acked_inserts_survive_crash_without_save() {
+    let s = Scratch::new("crash");
+    let db = small_db();
+    db.save_catalog(&s.catalog()).unwrap();
+    let (db, rec) =
+        F2db::recover(db.dataset().clone(), &s.catalog(), &s.wal_dir(), wal_opts()).unwrap();
+    assert_eq!(rec.replayed_batches, 0);
+
+    let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+    let len_before = db.dataset().series_len();
+    // Two full rounds plus a partial one, all acked.
+    let mut rows: Vec<(NodeId, f64)> = Vec::new();
+    for round in 0..2 {
+        rows.extend(base.iter().map(|&b| (b, 10.0 + round as f64)));
+    }
+    rows.extend(base[..base.len() - 1].iter().map(|&b| (b, 99.0)));
+    db.insert_batch(&rows).unwrap();
+    assert_eq!(db.dataset().series_len(), len_before + 2);
+    let pending_before = db.pending_rows();
+    assert!(!pending_before.is_empty());
+    let catalog_bytes_before = db.catalog().encode();
+
+    // Crash: drop without saving. Everything past the checkpoint lives
+    // only in the WAL.
+    drop(db);
+
+    let (recovered, rec) = F2db::recover(
+        small_db().dataset().clone(),
+        &s.catalog(),
+        &s.wal_dir(),
+        wal_opts(),
+    )
+    .unwrap();
+    assert_eq!(rec.replayed_batches, 1);
+    assert_eq!(rec.replayed_rows, rows.len() as u64);
+    assert_eq!(rec.advances, 2);
+    assert_eq!(recovered.dataset().series_len(), len_before + 2);
+    assert_eq!(recovered.pending_rows(), pending_before);
+    assert_eq!(recovered.catalog().encode(), catalog_bytes_before);
+    // The recovered engine keeps serving.
+    recovered
+        .query("SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '1 quarter'")
+        .unwrap();
+}
+
+#[test]
+fn recovery_is_byte_deterministic() {
+    let s = Scratch::new("determinism");
+    {
+        let db = small_db();
+        db.save_catalog(&s.catalog()).unwrap();
+        let (db, _) =
+            F2db::recover(db.dataset().clone(), &s.catalog(), &s.wal_dir(), wal_opts()).unwrap();
+        let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        for round in 0..3 {
+            let rows: Vec<(NodeId, f64)> = base.iter().map(|&b| (b, 5.0 * round as f64)).collect();
+            db.insert_batch(&rows).unwrap();
+        }
+        db.insert_batch(&[(base[0], 42.0)]).unwrap();
+        // Crash without checkpoint.
+    }
+    let recover_once = || {
+        let (db, _) = F2db::recover(
+            small_db().dataset().clone(),
+            &s.catalog(),
+            &s.wal_dir(),
+            wal_opts(),
+        )
+        .unwrap();
+        let series: Vec<Vec<f64>> = (0..db.dataset().node_count())
+            .map(|n| db.dataset().series(n).values().to_vec())
+            .collect();
+        (db.catalog().encode(), db.pending_rows(), series)
+    };
+    let a = recover_once();
+    let b = recover_once();
+    assert_eq!(a.0, b.0, "catalog bytes differ between recoveries");
+    assert_eq!(a.1, b.1, "pending rows differ between recoveries");
+    assert_eq!(a.2, b.2, "series values differ between recoveries");
+}
+
+#[test]
+fn checkpoint_truncates_wal_and_filters_replay() {
+    let s = Scratch::new("truncate");
+    let db = small_db();
+    db.save_catalog(&s.catalog()).unwrap();
+    // Small segments so truncation has files to reclaim.
+    let opts = WalOptions {
+        segment_bytes: 256,
+        ..WalOptions::default()
+    };
+    let (db, _) = F2db::recover(
+        db.dataset().clone(),
+        &s.catalog(),
+        &s.wal_dir(),
+        opts.clone(),
+    )
+    .unwrap();
+    let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+    for round in 0..6 {
+        let rows: Vec<(NodeId, f64)> = base.iter().map(|&b| (b, round as f64)).collect();
+        db.insert_batch(&rows).unwrap();
+    }
+    let before = db.wal_stats().unwrap();
+    assert!(before.segments > 1, "{before:?}");
+    // Checkpoint: snapshot + truncate.
+    db.save_catalog(&s.catalog()).unwrap();
+    let after = db.wal_stats().unwrap();
+    assert_eq!(after.checkpoint_seq, after.last_seq);
+    assert!(after.segments < before.segments, "{before:?} -> {after:?}");
+    let len_at_checkpoint = db.dataset().series_len();
+
+    // Post-checkpoint writes replay; pre-checkpoint ones are filtered.
+    db.insert_batch(&base.iter().map(|&b| (b, 77.0)).collect::<Vec<_>>())
+        .unwrap();
+    drop(db);
+    let (recovered, rec) = F2db::recover(
+        small_db().dataset().clone(),
+        &s.catalog(),
+        &s.wal_dir(),
+        opts,
+    )
+    .unwrap();
+    assert_eq!(rec.replayed_batches, 1);
+    assert_eq!(rec.advances, 1);
+    assert_eq!(recovered.dataset().series_len(), len_at_checkpoint + 1);
+}
+
+#[test]
+fn torn_tail_drops_only_the_unsynced_suffix() {
+    let s = Scratch::new("torn");
+    let db = small_db();
+    db.save_catalog(&s.catalog()).unwrap();
+    let (db, _) =
+        F2db::recover(db.dataset().clone(), &s.catalog(), &s.wal_dir(), wal_opts()).unwrap();
+    let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+    db.insert_batch(&base.iter().map(|&b| (b, 1.0)).collect::<Vec<_>>())
+        .unwrap();
+    let len_after_first = {
+        let l = db.dataset().series_len();
+        db.insert_batch(&[(base[0], 2.0)]).unwrap();
+        l
+    };
+    drop(db);
+
+    // Tear the tail: chop a few bytes off the last (only) segment, as a
+    // crash mid-write would.
+    let seg = fs::read_dir(s.wal_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .max()
+        .unwrap();
+    let len = fs::metadata(&seg).unwrap().len();
+    let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+
+    let (recovered, rec) = F2db::recover(
+        small_db().dataset().clone(),
+        &s.catalog(),
+        &s.wal_dir(),
+        wal_opts(),
+    )
+    .unwrap();
+    // The torn second record is gone; the first (complete) one replays.
+    assert!(rec.wal.truncated_bytes > 0);
+    assert_eq!(rec.replayed_batches, 1);
+    assert_eq!(recovered.dataset().series_len(), len_after_first);
+    assert!(recovered.pending_rows().is_empty());
+}
+
+#[test]
+fn corruption_before_watermark_is_hard_error() {
+    let s = Scratch::new("corrupt");
+    let db = small_db();
+    db.save_catalog(&s.catalog()).unwrap();
+    let (db, _) =
+        F2db::recover(db.dataset().clone(), &s.catalog(), &s.wal_dir(), wal_opts()).unwrap();
+    let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+    db.insert_batch(&base.iter().map(|&b| (b, 3.0)).collect::<Vec<_>>())
+        .unwrap();
+    // Checkpoint marks the record durable, but leave the segment file
+    // in place by writing MORE records after (segments holding any
+    // post-watermark record are not truncated).
+    db.save_catalog(&s.catalog()).unwrap();
+    db.insert_batch(&[(base[0], 4.0)]).unwrap();
+    drop(db);
+
+    // Flip a byte inside the checkpointed (pre-watermark) record.
+    let seg = fs::read_dir(s.wal_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .min()
+        .unwrap();
+    let mut bytes = fs::read(&seg).unwrap();
+    // Past the 8-byte segment header and 16-byte frame header: payload
+    // of the first (checkpointed) record.
+    bytes[8 + 16 + 2] ^= 0xFF;
+    fs::write(&seg, &bytes).unwrap();
+
+    let err = match F2db::recover(
+        small_db().dataset().clone(),
+        &s.catalog(),
+        &s.wal_dir(),
+        wal_opts(),
+    ) {
+        Ok(_) => panic!("recovery of a corrupted pre-watermark record must fail"),
+        Err(e) => e,
+    };
+    match err {
+        F2dbError::Storage(msg) => {
+            assert!(msg.contains("corrupt"), "{msg}");
+            assert!(
+                msg.contains("v1"),
+                "error must carry the format version: {msg}"
+            );
+        }
+        other => panic!("expected Storage, got {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_plain_catalog_still_opens_and_upgrades() {
+    let s = Scratch::new("legacy");
+    let db = small_db();
+    // A pre-WAL save: plain F2DB catalog format.
+    db.save_catalog(&s.catalog()).unwrap();
+    let bytes = fs::read(s.catalog()).unwrap();
+    assert_eq!(&bytes[..4], b"F2DB");
+
+    // Opens with no WAL attached, exactly as before.
+    let reopened = F2db::open_catalog(db.dataset().clone(), &s.catalog()).unwrap();
+    assert_eq!(reopened.model_count(), db.model_count());
+    assert!(reopened.wal_stats().is_none());
+
+    // Attaching a WAL upgrades: the next save writes a container.
+    let (upgraded, rec) = reopened.attach_wal(&s.wal_dir(), wal_opts()).unwrap();
+    assert_eq!(rec.replayed_batches, 0);
+    upgraded.save_catalog(&s.catalog()).unwrap();
+    let bytes = fs::read(s.catalog()).unwrap();
+    assert_eq!(&bytes[..4], b"F2CK");
+    drop(upgraded);
+    let (recovered, _) =
+        F2db::recover(db.dataset().clone(), &s.catalog(), &s.wal_dir(), wal_opts()).unwrap();
+    assert_eq!(recovered.model_count(), db.model_count());
+}
+
+#[test]
+fn stale_tmp_orphans_are_swept_on_open() {
+    let s = Scratch::new("sweep");
+    let db = small_db();
+    db.save_catalog(&s.catalog()).unwrap();
+    // An orphan from a dead process.
+    let orphan = s.dir.join("catalog.f2db.tmp.1");
+    fs::write(&orphan, b"interrupted save garbage").unwrap();
+    let _ = F2db::open_catalog(db.dataset().clone(), &s.catalog()).unwrap();
+    assert!(!orphan.exists(), "stale tmp must be swept on open");
+}

@@ -77,6 +77,27 @@ pub enum Event {
         /// The bound address, e.g. `127.0.0.1:9100`.
         addr: String,
     },
+    /// A checkpoint recorded the durable WAL position and truncated
+    /// fully-covered segments.
+    WalCheckpoint {
+        /// Highest record sequence number the checkpoint covers.
+        checkpoint_seq: u64,
+        /// Highest sequence number appended to the log so far.
+        last_seq: u64,
+        /// Segment files deleted by the truncation.
+        truncated_segments: u64,
+    },
+    /// A write-ahead log was opened and replayed.
+    WalRecovery {
+        /// Records replayed (past the checkpoint watermark).
+        replayed_records: u64,
+        /// Torn-tail bytes discarded from the last segment.
+        truncated_bytes: u64,
+        /// Highest sequence number found in the log.
+        last_seq: u64,
+        /// The checkpoint watermark the replay started from.
+        checkpoint_seq: u64,
+    },
     /// A network server completed its graceful drain: it stopped
     /// accepting, answered every queued request, flushed buffered
     /// insert rows into the engine and persisted its state.
@@ -99,6 +120,8 @@ impl Event {
             Event::BatchAdvance { .. } => "BatchAdvance",
             Event::CatalogSave { .. } => "CatalogSave",
             Event::CatalogLoad { .. } => "CatalogLoad",
+            Event::WalCheckpoint { .. } => "WalCheckpoint",
+            Event::WalRecovery { .. } => "WalRecovery",
             Event::ServeStart { .. } => "ServeStart",
             Event::ServeShutdown { .. } => "ServeShutdown",
         }
@@ -141,6 +164,21 @@ impl Event {
             ),
             Event::CatalogSave { bytes } => format!("\"bytes\":{bytes}"),
             Event::CatalogLoad { bytes } => format!("\"bytes\":{bytes}"),
+            Event::WalCheckpoint {
+                checkpoint_seq,
+                last_seq,
+                truncated_segments,
+            } => format!(
+                "\"checkpoint_seq\":{checkpoint_seq},\"last_seq\":{last_seq},\"truncated_segments\":{truncated_segments}"
+            ),
+            Event::WalRecovery {
+                replayed_records,
+                truncated_bytes,
+                last_seq,
+                checkpoint_seq,
+            } => format!(
+                "\"replayed_records\":{replayed_records},\"truncated_bytes\":{truncated_bytes},\"last_seq\":{last_seq},\"checkpoint_seq\":{checkpoint_seq}"
+            ),
             Event::ServeStart { addr } => {
                 // Addresses contain no characters needing JSON escapes.
                 format!("\"addr\":\"{addr}\"")

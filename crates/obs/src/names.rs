@@ -117,6 +117,34 @@ pub const SERVE_BATCH_FLUSHES: &str = "serve.batch.flushes";
 /// Histogram: rows per insert-coalescer flush.
 pub const SERVE_BATCH_FLUSH_ROWS: &str = "serve.batch.flush_rows";
 
+// ---- Write-ahead log (`fdc-wal`) -------------------------------------
+
+/// Counter: records appended to the write-ahead log.
+pub const WAL_APPENDS: &str = "wal.appends";
+/// Counter: bytes appended to the write-ahead log (frames, including
+/// headers).
+pub const WAL_APPENDED_BYTES: &str = "wal.appended_bytes";
+/// Counter: group-commit fsyncs performed by the dedicated sync thread.
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+/// Histogram: appenders acknowledged per group-commit fsync (the group
+/// size — `> 1` means concurrent appenders shared one fsync).
+pub const WAL_GROUP_SIZE: &str = "wal.group_size";
+/// Counter: records replayed by recovery (`Wal::open`).
+pub const WAL_REPLAYED_RECORDS: &str = "wal.replayed_records";
+/// Histogram: wall-clock time of a `Wal::open` replay, in nanoseconds.
+pub const WAL_RECOVERY_NS: &str = "wal.recovery.ns";
+/// Gauge: live segment files in the log directory.
+pub const WAL_SEGMENTS: &str = "wal.segments";
+/// Gauge: sequence number of the most recently appended record.
+pub const WAL_LAST_SEQ: &str = "wal.last_seq";
+/// Gauge: sequence number covered by the most recent checkpoint.
+pub const WAL_CHECKPOINT_SEQ: &str = "wal.checkpoint_seq";
+/// Counter: fully-checkpointed segment files deleted by truncation.
+pub const WAL_SEGMENTS_TRUNCATED: &str = "wal.segments.truncated";
+/// Counter: torn-tail bytes discarded by recovery (a partial record a
+/// crash left at the end of the log).
+pub const WAL_TORN_TAIL_BYTES: &str = "wal.torn_tail_bytes";
+
 // ---- Bench harness ---------------------------------------------------
 
 /// Gauge family for the concurrent-QPS bench (labels `phase`, `engine`,
@@ -190,6 +218,17 @@ mod tests {
             SERVE_REJECTED,
             SERVE_BATCH_FLUSHES,
             SERVE_BATCH_FLUSH_ROWS,
+            WAL_APPENDS,
+            WAL_APPENDED_BYTES,
+            WAL_FSYNCS,
+            WAL_GROUP_SIZE,
+            WAL_REPLAYED_RECORDS,
+            WAL_RECOVERY_NS,
+            WAL_SEGMENTS,
+            WAL_LAST_SEQ,
+            WAL_CHECKPOINT_SEQ,
+            WAL_SEGMENTS_TRUNCATED,
+            WAL_TORN_TAIL_BYTES,
             BENCH_CONCURRENT_QPS,
             BENCH_CONCURRENT_SPEEDUP_X100,
             BENCH_SERVER_QPS,

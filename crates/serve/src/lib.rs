@@ -42,6 +42,20 @@
 //! write survives a restart** ([`restore_pending`] re-applies the
 //! sidecar after [`F2db::open_catalog`]). The drain is observable: a
 //! `ServeShutdown` journal event records what was drained and flushed.
+//!
+//! ## Durability
+//!
+//! With [`ServeOptions::wal_dir`] set, [`open_engine`] attaches a
+//! write-ahead log ([`fdc_wal`]) under the engine: an insert's `202` is
+//! only sent after its rows are fsynced (group-committed — concurrent
+//! requests coalesce into one fsync via the [`Batcher`] *and* one WAL
+//! append), so acknowledged writes survive a SIGKILL, not just a
+//! graceful drain. `save_catalog` then writes an `F2CK` checkpoint
+//! container (catalog + base series + pending rows + WAL position) and
+//! truncates the log behind it; on restart [`open_engine`] replays the
+//! suffix. The legacy pending sidecar is consulted read-only, exactly
+//! once, on the migration boot. `GET /stats` reports the log's
+//! position under the `"wal"` key.
 
 pub mod batcher;
 pub mod json;
@@ -53,7 +67,7 @@ use fdc_f2db::{F2db, F2dbError};
 use fdc_obs::httpcore::{read_request, write_response, Request, RequestError};
 use fdc_obs::{journal, names, Event};
 use std::collections::VecDeque;
-use std::io::{Read as _, Write as _};
+use std::io::Read as _;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +96,15 @@ pub struct ServeOptions {
     /// When set, [`Server::shutdown`] persists the catalog here and the
     /// pending rows next to it (see [`pending_sidecar_path`]).
     pub catalog_path: Option<PathBuf>,
+    /// When set, [`open_engine`] attaches a write-ahead log in this
+    /// directory: every acknowledged insert is durable *before* its
+    /// `202`, and a SIGKILL loses nothing. Without it the server falls
+    /// back to the graceful-drain-only contract.
+    pub wal_dir: Option<PathBuf>,
+    /// Whether the write-ahead log fsyncs (group-committed) before
+    /// acknowledging. `false` trades the crash guarantee for speed —
+    /// useful for benchmarks quantifying exactly that trade.
+    pub wal_fsync: bool,
 }
 
 impl Default for ServeOptions {
@@ -94,6 +117,8 @@ impl Default for ServeOptions {
             max_body: 1 << 20,
             read_timeout: Duration::from_secs(2),
             catalog_path: None,
+            wal_dir: None,
+            wal_fsync: true,
         }
     }
 }
@@ -112,8 +137,81 @@ pub struct ShutdownReport {
     pub refitted: usize,
     /// Whether a catalog (and pending sidecar) was persisted.
     pub saved_catalog: bool,
-    /// Rows of the incomplete next time stamp written to the sidecar.
+    /// Rows of the incomplete next time stamp persisted — in the
+    /// checkpoint container when a WAL is attached, in the sidecar
+    /// otherwise.
     pub saved_pending_rows: usize,
+    /// The WAL position the persisted checkpoint covers; `None` when no
+    /// write-ahead log is attached.
+    pub wal_checkpoint_seq: Option<u64>,
+}
+
+/// What [`open_engine`] recovered on the way to a servable engine.
+#[derive(Debug)]
+pub struct EngineRecovery {
+    /// Whether a persisted catalog was found and opened (otherwise the
+    /// caller's freshly configured engine was used).
+    pub opened_catalog: bool,
+    /// WAL replay report, when [`ServeOptions::wal_dir`] is set.
+    pub wal: Option<fdc_f2db::RecoveryReport>,
+    /// Rows re-applied from a legacy pending sidecar (migration only —
+    /// once the WAL owns the rows the sidecar is never consulted again).
+    pub sidecar_rows: usize,
+}
+
+/// Builds the engine a server should front, according to `opts`:
+///
+/// 1. when [`ServeOptions::catalog_path`] points at an existing file it
+///    is opened (either format — a legacy plain catalog or an `F2CK`
+///    checkpoint container) in place of the caller's `fresh` engine;
+/// 2. when [`ServeOptions::wal_dir`] is set the write-ahead log there is
+///    replayed and attached, so every previously acknowledged insert is
+///    recovered and every future one is durable before its `202`;
+/// 3. a legacy pending sidecar is re-applied **read-only and only while
+///    the WAL is still empty** — the one migration boot. After that the
+///    log (or the container) owns every acknowledged row, and replaying
+///    the sidecar again would duplicate them.
+pub fn open_engine(
+    fresh: F2db,
+    opts: &ServeOptions,
+) -> Result<(Arc<F2db>, EngineRecovery), F2dbError> {
+    let mut opened_catalog = false;
+    let mut db = match &opts.catalog_path {
+        Some(path) if path.exists() => {
+            opened_catalog = true;
+            F2db::open_catalog(fresh.dataset().clone(), path)?
+        }
+        _ => fresh,
+    };
+    let wal = match &opts.wal_dir {
+        Some(dir) => {
+            let wal_opts = fdc_wal::WalOptions {
+                fsync: opts.wal_fsync,
+                ..fdc_wal::WalOptions::default()
+            };
+            let (recovered, report) = db.attach_wal(dir, wal_opts)?;
+            db = recovered;
+            Some(report)
+        }
+        None => None,
+    };
+    // The sidecar predates the WAL: it only carries rows neither the
+    // log nor a checkpoint container has seen, which is exactly "the
+    // log is empty and the catalog is the legacy format". Re-applying
+    // it past that point would insert the rows a second time.
+    let wal_is_fresh = wal.as_ref().is_none_or(|r| r.wal.last_seq == 0);
+    let sidecar_rows = match &opts.catalog_path {
+        Some(path) if wal_is_fresh && !catalog_is_container(path) => restore_pending(&db, path)?,
+        _ => 0,
+    };
+    Ok((
+        Arc::new(db),
+        EngineRecovery {
+            opened_catalog,
+            wal,
+            sidecar_rows,
+        },
+    ))
 }
 
 /// A connection waiting for a worker.
@@ -230,10 +328,19 @@ impl Server {
             self.shared.db.save_catalog(&path)?;
             let pending = self.shared.db.pending_rows();
             saved_pending_rows = pending.len();
-            write_pending_sidecar(&pending_sidecar_path(&path), &pending)
-                .map_err(|e| F2dbError::Storage(e.to_string()))?;
+            if self.shared.db.wal().is_some() {
+                // The checkpoint container already carries the pending
+                // rows; a sidecar would only invite a double apply. An
+                // old one left over from the pre-WAL era is folded into
+                // this save, so it can go.
+                std::fs::remove_file(pending_sidecar_path(&path)).ok();
+            } else {
+                write_pending_sidecar(&pending_sidecar_path(&path), &pending)
+                    .map_err(|e| F2dbError::Storage(e.to_string()))?;
+            }
             saved_catalog = true;
         }
+        let wal_checkpoint_seq = self.shared.db.wal_stats().map(|s| s.checkpoint_seq);
         let drained_requests = self.shared.drained.load(Ordering::SeqCst);
         journal().publish(Event::ServeShutdown {
             addr: self.addr.to_string(),
@@ -247,6 +354,7 @@ impl Server {
             refitted,
             saved_catalog,
             saved_pending_rows,
+            wal_checkpoint_seq,
         })
     }
 }
@@ -263,28 +371,25 @@ pub fn pending_sidecar_path(catalog: &Path) -> PathBuf {
     PathBuf::from(p)
 }
 
-/// Writes pending rows to the sidecar (atomically, same temp + rename
-/// discipline as the catalog). Values are stored as f64 bit patterns so
-/// the restore is exact.
+/// Writes pending rows to the sidecar (atomically *and* durably: temp
+/// sibling, fsync, rename, parent-directory fsync). Values are stored
+/// as f64 bit patterns so the restore is exact.
 pub fn write_pending_sidecar(path: &Path, rows: &[(NodeId, f64)]) -> std::io::Result<()> {
     let mut text = String::from("fdc-pending v1\n");
     for &(node, value) in rows {
         text.push_str(&format!("{node} {:016x}\n", value.to_bits()));
     }
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".tmp.{}", std::process::id()));
-    let tmp = PathBuf::from(tmp);
-    let result = (|| {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(text.as_bytes())?;
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        std::fs::remove_file(&tmp).ok();
-    }
-    result
+    fdc_wal::atomic_write_durable(path, text.as_bytes())
+}
+
+/// Whether the catalog file at `path` is an `F2CK` checkpoint container
+/// (as opposed to a legacy plain catalog, or missing/unreadable).
+fn catalog_is_container(path: &Path) -> bool {
+    let mut magic = [0u8; 4];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| fdc_f2db::durability::is_checkpoint_container(&magic))
+        .unwrap_or(false)
 }
 
 /// Reads a pending sidecar back. A missing file is an empty pending set
@@ -720,11 +825,19 @@ fn handle_insert(shared: &Shared, body: &[u8], remaining: Duration) -> Routed {
 fn stats_body(shared: &Shared) -> String {
     let stats = shared.db.stats();
     let queue_len = shared.queue.lock().unwrap().len();
+    let wal = match shared.db.wal_stats() {
+        Some(w) => format!(
+            "{{\"last_seq\":{},\"checkpoint_seq\":{},\"segments\":{},\
+             \"appends\":{},\"fsyncs\":{}}}",
+            w.last_seq, w.checkpoint_seq, w.segments, w.appends, w.fsyncs,
+        ),
+        None => "null".to_string(),
+    };
     format!(
         "{{\"queries\":{},\"inserts\":{},\"insert_batches\":{},\"time_advances\":{},\
          \"model_updates\":{},\"invalidations\":{},\"reestimations\":{},\
          \"pending_inserts\":{},\"buffered_rows\":{},\"queue_depth\":{},\
-         \"series_len\":{},\"models\":{}}}",
+         \"series_len\":{},\"models\":{},\"wal\":{}}}",
         stats.queries,
         stats.inserts,
         stats.insert_batches,
@@ -737,6 +850,7 @@ fn stats_body(shared: &Shared) -> String {
         queue_len,
         shared.db.dataset().series_len(),
         shared.db.model_count(),
+        wal,
     )
 }
 

@@ -1,0 +1,331 @@
+//! Crash-injection harness: a real server process, real SIGKILL, real
+//! recovery.
+//!
+//! Each seed spawns this very test binary as a child process (the
+//! [`crash_child`] test below, selected with `--exact` and armed by an
+//! environment variable). The child opens a WAL-backed engine through
+//! [`fdc_serve::open_engine`], starts the HTTP server and prints
+//! `READY <addr>`. The parent then hammers `/insert` from several
+//! threads — every row carrying a globally unique value — and SIGKILLs
+//! the child at a seed-chosen moment mid-load, exactly like a power
+//! failure: no drain, no flush, no atexit.
+//!
+//! Afterwards the parent verifies the durability contract from the
+//! surviving bytes alone:
+//!
+//! 1. **no acknowledged write is lost** — every value the parent saw a
+//!    `202` for is present in the replayed log exactly once;
+//! 2. **no write is duplicated** — no value appears twice;
+//! 3. **replay is deterministic** — a second replay of the recovered
+//!    directory yields byte-identical records and truncates nothing;
+//! 4. **the engine restarts** on the same directory and applies every
+//!    replayed row.
+//!
+//! With `FDC_STRESS_ARTIFACT_DIR` set (as in CI's crash-smoke job) each
+//! seed writes a JSON summary there as a build artifact.
+
+mod common;
+
+use common::{http, row_json};
+use fdc_core::{Advisor, AdvisorOptions};
+use fdc_cube::Dataset;
+use fdc_datagen::tourism_proxy;
+use fdc_f2db::{F2db, WalRecord};
+use fdc_serve::{open_engine, ServeOptions, Server};
+use fdc_wal::{Wal, WalOptions};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const CHILD_ENV: &str = "FDC_CRASH_CHILD";
+const DIR_ENV: &str = "FDC_CRASH_DIR";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fdc_crash_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn engine_opts(dir: &Path) -> ServeOptions {
+    ServeOptions {
+        catalog_path: Some(dir.join("catalog.f2db")),
+        wal_dir: Some(dir.join("wal")),
+        coalesce_window: Duration::from_millis(1),
+        ..ServeOptions::default()
+    }
+}
+
+fn build_engine() -> F2db {
+    let ds = tourism_proxy(1);
+    let outcome = Advisor::new(
+        &ds,
+        AdvisorOptions {
+            parallelism: Some(2),
+            ..AdvisorOptions::default()
+        },
+    )
+    .unwrap()
+    .run();
+    F2db::load(ds, &outcome.configuration).unwrap()
+}
+
+/// The dimension-value strings of every base series, straight from the
+/// dataset (the parent needs them without paying for an advisor run).
+fn base_dims(ds: &Dataset) -> Vec<Vec<String>> {
+    let g = ds.graph();
+    let schema = g.schema();
+    g.base_nodes()
+        .iter()
+        .map(|&n| {
+            g.coord(n)
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(d, &idx)| schema.dimensions()[d].values()[idx as usize].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Not a test of its own: the server process the harness SIGKILLs. Runs
+/// only when re-invoked by a parent with [`CHILD_ENV`] set; under a
+/// plain `cargo test` it returns immediately.
+#[test]
+fn crash_child() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("child needs FDC_CRASH_DIR"));
+    let opts = engine_opts(&dir);
+    let (db, _recovery) = open_engine(build_engine(), &opts).expect("child open_engine");
+    let server = Server::start(db, 0, opts).expect("child server");
+    // The parent parses this line; everything else on stdout is libtest
+    // chatter it skips over.
+    println!("READY {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    // Wait for the axe. The server threads do all the work; a graceful
+    // exit never happens on this path.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_child(dir: &Path) -> (std::process::Child, SocketAddr) {
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .args(["crash_child", "--exact", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .env(DIR_ENV, dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child server");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            // libtest prints `test crash_child ... ` without a newline
+            // first, so READY can land mid-line.
+            Some(Ok(line)) => {
+                if let Some((_, rest)) = line.split_once("READY ") {
+                    break rest.trim().parse::<SocketAddr>().expect("child addr");
+                }
+            }
+            other => panic!("child exited before READY: {other:?}"),
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// One replay of the crashed log, flattened for the assertions.
+struct Replay {
+    /// Raw `(seq, payload)` records, in log order.
+    records: Vec<(u64, Vec<u8>)>,
+    /// Torn bytes this open truncated.
+    truncated: u64,
+    /// Every row value across all decoded `InsertBatch` records, as
+    /// bit patterns (exact-equality keys for f64).
+    values: Vec<u64>,
+}
+
+fn replay_wal(wal_dir: &Path) -> Replay {
+    let (_wal, rec) = Wal::open(
+        wal_dir,
+        WalOptions {
+            fsync: false,
+            ..WalOptions::default()
+        },
+    )
+    .expect("replay after crash");
+    let mut values = Vec::new();
+    for (_seq, payload) in &rec.records {
+        let WalRecord::InsertBatch { rows } = WalRecord::decode(payload).expect("decodable record");
+        values.extend(rows.iter().map(|(_node, v)| v.to_bits()));
+    }
+    Replay {
+        records: rec.records,
+        truncated: rec.truncated_bytes,
+        values,
+    }
+}
+
+fn run_crash(seed: u64) {
+    let mut rng = fdc_rng::Rng::seed_from_u64(seed);
+    let dir = tmp_dir(&format!("{seed:x}"));
+    let dims = base_dims(&tourism_proxy(1));
+    let (mut child, addr) = spawn_child(&dir);
+
+    // Hammer /insert from several threads; every row value is unique, so
+    // a value doubles as the identity of its write. A thread records a
+    // value as acknowledged only after reading the 202.
+    let stop = AtomicBool::new(false);
+    let acked_count = std::sync::atomic::AtomicUsize::new(0);
+    let threads = 3usize;
+    let acked: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let dims = &dims;
+                let stop = &stop;
+                let acked_count = &acked_count;
+                scope.spawn(move || {
+                    let mut acked = Vec::new();
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let value = (t as u64 * 1_000_000 + i) as f64 + 0.5;
+                        let body = row_json(&dims[(i as usize + t) % dims.len()], value);
+                        match http(addr, "POST", "/insert", &body) {
+                            Ok(r) if r.status == 202 => {
+                                acked.push(value.to_bits());
+                                acked_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) => {}      // backpressure — not acknowledged
+                            Err(_) => break, // the axe fell mid-request
+                        }
+                        i += 1;
+                    }
+                    acked
+                })
+            })
+            .collect();
+
+        // A kill before anything was acknowledged proves nothing, so
+        // wait until the load is real before picking the crash moment.
+        let armed = std::time::Instant::now();
+        while acked_count.load(Ordering::Relaxed) < 20 && armed.elapsed() < Duration::from_secs(20)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // SIGKILL at a seed-chosen moment mid-load: Child::kill is
+        // SIGKILL on unix — no drain, no flush, no atexit.
+        std::thread::sleep(Duration::from_millis(40 + rng.usize_below(240) as u64));
+        child.kill().expect("sigkill child");
+        child.wait().expect("reap child");
+        stop.store(true, Ordering::Relaxed);
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    assert!(
+        acked.len() >= 20,
+        "seed {seed:#x}: only {} writes acknowledged before the kill — harness too weak",
+        acked.len()
+    );
+
+    // 1 + 2: every acked value present exactly once, nothing duplicated.
+    let wal_dir = dir.join("wal");
+    let Replay {
+        records,
+        truncated,
+        values,
+    } = replay_wal(&wal_dir);
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let len_before = sorted.len();
+    sorted.dedup();
+    assert_eq!(
+        sorted.len(),
+        len_before,
+        "seed {seed:#x}: a write was duplicated in the log"
+    );
+    for v in &acked {
+        assert!(
+            sorted.binary_search(v).is_ok(),
+            "seed {seed:#x}: acknowledged write {} lost ({} acked, {} recovered)",
+            f64::from_bits(*v),
+            acked.len(),
+            values.len()
+        );
+    }
+
+    // 3: replaying the recovered directory again is byte-deterministic —
+    // identical records, nothing further to truncate.
+    let second = replay_wal(&wal_dir);
+    assert_eq!(
+        second.records, records,
+        "seed {seed:#x}: replay not deterministic"
+    );
+    assert_eq!(
+        second.truncated, 0,
+        "seed {seed:#x}: second replay truncated"
+    );
+
+    // 4: the engine restarts on the crashed directory and applies every
+    // row the log carries.
+    let (db, recovery) = open_engine(build_engine(), &engine_opts(&dir)).expect("restart");
+    let report = recovery.wal.expect("wal attached on restart");
+    assert_eq!(
+        report.replayed_rows as usize,
+        values.len(),
+        "seed {seed:#x}: restart applied a different row count"
+    );
+    assert_eq!(db.stats().inserts, values.len());
+
+    if let Some(artifact_dir) = std::env::var("FDC_STRESS_ARTIFACT_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+    {
+        std::fs::create_dir_all(&artifact_dir).expect("artifact dir");
+        let summary = format!(
+            "{{\"seed\":\"{seed:#x}\",\"acked\":{},\"recovered_rows\":{},\"wal_records\":{},\"torn_bytes_truncated\":{}}}\n",
+            acked.len(),
+            values.len(),
+            records.len(),
+            truncated
+        );
+        std::fs::write(
+            PathBuf::from(artifact_dir).join(format!("crash-recovery-{seed:x}.json")),
+            summary,
+        )
+        .expect("artifact write");
+    }
+
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_seed_1_loses_no_acknowledged_write() {
+    run_crash(0xF2DB_C4A5_0001);
+}
+
+#[test]
+fn crash_seed_2_loses_no_acknowledged_write() {
+    run_crash(0xF2DB_C4A5_0002);
+}
+
+#[test]
+fn crash_seed_3_loses_no_acknowledged_write() {
+    run_crash(0xF2DB_C4A5_0003);
+}

@@ -1,0 +1,181 @@
+//! `fdc-wal` — an append-only, segmented write-ahead log with CRC32
+//! records, group commit and torn-tail crash recovery.
+//!
+//! F²DB acknowledges an insert once its batch commits in memory; this
+//! crate is what makes that acknowledgement survive a crash. The engine
+//! appends one record per committed batch and only acks once the
+//! record's group-commit fsync has completed; on restart, replaying the
+//! records past the last checkpoint reconstructs exactly the
+//! acknowledged-but-not-checkpointed state. See DESIGN.md §10 for the
+//! full durability model.
+//!
+//! The crate is std-only, like the rest of the workspace. The pieces:
+//!
+//! * [`record`] — length-prefixed, CRC32-checksummed frame codec.
+//! * [`storage`] — the [`WalFile`]/[`WalStorage`] traits that let
+//!   recovery tests inject short writes, torn records and fsync errors.
+//! * [`Wal`] — the log: open/replay, two-phase [`Wal::submit`] +
+//!   [`Append::wait`] group commit, segment rotation, checkpointing.
+//! * [`atomic_write_durable`] / [`sync_dir`] / [`sweep_stale_tmp`] —
+//!   the write-a-file-durably helpers the catalog save path shares, so
+//!   "temp + rename" actually survives power failure (the rename is
+//!   only durable once the *parent directory* is fsynced).
+
+pub mod record;
+pub mod storage;
+mod wal;
+
+pub use record::{crc32, decode_frame, encode_frame, Frame, FrameError, FRAME_HEADER, MAX_PAYLOAD};
+pub use storage::{StdWalStorage, WalFile, WalStorage};
+pub use wal::{
+    Append, Wal, WalError, WalOptions, WalRecovery, WalStats, CHECKPOINT_FILE, SEGMENT_HEADER,
+    WAL_VERSION,
+};
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Fsyncs a directory so renames and unlinks inside it survive power
+/// failure. POSIX makes directory entries durable only after the
+/// directory itself is synced; a rename followed by a crash can
+/// otherwise resurrect the old file. No-op on platforms where
+/// directories cannot be opened for sync.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `path` atomically *and durably*: temp sibling →
+/// `sync_all` → rename → parent-directory `sync_all`. After this
+/// returns, either the old content or the new content survives any
+/// crash — never a mix, and never the pre-rename state masquerading as
+/// committed.
+pub fn atomic_write_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            sync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// Removes stale `<file>.tmp.*` siblings of `path` — the orphans a
+/// crash mid-[`atomic_write_durable`] (or mid catalog save) leaves
+/// behind. Returns how many were removed. Safe to call on every open:
+/// a live writer's temp file carries the *current* pid, and two
+/// processes opening the same catalog concurrently is already outside
+/// the supported single-writer model.
+pub fn sweep_stale_tmp(path: &Path) -> io::Result<usize> {
+    let Some(parent) = path.parent() else {
+        return Ok(0);
+    };
+    let parent = if parent.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        parent
+    };
+    let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Ok(0);
+    };
+    let prefix = format!("{file_name}.tmp.");
+    let own = format!("{file_name}.tmp.{}", std::process::id());
+    let mut removed = 0;
+    for entry in fs::read_dir(parent)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(&prefix) && name != own && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fdc_wal_lib_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("state.bin");
+        atomic_write_durable(&path, b"v1").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v1");
+        atomic_write_durable(&path, b"v2 longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v2 longer");
+        // No temp residue.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_removes_only_matching_stale_tmps() {
+        let dir = tmp_dir("sweep");
+        let path = dir.join("catalog.f2db");
+        fs::write(&path, b"live").unwrap();
+        // Stale orphans from two dead pids.
+        fs::write(dir.join("catalog.f2db.tmp.1"), b"old").unwrap();
+        fs::write(dir.join("catalog.f2db.tmp.99999999"), b"old").unwrap();
+        // Unrelated files must survive.
+        fs::write(dir.join("other.f2db.tmp.1"), b"keep").unwrap();
+        fs::write(dir.join("catalog.f2db.bak"), b"keep").unwrap();
+        let removed = sweep_stale_tmp(&path).unwrap();
+        assert_eq!(removed, 2);
+        assert!(path.exists());
+        assert!(dir.join("other.f2db.tmp.1").exists());
+        assert!(dir.join("catalog.f2db.bak").exists());
+        assert!(!dir.join("catalog.f2db.tmp.1").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_spares_own_pid_tmp() {
+        let dir = tmp_dir("sweep_own");
+        let path = dir.join("catalog.f2db");
+        let own = dir.join(format!("catalog.f2db.tmp.{}", std::process::id()));
+        fs::write(&own, b"in flight").unwrap();
+        let removed = sweep_stale_tmp(&path).unwrap();
+        assert_eq!(removed, 0);
+        assert!(own.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -5,14 +5,20 @@
 //! or a built-in demo cube), runs the model configuration advisor, and
 //! then reads SQL statements from stdin: forecast queries, inserts,
 //! `EXPLAIN` and `EXPLAIN ANALYZE`, plus the meta commands `\report`,
-//! `\stats`, `\metrics`, `\events`, `\serve`, `\listen`, `\trace` and
-//! `\quit`. `\listen <port>` starts the `fdc-serve` forecast server on
-//! the session's engine, so the same catalog answers both the prompt
-//! and HTTP clients.
+//! `\stats`, `\metrics`, `\events`, `\serve`, `\listen`, `\wal`,
+//! `\trace` and `\quit`. `\listen <port>` starts the `fdc-serve`
+//! forecast server on the session's engine, so the same catalog answers
+//! both the prompt and HTTP clients.
+//!
+//! `--wal <dir>` attaches a write-ahead log: acknowledged inserts are
+//! fsynced before `ok` and replayed onto the freshly advised engine at
+//! the next start, so a session (or a `\listen` server) survives a
+//! crash. `\wal` shows the log position.
 //!
 //! ```sh
 //! cargo run --release --bin fdc-shell                 # demo cube
 //! cargo run --release --bin fdc-shell -- data.csv     # your data (monthly)
+//! cargo run --release --bin fdc-shell -- --wal wal/   # durable inserts
 //! ```
 
 use fdc::advisor::{summarize, Advisor, AdvisorOptions};
@@ -25,7 +31,17 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wal_dir: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--wal") {
+        args.remove(i);
+        if i < args.len() {
+            wal_dir = Some(PathBuf::from(args.remove(i)));
+        } else {
+            eprintln!("--wal needs a directory");
+            std::process::exit(1);
+        }
+    }
     let dataset = match args.first() {
         Some(path) => {
             let content = match std::fs::read_to_string(path) {
@@ -75,12 +91,36 @@ fn main() {
     );
     let report = summarize(&dataset, &outcome.configuration, 5);
     let db = match F2db::load(dataset, &outcome.configuration) {
-        Ok(db) => Arc::new(db.with_drift_monitoring(AccuracyOptions::default())),
+        Ok(db) => db,
         Err(e) => {
             eprintln!("load failed: {e}");
             std::process::exit(1);
         }
     };
+    // Attach (replaying) the write-ahead log before serving the prompt:
+    // inserts acknowledged by a previous session come back, future ones
+    // are fsynced before their `ok`.
+    let db = match &wal_dir {
+        Some(dir) => match db.attach_wal(dir, fdc::wal::WalOptions::default()) {
+            Ok((db, report)) => {
+                eprintln!(
+                    "wal: {} — replayed {} batch(es) / {} row(s), resumed from seq {}, {} torn byte(s) dropped",
+                    dir.display(),
+                    report.replayed_batches,
+                    report.replayed_rows,
+                    report.resumed_from_seq,
+                    report.wal.truncated_bytes,
+                );
+                db
+            }
+            Err(e) => {
+                eprintln!("wal attach failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => db,
+    };
+    let db = Arc::new(db.with_drift_monitoring(AccuracyOptions::default()));
 
     let dims: Vec<String> = db
         .dataset()
@@ -97,7 +137,7 @@ fn main() {
         "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\maintain | \\metrics [human|json]"
     );
     eprintln!(
-        "     \\events [n] | \\serve <port> | \\listen <port> | \\trace <file.json> | \\trace | \\quit\n"
+        "     \\events [n] | \\serve <port> | \\listen <port> | \\wal | \\trace <file.json> | \\trace | \\quit\n"
     );
 
     // Export-plane state owned by the session: a running HTTP exporter,
@@ -168,6 +208,31 @@ fn main() {
                     s.avg_query_time(),
                     db.shard_count()
                 );
+                continue;
+            }
+            "\\wal" => {
+                match db.wal_stats() {
+                    Some(s) => {
+                        let grouped = if s.fsyncs > 0 {
+                            format!(
+                                ", {:.1} append(s)/fsync",
+                                s.appends as f64 / s.fsyncs as f64
+                            )
+                        } else {
+                            String::new()
+                        };
+                        println!(
+                            "wal: last_seq {}, checkpoint_seq {}, {} segment(s), {} append(s) ({} bytes), {} fsync(s){grouped}",
+                            s.last_seq,
+                            s.checkpoint_seq,
+                            s.segments,
+                            s.appends,
+                            s.appended_bytes,
+                            s.fsyncs,
+                        );
+                    }
+                    None => println!("(no write-ahead log — start the shell with --wal <dir>)"),
+                }
                 continue;
             }
             "\\maintain" => {

@@ -26,6 +26,9 @@
 //! * [`serve`] — the network forecast-serving subsystem: an HTTP/1.1
 //!   worker pool over the F²DB engine with micro-batched writes,
 //!   admission control and graceful drain.
+//! * [`wal`] — the write-ahead log: segmented, checksummed, group-
+//!   committed durability under the F²DB engine, with replay-on-open
+//!   crash recovery.
 //! * [`rng`] — the deterministic xoshiro256** random number generator
 //!   shared by data generation, stochastic optimizers and sampling.
 //!
@@ -53,3 +56,4 @@ pub use fdc_linalg as linalg;
 pub use fdc_obs as obs;
 pub use fdc_rng as rng;
 pub use fdc_serve as serve;
+pub use fdc_wal as wal;
