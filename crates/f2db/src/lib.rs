@@ -867,12 +867,20 @@ impl F2db {
                 fdc_wal::atomic_write_durable(path, &bytes).map_err(io)
             }
             Some(wal) => {
-                // Hold `pending` across the snapshot: inserts submit
-                // their WAL record and apply under this mutex, so while
-                // we hold it, `last_seq` names exactly the state the
-                // snapshot captures. Lock order `pending → dataset →
-                // shard` permits the nested reads.
+                // Hold `pending` *and* `advance_lock` across the
+                // snapshot. Inserts submit their WAL record under
+                // `pending`, but `insert_value` drops `pending` before
+                // its advance runs — holding `pending` alone could
+                // observe a `last_seq` whose drained rows are neither
+                // in the pending map nor applied to the dataset yet,
+                // and the checkpoint below would truncate the only
+                // durable copy of an acknowledged write. Taking the
+                // advance lock too (same `pending → advance_lock →
+                // dataset → shard` order as the write path) waits out
+                // any in-flight advance: with both held, `last_seq`
+                // names exactly the state the snapshot captures.
                 let pending = self.pending.lock().unwrap();
+                let serial = self.advance_lock.lock().unwrap();
                 let wal_seq = wal.stats().last_seq;
                 let mut rows: Vec<(NodeId, f64)> = pending.iter().map(|(&n, &v)| (n, v)).collect();
                 rows.sort_by_key(|&(n, _)| n);
@@ -881,6 +889,10 @@ impl F2db {
                     let ds = self.dataset.read().unwrap();
                     durability::encode_checkpoint(wal_seq, &rows, &ds, &catalog_bytes)
                 };
+                // The snapshot bytes are captured; later advances only
+                // add records past `wal_seq`, which the checkpoint
+                // below leaves in the log.
+                drop(serial);
                 fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(container.len() as u64);
                 journal().publish(Event::CatalogSave {
                     bytes: container.len() as u64,

@@ -298,6 +298,70 @@ fn corruption_before_watermark_is_hard_error() {
 }
 
 #[test]
+fn checkpoints_racing_inserts_never_lose_acked_writes() {
+    // Regression: `insert_value` drops the pending mutex before its
+    // advance runs, so a checkpoint in that window used to record a
+    // WAL position covering rows that were in neither the pending map
+    // nor the dataset snapshot — truncation then destroyed the only
+    // durable copy of acknowledged writes. `save_catalog` now takes
+    // the advance lock too, waiting out any in-flight advance.
+    let s = Scratch::new("cp_race");
+    let db = small_db();
+    db.save_catalog(&s.catalog()).unwrap();
+    let (db, _) =
+        F2db::recover(db.dataset().clone(), &s.catalog(), &s.wal_dir(), wal_opts()).unwrap();
+    let db = std::sync::Arc::new(db);
+    let base: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+    let len_before = db.dataset().series_len();
+    let rounds = 25usize;
+    let writer = {
+        let db = std::sync::Arc::clone(&db);
+        let base = base.clone();
+        std::thread::spawn(move || {
+            for round in 0..rounds {
+                for &b in &base {
+                    db.insert_value(b, round as f64).unwrap();
+                }
+            }
+        })
+    };
+    // Checkpoint continuously while inserts drain and advance; every
+    // iteration is a fresh shot at the drain→advance window.
+    let mut saves = 0;
+    while !writer.is_finished() && saves < 100 {
+        db.save_catalog(&s.catalog()).unwrap();
+        saves += 1;
+    }
+    writer.join().unwrap();
+    assert_eq!(db.dataset().series_len(), len_before + rounds);
+    let series_before: Vec<Vec<f64>> = (0..db.dataset().node_count())
+        .map(|n| db.dataset().series(n).values().to_vec())
+        .collect();
+    let catalog_bytes_before = db.catalog().encode();
+    // Crash without a final save: everything past the last racing
+    // checkpoint lives only in the WAL.
+    drop(db);
+
+    let (recovered, _) = F2db::recover(
+        small_db().dataset().clone(),
+        &s.catalog(),
+        &s.wal_dir(),
+        wal_opts(),
+    )
+    .unwrap();
+    assert_eq!(recovered.dataset().series_len(), len_before + rounds);
+    for (n, before) in series_before.iter().enumerate() {
+        assert_eq!(
+            recovered.dataset().series(n).values(),
+            &before[..],
+            "series {n} lost acked writes across checkpoint + recovery"
+        );
+    }
+    assert_eq!(recovered.catalog().encode(), catalog_bytes_before);
+    assert!(recovered.pending_rows().is_empty());
+}
+
+#[test]
 fn legacy_plain_catalog_still_opens_and_upgrades() {
     let s = Scratch::new("legacy");
     let db = small_db();

@@ -27,15 +27,19 @@
 //! A frame that fails to decode is one of two very different things:
 //!
 //! * **a torn tail** — the crash interrupted the last write. Only
-//!   possible at the *end of the last segment*, and only for records
-//!   past the checkpoint watermark (nothing before the watermark was
-//!   ever acknowledged un-fsynced). Recovery truncates the file at the
-//!   last good frame and carries on.
+//!   possible at the *end of the last segment*: past the checkpoint
+//!   watermark (nothing before the watermark was ever acknowledged
+//!   un-fsynced) *and* with no intact frame after it (a torn write is
+//!   the end of the stream, so nothing decodable can follow). Recovery
+//!   truncates the file at the last good frame and carries on.
 //! * **corruption** — a bad frame anywhere else: mid-log, in a non-last
-//!   segment, or at a sequence the checkpoint already covered. That is
-//!   data loss no replay can paper over, so `open` fails with the
-//!   versioned [`WalError::Corrupt`] and leaves the files untouched for
-//!   forensics.
+//!   segment, at a sequence the checkpoint already covered, or followed
+//!   by a later frame that still decodes (a bit flip in an acknowledged
+//!   record, not an interrupted write). That is data loss no replay can
+//!   paper over, so `open` fails with the versioned
+//!   [`WalError::Corrupt`] and leaves the files untouched for
+//!   forensics. So is a first live segment starting past the watermark
+//!   + 1: a file holding acknowledged records went missing.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -206,6 +210,11 @@ struct Shared {
     inner: Mutex<Inner>,
     queue: Mutex<SyncQueue>,
     work: Condvar,
+    /// Serializes whole checkpoints (marker rename must stay monotonic)
+    /// so their durable I/O can run *outside* `inner` — submitters and
+    /// the group-commit sync thread never wait behind checkpoint
+    /// fsyncs. Never acquired while holding `inner`.
+    checkpoint_lock: Mutex<()>,
 }
 
 /// An append-only, segmented, checksummed write-ahead log with group
@@ -325,6 +334,21 @@ impl Wal {
         let mut last_seq = checkpoint_seq;
         let mut truncated_bytes = 0u64;
         let seg_list: Vec<(u64, PathBuf)> = segs.into_iter().collect();
+        // Checkpoint truncation only ever deletes whole fully-covered
+        // segments from the front, so the first live segment must begin
+        // at or below the watermark + 1. One starting above it means a
+        // segment holding acknowledged, uncheckpointed records vanished
+        // (external deletion, restore from a partial backup) — replay
+        // must not silently resume past the gap.
+        if let Some((first, path)) = seg_list.first() {
+            if *first > checkpoint_seq + 1 {
+                return Err(corrupt(format!(
+                    "first live segment {} starts at seq {first}, but the durable watermark \
+                     is {checkpoint_seq}: a segment holding acknowledged records is missing",
+                    path.display()
+                )));
+            }
+        }
         let mut expected_first: Option<u64> = None;
         for (i, (first, path)) in seg_list.iter().enumerate() {
             let is_last = i == seg_list.len() - 1;
@@ -381,6 +405,20 @@ impl Wal {
                         if seq <= checkpoint_seq {
                             return Err(corrupt(format!(
                                 "bad frame at or before durable watermark {checkpoint_seq}: {at}"
+                            )));
+                        }
+                        // A torn tail is the *end* of the write stream:
+                        // nothing decodable can follow it. If a later
+                        // offset still holds an intact frame with a
+                        // plausible sequence number, the bad frame is a
+                        // damaged acknowledged record (e.g. a post-crash
+                        // bit flip) — truncating here would silently
+                        // destroy it and everything after, so fail.
+                        if let Some(later) = scan_decodable_frame(&bytes, offset + 1, *first, seq) {
+                            return Err(corrupt(format!(
+                                "bad frame followed by an intact frame (seq {} at offset {}), \
+                                 so it is damage, not a torn tail: {at}",
+                                later.1, later.0
                             )));
                         }
                         // Torn tail: drop everything from the bad frame on.
@@ -457,6 +495,7 @@ impl Wal {
             }),
             queue: Mutex::new(SyncQueue::default()),
             work: Condvar::new(),
+            checkpoint_lock: Mutex::new(()),
         });
         let syncer = if shared.opts.fsync {
             let s = Arc::clone(&shared);
@@ -552,29 +591,45 @@ impl Wal {
     /// or below it. The current segment is never deleted. Returns the
     /// number of segments truncated.
     pub fn checkpoint(&self, upto: u64) -> Result<u64, WalError> {
-        let mut inner = self.shared.inner.lock().unwrap();
-        let upto = upto.min(inner.next_seq.saturating_sub(1));
-        if upto < inner.checkpoint_seq {
-            return Ok(0);
-        }
+        // One checkpoint at a time, serialized by its own mutex: the
+        // marker renames must land in watermark order. `inner` is only
+        // taken for the short in-memory edits, never across the marker
+        // write (two fsyncs) or the segment unlinks + directory fsync —
+        // a periodic checkpoint must not stall the append path.
+        let _cp = self.shared.checkpoint_lock.lock().unwrap();
+        let upto = {
+            let inner = self.shared.inner.lock().unwrap();
+            let upto = upto.min(inner.next_seq.saturating_sub(1));
+            if upto < inner.checkpoint_seq {
+                return Ok(0);
+            }
+            upto
+        };
+        // The marker must be durable *before* any segment it covers is
+        // deleted; the reverse order would leave a log whose first
+        // segment starts past the (old) watermark — corruption to the
+        // replayer.
         let marker = format!("fdc-wal-checkpoint v1\n{upto}\n");
         atomic_write_durable(&self.shared.dir.join(CHECKPOINT_FILE), marker.as_bytes())?;
-        inner.checkpoint_seq = upto;
 
         // segments[i] is fully covered iff the next segment starts at or
         // below upto + 1 — i.e. every record in it has seq <= upto.
-        let mut removed = 0u64;
-        while inner.segments.len() > 1 && inner.segments[1] <= upto + 1 {
-            let first = inner.segments.remove(0);
+        let (to_remove, last_seq, segments) = {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.checkpoint_seq = upto;
+            let mut to_remove = Vec::new();
+            while inner.segments.len() > 1 && inner.segments[1] <= upto + 1 {
+                to_remove.push(inner.segments.remove(0));
+            }
+            (to_remove, inner.next_seq - 1, inner.segments.len() as i64)
+        };
+        let removed = to_remove.len() as u64;
+        for first in to_remove {
             fs::remove_file(segment_path(&self.shared.dir, first))?;
-            removed += 1;
         }
         if removed > 0 {
             sync_dir(&self.shared.dir)?;
         }
-        let last_seq = inner.next_seq - 1;
-        let segments = inner.segments.len() as i64;
-        drop(inner);
 
         fdc_obs::gauge(fdc_obs::names::WAL_CHECKPOINT_SEQ).set(upto as i64);
         fdc_obs::gauge(fdc_obs::names::WAL_SEGMENTS).set(segments);
@@ -662,6 +717,33 @@ impl Drop for Wal {
             let _ = handle.join();
         }
     }
+}
+
+/// Scans `bytes[from..]` byte by byte for an offset where a frame
+/// decodes cleanly with a plausible sequence number: at least `min_seq`
+/// (the bad frame's), and no larger than the segment's first seq plus
+/// the maximum number of frames that could physically fit before the
+/// offset. Used to distinguish a torn tail (nothing decodable follows
+/// the bad frame) from mid-file damage (a later intact frame proves the
+/// stream continued past it). Returns `(offset, seq)` of the first such
+/// frame.
+fn scan_decodable_frame(
+    bytes: &[u8],
+    from: usize,
+    first_seq: u64,
+    min_seq: u64,
+) -> Option<(usize, u64)> {
+    for o in from..bytes.len() {
+        if let Ok(frame) = record::decode_frame(&bytes[o..], None) {
+            // Every frame occupies at least FRAME_HEADER bytes, so at
+            // most this many frames can precede offset `o`.
+            let max_plausible = first_seq + ((o - SEGMENT_HEADER) / record::FRAME_HEADER) as u64;
+            if frame.seq >= min_seq && frame.seq <= max_plausible {
+                return Some((o, frame.seq));
+            }
+        }
+    }
+    None
 }
 
 /// Truncates a segment file to `len` bytes in place (used to drop a
@@ -792,6 +874,94 @@ mod tests {
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_record_with_intact_successor_is_fatal() {
+        let dir = tmp_dir("damage_mid_tail");
+        {
+            let (wal, _) = Wal::open(&dir, opts(1 << 20)).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"beta").unwrap();
+            wal.append(b"gamma").unwrap();
+        }
+        // Flip a payload byte of record 2: records 1..3 are all acked
+        // and fsynced, none checkpointed. Record 3 still decodes after
+        // the bad frame, so this is damage, not a torn tail — silently
+        // truncating would destroy the acknowledged records 2 and 3.
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let rec1_len = FRAME_HEADER + b"alpha".len();
+        bytes[SEGMENT_HEADER + rec1_len + FRAME_HEADER + 1] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        let err = Wal::open(&dir, opts(1 << 20)).unwrap_err();
+        match err {
+            WalError::Corrupt { version, detail } => {
+                assert_eq!(version, WAL_VERSION);
+                assert!(detail.contains("not a torn tail"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_first_segment_is_fatal() {
+        let dir = tmp_dir("missing_segment");
+        {
+            let (wal, _) = Wal::open(&dir, opts(64)).unwrap();
+            for i in 0..6u8 {
+                wal.append(&[i; 40]).unwrap();
+            }
+            assert!(wal.stats().segments > 2, "{:?}", wal.stats());
+        }
+        // Delete the first segment: it holds acknowledged records the
+        // checkpoint (watermark 0) does not cover. Replay must not
+        // silently resume from the next segment's first sequence.
+        fs::remove_file(segment_path(&dir, 1)).unwrap();
+        let err = Wal::open(&dir, opts(64)).unwrap_err();
+        match err {
+            WalError::Corrupt { version, detail } => {
+                assert_eq!(version, WAL_VERSION);
+                assert!(detail.contains("missing"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoints_concurrent_with_appends_keep_the_log_consistent() {
+        let dir = tmp_dir("cp_concurrent");
+        let (wal, _) = Wal::open(&dir, opts(256)).unwrap();
+        let wal = Arc::new(wal);
+        let appender = {
+            let wal = Arc::clone(&wal);
+            thread::spawn(move || {
+                for i in 0..200u8 {
+                    wal.append(&[i; 24]).unwrap();
+                }
+            })
+        };
+        // Checkpoint continuously while the appender runs: the marker
+        // and unlink I/O happens off the append mutex, but the log must
+        // stay consistent throughout.
+        while !appender.is_finished() {
+            let upto = wal.stats().last_seq;
+            wal.checkpoint(upto).unwrap();
+        }
+        appender.join().unwrap();
+        let final_cp = wal.stats().checkpoint_seq;
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, opts(256)).unwrap();
+        assert_eq!(rec.last_seq, 200);
+        assert_eq!(rec.checkpoint_seq, final_cp);
+        // Exactly the post-watermark records replay, in order.
+        assert_eq!(
+            rec.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            (final_cp + 1..=200).collect::<Vec<_>>()
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
