@@ -1,13 +1,14 @@
 //! Micro-benchmarks of the observability plane itself: what one metric
 //! record costs (plain vs labeled, interned vs held handle), what the
-//! drift tracker adds per time advance, and what a full Prometheus
-//! encode / journal publish costs. The measured numbers back the
-//! overhead discussion in DESIGN.md §7 and EXPERIMENTS.md.
+//! drift tracker adds per time advance, what the sketches cost (t-digest
+//! insert/merge, moment-summary insert/merge), and what a full
+//! Prometheus encode / journal publish costs. The measured numbers back
+//! the overhead discussion in DESIGN.md §7 and EXPERIMENTS.md.
 //!
 //! Run with `cargo bench -p fdc-bench --bench obs`.
 
 use fdc_bench::timing::{bench, emit_metrics};
-use fdc_obs::{AccuracyOptions, Event, Journal, RollingAccuracy};
+use fdc_obs::{AccuracyOptions, Event, Journal, MomentSummary, RollingAccuracy, TDigest};
 use std::hint::black_box;
 
 fn bench_metric_records() {
@@ -36,13 +37,75 @@ fn bench_metric_records() {
 }
 
 fn bench_drift_tracker() {
-    let acc = RollingAccuracy::new(AccuracyOptions::default())
-        .with_gauge_families("obsbench.smape", "obsbench.mae");
+    let acc = RollingAccuracy::new(AccuracyOptions::default()).with_gauge_families(
+        "obsbench.smape",
+        "obsbench.mae",
+        "obsbench.err_stddev",
+    );
     let mut key = 0u64;
     bench("rolling_accuracy_record_64_keys", move || {
         key = (key + 1) % 64;
         acc.record(key, 100.0, 98.5)
     });
+}
+
+/// What the sketches cost: digest inserts (the per-histogram-record
+/// overhead), digest merges at snapshot shape, and moment-summary
+/// insert/merge — the numbers behind the EXPERIMENTS.md overhead table.
+fn bench_sketches() {
+    bench("tdigest_insert", {
+        let mut d = TDigest::new(100.0);
+        let mut v = 1u64;
+        move || {
+            v = v.wrapping_mul(2862933555777941757).wrapping_add(1);
+            d.insert((v >> 40) as f64)
+        }
+    });
+    // Merge cost at the shape Histogram::snapshot sees: four populated
+    // shard digests folded into a fresh one.
+    let shards: Vec<TDigest> = (0..4)
+        .map(|s| {
+            let mut d = TDigest::new(100.0);
+            let mut v = 1u64 + s;
+            for _ in 0..10_000 {
+                v = v.wrapping_mul(2862933555777941757).wrapping_add(1);
+                d.insert((v >> 40) as f64);
+            }
+            d.flush();
+            d
+        })
+        .collect();
+    bench("tdigest_merge_4_shards_10k_each", || {
+        let mut merged = TDigest::new(100.0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        merged.flush();
+        black_box(merged.quantile(0.99))
+    });
+    bench("moment_summary_insert", {
+        let mut m = MomentSummary::new();
+        let mut v = 1u64;
+        move || {
+            v = v.wrapping_mul(2862933555777941757).wrapping_add(1);
+            m.insert((v >> 40) as f64)
+        }
+    });
+    let a = {
+        let mut m = MomentSummary::new();
+        for i in 0..10_000 {
+            m.insert(i as f64);
+        }
+        m
+    };
+    let b = {
+        let mut m = MomentSummary::new();
+        for i in 0..10_000 {
+            m.insert(1.5 * i as f64);
+        }
+        m
+    };
+    bench("moment_summary_merge", || black_box(a.merge(&b)));
 }
 
 fn bench_export_plane() {
@@ -74,6 +137,7 @@ fn bench_export_plane() {
 fn main() {
     bench_metric_records();
     bench_drift_tracker();
+    bench_sketches();
     bench_export_plane();
     emit_metrics("bench_obs");
 }

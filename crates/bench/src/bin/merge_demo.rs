@@ -1,0 +1,182 @@
+//! Sketch merge demo: N worker threads with private sketch sets,
+//! merged and checked against a single-threaded oracle.
+//!
+//! This is the partitioned-observability story end to end: each worker
+//! owns a private `TDigest` + `MomentSummary` pair (no shared state, no
+//! locks), records its deterministic slice of a lognormal latency
+//! stream, and the coordinator merges the partials in worker order. The
+//! oracle replays the *same* per-worker slices sequentially, building
+//! the same partials and merging them in the same order — so the merged
+//! `MomentSummary` must be **byte-identical** (`encode()` equality, not
+//! approximate) to the oracle's, and the merged digest's
+//! p50/p95/p99/p999 must sit within 0.5% rank error of the exact sorted
+//! stream.
+//!
+//! Exits non-zero on any mismatch, so CI can run it as a check. Results
+//! land in the fenced `--- metrics ---` JSON (gauges
+//! `bench.merge_demo.*`).
+//!
+//! Usage: `cargo run -p fdc-bench --release --bin merge_demo
+//! [--workers n] [--per-worker n]`
+
+use fdc_bench::emit_metrics;
+use fdc_obs::{MomentSummary, TDigest};
+use fdc_rng::Rng;
+
+const SEED: u64 = 0x5EED_F2DB;
+const COMPRESSION: f64 = 200.0;
+/// Acceptance bound: merged digest quantiles within 0.5% rank error of
+/// the exact oracle.
+const MAX_RANK_ERROR: f64 = 0.005;
+
+/// One worker's private sketch set.
+struct Partial {
+    digest: TDigest,
+    moments: MomentSummary,
+}
+
+/// Records `worker`'s slice of the stream into fresh sketches: a
+/// lognormal latency shape (exp of a scaled normal), deterministic per
+/// worker via a forked rng, so threads and oracle see identical values.
+fn record_slice(worker: u64, per_worker: usize) -> Partial {
+    let mut rng = Rng::seed_from_u64(SEED).fork(worker);
+    let mut digest = TDigest::new(COMPRESSION);
+    let mut moments = MomentSummary::new();
+    for _ in 0..per_worker {
+        // exp(μ=8, σ=0.75): a microseconds-scale latency distribution
+        // with a realistic heavy right tail.
+        let v = (8.0 + 0.75 * rng.standard_normal()).exp();
+        digest.insert(v);
+        moments.insert(v);
+    }
+    digest.flush();
+    Partial { digest, moments }
+}
+
+/// Exact rank of `v` in the sorted stream, as a fraction of n.
+fn rank_of(sorted: &[f64], v: f64) -> f64 {
+    let below = sorted.partition_point(|&x| x <= v);
+    below as f64 / sorted.len() as f64
+}
+
+fn main() {
+    let mut workers = 8usize;
+    let mut per_worker = 20_000usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().expect("--workers n");
+            }
+            "--per-worker" => {
+                i += 1;
+                per_worker = args[i].parse().expect("--per-worker n");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    println!("merge demo: {workers} workers x {per_worker} samples, compression {COMPRESSION}");
+
+    // Parallel: one thread per worker, each with a private sketch set.
+    let threaded: Vec<Partial> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| s.spawn(move || record_slice(w as u64, per_worker)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Oracle: the same partials built sequentially on one thread.
+    let oracle: Vec<Partial> = (0..workers)
+        .map(|w| record_slice(w as u64, per_worker))
+        .collect();
+
+    // Merge both sets in worker order.
+    let merge_all = |parts: &[Partial]| -> Partial {
+        let mut digest = TDigest::new(COMPRESSION);
+        let mut moments = MomentSummary::new();
+        for p in parts {
+            digest.merge(&p.digest);
+            moments = moments.merge(&p.moments);
+        }
+        digest.flush();
+        Partial { digest, moments }
+    };
+    let merged = merge_all(&threaded);
+    let oracle_merged = merge_all(&oracle);
+
+    let mut failures = 0u32;
+
+    // 1. Moments: byte-identical to the single-threaded oracle.
+    let merged_bytes = merged.moments.encode();
+    let oracle_bytes = oracle_merged.moments.encode();
+    if merged_bytes == oracle_bytes {
+        println!(
+            "moments: byte-identical across {} merged observations (n={}, mean={:.3}, stddev={:.3})",
+            workers,
+            merged.moments.count(),
+            merged.moments.mean(),
+            merged.moments.stddev(),
+        );
+    } else {
+        failures += 1;
+        eprintln!(
+            "FAIL moments diverged: threaded mean {:.17e} vs oracle {:.17e}",
+            merged.moments.mean(),
+            oracle_merged.moments.mean()
+        );
+    }
+    let total = (workers * per_worker) as u64;
+    if merged.moments.count() != total {
+        failures += 1;
+        eprintln!("FAIL moment count {} != {total}", merged.moments.count());
+    }
+
+    // 2. Digest quantiles: within 0.5% rank error of the exact stream.
+    let mut exact: Vec<f64> = (0..workers)
+        .flat_map(|w| {
+            let mut rng = Rng::seed_from_u64(SEED).fork(w as u64);
+            (0..per_worker)
+                .map(|_| (8.0 + 0.75 * rng.standard_normal()).exp())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    exact.sort_by(f64::total_cmp);
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "q", "digest", "exact", "rank err"
+    );
+    for q in [0.5, 0.95, 0.99, 0.999] {
+        let est = merged.digest.quantile(q);
+        let exact_v = exact[(((q * exact.len() as f64) as usize).max(1) - 1).min(exact.len() - 1)];
+        let rank_err = (rank_of(&exact, est) - q).abs();
+        let verdict = if rank_err <= MAX_RANK_ERROR {
+            ""
+        } else {
+            "  FAIL"
+        };
+        println!("{q:>8} {est:>14.2} {exact_v:>14.2} {rank_err:>12.5}{verdict}");
+        if rank_err > MAX_RANK_ERROR {
+            failures += 1;
+        }
+        fdc_obs::float_gauge_with("bench.merge_demo.rank_err", &[("q", &format!("{q}"))])
+            .set(rank_err);
+    }
+    println!(
+        "digest: {} centroids for {} samples ({} compressions)",
+        merged.digest.centroid_count(),
+        total,
+        merged.digest.compressions(),
+    );
+    fdc_obs::gauge("bench.merge_demo.centroids").set(merged.digest.centroid_count() as i64);
+    fdc_obs::gauge("bench.merge_demo.samples").set(total as i64);
+
+    emit_metrics("merge_demo");
+    if failures > 0 {
+        eprintln!("merge demo FAILED with {failures} mismatch(es)");
+        std::process::exit(1);
+    }
+    println!("merge demo passed");
+}

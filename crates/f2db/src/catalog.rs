@@ -446,10 +446,11 @@ impl Catalog {
     /// [`Catalog::advance_time`] with an optional [`RollingAccuracy`]
     /// tracker: each stored model's `(actual, one-step forecast)` pair is
     /// fed into the tracker, and a [`fdc_obs::DriftAlert`] (windowed
-    /// SMAPE crossing its threshold) additionally marks the model
-    /// invalid — drift is a first-class invalidation trigger alongside
-    /// the configured policy. Alerts land in the event journal and the
-    /// `f2db.drift.alerts` counter.
+    /// SMAPE crossing its threshold, or MAE exceeding the node's own
+    /// baseline by k·stddev) additionally marks the model invalid —
+    /// drift is a first-class invalidation trigger alongside the
+    /// configured policy. Alerts land in the event journal (tagged with
+    /// their trigger) and the `f2db.drift.alerts` counter.
     pub fn advance_time_with(
         &self,
         dataset: &Dataset,
@@ -513,6 +514,7 @@ impl Catalog {
                             smape: alert.smape,
                             mae: alert.mae,
                             threshold: alert.threshold,
+                            trigger: alert.trigger.as_str(),
                         });
                     }
                 }

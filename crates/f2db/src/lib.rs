@@ -200,17 +200,21 @@ impl F2db {
 
     /// Enables drift-aware accuracy monitoring: every time advance feeds
     /// each stored model's `(actual, one-step forecast)` pair into a
-    /// windowed SMAPE/MAE tracker published as the `f2db.node.smape` /
-    /// `f2db.node.mae` gauge families (label `node`). A window crossing
-    /// `opts.smape_threshold` raises a `DriftAlert` journal event,
-    /// counts into `f2db.drift.alerts` and marks the model invalid, so
-    /// the next referencing query re-estimates it (which in turn resets
-    /// the node's window — a fresh model is not judged by stale errors).
+    /// windowed error tracker published as the `f2db.node.smape` /
+    /// `f2db.node.mae` / `f2db.node.err_stddev` gauge families (label
+    /// `node`). A window crossing `opts.smape_threshold` — or the
+    /// windowed MAE exceeding the node's own error baseline by
+    /// `opts.stddev_k` standard deviations — raises a `DriftAlert`
+    /// journal event (tagged with its trigger), counts into
+    /// `f2db.drift.alerts` and marks the model invalid, so the next
+    /// referencing query re-estimates it (which in turn resets the
+    /// node's window — a fresh model is not judged by stale errors).
     pub fn with_drift_monitoring(mut self, opts: AccuracyOptions) -> Self {
-        self.accuracy = Some(
-            RollingAccuracy::new(opts)
-                .with_gauge_families(names::F2DB_NODE_SMAPE, names::F2DB_NODE_MAE),
-        );
+        self.accuracy = Some(RollingAccuracy::new(opts).with_gauge_families(
+            names::F2DB_NODE_SMAPE,
+            names::F2DB_NODE_MAE,
+            names::F2DB_NODE_ERR_STDDEV,
+        ));
         self
     }
 

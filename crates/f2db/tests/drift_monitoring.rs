@@ -41,6 +41,7 @@ fn drift_alert_then_reestimation_heals_the_node() {
         window: 8,
         smape_threshold: 0.5,
         min_samples: 4,
+        stddev_k: 3.0,
     };
     // Policy `None`: every invalidation in this test is drift-driven.
     let db = F2db::load(ds, &outcome.configuration)
@@ -73,14 +74,21 @@ fn drift_alert_then_reestimation_heals_the_node() {
                 node,
                 smape,
                 threshold,
+                trigger,
                 ..
-            } => Some((e.seq, node, smape, threshold)),
+            } => Some((e.seq, node, smape, threshold, trigger)),
             _ => None,
         })
         .collect();
     assert!(!alerts.is_empty(), "level shift raised no drift alert");
-    for &(_, _, smape, threshold) in &alerts {
-        assert!(smape > threshold, "alert below threshold: {smape}");
+    for &(_, _, smape, threshold, trigger) in &alerts {
+        assert!(
+            trigger == "smape_threshold" || trigger == "variance",
+            "unknown trigger tag {trigger}"
+        );
+        if trigger == "smape_threshold" {
+            assert!(smape > threshold, "alert below threshold: {smape}");
+        }
     }
     assert!(
         events.iter().any(|e| matches!(
@@ -92,7 +100,7 @@ fn drift_alert_then_reestimation_heals_the_node() {
 
     // Drift is an invalidation trigger: every alerted node is invalid.
     let invalid = db.catalog().invalid_nodes();
-    for &(_, node, _, _) in &alerts {
+    for &(_, node, _, _, _) in &alerts {
         assert!(
             invalid.contains(&(node as usize)),
             "alerted node {node} not invalidated"
@@ -102,12 +110,16 @@ fn drift_alert_then_reestimation_heals_the_node() {
     // The node's windowed SMAPE is live on a real /metrics scrape.
     let server = ObsServer::bind(0).unwrap();
     let body = scrape_metrics(server.addr());
-    let (_, alert_node, alert_smape, _) = alerts[0];
+    let (_, alert_node, alert_smape, _, _) = alerts[0];
     assert!(
         body.contains(&format!("f2db_node_smape{{node=\"{alert_node}\"}}")),
         "scrape missing the node's smape gauge:\n{body}"
     );
     assert!(body.contains("# TYPE f2db_node_smape gauge"), "{body}");
+    assert!(
+        body.contains(&format!("f2db_node_err_stddev{{node=\"{alert_node}\"}}")),
+        "scrape missing the node's error-stddev gauge:\n{body}"
+    );
     assert!(body.contains("f2db_drift_alerts"), "{body}");
     assert!(
         monitor.smape(alert_node).expect("window populated") >= alert_smape,
@@ -121,7 +133,7 @@ fn drift_alert_then_reestimation_heals_the_node() {
     let refitted = db.maintain().unwrap();
     assert!(refitted >= alerts.len(), "maintain missed alerted nodes");
     let events = journal().recent(usize::MAX);
-    for &(alert_seq, node, _, _) in &alerts {
+    for &(alert_seq, node, _, _, _) in &alerts {
         let reest = events
             .iter()
             .find(|e| {

@@ -1,22 +1,37 @@
-//! Rolling forecast-accuracy tracking and drift detection.
+//! Rolling forecast-accuracy tracking and drift detection, built on
+//! mergeable moment summaries.
 //!
 //! The maintenance loop (paper §V) watches per-model forecast error to
 //! decide when to re-estimate. [`RollingAccuracy`] is the observable
-//! half of that loop: a windowed SMAPE/MAE per tracked key (catalog
-//! node), fed one `(actual, predicted)` pair per time advance, that
+//! half of that loop: per tracked key (catalog node) it keeps a ring of
+//! [`MomentSummary`] slots — one slot per recorded `(actual, predicted)`
+//! pair, holding the SMAPE term and the signed error — plus a baseline
+//! summary absorbing everything that ages out of the ring. Because every
+//! piece of state is a `MomentSummary`, per-key accuracy is
+//! **partializable**: [`KeyAccuracy`] values from different trackers
+//! (threads, shards, processes — via the sketch codec) merge exactly at
+//! read time without any global lock.
 //!
-//! * publishes each key's current window into a float-gauge family
-//!   (label `node`) so `/metrics` exposes per-node accuracy, and
-//! * raises a [`DriftAlert`] when the windowed SMAPE **crosses** the
-//!   configured threshold from below (edge-triggered, so a persistently
-//!   bad series alerts once per excursion, not once per step).
+//! Drift fires edge-triggered (once per excursion, not once per step)
+//! on either of two conditions:
 //!
-//! The tracker is engine-agnostic: keys are plain `u64`s and the gauge
-//! family is configured by the caller, so `fdc-f2db` wires it to its
-//! catalog nodes without this crate knowing about catalogs.
+//! * **SMAPE threshold** — the recent window's mean SMAPE term crosses
+//!   `smape_threshold` from below (the classic trigger), or
+//! * **variance-aware** — the recent window's mean absolute error
+//!   exceeds the baseline's by more than `stddev_k` baseline standard
+//!   deviations: a model can degrade badly relative to its own history
+//!   while its SMAPE still sits under a global threshold.
+//!
+//! Each key's windowed SMAPE, MAE and error stddev publish into
+//! float-gauge families (label `node`) so `/metrics` exposes per-node
+//! accuracy. The tracker is engine-agnostic: keys are plain `u64`s and
+//! the gauge families are configured by the caller, so `fdc-f2db` wires
+//! it to its catalog nodes without this crate knowing about catalogs.
 
 use crate::metrics::registry;
-use std::collections::HashMap;
+use crate::names;
+use crate::sketch::{MomentSummary, SketchDecodeError};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 /// Configuration of a [`RollingAccuracy`] tracker.
@@ -29,7 +44,15 @@ pub struct AccuracyOptions {
     pub smape_threshold: f64,
     /// Minimum observations in the window before drift can fire (a
     /// single bad step in a near-empty window is noise, not drift).
+    /// Clamped to ≥ 1; the variance trigger additionally requires a
+    /// baseline of ≥ 2 observations, so a 1-sample baseline can never
+    /// produce a stddev-based alert.
     pub min_samples: usize,
+    /// Variance-trigger sensitivity: alert when the recent window's
+    /// mean absolute error exceeds the baseline's mean absolute error
+    /// by more than `stddev_k` baseline standard deviations.
+    /// Non-positive disables the variance trigger.
+    pub stddev_k: f64,
 }
 
 impl Default for AccuracyOptions {
@@ -38,12 +61,33 @@ impl Default for AccuracyOptions {
             window: 12,
             smape_threshold: 0.5,
             min_samples: 4,
+            stddev_k: 3.0,
         }
     }
 }
 
-/// A drift signal returned by [`RollingAccuracy::record`] when a key's
-/// windowed SMAPE crosses its threshold.
+/// Which condition raised a [`DriftAlert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftTrigger {
+    /// The windowed SMAPE crossed `smape_threshold` from below.
+    SmapeThreshold,
+    /// The recent mean absolute error exceeded the baseline mean by
+    /// more than `stddev_k` baseline standard deviations.
+    Variance,
+}
+
+impl DriftTrigger {
+    /// Stable string tag (journal events, JSON payloads).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DriftTrigger::SmapeThreshold => "smape_threshold",
+            DriftTrigger::Variance => "variance",
+        }
+    }
+}
+
+/// A drift signal returned by [`RollingAccuracy::record`] when a key
+/// crosses one of its drift conditions from below.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftAlert {
     /// The tracked key (catalog node id).
@@ -52,70 +96,168 @@ pub struct DriftAlert {
     pub smape: f64,
     /// Windowed MAE at the moment of crossing.
     pub mae: f64,
-    /// The configured threshold that was crossed.
+    /// The configured SMAPE threshold.
     pub threshold: f64,
+    /// Which condition fired (SMAPE wins when both cross at once).
+    pub trigger: DriftTrigger,
+    /// Baseline mean absolute error at the moment of crossing.
+    pub baseline_mae: f64,
+    /// Baseline error standard deviation at the moment of crossing.
+    pub baseline_stddev: f64,
 }
 
-/// Per-key state: a ring of the last `window` error terms.
+/// Mergeable per-key accuracy state: the partial a shard ships to a
+/// router. All members are [`MomentSummary`]s, so [`KeyAccuracy::merge`]
+/// is exact and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyAccuracy {
+    /// The tracked key (catalog node id).
+    pub key: u64,
+    /// Recent-window SMAPE terms (`mean()` is the windowed SMAPE).
+    pub smape: MomentSummary,
+    /// Recent-window signed errors (`abs_mean()` is the windowed MAE,
+    /// `stddev()` the error spread, `mean()` the bias).
+    pub err: MomentSummary,
+    /// Errors that aged out of the window since the last reset — the
+    /// baseline the variance trigger compares against.
+    pub baseline_err: MomentSummary,
+    /// Whether the key was in a drift excursion after its last record.
+    pub drifting: bool,
+}
+
+/// Codec version written by [`KeyAccuracy::encode`].
+pub const KEY_ACCURACY_CODEC_VERSION: u8 = 1;
+
+impl KeyAccuracy {
+    /// Observations represented (recent window + baseline).
+    pub fn total(&self) -> u64 {
+        self.err.count() + self.baseline_err.count()
+    }
+
+    /// Pools two partials for the same key: summaries merge exactly,
+    /// drift states OR together.
+    pub fn merge(&self, other: &KeyAccuracy) -> KeyAccuracy {
+        KeyAccuracy {
+            key: self.key,
+            smape: self.smape.merge(&other.smape),
+            err: self.err.merge(&other.err),
+            baseline_err: self.baseline_err.merge(&other.baseline_err),
+            drifting: self.drifting || other.drifting,
+        }
+    }
+
+    /// Serializes as `[version][key][drifting][smape][err][baseline]`
+    /// using the [`MomentSummary`] codec for each member — the wire
+    /// format a shard ships alongside WAL frames.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 8 + 3 * 57);
+        out.push(KEY_ACCURACY_CODEC_VERSION);
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.push(self.drifting as u8);
+        for s in [&self.smape, &self.err, &self.baseline_err] {
+            out.extend_from_slice(&s.encode());
+        }
+        out
+    }
+
+    /// Decodes a partial produced by [`KeyAccuracy::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<KeyAccuracy, SketchDecodeError> {
+        if bytes.len() < 10 {
+            return Err(SketchDecodeError::Truncated);
+        }
+        if bytes[0] != KEY_ACCURACY_CODEC_VERSION {
+            return Err(SketchDecodeError::UnsupportedVersion(bytes[0]));
+        }
+        let key = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+        let drifting = match bytes[9] {
+            0 => false,
+            1 => true,
+            _ => return Err(SketchDecodeError::Corrupt("drift flag")),
+        };
+        let rest = &bytes[10..];
+        let part = rest.len() / 3;
+        if !rest.len().is_multiple_of(3) || part == 0 {
+            return Err(SketchDecodeError::Truncated);
+        }
+        Ok(KeyAccuracy {
+            key,
+            drifting,
+            smape: MomentSummary::decode(&rest[..part])?,
+            err: MomentSummary::decode(&rest[part..2 * part])?,
+            baseline_err: MomentSummary::decode(&rest[2 * part..])?,
+        })
+    }
+}
+
+/// Per-key state: a ring of single-observation [`MomentSummary`] slots
+/// (two per observation: SMAPE term and signed error) plus the baseline
+/// absorbing evicted observations.
 #[derive(Debug)]
 struct KeyWindow {
-    /// Per-step symmetric errors `|a−p| / |a+p|` (the SMAPE terms).
-    smape_terms: Vec<f64>,
-    /// Per-step absolute errors `|a−p|`.
-    abs_errors: Vec<f64>,
+    /// Ring of per-observation SMAPE-term summaries.
+    smape_slots: Vec<MomentSummary>,
+    /// Ring of per-observation signed-error summaries (parallel to
+    /// `smape_slots`).
+    err_slots: Vec<MomentSummary>,
     /// Next write position in the rings.
     next: usize,
     /// Observations absorbed so far (saturates at the window length).
     filled: usize,
-    /// Whether the key was above threshold after the last record —
-    /// drift fires only on the false→true edge.
+    /// Signed errors evicted from the ring since the last reset.
+    baseline_err: MomentSummary,
+    /// Whether the key was above a drift condition after the last
+    /// record — drift fires only on the false→true edge.
     above: bool,
 }
 
 impl KeyWindow {
     fn new(window: usize) -> Self {
         KeyWindow {
-            smape_terms: vec![0.0; window],
-            abs_errors: vec![0.0; window],
+            smape_slots: vec![MomentSummary::new(); window],
+            err_slots: vec![MomentSummary::new(); window],
             next: 0,
             filled: 0,
+            baseline_err: MomentSummary::new(),
             above: false,
         }
     }
 
-    fn push(&mut self, smape_term: f64, abs_err: f64) {
-        self.smape_terms[self.next] = smape_term;
-        self.abs_errors[self.next] = abs_err;
-        self.next = (self.next + 1) % self.smape_terms.len();
-        self.filled = (self.filled + 1).min(self.smape_terms.len());
+    fn push(&mut self, smape_term: f64, err: f64) {
+        if self.filled == self.smape_slots.len() {
+            // The slot being overwritten ages into the baseline.
+            self.baseline_err = self.baseline_err.merge(&self.err_slots[self.next]);
+        }
+        self.smape_slots[self.next] = MomentSummary::of(smape_term);
+        self.err_slots[self.next] = MomentSummary::of(err);
+        self.next = (self.next + 1) % self.smape_slots.len();
+        self.filled = (self.filled + 1).min(self.smape_slots.len());
     }
 
-    fn smape(&self) -> f64 {
-        if self.filled == 0 {
-            return 0.0;
+    /// Merged recent-window summaries `(smape, err)`.
+    fn recent(&self) -> (MomentSummary, MomentSummary) {
+        let mut smape = MomentSummary::new();
+        let mut err = MomentSummary::new();
+        for i in 0..self.filled {
+            smape = smape.merge(&self.smape_slots[i]);
+            err = err.merge(&self.err_slots[i]);
         }
-        self.smape_terms.iter().take(self.filled).sum::<f64>() / self.filled as f64
-    }
-
-    fn mae(&self) -> f64 {
-        if self.filled == 0 {
-            return 0.0;
-        }
-        self.abs_errors.iter().take(self.filled).sum::<f64>() / self.filled as f64
+        (smape, err)
     }
 }
 
-/// Windowed per-key SMAPE/MAE tracker with edge-triggered drift
+/// Windowed per-key accuracy tracker on [`MomentSummary`] ring slots,
+/// with edge-triggered SMAPE-threshold and variance-aware drift
 /// detection. All methods take `&self`; internally one mutex guards the
 /// key map (records happen once per key per time advance — far off any
-/// hot path).
+/// hot path). Reads produce mergeable [`KeyAccuracy`] partials, so
+/// per-shard trackers combine at read time without a global lock.
 #[derive(Debug)]
 pub struct RollingAccuracy {
     opts: AccuracyOptions,
     /// Float-gauge families to publish into: `(smape_family,
-    /// mae_family)`, label `node=<key>`. `None` keeps the tracker
-    /// registry-silent (tests, ad-hoc use).
-    gauges: Option<(String, String)>,
+    /// mae_family, stddev_family)`, label `node=<key>`. `None` keeps
+    /// the tracker registry-silent (tests, ad-hoc use).
+    gauges: Option<(String, String, String)>,
     windows: Mutex<HashMap<u64, KeyWindow>>,
 }
 
@@ -125,6 +267,7 @@ impl RollingAccuracy {
         RollingAccuracy {
             opts: AccuracyOptions {
                 window: opts.window.max(1),
+                min_samples: opts.min_samples.max(1),
                 ..opts
             },
             gauges: None,
@@ -132,11 +275,20 @@ impl RollingAccuracy {
         }
     }
 
-    /// Publishes each key's windowed SMAPE and MAE into the given
-    /// float-gauge families (label `node`), e.g.
+    /// Publishes each key's windowed SMAPE, MAE and error stddev into
+    /// the given float-gauge families (label `node`), e.g.
     /// `f2db.node.smape{node="17"}`.
-    pub fn with_gauge_families(mut self, smape_family: &str, mae_family: &str) -> Self {
-        self.gauges = Some((smape_family.to_string(), mae_family.to_string()));
+    pub fn with_gauge_families(
+        mut self,
+        smape_family: &str,
+        mae_family: &str,
+        stddev_family: &str,
+    ) -> Self {
+        self.gauges = Some((
+            smape_family.to_string(),
+            mae_family.to_string(),
+            stddev_family.to_string(),
+        ));
         self
     }
 
@@ -146,9 +298,11 @@ impl RollingAccuracy {
     }
 
     /// Records one `(actual, predicted)` pair for `key`. Returns a
-    /// [`DriftAlert`] when this record moved the key's windowed SMAPE
-    /// across the threshold from below (and the window holds at least
-    /// `min_samples` observations).
+    /// [`DriftAlert`] when this record moved the key across a drift
+    /// condition from below: the windowed SMAPE over `smape_threshold`
+    /// (with ≥ `min_samples` observations), or the windowed MAE over
+    /// the baseline MAE plus `stddev_k` baseline standard deviations
+    /// (additionally requiring a baseline of ≥ 2 observations).
     pub fn record(&self, key: u64, actual: f64, predicted: f64) -> Option<DriftAlert> {
         let denom = (actual + predicted).abs();
         let smape_term = if denom < f64::EPSILON {
@@ -156,24 +310,53 @@ impl RollingAccuracy {
         } else {
             (actual - predicted).abs() / denom
         };
-        let abs_err = (actual - predicted).abs();
+        let err = actual - predicted;
 
-        let (smape, mae, fired) = {
+        let (smape, mae, stddev, fired) = {
             let mut windows = self.windows.lock().unwrap();
             let w = windows
                 .entry(key)
                 .or_insert_with(|| KeyWindow::new(self.opts.window));
-            w.push(smape_term, abs_err);
-            let smape = w.smape();
-            let mae = w.mae();
-            let above =
-                w.filled >= self.opts.min_samples.max(1) && smape > self.opts.smape_threshold;
-            let fired = above && !w.above;
+            w.push(smape_term, err);
+            let (recent_smape, recent_err) = w.recent();
+            let smape = recent_smape.mean();
+            let mae = recent_err.abs_mean();
+            let stddev = recent_err.stddev();
+            let enough = w.filled >= self.opts.min_samples;
+            let above_smape = enough && smape > self.opts.smape_threshold;
+            // Variance trigger: never against a baseline of fewer than
+            // two observations (a 1-sample baseline has no spread, and
+            // with min_samples = 0 it would alert on the very first
+            // record).
+            let baseline = &w.baseline_err;
+            let above_var = self.opts.stddev_k > 0.0
+                && enough
+                && baseline.count() >= 2
+                && mae > baseline.abs_mean() + self.opts.stddev_k * baseline.stddev();
+            let above = above_smape || above_var;
+            let fired = (above && !w.above).then(|| DriftAlert {
+                key,
+                smape,
+                mae,
+                threshold: self.opts.smape_threshold,
+                trigger: if above_smape {
+                    DriftTrigger::SmapeThreshold
+                } else {
+                    DriftTrigger::Variance
+                },
+                baseline_mae: baseline.abs_mean(),
+                baseline_stddev: baseline.stddev(),
+            });
             w.above = above;
-            (smape, mae, fired)
+            (smape, mae, stddev, fired)
         };
 
-        if let Some((smape_family, mae_family)) = &self.gauges {
+        self.publish_gauges(key, smape, mae, stddev);
+        fired
+    }
+
+    fn publish_gauges(&self, key: u64, smape: f64, mae: f64, stddev: f64) {
+        if let Some((smape_family, mae_family, stddev_family)) = &self.gauges {
             let node = key.to_string();
             registry()
                 .float_gauge_with(smape_family, &[("node", &node)])
@@ -181,24 +364,93 @@ impl RollingAccuracy {
             registry()
                 .float_gauge_with(mae_family, &[("node", &node)])
                 .set(mae);
+            registry()
+                .float_gauge_with(stddev_family, &[("node", &node)])
+                .set(stddev);
         }
-
-        fired.then_some(DriftAlert {
-            key,
-            smape,
-            mae,
-            threshold: self.opts.smape_threshold,
-        })
     }
 
     /// Windowed SMAPE of `key` (`None` until its first record).
     pub fn smape(&self, key: u64) -> Option<f64> {
-        self.windows.lock().unwrap().get(&key).map(|w| w.smape())
+        self.windows
+            .lock()
+            .unwrap()
+            .get(&key)
+            .map(|w| w.recent().0.mean())
     }
 
     /// Windowed MAE of `key` (`None` until its first record).
     pub fn mae(&self, key: u64) -> Option<f64> {
-        self.windows.lock().unwrap().get(&key).map(|w| w.mae())
+        self.windows
+            .lock()
+            .unwrap()
+            .get(&key)
+            .map(|w| w.recent().1.abs_mean())
+    }
+
+    /// Mergeable accuracy partial of `key` (`None` until its first
+    /// record).
+    pub fn summary(&self, key: u64) -> Option<KeyAccuracy> {
+        self.windows.lock().unwrap().get(&key).map(|w| {
+            let (smape, err) = w.recent();
+            KeyAccuracy {
+                key,
+                smape,
+                err,
+                baseline_err: w.baseline_err,
+                drifting: w.above,
+            }
+        })
+    }
+
+    /// Mergeable accuracy partials for every tracked key, sorted by
+    /// key. The per-tracker mutex is held only while copying summaries
+    /// out — merging across trackers happens lock-free on the copies.
+    pub fn summaries(&self) -> Vec<KeyAccuracy> {
+        let windows = self.windows.lock().unwrap();
+        let mut out: Vec<KeyAccuracy> = windows
+            .iter()
+            .map(|(&key, w)| {
+                let (smape, err) = w.recent();
+                KeyAccuracy {
+                    key,
+                    smape,
+                    err,
+                    baseline_err: w.baseline_err,
+                    drifting: w.above,
+                }
+            })
+            .collect();
+        drop(windows);
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Merges per-key partials from many trackers (shards) into one
+    /// global view, sorted by key. No lock spans trackers: each tracker
+    /// is snapshotted independently and the [`KeyAccuracy::merge`]
+    /// folds run on the copies. Merge work counts into
+    /// `obs.sketch.accuracy_merges`.
+    pub fn merged(trackers: &[&RollingAccuracy]) -> Vec<KeyAccuracy> {
+        let mut by_key: BTreeMap<u64, KeyAccuracy> = BTreeMap::new();
+        let mut merges = 0u64;
+        for t in trackers {
+            for s in t.summaries() {
+                by_key
+                    .entry(s.key)
+                    .and_modify(|acc| {
+                        *acc = acc.merge(&s);
+                        merges += 1;
+                    })
+                    .or_insert(s);
+            }
+        }
+        if merges > 0 {
+            registry()
+                .counter(names::OBS_SKETCH_ACCURACY_MERGES)
+                .add(merges);
+        }
+        by_key.into_values().collect()
     }
 
     /// Number of keys tracked so far.
@@ -206,24 +458,17 @@ impl RollingAccuracy {
         self.windows.lock().unwrap().len()
     }
 
-    /// Clears `key`'s window (call after the model was re-estimated, so
-    /// the fresh parameters are not judged by the stale window — and so
-    /// the next genuine excursion re-alerts).
+    /// Clears `key`'s window **and baseline** (call after the model was
+    /// re-estimated, so the fresh parameters are not judged by stale
+    /// errors — and so the next genuine excursion re-alerts on either
+    /// trigger).
     pub fn reset_key(&self, key: u64) {
         let mut windows = self.windows.lock().unwrap();
         if let Some(w) = windows.get_mut(&key) {
             *w = KeyWindow::new(self.opts.window);
         }
         drop(windows);
-        if let Some((smape_family, mae_family)) = &self.gauges {
-            let node = key.to_string();
-            registry()
-                .float_gauge_with(smape_family, &[("node", &node)])
-                .set(0.0);
-            registry()
-                .float_gauge_with(mae_family, &[("node", &node)])
-                .set(0.0);
-        }
+        self.publish_gauges(key, 0.0, 0.0, 0.0);
     }
 }
 
@@ -236,6 +481,8 @@ mod tests {
             window,
             smape_threshold: threshold,
             min_samples,
+            // Tests of the SMAPE trigger disable the variance trigger.
+            stddev_k: 0.0,
         }
     }
 
@@ -255,6 +502,11 @@ mod tests {
             acc.record(1, 10.0, 10.0);
         }
         assert_eq!(acc.smape(1), Some(0.0));
+        // ... but not forgotten: it aged into the baseline.
+        let s = acc.summary(1).expect("tracked");
+        assert_eq!(s.err.count(), 3);
+        assert_eq!(s.baseline_err.count(), 2);
+        assert_eq!(s.total(), 5);
     }
 
     #[test]
@@ -267,6 +519,7 @@ mod tests {
         assert_eq!(alert.key, 7);
         assert!(alert.smape > 0.4);
         assert_eq!(alert.threshold, 0.4);
+        assert_eq!(alert.trigger, DriftTrigger::SmapeThreshold);
         // Still above: no re-fire.
         assert!(acc.record(7, 10.0, 0.0).is_none());
         // Recover below, then cross again: fires again.
@@ -293,33 +546,106 @@ mod tests {
     }
 
     #[test]
+    fn variance_trigger_catches_mean_shift_under_the_smape_radar() {
+        // SMAPE threshold unreachable (SMAPE terms are ≤ 1), so only
+        // the variance trigger can fire.
+        let acc = RollingAccuracy::new(AccuracyOptions {
+            window: 4,
+            smape_threshold: 2.0,
+            min_samples: 2,
+            stddev_k: 3.0,
+        });
+        // Build a calm baseline: small errors around 1.0 must age out
+        // of the 4-slot ring into the baseline.
+        for i in 0..12 {
+            let jitter = if i % 2 == 0 { 0.9 } else { 1.1 };
+            assert!(
+                acc.record(5, 100.0 + jitter, 100.0).is_none(),
+                "calm phase must not alert (step {i})"
+            );
+        }
+        // Level shift: errors jump to ~25 — far beyond baseline
+        // mean + 3·stddev, while SMAPE stays ≈ 0.11.
+        let mut fired = None;
+        for _ in 0..4 {
+            if let Some(a) = acc.record(5, 125.0, 100.0) {
+                fired = Some(a);
+                break;
+            }
+        }
+        let alert = fired.expect("variance trigger fires on the shift");
+        assert_eq!(alert.trigger, DriftTrigger::Variance);
+        assert!(alert.smape < 0.2, "smape {} stayed small", alert.smape);
+        assert!(alert.mae > alert.baseline_mae + 3.0 * alert.baseline_stddev);
+        // Still above: edge-triggered, no re-fire.
+        assert!(acc.record(5, 125.0, 100.0).is_none());
+    }
+
+    /// Regression: with `min_samples = 0` the very first observation
+    /// must not raise a drift alert — the effective minimum clamps to 1
+    /// for the SMAPE trigger, and the variance trigger needs a baseline
+    /// of at least two observations (a 1-sample baseline has stddev 0
+    /// and would otherwise alert on any increase).
+    #[test]
+    fn min_samples_zero_cannot_alert_on_first_observation() {
+        let acc = RollingAccuracy::new(AccuracyOptions {
+            window: 2,
+            smape_threshold: 2.0, // unreachable: isolate the variance path
+            min_samples: 0,
+            stddev_k: 0.5,
+        });
+        assert_eq!(acc.options().min_samples, 1, "clamped on construction");
+        // First observation: window of 1, baseline of 0 — silence, and
+        // the published stddev is finite.
+        assert!(acc.record(9, 1000.0, 0.0).is_none());
+        let s = acc.summary(9).expect("tracked");
+        assert!(s.err.stddev().is_finite());
+        assert!(!s.drifting);
+        // Second observation: baseline still has < 2 samples — silence.
+        assert!(acc.record(9, 1000.0, 0.0).is_none());
+        // Two more calm records age errors into the baseline; once the
+        // baseline holds 2 observations the variance trigger arms and a
+        // genuine excursion still fires.
+        assert!(acc.record(9, 1.0, 0.0).is_none());
+        assert!(acc.record(9, 1.0, 0.0).is_none());
+        assert!(
+            acc.record(9, 5000.0, 0.0).is_some(),
+            "armed trigger still catches a real excursion"
+        );
+    }
+
+    #[test]
     fn reset_key_clears_window_and_rearms() {
         let acc = RollingAccuracy::new(opts(4, 0.4, 1));
         assert!(acc.record(3, 10.0, 0.0).is_some());
         acc.reset_key(3);
         assert_eq!(acc.smape(3), Some(0.0));
+        assert_eq!(acc.summary(3).unwrap().total(), 0, "baseline cleared too");
         // Re-armed: the next excursion alerts again.
         assert!(acc.record(3, 10.0, 0.0).is_some());
     }
 
     #[test]
     fn gauges_publish_per_key_series() {
-        let acc = RollingAccuracy::new(opts(4, 0.9, 1))
-            .with_gauge_families("acc_test.smape", "acc_test.mae");
+        let acc = RollingAccuracy::new(opts(4, 0.9, 1)).with_gauge_families(
+            "acc_test.smape",
+            "acc_test.mae",
+            "acc_test.err_stddev",
+        );
         acc.record(42, 10.0, 0.0);
+        acc.record(42, 14.0, 0.0);
         let snap = crate::snapshot();
-        let smape = snap
-            .float_gauges
-            .iter()
-            .find(|(n, _)| n == "acc_test.smape{node=\"42\"}")
-            .expect("gauge series exists");
-        assert!((smape.1 - 1.0).abs() < 1e-12);
-        let mae = snap
-            .float_gauges
-            .iter()
-            .find(|(n, _)| n == "acc_test.mae{node=\"42\"}")
-            .expect("mae series exists");
-        assert!((mae.1 - 10.0).abs() < 1e-12);
+        let find = |name: &str| {
+            snap.float_gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert!((find("acc_test.smape{node=\"42\"}") - 1.0).abs() < 1e-12);
+        assert!((find("acc_test.mae{node=\"42\"}") - 12.0).abs() < 1e-12);
+        // Sample stddev of {10, 14} = √8.
+        assert!((find("acc_test.err_stddev{node=\"42\"}") - 8f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
@@ -327,5 +653,56 @@ mod tests {
         let acc = RollingAccuracy::new(opts(2, 0.1, 1));
         assert!(acc.record(1, 0.0, 0.0).is_none());
         assert_eq!(acc.smape(1), Some(0.0));
+    }
+
+    #[test]
+    fn partials_merge_exactly_across_trackers() {
+        // Two shards observe different steps of the same node; the
+        // merged view must pool counts and moments exactly — the router
+        // story for partitioned serving.
+        let a = RollingAccuracy::new(opts(8, 0.9, 1));
+        let b = RollingAccuracy::new(opts(8, 0.9, 1));
+        for i in 0..5 {
+            a.record(7, 10.0 + i as f64, 10.0);
+        }
+        for i in 0..3 {
+            b.record(7, 20.0 + i as f64, 10.0);
+        }
+        b.record(9, 1.0, 1.0); // a key only shard b tracks
+        let merged = RollingAccuracy::merged(&[&a, &b]);
+        assert_eq!(merged.len(), 2);
+        let node7 = &merged[0];
+        assert_eq!(node7.key, 7);
+        assert_eq!(node7.err.count(), 8);
+        // Pooled MAE over {0,1,2,3,4} ∪ {10,11,12}: 43/8.
+        assert!((node7.err.abs_mean() - 43.0 / 8.0).abs() < 1e-12);
+        // Merging is reproducible bit-for-bit over the same partials.
+        let s1 = a.summary(7).unwrap();
+        let s2 = b.summary(7).unwrap();
+        assert_eq!(s1.merge(&s2).encode(), s1.merge(&s2).encode());
+        assert_eq!(merged[1].key, 9);
+    }
+
+    #[test]
+    fn key_accuracy_codec_round_trips() {
+        let acc = RollingAccuracy::new(opts(3, 0.4, 1));
+        for i in 0..7 {
+            acc.record(11, i as f64, 0.5);
+        }
+        let s = acc.summary(11).unwrap();
+        let bytes = s.encode();
+        let back = KeyAccuracy::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(
+            KeyAccuracy::decode(&bytes[..5]),
+            Err(SketchDecodeError::Truncated)
+        );
+        let mut wrong = bytes.clone();
+        wrong[0] = 9;
+        assert_eq!(
+            KeyAccuracy::decode(&wrong),
+            Err(SketchDecodeError::UnsupportedVersion(9))
+        );
     }
 }

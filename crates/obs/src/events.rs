@@ -30,7 +30,9 @@ pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
 /// A typed observability event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
-    /// A model's windowed SMAPE crossed its drift threshold.
+    /// A model's forecast error crossed a drift condition (windowed
+    /// SMAPE over its threshold, or MAE beyond the baseline by
+    /// k·stddev).
     DriftAlert {
         /// Catalog node of the drifting model.
         node: u64,
@@ -38,8 +40,11 @@ pub enum Event {
         smape: f64,
         /// Windowed MAE at the crossing.
         mae: f64,
-        /// The configured threshold.
+        /// The configured SMAPE threshold.
         threshold: f64,
+        /// Which condition fired: `"smape_threshold"` or `"variance"`
+        /// (see `DriftTrigger::as_str`).
+        trigger: &'static str,
     },
     /// A lazy (or sweep-driven) parameter re-estimation resolved.
     ReEstimation {
@@ -143,8 +148,9 @@ impl Event {
                 smape,
                 mae,
                 threshold,
+                trigger,
             } => format!(
-                "\"node\":{node},\"smape\":{},\"mae\":{},\"threshold\":{}",
+                "\"node\":{node},\"smape\":{},\"mae\":{},\"threshold\":{},\"trigger\":\"{trigger}\"",
                 f(*smape),
                 f(*mae),
                 f(*threshold)
@@ -392,6 +398,7 @@ mod tests {
             smape: 0.625,
             mae: 12.5,
             threshold: 0.5,
+            trigger: "smape_threshold",
         });
         j.publish(Event::ReEstimation {
             node: 3,
@@ -408,6 +415,7 @@ mod tests {
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"type\":\"DriftAlert\""), "{json}");
         assert!(json.contains("\"smape\":0.625"), "{json}");
+        assert!(json.contains("\"trigger\":\"smape_threshold\""), "{json}");
         assert!(json.contains("\"outcome\":\"refit\""), "{json}");
         assert!(json.contains("\"time_index\":33"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());

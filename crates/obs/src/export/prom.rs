@@ -117,6 +117,32 @@ pub fn encode_prometheus(snap: &Snapshot) -> String {
         }
     }
 
+    // Digest-backed percentile gauges: a companion `<family>_digest`
+    // gauge family per histogram, labeled `quantile=...` in the style of
+    // Prometheus summaries. The `_bucket` series above keep the coarse
+    // log-bucket shape; these carry the t-digest's tail accuracy.
+    for (family, series) in group_by_family(&snap.histograms) {
+        out.push_str(&format!("# TYPE {family}_digest gauge\n"));
+        let name = format!("{family}_digest");
+        for (key, h) in series {
+            let (_, body) = split_series(key);
+            for (q, v) in [
+                ("0.5", h.p50),
+                ("0.95", h.p95),
+                ("0.99", h.p99),
+                ("0.999", h.p999),
+            ] {
+                let q_label = format!("quantile=\"{q}\"");
+                let full_body = if body.is_empty() {
+                    q_label
+                } else {
+                    format!("{body},{q_label}")
+                };
+                push_sample(&mut out, &name, &full_body, &v.to_string());
+            }
+        }
+    }
+
     out
 }
 
@@ -150,6 +176,19 @@ mod tests {
         assert!(text.contains("f2db_query_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("f2db_query_ns_sum 4000\n"));
         assert!(text.contains("f2db_query_ns_count 2\n"));
+        // Digest-backed quantile gauges ride along as a companion family.
+        assert!(
+            text.contains("# TYPE f2db_query_ns_digest gauge\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("f2db_query_ns_digest{quantile=\"0.5\"} "),
+            "{text}"
+        );
+        assert!(
+            text.contains("f2db_query_ns_digest{quantile=\"0.999\"} 3000\n"),
+            "{text}"
+        );
         // Every line is a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(
@@ -171,6 +210,10 @@ mod tests {
         assert!(text.contains("work_ns_bucket{kind=\"fit\",le=\"+Inf\"} 1\n"));
         assert!(text.contains("work_ns_sum{kind=\"fit\"} 100\n"));
         assert!(text.contains("work_ns_count{kind=\"fit\"} 1\n"));
+        assert!(
+            text.contains("work_ns_digest{kind=\"fit\",quantile=\"0.99\"} 100\n"),
+            "{text}"
+        );
     }
 
     #[test]

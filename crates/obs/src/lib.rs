@@ -6,8 +6,9 @@
 //! measurement layer that makes those costs visible:
 //!
 //! * a process-global, thread-safe **metrics registry** — atomic
-//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s with
-//!   p50/p95/p99 snapshots ([`Snapshot`] renders as text or JSON);
+//!   [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s whose
+//!   p50/p95/p99/p999 snapshots come from an embedded t-digest
+//!   ([`Snapshot`] renders as text or JSON);
 //! * lightweight hierarchical **tracing spans** — `let _g =
 //!   span!("advisor.step");` RAII guards that aggregate wall-clock time
 //!   per dotted path, with an optional [`SpanSubscriber`] such as
@@ -29,8 +30,14 @@
 //! * **labeled series** — `counter_with("hits", &[("node", "3")])`
 //!   interns `hits{node="3"}` with canonical label order and a bounded
 //!   per-family cardinality ([`labels`]);
-//! * **rolling accuracy** — [`RollingAccuracy`] tracks windowed
-//!   SMAPE/MAE per key and raises edge-triggered [`DriftAlert`]s;
+//! * **mergeable sketches** — [`TDigest`] (accurate tail quantiles in
+//!   constant space; backs every histogram's p50/p95/p99/p999) and
+//!   [`MomentSummary`] (exactly mergeable moments), both with versioned
+//!   byte codecs so per-shard sketches can cross process boundaries
+//!   ([`sketch`]);
+//! * **rolling accuracy** — [`RollingAccuracy`] tracks per-key error
+//!   moments on [`MomentSummary`] ring slots and raises edge-triggered
+//!   [`DriftAlert`]s (SMAPE threshold or variance-aware);
 //! * **event journal** — [`journal`] is a bounded ring of typed
 //!   [`Event`]s with an optional JSONL sink;
 //! * **export plane** — [`encode_prometheus`] (text exposition),
@@ -44,9 +51,10 @@ pub mod export;
 pub mod labels;
 pub mod metrics;
 pub mod names;
+pub mod sketch;
 pub mod span;
 
-pub use accuracy::{AccuracyOptions, DriftAlert, RollingAccuracy};
+pub use accuracy::{AccuracyOptions, DriftAlert, DriftTrigger, KeyAccuracy, RollingAccuracy};
 pub use events::{journal, Event, Journal, TimedEvent};
 pub use export::http::ObsServer;
 pub use export::httpcore;
@@ -56,6 +64,7 @@ pub use labels::{prometheus_name, series_key, split_series, MAX_SERIES_PER_FAMIL
 pub use metrics::{
     registry, Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
 };
+pub use sketch::{MomentSummary, SketchDecodeError, TDigest};
 pub use span::{
     set_spans_enabled, set_subscriber, spans_enabled, take_subscriber, FlameCollector, SpanGuard,
     SpanSubscriber,

@@ -8,10 +8,11 @@
 
 use crate::labels::{overflow_series, series_key, MAX_SERIES_PER_FAMILY};
 use crate::names;
+use crate::sketch::TDigest;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
@@ -104,21 +105,44 @@ impl FloatGauge {
     }
 }
 
+/// Number of per-thread-striped t-digest shards per histogram. Each
+/// recording thread hashes to one shard's mutex, so uncontended records
+/// stay cheap; snapshots merge the shards into one digest — exercising
+/// the same merge path a multi-process router uses.
+pub(crate) const DIGEST_SHARDS: usize = 4;
+
+/// Compression δ of the per-histogram digests: ~δ centroids retained,
+/// sub-0.5% rank error at p99/p999 on latency-shaped streams.
+pub(crate) const HISTOGRAM_DIGEST_COMPRESSION: f64 = 100.0;
+
+/// Stable per-thread shard index (assigned round-robin on first use).
+fn digest_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SHARD.with(|s| *s) % DIGEST_SHARDS
+}
+
 /// A log-bucketed histogram of `u64` samples (by convention
 /// nanoseconds when the metric name ends in `.ns`).
 ///
-/// Buckets are powers of two, so recording is one `leading_zeros` plus
-/// one atomic add, and the full value range of `u64` is covered with 65
-/// buckets. Percentiles are estimated as the midpoint of the bucket
-/// containing the requested rank, clamped to the observed min/max —
-/// the relative error is bounded by the bucket width (≤ 2× the true
-/// value), which is plenty for latency reporting.
+/// Buckets are powers of two, so the bucket update is one
+/// `leading_zeros` plus one atomic add, and the full value range of
+/// `u64` is covered with 65 buckets. The buckets feed the Prometheus
+/// `_bucket{le=...}` series; **percentiles** come from an embedded,
+/// thread-striped [`TDigest`] (merged across stripes at snapshot time),
+/// so p50/p95/p99/p999 carry sub-percent rank error instead of the
+/// bucket estimator's ≤ 2× bound. The bucket-midpoint estimator remains
+/// as the fallback for the (racy) case of a snapshot observing a bucket
+/// update before the matching digest insert.
 #[derive(Debug)]
 pub struct Histogram {
     counts: [AtomicU64; BUCKETS],
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    digests: [Mutex<TDigest>; DIGEST_SHARDS],
 }
 
 impl Default for Histogram {
@@ -128,6 +152,9 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            digests: std::array::from_fn(|_| {
+                Mutex::new(TDigest::new(HISTOGRAM_DIGEST_COMPRESSION))
+            }),
         }
     }
 }
@@ -146,6 +173,35 @@ pub(crate) fn bucket_bounds(i: usize) -> (u64, u64) {
     }
 }
 
+/// The log-bucket percentile estimator (the digest's fallback):
+/// midpoint of the rank's bucket after clamping the bucket to the
+/// observed `[min, max]`. When the clamped range collapses to a single
+/// value — constant streams, the zero bucket — that value is **exact**,
+/// not a midpoint estimate; otherwise the error stays bounded by the
+/// (clamped) bucket width.
+pub(crate) fn bucket_percentile(counts: &[u64], count: u64, min: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // 1-based rank of the q-quantile sample.
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            // A non-empty bucket always intersects [min, max].
+            let lo = lo.max(min);
+            let hi = hi.min(max);
+            if lo == hi {
+                return lo;
+            }
+            return lo + (hi - lo) / 2;
+        }
+    }
+    max
+}
+
 impl Histogram {
     /// Records a sample.
     pub fn record(&self, v: u64) {
@@ -153,11 +209,27 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.digests[digest_shard()]
+            .lock()
+            .unwrap()
+            .insert(v as f64);
     }
 
     /// Records a duration in nanoseconds.
     pub fn record_duration(&self, d: Duration) {
         self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Merges the thread-striped digest shards into one digest — the
+    /// percentile source for snapshots, and the partial a router would
+    /// ship across processes via [`TDigest::encode`].
+    pub fn merged_digest(&self) -> TDigest {
+        let mut merged = TDigest::new(HISTOGRAM_DIGEST_COMPRESSION);
+        for shard in &self.digests {
+            merged.merge(&shard.lock().unwrap());
+        }
+        merged.flush();
+        merged
     }
 
     /// Takes a point-in-time snapshot (not atomic across buckets, which
@@ -177,21 +249,19 @@ impl Histogram {
                 self.max.load(Ordering::Relaxed),
             )
         };
+        let digest = self.merged_digest();
         let percentile = |q: f64| -> u64 {
             if count == 0 {
                 return 0;
             }
-            // 1-based rank of the q-quantile sample.
-            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    let (lo, hi) = bucket_bounds(i);
-                    return (lo + (hi - lo) / 2).clamp(min, max);
-                }
+            if digest.is_empty() {
+                // A snapshot raced between a bucket update and the
+                // matching digest insert; fall back to the buckets.
+                return bucket_percentile(&counts, count, min, max, q);
             }
-            max
+            // Digest quantiles are clamped into the observed range so a
+            // snapshot can never report a percentile outside [min, max].
+            (digest.quantile(q).round() as u64).clamp(min, max)
         };
         let mut buckets = [0u64; BUCKETS];
         buckets.copy_from_slice(&counts);
@@ -203,11 +273,12 @@ impl Histogram {
             p50: percentile(0.50),
             p95: percentile(0.95),
             p99: percentile(0.99),
+            p999: percentile(0.999),
             buckets,
         }
     }
 
-    /// Resets all buckets and statistics.
+    /// Resets all buckets, statistics, and digest shards.
     pub fn reset(&self) {
         for c in &self.counts {
             c.store(0, Ordering::Relaxed);
@@ -215,6 +286,9 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        for shard in &self.digests {
+            *shard.lock().unwrap() = TDigest::new(HISTOGRAM_DIGEST_COMPRESSION);
+        }
     }
 }
 
@@ -229,12 +303,14 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample (0 when empty).
     pub max: u64,
-    /// Estimated median.
+    /// Estimated median (digest-backed).
     pub p50: u64,
-    /// Estimated 95th percentile.
+    /// Estimated 95th percentile (digest-backed).
     pub p95: u64,
-    /// Estimated 99th percentile.
+    /// Estimated 99th percentile (digest-backed).
     pub p99: u64,
+    /// Estimated 99.9th percentile (digest-backed).
+    pub p999: u64,
     /// Raw per-bucket sample counts (power-of-two buckets; see
     /// [`Histogram`]). The Prometheus exporter renders these as
     /// cumulative `le` buckets.
@@ -374,6 +450,14 @@ impl Registry {
 
     /// Snapshots every registered metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
+        // Each histogram snapshot merges its DIGEST_SHARDS digest
+        // stripes; account for them before the counters are read so the
+        // tally is visible in this very snapshot.
+        let hist_count = self.histograms.read().unwrap().len() as u64;
+        if hist_count > 0 {
+            self.counter(names::OBS_SKETCH_MERGES)
+                .add(hist_count * DIGEST_SHARDS as u64);
+        }
         Snapshot {
             counters: self
                 .counters
@@ -463,7 +547,7 @@ impl Snapshot {
     }
 
     /// Serializes the snapshot as a JSON object:
-    /// `{"counters":{...},"gauges":{...},"float_gauges":{...},"histograms":{name:{count,sum,min,max,p50,p95,p99}}}`.
+    /// `{"counters":{...},"gauges":{...},"float_gauges":{...},"histograms":{name:{count,sum,min,max,p50,p95,p99,p999}}}`.
     ///
     /// Series names may carry labels (`name{k="v"}`), so the string
     /// escaping of names is load-bearing: quotes and backslashes inside
@@ -504,8 +588,8 @@ impl Snapshot {
             }
             push_json_str(&mut out, name);
             out.push_str(&format!(
-                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99, h.p999
             ));
         }
         out.push_str("}}");
@@ -571,23 +655,25 @@ impl fmt::Display for Snapshot {
                 if is_nanos(name) {
                     writeln!(
                         f,
-                        "  {name:<44} count={} mean={} p50={} p95={} p99={} max={}",
+                        "  {name:<44} count={} mean={} p50={} p95={} p99={} p999={} max={}",
                         h.count,
                         fmt_ns(h.mean() as u64),
                         fmt_ns(h.p50),
                         fmt_ns(h.p95),
                         fmt_ns(h.p99),
+                        fmt_ns(h.p999),
                         fmt_ns(h.max),
                     )?;
                 } else {
                     writeln!(
                         f,
-                        "  {name:<44} count={} mean={:.1} p50={} p95={} p99={} max={}",
+                        "  {name:<44} count={} mean={:.1} p50={} p95={} p99={} p999={} max={}",
                         h.count,
                         h.mean(),
                         h.p50,
                         h.p95,
                         h.p99,
+                        h.p999,
                         h.max,
                     )?;
                 }
@@ -632,8 +718,8 @@ mod tests {
         let h = Histogram::default();
         let s = h.snapshot();
         assert_eq!(
-            (s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99),
-            (0, 0, 0, 0, 0, 0, 0)
+            (s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99, s.p999),
+            (0, 0, 0, 0, 0, 0, 0, 0)
         );
         assert_eq!(s.mean(), 0.0);
     }
@@ -648,14 +734,14 @@ mod tests {
         assert_eq!(s.count, 100);
         assert_eq!(s.min, 777);
         assert_eq!(s.max, 777);
-        // Midpoint estimate is clamped to the observed min/max.
         assert_eq!(s.p50, 777);
         assert_eq!(s.p95, 777);
         assert_eq!(s.p99, 777);
+        assert_eq!(s.p999, 777);
     }
 
     #[test]
-    fn percentiles_track_uniform_distribution_within_bucket_error() {
+    fn percentiles_track_uniform_distribution() {
         let h = Histogram::default();
         for v in 1..=1000u64 {
             h.record(v);
@@ -664,14 +750,60 @@ mod tests {
         assert_eq!(s.count, 1000);
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 1000);
-        // True p50 = 500, bucket [256, 511]; estimate must land there.
-        assert!((256..=511).contains(&s.p50), "p50 {}", s.p50);
-        // True p95 = 950, bucket [512, 1023] clamped to max 1000.
-        assert!((512..=1000).contains(&s.p95), "p95 {}", s.p95);
-        assert!((512..=1000).contains(&s.p99), "p99 {}", s.p99);
-        // Log-bucket estimates are within a factor of two of the truth.
-        assert!(s.p50 as f64 >= 250.0 && s.p50 as f64 <= 1000.0);
-        assert!(s.p95 >= s.p50 && s.p99 >= s.p95);
+        // Digest-backed percentiles land within ±1% rank of the truth —
+        // far inside the old log-bucket bound.
+        assert!((490..=510).contains(&s.p50), "p50 {}", s.p50);
+        assert!((940..=960).contains(&s.p95), "p95 {}", s.p95);
+        assert!((980..=1000).contains(&s.p99), "p99 {}", s.p99);
+        assert!((989..=1000).contains(&s.p999), "p999 {}", s.p999);
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95 && s.p999 >= s.p99);
+    }
+
+    /// Regression for the bucket-estimator percentile bias: a constant
+    /// stream sitting mid-bucket must report the exact value once the
+    /// bucket clamps to a singleton range, even with an outlier pulling
+    /// the clamp bounds apart (the pre-fix code clamped the *unclamped*
+    /// midpoint, reporting 767 for a stream of 777s).
+    #[test]
+    fn bucket_percentile_is_exact_on_singleton_ranges() {
+        // Constant stream: bucket [512, 1023] clamps to [777, 777].
+        let mut counts = vec![0u64; BUCKETS];
+        counts[bucket_of(777)] = 100;
+        assert_eq!(bucket_percentile(&counts, 100, 777, 777, 0.5), 777);
+        assert_eq!(bucket_percentile(&counts, 100, 777, 777, 0.99), 777);
+        // Zero bucket is a singleton by construction.
+        let mut zeros = vec![0u64; BUCKETS];
+        zeros[0] = 10;
+        assert_eq!(bucket_percentile(&zeros, 10, 0, 0, 0.5), 0);
+        // With an outlier above, the p50 bucket clamps to [777, 1023]:
+        // still an estimate, but never below the observed minimum.
+        let mut mixed = vec![0u64; BUCKETS];
+        mixed[bucket_of(777)] = 100;
+        mixed[bucket_of(5000)] = 1;
+        let p50 = bucket_percentile(&mixed, 101, 777, 5000, 0.5);
+        assert!((777..=1023).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_digest_merges_across_recording_threads() {
+        // Samples recorded from many threads stripe over the digest
+        // shards; the snapshot must still see one coherent distribution.
+        let h = Arc::new(Histogram::default());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 1000 + i + 1);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        // True p50 = 4000: the merged digest must land within ±1% rank.
+        assert!((3920..=4080).contains(&s.p50), "p50 {}", s.p50);
+        assert!((7840..=8000).contains(&s.p999), "p999 {}", s.p999);
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub const F2DB_NODE_SMAPE: &str = "f2db.node.smape";
 /// Float gauge family (label `node`): windowed mean absolute error of
 /// the stored model's one-step forecasts at a catalog node.
 pub const F2DB_NODE_MAE: &str = "f2db.node.mae";
-/// Counter: drift alerts raised (windowed SMAPE crossed its threshold).
+/// Float gauge family (label `node`): sample standard deviation of the
+/// recent-window forecast errors at a catalog node (the spread behind
+/// variance-aware drift detection).
+pub const F2DB_NODE_ERR_STDDEV: &str = "f2db.node.err_stddev";
+/// Counter: drift alerts raised (windowed SMAPE crossed its threshold,
+/// or the recent mean error exceeded the baseline by `k`·stddev).
 pub const F2DB_DRIFT_ALERTS: &str = "f2db.drift.alerts";
 
 // ---- Advisor ---------------------------------------------------------
@@ -98,6 +103,12 @@ pub const OBS_SERIES_DROPPED: &str = "obs.series.dropped";
 pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
 /// Counter: events pushed into the journal.
 pub const OBS_JOURNAL_EVENTS: &str = "obs.journal.events";
+/// Counter: t-digest shard merges performed by registry snapshots (each
+/// histogram folds its thread-striped digest shards per snapshot).
+pub const OBS_SKETCH_MERGES: &str = "obs.sketch.merges";
+/// Counter: per-key accuracy-summary merges performed at read time
+/// (lock-free partial aggregation across trackers/shards).
+pub const OBS_SKETCH_ACCURACY_MERGES: &str = "obs.sketch.accuracy_merges";
 
 // ---- Forecast-serving subsystem (`fdc-serve`) ------------------------
 
@@ -197,6 +208,7 @@ mod tests {
             F2DB_REESTIMATE_IN_FLIGHT,
             F2DB_NODE_SMAPE,
             F2DB_NODE_MAE,
+            F2DB_NODE_ERR_STDDEV,
             F2DB_DRIFT_ALERTS,
             ADVISOR_ITERATIONS,
             ADVISOR_CANDIDATES,
@@ -212,6 +224,8 @@ mod tests {
             OBS_SERIES_DROPPED,
             OBS_HTTP_REQUESTS,
             OBS_JOURNAL_EVENTS,
+            OBS_SKETCH_MERGES,
+            OBS_SKETCH_ACCURACY_MERGES,
             SERVE_REQUESTS,
             SERVE_REQUEST_NS,
             SERVE_QUEUE_DEPTH,

@@ -822,6 +822,51 @@ fn handle_insert(shared: &Shared, body: &[u8], remaining: Duration) -> Routed {
     }
 }
 
+/// Per-route request-latency quantiles from the digest-backed
+/// `serve.request.ns{route=...}` histograms, as a JSON object keyed by
+/// route. Empty object until the first request is recorded.
+fn latency_json() -> String {
+    let snap = fdc_obs::snapshot();
+    let prefix = format!("{}{{route=\"", names::SERVE_REQUEST_NS);
+    let mut out = String::from("{");
+    for (key, h) in &snap.histograms {
+        let Some(rest) = key.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some(route) = rest.strip_suffix("\"}") else {
+            continue;
+        };
+        if out.len() > 1 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{route}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+            h.count, h.p50, h.p95, h.p99, h.p999
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// Compact drift-monitor summary: tracked keys and how many are
+/// currently in a drift excursion (per-node detail lives in the shell's
+/// `\accuracy` command and the gauge families). `null` when drift
+/// monitoring is disabled.
+fn drift_json(shared: &Shared) -> String {
+    match shared.db.drift_monitor() {
+        Some(acc) => {
+            let summaries = acc.summaries();
+            let drifting = summaries.iter().filter(|s| s.drifting).count();
+            format!(
+                "{{\"tracked\":{},\"drifting\":{}}}",
+                summaries.len(),
+                drifting
+            )
+        }
+        None => "null".to_string(),
+    }
+}
+
 fn stats_body(shared: &Shared) -> String {
     let stats = shared.db.stats();
     let queue_len = shared.queue.lock().unwrap().len();
@@ -837,7 +882,7 @@ fn stats_body(shared: &Shared) -> String {
         "{{\"queries\":{},\"inserts\":{},\"insert_batches\":{},\"time_advances\":{},\
          \"model_updates\":{},\"invalidations\":{},\"reestimations\":{},\
          \"pending_inserts\":{},\"buffered_rows\":{},\"queue_depth\":{},\
-         \"series_len\":{},\"models\":{},\"wal\":{}}}",
+         \"series_len\":{},\"models\":{},\"wal\":{},\"latency\":{},\"drift\":{}}}",
         stats.queries,
         stats.inserts,
         stats.insert_batches,
@@ -851,6 +896,8 @@ fn stats_body(shared: &Shared) -> String {
         shared.db.dataset().series_len(),
         shared.db.model_count(),
         wal,
+        latency_json(),
+        drift_json(shared),
     )
 }
 

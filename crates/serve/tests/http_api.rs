@@ -130,6 +130,15 @@ fn routes_answer_over_a_real_socket() {
     assert!(stats.insert_batches >= 2);
     assert!(stats.inserts / stats.insert_batches > 1);
 
+    // After real traffic, /stats carries digest-backed per-route
+    // latency quantiles and a drift summary (null: monitoring is off).
+    let r = http(addr, "GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"latency\":{"), "{}", r.body);
+    assert!(r.body.contains("\"query\":{\"count\":"), "{}", r.body);
+    assert!(r.body.contains("\"p999\":"), "{}", r.body);
+    assert!(r.body.contains("\"drift\":null"), "{}", r.body);
+
     let report = server.shutdown().unwrap();
     assert_eq!(report.flushed_rows, 0);
     assert!(!report.saved_catalog);

@@ -5,8 +5,8 @@
 //! or a built-in demo cube), runs the model configuration advisor, and
 //! then reads SQL statements from stdin: forecast queries, inserts,
 //! `EXPLAIN` and `EXPLAIN ANALYZE`, plus the meta commands `\report`,
-//! `\stats`, `\metrics`, `\events`, `\serve`, `\listen`, `\wal`,
-//! `\trace` and `\quit`. `\listen <port>` starts the `fdc-serve`
+//! `\stats`, `\accuracy`, `\metrics`, `\events`, `\serve`, `\listen`,
+//! `\wal`, `\trace` and `\quit`. `\listen <port>` starts the `fdc-serve`
 //! forecast server on the session's engine, so the same catalog answers
 //! both the prompt and HTTP clients.
 //!
@@ -134,7 +134,7 @@ fn main() {
     eprintln!("catalog: {} shards", db.shard_count());
     eprintln!("try: SELECT time, SUM(v) FROM facts GROUP BY time AS OF now() + '4 steps'");
     eprintln!(
-        "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\maintain | \\metrics [human|json]"
+        "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\accuracy | \\maintain | \\metrics [human|json]"
     );
     eprintln!(
         "     \\events [n] | \\serve <port> | \\listen <port> | \\wal | \\trace <file.json> | \\trace | \\quit\n"
@@ -232,6 +232,36 @@ fn main() {
                         );
                     }
                     None => println!("(no write-ahead log — start the shell with --wal <dir>)"),
+                }
+                continue;
+            }
+            "\\accuracy" => {
+                match db.drift_monitor() {
+                    Some(acc) => {
+                        let summaries = acc.summaries();
+                        if summaries.is_empty() {
+                            println!("(no accuracy windows yet — insert a full round first)");
+                        } else {
+                            println!(
+                                "{:>6} {:>6} {:>12} {:>12} {:>12}  state",
+                                "node", "n", "mean err", "stddev", "smape"
+                            );
+                            for s in &summaries {
+                                println!(
+                                    "{:>6} {:>6} {:>12.4} {:>12.4} {:>12.4}  {}",
+                                    s.key,
+                                    s.total(),
+                                    s.err.mean(),
+                                    s.err.stddev(),
+                                    s.smape.mean(),
+                                    if s.drifting { "DRIFTING" } else { "ok" }
+                                );
+                            }
+                            let drifting = summaries.iter().filter(|s| s.drifting).count();
+                            println!("{} node(s) tracked, {drifting} drifting", summaries.len());
+                        }
+                    }
+                    None => println!("(drift monitoring disabled)"),
                 }
                 continue;
             }
