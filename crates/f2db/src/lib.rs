@@ -89,6 +89,9 @@ pub enum F2dbError {
     Cube(String),
     /// Persistence failure.
     Storage(String),
+    /// A write path was called on a read-only engine (a follower
+    /// replica that has not been promoted).
+    ReadOnly(String),
 }
 
 impl std::fmt::Display for F2dbError {
@@ -98,6 +101,7 @@ impl std::fmt::Display for F2dbError {
             F2dbError::Semantic(m) => write!(f, "semantic error: {m}"),
             F2dbError::Cube(m) => write!(f, "cube error: {m}"),
             F2dbError::Storage(m) => write!(f, "storage error: {m}"),
+            F2dbError::ReadOnly(m) => write!(f, "read-only error: {m}"),
         }
     }
 }
@@ -138,12 +142,20 @@ pub struct F2db {
     /// batch appends one [`WalRecord`] *before* mutating in-memory
     /// state (under the `pending` mutex, so log order equals apply
     /// order), and the insert only returns once the record's
-    /// group-commit fsync completes.
-    wal: Option<fdc_wal::Wal>,
+    /// group-commit fsync completes. A `OnceLock` (not an `Option`) so
+    /// promotion can attach a log through `&self` on a shared engine
+    /// ([`F2db::adopt_wal`]).
+    wal: std::sync::OnceLock<fdc_wal::Wal>,
     /// WAL position the state was recovered from: records at or below
     /// it are already reflected in the loaded checkpoint and must not
     /// be re-applied by [`F2db::attach_wal`].
     recovered_wal_seq: u64,
+    /// When set, public write paths ([`F2db::insert_value`],
+    /// [`F2db::insert_batch`], [`F2db::maintain`]) fail with
+    /// [`F2dbError::ReadOnly`]. A follower replica runs read-only until
+    /// promotion flips this; replicated records land through
+    /// [`F2db::apply_replicated`], which bypasses the guard.
+    read_only: std::sync::atomic::AtomicBool,
 }
 
 /// What [`F2db::attach_wal`] (and [`F2db::recover`]) replayed.
@@ -181,8 +193,9 @@ impl F2db {
             fit: FitOptions::default(),
             stats: SharedMaintenanceStats::default(),
             accuracy: None,
-            wal: None,
+            wal: std::sync::OnceLock::new(),
             recovered_wal_seq: 0,
+            read_only: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -237,6 +250,7 @@ impl F2db {
             accuracy,
             wal,
             recovered_wal_seq,
+            read_only,
         } = self;
         F2db {
             dataset,
@@ -249,6 +263,7 @@ impl F2db {
             accuracy,
             wal,
             recovered_wal_seq,
+            read_only,
         }
     }
 
@@ -632,6 +647,7 @@ impl F2db {
     /// for the next time stamp" (§V); then time advances through the
     /// whole graph at once. Returns `true` when the graph advanced.
     pub fn insert_value(&self, base_node: NodeId, measure: f64) -> Result<bool> {
+        self.check_writable("INSERT")?;
         let base_count = {
             let ds = self.dataset.read().unwrap();
             if !ds.graph().base_nodes().contains(&base_node) {
@@ -672,7 +688,7 @@ impl F2db {
     /// an attached log). Must be called under the `pending` mutex so
     /// log order matches apply order.
     fn wal_submit(&self, rows: &[(NodeId, f64)]) -> Result<Option<fdc_wal::Append>> {
-        match &self.wal {
+        match self.wal.get() {
             None => Ok(None),
             Some(wal) => {
                 let payload = WalRecord::InsertBatch {
@@ -713,6 +729,22 @@ impl F2db {
     /// before the offending one remain applied, like a failing statement
     /// in a script.
     pub fn insert_batch(&self, rows: &[(NodeId, f64)]) -> Result<usize> {
+        self.check_writable("INSERT")?;
+        self.insert_batch_inner(rows)
+    }
+
+    /// Applies a batch replicated from a primary's WAL to a read-only
+    /// follower engine. Identical to [`F2db::insert_batch`] except it
+    /// bypasses the read-only guard — the rows were already committed
+    /// (and logged) by the primary; the follower is reproducing them,
+    /// not accepting new writes. The follower's engine has no attached
+    /// WAL, so nothing is re-logged here; the replica keeps its own log
+    /// via `fdc_wal::Wal::apply_chunk`.
+    pub fn apply_replicated(&self, rows: &[(NodeId, f64)]) -> Result<usize> {
+        self.insert_batch_inner(rows)
+    }
+
+    fn insert_batch_inner(&self, rows: &[(NodeId, f64)]) -> Result<usize> {
         if rows.is_empty() {
             return Ok(0);
         }
@@ -785,6 +817,7 @@ impl F2db {
     /// sure each invalidation epoch pays for one re-fit total. Returns
     /// how many models this call re-fitted.
     pub fn maintain(&self) -> Result<usize> {
+        self.check_writable("MAINTAIN")?;
         let ds = self.dataset.read().unwrap();
         let mut refitted = 0;
         for node in self.catalog.invalid_nodes() {
@@ -861,7 +894,7 @@ impl F2db {
     /// catalog — then fully-checkpointed WAL segments are truncated.
     pub fn save_catalog(&self, path: &std::path::Path) -> Result<()> {
         let io = |e: std::io::Error| F2dbError::Storage(e.to_string());
-        match &self.wal {
+        match self.wal.get() {
             None => {
                 let bytes = self.catalog.encode();
                 fdc_obs::counter(names::F2DB_CATALOG_ENCODED_BYTES).add(bytes.len() as u64);
@@ -953,8 +986,9 @@ impl F2db {
             fit: FitOptions::default(),
             stats: SharedMaintenanceStats::default(),
             accuracy: None,
-            wal: None,
+            wal: std::sync::OnceLock::new(),
             recovered_wal_seq,
+            read_only: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -967,7 +1001,7 @@ impl F2db {
     /// already covers are filtered by sequence number, and a second
     /// recovery of the same files reproduces byte-identical state.
     pub fn attach_wal(
-        mut self,
+        self,
         wal_dir: &std::path::Path,
         opts: fdc_wal::WalOptions,
     ) -> Result<(Self, RecoveryReport)> {
@@ -983,9 +1017,9 @@ impl F2db {
             }
             match WalRecord::decode(payload)? {
                 WalRecord::InsertBatch { rows } => {
-                    // `self.wal` is still None here, so the re-apply
+                    // `self.wal` is still unset here, so the re-apply
                     // does not re-log the records.
-                    advances += self.insert_batch(&rows)? as u64;
+                    advances += self.insert_batch_inner(&rows)? as u64;
                     replayed_rows += rows.len() as u64;
                     replayed_batches += 1;
                 }
@@ -999,7 +1033,7 @@ impl F2db {
             advances,
             resumed_from_seq,
         };
-        self.wal = Some(wal);
+        self.adopt_wal(wal)?;
         Ok((self, report))
     }
 
@@ -1016,13 +1050,48 @@ impl F2db {
 
     /// The attached write-ahead log, if any.
     pub fn wal(&self) -> Option<&fdc_wal::Wal> {
-        self.wal.as_ref()
+        self.wal.get()
     }
 
     /// Counters of the attached write-ahead log, if any: last appended
     /// sequence number, checkpoint watermark, live segments, fsyncs.
     pub fn wal_stats(&self) -> Option<fdc_wal::WalStats> {
-        self.wal.as_ref().map(|w| w.stats())
+        self.wal.get().map(|w| w.stats())
+    }
+
+    /// Attaches an already-opened (and already-replayed) log through a
+    /// shared reference — the promotion path: a follower replica's
+    /// engine is behind an `Arc` by the time it becomes writable, so
+    /// the by-value [`F2db::attach_wal`] is out of reach. Fails if a
+    /// log is already attached. The caller is responsible for having
+    /// replayed the log's records into the engine first.
+    pub fn adopt_wal(&self, wal: fdc_wal::Wal) -> Result<()> {
+        self.wal.set(wal).map_err(|_| {
+            F2dbError::Storage("a write-ahead log is already attached to this engine".into())
+        })
+    }
+
+    /// Whether public write paths are rejected (a follower replica
+    /// before promotion).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Marks the engine read-only (`true` — a follower replica) or
+    /// writable again (`false` — promotion).
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only
+            .store(read_only, std::sync::atomic::Ordering::Release);
+    }
+
+    fn check_writable(&self, op: &str) -> Result<()> {
+        if self.is_read_only() {
+            return Err(F2dbError::ReadOnly(format!(
+                "{op} rejected: this engine is a read-only follower replica; \
+                 write to the primary or promote the follower first"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -1366,5 +1435,58 @@ mod tests {
         let stats = db.stats();
         assert!(stats.reestimations >= 1);
         assert!(stats.reestimations <= n);
+    }
+
+    #[test]
+    fn read_only_engine_rejects_writes_with_typed_errors() {
+        let db = small_db();
+        db.set_read_only(true);
+        assert!(db.is_read_only());
+        let b = db.dataset().graph().base_nodes()[0];
+        // Every public write path fails with the typed error...
+        for err in [
+            db.insert_value(b, 1.0).unwrap_err(),
+            db.insert_batch(&[(b, 1.0)]).unwrap_err(),
+            db.execute("INSERT INTO facts VALUES ('holiday', 'NSW', 5.0)")
+                .unwrap_err(),
+            db.maintain().unwrap_err(),
+        ] {
+            assert!(matches!(err, F2dbError::ReadOnly(_)), "{err:?}");
+        }
+        // ...and nothing landed.
+        assert_eq!(db.pending_inserts(), 0);
+        // Reads still work.
+        db.query("SELECT time, v FROM facts AS OF now() + '1 quarter'")
+            .unwrap();
+        // The replication apply path bypasses the guard.
+        assert_eq!(db.apply_replicated(&[(b, 2.0)]).unwrap(), 0);
+        assert_eq!(db.pending_inserts(), 1);
+        // Promotion reopens the write paths.
+        db.set_read_only(false);
+        db.insert_value(b, 3.0).unwrap();
+    }
+
+    #[test]
+    fn adopt_wal_attaches_once_and_logs_subsequent_writes() {
+        let dir = std::env::temp_dir().join(format!("fdc_adopt_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = small_db();
+        assert!(db.wal().is_none());
+        let (wal, _) = fdc_wal::Wal::open(&dir, fdc_wal::WalOptions::default()).unwrap();
+        db.adopt_wal(wal).unwrap();
+        let b = db.dataset().graph().base_nodes()[0];
+        db.insert_value(b, 4.0).unwrap();
+        assert_eq!(db.wal_stats().unwrap().last_seq, 1);
+        // A second log cannot displace the first.
+        let dir2 = std::env::temp_dir().join(format!("fdc_adopt_wal2_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let (other, _) = fdc_wal::Wal::open(&dir2, fdc_wal::WalOptions::default()).unwrap();
+        assert!(matches!(
+            db.adopt_wal(other).unwrap_err(),
+            F2dbError::Storage(_)
+        ));
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
     }
 }

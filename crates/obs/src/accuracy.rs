@@ -683,6 +683,68 @@ mod tests {
         assert_eq!(merged[1].key, 9);
     }
 
+    /// Replication story: a primary and a follower each track accuracy
+    /// locally and ship [`KeyAccuracy`] **codec bytes**; the view
+    /// rebuilt from the wire must equal the in-process
+    /// [`RollingAccuracy::merged`] oracle bit-for-bit — same keys, same
+    /// moments, same drift flags, same encoded bytes.
+    #[test]
+    fn follower_merge_over_codec_bytes_matches_the_in_process_oracle() {
+        let primary = RollingAccuracy::new(opts(6, 0.4, 1));
+        let follower = RollingAccuracy::new(opts(6, 0.4, 1));
+        // Key 3 is observed by both sides (overlapping windows, one
+        // side driven into a drift excursion), 5 only by the primary,
+        // 8 only by the follower.
+        for i in 0..9 {
+            primary.record(3, 10.0 + i as f64, 10.0);
+            primary.record(5, 4.0, 2.0 + i as f64);
+        }
+        for i in 0..5 {
+            follower.record(3, 30.0 + i as f64, 1.0);
+            follower.record(8, 2.0, 2.0);
+        }
+        // The wire trip a router performs: encode every partial on its
+        // origin, decode and fold on arrival.
+        let mut shipped: Vec<Vec<u8>> = Vec::new();
+        for tracker in [&primary, &follower] {
+            for s in tracker.summaries() {
+                shipped.push(s.encode());
+            }
+        }
+        let mut by_key: BTreeMap<u64, KeyAccuracy> = BTreeMap::new();
+        for bytes in &shipped {
+            let s = KeyAccuracy::decode(bytes).expect("wire partial decodes");
+            by_key
+                .entry(s.key)
+                .and_modify(|acc| *acc = acc.merge(&s))
+                .or_insert(s);
+        }
+        let via_bytes: Vec<KeyAccuracy> = by_key.into_values().collect();
+
+        let oracle = RollingAccuracy::merged(&[&primary, &follower]);
+        assert_eq!(via_bytes.len(), oracle.len());
+        assert_eq!(
+            via_bytes.iter().map(|s| s.key).collect::<Vec<_>>(),
+            vec![3, 5, 8]
+        );
+        for (wire, local) in via_bytes.iter().zip(&oracle) {
+            assert_eq!(wire, local, "key {} diverged over the wire", local.key);
+            assert_eq!(
+                wire.encode(),
+                local.encode(),
+                "key {} re-encodes differently",
+                local.key
+            );
+        }
+        // The overlapping key pooled both windows and kept the drift OR.
+        let node3 = &oracle[0];
+        assert_eq!(node3.err.count(), 6 + 5);
+        assert!(
+            node3.drifting,
+            "the follower-side excursion must survive the merge"
+        );
+    }
+
     #[test]
     fn key_accuracy_codec_round_trips() {
         let acc = RollingAccuracy::new(opts(3, 0.4, 1));

@@ -114,6 +114,25 @@ pub enum Event {
         /// Buffered insert rows flushed into the engine.
         flushed_rows: u64,
     },
+    /// A follower replica began pulling WAL frames from a primary.
+    ReplicaStart {
+        /// The primary's address, e.g. `127.0.0.1:9200`.
+        primary: String,
+        /// The follower's applied watermark at start.
+        applied_seq: u64,
+    },
+    /// A follower replica was promoted to a writable primary.
+    ReplicaPromoted {
+        /// The applied watermark when replication sealed.
+        applied_seq: u64,
+        /// Records replayed from the dead primary's surviving log tail
+        /// during promotion (0 when no tail was available).
+        tail_records: u64,
+        /// Highest sequence number in the promoted engine's log.
+        last_seq: u64,
+        /// Wall-clock promotion time in nanoseconds.
+        promotion_ns: u64,
+    },
 }
 
 impl Event {
@@ -129,6 +148,8 @@ impl Event {
             Event::WalRecovery { .. } => "WalRecovery",
             Event::ServeStart { .. } => "ServeStart",
             Event::ServeShutdown { .. } => "ServeShutdown",
+            Event::ReplicaStart { .. } => "ReplicaStart",
+            Event::ReplicaPromoted { .. } => "ReplicaPromoted",
         }
     }
 
@@ -195,6 +216,18 @@ impl Event {
                 flushed_rows,
             } => format!(
                 "\"addr\":\"{addr}\",\"drained_requests\":{drained_requests},\"flushed_rows\":{flushed_rows}"
+            ),
+            Event::ReplicaStart {
+                primary,
+                applied_seq,
+            } => format!("\"primary\":\"{primary}\",\"applied_seq\":{applied_seq}"),
+            Event::ReplicaPromoted {
+                applied_seq,
+                tail_records,
+                last_seq,
+                promotion_ns,
+            } => format!(
+                "\"applied_seq\":{applied_seq},\"tail_records\":{tail_records},\"last_seq\":{last_seq},\"promotion_ns\":{promotion_ns}"
             ),
         }
     }

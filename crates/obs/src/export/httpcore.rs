@@ -199,6 +199,32 @@ pub fn write_response(
     stream.flush()
 }
 
+/// [`write_response`] for binary payloads (e.g. WAL ship chunks): the
+/// body goes out verbatim with its exact `Content-Length`, no string
+/// conversion.
+pub fn write_response_bytes(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -155,6 +155,27 @@ pub const WAL_SEGMENTS_TRUNCATED: &str = "wal.segments.truncated";
 /// Counter: torn-tail bytes discarded by recovery (a partial record a
 /// crash left at the end of the log).
 pub const WAL_TORN_TAIL_BYTES: &str = "wal.torn_tail_bytes";
+/// Gauge: sequence number covered by the most recent completed fsync
+/// (the shipping watermark — followers never see frames past it).
+pub const WAL_DURABLE_SEQ: &str = "wal.durable_seq";
+
+// ---- WAL shipping / replication --------------------------------------
+
+/// Counter: ship chunks served to followers by the primary.
+pub const WAL_SHIP_CHUNKS: &str = "wal.ship.chunks";
+/// Counter: frames shipped to followers.
+pub const WAL_SHIP_FRAMES: &str = "wal.ship.frames";
+/// Counter: frame bytes shipped to followers (headers included).
+pub const WAL_SHIP_BYTES: &str = "wal.ship.bytes";
+/// Gauge: follower-side replication lag in sequence numbers (the
+/// primary's durable watermark minus the follower's applied watermark).
+pub const WAL_REPLICATION_LAG_SEQ: &str = "wal.replication.lag_seq";
+/// Gauge: follower-side applied watermark (highest sequence durably
+/// appended to the follower's own log).
+pub const WAL_REPLICATION_APPLIED_SEQ: &str = "wal.replication.applied_seq";
+/// Counter: fetch-and-apply rounds the follower failed (network error,
+/// truncated chunk, watermark gap); the fetch loop retries after each.
+pub const WAL_REPLICATION_ERRORS: &str = "wal.replication.errors";
 
 // ---- Bench harness ---------------------------------------------------
 
@@ -243,6 +264,13 @@ mod tests {
             WAL_CHECKPOINT_SEQ,
             WAL_SEGMENTS_TRUNCATED,
             WAL_TORN_TAIL_BYTES,
+            WAL_DURABLE_SEQ,
+            WAL_SHIP_CHUNKS,
+            WAL_SHIP_FRAMES,
+            WAL_SHIP_BYTES,
+            WAL_REPLICATION_LAG_SEQ,
+            WAL_REPLICATION_APPLIED_SEQ,
+            WAL_REPLICATION_ERRORS,
             BENCH_CONCURRENT_QPS,
             BENCH_CONCURRENT_SPEEDUP_X100,
             BENCH_SERVER_QPS,

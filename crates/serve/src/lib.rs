@@ -30,7 +30,19 @@
 //! | `POST /insert` | `{"dims": [...], "value": v}` or `{"rows": [...]}` | `202` after commit |
 //! | `POST /maintain` | — | `200` re-fit count |
 //! | `GET /stats` | — | `200` engine + server counters |
-//! | `GET /healthz` | — | `200` |
+//! | `GET /healthz` | — | `200` (`503` on a lagging follower) |
+//! | `GET /wal/fetch?after=N` | — | `200` binary ship chunk (primary side of replication) |
+//! | `POST /promote` | `{"tail_wal_dir": "..."}?` | `200` promotion report (follower only) |
+//!
+//! ## Replication
+//!
+//! With [`ServeOptions::replica_of`] set the server runs as a
+//! **read-only follower**: [`open_follower`] builds the engine from the
+//! local log, a fetch loop ships the primary's WAL over `GET
+//! /wal/fetch`, writes answer `409` with a redirect-to-the-primary
+//! error, and `POST /promote` turns the follower into a writable
+//! primary (see [`replica`] for the protocol and the promotion state
+//! machine).
 //!
 //! ## Graceful drain
 //!
@@ -59,8 +71,10 @@
 
 pub mod batcher;
 pub mod json;
+pub mod replica;
 
 pub use batcher::{Batcher, DepositOutcome};
+pub use replica::{open_follower, replica_marker_path, PromotionReport, Replica};
 
 use fdc_cube::NodeId;
 use fdc_f2db::{F2db, F2dbError};
@@ -105,6 +119,18 @@ pub struct ServeOptions {
     /// acknowledging. `false` trades the crash guarantee for speed —
     /// useful for benchmarks quantifying exactly that trade.
     pub wal_fsync: bool,
+    /// When set, this server is a read-only follower replica of the
+    /// primary at this address (`host:port`): [`open_follower`] builds
+    /// the engine, a fetch loop ships the primary's WAL into
+    /// [`ServeOptions::wal_dir`], and writes answer `409` until `POST
+    /// /promote`.
+    pub replica_of: Option<String>,
+    /// How long the follower's fetch loop sleeps between polls once it
+    /// is caught up (it drains without sleeping while behind).
+    pub replica_poll: Duration,
+    /// On a follower, `GET /healthz` degrades to `503` when replication
+    /// lag exceeds this many sequences.
+    pub replica_lag_bound: u64,
 }
 
 impl Default for ServeOptions {
@@ -119,6 +145,9 @@ impl Default for ServeOptions {
             catalog_path: None,
             wal_dir: None,
             wal_fsync: true,
+            replica_of: None,
+            replica_poll: Duration::from_millis(10),
+            replica_lag_bound: 10_000,
         }
     }
 }
@@ -157,6 +186,10 @@ pub struct EngineRecovery {
     /// Rows re-applied from a legacy pending sidecar (migration only —
     /// once the WAL owns the rows the sidecar is never consulted again).
     pub sidecar_rows: usize,
+    /// Whether a [`replica::REPLICA_MARKER`] was found in the WAL
+    /// directory: the engine opened read-only and every write answers
+    /// [`F2dbError::ReadOnly`] until the follower is promoted.
+    pub replica_marker: bool,
 }
 
 /// Builds the engine a server should front, according to `opts`:
@@ -204,12 +237,24 @@ pub fn open_engine(
         Some(path) if wal_is_fresh && !catalog_is_container(path) => restore_pending(&db, path)?,
         _ => 0,
     };
+    // A WAL directory still carrying a follower's REPLICA marker must
+    // not come up writable: its log is a replicated prefix owned by the
+    // promotion protocol, and writing past it here would fork history.
+    // The engine serves reads; writes answer a typed ReadOnly error.
+    let replica_marker = opts
+        .wal_dir
+        .as_deref()
+        .is_some_and(|d| replica_marker_path(d).exists());
+    if replica_marker {
+        db.set_read_only(true);
+    }
     Ok((
         Arc::new(db),
         EngineRecovery {
             opened_catalog,
             wal,
             sidecar_rows,
+            replica_marker,
         },
     ))
 }
@@ -229,6 +274,9 @@ struct Shared {
     stopping: AtomicBool,
     drained: AtomicU64,
     batcher: Batcher,
+    /// Present when this server fronts a follower replica; routes
+    /// consult it for lag, write rejection and promotion.
+    replica: Option<Arc<Replica>>,
 }
 
 /// The running server: a bound listener plus its thread pool. Stop it
@@ -247,6 +295,28 @@ impl Server {
     /// back with [`Server::addr`]) and starts the accept thread, the
     /// worker pool and the insert flusher.
     pub fn start(db: Arc<F2db>, port: u16, opts: ServeOptions) -> std::io::Result<Server> {
+        Server::start_inner(db, port, opts, None)
+    }
+
+    /// [`Server::start`] for a follower replica built by
+    /// [`open_follower`]: the same worker pool, plus the replica state
+    /// the routes consult (`/healthz` lag, write rejection, `POST
+    /// /promote`).
+    pub fn start_with_replica(
+        db: Arc<F2db>,
+        port: u16,
+        opts: ServeOptions,
+        replica: Arc<Replica>,
+    ) -> std::io::Result<Server> {
+        Server::start_inner(db, port, opts, Some(replica))
+    }
+
+    fn start_inner(
+        db: Arc<F2db>,
+        port: u16,
+        opts: ServeOptions,
+        replica: Option<Arc<Replica>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -257,6 +327,7 @@ impl Server {
             stopping: AtomicBool::new(false),
             drained: AtomicU64::new(0),
             batcher: Batcher::default(),
+            replica,
         });
         journal().publish(Event::ServeStart {
             addr: addr.to_string(),
@@ -320,6 +391,29 @@ impl Server {
         self.shared.batcher.stop();
         if let Some(h) = self.flusher_handle.take() {
             h.join().expect("flusher thread panicked");
+        }
+        // An unpromoted follower stops its fetch loop and leaves its
+        // state exactly as replicated: no maintain, no catalog save —
+        // the local log *is* the state, and a restart replays it.
+        if let Some(replica) = &self.shared.replica {
+            replica.seal();
+        }
+        if self.shared.db.is_read_only() {
+            let drained_requests = self.shared.drained.load(Ordering::SeqCst);
+            journal().publish(Event::ServeShutdown {
+                addr: self.addr.to_string(),
+                drained_requests,
+                flushed_rows,
+            });
+            return Ok(ShutdownReport {
+                addr: self.addr,
+                drained_requests,
+                flushed_rows,
+                refitted: 0,
+                saved_catalog: false,
+                saved_pending_rows: 0,
+                wal_checkpoint_seq: None,
+            });
         }
         let refitted = self.shared.db.maintain()?;
         let mut saved_catalog = false;
@@ -553,6 +647,14 @@ fn handle_connection(shared: &Shared, conn: Conn) {
         }
     };
     let started = Instant::now();
+    // The one binary route: ship chunks go out via
+    // `write_response_bytes`, outside the string-bodied route table.
+    if request.method == "GET" && request.path_query().0 == "/wal/fetch" {
+        handle_wal_fetch(shared, &mut stream, request.path_query().1);
+        fdc_obs::histogram_with(names::SERVE_REQUEST_NS, &[("route", "wal_fetch")])
+            .record_duration(started.elapsed());
+        return;
+    }
     let remaining = shared.opts.deadline.saturating_sub(queued_for);
     let (route, status, body, extra) = route_request(shared, &request, remaining);
     let extra_refs: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
@@ -575,6 +677,8 @@ fn respond(
         400 => "400 Bad Request",
         404 => "404 Not Found",
         405 => "405 Method Not Allowed",
+        409 => "409 Conflict",
+        410 => "410 Gone",
         413 => "413 Payload Too Large",
         500 => "500 Internal Server Error",
         503 => "503 Service Unavailable",
@@ -631,23 +735,30 @@ fn route_request(shared: &Shared, request: &Request, remaining: Duration) -> Rou
             let (status, body) = handle_explain(shared, &request.body);
             ("explain", status, body, no_extra())
         }
-        ("POST", "/insert") => handle_insert(shared, &request.body, remaining),
-        ("POST", "/maintain") => {
-            let (status, body) = match shared.db.maintain() {
-                Ok(refitted) => (200, format!("{{\"refitted\":{refitted}}}")),
-                Err(e) => (500, err_body(&e.to_string())),
-            };
-            ("maintain", status, body, no_extra())
-        }
+        ("POST", "/insert") => match follower_write_rejection(shared, "insert") {
+            Some(routed) => routed,
+            None => handle_insert(shared, &request.body, remaining),
+        },
+        ("POST", "/maintain") => match follower_write_rejection(shared, "maintain") {
+            Some(routed) => routed,
+            None => {
+                let (status, body) = match shared.db.maintain() {
+                    Ok(refitted) => (200, format!("{{\"refitted\":{refitted}}}")),
+                    Err(e) => (500, err_body(&e.to_string())),
+                };
+                ("maintain", status, body, no_extra())
+            }
+        },
+        ("POST", "/promote") => handle_promote(shared, &request.body),
         ("GET", "/stats") => ("stats", 200, stats_body(shared), no_extra()),
-        ("GET", "/healthz") => ("healthz", 200, "{\"status\":\"ok\"}".into(), no_extra()),
-        (_, "/query" | "/explain" | "/insert" | "/maintain") => (
+        ("GET", "/healthz") => handle_healthz(shared),
+        (_, "/query" | "/explain" | "/insert" | "/maintain" | "/promote") => (
             "method",
             405,
             err_body("use POST"),
             vec![("Allow", "POST".to_string())],
         ),
-        (_, "/stats" | "/healthz") => (
+        (_, "/stats" | "/healthz" | "/wal/fetch") => (
             "method",
             405,
             err_body("use GET"),
@@ -822,6 +933,162 @@ fn handle_insert(shared: &Shared, body: &[u8], remaining: Duration) -> Routed {
     }
 }
 
+/// On an unpromoted follower, every write route answers `409` with an
+/// explicit redirect-to-the-primary error instead of reaching the
+/// engine's read-only guard through the batcher. `None` means the
+/// write may proceed (not a replica, or already promoted).
+fn follower_write_rejection(shared: &Shared, route: &'static str) -> Option<Routed> {
+    let replica = shared.replica.as_ref()?;
+    if replica.is_promoted() {
+        return None;
+    }
+    Some((
+        route,
+        409,
+        err_body(&format!(
+            "read-only follower replica of {}; write to the primary or POST /promote first",
+            replica.primary()
+        )),
+        Vec::new(),
+    ))
+}
+
+/// `POST /promote` — runs the follower's promotion state machine. The
+/// optional JSON body names the dead primary's WAL directory for the
+/// tail replay: `{"tail_wal_dir": "/path/to/primary/wal"}`.
+fn handle_promote(shared: &Shared, body: &[u8]) -> Routed {
+    let no_extra = Vec::new;
+    let Some(replica) = shared.replica.as_ref() else {
+        return (
+            "promote",
+            400,
+            err_body("this server is not a replica"),
+            no_extra(),
+        );
+    };
+    let tail = if body.is_empty() {
+        None
+    } else {
+        let parsed = std::str::from_utf8(body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(json::parse);
+        match parsed {
+            Ok(doc) => doc
+                .get("tail_wal_dir")
+                .and_then(json::Value::as_str)
+                .map(PathBuf::from),
+            Err(m) => return ("promote", 400, err_body(&m), no_extra()),
+        }
+    };
+    match replica.promote(tail.as_deref()) {
+        Ok(report) => (
+            "promote",
+            200,
+            format!(
+                "{{\"promoted\":true,\"applied_seq\":{},\"tail_records\":{},\
+                 \"last_seq\":{},\"promotion_ns\":{}}}",
+                report.applied_seq, report.tail_records, report.last_seq, report.promotion_ns
+            ),
+            no_extra(),
+        ),
+        Err(e) => ("promote", 409, err_body(&e.to_string()), no_extra()),
+    }
+}
+
+/// `GET /healthz` — degrades to `503` on a follower whose replication
+/// lag exceeds [`ServeOptions::replica_lag_bound`], so a load balancer
+/// stops routing reads at a replica serving stale forecasts.
+fn handle_healthz(shared: &Shared) -> Routed {
+    let no_extra = Vec::new;
+    match shared.replica.as_ref().filter(|r| !r.is_promoted()) {
+        Some(replica) => {
+            let lag = replica.lag();
+            let (status, state) = if lag > shared.opts.replica_lag_bound {
+                (503, "degraded")
+            } else {
+                (200, "ok")
+            };
+            (
+                "healthz",
+                status,
+                format!("{{\"status\":\"{state}\",\"replication_lag_seq\":{lag}}}"),
+                no_extra(),
+            )
+        }
+        None => ("healthz", 200, "{\"status\":\"ok\"}".into(), no_extra()),
+    }
+}
+
+/// Largest chunk `GET /wal/fetch` will build, whatever the follower
+/// asks for.
+const SHIP_MAX_BYTES_CAP: usize = 4 << 20;
+
+/// `GET /wal/fetch?after=N&max_bytes=M` — the primary side of log
+/// shipping. Answers a binary [`fdc_wal::ShipChunk`] of durable frames
+/// past `after`; a fetch below the checkpoint watermark is `410 Gone`
+/// (the frames were truncated — re-bootstrap the follower).
+fn handle_wal_fetch(shared: &Shared, stream: &mut TcpStream, query: &str) {
+    let Some(wal) = shared.db.wal() else {
+        respond(
+            stream,
+            "wal_fetch",
+            404,
+            err_body("no write-ahead log attached"),
+            &[],
+        );
+        return;
+    };
+    let (after, max_bytes) = match (query_u64(query, "after"), query_u64(query, "max_bytes")) {
+        (Ok(after), Ok(max)) => (
+            after.unwrap_or(0),
+            (max.unwrap_or(256 << 10) as usize).clamp(1, SHIP_MAX_BYTES_CAP),
+        ),
+        (Err(m), _) | (_, Err(m)) => {
+            respond(stream, "wal_fetch", 400, err_body(&m), &[]);
+            return;
+        }
+    };
+    match wal.ship_chunk(after, max_bytes) {
+        Ok(chunk) => {
+            fdc_obs::gauge(names::WAL_DURABLE_SEQ).set(chunk.durable_seq as i64);
+            let body = fdc_wal::encode_chunk(&chunk);
+            fdc_obs::counter_with(
+                names::SERVE_REQUESTS,
+                &[("route", "wal_fetch"), ("status", "200")],
+            )
+            .incr();
+            fdc_obs::httpcore::write_response_bytes(
+                stream,
+                "200 OK",
+                "application/octet-stream",
+                &body,
+                &[],
+            )
+            .ok();
+        }
+        Err(e @ fdc_wal::ShipError::WatermarkGap { .. }) => {
+            respond(stream, "wal_fetch", 410, err_body(&e.to_string()), &[]);
+        }
+        Err(e) => respond(stream, "wal_fetch", 500, err_body(&e.to_string()), &[]),
+    }
+}
+
+/// Parses an optional `name=<u64>` pair out of a query string.
+fn query_u64(query: &str, name: &str) -> Result<Option<u64>, String> {
+    for pair in query.split('&') {
+        let Some((k, v)) = pair.split_once('=') else {
+            continue;
+        };
+        if k == name {
+            return v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("query parameter {name:?} must be an unsigned integer"));
+        }
+    }
+    Ok(None)
+}
+
 /// Per-route request-latency quantiles from the digest-backed
 /// `serve.request.ns{route=...}` histograms, as a JSON object keyed by
 /// route. Empty object until the first request is recorded.
@@ -872,17 +1139,41 @@ fn stats_body(shared: &Shared) -> String {
     let queue_len = shared.queue.lock().unwrap().len();
     let wal = match shared.db.wal_stats() {
         Some(w) => format!(
-            "{{\"last_seq\":{},\"checkpoint_seq\":{},\"segments\":{},\
+            "{{\"last_seq\":{},\"durable_seq\":{},\"checkpoint_seq\":{},\"segments\":{},\
              \"appends\":{},\"fsyncs\":{}}}",
-            w.last_seq, w.checkpoint_seq, w.segments, w.appends, w.fsyncs,
+            w.last_seq, w.durable_seq, w.checkpoint_seq, w.segments, w.appends, w.fsyncs,
         ),
+        None => "null".to_string(),
+    };
+    let replication = match &shared.replica {
+        Some(r) => {
+            let last_error = match r.last_error() {
+                Some(e) => format!("\"{}\"", json::escape(&e)),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"role\":\"{}\",\"primary\":\"{}\",\"applied_seq\":{},\
+                 \"primary_durable_seq\":{},\"lag_seq\":{},\"fetch_errors\":{},\
+                 \"last_error\":{last_error}}}",
+                if r.is_promoted() {
+                    "promoted"
+                } else {
+                    "follower"
+                },
+                json::escape(r.primary()),
+                r.applied_seq(),
+                r.primary_durable_seq(),
+                r.lag(),
+                r.fetch_errors(),
+            )
+        }
         None => "null".to_string(),
     };
     format!(
         "{{\"queries\":{},\"inserts\":{},\"insert_batches\":{},\"time_advances\":{},\
          \"model_updates\":{},\"invalidations\":{},\"reestimations\":{},\
          \"pending_inserts\":{},\"buffered_rows\":{},\"queue_depth\":{},\
-         \"series_len\":{},\"models\":{},\"wal\":{},\"latency\":{},\"drift\":{}}}",
+         \"series_len\":{},\"models\":{},\"wal\":{},\"replication\":{},\"latency\":{},\"drift\":{}}}",
         stats.queries,
         stats.inserts,
         stats.insert_batches,
@@ -896,6 +1187,7 @@ fn stats_body(shared: &Shared) -> String {
         shared.db.dataset().series_len(),
         shared.db.model_count(),
         wal,
+        replication,
         latency_json(),
         drift_json(shared),
     )

@@ -1,0 +1,388 @@
+//! Follower replicas: WAL shipping over HTTP and the promotion path.
+//!
+//! A follower is a second `fdc-serve` process fronting a **read-only**
+//! engine. It keeps its own local write-ahead log — *not* attached to
+//! the engine — and a fetch loop that repeatedly asks the primary's
+//! `GET /wal/fetch?after=<applied>` for everything past its applied
+//! watermark. Each fetched [`ShipChunk`] is verified (CRCs, sequence
+//! contiguity, protocol version), durably appended to the local log via
+//! [`Wal::apply_chunk`], and only then applied to the engine through
+//! [`F2db::apply_replicated`] — so the follower's log is always a
+//! prefix of the primary's durable log and a follower crash recovers by
+//! replaying its own log from scratch.
+//!
+//! ## Promotion
+//!
+//! [`Replica::promote`] turns the follower into a writable primary:
+//!
+//! 1. **Seal** — the fetch loop is stopped and joined; the applied
+//!    watermark is frozen.
+//! 2. **Tail replay** — when the dead primary's WAL directory is
+//!    reachable (shared-storage failover), it is opened read-only
+//!    (`fsync: false`; a torn tail truncates exactly as crash recovery
+//!    would) and every record past the applied watermark is appended to
+//!    the local log and applied to the engine. Frames the primary had
+//!    written but not yet shipped — including fsynced, *acknowledged*
+//!    writes — are recovered here, which is what makes the
+//!    zero-acked-writes-lost contract hold across a primary SIGKILL.
+//! 3. **Open for writes** — the local log is adopted by the engine
+//!    (future inserts append to it with contiguous sequences), the
+//!    read-only guard drops, and the `REPLICA` marker file is removed.
+//!
+//! A second `promote` call fails with a typed error; the state machine
+//! only moves forward: `following → sealed → promoted`.
+
+use crate::ServeOptions;
+use fdc_f2db::{F2db, F2dbError, WalRecord};
+use fdc_obs::{journal, names, Event};
+use fdc_wal::{decode_chunk, ShipChunk, Wal, WalOptions};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Marker file a follower writes into its WAL directory. While it
+/// exists, [`crate::open_engine`] refuses to open the directory
+/// writable — writes answer [`F2dbError::ReadOnly`] — so a crashed
+/// follower cannot be accidentally restarted as an independent primary
+/// with half a log. [`Replica::promote`] removes it.
+pub const REPLICA_MARKER: &str = "REPLICA";
+
+/// Path of the [`REPLICA_MARKER`] inside a follower's WAL directory.
+pub fn replica_marker_path(wal_dir: &Path) -> PathBuf {
+    wal_dir.join(REPLICA_MARKER)
+}
+
+/// Largest chunk the follower requests per fetch.
+const FETCH_MAX_BYTES: usize = 256 << 10;
+
+/// Socket timeout for one fetch round trip — also bounds how long
+/// [`Replica::promote`] waits for the loop to notice the seal.
+const FETCH_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// What [`Replica::promote`] did, mirrored into the `ReplicaPromoted`
+/// journal event and the `POST /promote` response body.
+#[derive(Debug, Clone)]
+pub struct PromotionReport {
+    /// The applied watermark at seal time — the highest sequence the
+    /// follower had replicated before promotion began.
+    pub applied_seq: u64,
+    /// Records recovered from the dead primary's WAL tail (sequences
+    /// past `applied_seq` that were never shipped).
+    pub tail_records: u64,
+    /// The promoted log's last sequence (`applied_seq + tail_records`).
+    pub last_seq: u64,
+    /// Wall-clock nanoseconds from seal to open-for-writes.
+    pub promotion_ns: u64,
+}
+
+/// A running follower: the fetch loop plus the state `fdc-serve` routes
+/// report and act on. Created by [`open_follower`].
+pub struct Replica {
+    primary: String,
+    db: Arc<F2db>,
+    /// The local log. `None` after promotion hands it to the engine.
+    wal: Mutex<Option<Wal>>,
+    marker: PathBuf,
+    poll: Duration,
+    applied_seq: AtomicU64,
+    primary_durable_seq: AtomicU64,
+    fetch_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+    sealed: AtomicBool,
+    promoted: AtomicBool,
+    fetcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Replica {
+    /// The primary address this follower fetches from.
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// The follower's applied watermark: the highest sequence durably
+    /// in its local log *and* applied to the engine.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::Acquire)
+    }
+
+    /// The primary's durable watermark as of the last successful fetch.
+    pub fn primary_durable_seq(&self) -> u64 {
+        self.primary_durable_seq.load(Ordering::Acquire)
+    }
+
+    /// Replication lag in sequences: durable-on-primary minus applied.
+    pub fn lag(&self) -> u64 {
+        self.primary_durable_seq()
+            .saturating_sub(self.applied_seq())
+    }
+
+    /// Fetch rounds that failed (network, decode, or apply).
+    pub fn fetch_errors(&self) -> u64 {
+        self.fetch_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent fetch-loop error, for `/stats`.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().unwrap().clone()
+    }
+
+    /// Whether [`Replica::promote`] has completed.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
+    }
+
+    /// Stops the fetch loop without promoting (server shutdown). Safe
+    /// to call more than once.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::SeqCst);
+        if let Some(h) = self.fetcher.lock().unwrap().take() {
+            h.join().expect("replica fetch thread panicked");
+        }
+    }
+
+    /// Promotes this follower to a writable primary. See the module
+    /// docs for the three phases. `tail_wal_dir` is the dead primary's
+    /// WAL directory when it is reachable (shared-storage failover);
+    /// `None` promotes on the shipped prefix alone.
+    pub fn promote(&self, tail_wal_dir: Option<&Path>) -> Result<PromotionReport, F2dbError> {
+        let started = Instant::now();
+        if self.promoted.swap(true, Ordering::SeqCst) {
+            return Err(F2dbError::ReadOnly(
+                "promote rejected: this replica is already promoted".into(),
+            ));
+        }
+        self.seal();
+        let wal =
+            self.wal.lock().unwrap().take().ok_or_else(|| {
+                F2dbError::Storage("replica log already handed to the engine".into())
+            })?;
+        let applied_seq = wal.stats().last_seq;
+        debug_assert_eq!(applied_seq, self.applied_seq());
+
+        // Phase 2: recover the dead primary's unshipped tail. Opening
+        // with fsync off replays without spawning a syncer and
+        // truncates a torn tail exactly as the primary's own crash
+        // recovery would.
+        let mut tail_records = 0u64;
+        if let Some(dir) = tail_wal_dir.filter(|d| d.exists()) {
+            let (primary_wal, recovery) = Wal::open(
+                dir,
+                WalOptions {
+                    fsync: false,
+                    ..WalOptions::default()
+                },
+            )
+            .map_err(|e| F2dbError::Storage(format!("promotion tail replay: {e}")))?;
+            drop(primary_wal);
+            let mut expected = applied_seq + 1;
+            for (seq, payload) in &recovery.records {
+                if *seq <= applied_seq {
+                    continue;
+                }
+                if *seq != expected {
+                    return Err(F2dbError::Storage(format!(
+                        "promotion tail replay: primary log jumps to seq {seq}, \
+                         expected {expected} — refusing to promote over a gap"
+                    )));
+                }
+                wal.append(payload)
+                    .map_err(|e| F2dbError::Storage(format!("promotion tail append: {e}")))?;
+                apply_record(&self.db, payload)?;
+                expected += 1;
+                tail_records += 1;
+            }
+        }
+
+        // Phase 3: open for writes.
+        let last_seq = wal.stats().last_seq;
+        self.db.adopt_wal(wal)?;
+        self.db.set_read_only(false);
+        std::fs::remove_file(&self.marker).ok();
+        self.applied_seq.store(last_seq, Ordering::Release);
+        fdc_obs::gauge(names::WAL_REPLICATION_APPLIED_SEQ).set(last_seq as i64);
+        fdc_obs::gauge(names::WAL_REPLICATION_LAG_SEQ).set(0);
+        let report = PromotionReport {
+            applied_seq,
+            tail_records,
+            last_seq,
+            promotion_ns: started.elapsed().as_nanos() as u64,
+        };
+        journal().publish(Event::ReplicaPromoted {
+            applied_seq: report.applied_seq,
+            tail_records: report.tail_records,
+            last_seq: report.last_seq,
+            promotion_ns: report.promotion_ns,
+        });
+        Ok(report)
+    }
+
+    /// One fetch-and-apply round. Returns whether the watermark moved.
+    fn round(&self) -> Result<bool, String> {
+        let after = self.applied_seq();
+        let path = format!("/wal/fetch?after={after}&max_bytes={FETCH_MAX_BYTES}");
+        let (status, body) = http_fetch(&self.primary, &path).map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!(
+                "primary answered {status} to /wal/fetch: {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        let chunk = decode_chunk(&body).map_err(|e| e.to_string())?;
+        self.primary_durable_seq
+            .store(chunk.durable_seq, Ordering::Release);
+        let advanced = if chunk.frames.is_empty() {
+            false
+        } else {
+            self.apply(&chunk).map_err(|e| e.to_string())?;
+            true
+        };
+        fdc_obs::gauge(names::WAL_REPLICATION_APPLIED_SEQ).set(self.applied_seq() as i64);
+        fdc_obs::gauge(names::WAL_REPLICATION_LAG_SEQ).set(self.lag() as i64);
+        Ok(advanced)
+    }
+
+    /// Durably appends a verified chunk to the local log, then applies
+    /// its records to the engine — log first, engine second, so a crash
+    /// between the two re-applies from the log instead of losing rows.
+    fn apply(&self, chunk: &ShipChunk) -> Result<(), F2dbError> {
+        let guard = self.wal.lock().unwrap();
+        let wal = guard
+            .as_ref()
+            .ok_or_else(|| F2dbError::Storage("replica log gone (promoted?)".into()))?;
+        let applied = wal
+            .apply_chunk(chunk)
+            .map_err(|e| F2dbError::Storage(e.to_string()))?;
+        for (_seq, payload) in &chunk.frames {
+            apply_record(&self.db, payload)?;
+        }
+        self.applied_seq.store(applied, Ordering::Release);
+        Ok(())
+    }
+
+    fn run_fetch_loop(&self) {
+        while !self.sealed.load(Ordering::SeqCst) {
+            match self.round() {
+                Ok(true) => {} // keep draining while behind
+                Ok(false) => std::thread::sleep(self.poll),
+                Err(msg) => {
+                    self.fetch_errors.fetch_add(1, Ordering::Relaxed);
+                    fdc_obs::counter(names::WAL_REPLICATION_ERRORS).incr();
+                    *self.last_error.lock().unwrap() = Some(msg);
+                    std::thread::sleep(self.poll);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one replicated WAL record and applies it to the engine,
+/// bypassing the read-only guard. One record = one primary
+/// `insert_batch` call, so batch boundaries (and therefore time-advance
+/// points) replay exactly as the primary saw them.
+fn apply_record(db: &F2db, payload: &[u8]) -> Result<(), F2dbError> {
+    let WalRecord::InsertBatch { rows } = WalRecord::decode(payload)?;
+    db.apply_replicated(&rows)?;
+    Ok(())
+}
+
+/// Builds the engine and fetch loop of a follower replica.
+///
+/// The follower's state is exactly its local log: the `fresh` engine is
+/// made read-only, every record already in `opts.wal_dir` is re-applied
+/// (a follower restart recovers from its own log, no catalog needed),
+/// the [`REPLICA_MARKER`] is written, and the fetch loop starts against
+/// `opts.replica_of`. Pass the returned pair to
+/// [`crate::Server::start_with_replica`].
+pub fn open_follower(
+    fresh: F2db,
+    opts: &ServeOptions,
+) -> Result<(Arc<F2db>, Arc<Replica>), F2dbError> {
+    let primary = opts
+        .replica_of
+        .clone()
+        .ok_or_else(|| F2dbError::Storage("open_follower needs ServeOptions::replica_of".into()))?;
+    let wal_dir = opts
+        .wal_dir
+        .clone()
+        .ok_or_else(|| F2dbError::Storage("a follower needs ServeOptions::wal_dir".into()))?;
+    let (wal, recovery) = Wal::open(
+        &wal_dir,
+        WalOptions {
+            fsync: opts.wal_fsync,
+            ..WalOptions::default()
+        },
+    )
+    .map_err(|e| F2dbError::Storage(format!("follower log open: {e}")))?;
+    let db = Arc::new(fresh);
+    for (_seq, payload) in &recovery.records {
+        apply_record(&db, payload)?;
+    }
+    db.set_read_only(true);
+    let marker = replica_marker_path(&wal_dir);
+    std::fs::write(&marker, b"follower replica; promote before writing\n")
+        .map_err(|e| F2dbError::Storage(format!("replica marker: {e}")))?;
+
+    let applied = recovery.last_seq;
+    let replica = Arc::new(Replica {
+        primary: primary.clone(),
+        db: Arc::clone(&db),
+        wal: Mutex::new(Some(wal)),
+        marker,
+        poll: opts.replica_poll,
+        applied_seq: AtomicU64::new(applied),
+        primary_durable_seq: AtomicU64::new(0),
+        fetch_errors: AtomicU64::new(0),
+        last_error: Mutex::new(None),
+        sealed: AtomicBool::new(false),
+        promoted: AtomicBool::new(false),
+        fetcher: Mutex::new(None),
+    });
+    journal().publish(Event::ReplicaStart {
+        primary,
+        applied_seq: applied,
+    });
+    let fetcher = {
+        let replica = Arc::clone(&replica);
+        std::thread::Builder::new()
+            .name("fdc-replica-fetch".into())
+            .spawn(move || replica.run_fetch_loop())
+            .expect("spawn replica fetch thread")
+    };
+    *replica.fetcher.lock().unwrap() = Some(fetcher);
+    Ok((db, replica))
+}
+
+/// Minimal HTTP/1.1 GET for the fetch loop: one request, `Connection:
+/// close`, read to EOF, split head from the binary body. Returns
+/// `(status, body)`.
+fn http_fetch(addr: &str, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| bad("primary address resolves to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, FETCH_TIMEOUT)?;
+    stream.set_read_timeout(Some(FETCH_TIMEOUT))?;
+    stream.set_write_timeout(Some(FETCH_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no head terminator"))?;
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("response has no parseable status"))?;
+    Ok((status, buf[head_end + 4..].to_vec()))
+}

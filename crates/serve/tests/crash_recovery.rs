@@ -315,6 +315,428 @@ fn run_crash(seed: u64) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+// ---------------------------------------------------------------------------
+// Primary-kill failover: a real primary, a real follower, a real SIGKILL
+// ---------------------------------------------------------------------------
+//
+// The replica suite spawns TWO children: the [`crash_child`] primary
+// above and the [`replica_child`] follower below, wired together by
+// `--replica-of`-style options. The parent hammers the primary under
+// seeded load while the follower ships the primary's WAL, SIGKILLs the
+// primary mid-group-commit, promotes the follower over the dead
+// primary's log tail, and then proves from the surviving bytes that
+//
+// 1. **no acknowledged write was lost** — every primary `202` and every
+//    post-promotion `202` is in the promoted follower's log;
+// 2. **no write was duplicated** — each value appears exactly once;
+// 3. **the follower log is a prefix-extension of the primary log** —
+//    byte-identical records up to the primary's last recovered
+//    sequence, followed only by post-promotion writes;
+// 4. **catalog state is byte-deterministic** — two independent replays
+//    of the promoted log encode identical catalogs, and apply exactly
+//    the rows the log carries.
+
+const REPLICA_CHILD_ENV: &str = "FDC_REPLICA_CHILD";
+const REPLICA_DIR_ENV: &str = "FDC_REPLICA_DIR";
+const PRIMARY_ADDR_ENV: &str = "FDC_PRIMARY_ADDR";
+
+/// Not a test of its own: the follower process of the failover suite.
+/// Runs only when re-invoked by a parent with [`REPLICA_CHILD_ENV`]
+/// set.
+#[test]
+fn replica_child() {
+    if std::env::var(REPLICA_CHILD_ENV).is_err() {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var(REPLICA_DIR_ENV).expect("child needs FDC_REPLICA_DIR"));
+    let primary = std::env::var(PRIMARY_ADDR_ENV).expect("child needs FDC_PRIMARY_ADDR");
+    let opts = ServeOptions {
+        wal_dir: Some(dir.join("wal")),
+        replica_of: Some(primary),
+        replica_poll: Duration::from_millis(2),
+        coalesce_window: Duration::from_millis(1),
+        ..ServeOptions::default()
+    };
+    let (db, replica) = fdc_serve::open_follower(build_engine(), &opts).expect("open_follower");
+    let server = Server::start_with_replica(db, 0, opts, replica).expect("child follower server");
+    println!("READY {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_replica_child(dir: &Path, primary: SocketAddr) -> (std::process::Child, SocketAddr) {
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .args(["replica_child", "--exact", "--nocapture"])
+        .env(REPLICA_CHILD_ENV, "1")
+        .env(REPLICA_DIR_ENV, dir)
+        .env(PRIMARY_ADDR_ENV, primary.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn follower server");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some((_, rest)) = line.split_once("READY ") {
+                    break rest.trim().parse::<SocketAddr>().expect("follower addr");
+                }
+            }
+            other => panic!("follower exited before READY: {other:?}"),
+        }
+    };
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// First `"key":<u64>` value in a JSON body, without a parser — the
+/// stats/promote bodies are flat enough for this.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn run_replica_kill(seed: u64) {
+    let mut rng = fdc_rng::Rng::seed_from_u64(seed);
+    let p_dir = tmp_dir(&format!("rp_{seed:x}"));
+    let f_dir = tmp_dir(&format!("rf_{seed:x}"));
+    let dims = base_dims(&tourism_proxy(1));
+    let (mut primary, p_addr) = spawn_child(&p_dir);
+    let (mut follower, f_addr) = spawn_replica_child(&f_dir, p_addr);
+
+    // The follower rejects writes explicitly — not a 500 from deep in
+    // the engine, a typed redirect-to-the-primary answer.
+    let rejected = http(f_addr, "POST", "/insert", &row_json(&dims[0], 424_242.5)).unwrap();
+    assert_eq!(
+        rejected.status, 409,
+        "follower accepted a write: {}",
+        rejected.body
+    );
+    assert!(
+        rejected.body.contains("read-only follower"),
+        "rejection is not explicit: {}",
+        rejected.body
+    );
+
+    // Load the primary from several threads (unique values = write
+    // identities) while a sampler thread watches the follower's
+    // replication lag through /stats.
+    let stop = AtomicBool::new(false);
+    let sampler_stop = AtomicBool::new(false);
+    let acked_count = std::sync::atomic::AtomicUsize::new(0);
+    let follower_applied = std::sync::atomic::AtomicU64::new(0);
+    let threads = 3usize;
+    let (acked, lag_samples) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let dims = &dims;
+                let stop = &stop;
+                let acked_count = &acked_count;
+                scope.spawn(move || {
+                    let mut acked = Vec::new();
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let value = (t as u64 * 1_000_000 + i) as f64 + 0.5;
+                        let body = row_json(&dims[(i as usize + t) % dims.len()], value);
+                        match http(p_addr, "POST", "/insert", &body) {
+                            Ok(r) if r.status == 202 => {
+                                acked.push(value.to_bits());
+                                acked_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) => {}
+                            Err(_) => break,
+                        }
+                        i += 1;
+                    }
+                    acked
+                })
+            })
+            .collect();
+        let sampler = {
+            let sampler_stop = &sampler_stop;
+            let follower_applied = &follower_applied;
+            scope.spawn(move || {
+                let mut lags = Vec::new();
+                while !sampler_stop.load(Ordering::Relaxed) {
+                    if let Ok(r) = http(f_addr, "GET", "/stats", "") {
+                        if let Some(lag) = json_u64(&r.body, "lag_seq") {
+                            lags.push(lag);
+                        }
+                        if let Some(applied) = json_u64(&r.body, "applied_seq") {
+                            follower_applied.store(applied, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                lags
+            })
+        };
+
+        // Arm only once the load is real AND replication is visibly
+        // flowing — a kill before the follower applied anything would
+        // prove tail replay, not shipping.
+        let armed = std::time::Instant::now();
+        while (acked_count.load(Ordering::Relaxed) < 20
+            || follower_applied.load(Ordering::Relaxed) == 0)
+            && armed.elapsed() < Duration::from_secs(30)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(40 + rng.usize_below(240) as u64));
+        primary.kill().expect("sigkill primary");
+        primary.wait().expect("reap primary");
+        stop.store(true, Ordering::Relaxed);
+        let acked: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        sampler_stop.store(true, Ordering::Relaxed);
+        (acked, sampler.join().unwrap())
+    });
+    assert!(
+        acked.len() >= 20,
+        "seed {seed:#x}: only {} writes acknowledged before the kill — harness too weak",
+        acked.len()
+    );
+    assert!(
+        follower_applied.load(Ordering::Relaxed) > 0,
+        "seed {seed:#x}: follower never applied a shipped frame before the kill"
+    );
+
+    // Promote the follower over the dead primary's log tail.
+    let promote_started = std::time::Instant::now();
+    let promoted = http(
+        f_addr,
+        "POST",
+        "/promote",
+        &format!("{{\"tail_wal_dir\":\"{}\"}}", p_dir.join("wal").display()),
+    )
+    .unwrap();
+    let promote_wall_ns = promote_started.elapsed().as_nanos() as u64;
+    assert_eq!(promoted.status, 200, "promotion failed: {}", promoted.body);
+    let tail_records = json_u64(&promoted.body, "tail_records").expect("tail_records");
+    let promotion_ns = json_u64(&promoted.body, "promotion_ns").expect("promotion_ns");
+    let promoted_last_seq = json_u64(&promoted.body, "last_seq").expect("last_seq");
+
+    // The state machine only moves forward: a second promote is a 409.
+    let again = http(f_addr, "POST", "/promote", "").unwrap();
+    assert_eq!(
+        again.status, 409,
+        "double promote answered {}",
+        again.status
+    );
+
+    // The promoted follower is a primary now: healthy, labelled, and
+    // accepting both queries and writes.
+    let health = http(f_addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(health.status, 200, "{}", health.body);
+    let stats = http(f_addr, "GET", "/stats", "").unwrap();
+    assert!(
+        stats.body.contains("\"role\":\"promoted\""),
+        "stats after promotion: {}",
+        stats.body
+    );
+    let query = http(
+        f_addr,
+        "POST",
+        "/query",
+        r#"{"sql": "SELECT time, SUM(visitors) FROM facts GROUP BY time AS OF now() + '2 quarters'"}"#,
+    )
+    .unwrap();
+    assert_eq!(query.status, 200, "query after promotion: {}", query.body);
+    let mut post_acked = Vec::new();
+    for i in 0..10u64 {
+        let value = (9_000_000 + i) as f64 + 0.5;
+        let r = http(
+            f_addr,
+            "POST",
+            "/insert",
+            &row_json(&dims[i as usize % dims.len()], value),
+        )
+        .unwrap();
+        assert_eq!(r.status, 202, "post-promotion insert: {}", r.body);
+        post_acked.push(value.to_bits());
+    }
+    assert!(
+        !f_dir.join("wal").join("REPLICA").exists(),
+        "promotion left the REPLICA marker behind"
+    );
+
+    // Kill the follower too (its log is complete and fsynced) and
+    // verify the whole contract from the surviving bytes.
+    follower.kill().expect("sigkill follower");
+    follower.wait().expect("reap follower");
+
+    let p_replay = replay_wal(&p_dir.join("wal"));
+    let f_replay = replay_wal(&f_dir.join("wal"));
+    let f_last = f_replay.records.last().map_or(0, |(s, _)| *s);
+    assert!(
+        f_last > promoted_last_seq,
+        "seed {seed:#x}: post-promotion writes never reached the promoted log \
+         (last seq {f_last}, promoted at {promoted_last_seq})"
+    );
+    // 3: byte-identical prefix — the promoted log IS the primary's
+    // recovered log, extended only by post-promotion writes.
+    assert!(
+        f_replay.records.len() >= p_replay.records.len(),
+        "seed {seed:#x}: follower log shorter than the primary's"
+    );
+    assert_eq!(
+        &f_replay.records[..p_replay.records.len()],
+        &p_replay.records[..],
+        "seed {seed:#x}: follower log diverges from the primary log"
+    );
+
+    // 1 + 2: every acked value (primary-side and post-promotion)
+    // present exactly once.
+    let mut sorted = f_replay.values.clone();
+    sorted.sort_unstable();
+    let len_before = sorted.len();
+    sorted.dedup();
+    assert_eq!(
+        sorted.len(),
+        len_before,
+        "seed {seed:#x}: a write was duplicated in the promoted log"
+    );
+    for v in acked.iter().chain(&post_acked) {
+        assert!(
+            sorted.binary_search(v).is_ok(),
+            "seed {seed:#x}: acknowledged write {} lost across failover \
+             ({} acked on the primary, {} post-promotion, {} recovered)",
+            f64::from_bits(*v),
+            acked.len(),
+            post_acked.len(),
+            f_replay.values.len()
+        );
+    }
+
+    // 4: two independent single-process replays of the promoted log,
+    // from the same model configuration, produce byte-identical
+    // catalogs and apply exactly the rows the log carries. (The advisor
+    // itself is free to pick differently between runs, so the oracle
+    // pins one configuration and varies only the replay.)
+    let ds = tourism_proxy(1);
+    let outcome = Advisor::new(
+        &ds,
+        AdvisorOptions {
+            parallelism: Some(2),
+            ..AdvisorOptions::default()
+        },
+    )
+    .unwrap()
+    .run();
+    let f_opts = engine_opts(&f_dir);
+    let fresh = || F2db::load(ds.clone(), &outcome.configuration).unwrap();
+    let (oracle1, recovery1) = open_engine(fresh(), &f_opts).expect("oracle replay 1");
+    assert_eq!(
+        recovery1.wal.expect("wal attached").replayed_rows as usize,
+        f_replay.values.len(),
+        "seed {seed:#x}: oracle replay applied a different row count"
+    );
+    let bytes1 = oracle1.catalog().encode();
+    drop(oracle1);
+    let (oracle2, _) = open_engine(fresh(), &f_opts).expect("oracle replay 2");
+    let bytes2 = oracle2.catalog().encode();
+    assert_eq!(
+        bytes1, bytes2,
+        "seed {seed:#x}: catalog replay is not byte-deterministic"
+    );
+    drop(oracle2);
+
+    if let Some(artifact_dir) = std::env::var("FDC_STRESS_ARTIFACT_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+    {
+        std::fs::create_dir_all(&artifact_dir).expect("artifact dir");
+        let mut lags = lag_samples.clone();
+        lags.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lags.is_empty() {
+                0
+            } else {
+                lags[((lags.len() - 1) as f64 * p) as usize]
+            }
+        };
+        let summary = format!(
+            "{{\"seed\":\"{seed:#x}\",\"acked_primary\":{},\"acked_post_promotion\":{},\
+             \"tail_records\":{tail_records},\"promoted_last_seq\":{promoted_last_seq},\
+             \"promotion_ns\":{promotion_ns},\"promotion_wall_ns\":{promote_wall_ns},\
+             \"lag_samples\":{},\"lag_p50\":{},\"lag_p95\":{},\"lag_max\":{},\
+             \"follower_records\":{},\"primary_records\":{}}}\n",
+            acked.len(),
+            post_acked.len(),
+            lags.len(),
+            pct(0.50),
+            pct(0.95),
+            lags.last().copied().unwrap_or(0),
+            f_replay.records.len(),
+            p_replay.records.len(),
+        );
+        std::fs::write(
+            PathBuf::from(artifact_dir).join(format!("replica-kill-{seed:x}.json")),
+            summary,
+        )
+        .expect("artifact write");
+    }
+
+    std::fs::remove_dir_all(&p_dir).ok();
+    std::fs::remove_dir_all(&f_dir).ok();
+}
+
+#[test]
+fn replica_kill_seed_1_promotes_without_losing_acked_writes() {
+    run_replica_kill(0xF2DB_FA11_0001);
+}
+
+#[test]
+fn replica_kill_seed_2_promotes_without_losing_acked_writes() {
+    run_replica_kill(0xF2DB_FA11_0002);
+}
+
+#[test]
+fn replica_kill_seed_3_promotes_without_losing_acked_writes() {
+    run_replica_kill(0xF2DB_FA11_0003);
+}
+
+/// Follower directories are poisoned against accidental writes: a
+/// `REPLICA` marker in the WAL dir makes [`open_engine`] come up
+/// read-only, every write is a typed [`fdc_f2db::F2dbError::ReadOnly`],
+/// and deleting the marker (what promotion does) restores a writable
+/// engine on the same directory.
+#[test]
+fn replica_marker_opens_the_engine_read_only_and_rejects_writes() {
+    let dir = tmp_dir("replica_marker");
+    let wal_dir = dir.join("wal");
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    std::fs::write(fdc_serve::replica_marker_path(&wal_dir), b"").unwrap();
+    let (db, recovery) = open_engine(build_engine(), &engine_opts(&dir)).expect("open with marker");
+    assert!(recovery.replica_marker, "marker went undetected");
+    assert!(db.is_read_only());
+    let err = db.insert_batch(&[]).unwrap_err();
+    assert!(
+        matches!(err, fdc_f2db::F2dbError::ReadOnly(_)),
+        "expected a typed ReadOnly rejection, got {err}"
+    );
+    drop(db);
+    std::fs::remove_file(fdc_serve::replica_marker_path(&wal_dir)).unwrap();
+    let (db, recovery) =
+        open_engine(build_engine(), &engine_opts(&dir)).expect("reopen without marker");
+    assert!(!recovery.replica_marker);
+    assert!(!db.is_read_only());
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn crash_seed_1_loses_no_acknowledged_write() {
     run_crash(0xF2DB_C4A5_0001);

@@ -16,16 +16,23 @@
 //!   recovery tests inject short writes, torn records and fsync errors.
 //! * [`Wal`] — the log: open/replay, two-phase [`Wal::submit`] +
 //!   [`Append::wait`] group commit, segment rotation, checkpointing.
+//! * [`ship`] — log shipping to follower replicas: the versioned
+//!   [`ShipChunk`] wire codec, [`Wal::ship_chunk`] (primary side,
+//!   serves only fsync-durable frames) and [`Wal::apply_chunk`]
+//!   (follower side, rejects stale or gapped chunks with typed
+//!   errors). See DESIGN.md §11 for the replication protocol.
 //! * [`atomic_write_durable`] / [`sync_dir`] / [`sweep_stale_tmp`] —
 //!   the write-a-file-durably helpers the catalog save path shares, so
 //!   "temp + rename" actually survives power failure (the rename is
 //!   only durable once the *parent directory* is fsynced).
 
 pub mod record;
+pub mod ship;
 pub mod storage;
 mod wal;
 
 pub use record::{crc32, decode_frame, encode_frame, Frame, FrameError, FRAME_HEADER, MAX_PAYLOAD};
+pub use ship::{decode_chunk, encode_chunk, ShipChunk, ShipError, CHUNK_HEADER, SHIP_VERSION};
 pub use storage::{StdWalStorage, WalFile, WalStorage};
 pub use wal::{
     Append, Wal, WalError, WalOptions, WalRecovery, WalStats, CHECKPOINT_FILE, SEGMENT_HEADER,

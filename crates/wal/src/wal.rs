@@ -169,6 +169,12 @@ pub struct WalRecovery {
 pub struct WalStats {
     /// Highest sequence number appended (0 if none yet).
     pub last_seq: u64,
+    /// Highest sequence number known durable: covered by a completed
+    /// `sync_all` (equals `last_seq` when fsync is off — durability is
+    /// then whatever the OS got around to writing). Log shipping serves
+    /// only frames at or below this watermark, so a follower never
+    /// applies a record the primary could still lose in a crash.
+    pub durable_seq: u64,
     /// The durable watermark recorded by the last checkpoint.
     pub checkpoint_seq: u64,
     /// Live segment files.
@@ -189,6 +195,9 @@ struct Inner {
     /// Bytes written to the current segment, header included.
     segment_written: u64,
     next_seq: u64,
+    /// Highest sequence covered by a completed fsync (== `next_seq - 1`
+    /// when fsync is off).
+    durable_seq: u64,
     checkpoint_seq: u64,
     appends: u64,
     appended_bytes: u64,
@@ -263,7 +272,7 @@ fn segment_file_name(first_seq: u64) -> String {
     format!("wal-{first_seq:016x}.log")
 }
 
-fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
     dir.join(segment_file_name(first_seq))
 }
 
@@ -487,6 +496,7 @@ impl Wal {
                 segments: live,
                 segment_written,
                 next_seq,
+                durable_seq: last_seq,
                 checkpoint_seq,
                 appends: 0,
                 appended_bytes: 0,
@@ -543,6 +553,11 @@ impl Wal {
             inner.segment_written += frame.len() as u64;
             inner.appends += 1;
             inner.appended_bytes += frame.len() as u64;
+            if !self.shared.opts.fsync {
+                // No fsync barrier: the record is as durable as it will
+                // ever be, so it is immediately shippable.
+                inner.durable_seq = seq;
+            }
             fdc_obs::counter(fdc_obs::names::WAL_APPENDS).incr();
             fdc_obs::counter(fdc_obs::names::WAL_APPENDED_BYTES).add(frame.len() as u64);
             fdc_obs::gauge(fdc_obs::names::WAL_LAST_SEQ).set(seq as i64);
@@ -574,6 +589,9 @@ impl Wal {
             return Err(e.into());
         }
         inner.fsyncs += 1;
+        // Everything below the record that forced the rotation is now
+        // on disk in the outgoing segment.
+        inner.durable_seq = inner.durable_seq.max(first_seq - 1);
         fdc_obs::counter(fdc_obs::names::WAL_FSYNCS).incr();
         let path = segment_path(&self.shared.dir, first_seq);
         let mut file = self.shared.opts.storage.create(&path)?;
@@ -647,6 +665,19 @@ impl Wal {
         &self.shared.dir
     }
 
+    /// Consistent snapshot of the state log shipping needs: the live
+    /// segment list plus the durable and checkpoint watermarks, all
+    /// read under one acquisition of the log mutex. Segment file reads
+    /// happen *outside* the lock so shipping never stalls appenders.
+    pub(crate) fn ship_snapshot(&self) -> (Vec<u64>, u64, u64) {
+        let inner = self.shared.inner.lock().unwrap();
+        (
+            inner.segments.clone(),
+            inner.durable_seq,
+            inner.checkpoint_seq,
+        )
+    }
+
     /// Whether acknowledgements wait for fsync.
     pub fn fsync_enabled(&self) -> bool {
         self.shared.opts.fsync
@@ -657,6 +688,7 @@ impl Wal {
         let inner = self.shared.inner.lock().unwrap();
         WalStats {
             last_seq: inner.next_seq - 1,
+            durable_seq: inner.durable_seq,
             checkpoint_seq: inner.checkpoint_seq,
             segments: inner.segments.len() as u64,
             appends: inner.appends,
@@ -687,6 +719,9 @@ impl Shared {
                     match inner.file.sync_all() {
                         Ok(()) => {
                             inner.fsyncs += 1;
+                            // The lock is held across the sync, so every
+                            // frame written so far is covered by it.
+                            inner.durable_seq = inner.next_seq - 1;
                             Ok(())
                         }
                         Err(e) => {

@@ -17,8 +17,8 @@
 
 use fdc_rng::Rng;
 use fdc_wal::{
-    encode_frame, sync_dir, Wal, WalError, WalFile, WalOptions, WalStorage, SEGMENT_HEADER,
-    WAL_VERSION,
+    decode_chunk, encode_chunk, encode_frame, sync_dir, ShipError, Wal, WalError, WalFile,
+    WalOptions, WalStorage, SEGMENT_HEADER, SHIP_VERSION, WAL_VERSION,
 };
 use std::fs;
 use std::io;
@@ -362,6 +362,253 @@ fn segment_rotation_image_survives_truncation_too() {
         fs::remove_dir_all(&scratch).unwrap();
     }
     fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Log shipping: the replay property and fault injection on the fetch path
+// ---------------------------------------------------------------------------
+
+/// The replay property for shipping: for every torn primary image
+/// (the truncate-at-every-offset generator above), any follower
+/// segment size, and any per-fetch byte budget, `ship → apply`
+/// reconstructs **exactly** the records a local replay of the primary
+/// recovers — same sequences, same payloads, nothing skipped or
+/// invented at chunk or segment boundaries.
+#[test]
+fn ship_apply_replays_identically_to_local_replay_for_every_torn_image() {
+    for seed in [0xFDC_5417u64, 0xFDC_5428] {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5419);
+        let payloads = random_payloads(seed, 8);
+        let (image, _) = build_image(&payloads);
+        let p_dir = tmp_dir(&format!("ship_p_{seed:x}"));
+        let f_dir = tmp_dir(&format!("ship_f_{seed:x}"));
+        let opts = |segment_bytes| WalOptions {
+            segment_bytes,
+            fsync: false,
+            ..WalOptions::default()
+        };
+        for cut in 0..=image.len() {
+            fs::create_dir_all(&p_dir).unwrap();
+            fs::write(p_dir.join("wal-0000000000000001.log"), &image[..cut]).unwrap();
+            let (primary, p_rec) = Wal::open(&p_dir, opts(1 << 20))
+                .unwrap_or_else(|e| panic!("seed {seed:#x} cut {cut}: primary open: {e}"));
+            // The follower rotates on different boundaries than the
+            // primary ever did.
+            let (follower, _) = Wal::open(&f_dir, opts(48 + rng.next_u64() % 200)).unwrap();
+            let mut applied = 0;
+            while applied < primary.stats().durable_seq {
+                let budget = 1 + rng.usize_below(96);
+                let chunk = primary.ship_chunk(applied, budget).unwrap();
+                assert!(
+                    !chunk.frames.is_empty(),
+                    "seed {seed:#x} cut {cut}: shipping stalled at {applied}"
+                );
+                applied = follower.apply_chunk(&chunk).unwrap();
+            }
+            drop(follower);
+            let (_, f_rec) = Wal::open(&f_dir, opts(1 << 20)).unwrap();
+            assert_eq!(f_rec.records, p_rec.records, "seed {seed:#x} cut {cut}");
+            drop(primary);
+            fs::remove_dir_all(&p_dir).unwrap();
+            fs::remove_dir_all(&f_dir).unwrap();
+        }
+    }
+}
+
+/// A fetch response cut off at any byte — a dropped connection, a
+/// proxy timeout — must decode to a versioned error, never to a
+/// shorter-but-valid chunk the follower would silently apply. The
+/// chunk here comes off a real rotated log, so frame boundaries cross
+/// segment files.
+#[test]
+fn a_torn_fetch_response_from_a_rotated_log_is_a_versioned_error() {
+    let dir = tmp_dir("ship_torn_fetch");
+    let (wal, _) = Wal::open(
+        &dir,
+        WalOptions {
+            segment_bytes: 96,
+            fsync: false,
+            ..WalOptions::default()
+        },
+    )
+    .unwrap();
+    let payloads = random_payloads(0xFDC_F417, 6);
+    for p in &payloads {
+        wal.append(p).unwrap();
+    }
+    assert!(wal.stats().segments >= 2, "{:?}", wal.stats());
+    let chunk = wal.ship_chunk(0, usize::MAX).unwrap();
+    assert_eq!(chunk.frames.len(), payloads.len());
+    let wire = encode_chunk(&chunk);
+    assert_eq!(decode_chunk(&wire).unwrap(), chunk);
+    for cut in 0..wire.len() {
+        match decode_chunk(&wire[..cut]) {
+            Ok(c) => panic!(
+                "cut {cut}: decoded {} frames from a torn response",
+                c.frames.len()
+            ),
+            Err(ShipError::Truncated { version, .. } | ShipError::Corrupt { version, .. }) => {
+                assert_eq!(version, SHIP_VERSION, "cut {cut}");
+            }
+            Err(other) => panic!("cut {cut}: expected a versioned decode error, got {other}"),
+        }
+    }
+    drop(wal);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Replay attack / duplicate delivery: applying the same chunk twice
+/// is a typed [`ShipError::StaleSequence`] and appends nothing — the
+/// follower's log is byte-for-byte what a single delivery leaves.
+#[test]
+fn a_replayed_chunk_is_a_stale_sequence_error_and_appends_nothing() {
+    let p_dir = tmp_dir("ship_replay_p");
+    let f_dir = tmp_dir("ship_replay_f");
+    let opts = || WalOptions {
+        fsync: false,
+        ..WalOptions::default()
+    };
+    let (primary, _) = Wal::open(&p_dir, opts()).unwrap();
+    let payloads = random_payloads(0xFDC_D0B1, 6);
+    for p in &payloads {
+        primary.append(p).unwrap();
+    }
+    let chunk = primary.ship_chunk(0, usize::MAX).unwrap();
+    let (follower, _) = Wal::open(&f_dir, opts()).unwrap();
+    assert_eq!(follower.apply_chunk(&chunk).unwrap(), 6);
+    match follower.apply_chunk(&chunk) {
+        Err(ShipError::StaleSequence {
+            version,
+            expected,
+            found,
+        }) => {
+            assert_eq!(version, SHIP_VERSION);
+            assert_eq!(expected, 7);
+            assert_eq!(found, 1);
+        }
+        other => panic!("expected StaleSequence, got {other:?}"),
+    }
+    assert_eq!(follower.stats().last_seq, 6);
+    drop(follower);
+    let (_, f_rec) = Wal::open(&f_dir, opts()).unwrap();
+    let expected: Vec<(u64, Vec<u8>)> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64 + 1, p.clone()))
+        .collect();
+    assert_eq!(f_rec.records, expected);
+    drop(primary);
+    fs::remove_dir_all(&p_dir).ok();
+    fs::remove_dir_all(&f_dir).ok();
+}
+
+/// A follower that falls behind a checkpoint-truncated segment gets a
+/// typed [`ShipError::WatermarkGap`] carrying the watermark it must
+/// rebase to — never frames that silently start past its position.
+#[test]
+fn fetching_past_a_checkpoint_truncated_segment_is_a_watermark_gap() {
+    let dir = tmp_dir("ship_gap");
+    let (wal, _) = Wal::open(
+        &dir,
+        WalOptions {
+            segment_bytes: 96,
+            fsync: false,
+            ..WalOptions::default()
+        },
+    )
+    .unwrap();
+    for i in 0..8u8 {
+        wal.append(&[i; 40]).unwrap();
+    }
+    let truncated = wal.checkpoint(6).unwrap();
+    assert!(truncated > 0, "checkpoint removed no segments");
+    match wal.ship_chunk(0, usize::MAX) {
+        Err(ShipError::WatermarkGap {
+            version,
+            requested_after,
+            checkpoint_seq,
+        }) => {
+            assert_eq!(version, SHIP_VERSION);
+            assert_eq!(requested_after, 0);
+            assert_eq!(checkpoint_seq, 6);
+        }
+        other => panic!("expected WatermarkGap, got {other:?}"),
+    }
+    // Rebasing to the advertised watermark resumes cleanly.
+    let chunk = wal.ship_chunk(6, usize::MAX).unwrap();
+    assert_eq!(
+        chunk.frames.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        vec![7, 8]
+    );
+    drop(wal);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Fault injection through the [`WalStorage`] seam on the *apply*
+/// side: a short write mid-chunk surfaces as [`ShipError::Io`], the
+/// follower's log recovers to a contiguous prefix of the primary's
+/// records (no silent gap), and shipping resumes from the surviving
+/// watermark to full catch-up.
+#[test]
+fn apply_chunk_over_faulty_storage_fails_loudly_and_resumes_after_repair() {
+    let p_dir = tmp_dir("ship_fault_p");
+    let f_dir = tmp_dir("ship_fault_f");
+    let (primary, _) = Wal::open(
+        &p_dir,
+        WalOptions {
+            fsync: false,
+            ..WalOptions::default()
+        },
+    )
+    .unwrap();
+    let payloads = random_payloads(0xFDC_FA17, 6);
+    for p in &payloads {
+        primary.append(p).unwrap();
+    }
+    let expected: Vec<(u64, Vec<u8>)> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64 + 1, p.clone()))
+        .collect();
+    let chunk = primary.ship_chunk(0, usize::MAX).unwrap();
+    {
+        // Write #0 is the segment header; the first frame write after
+        // it dies half-written, whatever batching the group commit
+        // chose.
+        let (follower, _) = Wal::open(&f_dir, faulty_opts(Fault::ShortWrite, 1)).unwrap();
+        let err = follower.apply_chunk(&chunk).unwrap_err();
+        assert!(matches!(err, ShipError::Io(_)), "{err}");
+    }
+    // No silent gap: recovery keeps a contiguous prefix of the
+    // primary's records and nothing else.
+    let (follower, f_rec) = Wal::open(
+        &f_dir,
+        WalOptions {
+            fsync: false,
+            ..WalOptions::default()
+        },
+    )
+    .unwrap();
+    let kept = f_rec.records.len();
+    assert!(kept < expected.len(), "the injected fault lost nothing?");
+    assert_eq!(f_rec.records, expected[..kept]);
+    // Resume from the surviving watermark; the follower catches up to
+    // an identical log.
+    let resume = primary.ship_chunk(f_rec.last_seq, usize::MAX).unwrap();
+    assert_eq!(follower.apply_chunk(&resume).unwrap(), 6);
+    drop(follower);
+    let (_, f_rec) = Wal::open(
+        &f_dir,
+        WalOptions {
+            fsync: false,
+            ..WalOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(f_rec.records, expected);
+    drop(primary);
+    fs::remove_dir_all(&p_dir).ok();
+    fs::remove_dir_all(&f_dir).ok();
 }
 
 /// Whole frames decodable from a segment image (header included).

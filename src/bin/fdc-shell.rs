@@ -15,10 +15,17 @@
 //! the next start, so a session (or a `\listen` server) survives a
 //! crash. `\wal` shows the log position.
 //!
+//! `--replica-of <host:port>` (with `--wal <dir>` as the local log)
+//! starts a read-only follower replica of a primary `\listen` server:
+//! the primary's WAL is shipped into the local log and applied
+//! continuously, reads serve from the replicated state, and writes are
+//! rejected until `POST /promote` turns the follower into a primary.
+//!
 //! ```sh
 //! cargo run --release --bin fdc-shell                 # demo cube
 //! cargo run --release --bin fdc-shell -- data.csv     # your data (monthly)
 //! cargo run --release --bin fdc-shell -- --wal wal/   # durable inserts
+//! cargo run --release --bin fdc-shell -- --wal fwal/ --replica-of 127.0.0.1:8080
 //! ```
 
 use fdc::advisor::{summarize, Advisor, AdvisorOptions};
@@ -41,6 +48,20 @@ fn main() {
             eprintln!("--wal needs a directory");
             std::process::exit(1);
         }
+    }
+    let mut replica_of: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--replica-of") {
+        args.remove(i);
+        if i < args.len() {
+            replica_of = Some(args.remove(i));
+        } else {
+            eprintln!("--replica-of needs a primary address (host:port)");
+            std::process::exit(1);
+        }
+    }
+    if replica_of.is_some() && wal_dir.is_none() {
+        eprintln!("--replica-of needs --wal <dir> for the follower's local log");
+        std::process::exit(1);
     }
     let dataset = match args.first() {
         Some(path) => {
@@ -97,30 +118,57 @@ fn main() {
             std::process::exit(1);
         }
     };
-    // Attach (replaying) the write-ahead log before serving the prompt:
+    // Replica mode: the WAL directory is the follower's *local* log —
+    // `open_follower` replays it, starts the fetch loop against the
+    // primary and hands back a read-only engine. Otherwise attach
+    // (replaying) the write-ahead log before serving the prompt:
     // inserts acknowledged by a previous session come back, future ones
     // are fsynced before their `ok`.
-    let db = match &wal_dir {
-        Some(dir) => match db.attach_wal(dir, fdc::wal::WalOptions::default()) {
-            Ok((db, report)) => {
+    let mut replica: Option<Arc<fdc::serve::Replica>> = None;
+    let db: Arc<F2db> = if let Some(primary) = replica_of.clone() {
+        let follower_opts = fdc::serve::ServeOptions {
+            wal_dir: wal_dir.clone(),
+            replica_of: Some(primary.clone()),
+            ..fdc::serve::ServeOptions::default()
+        };
+        let follower = db.with_drift_monitoring(AccuracyOptions::default());
+        match fdc::serve::open_follower(follower, &follower_opts) {
+            Ok((db, r)) => {
                 eprintln!(
-                    "wal: {} — replayed {} batch(es) / {} row(s), resumed from seq {}, {} torn byte(s) dropped",
-                    dir.display(),
-                    report.replayed_batches,
-                    report.replayed_rows,
-                    report.resumed_from_seq,
-                    report.wal.truncated_bytes,
+                    "follower replica of {primary}: local log at seq {}, read-only until promoted",
+                    r.applied_seq()
                 );
+                replica = Some(r);
                 db
             }
             Err(e) => {
-                eprintln!("wal attach failed: {e}");
+                eprintln!("replica start failed: {e}");
                 std::process::exit(1);
             }
-        },
-        None => db,
+        }
+    } else {
+        let db = match &wal_dir {
+            Some(dir) => match db.attach_wal(dir, fdc::wal::WalOptions::default()) {
+                Ok((db, report)) => {
+                    eprintln!(
+                        "wal: {} — replayed {} batch(es) / {} row(s), resumed from seq {}, {} torn byte(s) dropped",
+                        dir.display(),
+                        report.replayed_batches,
+                        report.replayed_rows,
+                        report.resumed_from_seq,
+                        report.wal.truncated_bytes,
+                    );
+                    db
+                }
+                Err(e) => {
+                    eprintln!("wal attach failed: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => db,
+        };
+        Arc::new(db.with_drift_monitoring(AccuracyOptions::default()))
     };
-    let db = Arc::new(db.with_drift_monitoring(AccuracyOptions::default()));
 
     let dims: Vec<String> = db
         .dataset()
@@ -313,15 +361,29 @@ fn main() {
                 continue;
             }
             let port = rest.trim().parse::<u16>().unwrap_or(0);
-            match fdc::serve::Server::start(
-                Arc::clone(&db),
-                port,
-                fdc::serve::ServeOptions::default(),
-            ) {
+            let listen_opts = fdc::serve::ServeOptions {
+                replica_of: replica_of.clone(),
+                ..fdc::serve::ServeOptions::default()
+            };
+            let started = match &replica {
+                Some(r) => fdc::serve::Server::start_with_replica(
+                    Arc::clone(&db),
+                    port,
+                    listen_opts,
+                    Arc::clone(r),
+                ),
+                None => fdc::serve::Server::start(Arc::clone(&db), port, listen_opts),
+            };
+            match started {
                 Ok(s) => {
                     println!(
-                        "forecast server on http://{} — POST /query /explain /insert /maintain, GET /stats /healthz",
-                        s.addr()
+                        "forecast server on http://{} — POST /query /explain /insert /maintain, GET /stats /healthz{}",
+                        s.addr(),
+                        if replica.is_some() {
+                            " (follower: writes 409 until POST /promote)"
+                        } else {
+                            ""
+                        }
                     );
                     forecast_server = Some(s);
                 }
@@ -391,6 +453,11 @@ fn main() {
             ),
             Err(e) => eprintln!("forecast server shutdown failed: {e}"),
         }
+    }
+    if let Some(r) = replica.take() {
+        // Stop the fetch loop cleanly; the local log stays as
+        // replicated and the next start resumes from it.
+        r.seal();
     }
     drop(server);
 }
