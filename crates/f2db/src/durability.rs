@@ -40,10 +40,18 @@ pub enum WalRecord {
     InsertBatch {
         /// `(base node, measure)` pairs.
         rows: Vec<(NodeId, f64)>,
+        /// The sampled `(trace_id, span_id)` active when the batch was
+        /// logged, if any. Carried through shipping so a follower's
+        /// apply span joins the originating request's trace. Untraced
+        /// batches encode as the legacy tag and decode as `None`.
+        trace: Option<(u128, u64)>,
     },
 }
 
 const TAG_INSERT_BATCH: u8 = 1;
+/// Tag 2: an `InsertBatch` carrying its trace identity — `u64` trace-id
+/// high half, low half, span id, then the row payload of tag 1.
+const TAG_INSERT_BATCH_TRACED: u8 = 2;
 
 impl WalRecord {
     /// Encodes the record payload (framing — length, checksum, sequence
@@ -51,8 +59,16 @@ impl WalRecord {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::default();
         match self {
-            WalRecord::InsertBatch { rows } => {
-                e.put_u8(TAG_INSERT_BATCH);
+            WalRecord::InsertBatch { rows, trace } => {
+                match trace {
+                    Some((trace_id, span_id)) => {
+                        e.put_u8(TAG_INSERT_BATCH_TRACED);
+                        e.put_u64((trace_id >> 64) as u64);
+                        e.put_u64(*trace_id as u64);
+                        e.put_u64(*span_id);
+                    }
+                    None => e.put_u8(TAG_INSERT_BATCH),
+                }
                 e.put_len(rows.len());
                 for &(node, value) in rows {
                     e.put_u64(node as u64);
@@ -68,8 +84,17 @@ impl WalRecord {
     /// is a format mismatch, not a torn write.
     pub fn decode(bytes: &[u8]) -> Result<WalRecord> {
         let mut d = Decoder::raw(bytes);
-        match d.get_u8()? {
-            TAG_INSERT_BATCH => {
+        let tag = d.get_u8()?;
+        match tag {
+            TAG_INSERT_BATCH | TAG_INSERT_BATCH_TRACED => {
+                let trace = if tag == TAG_INSERT_BATCH_TRACED {
+                    let hi = d.get_u64()?;
+                    let lo = d.get_u64()?;
+                    let span_id = d.get_u64()?;
+                    Some(((u128::from(hi) << 64) | u128::from(lo), span_id))
+                } else {
+                    None
+                };
                 let n = d.get_len()?;
                 let mut rows = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
@@ -77,12 +102,27 @@ impl WalRecord {
                     let value = d.get_f64()?;
                     rows.push((node, value));
                 }
-                Ok(WalRecord::InsertBatch { rows })
+                Ok(WalRecord::InsertBatch { rows, trace })
             }
             t => Err(F2dbError::Storage(format!(
                 "unknown wal record tag {t} (this build reads wal record format v{CONTAINER_VERSION})"
             ))),
         }
+    }
+
+    /// Reads just the trace identity off an encoded record, without
+    /// decoding (or cloning) the row payload — the ship path uses this
+    /// to let a `/wal/fetch` span join the originating insert's trace.
+    /// `None` for untraced records or anything that does not parse.
+    pub fn peek_trace(bytes: &[u8]) -> Option<(u128, u64)> {
+        let mut d = Decoder::raw(bytes);
+        if d.get_u8().ok()? != TAG_INSERT_BATCH_TRACED {
+            return None;
+        }
+        let hi = d.get_u64().ok()?;
+        let lo = d.get_u64().ok()?;
+        let span_id = d.get_u64().ok()?;
+        Some(((u128::from(hi) << 64) | u128::from(lo), span_id))
     }
 }
 
@@ -236,15 +276,47 @@ mod tests {
     #[test]
     fn wal_record_round_trips() {
         let records = [
-            WalRecord::InsertBatch { rows: vec![] },
+            WalRecord::InsertBatch {
+                rows: vec![],
+                trace: None,
+            },
             WalRecord::InsertBatch {
                 rows: vec![(0, 1.5), (7, -2.25), (usize::MAX >> 1, 0.0)],
+                trace: None,
+            },
+            WalRecord::InsertBatch {
+                rows: vec![(3, 4.5)],
+                trace: Some((
+                    0xfeed_f00d_dead_beef_cafe_babe_0123_4567,
+                    0x89ab_cdef_0011_2233,
+                )),
             },
         ];
         for r in &records {
             let bytes = r.encode();
             assert_eq!(&WalRecord::decode(&bytes).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn untraced_records_keep_the_legacy_tag() {
+        // Backward/forward compatibility: an untraced batch must encode
+        // byte-identically to the pre-trace format (tag 1), so logs
+        // written by this build replay on the previous one as long as
+        // tracing was off.
+        let bytes = WalRecord::InsertBatch {
+            rows: vec![(1, 2.0)],
+            trace: None,
+        }
+        .encode();
+        assert_eq!(bytes[0], TAG_INSERT_BATCH);
+        let traced = WalRecord::InsertBatch {
+            rows: vec![(1, 2.0)],
+            trace: Some((9, 9)),
+        }
+        .encode();
+        assert_eq!(traced[0], TAG_INSERT_BATCH_TRACED);
+        assert_eq!(traced.len(), bytes.len() + 24);
     }
 
     #[test]
@@ -263,6 +335,7 @@ mod tests {
     fn truncated_record_is_error() {
         let bytes = WalRecord::InsertBatch {
             rows: vec![(1, 2.0), (3, 4.0)],
+            trace: Some((5, 6)),
         }
         .encode();
         for cut in 1..bytes.len() {

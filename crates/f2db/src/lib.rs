@@ -691,8 +691,12 @@ impl F2db {
         match self.wal.get() {
             None => Ok(None),
             Some(wal) => {
+                // Embed the sampled trace identity so a follower that
+                // replays this record can join its apply span to the
+                // originating request's trace.
                 let payload = WalRecord::InsertBatch {
                     rows: rows.to_vec(),
+                    trace: fdc_obs::trace::current_sampled_pair(),
                 }
                 .encode();
                 wal.submit(&payload)
@@ -707,10 +711,14 @@ impl F2db {
     fn wal_wait(&self, ticket: Option<fdc_wal::Append>) -> Result<()> {
         match ticket {
             None => Ok(()),
-            Some(t) => t
-                .wait()
-                .map(|_| ())
-                .map_err(|e| F2dbError::Storage(e.to_string())),
+            Some(t) => {
+                // The group-commit wait is the dominant insert latency
+                // under fsync; give it its own span in the trace.
+                let _span = fdc_obs::span!("f2db.wal_commit");
+                t.wait()
+                    .map(|_| ())
+                    .map_err(|e| F2dbError::Storage(e.to_string()))
+            }
         }
     }
 
@@ -1016,7 +1024,7 @@ impl F2db {
                 continue;
             }
             match WalRecord::decode(payload)? {
-                WalRecord::InsertBatch { rows } => {
+                WalRecord::InsertBatch { rows, .. } => {
                     // `self.wal` is still unset here, so the re-apply
                     // does not re-log the records.
                     advances += self.insert_batch_inner(&rows)? as u64;

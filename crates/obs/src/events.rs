@@ -121,6 +121,14 @@ pub enum Event {
         /// The follower's applied watermark at start.
         applied_seq: u64,
     },
+    /// A labeled-series family hit its cardinality bound for the first
+    /// time in this process — subsequent samples of novel label sets
+    /// land in the family's shared overflow series (warning: label
+    /// values are likely unbounded, e.g. a raw node id).
+    SeriesOverflow {
+        /// The metric family that overflowed.
+        family: String,
+    },
     /// A follower replica was promoted to a writable primary.
     ReplicaPromoted {
         /// The applied watermark when replication sealed.
@@ -149,6 +157,7 @@ impl Event {
             Event::ServeStart { .. } => "ServeStart",
             Event::ServeShutdown { .. } => "ServeShutdown",
             Event::ReplicaStart { .. } => "ReplicaStart",
+            Event::SeriesOverflow { .. } => "SeriesOverflow",
             Event::ReplicaPromoted { .. } => "ReplicaPromoted",
         }
     }
@@ -221,6 +230,11 @@ impl Event {
                 primary,
                 applied_seq,
             } => format!("\"primary\":\"{primary}\",\"applied_seq\":{applied_seq}"),
+            Event::SeriesOverflow { family } => {
+                // Family names are code-controlled dotted paths — no
+                // characters needing JSON escapes.
+                format!("\"family\":\"{family}\"")
+            }
             Event::ReplicaPromoted {
                 applied_seq,
                 tail_records,
@@ -240,6 +254,12 @@ pub struct TimedEvent {
     pub seq: u64,
     /// Wall-clock publication time, milliseconds since the Unix epoch.
     pub unix_ms: u64,
+    /// Trace id of the sampled span active when the event was
+    /// published, if any — makes `/events` entries joinable against the
+    /// distributed-trace exports.
+    pub trace_id: Option<u128>,
+    /// Span id of that active span.
+    pub span_id: Option<u64>,
     /// The event itself.
     pub event: Event,
 }
@@ -247,8 +267,14 @@ pub struct TimedEvent {
 impl TimedEvent {
     /// One JSON object per event — the JSONL line format.
     pub fn to_json(&self) -> String {
+        let trace = match (self.trace_id, self.span_id) {
+            (Some(t), Some(s)) => {
+                format!("\"trace_id\":\"{t:032x}\",\"span_id\":\"{s:016x}\",")
+            }
+            _ => String::new(),
+        };
         format!(
-            "{{\"seq\":{},\"unix_ms\":{},\"type\":\"{}\",{}}}",
+            "{{\"seq\":{},\"unix_ms\":{},{trace}\"type\":\"{}\",{}}}",
             self.seq,
             self.unix_ms,
             self.event.kind(),
@@ -316,9 +342,12 @@ impl Journal {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         self.total.fetch_add(1, Ordering::Relaxed);
         crate::counter(crate::names::OBS_JOURNAL_EVENTS).incr();
+        let trace = crate::trace::current_sampled_pair();
         let timed = TimedEvent {
             seq,
             unix_ms: now_unix_ms(),
+            trace_id: trace.map(|(t, _)| t),
+            span_id: trace.map(|(_, s)| s),
             event,
         };
         let mut inner = self.inner.lock().unwrap();
@@ -475,6 +504,57 @@ mod tests {
             assert!(line.contains("\"type\":\"CatalogSave\""));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn events_inside_a_sampled_span_carry_trace_ids() {
+        let j = Journal::with_capacity(8);
+        j.publish(Event::CatalogSave { bytes: 1 });
+        let ctx = crate::trace::TraceContext::root(true);
+        {
+            let _g = crate::trace::activate(ctx);
+            j.publish(Event::BatchAdvance {
+                time_index: 7,
+                model_updates: 1,
+                invalidations: 0,
+                drift_alerts: 0,
+            });
+        }
+        let recent = j.recent(2);
+        assert_eq!(recent[0].trace_id, None);
+        assert_eq!(recent[0].span_id, None);
+        assert!(!recent[0].to_json().contains("trace_id"));
+        assert_eq!(recent[1].trace_id, Some(ctx.trace_id));
+        assert_eq!(recent[1].span_id, Some(ctx.span_id));
+        let json = recent[1].to_json();
+        assert!(
+            json.contains(&format!("\"trace_id\":\"{:032x}\"", ctx.trace_id)),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!("\"span_id\":\"{:016x}\"", ctx.span_id)),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn unsampled_span_events_stay_bare() {
+        let j = Journal::with_capacity(8);
+        let _g = crate::trace::activate(crate::trace::TraceContext::root(false));
+        j.publish(Event::CatalogSave { bytes: 2 });
+        assert_eq!(j.recent(1)[0].trace_id, None);
+    }
+
+    #[test]
+    fn series_overflow_event_renders_family() {
+        let j = Journal::with_capacity(8);
+        j.publish(Event::SeriesOverflow {
+            family: "f2db.node.smape".to_string(),
+        });
+        let json = j.recent_json(1);
+        assert!(json.contains("\"type\":\"SeriesOverflow\""), "{json}");
+        assert!(json.contains("\"family\":\"f2db.node.smape\""), "{json}");
     }
 
     #[test]

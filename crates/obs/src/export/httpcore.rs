@@ -49,6 +49,15 @@ impl Request {
     pub fn path_query(&self) -> (&str, &str) {
         split_target(&self.target)
     }
+
+    /// The caller's [`TraceContext`], parsed from the `traceparent`
+    /// header. `None` when the header is absent *or malformed* — a bad
+    /// caller gets a fresh root trace, never an error.
+    pub fn trace_context(&self) -> Option<crate::trace::TraceContext> {
+        crate::trace::TraceContext::parse_traceparent(
+            self.header(crate::trace::TRACEPARENT_HEADER)?,
+        )
+    }
 }
 
 /// Splits a request target into `(path, query)`.
@@ -298,5 +307,20 @@ mod tests {
     fn split_target_handles_bare_paths() {
         assert_eq!(split_target("/a/b"), ("/a/b", ""));
         assert_eq!(split_target("/a?x=1&y=2"), ("/a", "x=1&y=2"));
+    }
+
+    #[test]
+    fn trace_context_parses_valid_and_ignores_malformed() {
+        let good = parse(
+            b"GET /q HTTP/1.1\r\ntraceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01\r\n\r\n",
+        )
+        .unwrap();
+        let ctx = good.trace_context().unwrap();
+        assert_eq!(ctx.trace_id, 0x4bf9_2f35_77b3_4da6_a3ce_929d_0e0e_4736);
+        assert!(ctx.sampled);
+        let bad = parse(b"GET /q HTTP/1.1\r\ntraceparent: junk-header\r\n\r\n").unwrap();
+        assert_eq!(bad.trace_context(), None);
+        let none = parse(b"GET /q HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(none.trace_context(), None);
     }
 }

@@ -106,7 +106,21 @@ pub fn encode_prometheus(snap: &Snapshot) -> String {
             } else {
                 format!("{body},le=\"+Inf\"")
             };
-            push_sample(&mut out, &bucket_name, &inf_body, &h.count.to_string());
+            match h.exemplar {
+                // OpenMetrics exemplar: ` # {labels} value timestamp`.
+                // Attached to the `+Inf` bucket, whose bound trivially
+                // admits any observed value.
+                Some(ex) => {
+                    out.push_str(&format!(
+                        "{bucket_name}{{{inf_body}}} {} # {{trace_id=\"{:032x}\"}} {} {}\n",
+                        h.count,
+                        ex.trace_id,
+                        ex.value,
+                        fmt_f64(ex.unix_ms as f64 / 1000.0),
+                    ));
+                }
+                None => push_sample(&mut out, &bucket_name, &inf_body, &h.count.to_string()),
+            }
             push_sample(&mut out, &format!("{family}_sum"), body, &h.sum.to_string());
             push_sample(
                 &mut out,
@@ -225,6 +239,34 @@ mod tests {
         let text = encode_prometheus(&r.snapshot());
         assert_eq!(text.matches("# TYPE family_hits counter").count(), 1);
         assert_eq!(text.matches("family_hits{node=").count(), 3);
+    }
+
+    #[test]
+    fn traced_observations_emit_openmetrics_exemplars() {
+        let r = Registry::default();
+        let h = r.histogram("exq.ns");
+        h.record(1000);
+        h.record_with_trace(50_000, 0xdead_beef);
+        let text = encode_prometheus(&r.snapshot());
+        // The +Inf bucket carries the exemplar: bucket sample, then
+        // ` # {trace_id="..."} value timestamp`.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("exq_ns_bucket{le=\"+Inf\"}"))
+            .unwrap();
+        assert!(line.contains(" 2 # {trace_id=\""), "{line}");
+        assert!(line.contains(&format!("{:032x}", 0xdead_beefu64)), "{line}");
+        assert!(line.contains("\"} 50000 "), "{line}");
+        // Untraced histograms keep the plain bucket line.
+        let plain = encode_prometheus(&{
+            let r2 = Registry::default();
+            r2.histogram("plain.ns").record(5);
+            r2.snapshot()
+        });
+        assert!(
+            plain.contains("plain_ns_bucket{le=\"+Inf\"} 1\n"),
+            "{plain}"
+        );
     }
 
     #[test]

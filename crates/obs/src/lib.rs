@@ -53,22 +53,27 @@ pub mod metrics;
 pub mod names;
 pub mod sketch;
 pub mod span;
+pub mod trace;
 
 pub use accuracy::{AccuracyOptions, DriftAlert, DriftTrigger, KeyAccuracy, RollingAccuracy};
 pub use events::{journal, Event, Journal, TimedEvent};
 pub use export::http::ObsServer;
 pub use export::httpcore;
 pub use export::prom::encode_prometheus;
-pub use export::trace::TraceCollector;
+pub use export::trace::{
+    install_env_exporter, merge_trace_documents, merge_trace_files, TraceCollector,
+};
 pub use labels::{prometheus_name, series_key, split_series, MAX_SERIES_PER_FAMILY};
 pub use metrics::{
-    registry, Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    registry, Counter, Exemplar, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry,
+    Snapshot, EXEMPLAR_WINDOW,
 };
 pub use sketch::{MomentSummary, SketchDecodeError, TDigest};
 pub use span::{
     set_spans_enabled, set_subscriber, spans_enabled, take_subscriber, FlameCollector, SpanGuard,
-    SpanSubscriber,
+    SpanSubscriber, SpanTrace,
 };
+pub use trace::{TraceContext, TRACEPARENT_HEADER};
 
 use std::sync::Arc;
 

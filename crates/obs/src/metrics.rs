@@ -9,11 +9,11 @@
 use crate::labels::{overflow_series, series_key, MAX_SERIES_PER_FAMILY};
 use crate::names;
 use crate::sketch::TDigest;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
 /// (1 ≤ i ≤ 64) holds values whose bit length is `i`, i.e. the range
@@ -143,6 +143,8 @@ pub struct Histogram {
     min: AtomicU64,
     max: AtomicU64,
     digests: [Mutex<TDigest>; DIGEST_SHARDS],
+    /// Worst traced observation of the current exemplar window.
+    exemplar: Mutex<Option<(Exemplar, Instant)>>,
 }
 
 impl Default for Histogram {
@@ -155,8 +157,28 @@ impl Default for Histogram {
             digests: std::array::from_fn(|_| {
                 Mutex::new(TDigest::new(HISTOGRAM_DIGEST_COMPRESSION))
             }),
+            exemplar: Mutex::new(None),
         }
     }
+}
+
+/// Length of a histogram's exemplar window: within one window the
+/// exemplar tracks the *worst* traced observation; once the window
+/// ages out, the next traced observation starts a fresh one, so a
+/// startup spike cannot pin the exemplar forever.
+pub const EXEMPLAR_WINDOW: Duration = Duration::from_secs(10);
+
+/// A traced observation attached to a histogram — the OpenMetrics
+/// exemplar: the sample's value, the trace that produced it, and when.
+/// A p99 spike on `/metrics` thereby links directly to a trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed sample (nanoseconds for `.ns` histograms).
+    pub value: u64,
+    /// Trace id of the request that produced the sample.
+    pub trace_id: u128,
+    /// Wall-clock observation time, ms since the Unix epoch.
+    pub unix_ms: u64,
 }
 
 /// Bucket index of a value: 0 for 0, otherwise its bit length.
@@ -220,6 +242,46 @@ impl Histogram {
         self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Records a sample carrying its trace id, making it an exemplar
+    /// candidate: the slot keeps the worst observation per
+    /// [`EXEMPLAR_WINDOW`]. The plain [`Histogram::record`] path stays
+    /// lock-free; only traced (i.e. sampled) observations pay the
+    /// exemplar mutex.
+    pub fn record_with_trace(&self, v: u64, trace_id: u128) {
+        self.record(v);
+        let now = Instant::now();
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut slot = self.exemplar.lock().unwrap();
+        let fresh = Exemplar {
+            value: v,
+            trace_id,
+            unix_ms,
+        };
+        match slot.as_mut() {
+            Some((ex, window_start)) => {
+                if now.duration_since(*window_start) > EXEMPLAR_WINDOW {
+                    *slot = Some((fresh, now));
+                } else if v >= ex.value {
+                    *ex = fresh;
+                }
+            }
+            None => *slot = Some((fresh, now)),
+        }
+    }
+
+    /// [`Histogram::record_with_trace`] for durations in nanoseconds.
+    pub fn record_duration_with_trace(&self, d: Duration, trace_id: u128) {
+        self.record_with_trace(d.as_nanos().min(u128::from(u64::MAX)) as u64, trace_id);
+    }
+
+    /// The current exemplar, if a traced observation has been recorded.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar.lock().unwrap().map(|(e, _)| e)
+    }
+
     /// Merges the thread-striped digest shards into one digest — the
     /// percentile source for snapshots, and the partial a router would
     /// ship across processes via [`TDigest::encode`].
@@ -275,10 +337,11 @@ impl Histogram {
             p99: percentile(0.99),
             p999: percentile(0.999),
             buckets,
+            exemplar: self.exemplar(),
         }
     }
 
-    /// Resets all buckets, statistics, and digest shards.
+    /// Resets all buckets, statistics, digest shards and the exemplar.
     pub fn reset(&self) {
         for c in &self.counts {
             c.store(0, Ordering::Relaxed);
@@ -289,6 +352,7 @@ impl Histogram {
         for shard in &self.digests {
             *shard.lock().unwrap() = TDigest::new(HISTOGRAM_DIGEST_COMPRESSION);
         }
+        *self.exemplar.lock().unwrap() = None;
     }
 }
 
@@ -315,6 +379,8 @@ pub struct HistogramSnapshot {
     /// [`Histogram`]). The Prometheus exporter renders these as
     /// cumulative `le` buckets.
     pub buckets: [u64; BUCKETS],
+    /// Worst traced observation of the current exemplar window, if any.
+    pub exemplar: Option<Exemplar>,
 }
 
 impl HistogramSnapshot {
@@ -357,6 +423,8 @@ pub struct Registry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     float_gauges: RwLock<BTreeMap<String, Arc<FloatGauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    /// Families that already logged their one overflow warning event.
+    overflow_warned: Mutex<BTreeSet<String>>,
 }
 
 fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -372,20 +440,22 @@ fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc
 /// is redirected to the family's shared `{overflow="true"}` series and
 /// reported via the `obs.series.dropped` counter handed in by the
 /// caller (passed, not resolved here, to keep the drop path free of
-/// recursion into this function).
+/// recursion into this function). The returned flag says whether this
+/// call overflowed, so the caller can attribute the drop to its family
+/// *after* releasing the map lock.
 fn intern_labeled<T: Default>(
     map: &RwLock<BTreeMap<String, Arc<T>>>,
     name: &str,
     labels: &[(&str, &str)],
     dropped: &Counter,
-) -> Arc<T> {
+) -> (Arc<T>, bool) {
     let key = series_key(name, labels);
     if let Some(m) = map.read().unwrap().get(&key) {
-        return Arc::clone(m);
+        return (Arc::clone(m), false);
     }
     let mut w = map.write().unwrap();
     if w.contains_key(&key) {
-        return Arc::clone(&w[&key]);
+        return (Arc::clone(&w[&key]), false);
     }
     // New series: count the family's existing labeled series. The
     // prefix `name{` cannot collide with other families because `{`
@@ -397,9 +467,12 @@ fn intern_labeled<T: Default>(
         .count();
     if !labels.is_empty() && family_series >= MAX_SERIES_PER_FAMILY {
         dropped.incr();
-        return Arc::clone(w.entry(overflow_series(name)).or_default());
+        return (
+            Arc::clone(w.entry(overflow_series(name)).or_default()),
+            true,
+        );
     }
-    Arc::clone(w.entry(key).or_default())
+    (Arc::clone(w.entry(key).or_default()), false)
 }
 
 impl Registry {
@@ -427,25 +500,63 @@ impl Registry {
     /// label order, bounded per-family cardinality).
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let dropped = self.counter(names::OBS_SERIES_DROPPED);
-        intern_labeled(&self.counters, name, labels, &dropped)
+        let (c, overflowed) = intern_labeled(&self.counters, name, labels, &dropped);
+        if overflowed {
+            self.note_overflow(name);
+        }
+        c
     }
 
     /// Resolves the labeled gauge series `name{labels}`.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let dropped = self.counter(names::OBS_SERIES_DROPPED);
-        intern_labeled(&self.gauges, name, labels, &dropped)
+        let (g, overflowed) = intern_labeled(&self.gauges, name, labels, &dropped);
+        if overflowed {
+            self.note_overflow(name);
+        }
+        g
     }
 
     /// Resolves the labeled float-gauge series `name{labels}`.
     pub fn float_gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
         let dropped = self.counter(names::OBS_SERIES_DROPPED);
-        intern_labeled(&self.float_gauges, name, labels, &dropped)
+        let (g, overflowed) = intern_labeled(&self.float_gauges, name, labels, &dropped);
+        if overflowed {
+            self.note_overflow(name);
+        }
+        g
     }
 
     /// Resolves the labeled histogram series `name{labels}`.
     pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let dropped = self.counter(names::OBS_SERIES_DROPPED);
-        intern_labeled(&self.histograms, name, labels, &dropped)
+        let (h, overflowed) = intern_labeled(&self.histograms, name, labels, &dropped);
+        if overflowed {
+            self.note_overflow(name);
+        }
+        h
+    }
+
+    /// Attributes a cardinality overflow to its family: bumps the
+    /// per-family `obs.labels.overflow{family=...}` counter (interned
+    /// directly — the family label set is code-controlled, so it cannot
+    /// itself overflow) and publishes one `SeriesOverflow` warning event
+    /// per family per process. Called after the series-map lock is
+    /// released; the plain `obs.series.dropped` total remains as the
+    /// family-blind aggregate.
+    fn note_overflow(&self, family: &str) {
+        let key = series_key(names::OBS_LABELS_OVERFLOW, &[("family", family)]);
+        intern(&self.counters, &key).incr();
+        let first = self
+            .overflow_warned
+            .lock()
+            .unwrap()
+            .insert(family.to_string());
+        if first {
+            crate::events::journal().publish(crate::events::Event::SeriesOverflow {
+                family: family.to_string(),
+            });
+        }
     }
 
     /// Snapshots every registered metric, sorted by name.
@@ -967,6 +1078,79 @@ mod tests {
                 .map(|(_, v)| *v),
             Some(1)
         );
+    }
+
+    #[test]
+    fn overflow_counts_are_attributed_to_the_family() {
+        // Regression: the overflow redirect used to lose the overflowed
+        // family's name — only the family-blind obs.series.dropped total
+        // moved. Overflow two distinct families and check each gets its
+        // own attributed count plus exactly one warning event.
+        let r = Registry::default();
+        let fam_a = "overflow_attr_test.alpha";
+        let fam_b = "overflow_attr_test.beta";
+        for i in 0..MAX_SERIES_PER_FAMILY + 3 {
+            let v = i.to_string();
+            r.counter_with(fam_a, &[("node", &v)]).incr();
+        }
+        for i in 0..MAX_SERIES_PER_FAMILY + 1 {
+            let v = i.to_string();
+            r.gauge_with(fam_b, &[("node", &v)]).set(1);
+        }
+        let key_a = series_key(names::OBS_LABELS_OVERFLOW, &[("family", fam_a)]);
+        let key_b = series_key(names::OBS_LABELS_OVERFLOW, &[("family", fam_b)]);
+        let snap = r.snapshot();
+        let get = |key: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == key)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get(&key_a), Some(3), "alpha overflowed 3 times");
+        assert_eq!(get(&key_b), Some(1), "beta overflowed once");
+        // Re-resolving an *existing* overflow label set must not count.
+        r.counter_with(fam_a, &[("node", "0")]).incr();
+        assert_eq!(
+            r.snapshot()
+                .counters
+                .iter()
+                .find(|(n, _)| n == &key_a)
+                .map(|(_, v)| *v),
+            Some(3)
+        );
+        // One warning event per family, in the global journal.
+        let warnings: Vec<_> = crate::events::journal()
+            .recent(usize::MAX)
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    &e.event,
+                    crate::events::Event::SeriesOverflow { family }
+                        if family == fam_a || family == fam_b
+                )
+            })
+            .collect();
+        assert_eq!(warnings.len(), 2, "exactly one warning per family");
+    }
+
+    #[test]
+    fn exemplar_tracks_worst_traced_observation() {
+        let h = Histogram::default();
+        assert_eq!(h.exemplar(), None);
+        h.record(1_000_000); // untraced: never an exemplar
+        assert_eq!(h.exemplar(), None);
+        h.record_with_trace(500, 0xaaaa);
+        h.record_with_trace(9_000, 0xbbbb);
+        h.record_with_trace(700, 0xcccc); // smaller: keeps the worst
+        let ex = h.exemplar().unwrap();
+        assert_eq!(ex.value, 9_000);
+        assert_eq!(ex.trace_id, 0xbbbb);
+        assert!(ex.unix_ms > 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplar, Some(ex));
+        assert_eq!(snap.count, 4);
+        h.reset();
+        assert_eq!(h.exemplar(), None);
     }
 
     #[test]

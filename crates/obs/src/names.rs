@@ -99,6 +99,10 @@ pub const ADVISOR_INDICATOR_CACHE_MISS: &str = "advisor.indicator.cache_miss";
 /// Counter: labeled series dropped because a family hit its cardinality
 /// bound (the sample lands in the family's `overflow="true"` series).
 pub const OBS_SERIES_DROPPED: &str = "obs.series.dropped";
+/// Counter family (label `family`): cardinality overflows attributed to
+/// the family that overflowed — unlike [`OBS_SERIES_DROPPED`], this
+/// keeps the overflowed family's name.
+pub const OBS_LABELS_OVERFLOW: &str = "obs.labels.overflow";
 /// Counter: HTTP requests served by the exporter.
 pub const OBS_HTTP_REQUESTS: &str = "obs.http.requests";
 /// Counter: events pushed into the journal.
@@ -127,6 +131,10 @@ pub const SERVE_REJECTED: &str = "serve.rejected";
 pub const SERVE_BATCH_FLUSHES: &str = "serve.batch.flushes";
 /// Histogram: rows per insert-coalescer flush.
 pub const SERVE_BATCH_FLUSH_ROWS: &str = "serve.batch.flush_rows";
+/// Counter: requests captured into the slow-query journal (latency past
+/// `ServeOptions::slow_threshold`, with `EXPLAIN ANALYZE` / wait
+/// breakdown attached).
+pub const SERVE_SLOW_CAPTURED: &str = "serve.slow.captured";
 
 // ---- Write-ahead log (`fdc-wal`) -------------------------------------
 
@@ -243,6 +251,7 @@ mod tests {
             ADVISOR_INDICATOR_CACHE_HIT,
             ADVISOR_INDICATOR_CACHE_MISS,
             OBS_SERIES_DROPPED,
+            OBS_LABELS_OVERFLOW,
             OBS_HTTP_REQUESTS,
             OBS_JOURNAL_EVENTS,
             OBS_SKETCH_MERGES,
@@ -253,6 +262,7 @@ mod tests {
             SERVE_REJECTED,
             SERVE_BATCH_FLUSHES,
             SERVE_BATCH_FLUSH_ROWS,
+            SERVE_SLOW_CAPTURED,
             WAL_APPENDS,
             WAL_APPENDED_BYTES,
             WAL_FSYNCS,

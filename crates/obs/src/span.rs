@@ -13,8 +13,13 @@
 //! summary. Span collection is cheap (two `Instant::now()` calls and
 //! one histogram record per span) and can be disabled globally with
 //! [`set_spans_enabled`] — disabled spans cost one relaxed atomic load.
+//! Threads running under an **unsampled** [`TraceContext`] skip span
+//! collection too (one thread-local read): the head-sampling decision
+//! made at request ingress covers every span under that request, which
+//! is what keeps tracing affordable at high sampling-out rates.
 
 use crate::metrics::registry;
+use crate::trace::{self, TraceContext};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -34,6 +39,19 @@ pub fn spans_enabled() -> bool {
     SPANS_ENABLED.load(Ordering::Relaxed)
 }
 
+/// A span's distributed-trace identity, minted at enter time when a
+/// *sampled* [`TraceContext`] is active on the thread. Spans opened
+/// outside any trace (or under an unsampled one) carry no `SpanTrace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanTrace {
+    /// Trace id shared across processes (from the active context).
+    pub trace_id: u128,
+    /// This span's own fresh 64-bit id.
+    pub span_id: u64,
+    /// The enclosing span's id (the context's id at enter time).
+    pub parent_span_id: u64,
+}
+
 /// Observer of span closures. Implementations must be cheap — they run
 /// inline in the instrumented thread on every span close.
 pub trait SpanSubscriber: Send + Sync {
@@ -41,6 +59,20 @@ pub trait SpanSubscriber: Send + Sync {
     /// `depth` its nesting depth (0 = root span), `elapsed` the
     /// wall-clock time between enter and close.
     fn on_close(&self, path: &str, depth: usize, elapsed: Duration);
+
+    /// Trace-aware close notification; `trace` is `Some` when the span
+    /// was opened under a sampled [`TraceContext`]. Defaults to
+    /// forwarding to [`SpanSubscriber::on_close`], so subscribers that
+    /// do not care about trace ids need no changes.
+    fn on_close_traced(
+        &self,
+        path: &str,
+        depth: usize,
+        elapsed: Duration,
+        _trace: Option<&SpanTrace>,
+    ) {
+        self.on_close(path, depth, elapsed);
+    }
 }
 
 fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn SpanSubscriber>>> {
@@ -71,16 +103,39 @@ pub struct SpanGuard {
     /// `None` when spans were disabled at enter time.
     start: Option<Instant>,
     depth: usize,
+    /// Trace identity minted at enter (sampled contexts only).
+    trace: Option<SpanTrace>,
+    /// Set when this guard pushed a child context that must be undone.
+    prev_ctx: Option<Option<TraceContext>>,
 }
 
 impl SpanGuard {
     /// Opens a span named `name` nested under the innermost open span
-    /// of the current thread.
+    /// of the current thread. When a sampled [`TraceContext`] is active
+    /// the span mints itself a child span id and becomes the active
+    /// context for its extent, so nested spans (and outbound hops) form
+    /// a parent/child chain under one trace id.
     pub fn enter(name: &str) -> SpanGuard {
         if !spans_enabled() {
             return SpanGuard {
                 start: None,
                 depth: 0,
+                trace: None,
+                prev_ctx: None,
+            };
+        }
+        // Head sampling is an opt-out that covers the whole request: a
+        // thread running under a context minted *unsampled* at ingress
+        // skips span collection entirely — no path build, no stack
+        // push, no histogram, no subscriber. Context-free work (advisor
+        // runs, maintenance threads) keeps recording as before.
+        let active = trace::current();
+        if matches!(active, Some(ctx) if !ctx.sampled) {
+            return SpanGuard {
+                start: None,
+                depth: 0,
+                trace: None,
+                prev_ctx: None,
             };
         }
         let depth = SPAN_STACK.with(|stack| {
@@ -98,10 +153,29 @@ impl SpanGuard {
             stack.push(path);
             stack.len() - 1
         });
+        let (trace, prev_ctx) = match active {
+            Some(ctx) if ctx.sampled => {
+                let child = ctx.child();
+                let trace = SpanTrace {
+                    trace_id: child.trace_id,
+                    span_id: child.span_id,
+                    parent_span_id: ctx.span_id,
+                };
+                (Some(trace), Some(trace::swap_current(Some(child))))
+            }
+            _ => (None, None),
+        };
         SpanGuard {
             start: Some(Instant::now()),
             depth,
+            trace,
+            prev_ctx,
         }
+    }
+
+    /// The trace identity minted for this span, if any.
+    pub fn trace(&self) -> Option<SpanTrace> {
+        self.trace
     }
 }
 
@@ -109,13 +183,16 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed();
+        if let Some(prev) = self.prev_ctx.take() {
+            trace::swap_current(prev);
+        }
         let path = SPAN_STACK.with(|stack| stack.borrow_mut().pop());
         let Some(path) = path else { return };
         registry()
             .histogram(&format!("span.{path}.ns"))
             .record_duration(elapsed);
         if let Some(sub) = subscriber_slot().read().unwrap().as_ref() {
-            sub.on_close(&path, self.depth, elapsed);
+            sub.on_close_traced(&path, self.depth, elapsed, self.trace.as_ref());
         }
     }
 }
@@ -225,5 +302,64 @@ mod tests {
     fn empty_collector_reports_no_spans() {
         let c = FlameCollector::default();
         assert!(c.summary().contains("no spans"));
+    }
+
+    #[test]
+    fn spans_mint_child_ids_under_sampled_context() {
+        let root = TraceContext::root(true);
+        let _ctx = trace::activate(root);
+        let outer = SpanGuard::enter("span_trace_test.outer");
+        let outer_trace = outer.trace().expect("sampled context mints a trace");
+        assert_eq!(outer_trace.trace_id, root.trace_id);
+        assert_eq!(outer_trace.parent_span_id, root.span_id);
+        {
+            let inner = SpanGuard::enter("inner");
+            let inner_trace = inner.trace().unwrap();
+            assert_eq!(inner_trace.trace_id, root.trace_id);
+            assert_eq!(inner_trace.parent_span_id, outer_trace.span_id);
+        }
+        // Inner restored the active context to the outer span.
+        assert_eq!(trace::current().unwrap().span_id, outer_trace.span_id);
+        drop(outer);
+        assert_eq!(trace::current(), Some(root));
+    }
+
+    #[test]
+    fn unsampled_or_absent_context_mints_no_trace() {
+        {
+            let g = SpanGuard::enter("span_trace_test.bare");
+            assert_eq!(g.trace(), None);
+        }
+        let _ctx = trace::activate(TraceContext::root(false));
+        let g = SpanGuard::enter("span_trace_test.unsampled");
+        assert_eq!(g.trace(), None);
+    }
+
+    #[test]
+    fn unsampled_context_skips_span_collection_entirely() {
+        // The head-sampling opt-out: under an unsampled context the
+        // span records nothing — not even its latency histogram (the
+        // unique name below is only ever touched by this test, so the
+        // global registry is a safe oracle).
+        {
+            let _ctx = trace::activate(TraceContext::root(false));
+            let _g = SpanGuard::enter("span_trace_test.skip_unsampled");
+        }
+        let recorded = registry()
+            .histogram("span.span_trace_test.skip_unsampled.ns")
+            .snapshot()
+            .count;
+        assert_eq!(recorded, 0, "an unsampled span recorded its histogram");
+
+        // A context-free span of the same shape *does* record — the
+        // opt-out is the explicit unsampled flag, not absence of spans.
+        {
+            let _g = SpanGuard::enter("span_trace_test.keep_bare");
+        }
+        let recorded = registry()
+            .histogram("span.span_trace_test.keep_bare.ns")
+            .snapshot()
+            .count;
+        assert_eq!(recorded, 1, "a context-free span failed to record");
     }
 }

@@ -16,7 +16,7 @@
 //! checkable at all.
 
 use fdc_f2db::F2db;
-use fdc_obs::names;
+use fdc_obs::{names, TraceContext};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -36,6 +36,12 @@ pub enum DepositOutcome {
 
 struct State {
     rows: Vec<(usize, f64)>,
+    /// Trace context of the first *sampled* depositor in the buffered
+    /// generation. The flush happens on the flusher thread, so without
+    /// this hand-off the engine commit (and the WAL record it appends)
+    /// would lose the request's trace. A coalesced flush carries many
+    /// requests but one representative trace — the exemplar convention.
+    trace: Option<TraceContext>,
     /// Generation the *currently buffered* rows will flush under.
     next_gen: u64,
     /// Highest generation whose flush has completed.
@@ -62,6 +68,7 @@ impl Default for Batcher {
         Batcher {
             state: Mutex::new(State {
                 rows: Vec::new(),
+                trace: None,
                 next_gen: 1,
                 completed_gen: 0,
                 errors: HashMap::new(),
@@ -80,6 +87,9 @@ impl Batcher {
         let started = Instant::now();
         let mut state = self.state.lock().unwrap();
         state.rows.extend_from_slice(rows);
+        if state.trace.is_none() {
+            state.trace = fdc_obs::trace::current().filter(|c| c.sampled);
+        }
         let my_gen = state.next_gen;
         self.work.notify_one();
         while state.completed_gen < my_gen {
@@ -129,16 +139,23 @@ impl Batcher {
     /// the number of rows flushed. Used by the flusher loop and by the
     /// shutdown path's final drain.
     pub fn flush_once(&self, db: &F2db) -> u64 {
-        let (gen, rows) = {
+        let (gen, rows, trace) = {
             let mut state = self.state.lock().unwrap();
             if state.rows.is_empty() {
                 return 0;
             }
             let gen = state.next_gen;
             state.next_gen += 1;
-            (gen, std::mem::take(&mut state.rows))
+            (gen, std::mem::take(&mut state.rows), state.trace.take())
         };
-        let result = db.insert_batch(&rows);
+        // Re-activate the representative depositor's context on this
+        // thread so the commit's spans — and the WAL record the engine
+        // appends — join the originating request's trace.
+        let result = {
+            let _ctx = trace.map(fdc_obs::trace::activate);
+            let _span = fdc_obs::span!("serve.batch_flush");
+            db.insert_batch(&rows)
+        };
         let mut state = self.state.lock().unwrap();
         state.completed_gen = gen;
         if let Err(e) = &result {

@@ -31,8 +31,26 @@
 //! | `POST /maintain` | — | `200` re-fit count |
 //! | `GET /stats` | — | `200` engine + server counters |
 //! | `GET /healthz` | — | `200` (`503` on a lagging follower) |
+//! | `GET /slow` | — | `200` slow-query journal (auto-`EXPLAIN` capture) |
 //! | `GET /wal/fetch?after=N` | — | `200` binary ship chunk (primary side of replication) |
 //! | `POST /promote` | `{"tail_wal_dir": "..."}?` | `200` promotion report (follower only) |
+//!
+//! ## Distributed tracing
+//!
+//! Every request runs under a [`fdc_obs::TraceContext`]: adopted from
+//! the caller's `traceparent` header when present (malformed headers
+//! are ignored and a fresh root is minted — a bad caller cannot break
+//! ingress), otherwise minted at ingress with head sampling at
+//! [`ServeOptions::trace_sample`]. Spans opened while the context is
+//! active carry trace/span ids into the Chrome-trace export, the
+//! insert path embeds the context into its WAL record so the
+//! follower's apply joins the same trace, and the per-route latency
+//! histograms record the trace id of the worst observation per window
+//! as an OpenMetrics exemplar. Requests slower than
+//! [`ServeOptions::slow_threshold`] are captured — with `EXPLAIN
+//! ANALYZE` output for query routes and a WAL/batcher wait breakdown
+//! for writes — into the bounded [`slow::SlowLog`] served at `GET
+//! /slow`.
 //!
 //! ## Replication
 //!
@@ -72,14 +90,16 @@
 pub mod batcher;
 pub mod json;
 pub mod replica;
+pub mod slow;
 
 pub use batcher::{Batcher, DepositOutcome};
 pub use replica::{open_follower, replica_marker_path, PromotionReport, Replica};
+pub use slow::{SlowEntry, SlowLog};
 
 use fdc_cube::NodeId;
-use fdc_f2db::{F2db, F2dbError};
+use fdc_f2db::{F2db, F2dbError, WalRecord};
 use fdc_obs::httpcore::{read_request, write_response, Request, RequestError};
-use fdc_obs::{journal, names, Event};
+use fdc_obs::{journal, names, trace, Event, TraceContext};
 use std::collections::VecDeque;
 use std::io::Read as _;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -131,6 +151,16 @@ pub struct ServeOptions {
     /// On a follower, `GET /healthz` degrades to `503` when replication
     /// lag exceeds this many sequences.
     pub replica_lag_bound: u64,
+    /// Head-sampling rate for traces minted at ingress (requests
+    /// arriving *with* a `traceparent` header keep the caller's
+    /// sampling decision). `1.0` traces everything, `0.0` nothing.
+    pub trace_sample: f64,
+    /// Requests slower than this are captured into the slow-query log
+    /// (`GET /slow`) with auto-`EXPLAIN` / wait-breakdown context.
+    /// `Duration::ZERO` captures every request.
+    pub slow_threshold: Duration,
+    /// Bound on slow-query-log entries kept; the newest win.
+    pub slow_log_cap: usize,
 }
 
 impl Default for ServeOptions {
@@ -148,6 +178,9 @@ impl Default for ServeOptions {
             replica_of: None,
             replica_poll: Duration::from_millis(10),
             replica_lag_bound: 10_000,
+            trace_sample: 1.0,
+            slow_threshold: Duration::from_millis(250),
+            slow_log_cap: 64,
         }
     }
 }
@@ -274,6 +307,8 @@ struct Shared {
     stopping: AtomicBool,
     drained: AtomicU64,
     batcher: Batcher,
+    /// The slow-request ring behind `GET /slow`.
+    slow: SlowLog,
     /// Present when this server fronts a follower replica; routes
     /// consult it for lag, write rejection and promotion.
     replica: Option<Arc<Replica>>,
@@ -319,6 +354,7 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
         let addr = listener.local_addr()?;
+        let slow = SlowLog::new(opts.slow_threshold, opts.slow_log_cap);
         let shared = Arc::new(Shared {
             db,
             opts,
@@ -327,6 +363,7 @@ impl Server {
             stopping: AtomicBool::new(false),
             drained: AtomicU64::new(0),
             batcher: Batcher::default(),
+            slow,
             replica,
         });
         journal().publish(Event::ServeStart {
@@ -368,6 +405,12 @@ impl Server {
     /// The engine this server fronts.
     pub fn db(&self) -> &Arc<F2db> {
         &self.shared.db
+    }
+
+    /// The slow-query log backing `GET /slow` — the shell's `\slow`
+    /// meta command reads it in-process instead of scraping itself.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.shared.slow
     }
 
     /// Gracefully drains and stops the server: stop accepting → answer
@@ -647,20 +690,98 @@ fn handle_connection(shared: &Shared, conn: Conn) {
         }
     };
     let started = Instant::now();
+    // Request ingress is where a trace is born (or adopted): a valid
+    // `traceparent` header continues the caller's trace with the
+    // caller's sampling decision; anything else mints a fresh root,
+    // head-sampled at `ServeOptions::trace_sample`. The guard scopes
+    // the context to this request on this worker thread.
+    let ctx = request
+        .trace_context()
+        .unwrap_or_else(|| TraceContext::root(trace::should_sample(shared.opts.trace_sample)));
+    let _ctx_guard = trace::activate(ctx);
     // The one binary route: ship chunks go out via
     // `write_response_bytes`, outside the string-bodied route table.
     if request.method == "GET" && request.path_query().0 == "/wal/fetch" {
-        handle_wal_fetch(shared, &mut stream, request.path_query().1);
-        fdc_obs::histogram_with(names::SERVE_REQUEST_NS, &[("route", "wal_fetch")])
-            .record_duration(started.elapsed());
+        {
+            let _span = fdc_obs::span!("serve.request");
+            handle_wal_fetch(shared, &mut stream, request.path_query().1);
+        }
+        record_latency("wal_fetch", started.elapsed(), ctx);
         return;
     }
-    let remaining = shared.opts.deadline.saturating_sub(queued_for);
-    let (route, status, body, extra) = route_request(shared, &request, remaining);
+    let (route, status, body, extra) = {
+        let _span = fdc_obs::span!("serve.request");
+        let remaining = shared.opts.deadline.saturating_sub(queued_for);
+        route_request(shared, &request, remaining)
+    };
     let extra_refs: Vec<(&str, &str)> = extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
     respond(&mut stream, route, status, body, &extra_refs);
-    fdc_obs::histogram_with(names::SERVE_REQUEST_NS, &[("route", route)])
-        .record_duration(started.elapsed());
+    let elapsed = started.elapsed();
+    record_latency(route, elapsed, ctx);
+    maybe_capture_slow(shared, &request, route, status, elapsed, ctx);
+}
+
+/// Records a request's latency into the per-route histogram; sampled
+/// requests attach their trace id, so `/metrics` can emit the family's
+/// worst-of-window observation as an OpenMetrics exemplar.
+fn record_latency(route: &'static str, elapsed: Duration, ctx: TraceContext) {
+    let h = fdc_obs::histogram_with(names::SERVE_REQUEST_NS, &[("route", route)]);
+    if ctx.sampled {
+        h.record_duration_with_trace(elapsed, ctx.trace_id);
+    } else {
+        h.record_duration(elapsed);
+    }
+}
+
+/// After the response is on the wire: when the request ran past the
+/// slow threshold, capture the investigation context — re-running
+/// `EXPLAIN ANALYZE` for statement routes (off the client's critical
+/// path, on the worker that just went slow), or snapshotting the
+/// WAL/batcher wait state for writes — into the bounded slow log.
+fn maybe_capture_slow(
+    shared: &Shared,
+    request: &Request,
+    route: &'static str,
+    status: u16,
+    elapsed: Duration,
+    ctx: TraceContext,
+) {
+    if elapsed < shared.slow.threshold() {
+        return;
+    }
+    let sql = matches!(route, "query" | "explain")
+        .then(|| sql_of(&request.body).ok())
+        .flatten()
+        .map(|(sql, _)| sql);
+    let explain = sql
+        .as_deref()
+        .and_then(|s| shared.db.explain_analyze(s).ok())
+        .map(|report| report.to_masked_string());
+    let wait = (route == "insert").then(|| {
+        let queue_len = shared.queue.lock().unwrap().len();
+        let wal = match shared.db.wal_stats() {
+            Some(w) => format!(
+                "{{\"last_seq\":{},\"durable_seq\":{}}}",
+                w.last_seq, w.durable_seq
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"buffered_rows\":{},\"queue_depth\":{queue_len},\"wal\":{wal}}}",
+            shared.batcher.buffered()
+        )
+    });
+    shared.slow.push(SlowEntry {
+        unix_ms: slow::unix_ms(),
+        route,
+        status,
+        latency_ns: elapsed.as_nanos() as u64,
+        trace_id: ctx.sampled.then_some(ctx.trace_id),
+        sql,
+        explain,
+        wait,
+    });
+    fdc_obs::counter(names::SERVE_SLOW_CAPTURED).incr();
 }
 
 /// Writes the response and records the route/status counter.
@@ -752,13 +873,14 @@ fn route_request(shared: &Shared, request: &Request, remaining: Duration) -> Rou
         ("POST", "/promote") => handle_promote(shared, &request.body),
         ("GET", "/stats") => ("stats", 200, stats_body(shared), no_extra()),
         ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/slow") => ("slow", 200, shared.slow.to_json(), no_extra()),
         (_, "/query" | "/explain" | "/insert" | "/maintain" | "/promote") => (
             "method",
             405,
             err_body("use POST"),
             vec![("Allow", "POST".to_string())],
         ),
-        (_, "/stats" | "/healthz" | "/wal/fetch") => (
+        (_, "/stats" | "/healthz" | "/slow" | "/wal/fetch") => (
             "method",
             405,
             err_body("use GET"),
@@ -1050,6 +1172,22 @@ fn handle_wal_fetch(shared: &Shared, stream: &mut TcpStream, query: &str) {
     };
     match wal.ship_chunk(after, max_bytes) {
         Ok(chunk) => {
+            // A traced frame carries the originating insert's context;
+            // adopting the first one puts this ship span in the *same
+            // trace* as the insert's serve/WAL-commit spans, so the
+            // merged timeline shows the write leaving the primary.
+            let _ship_ctx = chunk
+                .frames
+                .iter()
+                .find_map(|(_, payload)| WalRecord::peek_trace(payload))
+                .map(|(trace_id, span_id)| {
+                    trace::activate(TraceContext {
+                        trace_id,
+                        span_id,
+                        sampled: true,
+                    })
+                });
+            let _ship_span = fdc_obs::span!("serve.wal_ship");
             fdc_obs::gauge(names::WAL_DURABLE_SEQ).set(chunk.durable_seq as i64);
             let body = fdc_wal::encode_chunk(&chunk);
             fdc_obs::counter_with(
@@ -1106,8 +1244,18 @@ fn latency_json() -> String {
         if out.len() > 1 {
             out.push(',');
         }
+        // The exemplar ties the route's worst recent observation to a
+        // trace id — the "what was that p999 spike" jump-off point.
+        let exemplar = match h.exemplar {
+            Some(ex) => format!(
+                "{{\"trace_id\":\"{:032x}\",\"value\":{}}}",
+                ex.trace_id, ex.value
+            ),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "\"{route}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+            "\"{route}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\
+             \"exemplar\":{exemplar}}}",
             h.count, h.p50, h.p95, h.p99, h.p999
         ));
     }

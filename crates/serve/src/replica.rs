@@ -34,7 +34,7 @@
 
 use crate::ServeOptions;
 use fdc_f2db::{F2db, F2dbError, WalRecord};
-use fdc_obs::{journal, names, Event};
+use fdc_obs::{journal, names, Event, TraceContext};
 use fdc_wal::{decode_chunk, ShipChunk, Wal, WalOptions};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -62,6 +62,13 @@ const FETCH_MAX_BYTES: usize = 256 << 10;
 /// Socket timeout for one fetch round trip — also bounds how long
 /// [`Replica::promote`] waits for the loop to notice the seal.
 const FETCH_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Head-sampling rate for the fetch loop's own traces: roughly one
+/// round in 64 mints a sampled root context, whose `traceparent` rides
+/// the outbound `/wal/fetch` so the primary's ship-side spans join the
+/// follower's round trace. Kept well below 1.0 — the loop polls every
+/// few milliseconds and tracing every round would drown the export.
+const ROUND_TRACE_RATE: f64 = 1.0 / 64.0;
 
 /// What [`Replica::promote`] did, mirrored into the `ReplicaPromoted`
 /// journal event and the `POST /promote` response body.
@@ -221,7 +228,15 @@ impl Replica {
     }
 
     /// One fetch-and-apply round. Returns whether the watermark moved.
+    /// Sampled rounds (see [`ROUND_TRACE_RATE`]) run under a fresh root
+    /// context propagated to the primary on the fetch hop; either way
+    /// the span guards below are RAII, so an error return (torn
+    /// response, decode failure, apply failure) can never leak an open
+    /// span or a stale thread-local context.
     fn round(&self) -> Result<bool, String> {
+        let traced = fdc_obs::trace::should_sample(ROUND_TRACE_RATE);
+        let _ctx = traced.then(|| fdc_obs::trace::activate(TraceContext::root(true)));
+        let _span = traced.then(|| fdc_obs::span!("replica.round"));
         let after = self.applied_seq();
         let path = format!("/wal/fetch?after={after}&max_bytes={FETCH_MAX_BYTES}");
         let (status, body) = http_fetch(&self.primary, &path).map_err(|e| e.to_string())?;
@@ -282,9 +297,20 @@ impl Replica {
 /// Decodes one replicated WAL record and applies it to the engine,
 /// bypassing the read-only guard. One record = one primary
 /// `insert_batch` call, so batch boundaries (and therefore time-advance
-/// points) replay exactly as the primary saw them.
+/// points) replay exactly as the primary saw them. A traced record
+/// re-activates the originating insert's context, so the follower's
+/// `replica.apply` span lands in the *same trace* as the primary-side
+/// serve and WAL-commit spans.
 fn apply_record(db: &F2db, payload: &[u8]) -> Result<(), F2dbError> {
-    let WalRecord::InsertBatch { rows } = WalRecord::decode(payload)?;
+    let WalRecord::InsertBatch { rows, trace } = WalRecord::decode(payload)?;
+    let _ctx = trace.map(|(trace_id, span_id)| {
+        fdc_obs::trace::activate(TraceContext {
+            trace_id,
+            span_id,
+            sampled: true,
+        })
+    });
+    let _span = fdc_obs::span!("replica.apply");
     db.apply_replicated(&rows)?;
     Ok(())
 }
@@ -358,7 +384,9 @@ pub fn open_follower(
 
 /// Minimal HTTP/1.1 GET for the fetch loop: one request, `Connection:
 /// close`, read to EOF, split head from the binary body. Returns
-/// `(status, body)`.
+/// `(status, body)`. When a trace context is active on this thread it
+/// rides along as a `traceparent` header, so the primary's request
+/// span joins the follower's trace.
 fn http_fetch(addr: &str, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
     let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
     let sock = addr
@@ -368,8 +396,13 @@ fn http_fetch(addr: &str, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = TcpStream::connect_timeout(&sock, FETCH_TIMEOUT)?;
     stream.set_read_timeout(Some(FETCH_TIMEOUT))?;
     stream.set_write_timeout(Some(FETCH_TIMEOUT))?;
+    let traceparent = match fdc_obs::trace::current() {
+        Some(ctx) => format!("{}: {}\r\n", fdc_obs::TRACEPARENT_HEADER, ctx.traceparent()),
+        None => String::new(),
+    };
     stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n{traceparent}Connection: close\r\n\r\n")
+            .as_bytes(),
     )?;
     let mut buf = Vec::new();
     stream.read_to_end(&mut buf)?;

@@ -84,10 +84,23 @@ impl Response {
 /// Performs one request over a fresh connection (the server speaks one
 /// request per connection) and parses the response.
 pub fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+    http_with_headers(addr, method, path, body, &[])
+}
+
+/// [`http`] with caller-supplied extra request headers (e.g. a crafted
+/// `traceparent` for propagation tests).
+pub fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra: &[(&str, &str)],
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let extra_lines: String = extra.iter().map(|(n, v)| format!("{n}: {v}\r\n")).collect();
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: fdc\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: fdc\r\nContent-Type: application/json\r\n{extra_lines}Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes())?;

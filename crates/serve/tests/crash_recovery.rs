@@ -26,7 +26,7 @@
 
 mod common;
 
-use common::{http, row_json};
+use common::{http, http_with_headers, row_json};
 use fdc_core::{Advisor, AdvisorOptions};
 use fdc_cube::Dataset;
 use fdc_datagen::tourism_proxy;
@@ -104,6 +104,10 @@ fn crash_child() {
         return;
     }
     let dir = PathBuf::from(std::env::var(DIR_ENV).expect("child needs FDC_CRASH_DIR"));
+    // With FDC_TRACE_OUT set by the parent, every span this process
+    // closes lands in a Chrome-trace file the parent merges with the
+    // follower's for the cross-process trace assertions.
+    fdc_obs::install_env_exporter();
     let opts = engine_opts(&dir);
     let (db, _recovery) = open_engine(build_engine(), &opts).expect("child open_engine");
     let server = Server::start(db, 0, opts).expect("child server");
@@ -125,6 +129,8 @@ fn spawn_child(dir: &Path) -> (std::process::Child, SocketAddr) {
         .args(["crash_child", "--exact", "--nocapture"])
         .env(CHILD_ENV, "1")
         .env(DIR_ENV, dir)
+        .env("FDC_TRACE_OUT", dir.join("trace.json"))
+        .env("FDC_TRACE_NAME", "primary")
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -170,7 +176,8 @@ fn replay_wal(wal_dir: &Path) -> Replay {
     .expect("replay after crash");
     let mut values = Vec::new();
     for (_seq, payload) in &rec.records {
-        let WalRecord::InsertBatch { rows } = WalRecord::decode(payload).expect("decodable record");
+        let WalRecord::InsertBatch { rows, .. } =
+            WalRecord::decode(payload).expect("decodable record");
         values.extend(rows.iter().map(|(_node, v)| v.to_bits()));
     }
     Replay {
@@ -350,6 +357,7 @@ fn replica_child() {
     }
     let dir = PathBuf::from(std::env::var(REPLICA_DIR_ENV).expect("child needs FDC_REPLICA_DIR"));
     let primary = std::env::var(PRIMARY_ADDR_ENV).expect("child needs FDC_PRIMARY_ADDR");
+    fdc_obs::install_env_exporter();
     let opts = ServeOptions {
         wal_dir: Some(dir.join("wal")),
         replica_of: Some(primary),
@@ -374,6 +382,8 @@ fn spawn_replica_child(dir: &Path, primary: SocketAddr) -> (std::process::Child,
         .env(REPLICA_CHILD_ENV, "1")
         .env(REPLICA_DIR_ENV, dir)
         .env(PRIMARY_ADDR_ENV, primary.to_string())
+        .env("FDC_TRACE_OUT", dir.join("trace.json"))
+        .env("FDC_TRACE_NAME", "follower")
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -394,6 +404,28 @@ fn spawn_replica_child(dir: &Path, primary: SocketAddr) -> (std::process::Child,
     (child, addr)
 }
 
+/// Span paths that closed under `trace_hex`, scraped from a Chrome-trace
+/// document: each event serializes as `{"name":"<path>",...}` with the
+/// trace id (when the span was sampled) among its `args`.
+fn span_names_with_trace(doc: &str, trace_hex: &str) -> std::collections::BTreeSet<String> {
+    doc.split("{\"name\":\"")
+        .skip(1)
+        .filter(|chunk| chunk.contains(trace_hex))
+        .map(|chunk| chunk.split('"').next().unwrap_or("").to_string())
+        .collect()
+}
+
+/// The four hops a traced `/insert` must light up across the pair: the
+/// request span and the WAL group-commit span on the primary, the ship
+/// span on the primary's `/wal/fetch` answer, and the apply span on the
+/// follower — all under one trace id.
+const TRACED_INSERT_CHAIN: [&str; 4] = [
+    "serve.request",
+    "f2db.wal_commit",
+    "serve.wal_ship",
+    "replica.apply",
+];
+
 /// First `"key":<u64>` value in a JSON body, without a parser — the
 /// stats/promote bodies are flat enough for this.
 fn json_u64(body: &str, key: &str) -> Option<u64> {
@@ -410,6 +442,11 @@ fn run_replica_kill(seed: u64) {
     let mut rng = fdc_rng::Rng::seed_from_u64(seed);
     let p_dir = tmp_dir(&format!("rp_{seed:x}"));
     let f_dir = tmp_dir(&format!("rf_{seed:x}"));
+    // A recognizable, seed-unique trace id for the crafted traceparent
+    // the tracing assertions below hunt for in both processes' exports.
+    let trace_id: u128 = (0xF2DB_u128 << 96) | u128::from(seed);
+    let trace_hex = format!("{trace_id:032x}");
+    let traceparent = format!("00-{trace_hex}-00f067aa0ba902b7-01");
     let dims = base_dims(&tourism_proxy(1));
     let (mut primary, p_addr) = spawn_child(&p_dir);
     let (mut follower, f_addr) = spawn_replica_child(&f_dir, p_addr);
@@ -492,6 +529,45 @@ fn run_replica_kill(seed: u64) {
         {
             std::thread::sleep(Duration::from_millis(5));
         }
+
+        // Tentpole acceptance: send crafted-traceparent inserts until
+        // the trace id lights up the full cross-process chain in the
+        // two trace exports. Retries are needed because a coalesced
+        // flush carries one representative trace — under concurrent
+        // load another depositor's context may win a given generation.
+        let trace_started = std::time::Instant::now();
+        let mut ti = 0u64;
+        loop {
+            // Values disjoint from the load threads' range, unique per
+            // attempt, so the duplicate-detection oracle still holds.
+            let value = 8_500_000.5 + ti as f64;
+            let body = row_json(&dims[ti as usize % dims.len()], value);
+            let _ = http_with_headers(
+                p_addr,
+                "POST",
+                "/insert",
+                &body,
+                &[("traceparent", traceparent.as_str())],
+            );
+            ti += 1;
+            std::thread::sleep(Duration::from_millis(20));
+            let p_doc = std::fs::read_to_string(p_dir.join("trace.json")).unwrap_or_default();
+            let f_doc = std::fs::read_to_string(f_dir.join("trace.json")).unwrap_or_default();
+            let mut names = span_names_with_trace(&p_doc, &trace_hex);
+            names.extend(span_names_with_trace(&f_doc, &trace_hex));
+            let covered = TRACED_INSERT_CHAIN
+                .iter()
+                .all(|needle| names.iter().any(|n| n.contains(needle)));
+            if covered {
+                break;
+            }
+            assert!(
+                trace_started.elapsed() < Duration::from_secs(30),
+                "seed {seed:#x}: traced insert chain incomplete after {ti} attempts; \
+                 spans under trace {trace_hex}: {names:?}"
+            );
+        }
+
         std::thread::sleep(Duration::from_millis(40 + rng.usize_below(240) as u64));
         primary.kill().expect("sigkill primary");
         primary.wait().expect("reap primary");
@@ -576,6 +652,27 @@ fn run_replica_kill(seed: u64) {
     // verify the whole contract from the surviving bytes.
     follower.kill().expect("sigkill follower");
     follower.wait().expect("reap follower");
+
+    // The two Chrome-trace exports splice into one Perfetto document:
+    // both process tracks present, and the crafted insert's trace id
+    // still covering the whole primary→follower chain.
+    let p_doc = std::fs::read_to_string(p_dir.join("trace.json")).expect("primary trace export");
+    let f_doc = std::fs::read_to_string(f_dir.join("trace.json")).expect("follower trace export");
+    let merged = fdc_obs::merge_trace_documents(&[p_doc.as_str(), f_doc.as_str()]);
+    for label in ["\"primary\"", "\"follower\""] {
+        assert!(
+            merged.contains(label),
+            "seed {seed:#x}: merged trace is missing the {label} process track"
+        );
+    }
+    let merged_names = span_names_with_trace(&merged, &trace_hex);
+    for needle in TRACED_INSERT_CHAIN {
+        assert!(
+            merged_names.iter().any(|n| n.contains(needle)),
+            "seed {seed:#x}: merged trace lost the {needle} span of trace {trace_hex}: \
+             {merged_names:?}"
+        );
+    }
 
     let p_replay = replay_wal(&p_dir.join("wal"));
     let f_replay = replay_wal(&f_dir.join("wal"));
@@ -682,11 +779,18 @@ fn run_replica_kill(seed: u64) {
             f_replay.records.len(),
             p_replay.records.len(),
         );
+        let artifact_dir = PathBuf::from(artifact_dir);
         std::fs::write(
-            PathBuf::from(artifact_dir).join(format!("replica-kill-{seed:x}.json")),
+            artifact_dir.join(format!("replica-kill-{seed:x}.json")),
             summary,
         )
         .expect("artifact write");
+        // The merged two-process trace, loadable in Perfetto as-is.
+        std::fs::write(
+            artifact_dir.join(format!("replica-kill-trace-{seed:x}.json")),
+            &merged,
+        )
+        .expect("merged trace artifact write");
     }
 
     std::fs::remove_dir_all(&p_dir).ok();

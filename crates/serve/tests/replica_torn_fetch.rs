@@ -1,0 +1,205 @@
+//! Propagation under failure: a fake primary serves torn `/wal/fetch`
+//! responses (valid ship chunks cut mid-frame) and the follower must
+//! fail *cleanly* — errors counted and surfaced, watermark unmoved,
+//! and, the tracing contract this file exists for, **no leaked span or
+//! stale thread-local context** on the fetch thread. The fetch loop's
+//! span guards are RAII, so every `replica.round` span must close at
+//! depth 0 even when the round errors out mid-body; a leaked guard
+//! would stack every later round at depth ≥ 1, which the collector
+//! assertions below would catch.
+
+mod common;
+
+use common::small_db_raw;
+use fdc_f2db::WalRecord;
+use fdc_serve::{open_follower, ServeOptions};
+use fdc_wal::{encode_chunk, ShipChunk};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Torn responses served before the fake primary turns honest. Chosen
+/// so several head-sampled (1-in-64) fetch rounds land *inside* the
+/// torn phase — those are the rounds whose error path must not leak
+/// the open `replica.round` span.
+const TORN_ROUNDS: usize = 192;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdc_torn_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A primary that speaks just enough HTTP to poison the fetch loop:
+/// the first [`TORN_ROUNDS`] requests answer a ship chunk truncated
+/// mid-frame; later requests answer honestly — the full chunk when the
+/// follower is at `after=0`, an empty caught-up chunk otherwise.
+fn spawn_fake_primary(record: Vec<u8>) -> (SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let served = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&served);
+    std::thread::Builder::new()
+        .name("fake-primary".into())
+        .spawn(move || {
+            let full = encode_chunk(&ShipChunk {
+                durable_seq: 1,
+                checkpoint_seq: 0,
+                frames: vec![(1, record)],
+            });
+            let torn = full[..full.len() - 7].to_vec();
+            let empty = encode_chunk(&ShipChunk {
+                durable_seq: 1,
+                checkpoint_seq: 0,
+                frames: Vec::new(),
+            });
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let mut head = Vec::new();
+                let mut buf = [0u8; 512];
+                while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => head.extend_from_slice(&buf[..n]),
+                    }
+                }
+                let request = String::from_utf8_lossy(&head).into_owned();
+                let round = counter.fetch_add(1, Ordering::SeqCst);
+                let body: &[u8] = if round < TORN_ROUNDS {
+                    &torn
+                } else if request.contains("after=0") {
+                    &full
+                } else {
+                    &empty
+                };
+                let _ = stream.write_all(
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+                let _ = stream.write_all(body);
+            }
+        })
+        .unwrap();
+    (addr, served)
+}
+
+#[test]
+fn torn_fetch_responses_surface_errors_without_leaking_spans() {
+    // The test binary's global span subscriber is ours alone.
+    let collector = fdc_obs::TraceCollector::new();
+    fdc_obs::set_subscriber(collector.clone());
+
+    let db = small_db_raw();
+    let node = db.dataset().graph().base_nodes()[0];
+    let record = WalRecord::InsertBatch {
+        rows: vec![(node, 77.5)],
+        trace: Some((0xABCD, 0x1234)),
+    }
+    .encode();
+    let (primary, served) = spawn_fake_primary(record);
+
+    let dir = tmp_dir("follower");
+    let opts = ServeOptions {
+        wal_dir: Some(dir.join("wal")),
+        wal_fsync: false,
+        replica_of: Some(primary.to_string()),
+        replica_poll: Duration::from_millis(1),
+        ..ServeOptions::default()
+    };
+    let (_db, replica) = open_follower(db, &opts).expect("open follower");
+
+    // Phase 1 — torn chunks. Every round fails; the watermark must not
+    // move and the decode error must be surfaced verbatim. The checks
+    // run while the torn phase is still in progress (16 torn rounds of
+    // headroom) so they cannot race the primary turning honest.
+    let started = Instant::now();
+    while served.load(Ordering::SeqCst) < TORN_ROUNDS - 16 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "fake primary only served {} rounds",
+            served.load(Ordering::SeqCst)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        replica.fetch_errors() >= (TORN_ROUNDS / 2) as u64,
+        "only {} fetch errors after {TORN_ROUNDS} torn responses",
+        replica.fetch_errors()
+    );
+    assert_eq!(
+        replica.applied_seq(),
+        0,
+        "a torn chunk moved the applied watermark"
+    );
+    let last = replica.last_error().expect("torn rounds left no error");
+    assert!(
+        last.contains("mid-frame") || last.contains("truncated"),
+        "unexpected fetch error: {last}"
+    );
+
+    // Phase 2 — the primary turns honest and the loop recovers on the
+    // next valid chunk with no restart.
+    let started = Instant::now();
+    while replica.applied_seq() < 1 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "follower never recovered after the torn phase (applied={}, errors={})",
+            replica.applied_seq(),
+            replica.fetch_errors()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(replica.primary_durable_seq(), 1);
+    assert_eq!(replica.lag(), 0);
+
+    replica.seal();
+
+    // The tracing contract. Torn rounds included head-sampled ones, so
+    // the export must hold `replica.round` spans — and every one of
+    // them at depth 0: the fetch thread's outermost span. A leaked
+    // guard from any errored round would have pushed later rounds to
+    // depth ≥ 1.
+    let doc = collector.to_json();
+    let span_name = |chunk: &str| chunk.split('"').next().unwrap_or("").to_string();
+    let rounds: Vec<&str> = doc
+        .split("{\"name\":\"")
+        .skip(1)
+        .filter(|chunk| span_name(chunk) == "replica.round")
+        .collect();
+    assert!(
+        rounds.len() >= 2,
+        "expected several sampled replica.round spans, got {}: {doc}",
+        rounds.len()
+    );
+    for chunk in &rounds {
+        assert!(
+            chunk.contains("\"args\":{\"depth\":0"),
+            "a replica.round span closed at depth > 0 — an errored round \
+             leaked its span: {chunk}"
+        );
+    }
+    // The valid record carried an embedded trace, so the apply span
+    // joined it — the single-process version of the cross-process join.
+    assert!(
+        doc.contains("replica.apply"),
+        "no replica.apply span in the export: {doc}"
+    );
+    let apply = doc
+        .split("{\"name\":\"")
+        .skip(1)
+        .find(|c| span_name(c).ends_with("replica.apply"))
+        .unwrap();
+    assert!(
+        apply.contains("\"trace_id\":\"0000000000000000000000000000abcd\""),
+        "replica.apply did not adopt the record's embedded trace: {apply}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

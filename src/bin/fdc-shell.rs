@@ -38,6 +38,16 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() {
+    // `FDC_TRACE_OUT=<file> fdc-shell …` streams every span close to a
+    // Chrome-trace file (flushed ~100 ms, crash-tolerant), the same
+    // exporter the failover harness uses; `FDC_TRACE_NAME` labels the
+    // process track so merged primary/follower timelines read well.
+    if fdc::obs::install_env_exporter().is_some() {
+        eprintln!(
+            "tracing spans to {} (FDC_TRACE_OUT)",
+            std::env::var("FDC_TRACE_OUT").unwrap_or_default()
+        );
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut wal_dir: Option<PathBuf> = None;
     if let Some(i) = args.iter().position(|a| a == "--wal") {
@@ -184,9 +194,8 @@ fn main() {
     eprintln!(
         "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\accuracy | \\maintain | \\metrics [human|json]"
     );
-    eprintln!(
-        "     \\events [n] | \\serve <port> | \\listen <port> | \\wal | \\trace <file.json> | \\trace | \\quit\n"
-    );
+    eprintln!("     \\events [n] | \\serve <port> | \\listen <port> | \\wal | \\slow | \\quit");
+    eprintln!("     \\trace <file.json> | \\trace | \\trace --merge <out.json> <in.json>...\n");
 
     // Export-plane state owned by the session: a running HTTP exporter,
     // an in-progress Chrome trace recording, and/or a forecast server
@@ -388,6 +397,70 @@ fn main() {
                     forecast_server = Some(s);
                 }
                 Err(e) => println!("error: cannot bind port {port}: {e}"),
+            }
+            continue;
+        }
+        if line == "\\slow" {
+            match &forecast_server {
+                Some(s) => {
+                    let log = s.slow_log();
+                    let entries = log.entries();
+                    if entries.is_empty() {
+                        println!(
+                            "(no slow requests captured — threshold {:?}, {} captured total)",
+                            log.threshold(),
+                            log.captured()
+                        );
+                    } else {
+                        for e in &entries {
+                            println!(
+                                "{} {} {} {:.1}ms trace={}",
+                                e.unix_ms,
+                                e.route,
+                                e.status,
+                                e.latency_ns as f64 / 1e6,
+                                e.trace_id
+                                    .map(|t| format!("{t:032x}"))
+                                    .unwrap_or_else(|| "-".into()),
+                            );
+                            if let Some(sql) = &e.sql {
+                                println!("  sql: {sql}");
+                            }
+                            if let Some(wait) = &e.wait {
+                                println!("  wait: {wait}");
+                            }
+                            if let Some(plan) = &e.explain {
+                                for l in plan.lines() {
+                                    println!("  | {l}");
+                                }
+                            }
+                        }
+                        println!(
+                            "{} shown, {} captured total (threshold {:?})",
+                            entries.len(),
+                            log.captured(),
+                            log.threshold()
+                        );
+                    }
+                }
+                None => println!("(no forecast server — \\listen <port> first)"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\trace --merge") {
+            let paths: Vec<PathBuf> = rest.split_whitespace().map(PathBuf::from).collect();
+            if paths.len() < 2 {
+                println!("usage: \\trace --merge <out.json> <in.json> <in.json>...");
+                continue;
+            }
+            let inputs: Vec<&std::path::Path> = paths[1..].iter().map(PathBuf::as_path).collect();
+            match fdc::obs::merge_trace_files(&inputs, &paths[0]) {
+                Ok(()) => println!(
+                    "merged {} trace(s) into {} — load it at https://ui.perfetto.dev",
+                    inputs.len(),
+                    paths[0].display()
+                ),
+                Err(e) => println!("error merging traces: {e}"),
             }
             continue;
         }

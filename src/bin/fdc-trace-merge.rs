@@ -1,0 +1,40 @@
+//! `fdc-trace-merge` — splice per-process Chrome-trace exports into one
+//! Perfetto-loadable timeline.
+//!
+//! Each `fdc-serve` process run with `FDC_TRACE_OUT=<file>` writes its
+//! own `{"traceEvents":[...]}` document. The events carry real OS pids,
+//! epoch-anchored microsecond timestamps, and (for sampled requests)
+//! trace/span ids, so concatenating the documents yields a single
+//! timeline where a traced insert's serve, WAL-commit, ship and
+//! follower-apply spans line up across process tracks. This tool is the
+//! CLI face of `fdc_obs::merge_trace_files`; the shell's
+//! `\trace --merge` does the same in-session.
+//!
+//! ```sh
+//! fdc-trace-merge merged.json primary.json follower.json
+//! ```
+
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if args.len() < 3 {
+        eprintln!("usage: fdc-trace-merge <out.json> <in.json> <in.json>...");
+        eprintln!("merges Chrome-trace exports (FDC_TRACE_OUT files) into one Perfetto timeline");
+        std::process::exit(2);
+    }
+    let inputs: Vec<&Path> = args[1..].iter().map(PathBuf::as_path).collect();
+    match fdc::obs::merge_trace_files(&inputs, &args[0]) {
+        Ok(()) => {
+            eprintln!(
+                "merged {} trace(s) into {} — load it at https://ui.perfetto.dev",
+                inputs.len(),
+                args[0].display()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
