@@ -92,6 +92,11 @@ pub enum F2dbError {
     /// A write path was called on a read-only engine (a follower
     /// replica that has not been promoted).
     ReadOnly(String),
+    /// A partitioned engine was asked about a node another shard owns —
+    /// an insert for a non-owned base, or a forecast whose derivation
+    /// closure leaves this shard's partition. The router retries on the
+    /// owning shard; a direct caller has misrouted.
+    WrongShard(String),
 }
 
 impl std::fmt::Display for F2dbError {
@@ -102,6 +107,7 @@ impl std::fmt::Display for F2dbError {
             F2dbError::Cube(m) => write!(f, "cube error: {m}"),
             F2dbError::Storage(m) => write!(f, "storage error: {m}"),
             F2dbError::ReadOnly(m) => write!(f, "read-only error: {m}"),
+            F2dbError::WrongShard(m) => write!(f, "wrong-shard error: {m}"),
         }
     }
 }
@@ -156,6 +162,45 @@ pub struct F2db {
     /// promotion flips this; replicated records land through
     /// [`F2db::apply_replicated`], which bypasses the guard.
     read_only: std::sync::atomic::AtomicBool,
+    /// When set ([`F2db::with_base_partition`]), this engine is one
+    /// shard of a partitioned deployment: it accepts inserts only for
+    /// its owned base nodes, advances time once all *owned* bases have
+    /// a pending value (non-owned bases are zero-padded), and serves
+    /// forecasts only for resident nodes.
+    partition: Option<Partition>,
+}
+
+/// Partition state of one shard: which base nodes it owns, and which
+/// catalog nodes it can serve bit-exactly.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Base nodes whose inserts this shard accepts.
+    owned: std::collections::BTreeSet<NodeId>,
+    /// Catalog nodes whose full derivation closure (own base
+    /// descendants plus every scheme source's) lies inside `owned` —
+    /// their series, models and weights are bit-identical to an
+    /// unpartitioned engine fed the same per-cell values, because
+    /// aggregates roll up level-by-level as sums of children and every
+    /// contributing child is genuine (zero-padding only touches
+    /// subtrees outside the closure).
+    resident: std::collections::BTreeSet<NodeId>,
+}
+
+/// One resolved row of a query's placement plan (see
+/// [`F2db::query_derivation`]): the node a row will come from, the
+/// scheme sources its forecast is derived through, and the base nodes
+/// (`closure_base`) a shard must own for the forecast to be computable
+/// locally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationSite {
+    /// The resolved node (one query row).
+    pub node: NodeId,
+    /// Human-readable coordinate label, e.g. `(Germany, *)`.
+    pub label: String,
+    /// Scheme sources the forecast is derived from (empty for direct).
+    pub sources: Vec<NodeId>,
+    /// Base nodes the derivation transitively depends on, ascending.
+    pub closure_base: Vec<NodeId>,
 }
 
 /// What [`F2db::attach_wal`] (and [`F2db::recover`]) replayed.
@@ -196,6 +241,7 @@ impl F2db {
             wal: std::sync::OnceLock::new(),
             recovered_wal_seq: 0,
             read_only: std::sync::atomic::AtomicBool::new(false),
+            partition: None,
         })
     }
 
@@ -236,6 +282,172 @@ impl F2db {
         self.accuracy.as_ref()
     }
 
+    /// Turns this engine into one shard of a partitioned deployment: it
+    /// owns exactly the base nodes in `owned` (each must be a base
+    /// series; the set must be non-empty). Inserts for other bases are
+    /// rejected with [`F2dbError::WrongShard`]; a time stamp completes
+    /// once every *owned* base has a pending value, with non-owned
+    /// bases zero-padded into the advance. Forecast queries are limited
+    /// to resident nodes — nodes whose derivation closure lies entirely
+    /// inside the owned set, which makes their series, model states and
+    /// derivation weights bit-identical to an unpartitioned oracle fed
+    /// the same per-cell values.
+    pub fn with_base_partition(mut self, owned: &[NodeId]) -> Result<Self> {
+        let partition = {
+            let ds = self.dataset.read().unwrap();
+            let g = ds.graph();
+            let mut owned_set = std::collections::BTreeSet::new();
+            for &n in owned {
+                if !g.base_nodes().contains(&n) {
+                    return Err(F2dbError::Semantic(format!(
+                        "partition owns node {n}, which is not a base series"
+                    )));
+                }
+                owned_set.insert(n);
+            }
+            if owned_set.is_empty() {
+                return Err(F2dbError::Semantic(
+                    "a shard partition must own at least one base node".into(),
+                ));
+            }
+            let mut resident = std::collections::BTreeSet::new();
+            for v in 0..g.node_count() {
+                if self.catalog.entry(v).is_none() {
+                    continue;
+                }
+                let closure = self.derivation_closure(g, v);
+                if closure.iter().all(|b| owned_set.contains(b)) {
+                    resident.insert(v);
+                }
+            }
+            Partition {
+                owned: owned_set,
+                resident,
+            }
+        };
+        self.partition = Some(partition);
+        Ok(self)
+    }
+
+    /// Base nodes the forecast at `v` transitively depends on: `v`'s own
+    /// base descendants plus those of every scheme source (sorted,
+    /// deduplicated). This is the node set a router must co-locate for
+    /// the forecast to be computable on one shard.
+    fn derivation_closure(&self, g: &fdc_cube::TimeSeriesGraph, v: NodeId) -> Vec<NodeId> {
+        let mut closure = g.base_descendants(v);
+        if let Some(entry) = self.catalog.entry(v) {
+            for &s in &entry.scheme_sources {
+                closure.extend(g.base_descendants(s));
+            }
+        }
+        closure.sort_unstable();
+        closure.dedup();
+        closure
+    }
+
+    /// Whether this engine accepts inserts for `base` — always true on
+    /// an unpartitioned engine.
+    pub fn owns_base(&self, base: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(p) => p.owned.contains(&base),
+        }
+    }
+
+    /// Whether forecasts for `node` can be served bit-exactly by this
+    /// engine — always true on an unpartitioned engine (for any node
+    /// with a catalog entry the resolver would produce).
+    pub fn is_resident(&self, node: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(p) => p.resident.contains(&node),
+        }
+    }
+
+    /// `(owned bases, resident nodes)` of a partitioned engine; `None`
+    /// when unpartitioned.
+    pub fn partition_summary(&self) -> Option<(usize, usize)> {
+        self.partition
+            .as_ref()
+            .map(|p| (p.owned.len(), p.resident.len()))
+    }
+
+    /// The owned base nodes of a partitioned engine, ascending; `None`
+    /// when unpartitioned.
+    pub fn owned_base_nodes(&self) -> Option<Vec<NodeId>> {
+        self.partition
+            .as_ref()
+            .map(|p| p.owned.iter().copied().collect())
+    }
+
+    /// The placement key of a base node: its first `key_dims` dimension
+    /// *values* (schema order) joined with `|` — the deterministic
+    /// string a consistent-hash placement function scores. `key_dims`
+    /// of 0 (or more dimensions than the schema has) uses every
+    /// dimension, i.e. one key per base cell; `key_dims = 1` co-locates
+    /// the entire sub-hierarchy under each first-dimension value.
+    pub fn partition_key(&self, base: NodeId, key_dims: usize) -> Result<String> {
+        let ds = self.dataset.read().unwrap();
+        let g = ds.graph();
+        if !g.base_nodes().contains(&base) {
+            return Err(F2dbError::Semantic(format!(
+                "node {base} is not a base series"
+            )));
+        }
+        let schema = g.schema();
+        let coord = g.coord(base);
+        let take = if key_dims == 0 {
+            schema.dim_count()
+        } else {
+            key_dims.min(schema.dim_count())
+        };
+        let mut parts = Vec::with_capacity(take);
+        for d in 0..take {
+            let idx = coord.values()[d] as usize;
+            parts.push(schema.dimensions()[d].values()[idx].as_str());
+        }
+        Ok(parts.join("|"))
+    }
+
+    /// The placement plan of a query: which node each resolved row maps
+    /// to, the scheme sources behind it, and the base-node closure a
+    /// shard must own to serve it. Routers use this (via a shard's
+    /// `/plan` endpoint) to decide which shard serves which row of a
+    /// scatter-gathered forecast. Accepts forecast queries with or
+    /// without a leading `EXPLAIN [ANALYZE]`; order matches resolve
+    /// order, i.e. the row order of [`F2db::query`].
+    pub fn query_derivation(&self, sql: &str) -> Result<Vec<DerivationSite>> {
+        let q = match parse_query(sql)? {
+            Statement::Forecast(q) | Statement::Explain { query: q, .. } => q,
+            Statement::Insert { .. } => {
+                return Err(F2dbError::Semantic(
+                    "expected a forecast query, got an INSERT".into(),
+                ));
+            }
+        };
+        let ds = self.dataset.read().unwrap();
+        let g = ds.graph();
+        let nodes = Self::node_query(&ds, &q)?
+            .resolve(g)
+            .map_err(|e| F2dbError::Semantic(e.to_string()))?;
+        let mut sites = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            let label = g.coord(n).display(g.schema());
+            let entry = self.catalog.entry(n).ok_or_else(|| {
+                F2dbError::Semantic(format!(
+                    "node {label} has no derivation scheme in the configuration"
+                ))
+            })?;
+            sites.push(DerivationSite {
+                node: n,
+                label,
+                sources: entry.scheme_sources.clone(),
+                closure_base: self.derivation_closure(g, n),
+            });
+        }
+        Ok(sites)
+    }
+
     /// Redistributes the catalog over `shards` shards. `1` reproduces a
     /// single global catalog lock — the concurrency baseline.
     pub fn with_shards(self, shards: usize) -> Self {
@@ -251,6 +463,7 @@ impl F2db {
             wal,
             recovered_wal_seq,
             read_only,
+            partition,
         } = self;
         F2db {
             dataset,
@@ -264,6 +477,7 @@ impl F2db {
             wal,
             recovered_wal_seq,
             read_only,
+            partition,
         }
     }
 
@@ -319,7 +533,7 @@ impl F2db {
     /// Executes a SQL statement (forecast query or insert).
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         match parse_query(sql)? {
-            Statement::Forecast(q) => self.run_forecast(&q),
+            Statement::Forecast(q) => self.run_forecast(&q, None),
             Statement::Explain { .. } => Err(F2dbError::Semantic(
                 "EXPLAIN statements return a plan; use F2db::explain or F2db::explain_analyze"
                     .into(),
@@ -334,8 +548,17 @@ impl F2db {
     /// Executes a forecast query (convenience wrapper around
     /// [`F2db::execute`] that rejects non-query statements).
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_filtered(sql, None)
+    }
+
+    /// [`F2db::query`] restricted to a subset of the resolved nodes —
+    /// the scatter half of a routed scatter-gather: the router plans
+    /// once, then asks each shard only for the nodes it owns. Rows keep
+    /// the full query's resolve order; a filter that excludes every
+    /// resolved node is an error (the router misrouted).
+    pub fn query_filtered(&self, sql: &str, nodes: Option<&[NodeId]>) -> Result<QueryResult> {
         match parse_query(sql)? {
-            Statement::Forecast(q) => self.run_forecast(&q),
+            Statement::Forecast(q) => self.run_forecast(&q, nodes),
             Statement::Explain { .. } => Err(F2dbError::Semantic(
                 "EXPLAIN statements return a plan; use F2db::explain or F2db::explain_analyze"
                     .into(),
@@ -351,6 +574,14 @@ impl F2db {
     /// and the models (with their maintenance state) that would serve it.
     /// Accepts the query with or without a leading `EXPLAIN`.
     pub fn explain(&self, sql: &str) -> Result<ExplainReport> {
+        self.explain_filtered(sql, None)
+    }
+
+    /// [`F2db::explain`] restricted to a subset of the resolved nodes —
+    /// the per-shard half of a routed `/explain`. Planning is static
+    /// (no model executes), so it works for any node, resident or not;
+    /// the filter only trims the report's rows.
+    pub fn explain_filtered(&self, sql: &str, nodes: Option<&[NodeId]>) -> Result<ExplainReport> {
         let q = match parse_query(sql)? {
             Statement::Forecast(q)
             | Statement::Explain {
@@ -367,7 +598,17 @@ impl F2db {
             }
         };
         let ds = self.dataset.read().unwrap();
-        self.plan_report(&ds, &q)
+        let mut report = self.plan_report(&ds, &q)?;
+        if let Some(f) = nodes {
+            let keep: std::collections::HashSet<NodeId> = f.iter().copied().collect();
+            report.rows.retain(|r| keep.contains(&r.node));
+            if report.rows.is_empty() {
+                return Err(F2dbError::Semantic(
+                    "node filter excludes every node the query resolves to".into(),
+                ));
+            }
+        }
+        Ok(report)
     }
 
     /// `EXPLAIN ANALYZE`: produces the same plan as [`F2db::explain`] but
@@ -381,7 +622,20 @@ impl F2db {
     /// metrics — the lazy re-estimation it triggers is identical to what
     /// the query processor would do.
     pub fn explain_analyze(&self, sql: &str) -> Result<ExplainReport> {
+        self.explain_analyze_filtered(sql, None)
+    }
+
+    /// [`F2db::explain_analyze`] restricted to a subset of the resolved
+    /// nodes. Unlike [`F2db::explain_filtered`] this executes models, so
+    /// on a partitioned engine every surviving node must be resident
+    /// (same guard as a filtered query).
+    pub fn explain_analyze_filtered(
+        &self,
+        sql: &str,
+        nodes: Option<&[NodeId]>,
+    ) -> Result<ExplainReport> {
         let _span = fdc_obs::span!("f2db.explain_analyze");
+        let filter = nodes;
         let q = match parse_query(sql)? {
             Statement::Forecast(q) | Statement::Explain { query: q, .. } => q,
             Statement::Insert { .. } => {
@@ -393,6 +647,12 @@ impl F2db {
         // Static plan first (sources, kinds, weights, pre-execution
         // invalid flags).
         let mut report = self.plan_report(&ds, &q)?;
+        let planned: Vec<NodeId> = report.rows.iter().map(|r| r.node).collect();
+        let kept = self.apply_node_filter(planned, filter)?;
+        if kept.len() != report.rows.len() {
+            let keep: std::collections::HashSet<NodeId> = kept.iter().copied().collect();
+            report.rows.retain(|r| keep.contains(&r.node));
+        }
         let horizon = report.horizon;
 
         // Execute: lazily re-estimate every invalid source referenced by
@@ -539,7 +799,7 @@ impl F2db {
         Ok(refitted)
     }
 
-    fn run_forecast(&self, q: &ForecastQuery) -> Result<QueryResult> {
+    fn run_forecast(&self, q: &ForecastQuery, filter: Option<&[NodeId]>) -> Result<QueryResult> {
         let _span = fdc_obs::span!("f2db.query");
         let started = Instant::now();
         let ds = self.dataset.read().unwrap();
@@ -552,6 +812,7 @@ impl F2db {
         let nodes = Self::node_query(&ds, q)?
             .resolve(ds.graph())
             .map_err(|e| F2dbError::Semantic(e.to_string()))?;
+        let nodes = self.apply_node_filter(nodes, filter)?;
 
         // Lazy re-estimation: queries referencing invalid models trigger
         // parameter re-estimation now (§V maintenance processor).
@@ -590,6 +851,43 @@ impl F2db {
         fdc_obs::counter(names::F2DB_QUERIES).incr();
         fdc_obs::histogram(names::F2DB_QUERY_NS).record_duration(elapsed);
         Ok(QueryResult { rows })
+    }
+
+    /// Restricts resolved nodes to `filter` (keeping resolve order) and
+    /// enforces residency on a partitioned engine: executing a forecast
+    /// for a node whose derivation closure leaves this shard would
+    /// silently mix zero-padded series into the answer, so it is a
+    /// [`F2dbError::WrongShard`] instead.
+    fn apply_node_filter(
+        &self,
+        nodes: Vec<NodeId>,
+        filter: Option<&[NodeId]>,
+    ) -> Result<Vec<NodeId>> {
+        let nodes = match filter {
+            None => nodes,
+            Some(f) => {
+                let keep: std::collections::HashSet<NodeId> = f.iter().copied().collect();
+                let filtered: Vec<NodeId> =
+                    nodes.into_iter().filter(|n| keep.contains(n)).collect();
+                if filtered.is_empty() {
+                    return Err(F2dbError::Semantic(
+                        "node filter excludes every node the query resolves to".into(),
+                    ));
+                }
+                filtered
+            }
+        };
+        if self.partition.is_some() {
+            for &n in &nodes {
+                if !self.is_resident(n) {
+                    return Err(F2dbError::WrongShard(format!(
+                        "node {n} is not resident on this shard (its derivation \
+                         closure spans base nodes owned elsewhere)"
+                    )));
+                }
+            }
+        }
+        Ok(nodes)
     }
 
     fn node_query(ds: &Dataset, q: &ForecastQuery) -> Result<NodeQuery> {
@@ -648,14 +946,15 @@ impl F2db {
     /// whole graph at once. Returns `true` when the graph advanced.
     pub fn insert_value(&self, base_node: NodeId, measure: f64) -> Result<bool> {
         self.check_writable("INSERT")?;
-        let base_count = {
+        let target_count = {
             let ds = self.dataset.read().unwrap();
             if !ds.graph().base_nodes().contains(&base_node) {
                 return Err(F2dbError::Semantic(format!(
                     "node {base_node} is not a base series"
                 )));
             }
-            ds.graph().base_nodes().len()
+            self.check_owned(base_node)?;
+            self.advance_target(ds.graph().base_nodes().len())
         };
         let mut pending = self.pending.lock().unwrap();
         // Log before mutating: the record is submitted under the same
@@ -664,7 +963,7 @@ impl F2db {
         pending.insert(base_node, measure);
         self.stats.record_insert();
         fdc_obs::counter(names::F2DB_INSERTS).incr();
-        if pending.len() < base_count {
+        if pending.len() < target_count {
             drop(pending);
             // Wait outside every lock — this is what lets the sync
             // thread batch many appenders into one fsync.
@@ -757,7 +1056,7 @@ impl F2db {
             return Ok(0);
         }
         let _span = fdc_obs::span!("f2db.insert_batch");
-        let base_count = {
+        let target_count = {
             let ds = self.dataset.read().unwrap();
             for &(node, _) in rows {
                 if !ds.graph().base_nodes().contains(&node) {
@@ -765,8 +1064,9 @@ impl F2db {
                         "node {node} is not a base series"
                     )));
                 }
+                self.check_owned(node)?;
             }
-            ds.graph().base_nodes().len()
+            self.advance_target(ds.graph().base_nodes().len())
         };
         let mut advances = 0usize;
         let mut pending = self.pending.lock().unwrap();
@@ -777,7 +1077,7 @@ impl F2db {
             pending.insert(node, measure);
             self.stats.record_insert();
             fdc_obs::counter(names::F2DB_INSERTS).incr();
-            if pending.len() < base_count {
+            if pending.len() < target_count {
                 continue;
             }
             // Same ordering rule as insert_value: acquire the advance
@@ -867,10 +1167,28 @@ impl F2db {
     /// so batches commit in completion order). Advances are serialized:
     /// the catalog's per-shard passes assume one advance at a time
     /// (queries keep flowing shard by shard).
-    fn advance_time(&self, batch: Vec<(NodeId, f64)>, _serial: MutexGuard<'_, ()>) -> Result<()> {
+    fn advance_time(
+        &self,
+        mut batch: Vec<(NodeId, f64)>,
+        _serial: MutexGuard<'_, ()>,
+    ) -> Result<()> {
         let _span = fdc_obs::span!("f2db.advance_time");
         let last = {
             let mut ds = self.dataset.write().unwrap();
+            if let Some(p) = &self.partition {
+                // The dataset's advance needs one value per base node;
+                // a shard zero-pads the bases it does not own. Padding
+                // only corrupts subtrees outside every resident node's
+                // derivation closure, so resident forecasts stay
+                // bit-exact.
+                batch.extend(
+                    ds.graph()
+                        .base_nodes()
+                        .iter()
+                        .filter(|b| !p.owned.contains(b))
+                        .map(|&b| (b, 0.0)),
+                );
+            }
             ds.advance_time(&batch)?;
             ds.series_len() - 1
         };
@@ -997,6 +1315,7 @@ impl F2db {
             wal: std::sync::OnceLock::new(),
             recovered_wal_seq,
             read_only: std::sync::atomic::AtomicBool::new(false),
+            partition: None,
         })
     }
 
@@ -1090,6 +1409,25 @@ impl F2db {
     pub fn set_read_only(&self, read_only: bool) {
         self.read_only
             .store(read_only, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Rejects a write for a base node another shard owns.
+    fn check_owned(&self, base: NodeId) -> Result<()> {
+        if !self.owns_base(base) {
+            return Err(F2dbError::WrongShard(format!(
+                "base node {base} is owned by another shard of this partitioned deployment"
+            )));
+        }
+        Ok(())
+    }
+
+    /// How many pending rows complete a time stamp: every base node, or
+    /// on a partitioned shard only the owned ones.
+    fn advance_target(&self, base_count: usize) -> usize {
+        match &self.partition {
+            None => base_count,
+            Some(p) => p.owned.len(),
+        }
     }
 
     fn check_writable(&self, op: &str) -> Result<()> {
@@ -1496,5 +1834,193 @@ mod tests {
         drop(db);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    /// Owned base nodes of one first-dimension slice — the natural
+    /// partition under `key_dims = 1`, where every base under one
+    /// dimension value lands on one shard.
+    fn first_slice_partition(db: &F2db) -> (String, Vec<NodeId>) {
+        let bases: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        let key = db.partition_key(bases[0], 1).unwrap();
+        let owned: Vec<NodeId> = bases
+            .iter()
+            .copied()
+            .filter(|&b| db.partition_key(b, 1).unwrap() == key)
+            .collect();
+        (key, owned)
+    }
+
+    #[test]
+    fn partition_rejects_foreign_inserts_and_advances_on_owned_count() {
+        let db = small_db();
+        let all: Vec<NodeId> = db.dataset().graph().base_nodes().to_vec();
+        let (_, owned) = first_slice_partition(&db);
+        assert!(owned.len() < all.len(), "fixture must span >1 slice");
+        let db = db.with_base_partition(&owned).unwrap();
+        assert_eq!(db.owned_base_nodes().as_deref(), Some(&owned[..]));
+
+        let foreign = *all.iter().find(|b| !owned.contains(b)).unwrap();
+        assert!(matches!(
+            db.insert_value(foreign, 1.0).unwrap_err(),
+            F2dbError::WrongShard(_)
+        ));
+
+        // A stamp completes once every *owned* base has a value; the
+        // other shards' bases are zero-padded into the advance.
+        let len_before = db.dataset().series_len();
+        for (i, &b) in owned.iter().enumerate() {
+            let advanced = db.insert_value(b, 50.0 + i as f64).unwrap();
+            assert_eq!(advanced, i + 1 == owned.len());
+        }
+        assert_eq!(db.dataset().series_len(), len_before + 1);
+        assert_eq!(db.pending_inserts(), 0);
+    }
+
+    #[test]
+    fn partition_constructor_validates_inputs() {
+        let db = small_db();
+        let not_base = (0..db.dataset().graph().node_count())
+            .find(|&v| !db.dataset().graph().base_nodes().contains(&v))
+            .unwrap();
+        let Err(e) = small_db().with_base_partition(&[not_base]) else {
+            panic!("non-base ownership accepted");
+        };
+        assert!(matches!(e, F2dbError::Semantic(_)));
+        let Err(e) = db.with_base_partition(&[]) else {
+            panic!("empty ownership accepted");
+        };
+        assert!(matches!(e, F2dbError::Semantic(_)));
+    }
+
+    #[test]
+    fn partitioned_shard_matches_oracle_bit_for_bit_on_resident_nodes() {
+        // Shard and oracle must run the *same* configuration — the
+        // advisor is free to pick different schemes per run — so the
+        // catalog crosses via its codec, exactly as a deployment would
+        // share a checkpoint file.
+        let dir = std::env::temp_dir().join(format!("fdc_part_oracle_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.f2db");
+        small_db().save_catalog(&path).unwrap();
+
+        let oracle = F2db::open_catalog(tourism_proxy(1), &path).unwrap();
+        let (_, owned) = first_slice_partition(&oracle);
+        let shard = F2db::open_catalog(tourism_proxy(1), &path)
+            .unwrap()
+            .with_base_partition(&owned)
+            .unwrap();
+        let (owned_count, resident_count) = shard.partition_summary().unwrap();
+        assert_eq!(owned_count, owned.len());
+        assert!(resident_count >= 1, "slice must serve at least one node");
+
+        // One full stamp: the oracle sees every cell, the shard only its
+        // own — identical values where they overlap.
+        let all: Vec<NodeId> = oracle.dataset().graph().base_nodes().to_vec();
+        let rows: Vec<(NodeId, f64)> = all.iter().map(|&b| (b, 100.0 + (b as f64) * 3.5)).collect();
+        assert_eq!(oracle.insert_batch(&rows).unwrap(), 1);
+        let owned_rows: Vec<(NodeId, f64)> = rows
+            .iter()
+            .copied()
+            .filter(|(b, _)| owned.contains(b))
+            .collect();
+        assert_eq!(shard.insert_batch(&owned_rows).unwrap(), 1);
+
+        // Every resident node the all-cells query resolves to must
+        // produce byte-identical forecasts on both engines.
+        let sql = "SELECT time, SUM(visitors) FROM facts \
+                   GROUP BY time, purpose, state AS OF now() + '3 quarters'";
+        let sites = oracle.query_derivation(sql).unwrap();
+        let mut compared = 0;
+        for site in &sites {
+            if !shard.is_resident(site.node) {
+                assert!(matches!(
+                    shard.query_filtered(sql, Some(&[site.node])).unwrap_err(),
+                    F2dbError::WrongShard(_)
+                ));
+                continue;
+            }
+            let want = oracle.query_filtered(sql, Some(&[site.node])).unwrap();
+            let got = shard.query_filtered(sql, Some(&[site.node])).unwrap();
+            assert_eq!(got.rows.len(), 1);
+            assert_eq!(got.rows[0].label, want.rows[0].label);
+            for (g, w) in got.rows[0].values.iter().zip(&want.rows[0].values) {
+                assert_eq!(g.0, w.0);
+                assert_eq!(g.1.to_bits(), w.1.to_bits(), "node {}", site.label);
+            }
+            compared += 1;
+        }
+        assert!(compared >= 1, "no resident node was compared");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_derivation_aligns_with_query_rows() {
+        let db = small_db();
+        let sql = "SELECT time, SUM(visitors) FROM facts \
+                   GROUP BY time, purpose AS OF now() + '2 quarters'";
+        let sites = db.query_derivation(sql).unwrap();
+        let result = db.query(sql).unwrap();
+        assert_eq!(sites.len(), result.rows.len());
+        for (site, row) in sites.iter().zip(&result.rows) {
+            assert_eq!(site.node, row.node);
+            assert_eq!(site.label, row.label);
+            let mut sorted = site.closure_base.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, site.closure_base, "closure is sorted");
+            let g_bases = db.dataset().graph().base_descendants(site.node);
+            for b in g_bases {
+                assert!(site.closure_base.contains(&b), "closure covers own bases");
+            }
+        }
+        // EXPLAIN prefix is accepted; INSERT is not.
+        assert_eq!(
+            db.query_derivation(&format!("EXPLAIN {sql}")).unwrap(),
+            sites
+        );
+        assert!(db
+            .query_derivation("INSERT INTO facts VALUES ('holiday', 'NSW', 1.0)")
+            .is_err());
+    }
+
+    #[test]
+    fn filtered_explain_and_analyze_trim_rows() {
+        let db = small_db();
+        let sql = "SELECT time, SUM(visitors) FROM facts \
+                   GROUP BY time, purpose AS OF now() + '1 quarter'";
+        let full = db.explain(sql).unwrap();
+        assert!(full.rows.len() > 1);
+        let keep = full.rows[1].node;
+        let trimmed = db.explain_filtered(sql, Some(&[keep])).unwrap();
+        assert_eq!(trimmed.rows.len(), 1);
+        assert_eq!(trimmed.rows[0].node, keep);
+        let analyzed = db.explain_analyze_filtered(sql, Some(&[keep])).unwrap();
+        assert_eq!(analyzed.rows.len(), 1);
+        assert!(analyzed.rows[0].analysis.is_some());
+        assert!(matches!(
+            db.explain_filtered(sql, Some(&[NodeId::MAX])).unwrap_err(),
+            F2dbError::Semantic(_)
+        ));
+    }
+
+    #[test]
+    fn partition_key_is_schema_ordered_dimension_values() {
+        let db = small_db();
+        let g_len = db.dataset().graph().base_nodes().len();
+        let b = db.dataset().graph().base_nodes()[g_len / 2];
+        let full = db.partition_key(b, 0).unwrap();
+        let one = db.partition_key(b, 1).unwrap();
+        assert!(full.starts_with(&one));
+        assert_eq!(
+            full.matches('|').count() + 1,
+            db.dataset().graph().schema().dim_count()
+        );
+        // Oversized key_dims clamps to the schema width.
+        assert_eq!(db.partition_key(b, 99).unwrap(), full);
+        // Only base nodes have placement keys.
+        let not_base = (0..db.dataset().graph().node_count())
+            .find(|&v| !db.dataset().graph().base_nodes().contains(&v))
+            .unwrap();
+        assert!(db.partition_key(not_base, 1).is_err());
     }
 }

@@ -453,6 +453,32 @@ impl RollingAccuracy {
         by_key.into_values().collect()
     }
 
+    /// Folds already-snapshotted partials (e.g. decoded from shard
+    /// `/sketch` bundles) into one global view, sorted by key — the
+    /// router-side counterpart of [`RollingAccuracy::merged`]. Merge
+    /// work counts into `obs.sketch.accuracy_merges`.
+    pub fn merged_partials(groups: &[Vec<KeyAccuracy>]) -> Vec<KeyAccuracy> {
+        let mut by_key: BTreeMap<u64, KeyAccuracy> = BTreeMap::new();
+        let mut merges = 0u64;
+        for group in groups {
+            for s in group {
+                by_key
+                    .entry(s.key)
+                    .and_modify(|acc| {
+                        *acc = acc.merge(s);
+                        merges += 1;
+                    })
+                    .or_insert(*s);
+            }
+        }
+        if merges > 0 {
+            registry()
+                .counter(names::OBS_SKETCH_ACCURACY_MERGES)
+                .add(merges);
+        }
+        by_key.into_values().collect()
+    }
+
     /// Number of keys tracked so far.
     pub fn tracked_keys(&self) -> usize {
         self.windows.lock().unwrap().len()

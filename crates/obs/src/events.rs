@@ -129,6 +129,33 @@ pub enum Event {
         /// The metric family that overflowed.
         family: String,
     },
+    /// The routing tier started serving in front of a shard fleet.
+    RouterStart {
+        /// The router's bound address.
+        addr: String,
+        /// Shards in the topology it loaded.
+        shards: u64,
+        /// Version of that topology.
+        topology_version: u64,
+    },
+    /// The router marked a shard endpoint unreachable (connect error,
+    /// timeout or 5xx); reads fail over to the shard's replica until
+    /// [`Event::ShardRecovered`].
+    ShardDown {
+        /// Topology id of the shard.
+        shard: String,
+        /// The endpoint that failed, e.g. `127.0.0.1:7001`.
+        addr: String,
+        /// Short description of the failure.
+        error: String,
+    },
+    /// A previously-down shard endpoint answered a health probe again.
+    ShardRecovered {
+        /// Topology id of the shard.
+        shard: String,
+        /// The endpoint that recovered.
+        addr: String,
+    },
     /// A follower replica was promoted to a writable primary.
     ReplicaPromoted {
         /// The applied watermark when replication sealed.
@@ -158,6 +185,9 @@ impl Event {
             Event::ServeShutdown { .. } => "ServeShutdown",
             Event::ReplicaStart { .. } => "ReplicaStart",
             Event::SeriesOverflow { .. } => "SeriesOverflow",
+            Event::RouterStart { .. } => "RouterStart",
+            Event::ShardDown { .. } => "ShardDown",
+            Event::ShardRecovered { .. } => "ShardRecovered",
             Event::ReplicaPromoted { .. } => "ReplicaPromoted",
         }
     }
@@ -234,6 +264,32 @@ impl Event {
                 // Family names are code-controlled dotted paths — no
                 // characters needing JSON escapes.
                 format!("\"family\":\"{family}\"")
+            }
+            Event::RouterStart {
+                addr,
+                shards,
+                topology_version,
+            } => format!(
+                "\"addr\":\"{addr}\",\"shards\":{shards},\"topology_version\":{topology_version}"
+            ),
+            Event::ShardDown { shard, addr, error } => {
+                // Error text comes from arbitrary io errors — escape it.
+                let escaped: String = error
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' => "\\\"".chars().collect::<Vec<_>>(),
+                        '\\' => "\\\\".chars().collect(),
+                        '\n' => "\\n".chars().collect(),
+                        '\r' => "\\r".chars().collect(),
+                        '\t' => "\\t".chars().collect(),
+                        c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                        c => vec![c],
+                    })
+                    .collect();
+                format!("\"shard\":\"{shard}\",\"addr\":\"{addr}\",\"error\":\"{escaped}\"")
+            }
+            Event::ShardRecovered { shard, addr } => {
+                format!("\"shard\":\"{shard}\",\"addr\":\"{addr}\"")
             }
             Event::ReplicaPromoted {
                 applied_seq,

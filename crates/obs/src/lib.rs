@@ -54,6 +54,7 @@ pub mod names;
 pub mod sketch;
 pub mod span;
 pub mod trace;
+pub mod wire;
 
 pub use accuracy::{AccuracyOptions, DriftAlert, DriftTrigger, KeyAccuracy, RollingAccuracy};
 pub use events::{journal, Event, Journal, TimedEvent};
@@ -74,6 +75,7 @@ pub use span::{
     SpanSubscriber, SpanTrace,
 };
 pub use trace::{TraceContext, TRACEPARENT_HEADER};
+pub use wire::SketchBundle;
 
 use std::sync::Arc;
 

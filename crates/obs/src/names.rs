@@ -136,6 +136,27 @@ pub const SERVE_BATCH_FLUSH_ROWS: &str = "serve.batch.flush_rows";
 /// breakdown attached).
 pub const SERVE_SLOW_CAPTURED: &str = "serve.slow.captured";
 
+// ---- Routing tier (`fdc-router`) -------------------------------------
+
+/// Counter family (labels `route`, `status`): HTTP requests answered by
+/// the routing tier, by route and status code.
+pub const ROUTER_REQUESTS: &str = "router.http.requests";
+/// Histogram family (label `route`): end-to-end router request latency
+/// (fan-out included) in nanoseconds.
+pub const ROUTER_REQUEST_NS: &str = "router.request.ns";
+/// Histogram: shards contacted per scatter-gather request (the fan-out
+/// width — 1 for single-shard routes, N for fleet-wide folds).
+pub const ROUTER_FANOUT_SIZE: &str = "router.fanout.size";
+/// Counter family (label `shard`): failed shard calls (connect errors,
+/// timeouts, 5xx) attributed to the shard that failed.
+pub const ROUTER_SHARD_ERRORS: &str = "router.shard.errors";
+/// Counter family (label `shard`): read requests served by a shard's
+/// replica because its primary was unreachable.
+pub const ROUTER_REPLICA_READS: &str = "router.replica.reads";
+/// Counter: fleet-wide sketch folds performed by the router (one per
+/// `/stats` or `/metrics` aggregation over shipped codec bytes).
+pub const ROUTER_SKETCH_FOLDS: &str = "router.sketch.folds";
+
 // ---- Write-ahead log (`fdc-wal`) -------------------------------------
 
 /// Counter: records appended to the write-ahead log.
@@ -196,6 +217,9 @@ pub const BENCH_CONCURRENT_SPEEDUP_X100: &str = "bench.concurrent_qps.speedup_x1
 /// Gauge family for the `server_qps` load generator (label `stat`):
 /// closed-loop throughput and latency percentiles against `fdc-serve`.
 pub const BENCH_SERVER_QPS: &str = "bench.server_qps";
+/// Gauge family for the `router_qps` load generator (label `stat`):
+/// closed-loop throughput and latency percentiles against `fdc-router`.
+pub const BENCH_ROUTER_QPS: &str = "bench.router_qps";
 
 /// Histogram name for a micro-benchmark's per-iteration samples.
 pub fn bench_ns(name: &str) -> String {
@@ -263,6 +287,12 @@ mod tests {
             SERVE_BATCH_FLUSHES,
             SERVE_BATCH_FLUSH_ROWS,
             SERVE_SLOW_CAPTURED,
+            ROUTER_REQUESTS,
+            ROUTER_REQUEST_NS,
+            ROUTER_FANOUT_SIZE,
+            ROUTER_SHARD_ERRORS,
+            ROUTER_REPLICA_READS,
+            ROUTER_SKETCH_FOLDS,
             WAL_APPENDS,
             WAL_APPENDED_BYTES,
             WAL_FSYNCS,
@@ -284,6 +314,7 @@ mod tests {
             BENCH_CONCURRENT_QPS,
             BENCH_CONCURRENT_SPEEDUP_X100,
             BENCH_SERVER_QPS,
+            BENCH_ROUTER_QPS,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for n in all {

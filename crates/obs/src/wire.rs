@@ -1,0 +1,199 @@
+//! The cross-process sketch container: what a shard ships and a router
+//! folds.
+//!
+//! [`crate::sketch`] gives each summary its own versioned codec;
+//! partitioned serving needs one more layer — a single byte blob a
+//! shard can answer `GET /sketch` with, carrying *all* of its mergeable
+//! state: the per-key [`KeyAccuracy`] partials of its accuracy tracker
+//! and the named [`TDigest`]s behind its latency histograms. The router
+//! decodes one [`SketchBundle`] per shard and folds them
+//! ([`KeyAccuracy::merge`] / [`TDigest::merge`]) into a fleet-wide view
+//! without ever seeing a raw sample.
+//!
+//! The container is length-prefixed throughout, so a corrupt or
+//! truncated shard response fails decoding loudly instead of smearing
+//! garbage into the fold.
+
+use crate::accuracy::KeyAccuracy;
+use crate::sketch::{SketchDecodeError, TDigest};
+
+/// Codec version written by [`SketchBundle::encode`].
+pub const SKETCH_BUNDLE_CODEC_VERSION: u8 = 1;
+
+/// Upper bound on counts and lengths a decode will accept — far above
+/// any real bundle, low enough that a corrupt length prefix cannot ask
+/// for gigabytes.
+const MAX_ITEMS: u32 = 1 << 20;
+
+/// Everything mergeable one process ships to an aggregator: accuracy
+/// partials (sorted by key on encode) and named latency digests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SketchBundle {
+    /// Per-key accuracy partials (one per tracked catalog node).
+    pub accuracy: Vec<KeyAccuracy>,
+    /// Named t-digests, e.g. one per `serve.request.ns{route=...}`
+    /// series. Names are the full series keys.
+    pub digests: Vec<(String, TDigest)>,
+}
+
+impl SketchBundle {
+    /// Serializes as `[version][n_acc][len,bytes]*[n_dig]
+    /// [name_len,name,len,bytes]*` (all lengths little-endian `u32`),
+    /// each item using its own sketch codec.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.accuracy.len() * 180);
+        out.push(SKETCH_BUNDLE_CODEC_VERSION);
+        out.extend_from_slice(&(self.accuracy.len() as u32).to_le_bytes());
+        for a in &self.accuracy {
+            let bytes = a.encode();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out.extend_from_slice(&(self.digests.len() as u32).to_le_bytes());
+        for (name, d) in &self.digests {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            let bytes = d.encode();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Decodes a bundle produced by [`SketchBundle::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<SketchBundle, SketchDecodeError> {
+        let mut pos = 0usize;
+        let u8_at = |pos: &mut usize| -> Result<u8, SketchDecodeError> {
+            let b = *bytes.get(*pos).ok_or(SketchDecodeError::Truncated)?;
+            *pos += 1;
+            Ok(b)
+        };
+        let u32_at = |pos: &mut usize| -> Result<u32, SketchDecodeError> {
+            let end = pos.checked_add(4).ok_or(SketchDecodeError::Truncated)?;
+            let b = bytes.get(*pos..end).ok_or(SketchDecodeError::Truncated)?;
+            *pos = end;
+            Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        let slice_at = |pos: &mut usize, len: u32| -> Result<&[u8], SketchDecodeError> {
+            if len > MAX_ITEMS {
+                return Err(SketchDecodeError::Corrupt("length prefix"));
+            }
+            let end = pos
+                .checked_add(len as usize)
+                .ok_or(SketchDecodeError::Truncated)?;
+            let s = bytes.get(*pos..end).ok_or(SketchDecodeError::Truncated)?;
+            *pos = end;
+            Ok(s)
+        };
+
+        let version = u8_at(&mut pos)?;
+        if version != SKETCH_BUNDLE_CODEC_VERSION {
+            return Err(SketchDecodeError::UnsupportedVersion(version));
+        }
+        let n_acc = u32_at(&mut pos)?;
+        if n_acc > MAX_ITEMS {
+            return Err(SketchDecodeError::Corrupt("accuracy count"));
+        }
+        let mut accuracy = Vec::with_capacity(n_acc.min(1024) as usize);
+        for _ in 0..n_acc {
+            let len = u32_at(&mut pos)?;
+            accuracy.push(KeyAccuracy::decode(slice_at(&mut pos, len)?)?);
+        }
+        let n_dig = u32_at(&mut pos)?;
+        if n_dig > MAX_ITEMS {
+            return Err(SketchDecodeError::Corrupt("digest count"));
+        }
+        let mut digests = Vec::with_capacity(n_dig.min(1024) as usize);
+        for _ in 0..n_dig {
+            let name_len = u32_at(&mut pos)?;
+            let name = std::str::from_utf8(slice_at(&mut pos, name_len)?)
+                .map_err(|_| SketchDecodeError::Corrupt("digest name utf-8"))?
+                .to_string();
+            let len = u32_at(&mut pos)?;
+            digests.push((name, TDigest::decode(slice_at(&mut pos, len)?)?));
+        }
+        if pos != bytes.len() {
+            return Err(SketchDecodeError::Corrupt("trailing bytes"));
+        }
+        Ok(SketchBundle { accuracy, digests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{AccuracyOptions, RollingAccuracy};
+
+    fn sample_bundle() -> SketchBundle {
+        let acc = RollingAccuracy::new(AccuracyOptions::default());
+        for i in 0..9 {
+            acc.record(3, 10.0 + i as f64, 10.0);
+            acc.record(7, 4.0, 2.0 + i as f64);
+        }
+        let mut d = TDigest::new(64.0);
+        for i in 0..500 {
+            d.insert((i * 31 % 977) as f64);
+        }
+        // Structural equality after a round trip needs the buffer folded
+        // (encode flushes a copy; the decoded digest is always flushed).
+        d.flush();
+        SketchBundle {
+            accuracy: acc.summaries(),
+            digests: vec![
+                ("serve.request.ns{route=\"/query\"}".to_string(), d.clone()),
+                ("serve.request.ns{route=\"/insert\"}".to_string(), d),
+            ],
+        }
+    }
+
+    #[test]
+    fn bundle_codec_round_trips_exactly() {
+        let bundle = sample_bundle();
+        let bytes = bundle.encode();
+        let back = SketchBundle::decode(&bytes).unwrap();
+        assert_eq!(back.accuracy, bundle.accuracy);
+        // Digests carry a local-only compression-pass counter outside
+        // the codec; equality holds at the wire level.
+        assert_eq!(back.encode(), bytes, "round-trip is a codec fixed point");
+        for ((name, d), (orig_name, orig)) in back.digests.iter().zip(&bundle.digests) {
+            assert_eq!(name, orig_name);
+            assert_eq!(d.count(), orig.count());
+            for q in [0.5, 0.95, 0.99] {
+                assert_eq!(d.quantile(q).to_bits(), orig.quantile(q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let bytes = SketchBundle::default().encode();
+        let back = SketchBundle::decode(&bytes).unwrap();
+        assert!(back.accuracy.is_empty() && back.digests.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let bundle = sample_bundle();
+        let bytes = bundle.encode();
+        assert_eq!(
+            SketchBundle::decode(&bytes[..bytes.len() - 3]),
+            Err(SketchDecodeError::Truncated)
+        );
+        let mut wrong = bytes.clone();
+        wrong[0] = 42;
+        assert_eq!(
+            SketchBundle::decode(&wrong),
+            Err(SketchDecodeError::UnsupportedVersion(42))
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            SketchBundle::decode(&trailing),
+            Err(SketchDecodeError::Corrupt(_))
+        ));
+        // A corrupt count prefix must fail fast, not allocate wildly.
+        let mut huge = bytes;
+        huge[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SketchBundle::decode(&huge).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! The router's HTTP/1.1 client: one request per connection,
+//! `Connection: close`, read to EOF — the exact counterpart of the
+//! [`fdc_obs::httpcore`] server both the shards and the router itself
+//! are built on.
+//!
+//! When a trace context is active on the calling thread, it rides to
+//! the shard as a W3C `traceparent` header, so a shard's request span
+//! joins the router's trace and a merged Chrome-trace timeline shows
+//! the full scatter-gather fan-out.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs as _};
+use std::time::Duration;
+
+/// A parsed shard response: status line code, lower-cased headers,
+/// raw body bytes.
+#[derive(Debug)]
+pub struct ShardResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, verbatim.
+    pub body: Vec<u8>,
+}
+
+impl ShardResponse {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossless for the JSON routes we call).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues `method path` against `addr` with an optional JSON body.
+/// Blocking, bounded by `timeout` on connect/read/write.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ShardResponse> {
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| bad(format!("address {addr:?} resolves to nothing")))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let traceparent = match fdc_obs::trace::current() {
+        Some(ctx) => format!("{}: {}\r\n", fdc_obs::TRACEPARENT_HEADER, ctx.traceparent()),
+        None => String::new(),
+    };
+    let body = body.unwrap_or("");
+    stream.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{traceparent}\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no head terminator".into()))?;
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("response has no parseable status".into()))?;
+    let headers = lines
+        .filter_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            Some((n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(ShardResponse {
+        status,
+        headers,
+        body: buf[head_end + 4..].to_vec(),
+    })
+}
+
+/// `POST path` with a JSON body.
+pub fn post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<ShardResponse> {
+    request(addr, "POST", path, Some(body), timeout)
+}
+
+/// `GET path`.
+pub fn get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<ShardResponse> {
+    request(addr, "GET", path, None, timeout)
+}

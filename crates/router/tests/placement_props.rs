@@ -1,0 +1,147 @@
+//! Seeded property tests of the rendezvous placement function — the
+//! one piece of the system every process must compute identically.
+//!
+//! * determinism **across processes**: a child process (this very test
+//!   binary, re-executed) places the same seeded key population on the
+//!   same shards as the parent — the property a restarted router or a
+//!   freshly started shard relies on;
+//! * **minimal disruption**: adding one shard to `N` moves roughly
+//!   `K/(N+1)` of `K` keys — and every moved key moves *to* the new
+//!   shard; removing one moves exactly the keys it owned, nowhere else;
+//! * **balance**: no shard owns a grossly outsized share.
+
+use fdc_rng::Rng;
+use std::io::Read;
+use std::process::{Command, Stdio};
+
+const CHILD_ENV: &str = "FDC_PLACEMENT_CHILD_SEED";
+
+/// The seeded key population: dimension-value-ish strings of varying
+/// length, the kind of text placement keys are made of.
+fn keys(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let len = 3 + (rng.next_u64() % 12) as usize;
+            let word: String = (0..len)
+                .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+                .collect();
+            format!("{word}|{i}")
+        })
+        .collect()
+}
+
+fn placements<'a>(keys: &[String], ids: &[&'a str]) -> Vec<&'a str> {
+    keys.iter()
+        .map(|k| fdc_router::placement::place(k, ids.iter().copied()).unwrap())
+        .collect()
+}
+
+/// Not a test of its own: re-executed by
+/// [`placement_is_deterministic_across_processes`], prints the placed
+/// shard sequence for the seeded population and exits.
+#[test]
+fn placement_child() {
+    let Ok(seed) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let seed: u64 = seed.parse().expect("integer seed");
+    let ids = ["alpha", "beta", "gamma", "delta"];
+    let placed = placements(&keys(seed, 500), &ids);
+    println!("PLACED {}", placed.join(","));
+}
+
+#[test]
+fn placement_is_deterministic_across_processes() {
+    for seed in [11u64, 12, 13] {
+        let exe = std::env::current_exe().unwrap();
+        let mut child = Command::new(exe)
+            .args(["placement_child", "--exact", "--nocapture"])
+            .env(CHILD_ENV, seed.to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn placement child");
+        let mut output = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut output)
+            .unwrap();
+        assert!(child.wait().unwrap().success(), "child failed: {output}");
+        let child_placed = output
+            .lines()
+            .find_map(|l| l.split_once("PLACED ").map(|(_, p)| p.trim().to_string()))
+            .expect("child printed placements");
+        let ids = ["alpha", "beta", "gamma", "delta"];
+        let local = placements(&keys(seed, 500), &ids).join(",");
+        assert_eq!(
+            local, child_placed,
+            "seed {seed}: placement diverged across processes"
+        );
+    }
+}
+
+#[test]
+fn adding_one_shard_remaps_about_one_in_n_plus_one_keys() {
+    for seed in [21u64, 22, 23] {
+        let population = keys(seed, 2000);
+        let before = placements(&population, &["s0", "s1", "s2", "s3", "s4"]);
+        let after = placements(&population, &["s0", "s1", "s2", "s3", "s4", "s5"]);
+        let moved: Vec<usize> = (0..population.len())
+            .filter(|&i| before[i] != after[i])
+            .collect();
+        // Rendezvous only ever moves a key to the *new* shard.
+        for &i in &moved {
+            assert_eq!(
+                after[i], "s5",
+                "key {:?} moved to an old shard",
+                population[i]
+            );
+        }
+        let expected = population.len() / 6;
+        assert!(
+            !moved.is_empty() && moved.len() <= 2 * expected,
+            "seed {seed}: {} of {} keys moved, expected about {expected}",
+            moved.len(),
+            population.len()
+        );
+    }
+}
+
+#[test]
+fn removing_one_shard_only_remaps_its_own_keys() {
+    for seed in [31u64, 32, 33] {
+        let population = keys(seed, 2000);
+        let before = placements(&population, &["s0", "s1", "s2", "s3", "s4"]);
+        let after = placements(&population, &["s0", "s1", "s3", "s4"]);
+        for i in 0..population.len() {
+            if before[i] == "s2" {
+                assert_ne!(after[i], "s2");
+            } else {
+                assert_eq!(
+                    before[i], after[i],
+                    "seed {seed}: key {:?} moved although its shard survived",
+                    population[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn placement_balances_the_population() {
+    let population = keys(41, 2000);
+    let ids = ["s0", "s1", "s2", "s3", "s4"];
+    let placed = placements(&population, &ids);
+    for id in ids {
+        let owned = placed.iter().filter(|p| **p == id).count();
+        let fair = population.len() / ids.len();
+        assert!(
+            owned > fair / 2 && owned < fair * 2,
+            "shard {id} owns {owned} of {} keys (fair share {fair})",
+            population.len()
+        );
+    }
+}

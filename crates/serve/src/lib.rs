@@ -25,10 +25,12 @@
 //!
 //! | Route | Body | Answer |
 //! |---|---|---|
-//! | `POST /query` | `{"sql": "..."}` | `200` forecast rows |
-//! | `POST /explain` | `{"sql": "...", "analyze": bool?}` | `200` plan |
+//! | `POST /query` | `{"sql": "...", "nodes": [ids]?}` | `200` forecast rows |
+//! | `POST /explain` | `{"sql": "...", "analyze": bool?, "nodes": [ids]?}` | `200` plan |
 //! | `POST /insert` | `{"dims": [...], "value": v}` or `{"rows": [...]}` | `202` after commit |
 //! | `POST /maintain` | — | `200` re-fit count |
+//! | `POST /plan` | `{"sql": "...", "key_dims": n?}` | `200` per-node placement keys |
+//! | `GET /sketch` | — | `200` binary mergeable-sketch bundle |
 //! | `GET /stats` | — | `200` engine + server counters |
 //! | `GET /healthz` | — | `200` (`503` on a lagging follower) |
 //! | `GET /slow` | — | `200` slow-query journal (auto-`EXPLAIN` capture) |
@@ -161,6 +163,13 @@ pub struct ServeOptions {
     pub slow_threshold: Duration,
     /// Bound on slow-query-log entries kept; the newest win.
     pub slow_log_cap: usize,
+    /// When set, this server is one shard of a partitioned deployment
+    /// and owns exactly these base nodes: [`open_engine`] applies
+    /// [`F2db::with_base_partition`] *before* WAL replay (the replayed
+    /// rows advance on the owned count), inserts for foreign bases
+    /// answer `421 Misdirected Request`, and queries are limited to
+    /// resident nodes. A router fronts several such shards.
+    pub partition_bases: Option<Vec<NodeId>>,
 }
 
 impl Default for ServeOptions {
@@ -181,6 +190,7 @@ impl Default for ServeOptions {
             trace_sample: 1.0,
             slow_threshold: Duration::from_millis(250),
             slow_log_cap: 64,
+            partition_bases: None,
         }
     }
 }
@@ -249,6 +259,11 @@ pub fn open_engine(
         }
         _ => fresh,
     };
+    // Partition before WAL replay: a shard's log only carries owned
+    // rows, and replaying them must advance on the owned count.
+    if let Some(owned) = &opts.partition_bases {
+        db = db.with_base_partition(owned)?;
+    }
     let wal = match &opts.wal_dir {
         Some(dir) => {
             let wal_opts = fdc_wal::WalOptions {
@@ -709,6 +724,16 @@ fn handle_connection(shared: &Shared, conn: Conn) {
         record_latency("wal_fetch", started.elapsed(), ctx);
         return;
     }
+    // The other binary route: the mergeable-sketch bundle a router
+    // folds into a fleet-wide view.
+    if request.method == "GET" && request.path_query().0 == "/sketch" {
+        {
+            let _span = fdc_obs::span!("serve.request");
+            handle_sketch(shared, &mut stream);
+        }
+        record_latency("sketch", started.elapsed(), ctx);
+        return;
+    }
     let (route, status, body, extra) = {
         let _span = fdc_obs::span!("serve.request");
         let remaining = shared.opts.deadline.saturating_sub(queued_for);
@@ -800,6 +825,7 @@ fn respond(
         405 => "405 Method Not Allowed",
         409 => "409 Conflict",
         410 => "410 Gone",
+        421 => "421 Misdirected Request",
         413 => "413 Payload Too Large",
         500 => "500 Internal Server Error",
         503 => "503 Service Unavailable",
@@ -871,16 +897,20 @@ fn route_request(shared: &Shared, request: &Request, remaining: Duration) -> Rou
             }
         },
         ("POST", "/promote") => handle_promote(shared, &request.body),
+        ("POST", "/plan") => {
+            let (status, body) = handle_plan(shared, &request.body);
+            ("plan", status, body, no_extra())
+        }
         ("GET", "/stats") => ("stats", 200, stats_body(shared), no_extra()),
         ("GET", "/healthz") => handle_healthz(shared),
         ("GET", "/slow") => ("slow", 200, shared.slow.to_json(), no_extra()),
-        (_, "/query" | "/explain" | "/insert" | "/maintain" | "/promote") => (
+        (_, "/query" | "/explain" | "/insert" | "/maintain" | "/promote" | "/plan") => (
             "method",
             405,
             err_body("use POST"),
             vec![("Allow", "POST".to_string())],
         ),
-        (_, "/stats" | "/healthz" | "/slow" | "/wal/fetch") => (
+        (_, "/stats" | "/healthz" | "/slow" | "/wal/fetch" | "/sketch") => (
             "method",
             405,
             err_body("use GET"),
@@ -888,6 +918,37 @@ fn route_request(shared: &Shared, request: &Request, remaining: Duration) -> Rou
         ),
         _ => ("unknown", 404, err_body("no such route"), no_extra()),
     }
+}
+
+/// HTTP status for an engine error: wrong-shard errors are routing
+/// mistakes (`421 Misdirected Request` — a router must not retry them
+/// against this shard), everything else the client's fault.
+fn f2db_status(e: &F2dbError) -> u16 {
+    match e {
+        F2dbError::WrongShard(_) => 421,
+        _ => 400,
+    }
+}
+
+/// Parses the optional `"nodes"` filter of `/query` and `/explain`
+/// bodies: the scatter half of a routed query, restricting execution
+/// to the node ids this shard was asked for.
+fn nodes_of(doc: &json::Value) -> Result<Option<Vec<NodeId>>, String> {
+    let Some(v) = doc.get("nodes") else {
+        return Ok(None);
+    };
+    let arr = v
+        .as_array()
+        .ok_or("\"nodes\" must be an array of node ids")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for item in arr {
+        let n = item
+            .as_f64()
+            .filter(|f| f.fract() == 0.0 && *f >= 0.0 && *f <= (1u64 << 53) as f64)
+            .ok_or("\"nodes\" must be an array of non-negative integers")?;
+        out.push(n as NodeId);
+    }
+    Ok(Some(out))
 }
 
 /// Parses a `{"sql": "..."}` body.
@@ -903,11 +964,15 @@ fn sql_of(body: &[u8]) -> Result<(String, json::Value), String> {
 }
 
 fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
-    let (sql, _) = match sql_of(body) {
+    let (sql, doc) = match sql_of(body) {
         Ok(v) => v,
         Err(m) => return (400, err_body(&m)),
     };
-    match shared.db.query(&sql) {
+    let nodes = match nodes_of(&doc) {
+        Ok(n) => n,
+        Err(m) => return (400, err_body(&m)),
+    };
+    match shared.db.query_filtered(&sql, nodes.as_deref()) {
         Ok(result) => {
             let rows: Vec<String> = result
                 .rows
@@ -928,7 +993,7 @@ fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
                 .collect();
             (200, format!("{{\"rows\":[{}]}}", rows.join(",")))
         }
-        Err(e) => (400, err_body(&e.to_string())),
+        Err(e) => (f2db_status(&e), err_body(&e.to_string())),
     }
 }
 
@@ -941,10 +1006,14 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
         .get("analyze")
         .and_then(json::Value::as_bool)
         .unwrap_or(false);
+    let nodes = match nodes_of(&doc) {
+        Ok(n) => n,
+        Err(m) => return (400, err_body(&m)),
+    };
     let report = if analyze {
-        shared.db.explain_analyze(&sql)
+        shared.db.explain_analyze_filtered(&sql, nodes.as_deref())
     } else {
-        shared.db.explain(&sql)
+        shared.db.explain_filtered(&sql, nodes.as_deref())
     };
     match report {
         Ok(report) => {
@@ -995,7 +1064,7 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
                 ),
             )
         }
-        Err(e) => (400, err_body(&e.to_string())),
+        Err(e) => (f2db_status(&e), err_body(&e.to_string())),
     }
 }
 
@@ -1034,6 +1103,19 @@ fn handle_insert(shared: &Shared, body: &[u8], remaining: Duration) -> Routed {
         Ok(rows) => rows,
         Err(m) => return ("insert", 400, err_body(&m), no_extra()),
     };
+    // A misrouted row is rejected *before* the batcher: mixing it into
+    // the coalesced commit would fail everyone's flush, and the router
+    // needs the typed 421 to fix its placement rather than retry here.
+    if let Some(&(node, _)) = rows.iter().find(|(n, _)| !shared.db.owns_base(*n)) {
+        return (
+            "insert",
+            421,
+            err_body(&format!(
+                "base node {node} is owned by another shard of this partitioned deployment"
+            )),
+            no_extra(),
+        );
+    }
     let accepted = rows.len();
     match shared.batcher.deposit_and_wait(&rows, remaining) {
         DepositOutcome::Committed => (
@@ -1115,6 +1197,106 @@ fn handle_promote(shared: &Shared, body: &[u8]) -> Routed {
         ),
         Err(e) => ("promote", 409, err_body(&e.to_string()), no_extra()),
     }
+}
+
+/// `POST /plan` — the placement plan of a query: for every node the
+/// query resolves to, the consistent-hash placement keys of its
+/// derivation closure under `key_dims` leading dimensions. A router
+/// calls this once per distinct query, then scatters the node ids to
+/// the shards those keys place; a node whose keys straddle shards is a
+/// *split node* the partition cannot serve.
+fn handle_plan(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let (sql, doc) = match sql_of(body) {
+        Ok(v) => v,
+        Err(m) => return (400, err_body(&m)),
+    };
+    let key_dims = match doc.get("key_dims") {
+        None => 0usize,
+        Some(v) => match v.as_f64().filter(|f| f.fract() == 0.0 && *f >= 0.0) {
+            Some(f) => f as usize,
+            None => return (400, err_body("\"key_dims\" must be a non-negative integer")),
+        },
+    };
+    let sites = match shared.db.query_derivation(&sql) {
+        Ok(s) => s,
+        Err(e) => return (f2db_status(&e), err_body(&e.to_string())),
+    };
+    let mut rendered = Vec::with_capacity(sites.len());
+    for site in &sites {
+        let mut keys: Vec<String> = Vec::new();
+        for &b in &site.closure_base {
+            match shared.db.partition_key(b, key_dims) {
+                Ok(k) => {
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+                Err(e) => return (500, err_body(&e.to_string())),
+            }
+        }
+        keys.sort_unstable();
+        let keys: Vec<String> = keys
+            .iter()
+            .map(|k| format!("\"{}\"", json::escape(k)))
+            .collect();
+        rendered.push(format!(
+            "{{\"node\":{},\"label\":\"{}\",\"keys\":[{}]}}",
+            site.node,
+            json::escape(&site.label),
+            keys.join(",")
+        ));
+    }
+    (
+        200,
+        format!(
+            "{{\"key_dims\":{key_dims},\"sites\":[{}]}}",
+            rendered.join(",")
+        ),
+    )
+}
+
+/// `GET /sketch` — this process's mergeable observability state as one
+/// binary [`SketchBundle`]: the drift monitor's per-key accuracy
+/// partials (restricted to resident nodes, so a fleet-wide fold is a
+/// disjoint union) and the t-digest behind every per-route latency
+/// histogram. The router folds one bundle per shard into `/stats` and
+/// `/metrics` views no single process could compute from quantiles.
+fn handle_sketch(shared: &Shared, stream: &mut TcpStream) {
+    let accuracy = match shared.db.drift_monitor() {
+        Some(acc) => acc
+            .summaries()
+            .into_iter()
+            .filter(|s| shared.db.is_resident(s.key as NodeId))
+            .collect(),
+        None => Vec::new(),
+    };
+    let prefix = format!("{}{{", names::SERVE_REQUEST_NS);
+    let snap = fdc_obs::snapshot();
+    let mut digests = Vec::new();
+    for (key, _) in &snap.histograms {
+        if key.starts_with(&prefix) {
+            // The registry interns labeled series under their full key,
+            // so the lookup lands on the live histogram, not a new one.
+            digests.push((
+                key.clone(),
+                fdc_obs::registry().histogram(key).merged_digest(),
+            ));
+        }
+    }
+    let bundle = fdc_obs::SketchBundle { accuracy, digests };
+    fdc_obs::counter_with(
+        names::SERVE_REQUESTS,
+        &[("route", "sketch"), ("status", "200")],
+    )
+    .incr();
+    fdc_obs::httpcore::write_response_bytes(
+        stream,
+        "200 OK",
+        "application/octet-stream",
+        &bundle.encode(),
+        &[],
+    )
+    .ok();
 }
 
 /// `GET /healthz` — degrades to `503` on a follower whose replication
@@ -1317,11 +1499,18 @@ fn stats_body(shared: &Shared) -> String {
         }
         None => "null".to_string(),
     };
+    let partition = match shared.db.partition_summary() {
+        Some((owned, resident)) => {
+            format!("{{\"owned_bases\":{owned},\"resident_nodes\":{resident}}}")
+        }
+        None => "null".to_string(),
+    };
     format!(
         "{{\"queries\":{},\"inserts\":{},\"insert_batches\":{},\"time_advances\":{},\
          \"model_updates\":{},\"invalidations\":{},\"reestimations\":{},\
          \"pending_inserts\":{},\"buffered_rows\":{},\"queue_depth\":{},\
-         \"series_len\":{},\"models\":{},\"wal\":{},\"replication\":{},\"latency\":{},\"drift\":{}}}",
+         \"series_len\":{},\"models\":{},\"wal\":{},\"replication\":{},\"latency\":{},\
+         \"drift\":{},\"partition\":{partition}}}",
         stats.queries,
         stats.inserts,
         stats.insert_batches,

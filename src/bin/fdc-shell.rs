@@ -21,11 +21,22 @@
 //! continuously, reads serve from the replicated state, and writes are
 //! rejected until `POST /promote` turns the follower into a primary.
 //!
+//! Partitioned deployments: `--catalog <file>` persists the advised
+//! configuration (first start advises and saves, later starts load —
+//! every process of a deployment must share the same catalog);
+//! `--topology <file> --shard-id <id>` restricts this process to the
+//! base cells the topology's rendezvous placement assigns to `<id>`
+//! (`\topology` shows the partition); `--router <file>` starts no
+//! engine at all — just the `fdc-router` scatter-gather tier over the
+//! topology's shards (`--port <p>` picks its port).
+//!
 //! ```sh
 //! cargo run --release --bin fdc-shell                 # demo cube
 //! cargo run --release --bin fdc-shell -- data.csv     # your data (monthly)
 //! cargo run --release --bin fdc-shell -- --wal wal/   # durable inserts
 //! cargo run --release --bin fdc-shell -- --wal fwal/ --replica-of 127.0.0.1:8080
+//! cargo run --release --bin fdc-shell -- --catalog cat.f2c --topology topo.json --shard-id s0
+//! cargo run --release --bin fdc-shell -- --router topo.json --port 8080
 //! ```
 
 use fdc::advisor::{summarize, Advisor, AdvisorOptions};
@@ -49,6 +60,31 @@ fn main() {
         );
     }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Flag helpers: remove `--name value` from the positional args.
+    let take_value = |args: &mut Vec<String>, name: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == name)?;
+        args.remove(i);
+        if i < args.len() {
+            Some(args.remove(i))
+        } else {
+            eprintln!("{name} needs a value");
+            std::process::exit(1);
+        }
+    };
+    if let Some(topology_path) = take_value(&mut args, "--router") {
+        let port = take_value(&mut args, "--port")
+            .map(|p| p.parse::<u16>().unwrap_or(0))
+            .unwrap_or(0);
+        run_router(&PathBuf::from(topology_path), port);
+        return;
+    }
+    let catalog_path = take_value(&mut args, "--catalog").map(PathBuf::from);
+    let topology_path = take_value(&mut args, "--topology").map(PathBuf::from);
+    let shard_id = take_value(&mut args, "--shard-id");
+    if topology_path.is_some() != shard_id.is_some() {
+        eprintln!("--topology and --shard-id go together");
+        std::process::exit(1);
+    }
     let mut wal_dir: Option<PathBuf> = None;
     if let Some(i) = args.iter().position(|a| a == "--wal") {
         args.remove(i);
@@ -105,28 +141,109 @@ fn main() {
     };
 
     eprintln!(
-        "cube: {} base series, {} nodes; running the advisor…",
+        "cube: {} base series, {} nodes",
         dataset.graph().base_nodes().len(),
         dataset.node_count()
     );
-    let outcome = match Advisor::new(&dataset, AdvisorOptions::default()) {
-        Ok(mut advisor) => advisor.run(),
-        Err(e) => {
-            eprintln!("advisor failed: {e}");
-            std::process::exit(1);
+    // `--catalog <file>`: a saved configuration is authoritative — every
+    // process of a partitioned deployment must advise *once* and share
+    // the result, or advisor nondeterminism would give each shard a
+    // different model catalog and routed answers could never match an
+    // unpartitioned oracle.
+    let (db, report) = match &catalog_path {
+        Some(path) if path.exists() => {
+            eprintln!(
+                "catalog: loading shared configuration from {}",
+                path.display()
+            );
+            match F2db::open_catalog(dataset, path) {
+                Ok(db) => (
+                    db,
+                    String::from("(configuration loaded from --catalog — no advisor report)"),
+                ),
+                Err(e) => {
+                    eprintln!("catalog load failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            eprintln!("running the advisor…");
+            let outcome = match Advisor::new(&dataset, AdvisorOptions::default()) {
+                Ok(mut advisor) => advisor.run(),
+                Err(e) => {
+                    eprintln!("advisor failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "configuration ready: error {:.4}, {} models\n",
+                outcome.error, outcome.model_count
+            );
+            let report = summarize(&dataset, &outcome.configuration, 5).to_string();
+            let db = match F2db::load(dataset, &outcome.configuration) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("load failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Some(path) = &catalog_path {
+                match db.save_catalog(path) {
+                    Ok(()) => eprintln!("catalog: saved to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("catalog save failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            (db, report)
         }
     };
-    eprintln!(
-        "configuration ready: error {:.4}, {} models\n",
-        outcome.error, outcome.model_count
-    );
-    let report = summarize(&dataset, &outcome.configuration, 5);
-    let db = match F2db::load(dataset, &outcome.configuration) {
-        Ok(db) => db,
-        Err(e) => {
-            eprintln!("load failed: {e}");
-            std::process::exit(1);
+    // `--topology`/`--shard-id`: restrict this engine to the base cells
+    // the rendezvous placement assigns to this shard (before the WAL
+    // attaches, so replay advances under the partitioned row count).
+    let db = match (&topology_path, &shard_id) {
+        (Some(tp), Some(id)) => {
+            let topo = match fdc::router::Topology::load(tp) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            if !topo.shards.iter().any(|s| s.id == *id) {
+                eprintln!("shard id {id:?} is not in the topology");
+                std::process::exit(1);
+            }
+            let bases: Vec<_> = db.dataset().graph().base_nodes().to_vec();
+            let total = bases.len();
+            let mut owned = Vec::new();
+            for b in bases {
+                match db.partition_key(b, topo.key_dims) {
+                    Ok(key) if topo.place(&key).id == *id => owned.push(b),
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("partition key failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            match db.with_base_partition(&owned) {
+                Ok(db) => {
+                    let (o, r) = db.partition_summary().unwrap_or((0, 0));
+                    eprintln!(
+                        "partition {id}: {o} of {total} base cell(s) owned, {r} node(s) resident"
+                    );
+                    db
+                }
+                Err(e) => {
+                    eprintln!("partitioning failed: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
+        _ => db,
     };
     // Replica mode: the WAL directory is the follower's *local* log —
     // `open_follower` replays it, starts the fetch loop against the
@@ -194,7 +311,9 @@ fn main() {
     eprintln!(
         "     EXPLAIN [ANALYZE] <query> | \\report | \\stats | \\accuracy | \\maintain | \\metrics [human|json]"
     );
-    eprintln!("     \\events [n] | \\serve <port> | \\listen <port> | \\wal | \\slow | \\quit");
+    eprintln!(
+        "     \\events [n] | \\serve <port> | \\listen <port> | \\topology | \\wal | \\slow | \\quit"
+    );
     eprintln!("     \\trace <file.json> | \\trace | \\trace --merge <out.json> <in.json>...\n");
 
     // Export-plane state owned by the session: a running HTTP exporter,
@@ -319,6 +438,19 @@ fn main() {
                         }
                     }
                     None => println!("(drift monitoring disabled)"),
+                }
+                continue;
+            }
+            "\\topology" => {
+                match db.partition_summary() {
+                    Some((owned, resident)) => println!(
+                        "partitioned shard: {owned} base cell(s) owned, {resident} of {} node(s) resident",
+                        db.dataset().node_count()
+                    ),
+                    None => println!(
+                        "(not partitioned — start with --topology <file> --shard-id <id>, \
+                         or run the routing tier with --router <file>)"
+                    ),
                 }
                 continue;
             }
@@ -533,4 +665,85 @@ fn main() {
         r.seal();
     }
     drop(server);
+}
+
+/// `--router <topology>`: the stateless scatter-gather tier. No data
+/// set, no advisor, no engine — just the topology and a prompt for the
+/// few meta commands that make sense without one.
+fn run_router(path: &std::path::Path, port: u16) {
+    let topology = match fdc::router::Topology::load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let shards: Vec<String> = topology
+        .shards
+        .iter()
+        .map(|s| match &s.replica {
+            Some(r) => format!("{} ({}, replica {r})", s.id, s.addr),
+            None => format!("{} ({})", s.id, s.addr),
+        })
+        .collect();
+    let router =
+        match fdc::router::Router::start(topology, port, fdc::router::RouterOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot start router: {e}");
+                std::process::exit(1);
+            }
+        };
+    eprintln!(
+        "router on http://{} — POST /query /explain /insert, GET /stats /metrics /healthz /topology",
+        router.addr()
+    );
+    eprintln!("shards: {}", shards.join(", "));
+    eprintln!("meta: \\topology | \\metrics | \\events [n] | \\quit\n");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("fdc-router> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\quit" | "\\q" | "exit" => break,
+            "\\topology" => println!("{}", router.topology().encode()),
+            "\\metrics" => {
+                let snap = fdc::obs::snapshot();
+                if snap.is_empty() {
+                    println!("(no metrics recorded yet)");
+                } else {
+                    print!("{}", fdc::obs::encode_prometheus(&snap));
+                }
+            }
+            _ => {
+                if let Some(rest) = line.strip_prefix("\\events") {
+                    let n = rest.trim().parse::<usize>().unwrap_or(16);
+                    let events = fdc::obs::journal().recent(n);
+                    if events.is_empty() {
+                        println!("(no events journaled yet)");
+                    } else {
+                        for e in events {
+                            println!("{e}");
+                        }
+                    }
+                } else {
+                    println!("(router mode — SQL goes to POST /query; meta commands only here)");
+                }
+            }
+        }
+    }
+    router.shutdown();
+    eprintln!("router stopped");
 }

@@ -55,5 +55,6 @@ pub use fdc_hierarchical as hierarchical;
 pub use fdc_linalg as linalg;
 pub use fdc_obs as obs;
 pub use fdc_rng as rng;
+pub use fdc_router as router;
 pub use fdc_serve as serve;
 pub use fdc_wal as wal;
