@@ -1,0 +1,248 @@
+//! Coverage-vs-latency planning: which nodes should answer exactly and
+//! which from the sampling plane.
+//!
+//! The advisor's classical trade-off is *coverage* (how many nodes own a
+//! materialized model) versus maintenance cost. Sampling adds a second
+//! axis: a node with a huge base population can either aggregate every
+//! cell's forecast (exact, latency linear in the population) or expand a
+//! stratified sample (approximate, latency linear in the sample). The
+//! planner predicts each node's exact-answer latency from a measured
+//! per-cell forecast cost and samples exactly the nodes that would blow
+//! the query budget — everything else stays exact and bit-identical.
+
+use crate::plane::ancestors;
+use fdc_cube::{Dataset, NodeId};
+use std::collections::HashMap;
+
+/// Inputs of the coverage planner.
+#[derive(Debug, Clone)]
+pub struct CoverageOptions {
+    /// Per-query latency budget in seconds (the SLA the plan defends).
+    pub query_budget_secs: f64,
+    /// Measured cost of forecasting one sampled/base cell, in seconds —
+    /// callers pilot-fit a few cells and pass the observed mean.
+    pub forecast_cost_secs: f64,
+    /// Strata the plane will use (the planner sizes per-stratum samples).
+    pub strata: usize,
+    /// Hard per-stratum reservoir cap.
+    pub max_per_stratum: usize,
+    /// Nodes below this population always answer exactly, regardless of
+    /// the predicted latency.
+    pub min_population: usize,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        CoverageOptions {
+            query_budget_secs: 0.010,
+            forecast_cost_secs: 1e-6,
+            strata: 8,
+            max_per_stratum: 64,
+            min_population: 256,
+        }
+    }
+}
+
+/// How a node answers aggregate forecasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverageChoice {
+    /// Aggregate every base descendant's forecast.
+    Exact,
+    /// Expand a stratified sample of `per_stratum` cells per stratum.
+    Sampled {
+        /// Reservoir capacity per stratum chosen to fill the budget.
+        per_stratum: usize,
+    },
+}
+
+/// The planner's verdict for one aggregation node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageDecision {
+    /// The node.
+    pub node: NodeId,
+    /// Its base-cell population.
+    pub population: u64,
+    /// Predicted exact-answer latency, seconds.
+    pub predicted_exact_secs: f64,
+    /// Exact or sampled.
+    pub choice: CoverageChoice,
+}
+
+/// A full coverage plan over a dataset's aggregation nodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoveragePlan {
+    /// Per-node decisions, descending by population.
+    pub decisions: Vec<CoverageDecision>,
+}
+
+impl CoveragePlan {
+    /// Nodes the plan routes through the sampling plane, ascending.
+    pub fn sampled_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .decisions
+            .iter()
+            .filter(|d| matches!(d.choice, CoverageChoice::Sampled { .. }))
+            .map(|d| d.node)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The largest per-stratum reservoir any sampled node needs (plane
+    /// reservoirs are sized uniformly). Zero when nothing is sampled.
+    pub fn per_stratum(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter_map(|d| match d.choice {
+                CoverageChoice::Sampled { per_stratum } => Some(per_stratum),
+                CoverageChoice::Exact => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Count of sampled decisions.
+    pub fn sampled_count(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.choice, CoverageChoice::Sampled { .. }))
+            .count()
+    }
+
+    /// Count of exact decisions.
+    pub fn exact_count(&self) -> usize {
+        self.decisions.len() - self.sampled_count()
+    }
+}
+
+/// Plans coverage for every aggregation node of `dataset`: census the
+/// base populations in one pass, predict each node's exact latency as
+/// `population × forecast_cost`, and sample the nodes that exceed the
+/// budget, sizing the sample so its own latency *fills* (but respects)
+/// the budget.
+pub fn plan_coverage(dataset: &Dataset, options: &CoverageOptions) -> CoveragePlan {
+    let g = dataset.graph();
+    let mut pop: HashMap<NodeId, u64> = HashMap::new();
+    for &b in g.base_nodes() {
+        for anc in ancestors(g, b) {
+            *pop.entry(anc).or_insert(0) += 1;
+        }
+    }
+
+    let cost = options.forecast_cost_secs.max(1e-12);
+    let affordable_cells = (options.query_budget_secs / cost).floor().max(0.0) as usize;
+    let per_stratum =
+        (affordable_cells / options.strata.max(1)).clamp(2, options.max_per_stratum.max(2));
+
+    let mut decisions: Vec<CoverageDecision> = pop
+        .into_iter()
+        .map(|(node, population)| {
+            let predicted_exact_secs = population as f64 * cost;
+            let choice = if (population as usize) >= options.min_population
+                && predicted_exact_secs > options.query_budget_secs
+            {
+                CoverageChoice::Sampled { per_stratum }
+            } else {
+                CoverageChoice::Exact
+            };
+            CoverageDecision {
+                node,
+                population,
+                predicted_exact_secs,
+                choice,
+            }
+        })
+        .collect();
+    decisions.sort_by(|a, b| b.population.cmp(&a.population).then(a.node.cmp(&b.node)));
+    CoveragePlan { decisions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::{generate_highcard, HighCardSpec};
+
+    fn cube() -> Dataset {
+        generate_highcard(&HighCardSpec {
+            base_cells: 600,
+            groups: 30,
+            length: 12,
+            ..HighCardSpec::new(600, 21)
+        })
+        .dataset
+    }
+
+    #[test]
+    fn big_nodes_sample_small_nodes_stay_exact() {
+        let ds = cube();
+        // Budget affords 100 cell forecasts: the top node (600 cells)
+        // must sample, 20-cell groups must not.
+        let plan = plan_coverage(
+            &ds,
+            &CoverageOptions {
+                query_budget_secs: 100e-6,
+                forecast_cost_secs: 1e-6,
+                min_population: 50,
+                ..CoverageOptions::default()
+            },
+        );
+        let top = ds.graph().top_node();
+        let top_dec = plan.decisions.iter().find(|d| d.node == top).unwrap();
+        assert_eq!(top_dec.population, 600);
+        assert!(matches!(top_dec.choice, CoverageChoice::Sampled { .. }));
+        for d in &plan.decisions {
+            if d.node != top {
+                assert_eq!(d.choice, CoverageChoice::Exact, "group node sampled");
+            }
+        }
+        assert_eq!(plan.sampled_nodes(), vec![top]);
+        assert_eq!(plan.exact_count(), plan.decisions.len() - 1);
+    }
+
+    #[test]
+    fn larger_budget_samples_fewer_nodes() {
+        let ds = cube();
+        let tight = plan_coverage(
+            &ds,
+            &CoverageOptions {
+                query_budget_secs: 10e-6,
+                forecast_cost_secs: 1e-6,
+                min_population: 10,
+                ..CoverageOptions::default()
+            },
+        );
+        let loose = plan_coverage(
+            &ds,
+            &CoverageOptions {
+                query_budget_secs: 10.0,
+                forecast_cost_secs: 1e-6,
+                min_population: 10,
+                ..CoverageOptions::default()
+            },
+        );
+        assert!(tight.sampled_count() > 0);
+        assert_eq!(loose.sampled_count(), 0);
+        assert!(tight.sampled_count() >= loose.sampled_count());
+    }
+
+    #[test]
+    fn sample_size_fills_the_budget() {
+        let ds = cube();
+        let opts = CoverageOptions {
+            query_budget_secs: 320e-6,
+            forecast_cost_secs: 1e-6,
+            strata: 8,
+            max_per_stratum: 1024,
+            min_population: 50,
+        };
+        let plan = plan_coverage(&ds, &opts);
+        // 320 affordable cells over 8 strata → 40 per stratum.
+        assert_eq!(plan.per_stratum(), 40);
+        // Sampled latency fits the budget where exact would not.
+        let top = ds.graph().top_node();
+        let top_dec = plan.decisions.iter().find(|d| d.node == top).unwrap();
+        assert!(top_dec.predicted_exact_secs > 320e-6);
+        let sampled_secs = (opts.strata * plan.per_stratum()) as f64 * opts.forecast_cost_secs;
+        assert!(sampled_secs <= opts.query_budget_secs);
+    }
+}

@@ -1,0 +1,69 @@
+//! # fdc-approx — sampled approximate forecasting
+//!
+//! Exact aggregate forecasting answers `SUM(sales) … FORECAST h` by
+//! aggregating a forecast from *every* base cell under the queried node
+//! — linear in the node's population, which at 10⁵–10⁶ cells blows any
+//! interactive latency budget. This crate trades a bounded, *reported*
+//! amount of accuracy for orders-of-magnitude less work:
+//!
+//! 1. **Stratified cell sample** ([`sampler`]): cells are bucketed into
+//!    log-spaced strata by scale (`abs_mean + stddev` of their history)
+//!    and each stratum keeps a bottom-k-by-hashed-priority reservoir —
+//!    deterministic in (seed, cell coordinate), order-independent,
+//!    stable under inserts, and bit-reproducible across processes.
+//! 2. **Models on sampled cells only** ([`plane`]): the
+//!    [`ApproxPlane`] fits one forecast model per *sampled* cell and
+//!    answers a node's aggregate forecast as a stratified
+//!    Horvitz–Thompson scale-up `Σ_h N_h·ȳ_h` of the sampled forecasts,
+//!    with a per-step confidence interval from the within-stratum sample
+//!    variance (finite-population corrected).
+//! 3. **Coverage-vs-latency planning** ([`coverage`]): given a measured
+//!    per-cell forecast cost and a query latency budget, the planner
+//!    decides per node whether to answer exactly or from the sample —
+//!    the advisor surface for high-cardinality cubes.
+//! 4. **Persistence** ([`codec`]): planes serialize to a versioned
+//!    sidecar file; the F²DB catalog bytes never change, so exact-mode
+//!    results stay byte-identical when approximation is enabled.
+//!
+//! Queries choose per request between a cell `budget` (hard cap on
+//! evaluated cells) and a `target_ci` (relative half-width goal met by
+//! growing the evaluated prefix of the stored sample) — see
+//! [`ApproxQuerySpec`].
+
+pub mod codec;
+pub mod coverage;
+pub mod plane;
+pub mod sampler;
+
+pub use codec::{decode_plane, encode_plane};
+pub use coverage::{
+    plan_coverage, CoverageChoice, CoverageDecision, CoverageOptions, CoveragePlan,
+};
+pub use plane::{ApproxForecast, ApproxNodeInfo, ApproxOptions, ApproxPlane, ApproxQuerySpec};
+pub use sampler::{cell_priority, NodeSample, ScaleStrata, StratumReservoir};
+
+/// Errors of the approximate plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApproxError {
+    /// Plane construction / maintenance failed.
+    Build(String),
+    /// Fitting a sampled cell's model failed.
+    Fit(String),
+    /// Persisted plane bytes are invalid.
+    Codec(String),
+}
+
+impl std::fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApproxError::Build(m) => write!(f, "approx build error: {m}"),
+            ApproxError::Fit(m) => write!(f, "approx fit error: {m}"),
+            ApproxError::Codec(m) => write!(f, "approx codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ApproxError>;

@@ -1,0 +1,547 @@
+//! The approximate-forecasting plane: per-node stratified samples plus
+//! models fitted only on sampled cells.
+//!
+//! A plane is built once over a dataset (one pass over the base cells,
+//! walking each cell's ancestor closure), answers aggregate forecasts
+//! for its registered nodes in O(sample size) — independent of the
+//! node's population — and survives inserts: value inserts update the
+//! sampled models incrementally, new cells enter the reservoirs by
+//! hashed priority without resampling.
+
+use crate::sampler::{cell_priority, NodeSample, ScaleStrata};
+use crate::{ApproxError, Result};
+use fdc_cube::{Coord, Dataset, NodeId, TimeSeriesGraph, STAR};
+use fdc_forecast::sampling::{stratified_estimate, StratumSample};
+use fdc_forecast::{FitOptions, ForecastModel, ModelSpec};
+use fdc_obs::MomentSummary;
+use std::collections::HashMap;
+
+/// Build-time options of an [`ApproxPlane`].
+#[derive(Debug, Clone)]
+pub struct ApproxOptions {
+    /// Number of scale strata.
+    pub strata: usize,
+    /// Reservoir capacity per stratum — the *stored* sample; queries may
+    /// evaluate a budgeted prefix of it.
+    pub samples_per_stratum: usize,
+    /// Seed of the priority hash. Two planes over the same data and
+    /// seed sample identical cells, in any process.
+    pub seed: u64,
+    /// Nominal confidence level of reported intervals.
+    pub confidence: f64,
+    /// Model specification for sampled cells; `None` picks the default
+    /// for the data's seasonality and history length.
+    pub spec: Option<ModelSpec>,
+    /// Fit options for sampled-cell models.
+    pub fit: FitOptions,
+    /// Auto-registration floor: nodes with fewer base descendants than
+    /// this answer exactly and are not registered.
+    pub min_population: usize,
+    /// Cap on auto-registered nodes (largest populations win).
+    pub max_nodes: usize,
+}
+
+impl Default for ApproxOptions {
+    fn default() -> Self {
+        ApproxOptions {
+            strata: 8,
+            samples_per_stratum: 64,
+            seed: 0xA9B0,
+            confidence: 0.95,
+            spec: None,
+            fit: FitOptions::default(),
+            min_population: 256,
+            max_nodes: 4096,
+        }
+    }
+}
+
+/// Per-query approximation controls (the `{ target_ci | budget }` of a
+/// `QueryOptions::approx`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ApproxQuerySpec {
+    /// Maximum sampled cells to evaluate (proportionally allocated over
+    /// strata). `None` uses the full stored sample.
+    pub budget: Option<usize>,
+    /// Target *relative* CI half-width (half-width / |estimate|); the
+    /// plane evaluates growing prefixes of the stored sample until the
+    /// target is met or the sample is exhausted.
+    pub target_ci: Option<f64>,
+    /// Confidence level override (plane default when `None`).
+    pub confidence: Option<f64>,
+}
+
+/// An approximate aggregate forecast with its uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxForecast {
+    /// Estimated aggregate per horizon step.
+    pub values: Vec<f64>,
+    /// CI half-width per horizon step (same order as `values`).
+    pub ci_half: Vec<f64>,
+    /// Cells actually evaluated.
+    pub sampled: u64,
+    /// The node's base-cell population.
+    pub population: u64,
+    /// Confidence level of `ci_half`.
+    pub confidence: f64,
+}
+
+/// Static sampling facts about a registered node (for `EXPLAIN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxNodeInfo {
+    /// Base-cell population under the node.
+    pub population: u64,
+    /// Cells in the stored sample.
+    pub sampled: u64,
+    /// Strata count.
+    pub strata: usize,
+}
+
+/// The sampling plane. See the module docs.
+pub struct ApproxPlane {
+    options: ApproxOptions,
+    spec: ModelSpec,
+    strata: ScaleStrata,
+    nodes: HashMap<NodeId, NodeSample>,
+    /// Fitted models of sampled cells, shared across registered nodes.
+    models: HashMap<NodeId, Box<dyn ForecastModel>>,
+    /// How many reservoirs reference each sampled cell — a displaced
+    /// cell's model is dropped only when no reservoir holds it anymore.
+    refs: HashMap<NodeId, u32>,
+}
+
+/// Borrowed view of a plane's encodable parts, in codec order.
+pub(crate) type PlaneParts<'a> = (
+    &'a ApproxOptions,
+    &'a ModelSpec,
+    &'a ScaleStrata,
+    &'a HashMap<NodeId, NodeSample>,
+    &'a HashMap<NodeId, Box<dyn ForecastModel>>,
+);
+
+impl ApproxPlane {
+    /// Builds a plane over `dataset`. `targets` explicitly lists the
+    /// nodes to register; `None` auto-registers every non-base node
+    /// with at least `options.min_population` base descendants (largest
+    /// first, capped at `options.max_nodes`).
+    pub fn build(
+        dataset: &Dataset,
+        targets: Option<&[NodeId]>,
+        options: ApproxOptions,
+    ) -> Result<ApproxPlane> {
+        let g = dataset.graph();
+        let scales = cell_scales(dataset);
+        let (lo, hi) = scale_range(&scales);
+        let strata = ScaleStrata::from_range(options.strata, lo, hi);
+
+        let targets: Vec<NodeId> = match targets {
+            Some(t) => {
+                for &n in t {
+                    if g.level(n) == 0 {
+                        return Err(ApproxError::Build(format!(
+                            "node {n} is a base cell; only aggregation nodes can be sampled"
+                        )));
+                    }
+                }
+                t.to_vec()
+            }
+            None => auto_targets(g, &options),
+        };
+
+        let mut nodes: HashMap<NodeId, NodeSample> = targets
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    NodeSample::new(strata.count(), options.samples_per_stratum),
+                )
+            })
+            .collect();
+
+        // One pass over the base cells: each cell walks its ancestor
+        // closure and offers itself into every registered ancestor's
+        // reservoir. Ancestor count per cell is bounded by the schema's
+        // canonical subset count (small — FD chains collapse it), so
+        // the build is O(base_count), never O(base_count × nodes).
+        for &b in g.base_nodes() {
+            let prio = cell_priority(options.seed, g.coord(b).values());
+            let h = strata.stratum_of(scales[&b]);
+            for anc in ancestors(g, b) {
+                if let Some(ns) = nodes.get_mut(&anc) {
+                    ns.offer(h, prio, b);
+                }
+            }
+        }
+
+        let spec = options.spec.clone().unwrap_or_else(|| {
+            ModelSpec::default_for_history(
+                dataset.series(0).granularity().seasonal_period(),
+                dataset.series_len(),
+            )
+        });
+
+        // Fit models once per distinct sampled cell.
+        let mut refs: HashMap<NodeId, u32> = HashMap::new();
+        for ns in nodes.values() {
+            for s in ns.strata() {
+                for &(_, cell) in s.members() {
+                    *refs.entry(cell).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut models = HashMap::with_capacity(refs.len());
+        for &cell in refs.keys() {
+            models.insert(cell, fit_cell(dataset, cell, &spec, &options.fit)?);
+        }
+
+        Ok(ApproxPlane {
+            options,
+            spec,
+            strata,
+            nodes,
+            models,
+            refs,
+        })
+    }
+
+    /// The plane's options.
+    pub fn options(&self) -> &ApproxOptions {
+        &self.options
+    }
+
+    /// The resolved model spec sampled cells are fitted with.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The stratification boundaries.
+    pub fn strata(&self) -> &ScaleStrata {
+        &self.strata
+    }
+
+    /// Whether `node` answers approximately from this plane.
+    pub fn is_registered(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// Registered nodes, ascending.
+    pub fn registered_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Distinct cells with a fitted model.
+    pub fn sampled_cell_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Sampling facts for a registered node.
+    pub fn node_info(&self, node: NodeId) -> Option<ApproxNodeInfo> {
+        self.nodes.get(&node).map(|ns| ApproxNodeInfo {
+            population: ns.population(),
+            sampled: ns.sampled(),
+            strata: ns.strata().len(),
+        })
+    }
+
+    /// Internal accessor for the codec.
+    pub(crate) fn parts(&self) -> PlaneParts<'_> {
+        (
+            &self.options,
+            &self.spec,
+            &self.strata,
+            &self.nodes,
+            &self.models,
+        )
+    }
+
+    /// Internal constructor for the codec.
+    pub(crate) fn from_parts(
+        options: ApproxOptions,
+        spec: ModelSpec,
+        strata: ScaleStrata,
+        nodes: HashMap<NodeId, NodeSample>,
+        models: HashMap<NodeId, Box<dyn ForecastModel>>,
+    ) -> ApproxPlane {
+        let mut refs: HashMap<NodeId, u32> = HashMap::new();
+        for ns in nodes.values() {
+            for s in ns.strata() {
+                for &(_, cell) in s.members() {
+                    *refs.entry(cell).or_insert(0) += 1;
+                }
+            }
+        }
+        ApproxPlane {
+            options,
+            spec,
+            strata,
+            nodes,
+            models,
+            refs,
+        }
+    }
+
+    /// Feeds one committed observation of a base cell into its sampled
+    /// model (no-op for unsampled cells). O(1) per call — this sits on
+    /// the engine's advance path.
+    pub fn observe(&mut self, cell: NodeId, value: f64) {
+        if let Some(model) = self.models.get_mut(&cell) {
+            model.update(value);
+        }
+    }
+
+    /// Registers a freshly added base cell: it enters every registered
+    /// ancestor's reservoir by priority (possibly displacing a member),
+    /// and gets a model fitted on its history when sampled. The sample
+    /// *survives* the insert — at most one member per affected stratum
+    /// changes.
+    pub fn add_cell(&mut self, dataset: &Dataset, cell: NodeId) -> Result<()> {
+        let g = dataset.graph();
+        if g.level(cell) != 0 {
+            return Err(ApproxError::Build(format!(
+                "node {cell} is not a base cell"
+            )));
+        }
+        let mut summary = MomentSummary::new();
+        for &v in dataset.series(cell).values() {
+            summary.insert(v);
+        }
+        let scale = summary.abs_mean() + summary.stddev();
+        let h = self.strata.stratum_of(scale);
+        let prio = cell_priority(self.options.seed, g.coord(cell).values());
+        let mut entered = false;
+        let mut evicted: Vec<NodeId> = Vec::new();
+        for anc in ancestors(g, cell) {
+            if let Some(ns) = self.nodes.get_mut(&anc) {
+                let before = ns.sampled();
+                if let Some(out) = ns.offer(h, prio, cell) {
+                    evicted.push(out);
+                    entered = true;
+                } else if ns.sampled() > before {
+                    entered = true;
+                }
+            }
+        }
+        if entered && !self.models.contains_key(&cell) {
+            let model = fit_cell(dataset, cell, &self.spec, &self.options.fit)?;
+            self.models.insert(cell, model);
+        }
+        if entered {
+            *self.refs.entry(cell).or_insert(0) += 1;
+        }
+        for out in evicted {
+            if let Some(r) = self.refs.get_mut(&out) {
+                *r = r.saturating_sub(1);
+                if *r == 0 {
+                    self.refs.remove(&out);
+                    self.models.remove(&out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers an aggregate forecast for a registered node: a stratified
+    /// Horvitz–Thompson scale-up of the sampled cells' model forecasts,
+    /// with a per-step confidence interval. Returns `None` for
+    /// unregistered nodes (the caller answers exactly).
+    pub fn estimate(
+        &self,
+        node: NodeId,
+        horizon: usize,
+        spec: &ApproxQuerySpec,
+    ) -> Option<ApproxForecast> {
+        let ns = self.nodes.get(&node)?;
+        let confidence = spec.confidence.unwrap_or(self.options.confidence);
+        let total_sampled: usize = ns.sampled() as usize;
+        if total_sampled == 0 {
+            return Some(ApproxForecast {
+                values: vec![0.0; horizon],
+                ci_half: vec![0.0; horizon],
+                sampled: 0,
+                population: ns.population(),
+                confidence,
+            });
+        }
+
+        // Per-member forecasts, computed once per stratum in priority
+        // order; budgeted evaluations reuse prefixes.
+        let forecasts: Vec<Vec<Vec<f64>>> = ns
+            .strata()
+            .iter()
+            .map(|s| {
+                s.members()
+                    .iter()
+                    .map(|&(_, cell)| {
+                        self.models
+                            .get(&cell)
+                            .map(|m| m.forecast(horizon))
+                            .unwrap_or_else(|| vec![0.0; horizon])
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let eval = |budget: usize| -> ApproxForecast {
+            let counts = budget_allocation(ns, budget);
+            let mut values = Vec::with_capacity(horizon);
+            let mut ci_half = Vec::with_capacity(horizon);
+            let mut sampled = 0u64;
+            for t in 0..horizon {
+                let strata: Vec<StratumSample> = ns
+                    .strata()
+                    .iter()
+                    .enumerate()
+                    .map(|(h, s)| {
+                        let n = counts[h];
+                        let vals: Vec<f64> = forecasts[h][..n].iter().map(|f| f[t]).collect();
+                        StratumSample::from_values(s.population(), &vals)
+                    })
+                    .collect();
+                let est = stratified_estimate(&strata);
+                if t == 0 {
+                    sampled = est.sampled;
+                }
+                values.push(est.total);
+                ci_half.push(est.ci_half_width(confidence));
+            }
+            ApproxForecast {
+                values,
+                ci_half,
+                sampled,
+                population: ns.population(),
+                confidence,
+            }
+        };
+
+        match (spec.target_ci, spec.budget) {
+            (Some(target), _) => {
+                // Grow the evaluated prefix until the relative CI is
+                // tight enough (or the stored sample is exhausted).
+                let floor = spec.budget.unwrap_or(2 * ns.strata().len()).max(4);
+                let mut budget = floor.min(total_sampled);
+                loop {
+                    let fc = eval(budget);
+                    let worst = fc
+                        .values
+                        .iter()
+                        .zip(&fc.ci_half)
+                        .map(|(v, h)| if v.abs() > 1e-12 { h / v.abs() } else { 0.0 })
+                        .fold(0.0_f64, f64::max);
+                    if worst <= target || budget >= total_sampled {
+                        return Some(fc);
+                    }
+                    budget = (budget * 2).min(total_sampled);
+                }
+            }
+            (None, Some(budget)) => Some(eval(budget.min(total_sampled))),
+            (None, None) => Some(eval(total_sampled)),
+        }
+    }
+}
+
+/// Proportional (Neyman-lite) budget allocation: stratum h evaluates
+/// `round(budget · N_h / N)` of its stored members, clamped to `[2,
+/// n_h]` where the reservoir allows, so every non-trivial stratum keeps
+/// an estimable variance.
+fn budget_allocation(ns: &NodeSample, budget: usize) -> Vec<usize> {
+    let total_pop: u64 = ns.population().max(1);
+    ns.strata()
+        .iter()
+        .map(|s| {
+            let n_h = s.members().len();
+            if n_h == 0 {
+                return 0;
+            }
+            let share =
+                ((budget as f64) * (s.population() as f64) / (total_pop as f64)).round() as usize;
+            share.clamp(2.min(n_h), n_h)
+        })
+        .collect()
+}
+
+/// Per-cell scale: `abs_mean + stddev` of the cell's history.
+fn cell_scales(dataset: &Dataset) -> HashMap<NodeId, f64> {
+    let g = dataset.graph();
+    let mut scales = HashMap::with_capacity(g.base_nodes().len());
+    for &b in g.base_nodes() {
+        let mut s = MomentSummary::new();
+        for &v in dataset.series(b).values() {
+            s.insert(v);
+        }
+        scales.insert(b, s.abs_mean() + s.stddev());
+    }
+    scales
+}
+
+fn scale_range(scales: &HashMap<NodeId, f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &s in scales.values() {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (1.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// The canonical ancestor closure of a base cell (the cell's coordinate
+/// with every subset of dimensions starred, canonicalized and resolved;
+/// excludes the cell itself). Deterministic ascending order.
+pub(crate) fn ancestors(g: &TimeSeriesGraph, base: NodeId) -> Vec<NodeId> {
+    let coord = g.coord(base);
+    let k = coord.values().len();
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << k) {
+        let values: Vec<u32> = coord
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| if mask & (1 << d) != 0 { STAR } else { v })
+            .collect();
+        if let Some(n) = g.resolve(&Coord::new(values)) {
+            if n != base {
+                out.push(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Auto-selection of registered nodes: every non-base node whose
+/// base-descendant population reaches the floor, largest first, capped.
+fn auto_targets(g: &TimeSeriesGraph, options: &ApproxOptions) -> Vec<NodeId> {
+    let mut pop: HashMap<NodeId, u64> = HashMap::new();
+    for &b in g.base_nodes() {
+        for anc in ancestors(g, b) {
+            *pop.entry(anc).or_insert(0) += 1;
+        }
+    }
+    let mut candidates: Vec<(u64, NodeId)> = pop
+        .into_iter()
+        .map(|(n, count)| (count, n))
+        .filter(|&(count, _)| count as usize >= options.min_population)
+        .collect();
+    candidates.sort_unstable_by(|a, b| b.cmp(a));
+    candidates
+        .into_iter()
+        .take(options.max_nodes)
+        .map(|(_, n)| n)
+        .collect()
+}
+
+fn fit_cell(
+    dataset: &Dataset,
+    cell: NodeId,
+    spec: &ModelSpec,
+    fit: &FitOptions,
+) -> Result<Box<dyn ForecastModel>> {
+    spec.fit(dataset.series(cell), fit)
+        .map_err(|e| ApproxError::Fit(format!("cell {cell}: {e}")))
+}

@@ -1,0 +1,292 @@
+//! Deterministic stratified cell sampling.
+//!
+//! ## Stratification
+//!
+//! Cells are bucketed by *scale* — `abs_mean + stddev` of the cell's
+//! history, summarized by a [`fdc_obs::MomentSummary`] — into
+//! log-spaced strata. Heavy-tailed cubes put most of the aggregate's
+//! mass into a few huge cells; putting same-scale cells together makes
+//! the within-stratum variance (the only term in the estimator's
+//! variance) small, which is where stratified sampling beats uniform
+//! sampling by orders of magnitude.
+//!
+//! ## Seeded reservoir (bottom-k by hashed priority)
+//!
+//! Within a stratum the sample is the `k` cells with the smallest
+//! `priority = mix(seed, cell coordinate)`. This is a reservoir sample
+//! with three properties the plane needs:
+//!
+//! - **uniform**: the hash order is independent of the data, so any
+//!   prefix of the priority-sorted members is a uniform sample — which
+//!   also lets a query evaluate only a budgeted *prefix* of the stored
+//!   sample;
+//! - **insert-stable**: offering a new cell either displaces the
+//!   current maximum or leaves the sample untouched — samples survive
+//!   inserts without resampling;
+//! - **process-reproducible**: priorities depend only on the seed and
+//!   the cell's coordinate, never on iteration order or addresses, so
+//!   two processes building over the same data agree bit-for-bit.
+
+use fdc_cube::NodeId;
+
+/// Deterministic per-cell priority: splitmix-style avalanche over the
+/// seed and the cell's coordinate values. Stable across processes and
+/// platforms (pure integer mixing, no addresses, no iteration order).
+pub fn cell_priority(seed: u64, coord_values: &[u32]) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for &v in coord_values {
+        h ^= u64::from(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Log-spaced scale boundaries partitioning cells into strata.
+///
+/// `bounds` holds the H−1 interior boundaries in ascending order;
+/// stratum `h` covers scales in `[bounds[h-1], bounds[h])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleStrata {
+    bounds: Vec<f64>,
+}
+
+impl ScaleStrata {
+    /// Builds `strata` log-spaced buckets covering `[lo, hi]`. Collapses
+    /// to a single stratum when the range is degenerate.
+    pub fn from_range(strata: usize, lo: f64, hi: f64) -> ScaleStrata {
+        let strata = strata.max(1);
+        let lo = lo.max(1e-12);
+        let hi = hi.max(lo);
+        if strata == 1 || hi / lo < 1.0 + 1e-9 {
+            return ScaleStrata { bounds: Vec::new() };
+        }
+        let log_lo = lo.ln();
+        let step = (hi.ln() - log_lo) / strata as f64;
+        let bounds = (1..strata)
+            .map(|i| (log_lo + step * i as f64).exp())
+            .collect();
+        ScaleStrata { bounds }
+    }
+
+    /// Rebuilds from persisted boundaries.
+    pub fn from_bounds(bounds: Vec<f64>) -> ScaleStrata {
+        ScaleStrata { bounds }
+    }
+
+    /// The persisted interior boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Number of strata.
+    pub fn count(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The stratum a scale falls into.
+    pub fn stratum_of(&self, scale: f64) -> usize {
+        self.bounds.partition_point(|&b| b <= scale)
+    }
+}
+
+/// A bottom-k reservoir over one stratum of one aggregation node:
+/// members are kept sorted ascending by priority, so any prefix is a
+/// valid uniform sub-sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumReservoir {
+    cap: usize,
+    /// Total cells ever offered (the stratum population N_h).
+    population: u64,
+    /// The k lowest-priority members, ascending by priority.
+    members: Vec<(u64, NodeId)>,
+}
+
+impl StratumReservoir {
+    /// An empty reservoir holding at most `cap` members.
+    pub fn new(cap: usize) -> StratumReservoir {
+        StratumReservoir {
+            cap: cap.max(1),
+            population: 0,
+            members: Vec::new(),
+        }
+    }
+
+    /// Rebuilds from persisted state. `members` must be ascending by
+    /// priority.
+    pub fn from_parts(cap: usize, population: u64, members: Vec<(u64, NodeId)>) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0].0 <= w[1].0));
+        StratumReservoir {
+            cap: cap.max(1),
+            population,
+            members,
+        }
+    }
+
+    /// Offers a cell; returns the cell it displaced (`None` when the
+    /// sample is unchanged or still filling). Ties on priority break by
+    /// node id so the sample stays a deterministic function of the set.
+    pub fn offer(&mut self, priority: u64, cell: NodeId) -> Option<NodeId> {
+        self.population += 1;
+        let pos = self
+            .members
+            .partition_point(|&(p, c)| (p, c) < (priority, cell));
+        if self.members.len() < self.cap {
+            self.members.insert(pos, (priority, cell));
+            return None;
+        }
+        if pos >= self.cap {
+            return None;
+        }
+        let evicted = self.members.pop().map(|(_, c)| c);
+        self.members.insert(pos, (priority, cell));
+        evicted
+    }
+
+    /// Stratum population N_h.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Sampled members, ascending by priority.
+    pub fn members(&self) -> &[(u64, NodeId)] {
+        &self.members
+    }
+
+    /// Reservoir capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+/// The stratified sample of one aggregation node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSample {
+    strata: Vec<StratumReservoir>,
+}
+
+impl NodeSample {
+    /// An empty sample over `strata` strata, each capped at `cap`.
+    pub fn new(strata: usize, cap: usize) -> NodeSample {
+        NodeSample {
+            strata: (0..strata.max(1))
+                .map(|_| StratumReservoir::new(cap))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds from persisted reservoirs.
+    pub fn from_strata(strata: Vec<StratumReservoir>) -> NodeSample {
+        NodeSample { strata }
+    }
+
+    /// Offers a cell into its stratum; returns any displaced cell.
+    pub fn offer(&mut self, stratum: usize, priority: u64, cell: NodeId) -> Option<NodeId> {
+        let h = stratum.min(self.strata.len() - 1);
+        self.strata[h].offer(priority, cell)
+    }
+
+    /// The per-stratum reservoirs.
+    pub fn strata(&self) -> &[StratumReservoir] {
+        &self.strata
+    }
+
+    /// Total population across strata (the node's base descendants).
+    pub fn population(&self) -> u64 {
+        self.strata.iter().map(|s| s.population()).sum()
+    }
+
+    /// Total sampled cells across strata.
+    pub fn sampled(&self) -> u64 {
+        self.strata.iter().map(|s| s.members().len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_are_stable_and_well_spread() {
+        let a = cell_priority(7, &[1, 2]);
+        assert_eq!(a, cell_priority(7, &[1, 2]));
+        assert_ne!(a, cell_priority(8, &[1, 2]));
+        assert_ne!(a, cell_priority(7, &[2, 1]));
+        // Spread: over 1000 cells, the bottom-100 by priority should
+        // not cluster in cell-id order.
+        let mut prio: Vec<(u64, u32)> = (0..1000).map(|v| (cell_priority(3, &[v]), v)).collect();
+        prio.sort();
+        let mean_id: f64 = prio[..100].iter().map(|&(_, v)| v as f64).sum::<f64>() / 100.0;
+        assert!(
+            (mean_id - 500.0).abs() < 150.0,
+            "bottom-k clustered: {mean_id}"
+        );
+    }
+
+    #[test]
+    fn reservoir_is_order_independent() {
+        let cells: Vec<NodeId> = (0..500).collect();
+        let mut fwd = StratumReservoir::new(16);
+        for &c in &cells {
+            fwd.offer(cell_priority(1, &[c as u32]), c);
+        }
+        let mut rev = StratumReservoir::new(16);
+        for &c in cells.iter().rev() {
+            rev.offer(cell_priority(1, &[c as u32]), c);
+        }
+        assert_eq!(fwd.members(), rev.members());
+        assert_eq!(fwd.population(), rev.population());
+    }
+
+    #[test]
+    fn reservoir_keeps_the_k_smallest_priorities() {
+        let mut r = StratumReservoir::new(8);
+        let mut all: Vec<(u64, NodeId)> = (0..200)
+            .map(|c| (cell_priority(9, &[c as u32]), c as NodeId))
+            .collect();
+        for &(p, c) in &all {
+            r.offer(p, c);
+        }
+        all.sort();
+        assert_eq!(r.members(), &all[..8]);
+    }
+
+    #[test]
+    fn insert_stability_new_cell_changes_at_most_one_member() {
+        let mut r = StratumReservoir::new(8);
+        for c in 0..100u32 {
+            r.offer(cell_priority(2, &[c]), c as NodeId);
+        }
+        let before: Vec<NodeId> = r.members().iter().map(|&(_, c)| c).collect();
+        r.offer(cell_priority(2, &[100]), 100);
+        let after: Vec<NodeId> = r.members().iter().map(|&(_, c)| c).collect();
+        let kept = after.iter().filter(|c| before.contains(c)).count();
+        assert!(kept >= 7, "insert displaced more than one member");
+    }
+
+    #[test]
+    fn log_strata_partition_scales() {
+        let s = ScaleStrata::from_range(4, 1.0, 10_000.0);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.stratum_of(0.5), 0);
+        assert_eq!(s.stratum_of(5.0), 0);
+        assert_eq!(s.stratum_of(50.0), 1);
+        assert_eq!(s.stratum_of(500.0), 2);
+        assert_eq!(s.stratum_of(5_000.0), 3);
+        assert_eq!(s.stratum_of(1e9), 3);
+        // Degenerate range collapses to one stratum.
+        assert_eq!(ScaleStrata::from_range(8, 3.0, 3.0).count(), 1);
+    }
+
+    #[test]
+    fn node_sample_routes_to_strata_and_counts() {
+        let mut ns = NodeSample::new(2, 4);
+        for c in 0..10u32 {
+            ns.offer((c % 2) as usize, cell_priority(5, &[c]), c as NodeId);
+        }
+        assert_eq!(ns.population(), 10);
+        assert_eq!(ns.sampled(), 8);
+        assert_eq!(ns.strata()[0].population(), 5);
+    }
+}

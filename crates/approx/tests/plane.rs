@@ -1,0 +1,219 @@
+//! Behavioral guarantees of the approximate plane: exactness when fully
+//! sampled, budget/target-CI semantics, insert stability, incremental
+//! observation, cross-process reproducibility.
+
+use fdc_approx::{ApproxOptions, ApproxPlane, ApproxQuerySpec};
+use fdc_cube::Dataset;
+use fdc_datagen::{generate_highcard, HighCardSpec};
+use fdc_forecast::ModelSpec;
+
+fn cube(cells: usize, seed: u64) -> Dataset {
+    generate_highcard(&HighCardSpec {
+        base_cells: cells,
+        groups: (cells / 20).max(1),
+        length: 16,
+        ..HighCardSpec::new(cells, seed)
+    })
+    .dataset
+}
+
+fn options() -> ApproxOptions {
+    ApproxOptions {
+        strata: 4,
+        samples_per_stratum: 16,
+        min_population: 100,
+        spec: Some(ModelSpec::Ses),
+        ..ApproxOptions::default()
+    }
+}
+
+#[test]
+fn auto_registration_obeys_the_population_floor() {
+    let ds = cube(400, 1);
+    let plane = ApproxPlane::build(&ds, None, options()).unwrap();
+    let top = ds.graph().top_node();
+    // Top (400 cells) is registered; 20-cell groups are not.
+    assert!(plane.is_registered(top));
+    assert_eq!(plane.registered_nodes(), vec![top]);
+    let info = plane.node_info(top).unwrap();
+    assert_eq!(info.population, 400);
+    assert!(info.sampled <= 4 * 16);
+    assert!(info.sampled > 0);
+}
+
+#[test]
+fn fully_sampled_node_is_exact_with_zero_ci() {
+    let ds = cube(400, 2);
+    // Reservoirs big enough to hold every cell: the HT expansion must
+    // degenerate to the exact sum of per-cell forecasts, CI = 0.
+    let plane = ApproxPlane::build(
+        &ds,
+        None,
+        ApproxOptions {
+            samples_per_stratum: 400,
+            ..options()
+        },
+    )
+    .unwrap();
+    let top = ds.graph().top_node();
+    let fc = plane.estimate(top, 3, &ApproxQuerySpec::default()).unwrap();
+    assert_eq!(fc.sampled, 400);
+    assert_eq!(fc.population, 400);
+    assert!(fc.ci_half.iter().all(|&h| h == 0.0));
+
+    // Oracle: sum of per-cell SES forecasts.
+    let exact = exact_sum_forecast(&ds, 3);
+    for (got, want) in fc.values.iter().zip(&exact) {
+        assert!(
+            (got - want).abs() <= 1e-6 * want.abs(),
+            "fully sampled estimate {got} != exact {want}"
+        );
+    }
+}
+
+#[test]
+fn budget_caps_evaluated_cells_and_widens_the_interval() {
+    let ds = cube(600, 3);
+    let plane = ApproxPlane::build(&ds, None, options()).unwrap();
+    let top = ds.graph().top_node();
+    let full = plane.estimate(top, 2, &ApproxQuerySpec::default()).unwrap();
+    let capped = plane
+        .estimate(
+            top,
+            2,
+            &ApproxQuerySpec {
+                budget: Some(16),
+                ..ApproxQuerySpec::default()
+            },
+        )
+        .unwrap();
+    assert!(capped.sampled < full.sampled);
+    assert!(capped.sampled >= 8, "budget allocation starved the strata");
+    // Fewer cells → no tighter interval (same data, wider or equal CI on
+    // the worst step).
+    let worst = |fc: &fdc_approx::ApproxForecast| {
+        fc.ci_half
+            .iter()
+            .zip(&fc.values)
+            .map(|(h, v)| h / v.abs().max(1e-9))
+            .fold(0.0_f64, f64::max)
+    };
+    assert!(worst(&capped) >= worst(&full) * 0.99);
+}
+
+#[test]
+fn target_ci_grows_the_prefix_until_met() {
+    let ds = cube(600, 4);
+    let plane = ApproxPlane::build(
+        &ds,
+        None,
+        ApproxOptions {
+            samples_per_stratum: 64,
+            ..options()
+        },
+    )
+    .unwrap();
+    let top = ds.graph().top_node();
+    // A loose target is met with few cells; an unreachable target
+    // exhausts the stored sample rather than looping forever.
+    let loose = plane
+        .estimate(
+            top,
+            2,
+            &ApproxQuerySpec {
+                target_ci: Some(10.0),
+                ..ApproxQuerySpec::default()
+            },
+        )
+        .unwrap();
+    let strict = plane
+        .estimate(
+            top,
+            2,
+            &ApproxQuerySpec {
+                target_ci: Some(1e-9),
+                ..ApproxQuerySpec::default()
+            },
+        )
+        .unwrap();
+    assert!(loose.sampled <= strict.sampled);
+    let full = plane.estimate(top, 2, &ApproxQuerySpec::default()).unwrap();
+    assert_eq!(strict.sampled, full.sampled);
+}
+
+#[test]
+fn two_processes_agree_bit_for_bit() {
+    // Simulated cross-process run: independent generation + build from
+    // the same seeds must answer identically down to the bits.
+    let spec = ApproxQuerySpec::default();
+    let run = || {
+        let ds = cube(300, 5);
+        let plane = ApproxPlane::build(&ds, None, options()).unwrap();
+        let top = ds.graph().top_node();
+        let fc = plane.estimate(top, 4, &spec).unwrap();
+        (
+            fc.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fc.ci_half.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fc.sampled,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn observe_updates_only_sampled_models() {
+    let ds = cube(400, 6);
+    let mut plane = ApproxPlane::build(&ds, None, options()).unwrap();
+    let top = ds.graph().top_node();
+    let before = plane.estimate(top, 1, &ApproxQuerySpec::default()).unwrap();
+    // Push a big observation into every base cell (as the engine's
+    // advance hook would); sampled models absorb it and the estimate
+    // moves upward.
+    for &b in ds.graph().base_nodes() {
+        let last = *ds.series(b).values().last().unwrap();
+        plane.observe(b, last * 3.0);
+    }
+    let after = plane.estimate(top, 1, &ApproxQuerySpec::default()).unwrap();
+    assert!(
+        after.values[0] > before.values[0] * 1.2,
+        "observe had no effect: {} -> {}",
+        before.values[0],
+        after.values[0]
+    );
+}
+
+#[test]
+fn add_cell_keeps_the_sample_consistent() {
+    let ds = cube(400, 7);
+    let mut plane = ApproxPlane::build(&ds, None, options()).unwrap();
+    let top = ds.graph().top_node();
+    let pop_before = plane.node_info(top).unwrap().population;
+    // Re-offer an existing base cell id as if freshly added (the plane
+    // only sees ids and histories; population grows by one).
+    let cell = ds.graph().base_nodes()[0];
+    plane.add_cell(&ds, cell).unwrap();
+    let info = plane.node_info(top).unwrap();
+    assert_eq!(info.population, pop_before + 1);
+    // Estimates still work and models stay ref-counted.
+    assert!(plane
+        .estimate(top, 2, &ApproxQuerySpec::default())
+        .is_some());
+    assert!(plane.sampled_cell_count() as u64 >= info.sampled.min(1));
+    // Non-base nodes are rejected.
+    assert!(plane.add_cell(&ds, top).is_err());
+}
+
+/// Exact oracle: fit the plane's model spec on every base cell and sum
+/// the forecasts.
+fn exact_sum_forecast(ds: &Dataset, horizon: usize) -> Vec<f64> {
+    let mut out = vec![0.0; horizon];
+    for &b in ds.graph().base_nodes() {
+        let m = ModelSpec::Ses
+            .fit(ds.series(b), &fdc_forecast::FitOptions::default())
+            .unwrap();
+        for (acc, v) in out.iter_mut().zip(m.forecast(horizon)) {
+            *acc += v;
+        }
+    }
+    out
+}

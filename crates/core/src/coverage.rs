@@ -1,0 +1,160 @@
+//! Coverage-vs-latency advice: pilot-measure the per-cell forecast cost
+//! on this hardware, then plan which nodes must answer from a stratified
+//! sample to stay inside a query-latency budget.
+//!
+//! The advisor's classical trade-off is model coverage against
+//! maintenance cost (§IV). High-cardinality cubes add a latency axis: an
+//! aggregate over 10⁶ base cells cannot sum a million per-cell forecasts
+//! inside an interactive budget no matter how good the configuration is.
+//! This module bridges the advisor and the sampling plane — it fits a
+//! small pilot of real base cells to observe the per-cell cost on the
+//! machine at hand (mirroring how [`crate::control`] calibrates phase
+//! budgets from observed timings) and feeds that measurement into
+//! [`fdc_approx::plan_coverage`].
+
+use fdc_approx::{CoverageOptions, CoveragePlan};
+use fdc_cube::Dataset;
+use fdc_forecast::{FitOptions, ModelSpec};
+use std::time::Instant;
+
+/// Inputs of the latency advisor.
+#[derive(Debug, Clone)]
+pub struct LatencyBudget {
+    /// Per-query latency budget in seconds.
+    pub query_budget_secs: f64,
+    /// Base cells fitted to measure the per-cell forecast cost.
+    pub pilot_cells: usize,
+    /// Forecast steps evaluated per pilot cell.
+    pub pilot_horizon: usize,
+    /// Strata the sampling plane will use.
+    pub strata: usize,
+    /// Hard per-stratum reservoir cap.
+    pub max_per_stratum: usize,
+    /// Nodes below this population always answer exactly.
+    pub min_population: usize,
+}
+
+impl Default for LatencyBudget {
+    fn default() -> Self {
+        LatencyBudget {
+            query_budget_secs: 0.010,
+            pilot_cells: 32,
+            pilot_horizon: 4,
+            strata: 8,
+            max_per_stratum: 64,
+            min_population: 256,
+        }
+    }
+}
+
+/// Measures the mean cost of forecasting one base cell, in seconds, by
+/// fitting and evaluating a pilot of evenly spaced base series. The
+/// measurement includes the model *evaluation* only — fits are amortized
+/// over the plane's lifetime, so the query path pays forecasts alone.
+/// Returns a small positive floor when the pilot is degenerate.
+pub fn pilot_forecast_cost(dataset: &Dataset, budget: &LatencyBudget) -> f64 {
+    const FLOOR_SECS: f64 = 1e-8;
+    let bases = dataset.graph().base_nodes();
+    if bases.is_empty() || budget.pilot_cells == 0 {
+        return FLOOR_SECS;
+    }
+    let stride = (bases.len() / budget.pilot_cells.min(bases.len())).max(1);
+    let period = dataset.series(bases[0]).granularity().seasonal_period();
+    let spec = ModelSpec::default_for_period(period);
+    let fit = FitOptions::default();
+    let mut models = Vec::new();
+    for &b in bases.iter().step_by(stride).take(budget.pilot_cells) {
+        let series = dataset.series(b);
+        let spec = if series.len() >= spec.min_observations() {
+            spec.clone()
+        } else {
+            ModelSpec::Ses
+        };
+        if let Ok(m) = spec.fit(series, &fit) {
+            models.push(m);
+        }
+    }
+    if models.is_empty() {
+        return FLOOR_SECS;
+    }
+    let horizon = budget.pilot_horizon.max(1);
+    let start = Instant::now();
+    let mut sink = 0.0_f64;
+    for m in &models {
+        for v in m.forecast(horizon) {
+            sink += v;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // Keep `sink` observable so the measurement loop is not elided.
+    let jitter = if sink.is_nan() { FLOOR_SECS } else { 0.0 };
+    (elapsed / models.len() as f64).max(FLOOR_SECS) + jitter
+}
+
+/// Pilot-measures the per-cell forecast cost and plans node coverage
+/// against `budget`: nodes whose exact aggregation would exceed the
+/// query budget are marked for the sampling plane, everything else stays
+/// exact. Feed the returned plan to `F2db::with_approx_plan`.
+pub fn advise_coverage(dataset: &Dataset, budget: &LatencyBudget) -> CoveragePlan {
+    let cost = pilot_forecast_cost(dataset, budget);
+    fdc_approx::plan_coverage(
+        dataset,
+        &CoverageOptions {
+            query_budget_secs: budget.query_budget_secs,
+            forecast_cost_secs: cost,
+            strata: budget.strata,
+            max_per_stratum: budget.max_per_stratum,
+            min_population: budget.min_population,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_datagen::{generate_highcard, HighCardSpec};
+
+    fn cube() -> Dataset {
+        generate_highcard(&HighCardSpec {
+            base_cells: 400,
+            groups: 20,
+            length: 16,
+            ..HighCardSpec::new(400, 7)
+        })
+        .dataset
+    }
+
+    #[test]
+    fn pilot_cost_is_positive_and_finite() {
+        let ds = cube();
+        let cost = pilot_forecast_cost(&ds, &LatencyBudget::default());
+        assert!(cost.is_finite() && cost > 0.0, "cost = {cost}");
+        // A per-cell forecast is fast; anything near a millisecond means
+        // the pilot measured fitting, not forecasting.
+        assert!(cost < 1e-3, "cost = {cost}");
+    }
+
+    #[test]
+    fn tight_budgets_sample_loose_budgets_stay_exact() {
+        let ds = cube();
+        let tight = advise_coverage(
+            &ds,
+            &LatencyBudget {
+                query_budget_secs: 1e-9,
+                min_population: 50,
+                ..LatencyBudget::default()
+            },
+        );
+        assert!(tight.sampled_count() > 0);
+        let loose = advise_coverage(
+            &ds,
+            &LatencyBudget {
+                query_budget_secs: 3600.0,
+                min_population: 50,
+                ..LatencyBudget::default()
+            },
+        );
+        assert_eq!(loose.sampled_count(), 0);
+        assert!(loose.exact_count() >= tight.exact_count());
+    }
+}

@@ -221,7 +221,13 @@ impl TimeSeriesGraph {
                     next_id
                 });
                 if mask == 0 {
-                    if base.contains(&id) {
+                    // mask 0 runs first for every coord, and a starred
+                    // mask canonicalizes back to a base coordinate only
+                    // when it IS that coordinate — so finding the base
+                    // coord already indexed means a duplicate. O(1),
+                    // where scanning `base` would be quadratic in the
+                    // cell count.
+                    if id != next_id {
                         return Err(CubeError::InvalidData(format!(
                             "duplicate base coordinate {}",
                             coords[id].display(&schema)

@@ -21,12 +21,14 @@
 
 pub mod csv;
 pub mod genx;
+pub mod highcard;
 pub mod noise;
 pub mod proxies;
 pub mod sarima_gen;
 
 pub use csv::{export_csv, import_csv, CsvError};
 pub use genx::{generate_cube, paper_levels, GenSpec, GeneratedCube};
+pub use highcard::{cube_fingerprint, generate_highcard, HighCardSpec};
 pub use noise::GaussianNoise;
 pub use proxies::{energy_proxy, sales_proxy, tourism_proxy};
 pub use sarima_gen::{simulate_sarima, SarimaProcess};

@@ -54,6 +54,21 @@ pub struct ExplainSource {
     pub invalid: bool,
 }
 
+/// Sampling facts of a plan node answered from the approximate plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainApprox {
+    /// Base-cell population under the node.
+    pub population: u64,
+    /// Cells in the stored stratified sample.
+    pub sampled: u64,
+    /// Strata count.
+    pub strata: usize,
+    /// The caller's cell budget, when one was given.
+    pub budget: Option<usize>,
+    /// The caller's relative CI target, when one was given.
+    pub target_ci: Option<f64>,
+}
+
 /// One node of the query plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplainRow {
@@ -62,7 +77,7 @@ pub struct ExplainRow {
     /// Coordinate label of the node.
     pub label: String,
     /// Scheme classification: direct / aggregation / disaggregation /
-    /// general.
+    /// general — or `sampled` when the approximate plane answers.
     pub scheme_kind: &'static str,
     /// The scheme's sources.
     pub sources: Vec<ExplainSource>,
@@ -70,6 +85,9 @@ pub struct ExplainRow {
     pub weight: f64,
     /// Execution annotations; `Some` only for `EXPLAIN ANALYZE`.
     pub analysis: Option<NodeAnalysis>,
+    /// Sampling facts; `Some` only when this node would be answered
+    /// approximately (the query opted in and the node is registered).
+    pub approx: Option<ExplainApprox>,
 }
 
 /// The full plan of a forecast query.
@@ -112,6 +130,20 @@ impl ExplainReport {
                 Some(_) if mask_timings => writeln!(f, "  (actual time: <masked>)")?,
                 Some(a) => writeln!(f, "  (actual time: {:.1?})", a.elapsed)?,
                 None => writeln!(f)?,
+            }
+            if let Some(ap) = &row.approx {
+                write!(
+                    f,
+                    "       sampling: {} of {} cells across {} strata",
+                    ap.sampled, ap.population, ap.strata
+                )?;
+                if let Some(b) = ap.budget {
+                    write!(f, ", budget {b}")?;
+                }
+                if let Some(t) = ap.target_ci {
+                    write!(f, ", target CI {:.1}%", t * 100.0)?;
+                }
+                writeln!(f)?;
             }
             for (i, s) in row.sources.iter().enumerate() {
                 match &row.analysis {
@@ -185,6 +217,7 @@ mod tests {
                 }],
                 weight: 0.25,
                 analysis: None,
+                approx: None,
             }],
             total_elapsed: None,
         };
@@ -216,6 +249,7 @@ mod tests {
                     source_states: vec![SourceModelState::Reestimated],
                     values: vec![10.5, 11.25],
                 }),
+                approx: None,
             }],
             total_elapsed: Some(Duration::from_micros(55)),
         };

@@ -66,11 +66,19 @@ pub use catalog::{
     AdvanceOutcome, Catalog, CatalogEntry, Reestimation, StoredModel, DEFAULT_SHARD_COUNT,
 };
 pub use durability::{DecodedCheckpoint, WalRecord};
-pub use explain::{ExplainReport, ExplainRow, ExplainSource, NodeAnalysis, SourceModelState};
+pub use explain::{
+    ExplainApprox, ExplainReport, ExplainRow, ExplainSource, NodeAnalysis, SourceModelState,
+};
 pub use maintenance::{MaintenancePolicy, MaintenanceStats, SharedMaintenanceStats};
 pub use parser::parse_query;
-pub use query::{AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, Statement};
+pub use query::{
+    AggregateFn, ForecastQuery, HorizonSpec, QueryResult, QueryRow, RowApprox, Statement,
+};
+// Approximation surface, re-exported so engine embedders need not depend
+// on fdc-approx directly.
+pub use fdc_approx::{ApproxOptions, ApproxQuerySpec, CoverageOptions, CoveragePlan};
 
+use fdc_approx::ApproxPlane;
 use fdc_cube::{Configuration, Dataset, NodeId, NodeQuery};
 use fdc_forecast::FitOptions;
 use fdc_obs::{journal, names, AccuracyOptions, Event, RollingAccuracy};
@@ -117,6 +125,15 @@ impl std::error::Error for F2dbError {}
 impl From<fdc_cube::CubeError> for F2dbError {
     fn from(e: fdc_cube::CubeError) -> Self {
         F2dbError::Cube(e.to_string())
+    }
+}
+
+impl From<fdc_approx::ApproxError> for F2dbError {
+    fn from(e: fdc_approx::ApproxError) -> Self {
+        match e {
+            fdc_approx::ApproxError::Codec(m) => F2dbError::Storage(m),
+            other => F2dbError::Semantic(other.to_string()),
+        }
     }
 }
 
@@ -168,6 +185,14 @@ pub struct F2db {
     /// a pending value (non-owned bases are zero-padded), and serves
     /// forecasts only for resident nodes.
     partition: Option<Partition>,
+    /// Optional sampling plane ([`F2db::with_approx`]): stratified cell
+    /// samples + models on sampled cells, answering aggregate forecasts
+    /// approximately for queries that opt in via [`ApproxQuerySpec`].
+    /// Strictly additive — queries without an approx spec never touch
+    /// it, so exact results stay byte-identical. Behind its own lock,
+    /// taken *after* `dataset` on the advance path (lock order:
+    /// `pending` → `advance_lock` → `dataset` → shard → `approx`).
+    approx: RwLock<Option<ApproxPlane>>,
 }
 
 /// Partition state of one shard: which base nodes it owns, and which
@@ -242,6 +267,7 @@ impl F2db {
             recovered_wal_seq: 0,
             read_only: std::sync::atomic::AtomicBool::new(false),
             partition: None,
+            approx: RwLock::new(None),
         })
     }
 
@@ -280,6 +306,92 @@ impl F2db {
     /// The drift monitor, when enabled by [`F2db::with_drift_monitoring`].
     pub fn drift_monitor(&self) -> Option<&RollingAccuracy> {
         self.accuracy.as_ref()
+    }
+
+    /// Attaches a sampling plane built over the current dataset with
+    /// auto-registered targets (every aggregation node whose population
+    /// reaches `options.min_population`). Queries opting in via
+    /// [`ApproxQuerySpec`] get Horvitz–Thompson scale-ups with
+    /// confidence intervals for registered nodes; everything else —
+    /// including every query that does *not* opt in — is answered
+    /// exactly, byte-identical to an engine without a plane.
+    pub fn with_approx(self, options: ApproxOptions) -> Result<Self> {
+        self.enable_approx(options)?;
+        Ok(self)
+    }
+
+    /// Runtime form of [`F2db::with_approx`] for engines already shared
+    /// behind an `Arc` (the shell's `\approx on`): builds a plane from
+    /// the current data set and attaches it in place, replacing any
+    /// existing plane.
+    pub fn enable_approx(&self, options: ApproxOptions) -> Result<()> {
+        let plane = {
+            let ds = self.dataset.read().unwrap();
+            ApproxPlane::build(&ds, None, options)?
+        };
+        *self.approx.write().unwrap() = Some(plane);
+        Ok(())
+    }
+
+    /// Detaches the sampling plane; subsequent queries are exact-only.
+    /// A no-op when none is attached.
+    pub fn disable_approx(&self) {
+        *self.approx.write().unwrap() = None;
+    }
+
+    /// Attaches a sampling plane whose registered nodes come from an
+    /// advisor coverage plan ([`fdc_approx::plan_coverage`]): exactly
+    /// the nodes the plan routed through sampling, with reservoirs sized
+    /// to the plan's per-stratum choice.
+    pub fn with_approx_plan(self, plan: &CoveragePlan, options: ApproxOptions) -> Result<Self> {
+        let targets = plan.sampled_nodes();
+        if targets.is_empty() {
+            // Nothing exceeds the latency budget: no plane at all.
+            return Ok(self);
+        }
+        let options = ApproxOptions {
+            samples_per_stratum: plan.per_stratum().max(2),
+            ..options
+        };
+        let plane = {
+            let ds = self.dataset.read().unwrap();
+            ApproxPlane::build(&ds, Some(&targets), options)?
+        };
+        *self.approx.write().unwrap() = Some(plane);
+        Ok(self)
+    }
+
+    /// Whether a sampling plane is attached.
+    pub fn approx_enabled(&self) -> bool {
+        self.approx.read().unwrap().is_some()
+    }
+
+    /// Sampling facts of `node` (population, stored sample size, strata)
+    /// when a plane is attached and the node is registered.
+    pub fn approx_node_info(&self, node: NodeId) -> Option<fdc_approx::ApproxNodeInfo> {
+        self.approx.read().unwrap().as_ref()?.node_info(node)
+    }
+
+    /// Persists the sampling plane to a sidecar file (crash-safely, like
+    /// the catalog). Errors when no plane is attached. The catalog file
+    /// is untouched — approximation never changes catalog bytes.
+    pub fn save_approx(&self, path: &std::path::Path) -> Result<()> {
+        let guard = self.approx.read().unwrap();
+        let plane = guard
+            .as_ref()
+            .ok_or_else(|| F2dbError::Semantic("no sampling plane attached".into()))?;
+        let bytes = fdc_approx::encode_plane(plane);
+        fdc_wal::atomic_write_durable(path, &bytes).map_err(|e| F2dbError::Storage(e.to_string()))
+    }
+
+    /// Restores a sampling plane from a sidecar file written by
+    /// [`F2db::save_approx`], replacing any attached plane. Restored
+    /// reservoirs and model states are bit-identical to the saved ones.
+    pub fn load_approx(&self, path: &std::path::Path) -> Result<()> {
+        let bytes = std::fs::read(path).map_err(|e| F2dbError::Storage(e.to_string()))?;
+        let plane = fdc_approx::decode_plane(&bytes, self.fit.clone())?;
+        *self.approx.write().unwrap() = Some(plane);
+        Ok(())
     }
 
     /// Turns this engine into one shard of a partitioned deployment: it
@@ -464,6 +576,7 @@ impl F2db {
             recovered_wal_seq,
             read_only,
             partition,
+            approx,
         } = self;
         F2db {
             dataset,
@@ -478,6 +591,7 @@ impl F2db {
             recovered_wal_seq,
             read_only,
             partition,
+            approx,
         }
     }
 
@@ -551,6 +665,36 @@ impl F2db {
         self.query_filtered(sql, None)
     }
 
+    /// [`F2db::query`] with per-request approximation controls: rows
+    /// whose nodes are registered on the sampling plane are answered as
+    /// stratified Horvitz–Thompson scale-ups under the given budget /
+    /// CI target, carrying [`RowApprox`] metadata; unregistered nodes
+    /// fall back to the exact path. With `approx: None` this *is*
+    /// [`F2db::query`], bit for bit.
+    pub fn query_with(&self, sql: &str, approx: Option<&ApproxQuerySpec>) -> Result<QueryResult> {
+        self.query_filtered_with(sql, None, approx)
+    }
+
+    /// [`F2db::query_filtered`] with per-request approximation controls
+    /// (the shard half of a routed approximate query).
+    pub fn query_filtered_with(
+        &self,
+        sql: &str,
+        nodes: Option<&[NodeId]>,
+        approx: Option<&ApproxQuerySpec>,
+    ) -> Result<QueryResult> {
+        match parse_query(sql)? {
+            Statement::Forecast(q) => self.run_forecast_with(&q, nodes, approx),
+            Statement::Explain { .. } => Err(F2dbError::Semantic(
+                "EXPLAIN statements return a plan; use F2db::explain or F2db::explain_analyze"
+                    .into(),
+            )),
+            Statement::Insert { .. } => Err(F2dbError::Semantic(
+                "expected a forecast query, got an INSERT".into(),
+            )),
+        }
+    }
+
     /// [`F2db::query`] restricted to a subset of the resolved nodes —
     /// the scatter half of a routed scatter-gather: the router plans
     /// once, then asks each shard only for the nodes it owns. Rows keep
@@ -598,7 +742,7 @@ impl F2db {
             }
         };
         let ds = self.dataset.read().unwrap();
-        let mut report = self.plan_report(&ds, &q)?;
+        let mut report = self.plan_report(&ds, &q, None)?;
         if let Some(f) = nodes {
             let keep: std::collections::HashSet<NodeId> = f.iter().copied().collect();
             report.rows.retain(|r| keep.contains(&r.node));
@@ -609,6 +753,36 @@ impl F2db {
             }
         }
         Ok(report)
+    }
+
+    /// [`F2db::explain`] with per-request approximation controls: plan
+    /// rows whose nodes are registered on the sampling plane come back
+    /// with `scheme_kind = "sampled"` and [`ExplainApprox`] facts
+    /// (population, stored sample size, strata, the caller's budget /
+    /// CI target) instead of derivation sources. With `approx: None`
+    /// this is exactly [`F2db::explain`].
+    pub fn explain_with(
+        &self,
+        sql: &str,
+        approx: Option<&ApproxQuerySpec>,
+    ) -> Result<ExplainReport> {
+        let q = match parse_query(sql)? {
+            Statement::Forecast(q)
+            | Statement::Explain {
+                query: q,
+                analyze: false,
+            } => q,
+            Statement::Explain { analyze: true, .. } => {
+                return Err(F2dbError::Semantic(
+                    "EXPLAIN ANALYZE executes the query; use F2db::explain_analyze".into(),
+                ));
+            }
+            Statement::Insert { .. } => {
+                return Err(F2dbError::Semantic("cannot EXPLAIN an INSERT".into()));
+            }
+        };
+        let ds = self.dataset.read().unwrap();
+        self.plan_report(&ds, &q, approx)
     }
 
     /// `EXPLAIN ANALYZE`: produces the same plan as [`F2db::explain`] but
@@ -646,7 +820,7 @@ impl F2db {
         let ds = self.dataset.read().unwrap();
         // Static plan first (sources, kinds, weights, pre-execution
         // invalid flags).
-        let mut report = self.plan_report(&ds, &q)?;
+        let mut report = self.plan_report(&ds, &q, None)?;
         let planned: Vec<NodeId> = report.rows.iter().map(|r| r.node).collect();
         let kept = self.apply_node_filter(planned, filter)?;
         if kept.len() != report.rows.len() {
@@ -705,9 +879,16 @@ impl F2db {
         Ok(report)
     }
 
-    /// Builds the static plan of `q` (shared by [`F2db::explain`] and
-    /// [`F2db::explain_analyze`]).
-    fn plan_report(&self, ds: &Dataset, q: &ForecastQuery) -> Result<ExplainReport> {
+    /// Builds the static plan of `q` (shared by [`F2db::explain`],
+    /// [`F2db::explain_with`] and [`F2db::explain_analyze`]). With an
+    /// approx spec, nodes registered on the sampling plane plan as
+    /// `sampled` rows instead of catalog derivations.
+    fn plan_report(
+        &self,
+        ds: &Dataset,
+        q: &ForecastQuery,
+        approx: Option<&ApproxQuerySpec>,
+    ) -> Result<ExplainReport> {
         let horizon = q.horizon.steps(ds.series(0).granularity()).ok_or_else(|| {
             F2dbError::Semantic(format!(
                 "horizon unit {:?} is finer than the data granularity",
@@ -718,9 +899,29 @@ impl F2db {
             .resolve(ds.graph())
             .map_err(|e| F2dbError::Semantic(e.to_string()))?;
         let g = ds.graph();
+        let plane = approx.map(|_| self.approx.read().unwrap());
+        let plane = plane.as_ref().and_then(|guard| guard.as_ref());
         let mut rows = Vec::with_capacity(nodes.len());
         for &n in &nodes {
             let label = g.coord(n).display(g.schema());
+            if let (Some(spec), Some(info)) = (approx, plane.and_then(|p| p.node_info(n))) {
+                rows.push(ExplainRow {
+                    node: n,
+                    label,
+                    scheme_kind: "sampled",
+                    sources: Vec::new(),
+                    weight: 1.0,
+                    analysis: None,
+                    approx: Some(ExplainApprox {
+                        population: info.population,
+                        sampled: info.sampled,
+                        strata: info.strata,
+                        budget: spec.budget,
+                        target_ci: spec.target_ci,
+                    }),
+                });
+                continue;
+            }
             match self.catalog.entry(n) {
                 Some(entry) => {
                     let kind = match fdc_cube::derive::classify_scheme(ds, &entry.scheme_sources, n)
@@ -745,6 +946,7 @@ impl F2db {
                         sources,
                         weight: entry.weight,
                         analysis: None,
+                        approx: None,
                     });
                 }
                 None => {
@@ -800,6 +1002,15 @@ impl F2db {
     }
 
     fn run_forecast(&self, q: &ForecastQuery, filter: Option<&[NodeId]>) -> Result<QueryResult> {
+        self.run_forecast_with(q, filter, None)
+    }
+
+    fn run_forecast_with(
+        &self,
+        q: &ForecastQuery,
+        filter: Option<&[NodeId]>,
+        approx: Option<&ApproxQuerySpec>,
+    ) -> Result<QueryResult> {
         let _span = fdc_obs::span!("f2db.query");
         let started = Instant::now();
         let ds = self.dataset.read().unwrap();
@@ -814,13 +1025,62 @@ impl F2db {
             .map_err(|e| F2dbError::Semantic(e.to_string()))?;
         let nodes = self.apply_node_filter(nodes, filter)?;
 
+        // Split into plane-answered and exact nodes. Without an approx
+        // spec the split is trivially "all exact" and the plane lock is
+        // never taken — the exact path is untouched.
+        let plane = approx.map(|_| self.approx.read().unwrap());
+        let plane = plane.as_ref().and_then(|g| g.as_ref());
+        let answered_by_plane = |n: NodeId| plane.map(|p| p.is_registered(n)).unwrap_or(false);
+
         // Lazy re-estimation: queries referencing invalid models trigger
-        // parameter re-estimation now (§V maintenance processor).
-        self.reestimate_referenced(&ds, &nodes)?;
+        // parameter re-estimation now (§V maintenance processor). Only
+        // exactly-answered nodes reference catalog models.
+        let exact_nodes: Vec<NodeId> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| !answered_by_plane(n))
+            .collect();
+        self.reestimate_referenced(&ds, &exact_nodes)?;
 
         let mut rows = Vec::with_capacity(nodes.len());
         let now = ds.series(0).end();
         for &n in &nodes {
+            if answered_by_plane(n) {
+                let spec = approx.expect("plane only consulted with a spec");
+                let plane = plane.expect("registered node implies a plane");
+                let mut fc = plane
+                    .estimate(n, horizon, spec)
+                    .expect("is_registered implies an estimate");
+                fdc_obs::counter(names::F2DB_APPROX_ROWS).incr();
+                if q.aggregate == query::AggregateFn::Avg {
+                    // AVG = SUM / population; the plane knows the exact
+                    // population without an O(cells) descendant scan.
+                    let count = fc.population.max(1) as f64;
+                    for v in &mut fc.values {
+                        *v /= count;
+                    }
+                    for h in &mut fc.ci_half {
+                        *h /= count;
+                    }
+                }
+                rows.push(QueryRow {
+                    node: n,
+                    label: ds.graph().coord(n).display(ds.graph().schema()),
+                    values: fc
+                        .values
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (now + i as i64, v))
+                        .collect(),
+                    approx: Some(RowApprox {
+                        sampled: fc.sampled,
+                        population: fc.population,
+                        confidence: fc.confidence,
+                        ci_half: fc.ci_half,
+                    }),
+                });
+                continue;
+            }
             let mut forecasts = self.catalog.forecast(n, horizon).ok_or_else(|| {
                 F2dbError::Semantic(format!(
                     "node {} has no derivation scheme in the configuration",
@@ -843,6 +1103,7 @@ impl F2db {
                     .enumerate()
                     .map(|(i, v)| (now + i as i64, v))
                     .collect(),
+                approx: None,
             });
         }
         drop(ds);
@@ -1193,6 +1454,26 @@ impl F2db {
             ds.series_len() - 1
         };
         let ds = self.dataset.read().unwrap();
+        // Feed committed values into the sampling plane's cell models
+        // (O(1) per cell — only sampled cells own a model). Zero-padded
+        // entries from a partitioned advance are skipped: a shard only
+        // *knows* the values of bases it owns, and feeding padding would
+        // corrupt sampled models.
+        {
+            let mut plane = self.approx.write().unwrap();
+            if let Some(plane) = plane.as_mut() {
+                for &(n, v) in &batch {
+                    let owned = self
+                        .partition
+                        .as_ref()
+                        .map(|p| p.owned.contains(&n))
+                        .unwrap_or(true);
+                    if owned {
+                        plane.observe(n, v);
+                    }
+                }
+            }
+        }
         let out = self
             .catalog
             .advance_time_with(&ds, last, &self.policy, self.accuracy.as_ref());
@@ -1316,6 +1597,7 @@ impl F2db {
             recovered_wal_seq,
             read_only: std::sync::atomic::AtomicBool::new(false),
             partition: None,
+            approx: RwLock::new(None),
         })
     }
 

@@ -126,6 +126,20 @@ impl HorizonSpec {
     }
 }
 
+/// Approximation metadata of a row answered from the sampling plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowApprox {
+    /// Sampled cells actually evaluated.
+    pub sampled: u64,
+    /// The node's base-cell population.
+    pub population: u64,
+    /// Confidence level of `ci_half`.
+    pub confidence: f64,
+    /// Confidence-interval half-width per forecast step, parallel to
+    /// [`QueryRow::values`].
+    pub ci_half: Vec<f64>,
+}
+
 /// One result row: the forecasts of one node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRow {
@@ -135,6 +149,11 @@ pub struct QueryRow {
     pub label: String,
     /// `(logical time, forecast value)` pairs.
     pub values: Vec<(i64, f64)>,
+    /// `Some` iff this row was answered approximately (a sampled
+    /// Horvitz–Thompson scale-up instead of the exact derivation).
+    /// Always `None` unless the caller opted into approximation, so
+    /// exact results stay byte-identical.
+    pub approx: Option<RowApprox>,
 }
 
 /// Result of a statement.
@@ -155,6 +174,9 @@ impl QueryResult {
     /// value (FNV-1a). Two results fingerprint equal iff they are
     /// **byte-identical** — the equivalence the concurrency stress suite
     /// demands between the concurrent engine and its serial replay.
+    /// Approximation metadata is intentionally excluded: an exact query
+    /// must fingerprint identically whether or not a sampling plane is
+    /// attached to the engine.
     pub fn fingerprint(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -218,6 +240,7 @@ mod tests {
             node: 3,
             label: "*,NSW".into(),
             values: vec![(32, v), (33, v + 1.0)],
+            approx: None,
         };
         let a = QueryResult {
             rows: vec![row(10.0)],

@@ -58,6 +58,7 @@ pub mod diagnostics;
 pub mod model;
 pub mod naive;
 pub mod optimize;
+pub mod sampling;
 pub mod selection;
 pub mod series;
 pub mod smoothing;
@@ -74,6 +75,7 @@ pub use naive::{NaiveKind, NaiveModel};
 pub use optimize::{
     GridSearch, HillClimbing, NelderMead, Objective, OptimizeResult, Optimizer, SimulatedAnnealing,
 };
+pub use sampling::{stratified_estimate, z_quantile, HtEstimate, StratumSample};
 pub use selection::{select_best_model, SelectionReport};
 pub use series::{Granularity, TimeSeries};
 pub use transform::BoxCox;

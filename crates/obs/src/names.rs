@@ -19,6 +19,8 @@ pub const F2DB_QUERIES: &str = "f2db.queries";
 pub const F2DB_EXPLAIN_ANALYZE: &str = "f2db.explain_analyze";
 /// Histogram: end-to-end forecast query latency in nanoseconds.
 pub const F2DB_QUERY_NS: &str = "f2db.query.ns";
+/// Counter: query rows answered approximately from the sampling plane.
+pub const F2DB_APPROX_ROWS: &str = "f2db.approx.rows";
 /// Counter: source models served from the catalog without a re-fit.
 pub const F2DB_MODELS_CACHED: &str = "f2db.models.cached";
 /// Counter: lazy parameter re-estimations (one per invalidation epoch).

@@ -275,6 +275,19 @@ impl MomentSummary {
         self.sample_variance().sqrt()
     }
 
+    /// Standard error of the mean, `stddev / √n` (0 until two
+    /// observations exist). This is the scale of a confidence interval
+    /// around [`MomentSummary::mean`]: callers building intervals use
+    /// `z · stderr()` instead of recomputing `√(m2 / (n−1) / n)` by
+    /// hand.
+    pub fn stderr(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
     /// Skewness g1 = √n·M3 / M2^{3/2} (0 when undefined).
     pub fn skewness(&self) -> f64 {
         if self.n < 2 || self.m2 <= 0.0 {
@@ -675,6 +688,34 @@ mod tests {
         assert!((s.sample_variance() - 116.0 / 3.0).abs() < 1e-9);
         assert_eq!(s.min(), Some(-8.0));
         assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn stderr_matches_pinned_golden_values() {
+        // Golden: {2, -4, 6, -8} has sample variance 116/3, so
+        // stderr = √(116/3)/√4 = √(116/3)/2 = 3.1091263510296048.
+        let mut s = MomentSummary::new();
+        for x in [2.0, -4.0, 6.0, -8.0] {
+            s.insert(x);
+        }
+        assert!(
+            (s.stderr() - 3.1091263510296048).abs() < 1e-12,
+            "{}",
+            s.stderr()
+        );
+        assert_eq!(s.stderr(), s.stddev() / (s.count() as f64).sqrt());
+        // Golden: {1, 2, 3, 4, 5} has sample variance 2.5, so
+        // stderr = √2.5/√5 = √0.5 = 0.7071067811865476.
+        let mut t = MomentSummary::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            t.insert(x);
+        }
+        #[allow(clippy::approx_constant)] // golden literal, not a rounded constant
+        let expected = 0.7071067811865476;
+        assert!((t.stderr() - expected).abs() < 1e-12, "{}", t.stderr());
+        // Degenerate counts never divide by zero.
+        assert_eq!(MomentSummary::new().stderr(), 0.0);
+        assert_eq!(MomentSummary::of(9.0).stderr(), 0.0);
     }
 
     #[test]

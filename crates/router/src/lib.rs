@@ -708,6 +708,30 @@ fn parse_plan(shared: &Shared, text: &str) -> Result<Vec<PlanSite>, (u16, String
 // Scatter-gather forecasts
 // ---------------------------------------------------------------------------
 
+/// Re-serializes the optional `"approx"` member of a `/query` or
+/// `/explain` body so each shard sub-request carries the caller's
+/// approximation controls verbatim. Returns an empty string when the
+/// caller did not opt in, or a `,"approx":{...}` fragment otherwise.
+fn approx_fragment(doc: &json::Value) -> Result<String, String> {
+    let Some(v) = doc.get("approx") else {
+        return Ok(String::new());
+    };
+    if !matches!(v, json::Value::Obj(_)) {
+        return Err("\"approx\" must be an object".into());
+    }
+    let mut members = Vec::new();
+    for key in ["budget", "target_ci", "confidence"] {
+        if let Some(m) = v.get(key) {
+            let f = m
+                .as_f64()
+                .filter(|f| f.is_finite())
+                .ok_or_else(|| format!("\"approx.{key}\" must be a number"))?;
+            members.push(format!("\"{key}\":{}", json::num(f)));
+        }
+    }
+    Ok(format!(",\"approx\":{{{}}}", members.join(",")))
+}
+
 /// `POST /query` and `POST /explain`: plan → scatter to owning shards
 /// → reassemble rows byte-identically in plan order.
 fn handle_forecast(shared: &Shared, body: &[u8], route: &'static str) -> Routed {
@@ -732,6 +756,10 @@ fn handle_forecast(shared: &Shared, body: &[u8], route: &'static str) -> Routed 
         .get("analyze")
         .and_then(json::Value::as_bool)
         .unwrap_or(false);
+    let approx = match approx_fragment(&doc) {
+        Ok(a) => a,
+        Err(m) => return (route, 400, err_body(&m), no_extra()),
+    };
     let plan = match plan_for(shared, sql) {
         Ok(p) => p,
         Err(routed) => return routed,
@@ -762,7 +790,7 @@ fn handle_forecast(shared: &Shared, body: &[u8], route: &'static str) -> Routed 
                 .map(|(shard, nodes)| {
                     let nodes_json: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
                     let sub_body = format!(
-                        "{{\"sql\":\"{}\",\"analyze\":{analyze},\"nodes\":[{}]}}",
+                        "{{\"sql\":\"{}\",\"analyze\":{analyze},\"nodes\":[{}]{approx}}}",
                         json::escape(sql),
                         nodes_json.join(",")
                     );
@@ -1321,6 +1349,37 @@ mod tests {
             rows.iter().map(|(_, c)| *c).collect::<Vec<_>>().join(",")
         );
         assert_eq!(rebuilt, body);
+    }
+
+    #[test]
+    fn split_rows_passes_approx_metadata_through_verbatim() {
+        // An approximate row carries a nested "approx" object; the
+        // scatter-gather reassembly must keep its bytes untouched.
+        let body = "{\"rows\":[{\"node\":7,\"label\":\"(*, *)\",\"values\":[[1,12.5]],\"approx\":{\"sampled\":96,\"population\":100000,\"confidence\":0.95,\"ci_half\":[0.30000000000000004]}},{\"node\":9,\"label\":\"x\",\"values\":[]}]}";
+        let (prefix, rows) = split_rows(body).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 7);
+        assert!(rows[0].1.contains("\"population\":100000"));
+        assert!(rows[0].1.contains("0.30000000000000004"));
+        let rebuilt = format!(
+            "{prefix}{}]}}",
+            rows.iter().map(|(_, c)| *c).collect::<Vec<_>>().join(",")
+        );
+        assert_eq!(rebuilt, body);
+    }
+
+    #[test]
+    fn approx_fragment_round_trips_controls() {
+        let doc =
+            json::parse("{\"sql\":\"q\",\"approx\":{\"budget\":128,\"target_ci\":0.05}}").unwrap();
+        let frag = approx_fragment(&doc).unwrap();
+        assert_eq!(frag, ",\"approx\":{\"budget\":128,\"target_ci\":0.05}");
+        let none = json::parse("{\"sql\":\"q\"}").unwrap();
+        assert_eq!(approx_fragment(&none).unwrap(), "");
+        let bad = json::parse("{\"approx\":{\"budget\":\"x\"}}").unwrap();
+        assert!(approx_fragment(&bad).is_err());
+        let not_obj = json::parse("{\"approx\":3}").unwrap();
+        assert!(approx_fragment(&not_obj).is_err());
     }
 
     #[test]

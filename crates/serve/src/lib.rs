@@ -25,8 +25,8 @@
 //!
 //! | Route | Body | Answer |
 //! |---|---|---|
-//! | `POST /query` | `{"sql": "...", "nodes": [ids]?}` | `200` forecast rows |
-//! | `POST /explain` | `{"sql": "...", "analyze": bool?, "nodes": [ids]?}` | `200` plan |
+//! | `POST /query` | `{"sql": "...", "nodes": [ids]?, "approx": {...}?}` | `200` forecast rows |
+//! | `POST /explain` | `{"sql": "...", "analyze": bool?, "nodes": [ids]?, "approx": {...}?}` | `200` plan |
 //! | `POST /insert` | `{"dims": [...], "value": v}` or `{"rows": [...]}` | `202` after commit |
 //! | `POST /maintain` | — | `200` re-fit count |
 //! | `POST /plan` | `{"sql": "...", "key_dims": n?}` | `200` per-node placement keys |
@@ -99,7 +99,7 @@ pub use replica::{open_follower, replica_marker_path, PromotionReport, Replica};
 pub use slow::{SlowEntry, SlowLog};
 
 use fdc_cube::NodeId;
-use fdc_f2db::{F2db, F2dbError, WalRecord};
+use fdc_f2db::{ApproxQuerySpec, F2db, F2dbError, WalRecord};
 use fdc_obs::httpcore::{read_request, write_response, Request, RequestError};
 use fdc_obs::{journal, names, trace, Event, TraceContext};
 use std::collections::VecDeque;
@@ -951,6 +951,42 @@ fn nodes_of(doc: &json::Value) -> Result<Option<Vec<NodeId>>, String> {
     Ok(Some(out))
 }
 
+/// Parses the optional `"approx"` object of `/query` and `/explain`
+/// bodies: per-request approximation controls
+/// (`{"budget": cells?, "target_ci": rel?, "confidence": level?}`).
+/// Absent → the exact path, byte-identical to a plain query.
+fn approx_of(doc: &json::Value) -> Result<Option<ApproxQuerySpec>, String> {
+    let Some(v) = doc.get("approx") else {
+        return Ok(None);
+    };
+    if !matches!(v, json::Value::Obj(_)) {
+        return Err("\"approx\" must be an object".into());
+    }
+    let mut spec = ApproxQuerySpec::default();
+    if let Some(b) = v.get("budget") {
+        let n = b
+            .as_f64()
+            .filter(|f| f.fract() == 0.0 && *f >= 1.0 && *f <= (1u64 << 32) as f64)
+            .ok_or("\"approx.budget\" must be a positive integer")?;
+        spec.budget = Some(n as usize);
+    }
+    if let Some(t) = v.get("target_ci") {
+        let f = t
+            .as_f64()
+            .filter(|f| f.is_finite() && *f > 0.0)
+            .ok_or("\"approx.target_ci\" must be a positive number")?;
+        spec.target_ci = Some(f);
+    }
+    if let Some(c) = v.get("confidence") {
+        let f = c
+            .as_f64()
+            .filter(|f| f.is_finite() && *f > 0.0 && *f < 1.0)
+            .ok_or("\"approx.confidence\" must be in (0, 1)")?;
+        spec.confidence = Some(f);
+    }
+    Ok(Some(spec))
+}
+
 /// Parses a `{"sql": "..."}` body.
 fn sql_of(body: &[u8]) -> Result<(String, json::Value), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
@@ -972,7 +1008,14 @@ fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
         Ok(n) => n,
         Err(m) => return (400, err_body(&m)),
     };
-    match shared.db.query_filtered(&sql, nodes.as_deref()) {
+    let approx = match approx_of(&doc) {
+        Ok(a) => a,
+        Err(m) => return (400, err_body(&m)),
+    };
+    match shared
+        .db
+        .query_filtered_with(&sql, nodes.as_deref(), approx.as_ref())
+    {
         Ok(result) => {
             let rows: Vec<String> = result
                 .rows
@@ -983,8 +1026,22 @@ fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
                         .iter()
                         .map(|(t, v)| format!("[{t},{}]", json::num(*v)))
                         .collect();
+                    let approx = match &r.approx {
+                        None => String::new(),
+                        Some(a) => {
+                            let half: Vec<String> =
+                                a.ci_half.iter().map(|h| json::num(*h)).collect();
+                            format!(
+                                ",\"approx\":{{\"sampled\":{},\"population\":{},\"confidence\":{},\"ci_half\":[{}]}}",
+                                a.sampled,
+                                a.population,
+                                json::num(a.confidence),
+                                half.join(",")
+                            )
+                        }
+                    };
                     format!(
-                        "{{\"node\":{},\"label\":\"{}\",\"values\":[{}]}}",
+                        "{{\"node\":{},\"label\":\"{}\",\"values\":[{}]{approx}}}",
                         r.node,
                         json::escape(&r.label),
                         values.join(",")
@@ -1010,8 +1067,31 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
         Ok(n) => n,
         Err(m) => return (400, err_body(&m)),
     };
+    let approx = match approx_of(&doc) {
+        Ok(a) => a,
+        Err(m) => return (400, err_body(&m)),
+    };
+    if approx.is_some() && analyze {
+        return (
+            400,
+            err_body("\"approx\" and \"analyze\" cannot be combined"),
+        );
+    }
     let report = if analyze {
         shared.db.explain_analyze_filtered(&sql, nodes.as_deref())
+    } else if let Some(spec) = &approx {
+        shared.db.explain_with(&sql, Some(spec)).and_then(|mut r| {
+            if let Some(f) = &nodes {
+                let keep: std::collections::HashSet<NodeId> = f.iter().copied().collect();
+                r.rows.retain(|row| keep.contains(&row.node));
+                if r.rows.is_empty() {
+                    return Err(F2dbError::Semantic(
+                        "node filter excludes every node the query resolves to".into(),
+                    ));
+                }
+            }
+            Ok(r)
+        })
     } else {
         shared.db.explain_filtered(&sql, nodes.as_deref())
     };
@@ -1044,8 +1124,22 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
                             )
                         }
                     };
+                    let sampling = match &r.approx {
+                        None => String::new(),
+                        Some(ap) => {
+                            let budget = ap
+                                .budget
+                                .map_or(String::from("null"), |b| b.to_string());
+                            let target =
+                                ap.target_ci.map_or(String::from("null"), json::num);
+                            format!(
+                                ",\"approx\":{{\"population\":{},\"sampled\":{},\"strata\":{},\"budget\":{budget},\"target_ci\":{target}}}",
+                                ap.population, ap.sampled, ap.strata
+                            )
+                        }
+                    };
                     format!(
-                        "{{\"node\":{},\"label\":\"{}\",\"scheme\":\"{}\",\"weight\":{},\"sources\":[{}]{analysis}}}",
+                        "{{\"node\":{},\"label\":\"{}\",\"scheme\":\"{}\",\"weight\":{},\"sources\":[{}]{analysis}{sampling}}}",
                         r.node,
                         json::escape(&r.label),
                         r.scheme_kind,
@@ -1445,19 +1539,44 @@ fn latency_json() -> String {
     out
 }
 
-/// Compact drift-monitor summary: tracked keys and how many are
-/// currently in a drift excursion (per-node detail lives in the shell's
-/// `\accuracy` command and the gauge families). `null` when drift
-/// monitoring is disabled.
+/// Drift-monitor summary: totals plus per-key rows keyed by the
+/// dimension-value coordinate (not the raw catalog node id, which is
+/// meaningless without a graph dump). Rows are capped at 50; the
+/// `"more"` member counts what was cut, so the footer renders as
+/// `… (N more)`. `null` when drift monitoring is disabled.
 fn drift_json(shared: &Shared) -> String {
+    const MAX_ROWS: usize = 50;
     match shared.db.drift_monitor() {
         Some(acc) => {
             let summaries = acc.summaries();
             let drifting = summaries.iter().filter(|s| s.drifting).count();
+            let ds = shared.db.dataset();
+            let g = ds.graph();
+            let keys: Vec<String> = summaries
+                .iter()
+                .take(MAX_ROWS)
+                .map(|s| {
+                    let label = if (s.key as usize) < ds.node_count() {
+                        g.coord(s.key as usize).display(g.schema())
+                    } else {
+                        format!("node {}", s.key)
+                    };
+                    format!(
+                        "{{\"cell\":\"{}\",\"n\":{},\"mae\":{},\"smape\":{},\"drifting\":{}}}",
+                        json::escape(&label),
+                        s.total(),
+                        json::num(s.err.abs_mean()),
+                        json::num(s.smape.mean()),
+                        s.drifting
+                    )
+                })
+                .collect();
             format!(
-                "{{\"tracked\":{},\"drifting\":{}}}",
+                "{{\"tracked\":{},\"drifting\":{},\"keys\":[{}],\"more\":{}}}",
                 summaries.len(),
-                drifting
+                drifting,
+                keys.join(","),
+                summaries.len().saturating_sub(MAX_ROWS)
             )
         }
         None => "null".to_string(),

@@ -41,7 +41,7 @@
 
 use fdc::advisor::{summarize, Advisor, AdvisorOptions};
 use fdc::datagen::{generate_cube, import_csv, GenSpec};
-use fdc::f2db::F2db;
+use fdc::f2db::{ApproxOptions, ApproxQuerySpec, F2db};
 use fdc::forecast::Granularity;
 use fdc::obs::{AccuracyOptions, ObsServer, TraceCollector};
 use std::io::{BufRead, Write};
@@ -314,6 +314,7 @@ fn main() {
     eprintln!(
         "     \\events [n] | \\serve <port> | \\listen <port> | \\topology | \\wal | \\slow | \\quit"
     );
+    eprintln!("     \\approx [on|off|budget <cells>|target <rel> [conf]]");
     eprintln!("     \\trace <file.json> | \\trace | \\trace --merge <out.json> <in.json>...\n");
 
     // Export-plane state owned by the session: a running HTTP exporter,
@@ -322,6 +323,10 @@ fn main() {
     let mut server: Option<ObsServer> = None;
     let mut forecast_server: Option<fdc::serve::Server> = None;
     let mut trace: Option<(Arc<TraceCollector>, PathBuf)> = None;
+    // Per-session approximation controls: `\approx on` attaches a
+    // sampling plane to the engine; SELECTs then answer registered
+    // nodes with Horvitz–Thompson scale-ups and an interval.
+    let mut approx_spec: Option<ApproxQuerySpec> = None;
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -418,20 +423,37 @@ fn main() {
                         if summaries.is_empty() {
                             println!("(no accuracy windows yet — insert a full round first)");
                         } else {
+                            // Keys are catalog node ids; render the
+                            // dimension-value coordinate instead so the
+                            // row is readable without a graph dump.
+                            let ds = db.dataset();
+                            let g = ds.graph();
+                            let label = |key: u64| -> String {
+                                let n = key as usize;
+                                if n < ds.node_count() {
+                                    g.coord(n).display(g.schema())
+                                } else {
+                                    format!("node {key}")
+                                }
+                            };
+                            const MAX_ROWS: usize = 50;
                             println!(
-                                "{:>6} {:>6} {:>12} {:>12} {:>12}  state",
-                                "node", "n", "mean err", "stddev", "smape"
+                                "{:<28} {:>6} {:>12} {:>12} {:>12}  state",
+                                "cell", "n", "mean err", "stddev", "smape"
                             );
-                            for s in &summaries {
+                            for s in summaries.iter().take(MAX_ROWS) {
                                 println!(
-                                    "{:>6} {:>6} {:>12.4} {:>12.4} {:>12.4}  {}",
-                                    s.key,
+                                    "{:<28} {:>6} {:>12.4} {:>12.4} {:>12.4}  {}",
+                                    label(s.key),
                                     s.total(),
                                     s.err.mean(),
                                     s.err.stddev(),
                                     s.smape.mean(),
                                     if s.drifting { "DRIFTING" } else { "ok" }
                                 );
+                            }
+                            if summaries.len() > MAX_ROWS {
+                                println!("… ({} more)", summaries.len() - MAX_ROWS);
                             }
                             let drifting = summaries.iter().filter(|s| s.drifting).count();
                             println!("{} node(s) tracked, {drifting} drifting", summaries.len());
@@ -579,6 +601,84 @@ fn main() {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix("\\approx") {
+            let rest = rest.trim();
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (None, _, _) => match (&approx_spec, db.approx_enabled()) {
+                    (None, false) => {
+                        println!("approx off — \\approx on to attach a sampling plane")
+                    }
+                    (None, true) => {
+                        println!("plane attached, queries exact — set a budget or target")
+                    }
+                    (Some(spec), enabled) => println!(
+                        "approx on (plane {}): budget {}, target CI {}, confidence {}",
+                        if enabled { "attached" } else { "MISSING" },
+                        spec.budget.map_or("none".into(), |b| b.to_string()),
+                        spec.target_ci
+                            .map_or("none".into(), |t| format!("{:.1}%", t * 100.0)),
+                        spec.confidence
+                            .map_or("default".into(), |c| format!("{c:.2}")),
+                    ),
+                },
+                (Some("on"), _, _) => {
+                    if db.approx_enabled() {
+                        println!("plane already attached");
+                    } else {
+                        match db.enable_approx(ApproxOptions::default()) {
+                            Ok(()) => println!("sampling plane attached"),
+                            Err(e) => {
+                                println!("error: {e}");
+                                continue;
+                            }
+                        }
+                    }
+                    approx_spec.get_or_insert_with(ApproxQuerySpec::default);
+                }
+                (Some("off"), _, _) => {
+                    db.disable_approx();
+                    approx_spec = None;
+                    println!("approx off — queries exact");
+                }
+                (Some("budget"), Some(n), _) => match n.parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        let spec = approx_spec.get_or_insert_with(ApproxQuerySpec::default);
+                        spec.budget = Some(n);
+                        if !db.approx_enabled() {
+                            println!("(budget set; \\approx on to attach the plane)");
+                        } else {
+                            println!("budget: {n} cells per node");
+                        }
+                    }
+                    _ => println!("usage: \\approx budget <cells>"),
+                },
+                (Some("target"), Some(t), conf) => match t.trim_end_matches('%').parse::<f64>() {
+                    Ok(t) if t > 0.0 && t.is_finite() => {
+                        let rel = if t >= 1.0 { t / 100.0 } else { t };
+                        let spec = approx_spec.get_or_insert_with(ApproxQuerySpec::default);
+                        spec.target_ci = Some(rel);
+                        if let Some(c) = conf {
+                            match c.parse::<f64>() {
+                                Ok(c) if c > 0.0 && c < 1.0 => spec.confidence = Some(c),
+                                _ => {
+                                    println!("confidence must be in (0, 1)");
+                                    continue;
+                                }
+                            }
+                        }
+                        if !db.approx_enabled() {
+                            println!("(target set; \\approx on to attach the plane)");
+                        } else {
+                            println!("target CI: {:.1}% relative half-width", rel * 100.0);
+                        }
+                    }
+                    _ => println!("usage: \\approx target <rel|pct%> [confidence]"),
+                },
+                _ => println!("usage: \\approx [on|off|budget <cells>|target <rel> [conf]]"),
+            }
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("\\trace --merge") {
             let paths: Vec<PathBuf> = rest.split_whitespace().map(PathBuf::from).collect();
             if paths.len() < 2 {
@@ -635,15 +735,35 @@ fn main() {
             }
             continue;
         }
-        match db.execute(line) {
+        let result = match (&approx_spec, lowered.starts_with("select")) {
+            (Some(spec), true) => db.query_with(line, Some(spec)),
+            _ => db.execute(line),
+        };
+        match result {
             Ok(result) if result.rows.is_empty() => {
                 println!("ok ({} inserts pending)", db.pending_inserts());
             }
             Ok(result) => {
                 for row in &result.rows {
-                    println!("[{}]", row.label);
-                    for (t, v) in &row.values {
-                        println!("  t={t:<6} {v:.3}");
+                    match &row.approx {
+                        None => {
+                            println!("[{}]", row.label);
+                            for (t, v) in &row.values {
+                                println!("  t={t:<6} {v:.3}");
+                            }
+                        }
+                        Some(a) => {
+                            println!(
+                                "[{}]  ~ {} of {} cells sampled, {:.0}% CI",
+                                row.label,
+                                a.sampled,
+                                a.population,
+                                a.confidence * 100.0
+                            );
+                            for ((t, v), half) in row.values.iter().zip(&a.ci_half) {
+                                println!("  t={t:<6} {v:.3} ± {half:.3}");
+                            }
+                        }
                     }
                 }
             }

@@ -46,6 +46,7 @@
 //! assert!(outcome.configuration.model_count() >= 1);
 //! ```
 
+pub use fdc_approx as approx;
 pub use fdc_core as advisor;
 pub use fdc_cube as cube;
 pub use fdc_datagen as datagen;
